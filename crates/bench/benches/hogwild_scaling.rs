@@ -1,0 +1,54 @@
+//! §8(c) in bench form: lock-free vs coarse-grained-locked SGD throughput
+//! across thread counts (the practical payoff of asynchrony the paper's
+//! discussion appeals to).
+
+use asgd_hogwild::hogwild::{Hogwild, HogwildConfig};
+use asgd_hogwild::locked::LockedSgd;
+use asgd_oracle::MinibatchRegression;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+fn bench_scaling(c: &mut Criterion) {
+    let d = 64;
+    let iterations = 2_000_u64;
+    // Minibatch gradients: compute O(b·d) per iteration dominates the O(d)
+    // atomic update traffic, so thread scaling is visible (§8(c)).
+    let oracle = Arc::new(
+        MinibatchRegression::synthetic(2_000, d, 0.05, 64, 7).expect("well-conditioned"),
+    );
+    let x0 = vec![0.0; d];
+
+    let mut group = c.benchmark_group("sgd_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(iterations));
+
+    for &threads in &[1_usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("lockfree", threads),
+            &threads,
+            |b, &n| {
+                b.iter(|| {
+                    Hogwild::new(
+                        Arc::clone(&oracle),
+                        HogwildConfig {
+                            threads: n,
+                            iterations,
+                            alpha: 0.005,
+                            seed: 42,
+                            success_radius_sq: None,
+                        },
+                    )
+                    .run(&x0)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("locked", threads), &threads, |b, &n| {
+            b.iter(|| LockedSgd::new(Arc::clone(&oracle), n, iterations, 0.005, 42).run(&x0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Cost of one stochastic-gradient evaluation per workload — the unit of
+//! work each SGD iteration performs besides memory traffic.
+
+use asgd_oracle::{
+    GradientOracle, LinearRegression, NoisyQuadratic, RidgeLogistic, SparseQuadratic,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_oracles(c: &mut Criterion) {
+    let d = 32;
+    let mut group = c.benchmark_group("sample_gradient_d32");
+    group.sample_size(50);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let x = vec![0.5; d];
+    let mut g = vec![0.0; d];
+
+    let quad = NoisyQuadratic::new(d, 0.5).expect("valid");
+    let mut rng = StdRng::seed_from_u64(1);
+    group.bench_function("noisy_quadratic", |b| {
+        b.iter(|| quad.sample_gradient(black_box(&x), &mut rng, &mut g))
+    });
+
+    let sparse = SparseQuadratic::uniform(d, 1.0, 0.5).expect("valid");
+    let mut rng = StdRng::seed_from_u64(2);
+    group.bench_function("sparse_quadratic", |b| {
+        b.iter(|| sparse.sample_gradient(black_box(&x), &mut rng, &mut g))
+    });
+
+    let linreg = LinearRegression::synthetic(500, d, 0.05, 3).expect("well-conditioned");
+    let mut rng = StdRng::seed_from_u64(3);
+    group.bench_function("linear_regression_m500", |b| {
+        b.iter(|| linreg.sample_gradient(black_box(&x), &mut rng, &mut g))
+    });
+
+    let logreg = RidgeLogistic::synthetic(500, d, 0.1, 0.05, 4).expect("valid lambda");
+    let mut rng = StdRng::seed_from_u64(4);
+    group.bench_function("ridge_logistic_m500", |b| {
+        b.iter(|| logreg.sample_gradient(black_box(&x), &mut rng, &mut g))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Engineering bench: steps/second of the asynchronous shared-memory
+//! simulator per scheduler. Keeps the probability experiments' costs honest
+//! and catches regressions in the engine's hot loop.
+
+use asgd_core::runner::LockFreeSgd;
+use asgd_oracle::NoisyQuadratic;
+use asgd_shmem::sched::{
+    BoundedDelayAdversary, RandomScheduler, Scheduler, SerialScheduler, StepRoundRobin,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let d = 8;
+    let iterations = 500_u64;
+    // Steps per iteration ≈ claim + d reads + coin + d writes.
+    let steps = iterations * (2 * d as u64 + 2);
+    let oracle = Arc::new(NoisyQuadratic::new(d, 0.5).expect("valid"));
+
+    let mut group = c.benchmark_group("simulator_steps");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(steps));
+
+    type SchedulerFactory = fn() -> Box<dyn Scheduler>;
+    let cases: Vec<(&str, SchedulerFactory)> = vec![
+        ("serial", || Box::new(SerialScheduler::new())),
+        ("round-robin", || Box::new(StepRoundRobin::new())),
+        ("random", || Box::new(RandomScheduler::new(3))),
+        ("delay-adversary", || Box::new(BoundedDelayAdversary::new(16))),
+    ];
+    for (name, mk) in cases {
+        group.bench_with_input(BenchmarkId::new("4_threads", name), &mk, |b, mk| {
+            b.iter(|| {
+                LockFreeSgd::builder(Arc::clone(&oracle))
+                    .threads(4)
+                    .iterations(iterations)
+                    .learning_rate(0.05)
+                    .scheduler(mk())
+                    .seed(1)
+                    .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! CLI regenerating every paper-claim table.
+//!
+//! ```text
+//! cargo run -p asgd-bench --release --bin experiments -- all
+//! cargo run -p asgd-bench --release --bin experiments -- t51 t65
+//! cargo run -p asgd-bench --release --bin experiments -- --quick all
+//! ```
+//!
+//! Tables are printed to stdout and written as CSV under
+//! `target/experiments/`.
+
+use asgd_bench::{experiment_ids, run_experiment};
+use std::path::PathBuf;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    if args.is_empty() {
+        eprintln!("usage: experiments [--quick] <id…|all>");
+        eprintln!("known experiments: {}", experiment_ids().join(", "));
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiment_ids()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let out_dir = PathBuf::from("target").join("experiments");
+    for id in ids {
+        let started = std::time::Instant::now();
+        let output = run_experiment(id, quick);
+        print!("{}", output.render());
+        for (i, table) in output.tables.iter().enumerate() {
+            let name = if output.tables.len() == 1 {
+                output.id.clone()
+            } else {
+                format!("{}_{i}", output.id)
+            };
+            match table.write_csv(&out_dir, &name) {
+                Ok(path) => println!("[csv] {}", path.display()),
+                Err(e) => eprintln!("[csv] failed to write {name}: {e}"),
+            }
+        }
+        println!(
+            "[done] {id} in {:.1}s{}\n",
+            started.elapsed().as_secs_f64(),
+            if quick { " (quick mode)" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! **§8(b)** — the lower- and upper-bound preconditions are complementary.
+//!
+//! Paper claim: the delay `τ ≥ log(α/2)/log(1−α)` the lower-bound adversary
+//! needs is incompatible with the upper bound's requirement
+//! `2α²HLM√d·√(τn) < 1` — there is no parameter point where SGD both
+//! provably stalls and provably converges fast.
+
+use crate::ExperimentOutput;
+use asgd_metrics::table::fmt_f;
+use asgd_metrics::Table;
+use asgd_oracle::GradientOracle;
+use asgd_theory::regimes::{classify, preconditions_incompatible, Regime};
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(quick: bool) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("regimes");
+    let oracle = super::quad(4, 0.5);
+    let consts = oracle.constants(2.0);
+    let eps = 0.04;
+    let (n, d) = (4, 4);
+    let alphas: &[f64] = if quick {
+        &[0.0005, 0.005, 0.05]
+    } else {
+        &[0.0001, 0.0005, 0.002, 0.005, 0.02, 0.05, 0.2]
+    };
+    let taus: &[u64] = if quick {
+        &[4, 256, 65_536]
+    } else {
+        &[4, 64, 1024, 16_384, 262_144, 4_194_304]
+    };
+
+    let mut table = Table::new(
+        "§8(b): regime map — Theorem 6.5 precondition α²HLMC√d vs Theorem 5.1 delay τ*(α)",
+        &["alpha", "tau", "upper precond (<1 ⇒ T6.5)", "τ*(α) (≤τ ⇒ T5.1)", "regime"],
+    );
+    let mut overlap_free = true;
+    for &alpha in alphas {
+        for &tau in taus {
+            let p = classify(alpha, &consts, eps, tau, n, d);
+            overlap_free &= preconditions_incompatible(alpha, &consts, eps, tau, n, d);
+            table.row(&[
+                fmt_f(alpha),
+                tau.to_string(),
+                fmt_f(p.upper_precondition),
+                p.required_delay.to_string(),
+                match p.regime {
+                    Regime::UpperBoundApplies => "upper (fast)".to_string(),
+                    Regime::LowerBoundApplies => "lower (stall)".to_string(),
+                    Regime::Neither => "neither".to_string(),
+                },
+            ]);
+        }
+    }
+    out.tables.push(table);
+    out.notes.push(format!(
+        "no parameter point satisfies both preconditions (paper §8 complementarity): {overlap_free}"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_overlap_anywhere() {
+        let out = run(true);
+        assert!(out.notes[0].ends_with("true"), "{}", out.notes[0]);
+    }
+
+    #[test]
+    fn both_regimes_appear_in_the_map() {
+        let out = run(true);
+        let rendered = out.tables[0].render();
+        assert!(rendered.contains("upper (fast)"), "map: {rendered}");
+        assert!(rendered.contains("lower (stall)"), "map: {rendered}");
+    }
+}

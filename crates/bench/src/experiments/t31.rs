@@ -1,0 +1,97 @@
+//! **Theorem 3.1** — sequential SGD failure probability vs the bound.
+//!
+//! Paper claim: with `α = cεϑ/M²`, the probability that sequential SGD has
+//! not entered `S = {‖x−x*‖² ≤ ε}` within `T` steps is at most
+//! `M²/(c²εϑT)·plog(e‖x₀−x*‖²/ε)` — decaying like `1/T`.
+//!
+//! Measured: `P̂(F_T)` over independent trials, against the bound. The bound
+//! must dominate the measurement (up to CI), and the measured failure
+//! probability must be non-increasing in `T`.
+
+use crate::ExperimentOutput;
+use asgd_core::sequential::SequentialSgd;
+use asgd_metrics::table::fmt_f;
+use asgd_metrics::{estimate_probability, Table};
+use asgd_oracle::GradientOracle;
+use asgd_theory::bounds;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(quick: bool) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("t31");
+    let d = 4;
+    let sigma = 1.0;
+    let oracle = super::quad(d, sigma);
+    let radius = 2.0;
+    let consts = oracle.constants(radius);
+    let eps = 0.25;
+    let theta = 1.0;
+    let x0 = vec![1.0, 1.0, 0.0, 0.0]; // ‖x₀−x*‖² = 2 (inside the radius)
+    let x0_dist_sq = 2.0;
+    let alpha = bounds::theorem_3_1_learning_rate(&consts, eps, theta);
+    let trials = if quick { 30 } else { 200 };
+    // Short horizons where failures are actually observable, plus long ones
+    // where the 1/T decay of the bound is visible.
+    let horizons: &[u64] = if quick {
+        &[60, 200, 800]
+    } else {
+        &[50, 75, 100, 200, 400, 800, 1600, 3200]
+    };
+
+    let mut table = Table::new(
+        format!("Theorem 3.1: sequential SGD, α={} (cεϑ/M²), ε={eps}", fmt_f(alpha)),
+        &["T", "P(F_T) measured", "95% CI upper", "T3.1 bound", "bound holds"],
+    );
+    let mut measured_series = Vec::new();
+    for &t in horizons {
+        let est = estimate_probability(trials, 0xA31 + t, |seed| {
+            let report = SequentialSgd::new(&oracle)
+                .learning_rate(alpha)
+                .iterations(t)
+                .initial_point(x0.clone())
+                .success_radius_sq(eps)
+                .seed(seed)
+                .run();
+            report.hit_iteration.is_none() // failure event F_T
+        });
+        let bound = bounds::theorem_3_1(&consts, eps, theta, t, x0_dist_sq);
+        let holds = est.consistent_with_upper_bound(bound);
+        table.row(&[
+            t.to_string(),
+            fmt_f(est.estimate()),
+            fmt_f(est.interval.upper),
+            fmt_f(bound),
+            holds.to_string(),
+        ]);
+        measured_series.push((t, est.estimate()));
+    }
+    let monotone = measured_series.windows(2).all(|w| w[1].1 <= w[0].1 + 0.1);
+    out.notes.push(format!(
+        "measured failure probability non-increasing in T (±0.1 sampling slack): {monotone}"
+    ));
+    out.tables.push(table);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_dominates_measurement() {
+        let out = run(true);
+        let rendered = out.tables[0].render();
+        assert!(
+            !rendered.contains("false"),
+            "T3.1 bound violated:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn table_has_expected_shape() {
+        let out = run(true);
+        assert_eq!(out.tables.len(), 1);
+        assert_eq!(out.tables[0].len(), 3, "quick mode: three horizons");
+        assert!(out.notes[0].contains("non-increasing"));
+    }
+}

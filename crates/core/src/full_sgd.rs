@@ -1,0 +1,633 @@
+//! Algorithm 2 — `FullSGD`: iterated epochs with halving learning rate and
+//! epoch-guarded updates.
+//!
+//! The paper (§7): run a series of `EpochSGD` epochs, halving `α` between
+//! them; require that "a gradient update can only be applied to X in the
+//! same epoch when it was generated", enforced "either by … DCAS, or by
+//! having a distinct model allocated for each epoch"; in the last epoch,
+//! additionally accumulate each thread's applied updates locally and collect
+//! the entrywise sum `r`.
+//!
+//! DCAS does not exist on commodity hardware, so this implementation uses
+//! the paper's own second option — **a distinct model array per epoch**:
+//!
+//! * epoch `e`'s model lives in float registers `[e·d, (e+1)·d)`;
+//! * the first thread to reach epoch `e ≥ 1` wins an init CAS on a guard
+//!   counter and copies epoch `e−1`'s current value into epoch `e`'s region
+//!   (late writes by epoch-`e−1` stragglers are *dropped* for the new epoch —
+//!   exactly the property the DCAS guard enforces);
+//! * other threads arriving early spin on the guard until it reads "ready"
+//!   (lock-free: the initializer cannot be blocked by the spinners);
+//! * on the **final** epoch, the initializer also snapshots the epoch-start
+//!   model, and every thread publishes its locally accumulated updates into
+//!   a shared `Acc` region after its last claim, so the harness can collect
+//!   `r = x_epoch_start + Σᵢ Acc[i]` (Algorithm 2, lines 8–9).
+
+use crate::lockfree::{EpochSgdConfig, EpochSgdProcess};
+use asgd_oracle::GradientOracle;
+use asgd_shmem::engine::{Engine, ExecutionReport};
+use asgd_shmem::memory::Memory;
+use asgd_shmem::op::{Action, MemOp, OpResult};
+use asgd_shmem::process::{Process, ProcessCtx};
+use asgd_shmem::sched::Scheduler;
+
+/// Hyper-parameters of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FullSgdConfig {
+    /// Initial learning rate `α₀`.
+    pub alpha0: f64,
+    /// Iterations per epoch `T`.
+    pub epoch_iterations: u64,
+    /// Number of halving epochs before the final accumulating epoch
+    /// (Algorithm 2's loop bound `log(α·2Mn/√ε)`; use
+    /// `asgd_theory::corollary_7_1::epoch_count` to derive it).
+    pub halving_epochs: usize,
+}
+
+impl FullSgdConfig {
+    /// Total number of epochs including the final accumulating one.
+    #[must_use]
+    pub fn total_epochs(&self) -> usize {
+        self.halving_epochs + 1
+    }
+
+    /// Learning rate of epoch `e` (0-based): `α₀ / 2^e`.
+    #[must_use]
+    pub fn alpha_at(&self, e: usize) -> f64 {
+        self.alpha0 / (1u64 << e.min(63)) as f64
+    }
+}
+
+/// Shared-memory layout used by the Algorithm-2 processes.
+///
+/// Float registers: `total_epochs` model regions of `d`, then a snapshot
+/// region of `d` (epoch-start model of the final epoch), then the shared
+/// `Acc` region of `d`. Counter registers: one claim counter per epoch, then
+/// one init guard per epoch (guard values: 0 = uninitialised,
+/// 1 = initialising, 2 = ready).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FullSgdLayout {
+    /// Model dimension.
+    pub d: usize,
+    /// Total epochs (halving + final).
+    pub total_epochs: usize,
+}
+
+impl FullSgdLayout {
+    /// First float register of epoch `e`'s model.
+    #[must_use]
+    pub fn model_region(&self, e: usize) -> usize {
+        e * self.d
+    }
+
+    /// First float register of the final-epoch snapshot.
+    #[must_use]
+    pub fn snapshot_base(&self) -> usize {
+        self.total_epochs * self.d
+    }
+
+    /// First float register of the shared `Acc` region.
+    #[must_use]
+    pub fn acc_base(&self) -> usize {
+        (self.total_epochs + 1) * self.d
+    }
+
+    /// Number of float registers required.
+    #[must_use]
+    pub fn float_regs(&self) -> usize {
+        (self.total_epochs + 2) * self.d
+    }
+
+    /// Claim counter register of epoch `e`.
+    #[must_use]
+    pub fn claim_counter(&self, e: usize) -> usize {
+        e
+    }
+
+    /// Init-guard counter register of epoch `e`.
+    #[must_use]
+    pub fn guard_counter(&self, e: usize) -> usize {
+        self.total_epochs + e
+    }
+
+    /// Number of counter registers required.
+    #[must_use]
+    pub fn counter_regs(&self) -> usize {
+        2 * self.total_epochs
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FPhase {
+    /// Begin epoch `self.epoch` (decide init path).
+    Enter,
+    CasGuard,
+    AwaitCas,
+    WaitGuard,
+    AwaitWaitGuard,
+    CopyRead { j: usize },
+    AwaitCopyRead { j: usize },
+    CopyWriteModel { j: usize },
+    AwaitCopyWriteModel { j: usize },
+    CopyWriteSnap { j: usize },
+    AwaitCopyWriteSnap { j: usize },
+    MarkReady,
+    AwaitMarkReady,
+    Running,
+}
+
+/// The Algorithm-2 state machine for one simulated thread.
+pub struct FullSgdProcess<O: GradientOracle + Clone> {
+    oracle: O,
+    cfg: FullSgdConfig,
+    layout: FullSgdLayout,
+    epoch: usize,
+    phase: FPhase,
+    inner: Option<EpochSgdProcess<O>>,
+    copy_value: f64,
+}
+
+impl<O: GradientOracle + Clone> FullSgdProcess<O> {
+    /// Creates the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `α₀` is not finite and positive.
+    #[must_use]
+    pub fn new(oracle: O, cfg: FullSgdConfig) -> Self {
+        assert!(
+            cfg.alpha0.is_finite() && cfg.alpha0 > 0.0,
+            "alpha0 must be positive"
+        );
+        let layout = FullSgdLayout {
+            d: oracle.dimension(),
+            total_epochs: cfg.total_epochs(),
+        };
+        Self {
+            oracle,
+            cfg,
+            layout,
+            epoch: 0,
+            phase: FPhase::Enter,
+            inner: None,
+            copy_value: 0.0,
+        }
+    }
+
+    /// The shared-memory layout this process assumes.
+    #[must_use]
+    pub fn layout(&self) -> FullSgdLayout {
+        self.layout
+    }
+
+    fn make_inner(&self) -> EpochSgdProcess<O> {
+        let last = self.epoch + 1 == self.layout.total_epochs;
+        EpochSgdProcess::new(
+            self.oracle.clone(),
+            EpochSgdConfig {
+                alpha: self.cfg.alpha_at(self.epoch),
+                iterations: self.cfg.epoch_iterations,
+                counter_idx: self.layout.claim_counter(self.epoch),
+                model_base: self.layout.model_region(self.epoch),
+                acc_base: last.then(|| self.layout.acc_base()),
+            },
+        )
+    }
+
+    fn is_final_epoch(&self) -> bool {
+        self.epoch + 1 == self.layout.total_epochs
+    }
+}
+
+impl<O: GradientOracle + Clone> Process for FullSgdProcess<O> {
+    fn poll(&mut self, ctx: &mut ProcessCtx<'_>) -> Action {
+        let d = self.layout.d;
+        loop {
+            match self.phase {
+                FPhase::Enter => {
+                    if self.epoch == 0 {
+                        // Epoch 0's model region is pre-seeded with x₀ by the
+                        // harness; no init protocol needed.
+                        self.inner = Some(self.make_inner());
+                        self.phase = FPhase::Running;
+                    } else {
+                        self.phase = FPhase::CasGuard;
+                    }
+                }
+                FPhase::CasGuard => {
+                    self.phase = FPhase::AwaitCas;
+                    return Action::op(MemOp::CasU64 {
+                        idx: self.layout.guard_counter(self.epoch),
+                        expected: 0,
+                        new: 1,
+                    });
+                }
+                FPhase::AwaitCas => {
+                    match ctx.last.expect("CAS result must be delivered") {
+                        OpResult::CasU64 { success: true, .. } => {
+                            self.phase = FPhase::CopyRead { j: 0 };
+                        }
+                        OpResult::CasU64 {
+                            success: false,
+                            observed,
+                        } => {
+                            if observed >= 2 {
+                                self.inner = Some(self.make_inner());
+                                self.phase = FPhase::Running;
+                            } else {
+                                self.phase = FPhase::WaitGuard;
+                            }
+                        }
+                        other => panic!("expected CasU64 result, got {other:?}"),
+                    }
+                }
+                FPhase::WaitGuard => {
+                    self.phase = FPhase::AwaitWaitGuard;
+                    return Action::op(MemOp::ReadU64 {
+                        idx: self.layout.guard_counter(self.epoch),
+                    });
+                }
+                FPhase::AwaitWaitGuard => {
+                    let v = ctx
+                        .last
+                        .expect("guard read must be delivered")
+                        .unwrap_u64();
+                    if v >= 2 {
+                        self.inner = Some(self.make_inner());
+                        self.phase = FPhase::Running;
+                    } else {
+                        // Spin: each probe costs a shared-memory step, so the
+                        // adversary fully controls how long we wait.
+                        self.phase = FPhase::WaitGuard;
+                    }
+                }
+                FPhase::CopyRead { j } => {
+                    self.phase = FPhase::AwaitCopyRead { j };
+                    return Action::op(MemOp::ReadF64 {
+                        idx: self.layout.model_region(self.epoch - 1) + j,
+                    });
+                }
+                FPhase::AwaitCopyRead { j } => {
+                    self.copy_value = ctx
+                        .last
+                        .expect("copy read must be delivered")
+                        .unwrap_f64();
+                    self.phase = FPhase::CopyWriteModel { j };
+                }
+                FPhase::CopyWriteModel { j } => {
+                    self.phase = FPhase::AwaitCopyWriteModel { j };
+                    return Action::op(MemOp::WriteF64 {
+                        idx: self.layout.model_region(self.epoch) + j,
+                        value: self.copy_value,
+                    });
+                }
+                FPhase::AwaitCopyWriteModel { j } => {
+                    if self.is_final_epoch() {
+                        self.phase = FPhase::CopyWriteSnap { j };
+                    } else if j + 1 < d {
+                        self.phase = FPhase::CopyRead { j: j + 1 };
+                    } else {
+                        self.phase = FPhase::MarkReady;
+                    }
+                }
+                FPhase::CopyWriteSnap { j } => {
+                    self.phase = FPhase::AwaitCopyWriteSnap { j };
+                    return Action::op(MemOp::WriteF64 {
+                        idx: self.layout.snapshot_base() + j,
+                        value: self.copy_value,
+                    });
+                }
+                FPhase::AwaitCopyWriteSnap { j } => {
+                    if j + 1 < d {
+                        self.phase = FPhase::CopyRead { j: j + 1 };
+                    } else {
+                        self.phase = FPhase::MarkReady;
+                    }
+                }
+                FPhase::MarkReady => {
+                    self.phase = FPhase::AwaitMarkReady;
+                    return Action::op(MemOp::WriteU64 {
+                        idx: self.layout.guard_counter(self.epoch),
+                        value: 2,
+                    });
+                }
+                FPhase::AwaitMarkReady => {
+                    self.inner = Some(self.make_inner());
+                    self.phase = FPhase::Running;
+                }
+                FPhase::Running => {
+                    let inner = self.inner.as_mut().expect("inner epoch process exists");
+                    match inner.poll(ctx) {
+                        Action::Halt => {
+                            self.inner = None;
+                            if self.is_final_epoch() {
+                                return Action::Halt;
+                            }
+                            self.epoch += 1;
+                            self.phase = FPhase::Enter;
+                            // ctx.last was consumed by the inner machine; the
+                            // next outer op starts fresh.
+                            ctx.last = None;
+                        }
+                        action => return action,
+                    }
+                }
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "full-sgd(alpha0={}, T={}, epochs={})",
+            self.cfg.alpha0,
+            self.cfg.epoch_iterations,
+            self.layout.total_epochs
+        )
+    }
+}
+
+/// Outcome of a simulated Algorithm-2 run.
+#[derive(Debug)]
+pub struct FullSgdReport {
+    /// The collected result `r = x_epoch_start + Σᵢ Acc[i]` (Alg. 2 line 9).
+    pub r: Vec<f64>,
+    /// Final contents of the last epoch's model region (should equal `r` up
+    /// to floating-point summation order).
+    pub final_model: Vec<f64>,
+    /// `‖r − x*‖` (the quantity bounded by Corollary 7.1).
+    pub dist_to_opt: f64,
+    /// Underlying execution report.
+    pub execution: ExecutionReport,
+    /// Layout used (for inspecting epoch regions post-run).
+    pub layout: FullSgdLayout,
+}
+
+/// Runs Algorithm 2 in the simulator with `n` threads.
+///
+/// # Panics
+///
+/// Panics if `x0`'s dimension differs from the oracle's.
+#[must_use]
+pub fn run_simulated<O: GradientOracle + Clone + 'static>(
+    oracle: O,
+    cfg: FullSgdConfig,
+    n: usize,
+    x0: &[f64],
+    scheduler: impl Scheduler + 'static,
+    seed: u64,
+    max_steps: Option<u64>,
+) -> FullSgdReport {
+    let d = oracle.dimension();
+    assert_eq!(x0.len(), d, "x0 dimension mismatch");
+    let layout = FullSgdLayout {
+        d,
+        total_epochs: cfg.total_epochs(),
+    };
+    let mut floats = vec![0.0; layout.float_regs()];
+    floats[..d].copy_from_slice(x0);
+    let memory = Memory::with_model(&floats, layout.counter_regs());
+
+    let mut builder = Engine::builder()
+        .memory(memory)
+        .scheduler(scheduler)
+        .seed(seed);
+    if let Some(steps) = max_steps {
+        builder = builder.max_steps(steps);
+    }
+    for _ in 0..n {
+        builder = builder.process(FullSgdProcess::new(oracle.clone(), cfg));
+    }
+    let execution = builder.build().run();
+
+    let snapshot: Vec<f64> = if cfg.halving_epochs == 0 {
+        // The final epoch is epoch 0: its start state is x₀ itself.
+        x0.to_vec()
+    } else {
+        let base = layout.snapshot_base();
+        execution.memory.floats()[base..base + d].to_vec()
+    };
+    let acc_base = layout.acc_base();
+    let acc = &execution.memory.floats()[acc_base..acc_base + d];
+    let r: Vec<f64> = snapshot.iter().zip(acc).map(|(s, a)| s + a).collect();
+    let last_base = layout.model_region(layout.total_epochs - 1);
+    let final_model = execution.memory.floats()[last_base..last_base + d].to_vec();
+    let dist_to_opt = asgd_math::vec::l2_dist(&r, oracle.minimizer());
+    FullSgdReport {
+        r,
+        final_model,
+        dist_to_opt,
+        execution,
+        layout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_oracle::NoisyQuadratic;
+    use asgd_shmem::sched::{RandomScheduler, SerialScheduler, StepRoundRobin};
+    use asgd_shmem::StopReason;
+    use std::sync::Arc;
+
+    fn quad(d: usize, sigma: f64) -> Arc<NoisyQuadratic> {
+        Arc::new(NoisyQuadratic::new(d, sigma).unwrap())
+    }
+
+    #[test]
+    fn layout_regions_are_disjoint_and_sized() {
+        let l = FullSgdLayout {
+            d: 3,
+            total_epochs: 4,
+        };
+        assert_eq!(l.model_region(0), 0);
+        assert_eq!(l.model_region(3), 9);
+        assert_eq!(l.snapshot_base(), 12);
+        assert_eq!(l.acc_base(), 15);
+        assert_eq!(l.float_regs(), 18);
+        assert_eq!(l.claim_counter(2), 2);
+        assert_eq!(l.guard_counter(0), 4);
+        assert_eq!(l.counter_regs(), 8);
+    }
+
+    #[test]
+    fn config_alpha_halves_per_epoch() {
+        let cfg = FullSgdConfig {
+            alpha0: 0.8,
+            epoch_iterations: 10,
+            halving_epochs: 3,
+        };
+        assert_eq!(cfg.total_epochs(), 4);
+        assert_eq!(cfg.alpha_at(0), 0.8);
+        assert_eq!(cfg.alpha_at(1), 0.4);
+        assert_eq!(cfg.alpha_at(3), 0.1);
+    }
+
+    #[test]
+    fn r_equals_final_model() {
+        // Snapshot + Acc must reconstruct the final epoch's model exactly
+        // (same additions, different order ⇒ tiny fp tolerance).
+        let oracle = quad(2, 0.5);
+        let cfg = FullSgdConfig {
+            alpha0: 0.2,
+            epoch_iterations: 50,
+            halving_epochs: 2,
+        };
+        let report = run_simulated(
+            Arc::clone(&oracle),
+            cfg,
+            3,
+            &[1.0, -1.0],
+            RandomScheduler::new(8),
+            42,
+            None,
+        );
+        assert_eq!(report.execution.stop, StopReason::AllDone);
+        for j in 0..2 {
+            assert!(
+                (report.r[j] - report.final_model[j]).abs() < 1e-9,
+                "entry {j}: r={} model={}",
+                report.r[j],
+                report.final_model[j]
+            );
+        }
+    }
+
+    #[test]
+    fn full_sgd_converges_below_single_epoch_floor() {
+        // With noise, a fixed large α stalls at a noise floor ∝ α; halving
+        // α across epochs must land closer than the first epoch alone.
+        let oracle = quad(1, 1.0);
+        let one_epoch = run_simulated(
+            Arc::clone(&oracle),
+            FullSgdConfig {
+                alpha0: 0.5,
+                epoch_iterations: 400,
+                halving_epochs: 0,
+            },
+            2,
+            &[4.0],
+            RandomScheduler::new(3),
+            7,
+            None,
+        );
+        let many_epochs = run_simulated(
+            Arc::clone(&oracle),
+            FullSgdConfig {
+                alpha0: 0.5,
+                epoch_iterations: 400,
+                halving_epochs: 5,
+            },
+            2,
+            &[4.0],
+            RandomScheduler::new(3),
+            7,
+            None,
+        );
+        assert!(
+            many_epochs.dist_to_opt < one_epoch.dist_to_opt,
+            "halving: {} vs single epoch: {}",
+            many_epochs.dist_to_opt,
+            one_epoch.dist_to_opt
+        );
+        assert!(many_epochs.dist_to_opt < 0.2, "final dist {}", many_epochs.dist_to_opt);
+    }
+
+    #[test]
+    fn serial_scheduler_runs_epochs_back_to_back() {
+        let oracle = quad(2, 0.0);
+        let report = run_simulated(
+            Arc::clone(&oracle),
+            FullSgdConfig {
+                alpha0: 0.4,
+                epoch_iterations: 30,
+                halving_epochs: 2,
+            },
+            2,
+            &[1.0, 1.0],
+            SerialScheduler::new(),
+            1,
+            None,
+        );
+        assert_eq!(report.execution.stop, StopReason::AllDone);
+        // Noiseless: r must contract towards 0 substantially.
+        assert!(report.dist_to_opt < 1e-3, "dist {}", report.dist_to_opt);
+        // All three claim counters exhausted: T + n each.
+        for e in 0..3 {
+            assert_eq!(report.execution.memory.counter(e), 32);
+        }
+        // Guards of epochs 1, 2 marked ready.
+        assert_eq!(report.execution.memory.counter(report.layout.guard_counter(1)), 2);
+        assert_eq!(report.execution.memory.counter(report.layout.guard_counter(2)), 2);
+    }
+
+    #[test]
+    fn interleaved_epoch_transitions_are_safe() {
+        // Round-robin forces threads to hit the guard protocol concurrently.
+        let oracle = quad(3, 0.2);
+        let report = run_simulated(
+            Arc::clone(&oracle),
+            FullSgdConfig {
+                alpha0: 0.3,
+                epoch_iterations: 40,
+                halving_epochs: 3,
+            },
+            4,
+            &[1.0, -1.0, 0.5],
+            StepRoundRobin::new(),
+            11,
+            None,
+        );
+        assert_eq!(report.execution.stop, StopReason::AllDone);
+        for j in 0..3 {
+            assert!(
+                (report.r[j] - report.final_model[j]).abs() < 1e-9,
+                "entry {j} mismatch under interleaving"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let oracle = quad(2, 0.7);
+        let cfg = FullSgdConfig {
+            alpha0: 0.25,
+            epoch_iterations: 25,
+            halving_epochs: 2,
+        };
+        let a = run_simulated(
+            Arc::clone(&oracle),
+            cfg,
+            3,
+            &[1.0, 2.0],
+            RandomScheduler::new(9),
+            5,
+            None,
+        );
+        let b = run_simulated(
+            Arc::clone(&oracle),
+            cfg,
+            3,
+            &[1.0, 2.0],
+            RandomScheduler::new(9),
+            5,
+            None,
+        );
+        assert_eq!(a.execution.fingerprint, b.execution.fingerprint);
+        assert_eq!(a.r, b.r);
+    }
+
+    #[test]
+    fn describe_reports_epochs() {
+        let oracle = quad(1, 0.0);
+        let p = FullSgdProcess::new(
+            oracle,
+            FullSgdConfig {
+                alpha0: 0.5,
+                epoch_iterations: 10,
+                halving_epochs: 2,
+            },
+        );
+        assert!(p.describe().contains("epochs=3"));
+        assert_eq!(p.layout().total_epochs, 3);
+    }
+}

@@ -1,0 +1,59 @@
+//! Lock-free stochastic gradient descent in asynchronous shared memory —
+//! the algorithms of *"The Convergence of SGD in Asynchronous Shared
+//! Memory"* (Alistarh, De Sa, Konstantinov; PODC 2018).
+//!
+//! This crate implements, on top of the [`asgd_shmem`] simulator:
+//!
+//! * [`sequential`] — the classic Robbins–Monro iteration
+//!   `x_{t+1} = x_t − α·g̃(x_t)` (Eq. 1), the baseline every bound compares
+//!   against;
+//! * [`lockfree`] — **Algorithm 1 (`EpochSGD`)**: threads share the model
+//!   `X[d]`, claim iteration slots with `C.fetch&add(1)`, read the model
+//!   entry-wise into a possibly inconsistent view, and apply gradient entries
+//!   with per-entry `fetch&add` — no locks anywhere;
+//! * [`full_sgd`] — **Algorithm 2 (`FullSGD`)**: a sequence of `EpochSGD`
+//!   epochs with halving learning rate, epoch-guarded updates (one model
+//!   array per epoch, the guard variant the paper itself proposes), and a
+//!   final epoch that accumulates each thread's applied updates into a shared
+//!   `Acc` region from which the result `r` is collected;
+//! * [`monitor`] — a live observer reconstructing the paper's accumulator
+//!   process `x_t` (§6.1) from the update stream, to measure hitting times of
+//!   the success region `S = {x : ‖x − x*‖² ≤ ε}`;
+//! * [`runner`] — one-call harness wiring oracle + scheduler + engine +
+//!   monitor together for experiments.
+//!
+//! # Quick example (simulated lock-free SGD under an adversary)
+//!
+//! ```
+//! use asgd_core::runner::LockFreeSgd;
+//! use asgd_oracle::NoisyQuadratic;
+//! use asgd_shmem::sched::RandomScheduler;
+//! use std::sync::Arc;
+//!
+//! let oracle = Arc::new(NoisyQuadratic::new(2, 0.05).expect("valid"));
+//! let run = LockFreeSgd::builder(oracle)
+//!     .threads(2)
+//!     .iterations(400)
+//!     .learning_rate(0.1)
+//!     .initial_point(vec![1.0, -1.0])
+//!     .success_radius_sq(0.05)
+//!     .scheduler(RandomScheduler::new(3))
+//!     .seed(7)
+//!     .run();
+//! assert!(run.hit_iteration.is_some(), "reached the success region");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod full_sgd;
+pub mod lockfree;
+pub mod monitor;
+pub mod runner;
+pub mod sequential;
+
+pub use full_sgd::{FullSgdConfig, FullSgdProcess, FullSgdReport};
+pub use lockfree::{EpochSgdConfig, EpochSgdProcess};
+pub use monitor::HittingMonitor;
+pub use runner::{LockFreeRun, LockFreeSgd};
+pub use sequential::{SequentialReport, SequentialSgd};

@@ -1,0 +1,450 @@
+//! Algorithm 1 — lock-free `EpochSGD` as a simulated process.
+//!
+//! One thread's program (paper, Algorithm 1):
+//!
+//! ```text
+//! procedure EpochSGD(T, α)
+//!   for each iteration θ:
+//!     if C.fetch&add(1) ≥ T then return          // claim a slot
+//!     for j in 1..d: v_θ[j] ← X[j].read()        // inconsistent view scan
+//!     g̃_θ ← stochastic gradient at v_θ           // local coin
+//!     for j in 1..d:
+//!       if g̃_θ[j] ≠ 0: X[j].fetch&add(−α·g̃_θ[j]) // per-entry update
+//! ```
+//!
+//! The process declares exactly one shared-memory op per scheduler step, so
+//! the adversary can interleave (and stall) it anywhere — between two view
+//! reads, between gradient computation and the first write, between any two
+//! writes. Every op carries the [`OpTag`] the contention tracker and the
+//! adaptive adversaries key on.
+
+use asgd_oracle::GradientOracle;
+use asgd_shmem::op::{Action, MemOp, OpTag};
+use asgd_shmem::process::{Process, ProcessCtx};
+
+/// Memory-layout and hyper-parameter configuration for one
+/// [`EpochSgdProcess`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochSgdConfig {
+    /// Learning rate `α > 0`.
+    pub alpha: f64,
+    /// Iteration budget `T` shared by all threads via the claim counter.
+    pub iterations: u64,
+    /// Index of the claim counter register `C`.
+    pub counter_idx: usize,
+    /// First float register of the model `X[d]`.
+    pub model_base: usize,
+    /// First float register of the shared `Acc` region (length `d`), into
+    /// which the thread publishes its locally accumulated updates after its
+    /// last iteration — used by Algorithm 2's final epoch. `None` disables
+    /// accumulation.
+    pub acc_base: Option<usize>,
+}
+
+impl EpochSgdConfig {
+    /// Canonical single-epoch layout: counter 0, model at float register 0,
+    /// no accumulator.
+    #[must_use]
+    pub fn simple(alpha: f64, iterations: u64) -> Self {
+        Self {
+            alpha,
+            iterations,
+            counter_idx: 0,
+            model_base: 0,
+            acc_base: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Claim,
+    AwaitClaim,
+    Read { j: usize },
+    AwaitRead { j: usize },
+    Compute,
+    Write { k: usize },
+    AwaitWrite { k: usize },
+    PublishAcc { j: usize },
+    AwaitPublish { j: usize },
+}
+
+/// The Algorithm-1 state machine for one simulated thread.
+pub struct EpochSgdProcess<O> {
+    oracle: O,
+    cfg: EpochSgdConfig,
+    d: usize,
+    phase: Phase,
+    view: Vec<f64>,
+    grad: Vec<f64>,
+    /// Indices of nonzero gradient entries for the current iteration.
+    writes: Vec<usize>,
+    /// Locally accumulated applied updates (Algorithm 2, line 8).
+    acc: Vec<f64>,
+    /// Completed iterations by this thread.
+    completed: u64,
+}
+
+impl<O: GradientOracle> EpochSgdProcess<O> {
+    /// Creates the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.alpha` is not finite and positive.
+    #[must_use]
+    pub fn new(oracle: O, cfg: EpochSgdConfig) -> Self {
+        assert!(
+            cfg.alpha.is_finite() && cfg.alpha > 0.0,
+            "alpha must be positive"
+        );
+        let d = oracle.dimension();
+        Self {
+            oracle,
+            cfg,
+            d,
+            phase: Phase::Claim,
+            view: vec![0.0; d],
+            grad: vec![0.0; d],
+            writes: Vec::with_capacity(d),
+            acc: vec![0.0; d],
+            completed: 0,
+        }
+    }
+
+    /// Iterations this thread completed so far.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+impl<O: GradientOracle> Process for EpochSgdProcess<O> {
+    fn poll(&mut self, ctx: &mut ProcessCtx<'_>) -> Action {
+        loop {
+            match self.phase {
+                Phase::Claim => {
+                    self.phase = Phase::AwaitClaim;
+                    return Action::Op {
+                        op: MemOp::FaaU64 {
+                            idx: self.cfg.counter_idx,
+                            delta: 1,
+                        },
+                        tag: OpTag::ClaimIteration,
+                    };
+                }
+                Phase::AwaitClaim => {
+                    let prior = ctx
+                        .last
+                        .expect("claim result must be delivered")
+                        .unwrap_u64();
+                    if prior >= self.cfg.iterations {
+                        // Budget exhausted: optionally publish Acc, then halt.
+                        if self.cfg.acc_base.is_some() {
+                            self.phase = Phase::PublishAcc { j: 0 };
+                            continue;
+                        }
+                        return Action::Halt;
+                    }
+                    self.phase = Phase::Read { j: 0 };
+                }
+                Phase::Read { j } => {
+                    self.phase = Phase::AwaitRead { j };
+                    return Action::Op {
+                        op: MemOp::ReadF64 {
+                            idx: self.cfg.model_base + j,
+                        },
+                        tag: OpTag::ViewRead {
+                            entry: j,
+                            first: j == 0,
+                            last: j == self.d - 1,
+                        },
+                    };
+                }
+                Phase::AwaitRead { j } => {
+                    self.view[j] = ctx
+                        .last
+                        .expect("read result must be delivered")
+                        .unwrap_f64();
+                    if j + 1 < self.d {
+                        self.phase = Phase::Read { j: j + 1 };
+                    } else {
+                        self.phase = Phase::Compute;
+                        // The gradient coin is drawn *now*, at declaration
+                        // time of the Local step, so the adversary observes
+                        // it before scheduling anything else.
+                        self.oracle
+                            .sample_gradient(&self.view, ctx.rng, &mut self.grad);
+                        self.writes.clear();
+                        self.writes
+                            .extend((0..self.d).filter(|&j| self.grad[j] != 0.0));
+                        return Action::Local {
+                            tag: OpTag::SampleCoin,
+                        };
+                    }
+                }
+                Phase::Compute => {
+                    if self.writes.is_empty() {
+                        // Zero gradient: the iteration applies nothing
+                        // (invisible to the Lemma-6.1 order) — claim again.
+                        self.completed += 1;
+                        self.phase = Phase::Claim;
+                        continue;
+                    }
+                    self.phase = Phase::Write { k: 0 };
+                }
+                Phase::Write { k } => {
+                    let entry = self.writes[k];
+                    let delta = -self.cfg.alpha * self.grad[entry];
+                    self.acc[entry] += delta;
+                    self.phase = Phase::AwaitWrite { k };
+                    return Action::Op {
+                        op: MemOp::FaaF64 {
+                            idx: self.cfg.model_base + entry,
+                            delta,
+                        },
+                        tag: OpTag::ModelWrite {
+                            entry,
+                            first: k == 0,
+                            last: k == self.writes.len() - 1,
+                        },
+                    };
+                }
+                Phase::AwaitWrite { k } => {
+                    if k + 1 < self.writes.len() {
+                        self.phase = Phase::Write { k: k + 1 };
+                    } else {
+                        self.completed += 1;
+                        self.phase = Phase::Claim;
+                    }
+                }
+                Phase::PublishAcc { j } => {
+                    let base = self
+                        .cfg
+                        .acc_base
+                        .expect("publish phase only entered with acc enabled");
+                    self.phase = Phase::AwaitPublish { j };
+                    return Action::Op {
+                        op: MemOp::FaaF64 {
+                            idx: base + j,
+                            delta: self.acc[j],
+                        },
+                        tag: OpTag::Untagged,
+                    };
+                }
+                Phase::AwaitPublish { j } => {
+                    if j + 1 < self.d {
+                        self.phase = Phase::PublishAcc { j: j + 1 };
+                    } else {
+                        return Action::Halt;
+                    }
+                }
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "epoch-sgd(alpha={}, T={}, oracle={})",
+            self.cfg.alpha,
+            self.cfg.iterations,
+            self.oracle.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_oracle::NoisyQuadratic;
+    use asgd_shmem::engine::Engine;
+    use asgd_shmem::memory::Memory;
+    use asgd_shmem::sched::{RandomScheduler, SerialScheduler, StepRoundRobin};
+    use asgd_shmem::StopReason;
+    use std::sync::Arc;
+
+    fn quad(d: usize, sigma: f64) -> Arc<NoisyQuadratic> {
+        Arc::new(NoisyQuadratic::new(d, sigma).unwrap())
+    }
+
+    #[test]
+    fn serial_execution_matches_sequential_sgd() {
+        // Under the serial scheduler, thread 0 runs all iterations alone with
+        // its own coin stream ⇒ identical trajectory to SequentialSgd with
+        // the same per-thread seed (child 0 of the engine master seed).
+        let d = 3;
+        let oracle = quad(d, 0.5);
+        let x0 = vec![1.0, -2.0, 0.5];
+        let t = 100;
+        let alpha = 0.05;
+
+        let report = Engine::builder()
+            .memory(Memory::with_model(&x0, 1))
+            .process(EpochSgdProcess::new(
+                Arc::clone(&oracle),
+                EpochSgdConfig::simple(alpha, t),
+            ))
+            .process(EpochSgdProcess::new(
+                Arc::clone(&oracle),
+                EpochSgdConfig::simple(alpha, t),
+            ))
+            .scheduler(SerialScheduler::new())
+            .seed(77)
+            .build()
+            .run();
+        assert_eq!(report.stop, StopReason::AllDone);
+
+        // Replicate thread 0's coin stream.
+        let seq = asgd_math::rng::SeedSequence::new(77);
+        let mut rng = seq.child_rng(0);
+        let mut x = x0.clone();
+        let mut g = vec![0.0; d];
+        for _ in 0..t {
+            oracle.sample_gradient(&x, &mut rng, &mut g);
+            asgd_math::vec::axpy(&mut x, -alpha, &g);
+        }
+        for (j, &xj) in x.iter().enumerate() {
+            assert!(
+                (report.memory.float(j) - xj).abs() < 1e-12,
+                "entry {j}: simulated {} vs sequential {}",
+                report.memory.float(j),
+                xj
+            );
+        }
+        assert_eq!(report.contention.iterations(), t);
+        assert_eq!(report.contention.tau_max(), 0, "serial ⇒ no contention");
+    }
+
+    #[test]
+    fn total_iterations_bounded_by_t_under_any_schedule() {
+        let oracle = quad(2, 1.0);
+        for seed in 0..5 {
+            let report = Engine::builder()
+                .memory(Memory::new(2, 1))
+                .process(EpochSgdProcess::new(
+                    Arc::clone(&oracle),
+                    EpochSgdConfig::simple(0.1, 50),
+                ))
+                .process(EpochSgdProcess::new(
+                    Arc::clone(&oracle),
+                    EpochSgdConfig::simple(0.1, 50),
+                ))
+                .process(EpochSgdProcess::new(
+                    Arc::clone(&oracle),
+                    EpochSgdConfig::simple(0.1, 50),
+                ))
+                .scheduler(RandomScheduler::new(seed))
+                .seed(seed)
+                .build()
+                .run();
+            assert_eq!(report.stop, StopReason::AllDone);
+            assert_eq!(
+                report.contention.iterations(),
+                50,
+                "claim counter partitions exactly T iterations"
+            );
+            // Counter = T + n (each thread's failing claim).
+            assert_eq!(report.memory.counter(0), 53);
+        }
+    }
+
+    #[test]
+    fn concurrent_execution_still_converges_noiseless() {
+        // Noiseless quadratic: even with interleaving, faa updates are exact
+        // scaled copies of read views; the model must shrink towards 0.
+        let oracle = quad(2, 0.0);
+        let x0 = vec![4.0, -4.0];
+        let report = Engine::builder()
+            .memory(Memory::with_model(&x0, 1))
+            .process(EpochSgdProcess::new(
+                Arc::clone(&oracle),
+                EpochSgdConfig::simple(0.1, 300),
+            ))
+            .process(EpochSgdProcess::new(
+                Arc::clone(&oracle),
+                EpochSgdConfig::simple(0.1, 300),
+            ))
+            .scheduler(StepRoundRobin::new())
+            .seed(5)
+            .build()
+            .run();
+        let final_norm =
+            asgd_math::vec::l2_norm(&[report.memory.float(0), report.memory.float(1)]);
+        assert!(final_norm < 0.05, "‖x_T‖ = {final_norm}");
+    }
+
+    #[test]
+    fn acc_region_collects_all_applied_updates() {
+        // With accumulation on, Acc sums every thread's applied deltas, so
+        // x0 + Acc == final model exactly (same faa arithmetic).
+        let oracle = quad(2, 1.0);
+        let x0 = [1.0, 1.0];
+        let mk = |o: &Arc<NoisyQuadratic>| {
+            EpochSgdProcess::new(
+                Arc::clone(o),
+                EpochSgdConfig {
+                    alpha: 0.1,
+                    iterations: 40,
+                    counter_idx: 0,
+                    model_base: 0,
+                    acc_base: Some(2),
+                },
+            )
+        };
+        let report = Engine::builder()
+            .memory(Memory::with_model(&[1.0, 1.0, 0.0, 0.0], 1))
+            .process(mk(&oracle))
+            .process(mk(&oracle))
+            .scheduler(RandomScheduler::new(2))
+            .seed(3)
+            .build()
+            .run();
+        for (j, &x0j) in x0.iter().enumerate() {
+            let reconstructed = x0j + report.memory.float(2 + j);
+            assert!(
+                (reconstructed - report.memory.float(j)).abs() < 1e-9,
+                "entry {j}: x0+Acc = {reconstructed} vs model {}",
+                report.memory.float(j)
+            );
+        }
+    }
+
+    #[test]
+    fn contention_appears_under_interleaving() {
+        let oracle = quad(4, 1.0);
+        let report = Engine::builder()
+            .memory(Memory::new(4, 1))
+            .process(EpochSgdProcess::new(
+                Arc::clone(&oracle),
+                EpochSgdConfig::simple(0.05, 100),
+            ))
+            .process(EpochSgdProcess::new(
+                Arc::clone(&oracle),
+                EpochSgdConfig::simple(0.05, 100),
+            ))
+            .scheduler(StepRoundRobin::new())
+            .seed(11)
+            .build()
+            .run();
+        assert!(
+            report.contention.tau_max() >= 1,
+            "round-robin interleaving must create overlapping iterations"
+        );
+        assert!(report.contention.gibson_gramoli_holds());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_bad_alpha() {
+        let oracle = quad(1, 0.0);
+        let _ = EpochSgdProcess::new(oracle, EpochSgdConfig::simple(-0.1, 10));
+    }
+
+    #[test]
+    fn describe_mentions_parameters() {
+        let oracle = quad(1, 0.0);
+        let p = EpochSgdProcess::new(oracle, EpochSgdConfig::simple(0.25, 10));
+        let s = p.describe();
+        assert!(s.contains("0.25") && s.contains("noisy-quadratic"));
+        assert_eq!(p.completed(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Live reconstruction of the paper's accumulator process `x_t` (§6.1).
+//!
+//! The convergence results are stated for the auxiliary sequence
+//! `x_t = x₀ + Σ_{k≤t} (−α·g̃_k)` — the sum of the updates the first `t`
+//! ordered iterations *wish* to apply — not for the raw contents of shared
+//! memory (which may be missing in-flight writes at any instant). The
+//! failure event `F_T` is "`x_t ∉ S` for all `t ≤ T`".
+//!
+//! [`HittingMonitor`] consumes the engine's event stream, groups model-write
+//! deltas by iteration (in the Lemma-6.1 order), folds completed iterations
+//! into the accumulator **in order**, and records the first `t` whose `x_t`
+//! lands in the success region.
+
+use asgd_shmem::op::{MemOp, OpTag};
+use asgd_shmem::trace::{EventKind, EventRecord};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Sparse update list of one in-flight iteration: `(order index, deltas)`.
+type InFlight = (u64, Vec<(usize, f64)>);
+
+/// Streaming monitor for success-region hitting times.
+///
+/// Wrap it in an [`Rc<RefCell<_>>`] via [`HittingMonitor::shared`] and hand a
+/// forwarding closure to
+/// [`EngineBuilder::observer`](asgd_shmem::engine::EngineBuilder::observer).
+#[derive(Debug)]
+pub struct HittingMonitor {
+    /// Running accumulator `x_t`.
+    x: Vec<f64>,
+    x_star: Vec<f64>,
+    eps: f64,
+    /// Deltas being collected per thread for its in-flight iteration.
+    in_flight: Vec<Option<InFlight>>,
+    /// Completed iterations awaiting their turn in the order fold.
+    stash: BTreeMap<u64, Vec<(usize, f64)>>,
+    /// Next iteration order index (0-based) to fold.
+    next_index: u64,
+    /// First-write counter assigning order indices (mirrors the tracker).
+    started: u64,
+    hit: Option<u64>,
+    min_dist_sq: f64,
+    evaluated: u64,
+}
+
+impl HittingMonitor {
+    /// Creates a monitor for `n` threads, accumulating from `x0`, measuring
+    /// squared distance to `x_star` against threshold `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` and `x_star` have different lengths or `eps` is not
+    /// positive.
+    #[must_use]
+    pub fn new(n: usize, x0: Vec<f64>, x_star: Vec<f64>, eps: f64) -> Self {
+        assert_eq!(x0.len(), x_star.len(), "x0/x* dimension mismatch");
+        assert!(eps > 0.0, "eps must be positive");
+        let min = asgd_math::vec::l2_dist_sq(&x0, &x_star);
+        Self {
+            x: x0,
+            x_star,
+            eps,
+            in_flight: vec![None; n],
+            stash: BTreeMap::new(),
+            next_index: 0,
+            started: 0,
+            hit: None,
+            min_dist_sq: min,
+            evaluated: 0,
+        }
+    }
+
+    /// Wraps the monitor for sharing with the engine observer closure.
+    #[must_use]
+    pub fn shared(self) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Feeds one engine event.
+    pub fn observe(&mut self, ev: &EventRecord) {
+        if matches!(ev.kind, EventKind::Crashed) {
+            // A crashed thread never finishes its in-flight iteration; its
+            // remaining writes will never land, so the iteration's effective
+            // contribution to the accumulator is exactly the deltas applied
+            // so far. Finalise it with those, or the ordered fold would
+            // stall forever at its index.
+            if ev.thread < self.in_flight.len() {
+                if let Some((idx, deltas)) = self.in_flight[ev.thread].take() {
+                    self.stash.insert(idx, deltas);
+                    self.fold_ready();
+                }
+            }
+            return;
+        }
+        let EventKind::Op {
+            op: MemOp::FaaF64 { delta, .. },
+            tag: OpTag::ModelWrite { entry, first, last },
+            ..
+        } = ev.kind
+        else {
+            return;
+        };
+        if ev.thread >= self.in_flight.len() {
+            return;
+        }
+        if first {
+            let idx = self.started;
+            self.started += 1;
+            self.in_flight[ev.thread] = Some((idx, Vec::new()));
+        }
+        if let Some((idx, deltas)) = &mut self.in_flight[ev.thread] {
+            deltas.push((entry, delta));
+            if last {
+                let idx = *idx;
+                let deltas = std::mem::take(deltas);
+                self.in_flight[ev.thread] = None;
+                self.stash.insert(idx, deltas);
+                self.fold_ready();
+            }
+        }
+    }
+
+    fn fold_ready(&mut self) {
+        while let Some(deltas) = self.stash.remove(&self.next_index) {
+            for (entry, delta) in deltas {
+                if entry < self.x.len() {
+                    self.x[entry] += delta;
+                }
+            }
+            self.next_index += 1;
+            self.evaluated += 1;
+            let dist_sq = asgd_math::vec::l2_dist_sq(&self.x, &self.x_star);
+            self.min_dist_sq = self.min_dist_sq.min(dist_sq);
+            if self.hit.is_none() && dist_sq <= self.eps {
+                self.hit = Some(self.next_index); // 1-based iteration count
+            }
+        }
+    }
+
+    /// First (1-based) ordered iteration `t` with `x_t ∈ S`, if any.
+    #[must_use]
+    pub fn hit_iteration(&self) -> Option<u64> {
+        self.hit
+    }
+
+    /// Minimum `‖x_t − x*‖²` over evaluated prefix states (including `x₀`).
+    #[must_use]
+    pub fn min_dist_sq(&self) -> f64 {
+        self.min_dist_sq
+    }
+
+    /// Number of accumulator states evaluated (= completed ordered prefix).
+    #[must_use]
+    pub fn evaluated(&self) -> u64 {
+        self.evaluated
+    }
+
+    /// Current accumulator value.
+    #[must_use]
+    pub fn accumulator(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Squared distance of the current accumulator to the optimum.
+    #[must_use]
+    pub fn current_dist_sq(&self) -> f64 {
+        asgd_math::vec::l2_dist_sq(&self.x, &self.x_star)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_shmem::op::OpResult;
+
+    fn write_event(
+        thread: usize,
+        entry: usize,
+        delta: f64,
+        first: bool,
+        last: bool,
+    ) -> EventRecord {
+        EventRecord {
+            step: 0,
+            thread,
+            kind: EventKind::Op {
+                op: MemOp::FaaF64 { idx: entry, delta },
+                tag: OpTag::ModelWrite { entry, first, last },
+                result: OpResult::F64(0.0),
+            },
+        }
+    }
+
+    #[test]
+    fn folds_single_iteration() {
+        let mut m = HittingMonitor::new(1, vec![1.0, 1.0], vec![0.0, 0.0], 0.5);
+        m.observe(&write_event(0, 0, -1.0, true, false));
+        assert_eq!(m.evaluated(), 0, "not folded until last write");
+        m.observe(&write_event(0, 1, -1.0, false, true));
+        assert_eq!(m.evaluated(), 1);
+        assert_eq!(m.accumulator(), &[0.0, 0.0]);
+        assert_eq!(m.hit_iteration(), Some(1));
+        assert_eq!(m.min_dist_sq(), 0.0);
+    }
+
+    #[test]
+    fn folds_out_of_order_completions_in_index_order() {
+        // Thread 0 first-writes before thread 1 (indices 0 and 1), but
+        // thread 1 completes first; the fold must wait for index 0.
+        let mut m = HittingMonitor::new(2, vec![0.0], vec![10.0], 1.0);
+        m.observe(&write_event(0, 0, 2.0, true, false)); // index 0, incomplete
+        m.observe(&write_event(1, 0, 3.0, true, true)); // index 1, complete
+        assert_eq!(m.evaluated(), 0);
+        m.observe(&write_event(0, 0, 1.0, false, true)); // index 0 completes
+        assert_eq!(m.evaluated(), 2);
+        // x_1 = 0 + (2+1) = 3; x_2 = 3 + 3 = 6.
+        assert_eq!(m.accumulator(), &[6.0]);
+        assert_eq!(m.current_dist_sq(), 16.0);
+        assert_eq!(m.hit_iteration(), None);
+    }
+
+    #[test]
+    fn hit_records_first_entry_only() {
+        let mut m = HittingMonitor::new(1, vec![2.0], vec![0.0], 1.0);
+        m.observe(&write_event(0, 0, -1.5, true, true)); // x=0.5 ∈ S, t=1
+        m.observe(&write_event(0, 0, -5.0, true, true)); // x=-4.5 ∉ S, t=2
+        assert_eq!(m.hit_iteration(), Some(1), "first hit is sticky");
+        assert_eq!(m.evaluated(), 2);
+    }
+
+    #[test]
+    fn crash_finalises_in_flight_iteration_with_partial_deltas() {
+        // Thread 0 first-writes (index 0) then crashes; thread 1's complete
+        // iteration (index 1) must still fold — using thread 0's partial
+        // contribution.
+        let mut m = HittingMonitor::new(2, vec![0.0, 0.0], vec![0.0, 0.0], 1e9);
+        m.observe(&write_event(0, 0, 5.0, true, false)); // index 0, partial
+        m.observe(&write_event(1, 0, 3.0, true, true)); // index 1, complete
+        assert_eq!(m.evaluated(), 0, "blocked on index 0");
+        m.observe(&EventRecord {
+            step: 9,
+            thread: 0,
+            kind: EventKind::Crashed,
+        });
+        assert_eq!(m.evaluated(), 2, "crash unblocks the fold");
+        assert_eq!(m.accumulator(), &[8.0, 0.0]);
+    }
+
+    #[test]
+    fn crash_of_idle_thread_is_a_no_op() {
+        let mut m = HittingMonitor::new(1, vec![0.0], vec![0.0], 1.0);
+        m.observe(&EventRecord {
+            step: 0,
+            thread: 0,
+            kind: EventKind::Crashed,
+        });
+        assert_eq!(m.evaluated(), 0);
+    }
+
+    #[test]
+    fn ignores_non_write_events() {
+        let mut m = HittingMonitor::new(1, vec![0.0], vec![0.0], 1.0);
+        m.observe(&EventRecord {
+            step: 0,
+            thread: 0,
+            kind: EventKind::Halted,
+        });
+        m.observe(&EventRecord {
+            step: 1,
+            thread: 0,
+            kind: EventKind::Local {
+                tag: OpTag::SampleCoin,
+            },
+        });
+        assert_eq!(m.evaluated(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_mismatched_dimensions() {
+        let _ = HittingMonitor::new(1, vec![0.0], vec![0.0, 1.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn rejects_bad_eps() {
+        let _ = HittingMonitor::new(1, vec![0.0], vec![0.0], 0.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! One-call harness for simulated lock-free SGD experiments.
+//!
+//! Wires together an oracle, `n` [`EpochSgdProcess`]es, a scheduler, the
+//! engine and a [`HittingMonitor`], and returns everything an experiment
+//! needs: hitting time, distances, contention statistics and the raw
+//! execution report.
+
+use crate::lockfree::{EpochSgdConfig, EpochSgdProcess};
+use crate::monitor::HittingMonitor;
+use asgd_oracle::GradientOracle;
+use asgd_shmem::engine::{Engine, ExecutionReport};
+use asgd_shmem::memory::Memory;
+use asgd_shmem::sched::Scheduler;
+use asgd_shmem::trace::TraceLevel;
+
+/// Builder for a simulated lock-free SGD run (Algorithm 1 on `n` threads).
+///
+/// See the crate-level example. The oracle type must be `Clone` because each
+/// simulated thread owns a handle (use `Arc<…>` for heavyweight oracles).
+pub struct LockFreeSgd<O> {
+    oracle: O,
+    threads: usize,
+    iterations: u64,
+    alpha: f64,
+    x0: Option<Vec<f64>>,
+    eps: Option<f64>,
+    scheduler: Option<Box<dyn Scheduler>>,
+    seed: u64,
+    max_steps: Option<u64>,
+    trace: TraceLevel,
+}
+
+/// Outcome of a simulated lock-free SGD run.
+#[derive(Debug)]
+pub struct LockFreeRun {
+    /// First (1-based) ordered iteration `t` whose accumulator state `x_t`
+    /// entered the success region (`None` if never, or if no region was set).
+    pub hit_iteration: Option<u64>,
+    /// Minimum `‖x_t − x*‖²` over the ordered prefix (only meaningful when a
+    /// success region was configured; otherwise the final distance).
+    pub min_dist_sq: f64,
+    /// Final shared model.
+    pub final_model: Vec<f64>,
+    /// `‖X_final − x*‖²`.
+    pub final_dist_sq: f64,
+    /// The underlying execution report (contention, trace, fingerprint…).
+    pub execution: ExecutionReport,
+}
+
+impl<O: GradientOracle + Clone + 'static> LockFreeSgd<O> {
+    /// Starts a builder with defaults: 2 threads, `T = 1000`, `α = 0.1`,
+    /// `x₀ = 0`, no success region, seed 0, no step cap, no trace.
+    #[must_use]
+    pub fn builder(oracle: O) -> Self {
+        Self {
+            oracle,
+            threads: 2,
+            iterations: 1000,
+            alpha: 0.1,
+            x0: None,
+            eps: None,
+            scheduler: None,
+            seed: 0,
+            max_steps: None,
+            trace: TraceLevel::Off,
+        }
+    }
+
+    /// Number of simulated threads `n ≥ 1`.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one thread required");
+        self.threads = n;
+        self
+    }
+
+    /// Total iteration budget `T` (shared claim counter).
+    #[must_use]
+    pub fn iterations(mut self, t: u64) -> Self {
+        self.iterations = t;
+        self
+    }
+
+    /// Learning rate `α > 0`.
+    #[must_use]
+    pub fn learning_rate(mut self, alpha: f64) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Initial model `x₀` (default: origin).
+    #[must_use]
+    pub fn initial_point(mut self, x0: Vec<f64>) -> Self {
+        self.x0 = Some(x0);
+        self
+    }
+
+    /// Enables hitting-time monitoring with threshold `ε` on `‖x_t − x*‖²`.
+    #[must_use]
+    pub fn success_radius_sq(mut self, eps: f64) -> Self {
+        self.eps = Some(eps);
+        self
+    }
+
+    /// The scheduler / adversary (required).
+    #[must_use]
+    pub fn scheduler(mut self, s: impl Scheduler + 'static) -> Self {
+        self.scheduler = Some(Box::new(s));
+        self
+    }
+
+    /// Master seed for per-thread coin streams.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of simulation steps (needed with adversaries that can
+    /// starve threads forever).
+    #[must_use]
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Requests event tracing (e.g. for Figure-1 grids).
+    #[must_use]
+    pub fn trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
+        self
+    }
+
+    /// Runs the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scheduler was provided or the initial point has the wrong
+    /// dimension.
+    #[must_use]
+    pub fn run(self) -> LockFreeRun {
+        let d = self.oracle.dimension();
+        let x0 = self.x0.unwrap_or_else(|| vec![0.0; d]);
+        assert_eq!(x0.len(), d, "initial point dimension mismatch");
+        let scheduler = self.scheduler.expect("a scheduler is required");
+
+        let mut builder = Engine::builder()
+            .memory(Memory::with_model(&x0, 1))
+            .scheduler(scheduler)
+            .seed(self.seed)
+            .trace(self.trace);
+        if let Some(steps) = self.max_steps {
+            builder = builder.max_steps(steps);
+        }
+        for _ in 0..self.threads {
+            builder = builder.process(EpochSgdProcess::new(
+                self.oracle.clone(),
+                EpochSgdConfig::simple(self.alpha, self.iterations),
+            ));
+        }
+
+        let monitor = self.eps.map(|eps| {
+            HittingMonitor::new(
+                self.threads,
+                x0.clone(),
+                self.oracle.minimizer().to_vec(),
+                eps,
+            )
+            .shared()
+        });
+        if let Some(m) = &monitor {
+            let handle = std::rc::Rc::clone(m);
+            builder = builder.observer(move |ev| handle.borrow_mut().observe(ev));
+        }
+
+        let execution = builder.build().run();
+        let final_model = execution.memory.floats()[..d].to_vec();
+        let final_dist_sq = asgd_math::vec::l2_dist_sq(&final_model, self.oracle.minimizer());
+        let (hit_iteration, min_dist_sq) = match monitor {
+            Some(m) => {
+                let m = m.borrow();
+                (m.hit_iteration(), m.min_dist_sq())
+            }
+            None => (None, final_dist_sq),
+        };
+        LockFreeRun {
+            hit_iteration,
+            min_dist_sq,
+            final_model,
+            final_dist_sq,
+            execution,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_oracle::{NoisyQuadratic, SparseQuadratic};
+    use asgd_shmem::sched::{
+        BoundedDelayAdversary, RandomScheduler, SerialScheduler, StepRoundRobin,
+    };
+    use asgd_shmem::StopReason;
+    use std::sync::Arc;
+
+    #[test]
+    fn converges_under_benign_schedulers() {
+        let oracle = Arc::new(NoisyQuadratic::new(3, 0.1).unwrap());
+        for (name, sched) in [
+            ("serial", Box::new(SerialScheduler::new()) as Box<dyn Scheduler>),
+            ("rr", Box::new(StepRoundRobin::new())),
+            ("random", Box::new(RandomScheduler::new(1))),
+        ] {
+            let run = LockFreeSgd::builder(Arc::clone(&oracle))
+                .threads(3)
+                .iterations(2000)
+                .learning_rate(0.05)
+                .initial_point(vec![2.0, -2.0, 1.0])
+                .success_radius_sq(0.05)
+                .scheduler(sched)
+                .seed(13)
+                .run();
+            assert!(
+                run.hit_iteration.is_some(),
+                "{name}: min dist² {}",
+                run.min_dist_sq
+            );
+            assert_eq!(run.execution.stop, StopReason::AllDone);
+        }
+    }
+
+    #[test]
+    fn converges_under_bounded_delay_adversary() {
+        let oracle = Arc::new(NoisyQuadratic::new(2, 0.1).unwrap());
+        let run = LockFreeSgd::builder(oracle)
+            .threads(4)
+            .iterations(4000)
+            .learning_rate(0.02) // small α to withstand the adversary
+            .initial_point(vec![1.5, -1.5])
+            .success_radius_sq(0.05)
+            .scheduler(BoundedDelayAdversary::new(8))
+            .seed(19)
+            .run();
+        assert!(
+            run.hit_iteration.is_some(),
+            "adversarial run failed: min dist² {}",
+            run.min_dist_sq
+        );
+        assert!(
+            run.execution.contention.tau_max() >= 8,
+            "adversary should manufacture contention ≥ its budget, got {}",
+            run.execution.contention.tau_max()
+        );
+    }
+
+    #[test]
+    fn sparse_gradients_work_in_lockfree_mode() {
+        // The single-nonzero-entry regime of [10]: still converges here.
+        let oracle = Arc::new(SparseQuadratic::uniform(4, 1.0, 0.05).unwrap());
+        let run = LockFreeSgd::builder(oracle)
+            .threads(2)
+            .iterations(6000)
+            .learning_rate(0.05)
+            .initial_point(vec![1.0, -1.0, 0.5, -0.5])
+            .success_radius_sq(0.05)
+            .scheduler(RandomScheduler::new(4))
+            .seed(21)
+            .run();
+        assert!(run.hit_iteration.is_some(), "min dist² {}", run.min_dist_sq);
+    }
+
+    #[test]
+    fn fingerprints_reproduce_with_same_seed() {
+        let oracle = Arc::new(NoisyQuadratic::new(2, 0.3).unwrap());
+        let fp = |seed| {
+            LockFreeSgd::builder(Arc::clone(&oracle))
+                .threads(2)
+                .iterations(100)
+                .learning_rate(0.1)
+                .scheduler(RandomScheduler::new(5))
+                .seed(seed)
+                .run()
+                .execution
+                .fingerprint
+        };
+        assert_eq!(fp(1), fp(1));
+        assert_ne!(fp(1), fp(2));
+    }
+
+    #[test]
+    fn max_steps_caps_adversarial_runs() {
+        let oracle = Arc::new(NoisyQuadratic::new(2, 0.1).unwrap());
+        let run = LockFreeSgd::builder(oracle)
+            .threads(2)
+            .iterations(u64::MAX / 2) // effectively unbounded work
+            .learning_rate(0.1)
+            .scheduler(StepRoundRobin::new())
+            .max_steps(500)
+            .seed(2)
+            .run();
+        assert_eq!(run.execution.stop, StopReason::StepBudgetExhausted);
+        assert_eq!(run.execution.steps, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduler is required")]
+    fn missing_scheduler_panics() {
+        let oracle = Arc::new(NoisyQuadratic::new(1, 0.0).unwrap());
+        let _ = LockFreeSgd::builder(oracle).run();
+    }
+}

@@ -1,0 +1,267 @@
+//! Sequential SGD — Eq. (1) of the paper, the baseline of every comparison.
+
+use asgd_oracle::GradientOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner for the classic iteration `x_{t+1} = x_t − α·g̃(x_t)`.
+///
+/// # Example
+///
+/// ```
+/// use asgd_core::sequential::SequentialSgd;
+/// use asgd_oracle::NoisyQuadratic;
+///
+/// let oracle = NoisyQuadratic::new(2, 0.0).expect("valid");
+/// let report = SequentialSgd::new(&oracle)
+///     .learning_rate(0.5)
+///     .iterations(50)
+///     .initial_point(vec![1.0, 1.0])
+///     .success_radius_sq(1e-4)
+///     .seed(1)
+///     .run();
+/// assert!(report.hit_iteration.is_some());
+/// ```
+#[derive(Debug)]
+pub struct SequentialSgd<'a, O> {
+    oracle: &'a O,
+    alpha: f64,
+    iterations: u64,
+    x0: Option<Vec<f64>>,
+    eps: Option<f64>,
+    seed: u64,
+    record_distances: bool,
+    stop_on_success: bool,
+}
+
+/// Outcome of a sequential run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequentialReport {
+    /// Final iterate.
+    pub final_x: Vec<f64>,
+    /// First (1-based) iteration index `t` with `‖x_t − x*‖² ≤ ε`, if the
+    /// success region was ever entered and a radius was configured.
+    pub hit_iteration: Option<u64>,
+    /// Minimum squared distance to the optimum seen along the trajectory
+    /// (including the initial point).
+    pub min_dist_sq: f64,
+    /// Squared distance of the final iterate.
+    pub final_dist_sq: f64,
+    /// Number of iterations executed.
+    pub iterations: u64,
+    /// Per-iteration squared distances (index 0 = after first step), present
+    /// only when distance recording was enabled.
+    pub distances_sq: Option<Vec<f64>>,
+}
+
+impl<'a, O: GradientOracle> SequentialSgd<'a, O> {
+    /// Creates a runner with defaults: `α = 0.1`, `T = 1000`, `x₀ = 0`,
+    /// no success region, seed 0.
+    #[must_use]
+    pub fn new(oracle: &'a O) -> Self {
+        Self {
+            oracle,
+            alpha: 0.1,
+            iterations: 1000,
+            x0: None,
+            eps: None,
+            seed: 0,
+            record_distances: false,
+            stop_on_success: false,
+        }
+    }
+
+    /// Sets the constant learning rate `α > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not finite and positive.
+    #[must_use]
+    pub fn learning_rate(mut self, alpha: f64) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the iteration budget `T`.
+    #[must_use]
+    pub fn iterations(mut self, t: u64) -> Self {
+        self.iterations = t;
+        self
+    }
+
+    /// Sets the initial point (default: the origin).
+    #[must_use]
+    pub fn initial_point(mut self, x0: Vec<f64>) -> Self {
+        self.x0 = Some(x0);
+        self
+    }
+
+    /// Enables success-region tracking with threshold `ε` on `‖x − x*‖²`.
+    #[must_use]
+    pub fn success_radius_sq(mut self, eps: f64) -> Self {
+        self.eps = Some(eps);
+        self
+    }
+
+    /// Sets the RNG seed for the gradient coins.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Records per-iteration distances in the report.
+    #[must_use]
+    pub fn record_distances(mut self, on: bool) -> Self {
+        self.record_distances = on;
+        self
+    }
+
+    /// Stops as soon as the success region is entered (default: run all `T`
+    /// iterations, matching the paper's fixed-horizon failure event `F_T`).
+    #[must_use]
+    pub fn stop_on_success(mut self, on: bool) -> Self {
+        self.stop_on_success = on;
+        self
+    }
+
+    /// Runs SGD and reports the trajectory statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured initial point has the wrong dimension.
+    #[must_use]
+    pub fn run(self) -> SequentialReport {
+        let d = self.oracle.dimension();
+        let mut x = self.x0.unwrap_or_else(|| vec![0.0; d]);
+        assert_eq!(x.len(), d, "initial point dimension mismatch");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut g = vec![0.0; d];
+        let mut hit = None;
+        let mut min_dist_sq = self.oracle.dist_sq_to_opt(&x);
+        let mut distances = self.record_distances.then(Vec::new);
+        let mut executed = 0;
+        for t in 1..=self.iterations {
+            self.oracle.sample_gradient(&x, &mut rng, &mut g);
+            asgd_math::vec::axpy(&mut x, -self.alpha, &g);
+            executed = t;
+            let dist_sq = self.oracle.dist_sq_to_opt(&x);
+            min_dist_sq = min_dist_sq.min(dist_sq);
+            if let Some(ds) = &mut distances {
+                ds.push(dist_sq);
+            }
+            if let Some(eps) = self.eps {
+                if hit.is_none() && dist_sq <= eps {
+                    hit = Some(t);
+                    if self.stop_on_success {
+                        break;
+                    }
+                }
+            }
+        }
+        SequentialReport {
+            final_dist_sq: self.oracle.dist_sq_to_opt(&x),
+            final_x: x,
+            hit_iteration: hit,
+            min_dist_sq,
+            iterations: executed,
+            distances_sq: distances,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_oracle::{LinearRegression, NoisyQuadratic};
+
+    #[test]
+    fn noiseless_quadratic_contracts_geometrically() {
+        // x_{t+1} = (1−α)x_t exactly.
+        let o = NoisyQuadratic::new(1, 0.0).unwrap();
+        let report = SequentialSgd::new(&o)
+            .learning_rate(0.5)
+            .iterations(10)
+            .initial_point(vec![1.0])
+            .record_distances(true)
+            .run();
+        assert!((report.final_x[0] - 0.5_f64.powi(10)).abs() < 1e-12);
+        let ds = report.distances_sq.unwrap();
+        assert_eq!(ds.len(), 10);
+        assert!((ds[0] - 0.25).abs() < 1e-12);
+        assert!(ds.windows(2).all(|w| w[1] < w[0]), "monotone contraction");
+    }
+
+    #[test]
+    fn hit_iteration_matches_analytic_crossing() {
+        // |x_t| = 0.5^t ≤ √ε=0.1 ⇔ t ≥ log2(10) ≈ 3.32 ⇒ t = 4.
+        let o = NoisyQuadratic::new(1, 0.0).unwrap();
+        let report = SequentialSgd::new(&o)
+            .learning_rate(0.5)
+            .iterations(10)
+            .initial_point(vec![1.0])
+            .success_radius_sq(0.01)
+            .run();
+        assert_eq!(report.hit_iteration, Some(4));
+        assert_eq!(report.iterations, 10, "runs to horizon by default");
+    }
+
+    #[test]
+    fn stop_on_success_short_circuits() {
+        let o = NoisyQuadratic::new(1, 0.0).unwrap();
+        let report = SequentialSgd::new(&o)
+            .learning_rate(0.5)
+            .iterations(10)
+            .initial_point(vec![1.0])
+            .success_radius_sq(0.01)
+            .stop_on_success(true)
+            .run();
+        assert_eq!(report.iterations, 4);
+    }
+
+    #[test]
+    fn converges_on_linear_regression() {
+        let w = LinearRegression::synthetic(100, 4, 0.05, 11).unwrap();
+        let report = SequentialSgd::new(&w)
+            .learning_rate(0.02)
+            .iterations(20_000)
+            .seed(3)
+            .run();
+        assert!(
+            report.final_dist_sq < 0.05,
+            "final dist² {}",
+            report.final_dist_sq
+        );
+        assert!(report.min_dist_sq <= report.final_dist_sq);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let o = NoisyQuadratic::new(3, 1.0).unwrap();
+        let run = |seed| {
+            SequentialSgd::new(&o)
+                .learning_rate(0.1)
+                .iterations(100)
+                .seed(seed)
+                .initial_point(vec![1.0, 2.0, 3.0])
+                .run()
+        };
+        assert_eq!(run(9).final_x, run(9).final_x);
+        assert_ne!(run(9).final_x, run(10).final_x);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_bad_alpha() {
+        let o = NoisyQuadratic::new(1, 0.0).unwrap();
+        let _ = SequentialSgd::new(&o).learning_rate(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_bad_x0() {
+        let o = NoisyQuadratic::new(2, 0.0).unwrap();
+        let _ = SequentialSgd::new(&o).initial_point(vec![1.0]).run();
+    }
+}

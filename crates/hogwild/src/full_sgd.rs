@@ -1,0 +1,329 @@
+//! Native Algorithm 2 — `FullSGD` on OS threads.
+//!
+//! Same structure as the simulated version in `asgd-core`: per-epoch model
+//! arrays (the paper's own alternative to DCAS), an init race per epoch won
+//! by CAS with losers spinning until the winner marks the epoch ready, a
+//! snapshot of the final epoch's start state, and a shared `Acc` region the
+//! final epoch's threads publish their locally accumulated updates into.
+//! The result is `r = snapshot + Σᵢ Acc[i]` (Algorithm 2, line 9).
+
+use crate::model::SharedModel;
+use asgd_math::rng::SeedSequence;
+use asgd_oracle::GradientOracle;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Configuration of a native Algorithm-2 run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NativeFullSgdConfig {
+    /// Initial learning rate `α₀ > 0`.
+    pub alpha0: f64,
+    /// Iterations per epoch `T`.
+    pub epoch_iterations: u64,
+    /// Halving epochs before the final accumulating epoch.
+    pub halving_epochs: usize,
+    /// Worker thread count `n ≥ 1`.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Outcome of a native Algorithm-2 run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeFullSgdReport {
+    /// The collected result `r`.
+    pub r: Vec<f64>,
+    /// Final model of the last epoch (≈ `r` up to f64 summation order).
+    pub final_model: Vec<f64>,
+    /// `‖r − x*‖` (the Corollary 7.1 quantity).
+    pub dist_to_opt: f64,
+    /// Wall-clock duration of the parallel section.
+    pub elapsed: Duration,
+    /// Total epochs executed.
+    pub epochs: usize,
+}
+
+/// The native Algorithm-2 executor.
+#[derive(Debug)]
+pub struct NativeFullSgd<O> {
+    oracle: O,
+    cfg: NativeFullSgdConfig,
+}
+
+const GUARD_UNINIT: u64 = 0;
+const GUARD_BUSY: u64 = 1;
+const GUARD_READY: u64 = 2;
+
+impl<O: GradientOracle> NativeFullSgd<O> {
+    /// Creates the executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `alpha0` is not finite and positive.
+    #[must_use]
+    pub fn new(oracle: O, cfg: NativeFullSgdConfig) -> Self {
+        assert!(cfg.threads >= 1, "at least one thread required");
+        assert!(
+            cfg.alpha0.is_finite() && cfg.alpha0 > 0.0,
+            "alpha0 must be positive"
+        );
+        Self { oracle, cfg }
+    }
+
+    /// Runs Algorithm 2 to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0`'s dimension differs from the oracle's.
+    #[must_use]
+    pub fn run(&self, x0: &[f64]) -> NativeFullSgdReport {
+        let d = self.oracle.dimension();
+        assert_eq!(x0.len(), d, "x0 dimension mismatch");
+        let total_epochs = self.cfg.halving_epochs + 1;
+
+        // Per-epoch models; epoch 0 seeded with x₀, later epochs zeroed
+        // until their init winner copies the predecessor in.
+        let models: Vec<SharedModel> = (0..total_epochs)
+            .map(|e| {
+                if e == 0 {
+                    SharedModel::new(x0)
+                } else {
+                    SharedModel::zeros(d)
+                }
+            })
+            .collect();
+        let snapshot = SharedModel::zeros(d);
+        let acc = SharedModel::zeros(d);
+        let counters: Vec<AtomicU64> = (0..total_epochs).map(|_| AtomicU64::new(0)).collect();
+        let guards: Vec<AtomicU64> = (0..total_epochs)
+            .map(|e| {
+                AtomicU64::new(if e == 0 { GUARD_READY } else { GUARD_UNINIT })
+            })
+            .collect();
+        // Epoch 0 of a single-epoch run starts from x₀; pre-fill the
+        // snapshot accordingly (no init race writes it in that case).
+        if total_epochs == 1 {
+            for (j, &v) in x0.iter().enumerate() {
+                snapshot.write(j, v);
+            }
+        }
+        let seeds = SeedSequence::new(self.cfg.seed);
+
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for tid in 0..self.cfg.threads {
+                let models = &models;
+                let snapshot = &snapshot;
+                let acc = &acc;
+                let counters = &counters;
+                let guards = &guards;
+                let oracle = &self.oracle;
+                let cfg = self.cfg;
+                let mut rng = seeds.child_rng(tid as u64);
+                scope.spawn(move || {
+                    let mut view = vec![0.0; d];
+                    let mut grad = vec![0.0; d];
+                    let mut local_acc = vec![0.0; d];
+                    for epoch in 0..total_epochs {
+                        let is_final = epoch + 1 == total_epochs;
+                        // Epoch initialisation protocol.
+                        if epoch > 0 {
+                            match guards[epoch].compare_exchange(
+                                GUARD_UNINIT,
+                                GUARD_BUSY,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            ) {
+                                Ok(_) => {
+                                    // Winner: copy predecessor (late epoch-
+                                    // (e−1) writes after this copy are
+                                    // dropped — the guard semantics).
+                                    for j in 0..d {
+                                        let v = models[epoch - 1].read(j);
+                                        models[epoch].write(j, v);
+                                        if is_final {
+                                            snapshot.write(j, v);
+                                        }
+                                    }
+                                    guards[epoch].store(GUARD_READY, Ordering::SeqCst);
+                                }
+                                Err(_) => {
+                                    while guards[epoch].load(Ordering::SeqCst) != GUARD_READY {
+                                        std::hint::spin_loop();
+                                    }
+                                }
+                            }
+                        }
+                        // EpochSGD on this epoch's model.
+                        let alpha = cfg.alpha0 / (1u64 << epoch.min(63)) as f64;
+                        let model = &models[epoch];
+                        if is_final {
+                            local_acc.fill(0.0);
+                        }
+                        loop {
+                            if counters[epoch].fetch_add(1, Ordering::SeqCst)
+                                >= cfg.epoch_iterations
+                            {
+                                break;
+                            }
+                            model.read_view(&mut view);
+                            oracle.sample_gradient(&view, &mut rng, &mut grad);
+                            for (j, &gj) in grad.iter().enumerate() {
+                                if gj != 0.0 {
+                                    let delta = -alpha * gj;
+                                    model.fetch_add(j, delta);
+                                    if is_final {
+                                        local_acc[j] += delta;
+                                    }
+                                }
+                            }
+                        }
+                        if is_final {
+                            for (j, &a) in local_acc.iter().enumerate() {
+                                if a != 0.0 {
+                                    acc.fetch_add(j, a);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+
+        let snap = snapshot.snapshot();
+        let acc_final = acc.snapshot();
+        let r: Vec<f64> = snap.iter().zip(&acc_final).map(|(s, a)| s + a).collect();
+        let final_model = models[total_epochs - 1].snapshot();
+        let dist_to_opt = asgd_math::vec::l2_dist(&r, self.oracle.minimizer());
+        NativeFullSgdReport {
+            r,
+            final_model,
+            dist_to_opt,
+            elapsed,
+            epochs: total_epochs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_oracle::NoisyQuadratic;
+    use std::sync::Arc;
+
+    #[test]
+    fn r_reconstructs_final_model() {
+        let oracle = Arc::new(NoisyQuadratic::new(3, 0.3).unwrap());
+        let report = NativeFullSgd::new(
+            Arc::clone(&oracle),
+            NativeFullSgdConfig {
+                alpha0: 0.2,
+                epoch_iterations: 500,
+                halving_epochs: 2,
+                threads: 4,
+                seed: 3,
+            },
+        )
+        .run(&[1.0, -1.0, 0.5]);
+        assert_eq!(report.epochs, 3);
+        for j in 0..3 {
+            assert!(
+                (report.r[j] - report.final_model[j]).abs() < 1e-9,
+                "entry {j}: r={} model={}",
+                report.r[j],
+                report.final_model[j]
+            );
+        }
+    }
+
+    #[test]
+    fn halving_beats_fixed_alpha_noise_floor() {
+        let oracle = Arc::new(NoisyQuadratic::new(1, 1.0).unwrap());
+        let single = NativeFullSgd::new(
+            Arc::clone(&oracle),
+            NativeFullSgdConfig {
+                alpha0: 0.5,
+                epoch_iterations: 1_000,
+                halving_epochs: 0,
+                threads: 2,
+                seed: 5,
+            },
+        )
+        .run(&[4.0]);
+        let halved = NativeFullSgd::new(
+            Arc::clone(&oracle),
+            NativeFullSgdConfig {
+                alpha0: 0.5,
+                epoch_iterations: 1_000,
+                halving_epochs: 6,
+                threads: 2,
+                seed: 5,
+            },
+        )
+        .run(&[4.0]);
+        assert!(
+            halved.dist_to_opt < single.dist_to_opt,
+            "halving {} vs fixed {}",
+            halved.dist_to_opt,
+            single.dist_to_opt
+        );
+        assert!(halved.dist_to_opt < 0.25, "dist {}", halved.dist_to_opt);
+    }
+
+    #[test]
+    fn single_epoch_uses_x0_snapshot() {
+        let oracle = Arc::new(NoisyQuadratic::new(2, 0.0).unwrap());
+        let report = NativeFullSgd::new(
+            oracle,
+            NativeFullSgdConfig {
+                alpha0: 0.1,
+                epoch_iterations: 200,
+                halving_epochs: 0,
+                threads: 2,
+                seed: 1,
+            },
+        )
+        .run(&[1.0, 1.0]);
+        for j in 0..2 {
+            assert!(
+                (report.r[j] - report.final_model[j]).abs() < 1e-9,
+                "entry {j} mismatch in single-epoch mode"
+            );
+        }
+    }
+
+    #[test]
+    fn converges_with_many_threads() {
+        let oracle = Arc::new(NoisyQuadratic::new(4, 0.5).unwrap());
+        let report = NativeFullSgd::new(
+            oracle,
+            NativeFullSgdConfig {
+                alpha0: 0.25,
+                epoch_iterations: 2_000,
+                halving_epochs: 5,
+                threads: 8,
+                seed: 11,
+            },
+        )
+        .run(&[2.0, -2.0, 2.0, -2.0]);
+        assert!(report.dist_to_opt < 0.5, "dist {}", report.dist_to_opt);
+        assert!(report.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha0 must be positive")]
+    fn rejects_bad_alpha() {
+        let oracle = Arc::new(NoisyQuadratic::new(1, 0.0).unwrap());
+        let _ = NativeFullSgd::new(
+            oracle,
+            NativeFullSgdConfig {
+                alpha0: -1.0,
+                epoch_iterations: 1,
+                halving_epochs: 0,
+                threads: 1,
+                seed: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! The native lock-free executor — Algorithm 1 on OS threads.
+
+use crate::model::SharedModel;
+use asgd_math::rng::SeedSequence;
+use asgd_oracle::GradientOracle;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Configuration of a native Hogwild run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HogwildConfig {
+    /// Worker thread count `n ≥ 1`.
+    pub threads: usize,
+    /// Total iteration budget `T` (shared claim counter).
+    pub iterations: u64,
+    /// Constant learning rate `α > 0`.
+    pub alpha: f64,
+    /// Master seed; thread `i` derives coin stream `i`.
+    pub seed: u64,
+    /// Optional `ε`: threads record the first claim index at which a freshly
+    /// read view satisfied `‖v − x*‖² ≤ ε` (a native proxy for the hitting
+    /// time; exact accumulator-order tracking is a simulator-only facility).
+    pub success_radius_sq: Option<f64>,
+}
+
+/// Outcome of a native Hogwild run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HogwildReport {
+    /// Final shared model (read after all threads joined — consistent).
+    pub final_model: Vec<f64>,
+    /// `‖X_final − x*‖²`.
+    pub final_dist_sq: f64,
+    /// Iterations actually executed (= `T`).
+    pub iterations: u64,
+    /// Per-thread completed iteration counts (sums to `iterations`).
+    pub per_thread_iterations: Vec<u64>,
+    /// Smallest claim index whose view was inside the success region, if
+    /// tracking was enabled and any view qualified.
+    pub first_success_claim: Option<u64>,
+    /// Wall-clock duration of the parallel section.
+    pub elapsed: Duration,
+}
+
+impl HogwildReport {
+    /// Iteration throughput in iterations per second.
+    #[must_use]
+    pub fn iterations_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            f64::INFINITY
+        } else {
+            self.iterations as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// The lock-free executor.
+///
+/// Shares one [`GradientOracle`] and one [`SharedModel`] across `n` threads;
+/// each thread loops: claim a slot via `fetch&add` on the iteration counter,
+/// read an (inconsistent) view, sample a gradient, apply nonzero entries via
+/// per-entry `fetch&add`. No locks, no barriers.
+#[derive(Debug)]
+pub struct Hogwild<O> {
+    oracle: O,
+    cfg: HogwildConfig,
+}
+
+impl<O: GradientOracle> Hogwild<O> {
+    /// Creates the executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `alpha` is not finite and positive.
+    #[must_use]
+    pub fn new(oracle: O, cfg: HogwildConfig) -> Self {
+        assert!(cfg.threads >= 1, "at least one thread required");
+        assert!(
+            cfg.alpha.is_finite() && cfg.alpha > 0.0,
+            "alpha must be positive"
+        );
+        Self { oracle, cfg }
+    }
+
+    /// Runs Algorithm 1 to completion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0`'s dimension differs from the oracle's.
+    #[must_use]
+    pub fn run(&self, x0: &[f64]) -> HogwildReport {
+        let d = self.oracle.dimension();
+        assert_eq!(x0.len(), d, "x0 dimension mismatch");
+        let model = SharedModel::new(x0);
+        let counter = AtomicU64::new(0);
+        let first_success = AtomicU64::new(u64::MAX);
+        let seeds = SeedSequence::new(self.cfg.seed);
+        let mut per_thread = vec![0u64; self.cfg.threads];
+
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.cfg.threads)
+                .map(|tid| {
+                    let model = &model;
+                    let counter = &counter;
+                    let first_success = &first_success;
+                    let oracle = &self.oracle;
+                    let cfg = self.cfg;
+                    let mut rng = seeds.child_rng(tid as u64);
+                    scope.spawn(move || {
+                        let mut view = vec![0.0; d];
+                        let mut grad = vec![0.0; d];
+                        let mut done = 0u64;
+                        loop {
+                            let claim = counter.fetch_add(1, Ordering::SeqCst);
+                            if claim >= cfg.iterations {
+                                return done;
+                            }
+                            model.read_view(&mut view);
+                            if let Some(eps) = cfg.success_radius_sq {
+                                let dist_sq =
+                                    asgd_math::vec::l2_dist_sq(&view, oracle.minimizer());
+                                if dist_sq <= eps {
+                                    first_success.fetch_min(claim, Ordering::SeqCst);
+                                }
+                            }
+                            oracle.sample_gradient(&view, &mut rng, &mut grad);
+                            for (j, &gj) in grad.iter().enumerate() {
+                                if gj != 0.0 {
+                                    model.fetch_add(j, -cfg.alpha * gj);
+                                }
+                            }
+                            done += 1;
+                        }
+                    })
+                })
+                .collect();
+            for (tid, h) in handles.into_iter().enumerate() {
+                per_thread[tid] = h.join().expect("worker thread panicked");
+            }
+        });
+        let elapsed = start.elapsed();
+
+        let final_model = model.snapshot();
+        let final_dist_sq = asgd_math::vec::l2_dist_sq(&final_model, self.oracle.minimizer());
+        let hit = first_success.load(Ordering::SeqCst);
+        HogwildReport {
+            final_model,
+            final_dist_sq,
+            iterations: self.cfg.iterations,
+            per_thread_iterations: per_thread,
+            first_success_claim: (hit != u64::MAX).then_some(hit),
+            elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_oracle::{LinearRegression, NoisyQuadratic, SparseQuadratic};
+    use std::sync::Arc;
+
+    #[test]
+    fn iterations_partition_exactly() {
+        let oracle = Arc::new(NoisyQuadratic::new(2, 0.5).unwrap());
+        let report = Hogwild::new(
+            oracle,
+            HogwildConfig {
+                threads: 4,
+                iterations: 1_000,
+                alpha: 0.01,
+                seed: 1,
+                success_radius_sq: None,
+            },
+        )
+        .run(&[1.0, 1.0]);
+        assert_eq!(report.per_thread_iterations.iter().sum::<u64>(), 1_000);
+        assert_eq!(report.iterations, 1_000);
+        assert!(report.iterations_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn converges_on_quadratic_multithreaded() {
+        let oracle = Arc::new(NoisyQuadratic::new(4, 0.1).unwrap());
+        let report = Hogwild::new(
+            oracle,
+            HogwildConfig {
+                threads: 4,
+                iterations: 20_000,
+                alpha: 0.02,
+                seed: 3,
+                success_radius_sq: Some(0.05),
+            },
+        )
+        .run(&[2.0, -2.0, 1.0, -1.0]);
+        assert!(
+            report.final_dist_sq < 0.05,
+            "final dist² {}",
+            report.final_dist_sq
+        );
+        assert!(report.first_success_claim.is_some());
+    }
+
+    #[test]
+    fn converges_on_linear_regression() {
+        let oracle = Arc::new(LinearRegression::synthetic(200, 6, 0.05, 5).unwrap());
+        let report = Hogwild::new(
+            Arc::clone(&oracle),
+            HogwildConfig {
+                threads: 3,
+                iterations: 40_000,
+                alpha: 0.01,
+                seed: 9,
+                success_radius_sq: None,
+            },
+        )
+        .run(&[0.0; 6]);
+        assert!(
+            report.final_dist_sq < 0.05,
+            "final dist² {}",
+            report.final_dist_sq
+        );
+    }
+
+    #[test]
+    fn sparse_gradients_native() {
+        let oracle = Arc::new(SparseQuadratic::uniform(8, 1.0, 0.0).unwrap());
+        let report = Hogwild::new(
+            oracle,
+            HogwildConfig {
+                threads: 4,
+                iterations: 30_000,
+                alpha: 0.02,
+                seed: 4,
+                success_radius_sq: None,
+            },
+        )
+        .run(&[1.0; 8]);
+        assert!(
+            report.final_dist_sq < 0.01,
+            "final dist² {}",
+            report.final_dist_sq
+        );
+    }
+
+    #[test]
+    fn single_thread_matches_iteration_count() {
+        let oracle = Arc::new(NoisyQuadratic::new(1, 0.0).unwrap());
+        let report = Hogwild::new(
+            oracle,
+            HogwildConfig {
+                threads: 1,
+                iterations: 64,
+                alpha: 0.1,
+                seed: 0,
+                success_radius_sq: None,
+            },
+        )
+        .run(&[1.0]);
+        assert_eq!(report.per_thread_iterations, vec![64]);
+        // Single-threaded noiseless run is exactly (1−α)^T.
+        assert!((report.final_model[0] - 0.9_f64.powi(64)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn rejects_zero_threads() {
+        let oracle = Arc::new(NoisyQuadratic::new(1, 0.0).unwrap());
+        let _ = Hogwild::new(
+            oracle,
+            HogwildConfig {
+                threads: 0,
+                iterations: 1,
+                alpha: 0.1,
+                seed: 0,
+                success_radius_sq: None,
+            },
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Native lock-free SGD on real threads — the practical counterpart of the
+//! simulated model.
+//!
+//! The paper's Algorithm 1 maps directly onto commodity hardware: the shared
+//! model is an array of atomically updatable `f64`s, the iteration counter is
+//! an `AtomicU64`, and gradient entries are applied with `fetch&add` (a CAS
+//! loop on `f64` bits, [`atomic::AtomicF64`]). This crate provides:
+//!
+//! * [`atomic`] — `AtomicF64` with lock-free `fetch_add`;
+//! * [`model`] — the shared parameter vector;
+//! * [`hogwild`] — the lock-free executor (Algorithm 1 on OS threads);
+//! * [`locked`] — the coarse-grained-locking baseline the paper's
+//!   introduction contrasts against (one mutex around the whole model,
+//!   serialising iterations);
+//! * [`full_sgd`] — native Algorithm 2 with per-epoch model arrays and the
+//!   final accumulating epoch;
+//! * [`guarded`] — an op-level epoch guard packing `(epoch, f32 value)`
+//!   into one atomic word, demonstrating the DCAS-style guard of §7 with a
+//!   single-word CAS (at the cost of `f32` precision).
+//!
+//! Native runs are *not* deterministic (real interleavings); tests assert
+//! statistical properties — update conservation, convergence, monotone
+//! scaling — never exact trajectories.
+//!
+//! # Example
+//!
+//! ```
+//! use asgd_hogwild::hogwild::{Hogwild, HogwildConfig};
+//! use asgd_oracle::NoisyQuadratic;
+//! use std::sync::Arc;
+//!
+//! let oracle = Arc::new(NoisyQuadratic::new(4, 0.05).expect("valid"));
+//! let report = Hogwild::new(oracle, HogwildConfig {
+//!     threads: 2,
+//!     iterations: 2_000,
+//!     alpha: 0.05,
+//!     seed: 7,
+//!     success_radius_sq: Some(0.05),
+//! })
+//! .run(&[1.0, -1.0, 0.5, -0.5]);
+//! assert!(report.final_dist_sq < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod full_sgd;
+pub mod guarded;
+pub mod hogwild;
+pub mod locked;
+pub mod model;
+
+pub use atomic::AtomicF64;
+pub use full_sgd::{NativeFullSgd, NativeFullSgdConfig, NativeFullSgdReport};
+pub use guarded::GuardedModel;
+pub use hogwild::{Hogwild, HogwildConfig, HogwildReport};
+pub use locked::{LockedSgd, LockedSgdReport};
+pub use model::SharedModel;

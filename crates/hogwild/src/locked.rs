@@ -1,0 +1,156 @@
+//! The coarse-grained-locking baseline.
+//!
+//! Early parallel SGD systems (Langford et al., cited as \[16\] in the
+//! paper's introduction) kept the process "consistent to a sequential
+//! execution" via coarse-grained locking — and paid for it in scalability.
+//! This executor holds one mutex across a whole iteration (view read +
+//! gradient application), serialising all model access. It exists as the
+//! comparison point for the `speedup` experiment and the
+//! `hogwild_scaling` bench.
+
+use asgd_math::rng::SeedSequence;
+use asgd_oracle::GradientOracle;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Outcome of a locked-baseline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockedSgdReport {
+    /// Final model.
+    pub final_model: Vec<f64>,
+    /// `‖X_final − x*‖²`.
+    pub final_dist_sq: f64,
+    /// Iterations executed (= configured `T`).
+    pub iterations: u64,
+    /// Wall-clock duration of the parallel section.
+    pub elapsed: Duration,
+}
+
+impl LockedSgdReport {
+    /// Iteration throughput in iterations per second.
+    #[must_use]
+    pub fn iterations_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            f64::INFINITY
+        } else {
+            self.iterations as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Coarse-grained-locking SGD: `n` threads contend on one model mutex.
+#[derive(Debug)]
+pub struct LockedSgd<O> {
+    oracle: O,
+    threads: usize,
+    iterations: u64,
+    alpha: f64,
+    seed: u64,
+}
+
+impl<O: GradientOracle> LockedSgd<O> {
+    /// Creates the executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `alpha` is not finite and positive.
+    #[must_use]
+    pub fn new(oracle: O, threads: usize, iterations: u64, alpha: f64, seed: u64) -> Self {
+        assert!(threads >= 1, "at least one thread required");
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        Self {
+            oracle,
+            threads,
+            iterations,
+            alpha,
+            seed,
+        }
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0`'s dimension differs from the oracle's.
+    #[must_use]
+    pub fn run(&self, x0: &[f64]) -> LockedSgdReport {
+        let d = self.oracle.dimension();
+        assert_eq!(x0.len(), d, "x0 dimension mismatch");
+        let model = Mutex::new(x0.to_vec());
+        let counter = AtomicU64::new(0);
+        let seeds = SeedSequence::new(self.seed);
+
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for tid in 0..self.threads {
+                let model = &model;
+                let counter = &counter;
+                let oracle = &self.oracle;
+                let (alpha, iterations) = (self.alpha, self.iterations);
+                let mut rng = seeds.child_rng(tid as u64);
+                scope.spawn(move || {
+                    let mut grad = vec![0.0; d];
+                    let mut view = vec![0.0; d];
+                    loop {
+                        if counter.fetch_add(1, Ordering::SeqCst) >= iterations {
+                            return;
+                        }
+                        // The whole iteration holds the lock: fully serial
+                        // semantics (and fully serial performance).
+                        let mut x = model.lock();
+                        view.copy_from_slice(&x);
+                        oracle.sample_gradient(&view, &mut rng, &mut grad);
+                        asgd_math::vec::axpy(&mut x, -alpha, &grad);
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+
+        let final_model = model.into_inner();
+        let final_dist_sq = asgd_math::vec::l2_dist_sq(&final_model, self.oracle.minimizer());
+        LockedSgdReport {
+            final_model,
+            final_dist_sq,
+            iterations: self.iterations,
+            elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_oracle::NoisyQuadratic;
+    use std::sync::Arc;
+
+    #[test]
+    fn converges_like_sequential() {
+        let oracle = Arc::new(NoisyQuadratic::new(2, 0.1).unwrap());
+        let report = LockedSgd::new(Arc::clone(&oracle), 4, 10_000, 0.02, 5).run(&[2.0, -2.0]);
+        assert!(
+            report.final_dist_sq < 0.05,
+            "final dist² {}",
+            report.final_dist_sq
+        );
+        assert_eq!(report.iterations, 10_000);
+        assert!(report.iterations_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn noiseless_run_is_exactly_sequential() {
+        // Locked iterations are serialisable: the noiseless quadratic
+        // contracts deterministically regardless of which thread runs when.
+        let oracle = Arc::new(NoisyQuadratic::new(1, 0.0).unwrap());
+        let report = LockedSgd::new(oracle, 4, 100, 0.1, 1).run(&[1.0]);
+        assert!((report.final_model[0] - 0.9_f64.powi(100)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_bad_alpha() {
+        let oracle = Arc::new(NoisyQuadratic::new(1, 0.0).unwrap());
+        let _ = LockedSgd::new(oracle, 1, 1, f64::NAN, 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! The shared parameter vector `X[d]` for native threads.
+
+use crate::atomic::AtomicF64;
+
+/// A `d`-dimensional model shared by all worker threads, with the exact
+/// access pattern of Algorithm 1: entry-wise atomic reads (building a
+/// possibly inconsistent view) and entry-wise `fetch&add` updates.
+#[derive(Debug)]
+pub struct SharedModel {
+    entries: Vec<AtomicF64>,
+}
+
+impl SharedModel {
+    /// Creates a model initialised to `x0`.
+    #[must_use]
+    pub fn new(x0: &[f64]) -> Self {
+        Self {
+            entries: x0.iter().map(|&v| AtomicF64::new(v)).collect(),
+        }
+    }
+
+    /// Creates a zero model of dimension `d` (Algorithm 1's
+    /// `X = (0, …, 0)`).
+    #[must_use]
+    pub fn zeros(d: usize) -> Self {
+        Self::new(&vec![0.0; d])
+    }
+
+    /// Model dimension `d`.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Atomically reads entry `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    #[must_use]
+    pub fn read(&self, j: usize) -> f64 {
+        self.entries[j].load()
+    }
+
+    /// Reads the whole model entry-by-entry into `view` — the inconsistent
+    /// scan of Algorithm 1 line 4 (other threads may update between entry
+    /// reads; that is the point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view.len() != d`.
+    pub fn read_view(&self, view: &mut [f64]) {
+        assert_eq!(view.len(), self.entries.len(), "view dimension mismatch");
+        for (v, e) in view.iter_mut().zip(&self.entries) {
+            *v = e.load();
+        }
+    }
+
+    /// Atomic `fetch&add` on entry `j`, returning the prior value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn fetch_add(&self, j: usize, delta: f64) -> f64 {
+        self.entries[j].fetch_add(delta)
+    }
+
+    /// Atomically overwrites entry `j` (used only by epoch initialisation,
+    /// never by SGD iterations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn write(&self, j: usize, value: f64) {
+        self.entries[j].store(value);
+    }
+
+    /// Snapshots the model into a fresh vector (entry-wise atomic reads; only
+    /// consistent when no writers are active).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<f64> {
+        self.entries.iter().map(AtomicF64::load).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn construction_and_reads() {
+        let m = SharedModel::new(&[1.0, -2.0]);
+        assert_eq!(m.dimension(), 2);
+        assert_eq!(m.read(0), 1.0);
+        assert_eq!(m.read(1), -2.0);
+        let z = SharedModel::zeros(3);
+        assert_eq!(z.snapshot(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn view_and_updates() {
+        let m = SharedModel::new(&[0.0, 0.0]);
+        assert_eq!(m.fetch_add(0, 2.5), 0.0);
+        m.write(1, 7.0);
+        let mut view = vec![0.0; 2];
+        m.read_view(&mut view);
+        assert_eq!(view, vec![2.5, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "view dimension mismatch")]
+    fn view_size_checked() {
+        let m = SharedModel::zeros(2);
+        let mut view = vec![0.0; 3];
+        m.read_view(&mut view);
+    }
+
+    #[test]
+    fn concurrent_updates_never_lost() {
+        let m = Arc::new(SharedModel::zeros(4));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for j in 0..4 {
+                        for _ in 0..5_000 {
+                            m.fetch_add(j, 1.0);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot(), vec![20_000.0; 4]);
+    }
+}

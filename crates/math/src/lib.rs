@@ -1,0 +1,39 @@
+//! Numeric building blocks shared across the `asyncsgd` workspace.
+//!
+//! This crate is deliberately small and dependency-light. It provides:
+//!
+//! * [`vec`](mod@vec) — dense `f64` vector kernels (the model `x ∈ R^d` of the paper is a
+//!   dense vector; every algorithm crate manipulates it through these kernels),
+//! * [`gaussian`] — Box–Muller standard-normal sampling (the §5 lower-bound
+//!   construction needs Gaussian gradient noise; `rand_distr` is outside the
+//!   sanctioned dependency set so we implement the transform directly),
+//! * [`stats`] — online mean/variance, Wilson confidence intervals for the
+//!   failure-probability estimates `P̂(F_T)`, and log–log slope fitting used to
+//!   verify the `√(τ_max n)` scaling law,
+//! * [`plog`](mod@plog) — the paper's piecewise logarithm (Lemma 6.6),
+//! * [`rng`] — deterministic seed fan-out so that every simulated thread gets an
+//!   independent, reproducible stream of coins.
+//!
+//! # Example
+//!
+//! ```
+//! use asgd_math::vec::{axpy, l2_norm};
+//!
+//! let mut x = vec![1.0, 2.0];
+//! let g = vec![0.5, 0.5];
+//! axpy(&mut x, -0.1, &g); // x ← x − 0.1·g, one SGD step
+//! assert!(l2_norm(&x) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gaussian;
+pub mod plog;
+pub mod rng;
+pub mod stats;
+pub mod vec;
+
+pub use gaussian::Normal;
+pub use plog::plog;
+pub use stats::{LogLogFit, OnlineStats, WilsonInterval};

@@ -1,0 +1,72 @@
+//! The paper's piecewise logarithm (Lemma 6.6).
+//!
+//! ```text
+//! plog(x) = log(e·x)  if x ≥ 1
+//!         = x          if x ≤ 1
+//! ```
+//!
+//! `plog` appears in every failure-probability bound of the paper (Theorems
+//! 3.1, 6.3 and Corollary 6.7) applied to `e·‖x₀ − x*‖²/ε`.
+
+/// The piecewise logarithm of Lemma 6.6.
+///
+/// Continuous and non-decreasing on all of `R`; `plog(1) = 1` from both
+/// branches (`log(e·1) = 1`).
+///
+/// # Example
+///
+/// ```
+/// use asgd_math::plog;
+///
+/// assert_eq!(plog(0.5), 0.5);
+/// assert_eq!(plog(1.0), 1.0);
+/// assert!((plog(std::f64::consts::E) - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn plog(x: f64) -> f64 {
+    if x >= 1.0 {
+        (std::f64::consts::E * x).ln()
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_branch_below_one() {
+        assert_eq!(plog(-3.0), -3.0);
+        assert_eq!(plog(0.0), 0.0);
+        assert_eq!(plog(0.999), 0.999);
+    }
+
+    #[test]
+    fn log_branch_above_one() {
+        assert!((plog(1.0) - 1.0).abs() < 1e-15);
+        assert!((plog(std::f64::consts::E.powi(3)) - 4.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// plog is non-decreasing.
+        #[test]
+        fn monotone(a in -1e6_f64..1e6, b in -1e6_f64..1e6) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(plog(lo) <= plog(hi) + 1e-12);
+        }
+
+        /// plog(x) ≤ x for all x (log(e·x) ≤ x by convexity of exp).
+        #[test]
+        fn dominated_by_identity(x in -1e6_f64..1e6) {
+            prop_assert!(plog(x) <= x + 1e-12);
+        }
+
+        /// Continuity at the knee: values straddling 1 stay close.
+        #[test]
+        fn continuous_at_one(eps in 1e-9_f64..1e-3) {
+            prop_assert!((plog(1.0 + eps) - plog(1.0 - eps)).abs() < 10.0 * eps);
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Statistics used by the experiment harness.
+//!
+//! * [`OnlineStats`] — Welford's online mean/variance, for moment checks and
+//!   trace summaries.
+//! * [`WilsonInterval`] — 95% score interval for the empirical failure
+//!   probability `P̂(F_T)` estimated from Bernoulli trials; every
+//!   theorem-vs-measurement table reports `bound ≥ upper CI`.
+//! * [`LogLogFit`] — least-squares slope in log–log space, used to test the
+//!   `√(τ_max·n)` scaling law of Theorem 6.5 (slope ≈ ½) against the linear
+//!   law of prior work (slope ≈ 1).
+
+/// Welford online accumulator for mean and variance.
+///
+/// # Example
+///
+/// ```
+/// use asgd_math::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.variance(), 1.0); // sample variance
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (`+∞` if empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` if empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.mean = mean;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Preferred over the normal approximation because failure probabilities in
+/// the convergence experiments are frequently 0 or very small, where Wald
+/// intervals collapse to a useless `[0, 0]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilsonInterval {
+    /// Point estimate `successes / trials`.
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lower: f64,
+    /// Upper bound of the interval.
+    pub upper: f64,
+}
+
+impl WilsonInterval {
+    /// Computes the Wilson score interval at confidence `z` standard normal
+    /// quantiles (`z = 1.96` for 95%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or `successes > trials`.
+    #[must_use]
+    pub fn new(successes: u64, trials: u64, z: f64) -> Self {
+        assert!(trials > 0, "Wilson interval needs at least one trial");
+        assert!(successes <= trials, "more successes than trials");
+        let n = trials as f64;
+        let p = successes as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+        Self {
+            estimate: p,
+            lower: (center - half).max(0.0),
+            upper: (center + half).min(1.0),
+        }
+    }
+
+    /// 95% Wilson interval.
+    #[must_use]
+    pub fn ci95(successes: u64, trials: u64) -> Self {
+        Self::new(successes, trials, 1.96)
+    }
+}
+
+impl std::fmt::Display for WilsonInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} [{:.4}, {:.4}]",
+            self.estimate, self.lower, self.upper
+        )
+    }
+}
+
+/// Least-squares fit of `log(y) = slope·log(x) + intercept`.
+///
+/// Used to verify scaling exponents: Theorem 6.5 predicts iterations-to-
+/// convergence growing like `(τ_max·n)^{1/2}`, prior work like `(τ_max)^1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogLogFit {
+    /// Fitted exponent.
+    pub slope: f64,
+    /// Fitted log-space intercept.
+    pub intercept: f64,
+    /// Coefficient of determination of the fit in log space.
+    pub r_squared: f64,
+}
+
+impl LogLogFit {
+    /// Fits the power law through `(x, y)` pairs, ignoring non-positive points
+    /// (which have no logarithm).
+    ///
+    /// Returns `None` if fewer than two usable points remain.
+    #[must_use]
+    pub fn fit(points: &[(f64, f64)]) -> Option<Self> {
+        let logged: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+            .map(|(x, y)| (x.ln(), y.ln()))
+            .collect();
+        if logged.len() < 2 {
+            return None;
+        }
+        let n = logged.len() as f64;
+        let mean_x = logged.iter().map(|(x, _)| x).sum::<f64>() / n;
+        let mean_y = logged.iter().map(|(_, y)| y).sum::<f64>() / n;
+        let sxx: f64 = logged.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+        let sxy: f64 = logged
+            .iter()
+            .map(|(x, y)| (x - mean_x) * (y - mean_y))
+            .sum();
+        let syy: f64 = logged.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let r_squared = if syy == 0.0 { 1.0 } else { sxy * sxy / (sxx * syy) };
+        Some(Self {
+            slope,
+            intercept,
+            r_squared,
+        })
+    }
+
+    /// Predicted `y` at `x` under the fitted power law.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        (self.intercept + self.slope * x.ln()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn welford_small_case() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let all: OnlineStats = xs.iter().copied().collect();
+        let mut a: OnlineStats = xs[..37].iter().copied().collect();
+        let b: OnlineStats = xs[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn wilson_contains_estimate() {
+        let w = WilsonInterval::ci95(3, 10);
+        assert!(w.lower <= w.estimate && w.estimate <= w.upper);
+        assert!((w.estimate - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_zero_successes_has_positive_upper() {
+        let w = WilsonInterval::ci95(0, 100);
+        assert_eq!(w.estimate, 0.0);
+        assert!(w.upper > 0.0 && w.upper < 0.1);
+        assert_eq!(w.lower, 0.0);
+    }
+
+    #[test]
+    fn wilson_all_successes_hits_one() {
+        let w = WilsonInterval::ci95(50, 50);
+        assert_eq!(w.estimate, 1.0);
+        assert_eq!(w.upper, 1.0);
+        assert!(w.lower > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_zero_trials_panics() {
+        let _ = WilsonInterval::ci95(0, 0);
+    }
+
+    #[test]
+    fn loglog_recovers_exact_power_law() {
+        let pts: Vec<(f64, f64)> = (1..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 3.0 * x.powf(0.5))
+            })
+            .collect();
+        let fit = LogLogFit::fit(&pts).unwrap();
+        assert!((fit.slope - 0.5).abs() < 1e-9, "slope {}", fit.slope);
+        assert!(fit.r_squared > 0.999_999);
+        assert!((fit.predict(4.0) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loglog_skips_nonpositive_and_degenerate() {
+        assert!(LogLogFit::fit(&[(1.0, 1.0)]).is_none());
+        assert!(LogLogFit::fit(&[(0.0, 1.0), (-1.0, 2.0)]).is_none());
+        assert!(LogLogFit::fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none()); // sxx = 0
+        let fit = LogLogFit::fit(&[(0.0, 5.0), (1.0, 2.0), (2.0, 4.0), (4.0, 8.0)]).unwrap();
+        assert!((fit.slope - 1.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Welford never produces negative variance and the mean stays within
+        /// [min, max].
+        #[test]
+        fn welford_invariants(xs in proptest::collection::vec(-1e6_f64..1e6, 1..128)) {
+            let s: OnlineStats = xs.iter().copied().collect();
+            prop_assert!(s.variance() >= -1e-9);
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+
+        /// Wilson interval is ordered and inside [0, 1].
+        #[test]
+        fn wilson_ordered(k in 0_u64..500, extra in 1_u64..500) {
+            let n = k + extra;
+            let w = WilsonInterval::ci95(k, n);
+            prop_assert!(0.0 <= w.lower && w.lower <= w.estimate);
+            prop_assert!(w.estimate <= w.upper && w.upper <= 1.0);
+        }
+    }
+}

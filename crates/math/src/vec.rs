@@ -1,0 +1,241 @@
+//! Dense `f64` vector kernels.
+//!
+//! The model of the paper is a dense vector `x ∈ R^d`. These free functions are
+//! the only vector arithmetic used across the workspace, so invariants such as
+//! the norm inequalities exploited by Eq. (9) of the paper
+//! (`‖x‖₂ ≤ ‖x‖₁ ≤ √d·‖x‖₂`) can be property-tested once, here.
+//!
+//! All functions panic if their slice arguments have mismatched lengths; the
+//! model dimension `d` is fixed for the lifetime of a run, so a mismatch is a
+//! programming error, not a recoverable condition.
+
+/// Returns the Euclidean (`ℓ2`) norm of `x`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(asgd_math::vec::l2_norm(&[3.0, 4.0]), 5.0);
+/// ```
+#[must_use]
+pub fn l2_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Returns the squared Euclidean norm of `x`.
+///
+/// The success region of the paper is `S = {x : ‖x − x*‖² ≤ ε}`, so the squared
+/// norm is the quantity compared against `ε` on every iteration.
+#[must_use]
+pub fn l2_norm_sq(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>()
+}
+
+/// Returns the `ℓ1` norm of `x`.
+///
+/// Used by the staleness argument of §6.2: the distance between the global
+/// accumulator `x_t` and a thread's inconsistent view `v_t` is first bounded
+/// entry-wise in `ℓ1`.
+#[must_use]
+pub fn l1_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum::<f64>()
+}
+
+/// Returns the `ℓ∞` norm of `x`.
+#[must_use]
+pub fn linf_norm(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// Returns the dot product `xᵀy`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: dimension mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// In-place `y ← y + a·x` (the SGD update `x ← x − α·g̃` is `axpy(x, -α, g)`).
+///
+/// # Panics
+///
+/// Panics if `y.len() != x.len()`.
+pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy: dimension mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// In-place scaling `x ← a·x`.
+pub fn scale(x: &mut [f64], a: f64) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Returns the element-wise difference `x − y` as a new vector.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: dimension mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Returns the Euclidean distance `‖x − y‖₂`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn l2_dist(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "l2_dist: dimension mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Returns the squared Euclidean distance `‖x − y‖₂²`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn l2_dist_sq(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "l2_dist_sq: dimension mismatch");
+    x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+}
+
+/// Accumulates `acc ← acc + x`.
+///
+/// # Panics
+///
+/// Panics if `acc.len() != x.len()`.
+pub fn add_assign(acc: &mut [f64], x: &[f64]) {
+    axpy(acc, 1.0, x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn l2_norm_pythagorean() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn norm_sq_matches_norm() {
+        let x = [1.5, -2.5, 0.25];
+        assert!((l2_norm_sq(&x) - l2_norm(&x).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_and_linf_basic() {
+        let x = [1.0, -2.0, 3.0];
+        assert_eq!(l1_norm(&x), 6.0);
+        assert_eq!(linf_norm(&x), 3.0);
+        assert_eq!(linf_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn dot_orthogonal() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_is_sgd_step() {
+        let mut x = vec![1.0, 1.0];
+        axpy(&mut x, -0.5, &[2.0, 4.0]);
+        assert_eq!(x, vec![0.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_and_sub() {
+        let mut x = vec![2.0, -4.0];
+        scale(&mut x, 0.5);
+        assert_eq!(x, vec![1.0, -2.0]);
+        assert_eq!(sub(&[3.0, 3.0], &[1.0, 2.0]), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn dist_and_dist_sq_agree() {
+        let x = [0.0, 0.0];
+        let y = [3.0, 4.0];
+        assert!((l2_dist(&x, &y) - 5.0).abs() < 1e-12);
+        assert!((l2_dist_sq(&x, &y) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut acc = vec![1.0, 2.0];
+        add_assign(&mut acc, &[0.5, 0.5]);
+        assert_eq!(acc, vec![1.5, 2.5]);
+    }
+
+    proptest! {
+        /// The norm sandwich `‖x‖₂ ≤ ‖x‖₁ ≤ √d·‖x‖₂` used in Eq. (9) of the
+        /// paper to convert the ℓ1 staleness bound into an ℓ2 one.
+        #[test]
+        fn norm_sandwich(x in proptest::collection::vec(-1e6_f64..1e6, 1..64)) {
+            let d = x.len() as f64;
+            let l1 = l1_norm(&x);
+            let l2 = l2_norm(&x);
+            prop_assert!(l2 <= l1 + 1e-9 * l1.abs().max(1.0));
+            prop_assert!(l1 <= d.sqrt() * l2 + 1e-9 * l1.abs().max(1.0));
+        }
+
+        /// Cauchy–Schwarz: |xᵀy| ≤ ‖x‖‖y‖.
+        #[test]
+        fn cauchy_schwarz(
+            x in proptest::collection::vec(-1e3_f64..1e3, 1..32),
+            y in proptest::collection::vec(-1e3_f64..1e3, 1..32),
+        ) {
+            let n = x.len().min(y.len());
+            let (x, y) = (&x[..n], &y[..n]);
+            prop_assert!(dot(x, y).abs() <= l2_norm(x) * l2_norm(y) + 1e-6);
+        }
+
+        /// axpy then reverse axpy round-trips.
+        #[test]
+        fn axpy_roundtrip(
+            x in proptest::collection::vec(-1e3_f64..1e3, 1..32),
+            g in proptest::collection::vec(-1e3_f64..1e3, 1..32),
+            a in -10.0_f64..10.0,
+        ) {
+            let n = x.len().min(g.len());
+            let (orig, g) = (&x[..n], &g[..n]);
+            let mut x = orig.to_vec();
+            axpy(&mut x, a, g);
+            axpy(&mut x, -a, g);
+            for (xi, oi) in x.iter().zip(orig) {
+                prop_assert!((xi - oi).abs() <= 1e-6 * oi.abs().max(1.0));
+            }
+        }
+
+        /// Triangle inequality for the distance helper.
+        #[test]
+        fn triangle_inequality(
+            x in proptest::collection::vec(-1e3_f64..1e3, 4),
+            y in proptest::collection::vec(-1e3_f64..1e3, 4),
+            z in proptest::collection::vec(-1e3_f64..1e3, 4),
+        ) {
+            prop_assert!(l2_dist(&x, &z) <= l2_dist(&x, &y) + l2_dist(&y, &z) + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Integer histograms for contention statistics.
+
+/// A histogram over `u64` observations (e.g. interval contention `ρ(θ)` or
+/// staleness `τ_t` values).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: std::collections::BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a histogram from observations.
+    #[must_use]
+    pub fn from_values(values: &[u64]) -> Self {
+        let mut h = Self::new();
+        for &v in values {
+            h.push(v);
+        }
+        h
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of a specific value.
+    #[must_use]
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Largest observed value.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) by cumulative count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (&v, &c) in &self.counts {
+            acc += c;
+            if acc >= target {
+                return Some(v);
+            }
+        }
+        self.max()
+    }
+
+    /// Iterates `(value, count)` in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Renders a compact ASCII bar chart (one row per distinct value, bars
+    /// scaled to `width` characters).
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        let max_count = self.counts.values().copied().max().unwrap_or(0);
+        for (v, c) in self.iter() {
+            let bar_len = if max_count == 0 {
+                0
+            } else {
+                ((c as f64 / max_count as f64) * width as f64).round() as usize
+            };
+            out.push_str(&format!(
+                "{v:>8} | {:<width$} {c}\n",
+                "#".repeat(bar_len.max(usize::from(c > 0)))
+            ));
+        }
+        out
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Self::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_total() {
+        let h = Histogram::from_values(&[1, 1, 2, 5]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(3), 0);
+        assert_eq!(h.max(), Some(5));
+    }
+
+    #[test]
+    fn quantiles() {
+        let h: Histogram = (1..=100).collect();
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn quantile_range_checked() {
+        let _ = Histogram::from_values(&[1]).quantile(1.5);
+    }
+
+    #[test]
+    fn render_shows_bars() {
+        let h = Histogram::from_values(&[0, 0, 0, 7]);
+        let s = h.render(10);
+        assert!(s.contains('#'));
+        assert!(s.contains('7'));
+        assert!(s.lines().count() == 2);
+    }
+
+    #[test]
+    fn iterator_construction() {
+        let h: Histogram = vec![3u64, 3, 9].into_iter().collect();
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(3, 2), (9, 1)]);
+    }
+}

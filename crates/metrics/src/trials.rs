@@ -1,0 +1,152 @@
+//! Repeated-trial estimation.
+
+use asgd_math::rng::SeedSequence;
+use asgd_math::{OnlineStats, WilsonInterval};
+
+/// An estimated probability with its 95% Wilson interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbabilityEstimate {
+    /// Number of trials in which the event occurred.
+    pub occurrences: u64,
+    /// Total trials.
+    pub trials: u64,
+    /// Wilson 95% score interval.
+    pub interval: WilsonInterval,
+}
+
+impl ProbabilityEstimate {
+    /// Point estimate `occurrences / trials`.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        self.interval.estimate
+    }
+
+    /// True if `bound` is consistent with the measurement, i.e. the bound is
+    /// at least the interval's lower end. Used as the "theorem holds" check:
+    /// a valid upper bound must not sit below what was actually measured.
+    #[must_use]
+    pub fn consistent_with_upper_bound(&self, bound: f64) -> bool {
+        bound >= self.interval.lower
+    }
+}
+
+impl std::fmt::Display for ProbabilityEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({}/{})", self.interval, self.occurrences, self.trials)
+    }
+}
+
+/// Estimates `P(event)` by running `trials` independent trials. Each trial
+/// receives a distinct seed derived from `master_seed`; `event(seed)`
+/// returns whether the event occurred.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn estimate_probability(
+    trials: u64,
+    master_seed: u64,
+    mut event: impl FnMut(u64) -> bool,
+) -> ProbabilityEstimate {
+    assert!(trials > 0, "at least one trial required");
+    let seq = SeedSequence::new(master_seed);
+    let mut occurrences = 0;
+    for i in 0..trials {
+        if event(seq.child_seed(i)) {
+            occurrences += 1;
+        }
+    }
+    ProbabilityEstimate {
+        occurrences,
+        trials,
+        interval: WilsonInterval::ci95(occurrences, trials),
+    }
+}
+
+/// Collects a scalar statistic over `trials` independent seeded trials.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn trial_stats(trials: u64, master_seed: u64, mut stat: impl FnMut(u64) -> f64) -> OnlineStats {
+    assert!(trials > 0, "at least one trial required");
+    let seq = SeedSequence::new(master_seed);
+    (0..trials).map(|i| stat(seq.child_seed(i))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_events_estimate_exactly() {
+        let all = estimate_probability(50, 1, |_| true);
+        assert_eq!(all.estimate(), 1.0);
+        assert_eq!(all.occurrences, 50);
+        let none = estimate_probability(50, 1, |_| false);
+        assert_eq!(none.estimate(), 0.0);
+        assert!(none.to_string().contains("(0/50)"));
+    }
+
+    #[test]
+    fn coin_flip_estimate_brackets_half() {
+        let est = estimate_probability(2000, 7, |seed| {
+            StdRng::seed_from_u64(seed).gen_bool(0.5)
+        });
+        assert!(
+            est.interval.lower < 0.5 && 0.5 < est.interval.upper,
+            "95% CI {} should contain 0.5",
+            est.interval
+        );
+    }
+
+    #[test]
+    fn trials_receive_distinct_seeds() {
+        let mut seeds = Vec::new();
+        let _ = estimate_probability(100, 3, |seed| {
+            seeds.push(seed);
+            false
+        });
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 100);
+    }
+
+    #[test]
+    fn same_master_seed_reproduces() {
+        let run = |master| {
+            let mut seeds = Vec::new();
+            let _ = estimate_probability(10, master, |s| {
+                seeds.push(s);
+                false
+            });
+            seeds
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn bound_consistency_check() {
+        let est = estimate_probability(100, 1, |seed| seed % 4 == 0);
+        // A bound above the lower CI is consistent; one below is not.
+        assert!(est.consistent_with_upper_bound(1.0));
+        assert!(est.consistent_with_upper_bound(est.interval.lower + 1e-12));
+        assert!(!est.consistent_with_upper_bound(0.0));
+    }
+
+    #[test]
+    fn trial_stats_aggregates() {
+        let stats = trial_stats(100, 5, |seed| (seed % 10) as f64);
+        assert_eq!(stats.count(), 100);
+        assert!(stats.mean() >= 0.0 && stats.mean() <= 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = estimate_probability(0, 0, |_| false);
+    }
+}

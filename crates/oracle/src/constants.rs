@@ -1,0 +1,104 @@
+//! The analytic constants of §3 of the paper.
+
+/// The constants `(c, L, M²)` under which the paper's convergence results
+/// hold, as provided by a workload for a stated trust region.
+///
+/// * `c`: strong convexity — `(x−y)ᵀ(∇f(x)−∇f(y)) ≥ c‖x−y‖²` (Eq. 2).
+/// * `l`: Lipschitz continuity of the stochastic gradient in expectation —
+///   `E‖g̃(x)−g̃(y)‖ ≤ L‖x−y‖` (Eq. 3), evaluated under common random
+///   numbers (the same sample coin at `x` and `y`).
+/// * `m_sq`: second-moment bound — `E‖g̃(x)‖² ≤ M²` (Eq. 4). Most objectives
+///   do not admit a global `M²`; workloads report a bound valid whenever
+///   `‖x − x*‖ ≤ radius`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constants {
+    /// Strong-convexity modulus `c > 0`.
+    pub c: f64,
+    /// Expected-Lipschitz constant `L > 0` of the stochastic gradient.
+    pub l: f64,
+    /// Second-moment bound `M² > 0`.
+    pub m_sq: f64,
+    /// Radius `R` (around `x*`) within which `m_sq` is valid;
+    /// `f64::INFINITY` when the bound is global.
+    pub radius: f64,
+}
+
+impl Constants {
+    /// Creates a constants record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `c`, `l`, `m_sq` is not strictly positive and finite,
+    /// or if `radius` is not positive (it may be infinite).
+    #[must_use]
+    pub fn new(c: f64, l: f64, m_sq: f64, radius: f64) -> Self {
+        assert!(c.is_finite() && c > 0.0, "c must be positive, got {c}");
+        assert!(l.is_finite() && l > 0.0, "L must be positive, got {l}");
+        assert!(
+            m_sq.is_finite() && m_sq > 0.0,
+            "M² must be positive, got {m_sq}"
+        );
+        assert!(radius > 0.0, "radius must be positive, got {radius}");
+        Self { c, l, m_sq, radius }
+    }
+
+    /// `M = √(M²)`.
+    #[must_use]
+    pub fn m(&self) -> f64 {
+        self.m_sq.sqrt()
+    }
+
+    /// The classic condition-number-like ratio `M²/c²`, which sets the scale
+    /// of the sequential failure bound (Theorem 3.1).
+    #[must_use]
+    pub fn m_sq_over_c_sq(&self) -> f64 {
+        self.m_sq / (self.c * self.c)
+    }
+}
+
+impl std::fmt::Display for Constants {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "c={:.4}, L={:.4}, M²={:.4} (valid within R={:.3})",
+            self.c, self.l, self.m_sq, self.radius
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_and_derives() {
+        let k = Constants::new(0.5, 2.0, 9.0, f64::INFINITY);
+        assert_eq!(k.m(), 3.0);
+        assert_eq!(k.m_sq_over_c_sq(), 36.0);
+        assert!(k.to_string().contains("c=0.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "c must be positive")]
+    fn rejects_nonpositive_c() {
+        let _ = Constants::new(0.0, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "L must be positive")]
+    fn rejects_nan_l() {
+        let _ = Constants::new(1.0, f64::NAN, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "M² must be positive")]
+    fn rejects_infinite_m_sq() {
+        let _ = Constants::new(1.0, 1.0, f64::INFINITY, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn rejects_zero_radius() {
+        let _ = Constants::new(1.0, 1.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Stochastic-gradient oracles and synthetic workloads for `asyncsgd`.
+//!
+//! The paper's analysis (§3) assumes access to stochastic gradients `g̃` of a
+//! strongly convex objective `f` with three analytic constants:
+//!
+//! * `c` — strong convexity (Eq. 2),
+//! * `L` — Lipschitz continuity of `g̃` in expectation (Eq. 3),
+//! * `M²` — a second-moment bound `E‖g̃(x)‖² ≤ M²` (Eq. 4).
+//!
+//! Every workload here implements [`GradientOracle`] and *knows its own
+//! constants* (exactly, or as documented upper bounds valid within a stated
+//! radius of the optimum), so the theory crate can compute the paper's
+//! learning rates and failure-probability bounds for real runs:
+//!
+//! * [`NoisyQuadratic`] — `f(x) = ½‖x‖²` with Gaussian gradient noise, the
+//!   §5 lower-bound workload;
+//! * [`SparseQuadratic`] — diagonal quadratic with single-nonzero-entry
+//!   stochastic gradients, the regime required by De Sa et al. \[10\] and
+//!   *removed* by this paper's analysis;
+//! * [`LinearRegression`] — least squares over a synthetic dataset;
+//! * [`RidgeLogistic`] — ℓ2-regularised logistic regression (strongly convex
+//!   thanks to the ridge term).
+//!
+//! # Example
+//!
+//! ```
+//! use asgd_oracle::{GradientOracle, NoisyQuadratic};
+//! use rand::SeedableRng;
+//!
+//! let oracle = NoisyQuadratic::new(4, 0.1).expect("valid noise level");
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let x = vec![1.0; 4];
+//! let mut g = vec![0.0; 4];
+//! oracle.sample_gradient(&x, &mut rng, &mut g);
+//! assert_eq!(g.len(), 4);
+//! let consts = oracle.constants(2.0);
+//! assert_eq!(consts.c, 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constants;
+pub mod linalg;
+pub mod linreg;
+pub mod logreg;
+pub mod minibatch;
+pub mod oracle;
+pub mod quadratic;
+pub mod sparse;
+pub mod synth;
+
+pub use constants::Constants;
+pub use linreg::LinearRegression;
+pub use logreg::RidgeLogistic;
+pub use minibatch::MinibatchRegression;
+pub use oracle::GradientOracle;
+pub use quadratic::NoisyQuadratic;
+pub use sparse::SparseQuadratic;

@@ -1,0 +1,300 @@
+//! Least-squares linear regression over a synthetic dataset.
+//!
+//! `f(x) = (1/2m)·Σ_i (a_iᵀx − b_i)²`; the stochastic gradient samples one
+//! data point uniformly: `g̃(x) = (a_iᵀx − b_i)·a_i`, the classic SGD-for-ERM
+//! setting the paper's introduction describes.
+
+use crate::constants::Constants;
+use crate::linalg::{min_eigenvalue_spd, solve, DenseMatrix};
+use crate::oracle::GradientOracle;
+use crate::synth::RegressionData;
+use rand::{Rng, RngCore};
+
+/// Least-squares workload with exact minimiser (via the normal equations)
+/// and computed constants.
+///
+/// * `c = λ_min(AᵀA/m)` — exact strong convexity of the quadratic objective
+///   (computed by inverse power iteration at construction).
+/// * `L = max_i ‖a_i‖²` — under common random numbers
+///   `g̃(x) − g̃(y) = (a_iᵀ(x−y))·a_i`, so `‖g̃(x)−g̃(y)‖ ≤ ‖a_i‖²·‖x−y‖`.
+/// * `M²(R) = (1/m)·Σ_i ‖a_i‖²·2(‖a_i‖²R² + r_i²)` where `r_i` is the
+///   residual at the minimiser — from
+///   `(a_iᵀx − b_i)² ≤ 2(a_iᵀ(x−x*))² + 2·r_i²`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    data: RegressionData,
+    minimizer: Vec<f64>,
+    c: f64,
+    l: f64,
+    /// Per-point `‖a_i‖²`.
+    feat_norms_sq: Vec<f64>,
+    /// Per-point residual² at the minimiser.
+    residuals_sq: Vec<f64>,
+}
+
+/// Error from [`LinearRegression::new`] when the normal equations are
+/// singular (rank-deficient design matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankDeficientError;
+
+impl std::fmt::Display for RankDeficientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "design matrix is rank deficient; add samples or reduce d")
+    }
+}
+
+impl std::error::Error for RankDeficientError {}
+
+impl LinearRegression {
+    /// Builds the workload from a dataset, solving the normal equations for
+    /// the exact minimiser and computing the §3 constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RankDeficientError`] if `AᵀA` is singular.
+    pub fn new(data: RegressionData) -> Result<Self, RankDeficientError> {
+        let m = data.len();
+        let d = data.dimension();
+        let flat: Vec<f64> = data.features.iter().flatten().copied().collect();
+        let a = DenseMatrix::from_rows(m, d, flat);
+        let hessian = a.gram_normalized(); // AᵀA/m
+        // Normal equations: (AᵀA/m)·x = Aᵀb/m.
+        let mut rhs = vec![0.0; d];
+        for (row, &b) in data.features.iter().zip(&data.targets) {
+            for (r, &ai) in rhs.iter_mut().zip(row) {
+                *r += ai * b;
+            }
+        }
+        for r in &mut rhs {
+            *r /= m as f64;
+        }
+        let minimizer = solve(&hessian, &rhs).map_err(|_| RankDeficientError)?;
+        let c = min_eigenvalue_spd(&hessian, 300).map_err(|_| RankDeficientError)?;
+        if !(c.is_finite() && c > 0.0) {
+            return Err(RankDeficientError);
+        }
+        let feat_norms_sq: Vec<f64> = data
+            .features
+            .iter()
+            .map(|a| asgd_math::vec::l2_norm_sq(a))
+            .collect();
+        let l = feat_norms_sq.iter().copied().fold(0.0_f64, f64::max);
+        let residuals_sq: Vec<f64> = data
+            .features
+            .iter()
+            .zip(&data.targets)
+            .map(|(a, &b)| {
+                let r = asgd_math::vec::dot(a, &minimizer) - b;
+                r * r
+            })
+            .collect();
+        Ok(Self {
+            data,
+            minimizer,
+            c,
+            l,
+            feat_norms_sq,
+            residuals_sq,
+        })
+    }
+
+    /// Generates a synthetic dataset and builds the workload in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RankDeficientError`] if the generated design matrix is rank
+    /// deficient (essentially impossible for Gaussian features with `m ≥ d`).
+    pub fn synthetic(m: usize, d: usize, noise: f64, seed: u64) -> Result<Self, RankDeficientError> {
+        Self::new(crate::synth::regression(m, d, noise, seed))
+    }
+
+    /// The underlying dataset.
+    #[must_use]
+    pub fn data(&self) -> &RegressionData {
+        &self.data
+    }
+}
+
+impl GradientOracle for LinearRegression {
+    fn dimension(&self) -> usize {
+        self.data.dimension()
+    }
+
+    fn sample_gradient(&self, x: &[f64], rng: &mut dyn RngCore, out: &mut [f64]) {
+        assert_eq!(x.len(), self.dimension(), "x dimension mismatch");
+        assert_eq!(out.len(), self.dimension(), "out dimension mismatch");
+        let i = rng.gen_range(0..self.data.len());
+        let a = &self.data.features[i];
+        let r = asgd_math::vec::dot(a, x) - self.data.targets[i];
+        for (o, &ai) in out.iter_mut().zip(a) {
+            *o = r * ai;
+        }
+    }
+
+    fn full_gradient(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.dimension(), "x dimension mismatch");
+        out.fill(0.0);
+        for (a, &b) in self.data.features.iter().zip(&self.data.targets) {
+            let r = asgd_math::vec::dot(a, x) - b;
+            for (o, &ai) in out.iter_mut().zip(a) {
+                *o += r * ai;
+            }
+        }
+        let inv_m = 1.0 / self.data.len() as f64;
+        for o in out.iter_mut() {
+            *o *= inv_m;
+        }
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (a, &b) in self.data.features.iter().zip(&self.data.targets) {
+            let r = asgd_math::vec::dot(a, x) - b;
+            acc += r * r;
+        }
+        acc / (2.0 * self.data.len() as f64)
+    }
+
+    fn minimizer(&self) -> &[f64] {
+        &self.minimizer
+    }
+
+    fn constants(&self, radius: f64) -> Constants {
+        assert!(radius > 0.0, "radius must be positive");
+        let m = self.data.len() as f64;
+        let m_sq = self
+            .feat_norms_sq
+            .iter()
+            .zip(&self.residuals_sq)
+            .map(|(&an, &rs)| an * 2.0 * (an * radius * radius + rs))
+            .sum::<f64>()
+            / m;
+        Constants::new(self.c, self.l, m_sq.max(f64::MIN_POSITIVE), radius)
+    }
+
+    fn name(&self) -> &str {
+        "linear-regression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::unbiasedness_gap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload() -> LinearRegression {
+        LinearRegression::synthetic(200, 5, 0.1, 42).expect("well-conditioned")
+    }
+
+    #[test]
+    fn minimizer_is_stationary() {
+        let w = workload();
+        let mut g = vec![0.0; 5];
+        w.full_gradient(w.minimizer(), &mut g);
+        assert!(
+            asgd_math::vec::l2_norm(&g) < 1e-8,
+            "gradient at x*: {:?}",
+            g
+        );
+    }
+
+    #[test]
+    fn minimizer_near_ground_truth_with_low_noise() {
+        let w = LinearRegression::synthetic(2000, 4, 0.01, 7).unwrap();
+        let dist = asgd_math::vec::l2_dist(w.minimizer(), &w.data().ground_truth);
+        assert!(dist < 0.05, "dist {dist}");
+    }
+
+    #[test]
+    fn objective_minimised_at_minimizer() {
+        let w = workload();
+        let f_star = w.objective(w.minimizer());
+        let mut perturbed = w.minimizer().to_vec();
+        perturbed[0] += 0.5;
+        assert!(w.objective(&perturbed) > f_star);
+        perturbed[0] -= 1.0;
+        assert!(w.objective(&perturbed) > f_star);
+    }
+
+    #[test]
+    fn stochastic_gradient_is_unbiased() {
+        let w = workload();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = vec![0.3, -0.2, 0.8, 0.0, -1.0];
+        let gap = unbiasedness_gap(&w, &x, &mut rng, 60_000);
+        assert!(gap < 0.2, "gap {gap}");
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        let w = workload();
+        let k = w.constants(2.0);
+        assert!(k.c > 0.0);
+        assert!(k.c <= k.l, "strong convexity cannot exceed smoothness");
+        assert!(k.m_sq > 0.0);
+        // M² grows with the radius.
+        assert!(w.constants(4.0).m_sq > k.m_sq);
+    }
+
+    #[test]
+    fn second_moment_bound_dominates_measurement() {
+        let w = workload();
+        let radius = 1.5;
+        let k = w.constants(radius);
+        // Sample x on the sphere of the trust region and check E‖g̃‖² ≤ M².
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut x = w.minimizer().to_vec();
+        x[0] += radius; // on the boundary
+        let mut g = vec![0.0; 5];
+        let mut acc = 0.0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            w.sample_gradient(&x, &mut rng, &mut g);
+            acc += asgd_math::vec::l2_norm_sq(&g);
+        }
+        let measured = acc / trials as f64;
+        assert!(
+            measured <= k.m_sq,
+            "measured E‖g̃‖² = {measured} exceeds bound M² = {}",
+            k.m_sq
+        );
+    }
+
+    #[test]
+    fn rank_deficient_design_is_rejected() {
+        // 3 identical rows in d=2: AᵀA singular.
+        let data = RegressionData {
+            features: vec![vec![1.0, 2.0]; 3],
+            targets: vec![1.0, 1.0, 1.0],
+            ground_truth: vec![0.0, 0.0],
+        };
+        let err = LinearRegression::new(data).unwrap_err();
+        assert!(err.to_string().contains("rank deficient"));
+    }
+
+    #[test]
+    fn strong_convexity_verified_against_gradient_inequality() {
+        // (x−y)ᵀ(∇f(x)−∇f(y)) ≥ c‖x−y‖² for the computed c.
+        let w = workload();
+        let k = w.constants(1.0);
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..50 {
+            let x: Vec<f64> = (0..5).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let y: Vec<f64> = (0..5).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let mut gx = vec![0.0; 5];
+            let mut gy = vec![0.0; 5];
+            w.full_gradient(&x, &mut gx);
+            w.full_gradient(&y, &mut gy);
+            let diff = asgd_math::vec::sub(&x, &y);
+            let gdiff = asgd_math::vec::sub(&gx, &gy);
+            let lhs = asgd_math::vec::dot(&diff, &gdiff);
+            let rhs = k.c * asgd_math::vec::l2_norm_sq(&diff);
+            assert!(
+                lhs >= rhs - 1e-9 * rhs.abs().max(1.0),
+                "strong convexity violated: {lhs} < {rhs}"
+            );
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Ridge-regularised logistic regression.
+//!
+//! `f(x) = (1/m)·Σ_i log(1 + exp(−y_i·a_iᵀx)) + (λ/2)‖x‖²` — convex losses
+//! made `λ`-strongly convex by the ridge term, the standard trick to put
+//! classification workloads inside the paper's assumption set.
+
+use crate::constants::Constants;
+use crate::oracle::GradientOracle;
+use crate::synth::ClassificationData;
+use rand::{Rng, RngCore};
+
+/// Logistic-regression workload with ridge regularisation `λ > 0`.
+///
+/// * `c = λ` — exact (the logistic term is convex, the ridge term is
+///   `λ`-strongly convex).
+/// * `L = max_i ‖a_i‖²/4 + λ` — the logistic loss has `1/4`-Lipschitz
+///   sigmoid derivative; under common random numbers the per-sample gradient
+///   difference is bounded by `(‖a_i‖²/4 + λ)‖x−y‖`.
+/// * `M²(R) = (max_i ‖a_i‖ + λ·(R + ‖x*‖))²` — the logistic part of the
+///   gradient is bounded by `‖a_i‖` pointwise, the ridge part by
+///   `λ‖x‖ ≤ λ(R + ‖x*‖)` inside the trust region.
+///
+/// The minimiser has no closed form; it is computed at construction by
+/// full-batch gradient descent to tolerance `1e-10` (deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgeLogistic {
+    data: ClassificationData,
+    lambda: f64,
+    minimizer: Vec<f64>,
+    max_feat_norm: f64,
+    max_feat_norm_sq: f64,
+}
+
+/// Error from [`RidgeLogistic::new`] for invalid regularisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLambdaError;
+
+impl std::fmt::Display for InvalidLambdaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lambda must be finite and strictly positive")
+    }
+}
+
+impl std::error::Error for InvalidLambdaError {}
+
+/// Numerically stable `log(1 + e^z)`.
+fn log1p_exp(z: f64) -> f64 {
+    if z > 0.0 {
+        z + (-z).exp().ln_1p()
+    } else {
+        z.exp().ln_1p()
+    }
+}
+
+/// Logistic sigmoid `1 / (1 + e^{−z})`, stable for large |z|.
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl RidgeLogistic {
+    /// Builds the workload; fits the minimiser by deterministic full-batch
+    /// gradient descent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLambdaError`] if `lambda` is not finite and positive.
+    pub fn new(data: ClassificationData, lambda: f64) -> Result<Self, InvalidLambdaError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(InvalidLambdaError);
+        }
+        let max_feat_norm_sq = data
+            .features
+            .iter()
+            .map(|a| asgd_math::vec::l2_norm_sq(a))
+            .fold(0.0_f64, f64::max);
+        let mut w = Self {
+            minimizer: vec![0.0; data.dimension()],
+            max_feat_norm: max_feat_norm_sq.sqrt(),
+            max_feat_norm_sq,
+            data,
+            lambda,
+        };
+        w.fit();
+        Ok(w)
+    }
+
+    /// Generates a synthetic dataset and builds the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLambdaError`] if `lambda` is not finite and positive.
+    pub fn synthetic(
+        m: usize,
+        d: usize,
+        noise: f64,
+        lambda: f64,
+        seed: u64,
+    ) -> Result<Self, InvalidLambdaError> {
+        Self::new(crate::synth::classification(m, d, noise, seed), lambda)
+    }
+
+    /// The ridge coefficient λ.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The underlying dataset.
+    #[must_use]
+    pub fn data(&self) -> &ClassificationData {
+        &self.data
+    }
+
+    /// Full-batch gradient descent to high precision. The objective is
+    /// `(L_f = max‖a‖²/4 + λ)`-smooth, so step `1/L_f` converges linearly.
+    fn fit(&mut self) {
+        let d = self.data.dimension();
+        let smoothness = self.max_feat_norm_sq / 4.0 + self.lambda;
+        let step = 1.0 / smoothness;
+        let mut x = vec![0.0; d];
+        let mut g = vec![0.0; d];
+        for _ in 0..100_000 {
+            self.full_gradient_into(&x, &mut g);
+            if asgd_math::vec::l2_norm(&g) < 1e-10 {
+                break;
+            }
+            asgd_math::vec::axpy(&mut x, -step, &g);
+        }
+        self.minimizer = x;
+    }
+
+    fn full_gradient_into(&self, x: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        for (a, &y) in self.data.features.iter().zip(&self.data.labels) {
+            let margin = y * asgd_math::vec::dot(a, x);
+            let coeff = -y * sigmoid(-margin);
+            for (o, &ai) in out.iter_mut().zip(a) {
+                *o += coeff * ai;
+            }
+        }
+        let inv_m = 1.0 / self.data.len() as f64;
+        for (o, &xi) in out.iter_mut().zip(x) {
+            *o = *o * inv_m + self.lambda * xi;
+        }
+    }
+}
+
+impl GradientOracle for RidgeLogistic {
+    fn dimension(&self) -> usize {
+        self.data.dimension()
+    }
+
+    fn sample_gradient(&self, x: &[f64], rng: &mut dyn RngCore, out: &mut [f64]) {
+        assert_eq!(x.len(), self.dimension(), "x dimension mismatch");
+        assert_eq!(out.len(), self.dimension(), "out dimension mismatch");
+        let i = rng.gen_range(0..self.data.len());
+        let a = &self.data.features[i];
+        let y = self.data.labels[i];
+        let margin = y * asgd_math::vec::dot(a, x);
+        let coeff = -y * sigmoid(-margin);
+        for ((o, &ai), &xi) in out.iter_mut().zip(a).zip(x) {
+            *o = coeff * ai + self.lambda * xi;
+        }
+    }
+
+    fn full_gradient(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.dimension(), "x dimension mismatch");
+        self.full_gradient_into(x, out);
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (a, &y) in self.data.features.iter().zip(&self.data.labels) {
+            acc += log1p_exp(-y * asgd_math::vec::dot(a, x));
+        }
+        acc / self.data.len() as f64 + 0.5 * self.lambda * asgd_math::vec::l2_norm_sq(x)
+    }
+
+    fn minimizer(&self) -> &[f64] {
+        &self.minimizer
+    }
+
+    fn constants(&self, radius: f64) -> Constants {
+        assert!(radius > 0.0, "radius must be positive");
+        let opt_norm = asgd_math::vec::l2_norm(&self.minimizer);
+        let m = self.max_feat_norm + self.lambda * (radius + opt_norm);
+        Constants::new(
+            self.lambda,
+            self.max_feat_norm_sq / 4.0 + self.lambda,
+            (m * m).max(f64::MIN_POSITIVE),
+            radius,
+        )
+    }
+
+    fn name(&self) -> &str {
+        "ridge-logistic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::unbiasedness_gap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload() -> RidgeLogistic {
+        RidgeLogistic::synthetic(150, 4, 0.1, 0.1, 17).expect("valid lambda")
+    }
+
+    #[test]
+    fn rejects_bad_lambda() {
+        let data = crate::synth::classification(10, 2, 0.0, 1);
+        assert!(RidgeLogistic::new(data.clone(), 0.0).is_err());
+        assert!(RidgeLogistic::new(data.clone(), -1.0).is_err());
+        assert!(RidgeLogistic::new(data, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn stable_scalar_helpers() {
+        assert!((log1p_exp(0.0) - 2.0_f64.ln()).abs() < 1e-12);
+        assert!((log1p_exp(100.0) - 100.0).abs() < 1e-9, "no overflow");
+        assert!(log1p_exp(-100.0) < 1e-40);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) >= 0.0 && sigmoid(-100.0) < 1e-40);
+    }
+
+    #[test]
+    fn minimizer_is_stationary() {
+        let w = workload();
+        let mut g = vec![0.0; 4];
+        w.full_gradient(w.minimizer(), &mut g);
+        assert!(asgd_math::vec::l2_norm(&g) < 1e-8, "‖∇f(x*)‖ = {}", asgd_math::vec::l2_norm(&g));
+    }
+
+    #[test]
+    fn objective_minimised_at_minimizer() {
+        let w = workload();
+        let f_star = w.objective(w.minimizer());
+        for dim in 0..4 {
+            let mut p = w.minimizer().to_vec();
+            p[dim] += 0.3;
+            assert!(w.objective(&p) > f_star);
+        }
+    }
+
+    #[test]
+    fn stochastic_gradient_is_unbiased() {
+        let w = workload();
+        let mut rng = StdRng::seed_from_u64(2);
+        let gap = unbiasedness_gap(&w, &[0.2, -0.4, 0.1, 0.5], &mut rng, 60_000);
+        assert!(gap < 0.1, "gap {gap}");
+    }
+
+    #[test]
+    fn gradient_norm_within_reported_bound() {
+        let w = workload();
+        let radius = 2.0;
+        let k = w.constants(radius);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut g = vec![0.0; 4];
+        // Sample points inside the trust region.
+        for _ in 0..500 {
+            let mut x = w.minimizer().to_vec();
+            for xi in &mut x {
+                *xi += rng.gen_range(-0.7..0.7); // ‖Δ‖ ≤ √4·0.7 < 2
+            }
+            w.sample_gradient(&x, &mut rng, &mut g);
+            let norm_sq = asgd_math::vec::l2_norm_sq(&g);
+            assert!(
+                norm_sq <= k.m_sq + 1e-9,
+                "‖g̃‖² = {norm_sq} exceeds M² = {}",
+                k.m_sq
+            );
+        }
+    }
+
+    #[test]
+    fn constants_expose_lambda_as_c() {
+        let w = workload();
+        let k = w.constants(1.0);
+        assert_eq!(k.c, 0.1);
+        assert!(k.l >= k.c);
+        assert_eq!(w.lambda(), 0.1);
+        assert_eq!(w.name(), "ridge-logistic");
+        assert_eq!(w.data().len(), 150);
+    }
+
+    #[test]
+    fn classifier_fits_separable_data() {
+        // Low noise, plenty of data: the fitted model should classify well.
+        let w = RidgeLogistic::synthetic(500, 3, 0.0, 0.01, 5).unwrap();
+        let correct = w
+            .data()
+            .features
+            .iter()
+            .zip(&w.data().labels)
+            .filter(|(a, &y)| y * asgd_math::vec::dot(a, w.minimizer()) > 0.0)
+            .count();
+        let acc = correct as f64 / w.data().len() as f64;
+        assert!(acc > 0.95, "training accuracy {acc}");
+    }
+}

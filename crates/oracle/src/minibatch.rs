@@ -1,0 +1,197 @@
+//! Minibatch gradients: average `b` per-sample gradients per oracle call.
+//!
+//! Practical data-parallel SGD (the deployment the paper's §8 discussion
+//! speaks to) rarely applies single-sample gradients: each iteration
+//! averages a small batch, making the computation per iteration `O(b·d)`
+//! while the shared-memory update stays `O(d)`. That ratio is what lets
+//! lock-free execution convert thread parallelism into wall-clock speedup.
+//! [`MinibatchRegression`] wraps [`LinearRegression`] with exactly that
+//! access pattern; it is the workload of the `speedup` experiment and the
+//! `hogwild_scaling` bench.
+
+use crate::constants::Constants;
+use crate::linreg::{LinearRegression, RankDeficientError};
+use crate::oracle::GradientOracle;
+use rand::{Rng, RngCore};
+
+/// Least squares with size-`b` minibatch stochastic gradients.
+///
+/// `g̃(x) = (1/b)·Σ_{i∈B} (a_iᵀx − b_i)·a_i` over a uniformly drawn batch
+/// `B` (with replacement). Unbiased for `∇f`; same `c` and `L` as the
+/// underlying regression; the single-sample `M²` remains a valid (now
+/// conservative, since averaging only shrinks second moments) bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinibatchRegression {
+    inner: LinearRegression,
+    batch: usize,
+    name: String,
+}
+
+impl MinibatchRegression {
+    /// Wraps a regression workload with batch size `b ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    #[must_use]
+    pub fn new(inner: LinearRegression, batch: usize) -> Self {
+        assert!(batch >= 1, "batch size must be at least 1");
+        Self {
+            name: format!("minibatch-linreg(b={batch})"),
+            inner,
+            batch,
+        }
+    }
+
+    /// Generates a synthetic dataset and wraps it in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RankDeficientError`] if the generated design matrix is rank
+    /// deficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn synthetic(
+        m: usize,
+        d: usize,
+        noise: f64,
+        batch: usize,
+        seed: u64,
+    ) -> Result<Self, RankDeficientError> {
+        Ok(Self::new(LinearRegression::synthetic(m, d, noise, seed)?, batch))
+    }
+
+    /// The batch size `b`.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The wrapped single-sample workload.
+    #[must_use]
+    pub fn inner(&self) -> &LinearRegression {
+        &self.inner
+    }
+}
+
+impl GradientOracle for MinibatchRegression {
+    fn dimension(&self) -> usize {
+        self.inner.dimension()
+    }
+
+    fn sample_gradient(&self, x: &[f64], rng: &mut dyn RngCore, out: &mut [f64]) {
+        let d = self.dimension();
+        assert_eq!(x.len(), d, "x dimension mismatch");
+        assert_eq!(out.len(), d, "out dimension mismatch");
+        out.fill(0.0);
+        let data = self.inner.data();
+        for _ in 0..self.batch {
+            let i = rng.gen_range(0..data.len());
+            let a = &data.features[i];
+            let r = asgd_math::vec::dot(a, x) - data.targets[i];
+            for (o, &ai) in out.iter_mut().zip(a) {
+                *o += r * ai;
+            }
+        }
+        let inv_b = 1.0 / self.batch as f64;
+        for o in out.iter_mut() {
+            *o *= inv_b;
+        }
+    }
+
+    fn full_gradient(&self, x: &[f64], out: &mut [f64]) {
+        self.inner.full_gradient(x, out);
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        self.inner.objective(x)
+    }
+
+    fn minimizer(&self) -> &[f64] {
+        self.inner.minimizer()
+    }
+
+    fn constants(&self, radius: f64) -> Constants {
+        // Averaging cannot increase E‖g̃‖² (Jensen), so the single-sample
+        // bound remains valid; c and L carry over unchanged.
+        self.inner.constants(radius)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::unbiasedness_gap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(batch: usize) -> MinibatchRegression {
+        MinibatchRegression::synthetic(100, 4, 0.1, batch, 5).expect("well-conditioned")
+    }
+
+    #[test]
+    fn batch_one_matches_single_sample_statistics() {
+        let w = workload(1);
+        assert_eq!(w.batch(), 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let gap = unbiasedness_gap(&w, &[0.5, -0.5, 0.2, 0.0], &mut rng, 40_000);
+        assert!(gap < 0.2, "gap {gap}");
+    }
+
+    #[test]
+    fn minibatch_gradient_is_unbiased() {
+        let w = workload(8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let gap = unbiasedness_gap(&w, &[0.3, 0.1, -0.7, 0.4], &mut rng, 20_000);
+        assert!(gap < 0.2, "gap {gap}");
+    }
+
+    #[test]
+    fn larger_batches_reduce_variance() {
+        let w1 = workload(1);
+        let w16 = workload(16);
+        let x = [0.5, -0.5, 0.2, 0.1];
+        let measure = |w: &MinibatchRegression, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = vec![0.0; 4];
+            let mut stats = asgd_math::OnlineStats::new();
+            let mut exact = vec![0.0; 4];
+            w.full_gradient(&x, &mut exact);
+            for _ in 0..5_000 {
+                w.sample_gradient(&x, &mut rng, &mut g);
+                stats.push(asgd_math::vec::l2_dist_sq(&g, &exact));
+            }
+            stats.mean()
+        };
+        let v1 = measure(&w1, 3);
+        let v16 = measure(&w16, 3);
+        assert!(
+            v16 < v1 / 4.0,
+            "batch-16 variance {v16} should be ≪ single-sample {v1}"
+        );
+    }
+
+    #[test]
+    fn delegated_quantities_match_inner() {
+        let w = workload(4);
+        assert_eq!(w.minimizer(), w.inner().minimizer());
+        assert_eq!(w.objective(&[0.0; 4]), w.inner().objective(&[0.0; 4]));
+        let k = w.constants(1.0);
+        let ki = w.inner().constants(1.0);
+        assert_eq!(k.c, ki.c);
+        assert_eq!(k.l, ki.l);
+        assert!(w.name().contains("b=4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be at least 1")]
+    fn rejects_zero_batch() {
+        let _ = workload(0);
+    }
+}

@@ -1,0 +1,169 @@
+//! The [`GradientOracle`] trait.
+
+use crate::constants::Constants;
+use rand::RngCore;
+
+/// A stochastic-gradient oracle for a strongly convex objective.
+///
+/// This is the interface consumed by every SGD implementation in the
+/// workspace (the sequential baseline, the simulated lock-free Algorithm 1,
+/// and the native Hogwild runtime). Implementations must be `Send + Sync` —
+/// native threads share one oracle — and deterministic given the caller's
+/// RNG, so simulated executions replay exactly.
+pub trait GradientOracle: Send + Sync {
+    /// Model dimension `d`.
+    fn dimension(&self) -> usize;
+
+    /// Draws a stochastic gradient `g̃(x)` into `out`, using `rng` for the
+    /// sample coin (and any gradient noise).
+    ///
+    /// Must satisfy `E[g̃(x)] = ∇f(x)` (unbiasedness).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len()` or `out.len()` differ from
+    /// [`GradientOracle::dimension`].
+    fn sample_gradient(&self, x: &[f64], rng: &mut dyn RngCore, out: &mut [f64]);
+
+    /// Writes the exact gradient `∇f(x)` into `out` (for diagnostics and
+    /// unbiasedness tests).
+    fn full_gradient(&self, x: &[f64], out: &mut [f64]);
+
+    /// Evaluates the objective `f(x)`.
+    fn objective(&self, x: &[f64]) -> f64;
+
+    /// The minimiser `x*` of `f`.
+    fn minimizer(&self) -> &[f64];
+
+    /// Analytic constants `(c, L, M²)` valid within distance `radius` of the
+    /// minimiser (§3 assumptions). Documented upper bounds, not estimates.
+    fn constants(&self, radius: f64) -> Constants;
+
+    /// Convenience: squared distance of `x` to the minimiser, the quantity
+    /// compared against the success threshold `ε`.
+    fn dist_sq_to_opt(&self, x: &[f64]) -> f64 {
+        asgd_math::vec::l2_dist_sq(x, self.minimizer())
+    }
+
+    /// Short name for experiment tables.
+    fn name(&self) -> &str {
+        "oracle"
+    }
+}
+
+/// Blanket impl so `&O` can be passed where an oracle is expected.
+impl<O: GradientOracle + ?Sized> GradientOracle for &O {
+    fn dimension(&self) -> usize {
+        (**self).dimension()
+    }
+    fn sample_gradient(&self, x: &[f64], rng: &mut dyn RngCore, out: &mut [f64]) {
+        (**self).sample_gradient(x, rng, out);
+    }
+    fn full_gradient(&self, x: &[f64], out: &mut [f64]) {
+        (**self).full_gradient(x, out);
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        (**self).objective(x)
+    }
+    fn minimizer(&self) -> &[f64] {
+        (**self).minimizer()
+    }
+    fn constants(&self, radius: f64) -> Constants {
+        (**self).constants(radius)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Blanket impl for shared ownership across native threads.
+impl<O: GradientOracle + ?Sized> GradientOracle for std::sync::Arc<O> {
+    fn dimension(&self) -> usize {
+        (**self).dimension()
+    }
+    fn sample_gradient(&self, x: &[f64], rng: &mut dyn RngCore, out: &mut [f64]) {
+        (**self).sample_gradient(x, rng, out);
+    }
+    fn full_gradient(&self, x: &[f64], out: &mut [f64]) {
+        (**self).full_gradient(x, out);
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        (**self).objective(x)
+    }
+    fn minimizer(&self) -> &[f64] {
+        (**self).minimizer()
+    }
+    fn constants(&self, radius: f64) -> Constants {
+        (**self).constants(radius)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Checks `E[g̃(x)] ≈ ∇f(x)` by Monte-Carlo averaging `samples` stochastic
+/// gradients at `x` and comparing with the exact gradient.
+///
+/// Returns the ℓ∞ deviation between the empirical mean gradient and `∇f(x)`.
+/// Test helper used across workload test suites.
+pub fn unbiasedness_gap<O: GradientOracle + ?Sized>(
+    oracle: &O,
+    x: &[f64],
+    rng: &mut dyn RngCore,
+    samples: usize,
+) -> f64 {
+    let d = oracle.dimension();
+    let mut mean = vec![0.0; d];
+    let mut g = vec![0.0; d];
+    for _ in 0..samples {
+        oracle.sample_gradient(x, rng, &mut g);
+        for (m, gi) in mean.iter_mut().zip(&g) {
+            *m += gi;
+        }
+    }
+    for m in &mut mean {
+        *m /= samples as f64;
+    }
+    let mut exact = vec![0.0; d];
+    oracle.full_gradient(x, &mut exact);
+    mean.iter()
+        .zip(&exact)
+        .fold(0.0_f64, |acc, (m, e)| acc.max((m - e).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadratic::NoisyQuadratic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn reference_and_arc_delegate() {
+        let o = NoisyQuadratic::new(3, 0.5).unwrap();
+        let r = &o;
+        assert_eq!(GradientOracle::dimension(&r), 3);
+        assert_eq!(r.minimizer(), &[0.0, 0.0, 0.0]);
+        assert_eq!(r.name(), "noisy-quadratic");
+        let a: Arc<dyn GradientOracle> = Arc::new(NoisyQuadratic::new(2, 0.1).unwrap());
+        assert_eq!(a.dimension(), 2);
+        assert!(a.objective(&[1.0, 1.0]) > 0.0);
+        let k = a.constants(1.0);
+        assert!(k.c > 0.0);
+    }
+
+    #[test]
+    fn dist_sq_to_opt_default_impl() {
+        let o = NoisyQuadratic::new(2, 0.0).unwrap();
+        assert_eq!(o.dist_sq_to_opt(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn unbiasedness_gap_small_for_quadratic() {
+        let o = NoisyQuadratic::new(4, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let gap = unbiasedness_gap(&o, &[1.0, -2.0, 0.5, 3.0], &mut rng, 40_000);
+        assert!(gap < 0.05, "gap {gap}");
+    }
+}

@@ -1,0 +1,215 @@
+//! The §5 lower-bound workload: `f(x) = ½‖x‖²` with Gaussian gradient noise.
+
+use crate::constants::Constants;
+use crate::oracle::GradientOracle;
+use asgd_math::gaussian::standard_normal;
+use rand::RngCore;
+
+/// Strongly convex quadratic `f(x) = ½‖x‖²` with stochastic gradients
+/// `g̃(x) = x − ũ`, `ũ ~ N(0, σ²·I)` — exactly the construction §5 of the
+/// paper uses to prove the `Ω(τ)` slowdown lower bound.
+///
+/// Constants (§3): `c = 1` (exact), `L = 1` (exact, under common random
+/// numbers `g̃(x) − g̃(y) = x − y`), and `E‖g̃(x)‖² = ‖x‖² + d·σ²`, so within
+/// radius `R` of the optimum `M² = R² + d·σ²` (tight).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoisyQuadratic {
+    d: usize,
+    sigma: f64,
+    minimizer: Vec<f64>,
+}
+
+/// Error returned when constructing a workload with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidWorkloadError(pub &'static str);
+
+impl std::fmt::Display for InvalidWorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid workload parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidWorkloadError {}
+
+impl NoisyQuadratic {
+    /// Creates the workload in dimension `d` with noise level `sigma ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `d == 0` or `sigma` is negative/non-finite.
+    pub fn new(d: usize, sigma: f64) -> Result<Self, InvalidWorkloadError> {
+        if d == 0 {
+            return Err(InvalidWorkloadError("dimension must be at least 1"));
+        }
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(InvalidWorkloadError("sigma must be finite and >= 0"));
+        }
+        Ok(Self {
+            d,
+            sigma,
+            minimizer: vec![0.0; d],
+        })
+    }
+
+    /// The noise level σ.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl GradientOracle for NoisyQuadratic {
+    fn dimension(&self) -> usize {
+        self.d
+    }
+
+    fn sample_gradient(&self, x: &[f64], rng: &mut dyn RngCore, out: &mut [f64]) {
+        assert_eq!(x.len(), self.d, "x dimension mismatch");
+        assert_eq!(out.len(), self.d, "out dimension mismatch");
+        for (o, xi) in out.iter_mut().zip(x) {
+            let noise = if self.sigma > 0.0 {
+                self.sigma * standard_normal(rng)
+            } else {
+                0.0
+            };
+            *o = xi - noise;
+        }
+    }
+
+    fn full_gradient(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.d, "x dimension mismatch");
+        out.copy_from_slice(x);
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        0.5 * asgd_math::vec::l2_norm_sq(x)
+    }
+
+    fn minimizer(&self) -> &[f64] {
+        &self.minimizer
+    }
+
+    fn constants(&self, radius: f64) -> Constants {
+        assert!(radius > 0.0, "radius must be positive");
+        Constants::new(
+            1.0,
+            1.0,
+            radius * radius + self.d as f64 * self.sigma * self.sigma,
+            radius,
+        )
+    }
+
+    fn name(&self) -> &str {
+        "noisy-quadratic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::unbiasedness_gap;
+    use asgd_math::OnlineStats;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(NoisyQuadratic::new(0, 1.0).is_err());
+        assert!(NoisyQuadratic::new(2, -1.0).is_err());
+        assert!(NoisyQuadratic::new(2, f64::NAN).is_err());
+        let e = NoisyQuadratic::new(0, 1.0).unwrap_err();
+        assert!(e.to_string().contains("dimension"));
+    }
+
+    #[test]
+    fn noiseless_gradient_is_exact() {
+        let o = NoisyQuadratic::new(3, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = [1.0, -2.0, 3.0];
+        let mut g = vec![0.0; 3];
+        o.sample_gradient(&x, &mut rng, &mut g);
+        assert_eq!(g, vec![1.0, -2.0, 3.0]);
+        assert_eq!(o.sigma(), 0.0);
+    }
+
+    #[test]
+    fn objective_and_minimizer() {
+        let o = NoisyQuadratic::new(2, 0.5).unwrap();
+        assert_eq!(o.objective(&[3.0, 4.0]), 12.5);
+        assert_eq!(o.objective(o.minimizer()), 0.0);
+        let mut g = vec![9.0; 2];
+        o.full_gradient(o.minimizer(), &mut g);
+        assert_eq!(g, vec![0.0, 0.0], "gradient vanishes at the minimiser");
+    }
+
+    #[test]
+    fn gradient_is_unbiased() {
+        let o = NoisyQuadratic::new(3, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let gap = unbiasedness_gap(&o, &[0.5, -1.0, 2.0], &mut rng, 60_000);
+        assert!(gap < 0.05, "gap {gap}");
+    }
+
+    #[test]
+    fn second_moment_matches_analytic_value() {
+        // E‖g̃(x)‖² = ‖x‖² + d·σ².
+        let o = NoisyQuadratic::new(2, 1.5).unwrap();
+        let x = [1.0, 2.0];
+        let analytic = 5.0 + 2.0 * 2.25;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut stats = OnlineStats::new();
+        let mut g = vec![0.0; 2];
+        for _ in 0..60_000 {
+            o.sample_gradient(&x, &mut rng, &mut g);
+            stats.push(asgd_math::vec::l2_norm_sq(&g));
+        }
+        assert!(
+            (stats.mean() - analytic).abs() / analytic < 0.03,
+            "measured {} vs analytic {}",
+            stats.mean(),
+            analytic
+        );
+        // And the reported M² at radius ‖x‖ dominates it.
+        let k = o.constants(asgd_math::vec::l2_norm(&x));
+        assert!(k.m_sq >= analytic * 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_panics() {
+        let o = NoisyQuadratic::new(3, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut g = vec![0.0; 3];
+        o.sample_gradient(&[1.0], &mut rng, &mut g);
+    }
+
+    proptest! {
+        /// Strong convexity holds with c = 1 exactly:
+        /// (x−y)ᵀ(∇f(x)−∇f(y)) = ‖x−y‖².
+        #[test]
+        fn strong_convexity_exact(
+            x in proptest::collection::vec(-1e2_f64..1e2, 4),
+            y in proptest::collection::vec(-1e2_f64..1e2, 4),
+        ) {
+            let o = NoisyQuadratic::new(4, 0.0).unwrap();
+            let mut gx = vec![0.0; 4];
+            let mut gy = vec![0.0; 4];
+            o.full_gradient(&x, &mut gx);
+            o.full_gradient(&y, &mut gy);
+            let diff = asgd_math::vec::sub(&x, &y);
+            let gdiff = asgd_math::vec::sub(&gx, &gy);
+            let lhs = asgd_math::vec::dot(&diff, &gdiff);
+            let rhs = asgd_math::vec::l2_norm_sq(&diff);
+            prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.max(1.0));
+        }
+
+        /// M² is monotone in the radius and in σ.
+        #[test]
+        fn m_sq_monotone(r1 in 0.1_f64..10.0, r2 in 0.1_f64..10.0, s in 0.0_f64..3.0) {
+            let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+            let o = NoisyQuadratic::new(3, s).unwrap();
+            prop_assert!(o.constants(lo).m_sq <= o.constants(hi).m_sq + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Single-nonzero-entry stochastic gradients — the De Sa et al. \[10\] regime.
+//!
+//! Theorem 6.3 (quoted from \[10\]) requires every stochastic gradient to
+//! touch exactly one coordinate; this paper's contribution (§3, footnote 2)
+//! is an analysis that *drops* that requirement. This workload exists so the
+//! experiment suite can run both regimes side by side.
+
+use crate::constants::Constants;
+use crate::oracle::GradientOracle;
+use asgd_math::gaussian::standard_normal;
+use crate::quadratic::InvalidWorkloadError;
+use rand::{Rng, RngCore};
+
+/// Diagonal quadratic `f(x) = ½·Σ_j w_j·x_j²` whose stochastic gradient
+/// samples one coordinate uniformly and returns
+/// `g̃(x) = (d·w_j·x_j + σ·z)·e_j`, `z ~ N(0,1)` — a single nonzero entry,
+/// unbiased for `∇f`.
+///
+/// Constants:
+/// * `c = min_j w_j` (exact),
+/// * `L = √(d·Σ_j w_j²)`: under common random numbers
+///   `E‖g̃(x)−g̃(y)‖ = (1/d)·Σ_j d·w_j·|x_j−y_j| ≤ √(Σ w_j²)·‖x−y‖`;
+///   we report the looser `√(d·Σ w_j²)` which also dominates the
+///   worst single coordinate `d·max_j w_j / √d`.
+/// * `M²(R) = d·(max_j w_j)²·R² + σ²`: from
+///   `E‖g̃(x)‖² = (1/d)·Σ_j (d²w_j²x_j² + σ²) = d·Σ_j w_j²x_j² + σ²`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseQuadratic {
+    weights: Vec<f64>,
+    sigma: f64,
+    minimizer: Vec<f64>,
+}
+
+impl SparseQuadratic {
+    /// Creates the workload with per-coordinate curvatures `weights` (all
+    /// strictly positive) and noise level `sigma ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weights` is empty, any weight is not strictly
+    /// positive and finite, or `sigma` is negative/non-finite.
+    pub fn new(weights: Vec<f64>, sigma: f64) -> Result<Self, InvalidWorkloadError> {
+        if weights.is_empty() {
+            return Err(InvalidWorkloadError("weights must be non-empty"));
+        }
+        if !weights.iter().all(|w| w.is_finite() && *w > 0.0) {
+            return Err(InvalidWorkloadError("weights must be positive and finite"));
+        }
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(InvalidWorkloadError("sigma must be finite and >= 0"));
+        }
+        let d = weights.len();
+        Ok(Self {
+            weights,
+            sigma,
+            minimizer: vec![0.0; d],
+        })
+    }
+
+    /// Uniform curvature `w_j = w` in dimension `d`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SparseQuadratic::new`].
+    pub fn uniform(d: usize, w: f64, sigma: f64) -> Result<Self, InvalidWorkloadError> {
+        if d == 0 {
+            return Err(InvalidWorkloadError("dimension must be at least 1"));
+        }
+        Self::new(vec![w; d], sigma)
+    }
+
+    /// The per-coordinate curvatures.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl GradientOracle for SparseQuadratic {
+    fn dimension(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn sample_gradient(&self, x: &[f64], rng: &mut dyn RngCore, out: &mut [f64]) {
+        let d = self.dimension();
+        assert_eq!(x.len(), d, "x dimension mismatch");
+        assert_eq!(out.len(), d, "out dimension mismatch");
+        out.fill(0.0);
+        let j = rng.gen_range(0..d);
+        let noise = if self.sigma > 0.0 {
+            self.sigma * standard_normal(rng)
+        } else {
+            0.0
+        };
+        out[j] = d as f64 * self.weights[j] * x[j] + noise;
+    }
+
+    fn full_gradient(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.dimension(), "x dimension mismatch");
+        for ((o, &w), &xi) in out.iter_mut().zip(&self.weights).zip(x) {
+            *o = w * xi;
+        }
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        0.5 * x
+            .iter()
+            .zip(&self.weights)
+            .map(|(&xi, &w)| w * xi * xi)
+            .sum::<f64>()
+    }
+
+    fn minimizer(&self) -> &[f64] {
+        &self.minimizer
+    }
+
+    fn constants(&self, radius: f64) -> Constants {
+        assert!(radius > 0.0, "radius must be positive");
+        let d = self.dimension() as f64;
+        let c = self.weights.iter().copied().fold(f64::INFINITY, f64::min);
+        let w_max = self.weights.iter().copied().fold(0.0_f64, f64::max);
+        let w_sq_sum: f64 = self.weights.iter().map(|w| w * w).sum();
+        let l = (d * w_sq_sum).sqrt();
+        let m_sq = d * w_max * w_max * radius * radius + self.sigma * self.sigma;
+        Constants::new(c, l, m_sq.max(f64::MIN_POSITIVE), radius)
+    }
+
+    fn name(&self) -> &str {
+        "sparse-quadratic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::unbiasedness_gap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(SparseQuadratic::new(vec![], 0.0).is_err());
+        assert!(SparseQuadratic::new(vec![1.0, 0.0], 0.0).is_err());
+        assert!(SparseQuadratic::new(vec![1.0], -1.0).is_err());
+        assert!(SparseQuadratic::uniform(0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn gradient_touches_exactly_one_entry() {
+        let o = SparseQuadratic::uniform(8, 0.5, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = vec![1.0; 8];
+        let mut g = vec![0.0; 8];
+        for _ in 0..100 {
+            o.sample_gradient(&x, &mut rng, &mut g);
+            let nonzero = g.iter().filter(|v| **v != 0.0).count();
+            assert!(nonzero <= 1, "more than one nonzero entry: {:?}", g);
+        }
+    }
+
+    #[test]
+    fn gradient_is_unbiased() {
+        let o = SparseQuadratic::new(vec![0.5, 1.0, 2.0], 0.4).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let gap = unbiasedness_gap(&o, &[1.0, -1.0, 0.5], &mut rng, 120_000);
+        assert!(gap < 0.05, "gap {gap}");
+    }
+
+    #[test]
+    fn objective_and_full_gradient() {
+        let o = SparseQuadratic::new(vec![2.0, 4.0], 0.0).unwrap();
+        assert_eq!(o.objective(&[1.0, 1.0]), 3.0);
+        let mut g = vec![0.0; 2];
+        o.full_gradient(&[1.0, -1.0], &mut g);
+        assert_eq!(g, vec![2.0, -4.0]);
+        assert_eq!(o.minimizer(), &[0.0, 0.0]);
+        assert_eq!(o.weights(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn second_moment_bound_dominates_measurement() {
+        let o = SparseQuadratic::new(vec![1.0, 0.5, 2.0], 0.7).unwrap();
+        let radius = 2.0;
+        let k = o.constants(radius);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Point on the trust-region boundary in the steepest coordinate.
+        let x = [0.0, 0.0, radius];
+        let mut g = vec![0.0; 3];
+        let mut acc = 0.0;
+        let trials = 40_000;
+        for _ in 0..trials {
+            o.sample_gradient(&x, &mut rng, &mut g);
+            acc += asgd_math::vec::l2_norm_sq(&g);
+        }
+        let measured = acc / trials as f64;
+        assert!(
+            measured <= k.m_sq,
+            "measured {measured} exceeds bound {}",
+            k.m_sq
+        );
+    }
+
+    #[test]
+    fn constants_reflect_extremes() {
+        let o = SparseQuadratic::new(vec![0.25, 1.0, 4.0], 0.0).unwrap();
+        let k = o.constants(1.0);
+        assert_eq!(k.c, 0.25);
+        assert!(k.l >= 4.0, "L must dominate the steepest coordinate");
+        assert_eq!(o.name(), "sparse-quadratic");
+    }
+}

@@ -1,0 +1,196 @@
+//! Synthetic dataset generation.
+//!
+//! The paper's motivating setting (§1) is empirical risk minimisation over a
+//! dataset `X_1, …, X_m` with per-point losses. These generators produce the
+//! regression and classification datasets the workloads train on, with
+//! Gaussian features and configurable label noise, fully determined by a
+//! seed.
+
+use asgd_math::gaussian::standard_normal;
+use asgd_math::rng::SeedSequence;
+use rand::Rng;
+
+/// A regression dataset: features `a_i ∈ R^d` with targets `b_i ∈ R`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionData {
+    /// Row-major features, `m` rows of length `d`.
+    pub features: Vec<Vec<f64>>,
+    /// Targets, length `m`.
+    pub targets: Vec<f64>,
+    /// The ground-truth parameter vector used to generate targets.
+    pub ground_truth: Vec<f64>,
+}
+
+impl RegressionData {
+    /// Number of samples `m`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True if the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Feature dimension `d`.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.ground_truth.len()
+    }
+}
+
+/// A binary-classification dataset: features with labels in `{−1, +1}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationData {
+    /// Row-major features, `m` rows of length `d`.
+    pub features: Vec<Vec<f64>>,
+    /// Labels in `{−1.0, +1.0}`, length `m`.
+    pub labels: Vec<f64>,
+    /// The separating direction used to generate labels.
+    pub ground_truth: Vec<f64>,
+}
+
+impl ClassificationData {
+    /// Number of samples `m`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimension `d`.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.ground_truth.len()
+    }
+}
+
+/// Generates a linear-regression dataset `b_i = a_iᵀ·x_true + η_i` with
+/// `a_i ~ N(0, I)` and `η_i ~ N(0, noise²)`.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `d == 0`, or if `noise` is negative or non-finite.
+#[must_use]
+pub fn regression(m: usize, d: usize, noise: f64, seed: u64) -> RegressionData {
+    assert!(m > 0 && d > 0, "dataset must be non-empty");
+    assert!(noise.is_finite() && noise >= 0.0, "noise must be >= 0");
+    let seq = SeedSequence::new(seed);
+    let mut rng = seq.child_rng(0);
+    let ground_truth: Vec<f64> = (0..d)
+        .map(|_| 2.0 * rng.gen::<f64>() - 1.0) // uniform in [-1, 1]
+        .collect();
+    let mut features = Vec::with_capacity(m);
+    let mut targets = Vec::with_capacity(m);
+    let mut data_rng = seq.child_rng(1);
+    for _ in 0..m {
+        let a: Vec<f64> = (0..d).map(|_| standard_normal(&mut data_rng)).collect();
+        let b = asgd_math::vec::dot(&a, &ground_truth) + noise * standard_normal(&mut data_rng);
+        features.push(a);
+        targets.push(b);
+    }
+    RegressionData {
+        features,
+        targets,
+        ground_truth,
+    }
+}
+
+/// Generates a linearly-separable-with-noise classification dataset:
+/// `y_i = sign(a_iᵀ·w + η_i)` with `a_i ~ N(0, I)`, `η_i ~ N(0, noise²)`.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `d == 0`, or if `noise` is negative or non-finite.
+#[must_use]
+pub fn classification(m: usize, d: usize, noise: f64, seed: u64) -> ClassificationData {
+    assert!(m > 0 && d > 0, "dataset must be non-empty");
+    assert!(noise.is_finite() && noise >= 0.0, "noise must be >= 0");
+    let seq = SeedSequence::new(seed ^ 0xC1A5_51F1);
+    let mut rng = seq.child_rng(0);
+    let mut ground_truth: Vec<f64> = (0..d).map(|_| standard_normal(&mut rng)).collect();
+    let norm = asgd_math::vec::l2_norm(&ground_truth).max(1e-12);
+    asgd_math::vec::scale(&mut ground_truth, 1.0 / norm);
+    let mut features = Vec::with_capacity(m);
+    let mut labels = Vec::with_capacity(m);
+    let mut data_rng = seq.child_rng(1);
+    for _ in 0..m {
+        let a: Vec<f64> = (0..d).map(|_| standard_normal(&mut data_rng)).collect();
+        let margin =
+            asgd_math::vec::dot(&a, &ground_truth) + noise * standard_normal(&mut data_rng);
+        labels.push(if margin >= 0.0 { 1.0 } else { -1.0 });
+        features.push(a);
+    }
+    ClassificationData {
+        features,
+        labels,
+        ground_truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_shapes_and_determinism() {
+        let a = regression(50, 4, 0.1, 9);
+        assert_eq!(a.len(), 50);
+        assert!(!a.is_empty());
+        assert_eq!(a.dimension(), 4);
+        assert_eq!(a.features.len(), 50);
+        assert!(a.features.iter().all(|f| f.len() == 4));
+        let b = regression(50, 4, 0.1, 9);
+        assert_eq!(a, b, "same seed reproduces dataset");
+        let c = regression(50, 4, 0.1, 10);
+        assert_ne!(a, c, "different seed differs");
+    }
+
+    #[test]
+    fn noiseless_regression_targets_are_exact() {
+        let data = regression(20, 3, 0.0, 4);
+        for (a, &b) in data.features.iter().zip(&data.targets) {
+            let pred = asgd_math::vec::dot(a, &data.ground_truth);
+            assert!((pred - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn classification_labels_are_signs() {
+        let data = classification(100, 5, 0.2, 3);
+        assert_eq!(data.len(), 100);
+        assert_eq!(data.dimension(), 5);
+        assert!(data.labels.iter().all(|&y| y == 1.0 || y == -1.0));
+        // Both classes should be represented for Gaussian features.
+        assert!(data.labels.contains(&1.0));
+        assert!(data.labels.contains(&-1.0));
+    }
+
+    #[test]
+    fn noiseless_classification_is_consistent_with_ground_truth() {
+        let data = classification(100, 4, 0.0, 8);
+        for (a, &y) in data.features.iter().zip(&data.labels) {
+            let margin = asgd_math::vec::dot(a, &data.ground_truth);
+            assert!(y * margin >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_dataset_panics() {
+        let _ = regression(0, 3, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be >= 0")]
+    fn negative_noise_panics() {
+        let _ = classification(10, 2, -0.5, 1);
+    }
+}

@@ -1,0 +1,844 @@
+//! Iteration ordering and contention accounting.
+//!
+//! The paper (§6.1) orders concurrent SGD iterations by the time of their
+//! first model `fetch&add` (Lemma 6.1) and defines, for each iteration θ:
+//!
+//! * the *interval contention* `ρ(θ)` — the number of iterations that can
+//!   execute concurrently with θ (§2),
+//! * `τ_max = max_θ ρ(θ)` and `τ_avg = (1/T)·Σ_θ ρ(θ)`, with the known bound
+//!   `τ_avg ≤ 2n` (Gibson–Gramoli),
+//! * the *staleness* `τ_t` — iteration `t`'s view `v_t` may be missing
+//!   updates from only the last `τ_t` iterations (§6.2).
+//!
+//! [`ContentionTracker`] reconstructs all of these live from the tagged op
+//! stream ([`OpTag`]) fired by the engine; [`ContentionReport`] finalises the
+//! statistics and provides executable audits of Lemma 6.2 and Lemma 6.4.
+
+use crate::op::{OpTag, Step, ThreadId};
+
+/// Where a thread currently is inside the Algorithm-1 iteration structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadPhase {
+    /// Not inside an iteration.
+    Idle,
+    /// Fired `C.fetch&add(1)` (claimed a slot) but not yet begun the scan.
+    Claimed {
+        /// Step at which the claim fired.
+        claim_step: Step,
+    },
+    /// Scanning the model to build its view `v_θ`.
+    Scanning {
+        /// Step at which the claim fired.
+        claim_step: Step,
+    },
+    /// Applying gradient entries; `iter` is the iteration's order index
+    /// (0-based; the paper's iteration `t` is `iter + 1`).
+    Writing {
+        /// Order index of the iteration being written.
+        iter: usize,
+    },
+}
+
+/// Record of one ordered iteration (ordered by first model write).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterRecord {
+    /// Thread that executed the iteration.
+    pub thread: ThreadId,
+    /// Step of the `ClaimIteration` op (iteration start for contention
+    /// purposes).
+    pub claim_step: Step,
+    /// Completed-iteration watermark observed when the view scan began; used
+    /// to derive staleness.
+    pub scan_start_watermark: u64,
+    /// Step of the first model write (the ordering event of Lemma 6.1).
+    pub first_write_step: Step,
+    /// Step of the last model write; `None` while (or forever if) incomplete.
+    pub last_write_step: Option<Step>,
+    /// Staleness `τ_t`: number of earlier-ordered iterations whose updates the
+    /// view may be missing (order index minus the watermark at scan start).
+    pub staleness: u64,
+}
+
+/// Live accounting of iteration structure during an execution.
+///
+/// Fed by the engine on every fired action; also exposed (read-only) to
+/// schedulers through the scheduling view, which is how adaptive adversaries
+/// know how many iterations have started since they froze a victim.
+#[derive(Debug, Clone)]
+pub struct ContentionTracker {
+    phases: Vec<ThreadPhase>,
+    /// Claim sequence number per thread for the *current* claim, if any.
+    claim_seq: Vec<Option<u64>>,
+    /// Watermark observed when each thread's current view scan began.
+    scan_watermarks: Vec<u64>,
+    iters: Vec<IterRecord>,
+    complete: Vec<bool>,
+    watermark: u64,
+    claims: u64,
+    completed_total: u64,
+    completed_by_thread: Vec<u64>,
+}
+
+impl ContentionTracker {
+    /// Creates a tracker for `n` threads.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            phases: vec![ThreadPhase::Idle; n],
+            claim_seq: vec![None; n],
+            scan_watermarks: vec![0; n],
+            iters: Vec::new(),
+            complete: Vec::new(),
+            watermark: 0,
+            claims: 0,
+            completed_total: 0,
+            completed_by_thread: vec![0; n],
+        }
+    }
+
+    /// Total `ClaimIteration` ops fired so far.
+    #[must_use]
+    pub fn claims(&self) -> u64 {
+        self.claims
+    }
+
+    /// Iterations that have performed their first model write (and therefore
+    /// have an order index).
+    #[must_use]
+    pub fn started(&self) -> u64 {
+        self.iters.len() as u64
+    }
+
+    /// Largest `W` such that iterations with order index `< W` are all
+    /// complete.
+    #[must_use]
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Total completed iterations.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed_total
+    }
+
+    /// Completed iterations executed by thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    #[must_use]
+    pub fn completed_by(&self, tid: ThreadId) -> u64 {
+        self.completed_by_thread[tid]
+    }
+
+    /// Current phase of thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    #[must_use]
+    pub fn phase(&self, tid: ThreadId) -> ThreadPhase {
+        self.phases[tid]
+    }
+
+    /// Claim sequence number of the claim the thread is currently working
+    /// under (`None` when idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    #[must_use]
+    pub fn current_claim_seq(&self, tid: ThreadId) -> Option<u64> {
+        self.claim_seq[tid]
+    }
+
+    /// All iteration records so far, in order.
+    #[must_use]
+    pub fn records(&self) -> &[IterRecord] {
+        &self.iters
+    }
+
+    /// Feeds one fired action.
+    pub fn observe(&mut self, thread: ThreadId, step: Step, tag: OpTag) {
+        match tag {
+            OpTag::Untagged | OpTag::SampleCoin => {}
+            OpTag::ClaimIteration => {
+                // A new claim discards any zero-write residue of the previous
+                // iteration.
+                self.phases[thread] = ThreadPhase::Claimed { claim_step: step };
+                self.claim_seq[thread] = Some(self.claims);
+                self.claims += 1;
+            }
+            OpTag::ViewRead { first, .. } => {
+                if first {
+                    let claim_step = match self.phases[thread] {
+                        ThreadPhase::Claimed { claim_step }
+                        | ThreadPhase::Scanning { claim_step } => claim_step,
+                        // Program without an explicit claim: treat the scan
+                        // start as the claim point.
+                        _ => step,
+                    };
+                    self.phases[thread] = ThreadPhase::Scanning { claim_step };
+                    // Stash the watermark at scan start in a side channel per
+                    // thread; reconstructed at first write.
+                    self.scan_watermarks[thread] = self.watermark;
+                }
+            }
+            OpTag::ModelWrite { first, last, .. } => {
+                if first {
+                    let (claim_step, scan_wm) = match self.phases[thread] {
+                        ThreadPhase::Scanning { claim_step } => {
+                            (claim_step, self.scan_watermarks[thread])
+                        }
+                        ThreadPhase::Claimed { claim_step } => (claim_step, self.watermark),
+                        // Blind writer without claim/scan structure.
+                        _ => (step, self.watermark),
+                    };
+                    let idx = self.iters.len();
+                    let staleness = (idx as u64).saturating_sub(scan_wm);
+                    self.iters.push(IterRecord {
+                        thread,
+                        claim_step,
+                        scan_start_watermark: scan_wm,
+                        first_write_step: step,
+                        last_write_step: None,
+                        staleness,
+                    });
+                    self.complete.push(false);
+                    self.phases[thread] = ThreadPhase::Writing { iter: idx };
+                }
+                if last {
+                    if let ThreadPhase::Writing { iter } = self.phases[thread] {
+                        self.iters[iter].last_write_step = Some(step);
+                        self.complete[iter] = true;
+                        while (self.watermark as usize) < self.complete.len()
+                            && self.complete[self.watermark as usize]
+                        {
+                            self.watermark += 1;
+                        }
+                        self.completed_total += 1;
+                        self.completed_by_thread[thread] += 1;
+                    }
+                    self.phases[thread] = ThreadPhase::Idle;
+                    self.claim_seq[thread] = None;
+                }
+            }
+        }
+    }
+
+    /// Marks a thread as retired (halted or crashed); any in-flight iteration
+    /// stays incomplete forever.
+    pub fn observe_retire(&mut self, thread: ThreadId) {
+        self.phases[thread] = ThreadPhase::Idle;
+        self.claim_seq[thread] = None;
+    }
+
+    /// Finalises the statistics into a [`ContentionReport`].
+    #[must_use]
+    pub fn report(&self) -> ContentionReport {
+        ContentionReport::from_records(&self.iters, self.phases.len())
+    }
+}
+
+/// Outcome of the Lemma 6.2 audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lemma62Audit {
+    /// Window size parameter `K`.
+    pub k: u64,
+    /// Number of windows examined.
+    pub windows: u64,
+    /// Maximum number of *bad* iterations completing in any window.
+    pub max_bad_completions: u64,
+    /// The lemma's bound: `n`.
+    pub bound: u64,
+    /// Whether `max_bad_completions < n` held in every window.
+    pub holds: bool,
+}
+
+/// Outcome of the Lemma 6.4 audit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lemma64Audit {
+    /// `max_t Σ_m 1{τ_{t+m} ≥ m}` over the execution.
+    pub max_sum: u64,
+    /// The lemma's bound `2√(τ_max·n)`.
+    pub bound: f64,
+    /// Whether `max_sum ≤ bound`.
+    pub holds: bool,
+}
+
+/// Finalised contention statistics for one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionReport {
+    n_threads: usize,
+    rho: Vec<u64>,
+    staleness: Vec<u64>,
+    records: Vec<IterRecord>,
+    incomplete: u64,
+}
+
+impl ContentionReport {
+    /// Builds the report from raw iteration records.
+    #[must_use]
+    pub fn from_records(records: &[IterRecord], n_threads: usize) -> Self {
+        let rho = interval_contention(records);
+        let staleness = records.iter().map(|r| r.staleness).collect();
+        let incomplete = records
+            .iter()
+            .filter(|r| r.last_write_step.is_none())
+            .count() as u64;
+        Self {
+            n_threads,
+            rho,
+            staleness,
+            records: records.to_vec(),
+            incomplete,
+        }
+    }
+
+    /// Number of ordered iterations (complete + incomplete).
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Iterations that never completed (thread crashed or ran out of steps).
+    #[must_use]
+    pub fn incomplete(&self) -> u64 {
+        self.incomplete
+    }
+
+    /// Number of simulated threads.
+    #[must_use]
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Interval contention `ρ(θ)` per iteration, in order.
+    #[must_use]
+    pub fn rho_values(&self) -> &[u64] {
+        &self.rho
+    }
+
+    /// Staleness `τ_t` per iteration, in order.
+    #[must_use]
+    pub fn staleness_values(&self) -> &[u64] {
+        &self.staleness
+    }
+
+    /// `τ_max = max_θ ρ(θ)` (0 when there are no iterations).
+    #[must_use]
+    pub fn tau_max(&self) -> u64 {
+        self.rho.iter().copied().max().unwrap_or(0)
+    }
+
+    /// `τ_avg = (1/T)·Σ_θ ρ(θ)` (0 when there are no iterations).
+    #[must_use]
+    pub fn tau_avg(&self) -> f64 {
+        if self.rho.is_empty() {
+            0.0
+        } else {
+            self.rho.iter().sum::<u64>() as f64 / self.rho.len() as f64
+        }
+    }
+
+    /// Maximum staleness `max_t τ_t`.
+    #[must_use]
+    pub fn staleness_max(&self) -> u64 {
+        self.staleness.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean staleness.
+    #[must_use]
+    pub fn staleness_avg(&self) -> f64 {
+        if self.staleness.is_empty() {
+            0.0
+        } else {
+            self.staleness.iter().sum::<u64>() as f64 / self.staleness.len() as f64
+        }
+    }
+
+    /// The Gibson–Gramoli bound `τ_avg ≤ 2n` quoted in §2.
+    #[must_use]
+    pub fn gibson_gramoli_holds(&self) -> bool {
+        self.tau_avg() <= 2.0 * self.n_threads as f64
+    }
+
+    /// Iteration records, in order.
+    #[must_use]
+    pub fn records(&self) -> &[IterRecord] {
+        &self.records
+    }
+
+    /// Audits **Lemma 6.2**: fix `K`; over every window in which `K·n`
+    /// consecutive iterations start, the number of *bad* iterations (those
+    /// overlapped by more than `K·n` starts) completing within the window
+    /// must be less than `n`.
+    ///
+    /// Returns `None` if the execution has fewer than `K·n` iterations (no
+    /// window exists).
+    #[must_use]
+    pub fn lemma_6_2(&self, k: u64) -> Option<Lemma62Audit> {
+        let n = self.n_threads as u64;
+        let window = (k * n) as usize;
+        if window == 0 || self.records.len() < window {
+            return None;
+        }
+        // Iteration "start" = claim step, per §2's interval-contention notion.
+        let mut claim_steps: Vec<Step> = self.records.iter().map(|r| r.claim_step).collect();
+        claim_steps.sort_unstable();
+        // bad(θ): more than K·n claims strictly inside (claim_θ, end_θ).
+        let bad_ends: Vec<Step> = self
+            .records
+            .iter()
+            .filter_map(|r| {
+                let end = r.last_write_step?;
+                let inside = count_in_open_range(&claim_steps, r.claim_step, end);
+                (inside > k * n).then_some(end)
+            })
+            .collect();
+        let mut bad_ends = bad_ends;
+        bad_ends.sort_unstable();
+
+        let mut max_bad = 0u64;
+        let mut windows = 0u64;
+        for w in claim_steps.windows(window) {
+            let (lo, hi) = (w[0], w[window - 1]);
+            let bad_in = count_in_closed_range(&bad_ends, lo, hi);
+            max_bad = max_bad.max(bad_in);
+            windows += 1;
+        }
+        Some(Lemma62Audit {
+            k,
+            windows,
+            max_bad_completions: max_bad,
+            bound: n,
+            holds: max_bad < n,
+        })
+    }
+
+    /// Audits **Lemma 6.4**: `max_t Σ_{m≥1} 1{τ_{t+m} ≥ m} ≤ 2√(τ_max·n)`,
+    /// evaluated with the measured staleness sequence and measured `τ_max`
+    /// (the maximum staleness).
+    #[must_use]
+    pub fn lemma_6_4(&self) -> Lemma64Audit {
+        let t_total = self.staleness.len();
+        // Σ_m 1{τ_{t+m} ≥ m} = #{s > t : s − τ_s ≤ t}; each s covers the
+        // index range [s − τ_s, s − 1], so the max over t is the max overlap
+        // of those ranges — computed with a difference array in O(T).
+        let mut diff = vec![0i64; t_total + 1];
+        for (s, &tau) in self.staleness.iter().enumerate() {
+            if tau == 0 {
+                continue;
+            }
+            let lo = (s as u64).saturating_sub(tau) as usize;
+            let hi = s; // exclusive upper bound: covers t ∈ [lo, s-1]
+            diff[lo] += 1;
+            diff[hi] -= 1;
+        }
+        let mut max_sum = 0i64;
+        let mut acc = 0i64;
+        for d in &diff {
+            acc += d;
+            max_sum = max_sum.max(acc);
+        }
+        let tau_max = self.staleness_max().max(1);
+        let bound = 2.0 * ((tau_max * self.n_threads as u64) as f64).sqrt();
+        Lemma64Audit {
+            max_sum: max_sum as u64,
+            bound,
+            holds: (max_sum as f64) <= bound,
+        }
+    }
+}
+
+/// Computes interval contention `ρ(θ)` for each iteration.
+///
+/// `ρ(θ)` = number of other iterations whose `[claim, end]` interval overlaps
+/// θ's. Incomplete iterations are treated as extending to infinity. Runs in
+/// `O(T log T)`.
+fn interval_contention(records: &[IterRecord]) -> Vec<u64> {
+    let t = records.len();
+    let mut rho = vec![0u64; t];
+    if t == 0 {
+        return rho;
+    }
+    let mut claim_steps: Vec<Step> = records.iter().map(|r| r.claim_step).collect();
+    claim_steps.sort_unstable();
+
+    // Sweep events in step order to get the number of active iterations at
+    // each claim.
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Start(usize),
+        End,
+    }
+    let mut events: Vec<(Step, Ev)> = Vec::with_capacity(2 * t);
+    for (i, r) in records.iter().enumerate() {
+        events.push((r.claim_step, Ev::Start(i)));
+        if let Some(e) = r.last_write_step {
+            events.push((e, Ev::End));
+        }
+    }
+    // Each step fires exactly one action globally, so steps are unique and
+    // there are no ordering ties to resolve.
+    events.sort_unstable_by_key(|(s, e)| (*s, matches!(e, Ev::Start(_)) as u8));
+    let mut active: i64 = 0;
+    let mut active_at_claim = vec![0u64; t];
+    for (_, ev) in events {
+        match ev {
+            Ev::Start(i) => {
+                active_at_claim[i] = active as u64;
+                active += 1;
+            }
+            Ev::End => active -= 1,
+        }
+    }
+    for (i, r) in records.iter().enumerate() {
+        let end = r.last_write_step.unwrap_or(Step::MAX);
+        let started_during = count_in_half_open_range(&claim_steps, r.claim_step, end);
+        rho[i] = active_at_claim[i] + started_during;
+    }
+    rho
+}
+
+/// Number of sorted values strictly inside `(lo, hi)`.
+fn count_in_open_range(sorted: &[Step], lo: Step, hi: Step) -> u64 {
+    if hi <= lo {
+        return 0;
+    }
+    let a = sorted.partition_point(|&s| s <= lo);
+    let b = sorted.partition_point(|&s| s < hi);
+    (b - a) as u64
+}
+
+/// Number of sorted values in `(lo, hi]`.
+fn count_in_half_open_range(sorted: &[Step], lo: Step, hi: Step) -> u64 {
+    let a = sorted.partition_point(|&s| s <= lo);
+    let b = sorted.partition_point(|&s| s <= hi);
+    (b.saturating_sub(a)) as u64
+}
+
+/// Number of sorted values in `[lo, hi]`.
+fn count_in_closed_range(sorted: &[Step], lo: Step, hi: Step) -> u64 {
+    let a = sorted.partition_point(|&s| s < lo);
+    let b = sorted.partition_point(|&s| s <= hi);
+    (b.saturating_sub(a)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        thread: ThreadId,
+        claim: Step,
+        first_w: Step,
+        last_w: Option<Step>,
+        staleness: u64,
+    ) -> IterRecord {
+        IterRecord {
+            thread,
+            claim_step: claim,
+            scan_start_watermark: 0,
+            first_write_step: first_w,
+            last_write_step: last_w,
+            staleness,
+        }
+    }
+
+    #[test]
+    fn tracker_single_thread_sequence() {
+        let mut t = ContentionTracker::new(1);
+        t.observe(0, 0, OpTag::ClaimIteration);
+        t.observe(
+            0,
+            1,
+            OpTag::ViewRead {
+                entry: 0,
+                first: true,
+                last: true,
+            },
+        );
+        t.observe(0, 2, OpTag::SampleCoin);
+        t.observe(
+            0,
+            3,
+            OpTag::ModelWrite {
+                entry: 0,
+                first: true,
+                last: true,
+            },
+        );
+        assert_eq!(t.claims(), 1);
+        assert_eq!(t.started(), 1);
+        assert_eq!(t.completed(), 1);
+        assert_eq!(t.watermark(), 1);
+        assert_eq!(t.completed_by(0), 1);
+        let r = &t.records()[0];
+        assert_eq!(r.claim_step, 0);
+        assert_eq!(r.first_write_step, 3);
+        assert_eq!(r.last_write_step, Some(3));
+        assert_eq!(r.staleness, 0);
+    }
+
+    #[test]
+    fn tracker_staleness_counts_missed_iterations() {
+        // Thread 1 scans before thread 0 completes two iterations; thread 1's
+        // iteration is ordered third and misses both ⇒ staleness 2.
+        let mut t = ContentionTracker::new(2);
+        // Thread 1 claims and starts scanning at watermark 0.
+        t.observe(1, 0, OpTag::ClaimIteration);
+        t.observe(
+            1,
+            1,
+            OpTag::ViewRead {
+                entry: 0,
+                first: true,
+                last: true,
+            },
+        );
+        // Thread 0 runs two complete iterations.
+        for base in [2u64, 6u64] {
+            t.observe(0, base, OpTag::ClaimIteration);
+            t.observe(
+                0,
+                base + 1,
+                OpTag::ViewRead {
+                    entry: 0,
+                    first: true,
+                    last: true,
+                },
+            );
+            t.observe(
+                0,
+                base + 2,
+                OpTag::ModelWrite {
+                    entry: 0,
+                    first: true,
+                    last: true,
+                },
+            );
+        }
+        assert_eq!(t.watermark(), 2);
+        // Thread 1 finally writes: order index 2, scan watermark was 0.
+        t.observe(
+            1,
+            10,
+            OpTag::ModelWrite {
+                entry: 0,
+                first: true,
+                last: true,
+            },
+        );
+        assert_eq!(t.records()[2].staleness, 2);
+        assert_eq!(t.watermark(), 3);
+    }
+
+    #[test]
+    fn tracker_watermark_stalls_on_incomplete_prefix() {
+        let mut t = ContentionTracker::new(2);
+        // Thread 0 does first write but never the last (d = 2 model).
+        t.observe(0, 0, OpTag::ClaimIteration);
+        t.observe(
+            0,
+            1,
+            OpTag::ViewRead {
+                entry: 0,
+                first: true,
+                last: false,
+            },
+        );
+        t.observe(
+            0,
+            2,
+            OpTag::ViewRead {
+                entry: 1,
+                first: false,
+                last: true,
+            },
+        );
+        t.observe(
+            0,
+            3,
+            OpTag::ModelWrite {
+                entry: 0,
+                first: true,
+                last: false,
+            },
+        );
+        // Thread 1 completes a whole iteration meanwhile (ordered second).
+        t.observe(1, 4, OpTag::ClaimIteration);
+        t.observe(
+            1,
+            5,
+            OpTag::ViewRead {
+                entry: 0,
+                first: true,
+                last: false,
+            },
+        );
+        t.observe(
+            1,
+            6,
+            OpTag::ViewRead {
+                entry: 1,
+                first: false,
+                last: true,
+            },
+        );
+        t.observe(
+            1,
+            7,
+            OpTag::ModelWrite {
+                entry: 0,
+                first: true,
+                last: false,
+            },
+        );
+        t.observe(
+            1,
+            8,
+            OpTag::ModelWrite {
+                entry: 1,
+                first: false,
+                last: true,
+            },
+        );
+        assert_eq!(t.completed(), 1);
+        assert_eq!(t.watermark(), 0, "prefix incomplete: iteration 0 unfinished");
+        // Thread 0 finishes; watermark jumps over both.
+        t.observe(
+            0,
+            9,
+            OpTag::ModelWrite {
+                entry: 1,
+                first: false,
+                last: true,
+            },
+        );
+        assert_eq!(t.watermark(), 2);
+    }
+
+    #[test]
+    fn tracker_retire_clears_phase() {
+        let mut t = ContentionTracker::new(1);
+        t.observe(0, 0, OpTag::ClaimIteration);
+        assert!(matches!(t.phase(0), ThreadPhase::Claimed { .. }));
+        assert_eq!(t.current_claim_seq(0), Some(0));
+        t.observe_retire(0);
+        assert_eq!(t.phase(0), ThreadPhase::Idle);
+        assert_eq!(t.current_claim_seq(0), None);
+    }
+
+    #[test]
+    fn rho_sequential_iterations_do_not_overlap() {
+        let records = vec![
+            rec(0, 0, 1, Some(2), 0),
+            rec(0, 3, 4, Some(5), 0),
+            rec(0, 6, 7, Some(8), 0),
+        ];
+        let report = ContentionReport::from_records(&records, 1);
+        assert_eq!(report.rho_values(), &[0, 0, 0]);
+        assert_eq!(report.tau_max(), 0);
+        assert_eq!(report.tau_avg(), 0.0);
+        assert!(report.gibson_gramoli_holds());
+    }
+
+    #[test]
+    fn rho_counts_overlaps_in_both_directions() {
+        // it0 spans [0, 10]; it1 [2, 4]; it2 [5, 7]; it3 [12, 13].
+        let records = vec![
+            rec(0, 0, 1, Some(10), 0),
+            rec(1, 2, 3, Some(4), 1),
+            rec(1, 5, 6, Some(7), 1),
+            rec(1, 12, 12, Some(13), 0),
+        ];
+        let report = ContentionReport::from_records(&records, 2);
+        assert_eq!(report.rho_values(), &[2, 1, 1, 0]);
+        assert_eq!(report.tau_max(), 2);
+        assert!((report.tau_avg() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_incomplete_iteration_overlaps_everything_later() {
+        let records = vec![
+            rec(0, 0, 1, None, 0), // never completes
+            rec(1, 2, 3, Some(4), 0),
+            rec(1, 5, 6, Some(7), 0),
+        ];
+        let report = ContentionReport::from_records(&records, 2);
+        assert_eq!(report.incomplete(), 1);
+        assert_eq!(report.rho_values()[0], 2);
+        assert_eq!(report.rho_values()[1], 1);
+        assert_eq!(report.rho_values()[2], 1);
+    }
+
+    #[test]
+    fn lemma_6_4_audit_simple_sequence() {
+        // staleness all zero ⇒ max_sum 0, holds trivially.
+        let records = vec![rec(0, 0, 1, Some(2), 0), rec(0, 3, 4, Some(5), 0)];
+        let report = ContentionReport::from_records(&records, 1);
+        let audit = report.lemma_6_4();
+        assert_eq!(audit.max_sum, 0);
+        assert!(audit.holds);
+    }
+
+    #[test]
+    fn lemma_6_4_audit_counts_coverage() {
+        // τ = [0, 1, 1, 0]: s=1 covers t∈[0,0]; s=2 covers t∈[1,1] ⇒ max 1.
+        let records = vec![
+            rec(0, 0, 1, Some(2), 0),
+            rec(0, 3, 4, Some(5), 1),
+            rec(0, 6, 7, Some(8), 1),
+            rec(0, 9, 10, Some(11), 0),
+        ];
+        let report = ContentionReport::from_records(&records, 2);
+        let audit = report.lemma_6_4();
+        assert_eq!(audit.max_sum, 1);
+        // bound = 2√(1·2) ≈ 2.83
+        assert!(audit.holds);
+    }
+
+    #[test]
+    fn lemma_6_2_none_when_too_few_iterations() {
+        let records = vec![rec(0, 0, 1, Some(2), 0)];
+        let report = ContentionReport::from_records(&records, 2);
+        assert!(report.lemma_6_2(1).is_none());
+    }
+
+    #[test]
+    fn lemma_6_2_clean_sequential_execution_holds() {
+        let records: Vec<IterRecord> = (0..10)
+            .map(|i| rec(0, 3 * i, 3 * i + 1, Some(3 * i + 2), 0))
+            .collect();
+        let report = ContentionReport::from_records(&records, 2);
+        let audit = report.lemma_6_2(2).expect("enough iterations");
+        assert_eq!(audit.max_bad_completions, 0);
+        assert!(audit.holds);
+        assert!(audit.windows > 0);
+    }
+
+    #[test]
+    fn range_counters() {
+        let v = vec![1, 3, 5, 7, 9];
+        assert_eq!(count_in_open_range(&v, 1, 9), 3); // 3,5,7
+        assert_eq!(count_in_open_range(&v, 0, 2), 1); // 1
+        assert_eq!(count_in_open_range(&v, 9, 1), 0);
+        assert_eq!(count_in_half_open_range(&v, 1, 9), 4); // 3,5,7,9
+        assert_eq!(count_in_closed_range(&v, 1, 9), 5);
+        assert_eq!(count_in_closed_range(&v, 2, 2), 0);
+    }
+
+    #[test]
+    fn report_counts_and_stats() {
+        let records = vec![rec(0, 0, 1, Some(4), 2), rec(1, 2, 3, Some(6), 1)];
+        let report = ContentionReport::from_records(&records, 2);
+        assert_eq!(report.iterations(), 2);
+        assert_eq!(report.n_threads(), 2);
+        assert_eq!(report.staleness_max(), 2);
+        assert!((report.staleness_avg() - 1.5).abs() < 1e-12);
+        assert_eq!(report.staleness_values(), &[2, 1]);
+        assert_eq!(report.records().len(), 2);
+    }
+}

@@ -1,0 +1,566 @@
+//! The execution engine.
+//!
+//! Drives `n` [`Process`]es against a [`Memory`] under a [`Scheduler`],
+//! firing exactly one declared action per global step. Processes pre-declare
+//! their next action (drawing local coins in the process), the scheduler
+//! observes everything and picks, the engine applies — the strong-adversary
+//! execution model of §2 of the paper.
+
+use crate::contention::{ContentionReport, ContentionTracker};
+use crate::memory::Memory;
+use crate::op::{Action, OpResult, Step, ThreadId};
+use crate::process::{Process, ProcessCtx};
+use crate::sched::{Decision, SchedView, Scheduler, ThreadStatus, ThreadView};
+use crate::trace::{EventKind, EventRecord, Trace, TraceLevel};
+use asgd_math::rng::SeedSequence;
+use rand::rngs::StdRng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A streaming observer of fired events (see
+/// [`EngineBuilder::observer`]).
+pub type EventObserver = Box<dyn FnMut(&EventRecord)>;
+
+/// Why the engine stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every process halted (or was crashed).
+    AllDone,
+    /// The configured step budget ran out.
+    StepBudgetExhausted,
+}
+
+/// Final state and statistics of one simulated execution.
+#[derive(Debug)]
+pub struct ExecutionReport {
+    /// Number of steps fired.
+    pub steps: Step,
+    /// Why the run ended.
+    pub stop: StopReason,
+    /// Processes that halted normally.
+    pub halted: usize,
+    /// Processes crashed by the adversary.
+    pub crashed: usize,
+    /// Final shared memory.
+    pub memory: Memory,
+    /// Finalised contention statistics.
+    pub contention: ContentionReport,
+    /// Full event trace, if [`TraceLevel::Events`] was requested.
+    pub trace: Option<Trace>,
+    /// Deterministic digest of the execution (steps, final memory, and the
+    /// event trace when recorded). Equal seeds and schedulers ⇒ equal hashes.
+    pub fingerprint: u64,
+}
+
+/// Builder for an [`Engine`].
+///
+/// # Example
+///
+/// ```
+/// use asgd_shmem::engine::Engine;
+/// use asgd_shmem::memory::Memory;
+/// use asgd_shmem::process::FaaHammer;
+/// use asgd_shmem::sched::StepRoundRobin;
+///
+/// let report = Engine::builder()
+///     .memory(Memory::new(1, 0))
+///     .process(FaaHammer::new(0, 1.0, 10))
+///     .process(FaaHammer::new(0, 1.0, 10))
+///     .scheduler(StepRoundRobin::new())
+///     .seed(42)
+///     .build()
+///     .run();
+/// assert_eq!(report.memory.float(0), 20.0);
+/// ```
+#[derive(Default)]
+pub struct EngineBuilder {
+    memory: Option<Memory>,
+    processes: Vec<Box<dyn Process>>,
+    scheduler: Option<Box<dyn Scheduler>>,
+    seed: u64,
+    max_steps: Option<Step>,
+    trace: TraceLevel,
+    max_crashes: Option<usize>,
+    observer: Option<EventObserver>,
+}
+
+impl EngineBuilder {
+    /// Sets the initial shared memory (required).
+    #[must_use]
+    pub fn memory(mut self, memory: Memory) -> Self {
+        self.memory = Some(memory);
+        self
+    }
+
+    /// Adds one process (at least one required). Thread ids are assigned in
+    /// insertion order.
+    #[must_use]
+    pub fn process(mut self, p: impl Process + 'static) -> Self {
+        self.processes.push(Box::new(p));
+        self
+    }
+
+    /// Adds `n` processes produced by `f(thread_id)`.
+    #[must_use]
+    pub fn processes_with(
+        mut self,
+        n: usize,
+        mut f: impl FnMut(ThreadId) -> Box<dyn Process>,
+    ) -> Self {
+        for _ in 0..n {
+            let id = self.processes.len();
+            self.processes.push(f(id));
+        }
+        self
+    }
+
+    /// Sets the scheduler (required).
+    #[must_use]
+    pub fn scheduler(mut self, s: impl Scheduler + 'static) -> Self {
+        self.scheduler = Some(Box::new(s));
+        self
+    }
+
+    /// Sets the master seed from which per-process coin streams are derived.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of fired steps (default: unlimited).
+    #[must_use]
+    pub fn max_steps(mut self, max: Step) -> Self {
+        self.max_steps = Some(max);
+        self
+    }
+
+    /// Selects the trace level (default [`TraceLevel::Off`]).
+    #[must_use]
+    pub fn trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
+        self
+    }
+
+    /// Overrides the crash budget (default `n − 1`, the model's maximum).
+    #[must_use]
+    pub fn max_crashes(mut self, c: usize) -> Self {
+        self.max_crashes = Some(c);
+        self
+    }
+
+    /// Installs a streaming observer called with every fired event, in firing
+    /// order, regardless of trace level. Used by live monitors (e.g. the
+    /// hitting-time monitor of `asgd-core`) that would otherwise need a full
+    /// in-memory trace.
+    #[must_use]
+    pub fn observer(mut self, f: impl FnMut(&EventRecord) + 'static) -> Self {
+        self.observer = Some(Box::new(f));
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if memory or scheduler is missing, or no process was added.
+    #[must_use]
+    pub fn build(self) -> Engine {
+        let memory = self.memory.expect("EngineBuilder: memory is required");
+        let scheduler = self.scheduler.expect("EngineBuilder: scheduler is required");
+        assert!(
+            !self.processes.is_empty(),
+            "EngineBuilder: at least one process is required"
+        );
+        let n = self.processes.len();
+        let seeds = SeedSequence::new(self.seed);
+        let slots: Vec<Slot> = self
+            .processes
+            .into_iter()
+            .enumerate()
+            .map(|(i, proc)| Slot {
+                proc,
+                rng: seeds.child_rng(i as u64),
+                status: ThreadStatus::Runnable,
+                pending: None,
+                last: None,
+            })
+            .collect();
+        Engine {
+            memory,
+            slots,
+            scheduler,
+            tracker: ContentionTracker::new(n),
+            trace: match self.trace {
+                TraceLevel::Off => None,
+                TraceLevel::Events => Some(Trace::new()),
+            },
+            step: 0,
+            max_steps: self.max_steps.unwrap_or(Step::MAX),
+            crashes_remaining: self.max_crashes.unwrap_or(n.saturating_sub(1)).min(n.saturating_sub(1)),
+            crashed: 0,
+            observer: self.observer,
+        }
+    }
+}
+
+struct Slot {
+    proc: Box<dyn Process>,
+    rng: StdRng,
+    status: ThreadStatus,
+    pending: Option<Action>,
+    last: Option<OpResult>,
+}
+
+/// The simulation engine. Construct with [`Engine::builder`], consume with
+/// [`Engine::run`].
+pub struct Engine {
+    memory: Memory,
+    slots: Vec<Slot>,
+    scheduler: Box<dyn Scheduler>,
+    tracker: ContentionTracker,
+    trace: Option<Trace>,
+    step: Step,
+    max_steps: Step,
+    crashes_remaining: usize,
+    crashed: usize,
+    observer: Option<EventObserver>,
+}
+
+impl Engine {
+    /// Records an event into the trace and/or streams it to the observer.
+    fn emit(&mut self, ev: EventRecord) {
+        if let Some(obs) = &mut self.observer {
+            obs(&ev);
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(ev);
+        }
+    }
+
+    fn should_emit(&self) -> bool {
+        self.trace.is_some() || self.observer.is_some()
+    }
+}
+
+impl Engine {
+    /// Starts building an engine.
+    #[must_use]
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Runs the execution to completion (all processes halted/crashed) or
+    /// until the step budget is exhausted, and returns the report.
+    #[must_use]
+    pub fn run(mut self) -> ExecutionReport {
+        // Initial declaration round: every process announces its first action.
+        for i in 0..self.slots.len() {
+            self.fill_pending(i);
+        }
+
+        let stop = loop {
+            if self.step >= self.max_steps {
+                break StopReason::StepBudgetExhausted;
+            }
+            if !self
+                .slots
+                .iter()
+                .any(|s| s.status == ThreadStatus::Runnable)
+            {
+                break StopReason::AllDone;
+            }
+
+            let views: Vec<ThreadView> = self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(id, s)| ThreadView {
+                    id,
+                    status: s.status,
+                    pending: s.pending.clone(),
+                })
+                .collect();
+            let decision = {
+                let view = SchedView {
+                    step: self.step,
+                    memory: &self.memory,
+                    threads: &views,
+                    tracker: &self.tracker,
+                    crashes_remaining: self.crashes_remaining,
+                };
+                self.scheduler.decide(&view)
+            };
+
+            match decision {
+                Decision::Crash(tid) => {
+                    assert!(
+                        self.crashes_remaining > 0,
+                        "scheduler bug: crash budget exhausted"
+                    );
+                    assert!(
+                        self.slots[tid].status == ThreadStatus::Runnable,
+                        "scheduler bug: crashing non-runnable thread {tid}"
+                    );
+                    self.crashes_remaining -= 1;
+                    self.crashed += 1;
+                    self.slots[tid].status = ThreadStatus::Crashed;
+                    self.slots[tid].pending = None;
+                    self.tracker.observe_retire(tid);
+                    let step = self.step;
+                    if self.should_emit() {
+                        self.emit(EventRecord {
+                            step,
+                            thread: tid,
+                            kind: EventKind::Crashed,
+                        });
+                    }
+                    self.step += 1;
+                }
+                Decision::Schedule(tid) => {
+                    assert!(
+                        self.slots[tid].status == ThreadStatus::Runnable,
+                        "scheduler bug: scheduling non-runnable thread {tid}"
+                    );
+                    let action = self.slots[tid]
+                        .pending
+                        .take()
+                        .expect("runnable thread must have a pending action");
+                    let step = self.step;
+                    match action {
+                        Action::Op { op, tag } => {
+                            let result = self.memory.apply(&op);
+                            self.tracker.observe(tid, step, tag);
+                            if self.should_emit() {
+                                self.emit(EventRecord {
+                                    step,
+                                    thread: tid,
+                                    kind: EventKind::Op { op, tag, result },
+                                });
+                            }
+                            self.slots[tid].last = Some(result);
+                        }
+                        Action::Local { tag } => {
+                            self.tracker.observe(tid, step, tag);
+                            if self.should_emit() {
+                                self.emit(EventRecord {
+                                    step,
+                                    thread: tid,
+                                    kind: EventKind::Local { tag },
+                                });
+                            }
+                            self.slots[tid].last = None;
+                        }
+                        Action::Halt => unreachable!("Halt is never stored as pending"),
+                    }
+                    self.step += 1;
+                    self.fill_pending(tid);
+                }
+            }
+        };
+
+        let halted = self
+            .slots
+            .iter()
+            .filter(|s| s.status == ThreadStatus::Halted)
+            .count();
+        let contention = self.tracker.report();
+        let fingerprint = fingerprint(self.step, &self.memory, self.trace.as_ref());
+        ExecutionReport {
+            steps: self.step,
+            stop,
+            halted,
+            crashed: self.crashed,
+            memory: self.memory,
+            contention,
+            trace: self.trace,
+            fingerprint,
+        }
+    }
+
+    /// Polls process `i` for its next declaration; handles halting.
+    fn fill_pending(&mut self, i: ThreadId) {
+        let slot = &mut self.slots[i];
+        if slot.status != ThreadStatus::Runnable {
+            return;
+        }
+        let last = slot.last.take();
+        let mut ctx = ProcessCtx {
+            last,
+            rng: &mut slot.rng,
+            step: self.step,
+        };
+        match slot.proc.poll(&mut ctx) {
+            Action::Halt => {
+                slot.status = ThreadStatus::Halted;
+                slot.pending = None;
+                self.tracker.observe_retire(i);
+                if self.should_emit() {
+                    self.emit(EventRecord {
+                        step: self.step,
+                        thread: i,
+                        kind: EventKind::Halted,
+                    });
+                }
+            }
+            action => slot.pending = Some(action),
+        }
+    }
+}
+
+fn fingerprint(steps: Step, memory: &Memory, trace: Option<&Trace>) -> u64 {
+    let mut h = DefaultHasher::new();
+    steps.hash(&mut h);
+    for f in memory.floats() {
+        f.to_bits().hash(&mut h);
+    }
+    for c in memory.counters() {
+        c.hash(&mut h);
+    }
+    if let Some(t) = trace {
+        t.hash().hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{CounterClaimer, FaaHammer};
+    use crate::sched::{
+        CrashAdversary, RandomScheduler, SerialScheduler, StepRoundRobin,
+    };
+
+    #[test]
+    fn two_hammers_sum_their_adds() {
+        let report = Engine::builder()
+            .memory(Memory::new(2, 0))
+            .process(FaaHammer::new(0, 1.0, 5))
+            .process(FaaHammer::new(1, 2.0, 5))
+            .scheduler(StepRoundRobin::new())
+            .seed(1)
+            .build()
+            .run();
+        assert_eq!(report.stop, StopReason::AllDone);
+        assert_eq!(report.memory.float(0), 5.0);
+        assert_eq!(report.memory.float(1), 10.0);
+        assert_eq!(report.steps, 10);
+        assert_eq!(report.halted, 2);
+        assert_eq!(report.crashed, 0);
+    }
+
+    #[test]
+    fn counter_claims_are_partitioned_exactly() {
+        // Three claimers share 10 slots: total claims = 10 regardless of
+        // schedule, and the counter ends at 10 + 3 (each loser's final faa).
+        let report = Engine::builder()
+            .memory(Memory::new(0, 1))
+            .process(CounterClaimer::new(0, 10))
+            .process(CounterClaimer::new(0, 10))
+            .process(CounterClaimer::new(0, 10))
+            .scheduler(RandomScheduler::new(7))
+            .seed(2)
+            .build()
+            .run();
+        assert_eq!(report.stop, StopReason::AllDone);
+        assert_eq!(report.memory.counter(0), 13);
+        assert_eq!(report.contention.iterations(), 0, "claimers never write the model");
+    }
+
+    #[test]
+    fn step_budget_stops_execution() {
+        let report = Engine::builder()
+            .memory(Memory::new(1, 0))
+            .process(FaaHammer::new(0, 1.0, 1_000_000))
+            .scheduler(SerialScheduler::new())
+            .max_steps(100)
+            .seed(3)
+            .build()
+            .run();
+        assert_eq!(report.stop, StopReason::StepBudgetExhausted);
+        assert_eq!(report.steps, 100);
+        assert_eq!(report.memory.float(0), 100.0);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_fingerprints() {
+        let run = |seed: u64| {
+            Engine::builder()
+                .memory(Memory::new(1, 1))
+                .process(CounterClaimer::new(0, 20))
+                .process(CounterClaimer::new(0, 20))
+                .scheduler(RandomScheduler::new(99))
+                .trace(TraceLevel::Events)
+                .seed(seed)
+                .build()
+                .run()
+        };
+        assert_eq!(run(5).fingerprint, run(5).fingerprint);
+        // Different scheduler seed ⇒ (almost surely) different interleaving.
+        let other = Engine::builder()
+            .memory(Memory::new(1, 1))
+            .process(CounterClaimer::new(0, 20))
+            .process(CounterClaimer::new(0, 20))
+            .scheduler(RandomScheduler::new(100))
+            .trace(TraceLevel::Events)
+            .seed(5)
+            .build()
+            .run();
+        assert_ne!(run(5).fingerprint, other.fingerprint);
+    }
+
+    #[test]
+    fn crash_adversary_kills_thread_but_run_completes() {
+        let report = Engine::builder()
+            .memory(Memory::new(1, 0))
+            .process(FaaHammer::new(0, 1.0, 50))
+            .process(FaaHammer::new(0, 1.0, 50))
+            .scheduler(CrashAdversary::new(StepRoundRobin::new(), vec![(10, 1)]))
+            .seed(4)
+            .build()
+            .run();
+        assert_eq!(report.crashed, 1);
+        assert_eq!(report.halted, 1);
+        assert_eq!(report.stop, StopReason::AllDone);
+        // Thread 0 contributed all 50; thread 1 only its pre-crash adds.
+        assert!(report.memory.float(0) >= 50.0);
+        assert!(report.memory.float(0) < 100.0);
+    }
+
+    #[test]
+    fn trace_records_every_step() {
+        let report = Engine::builder()
+            .memory(Memory::new(1, 0))
+            .process(FaaHammer::new(0, 1.0, 3))
+            .scheduler(SerialScheduler::new())
+            .trace(TraceLevel::Events)
+            .seed(0)
+            .build()
+            .run();
+        let trace = report.trace.expect("trace requested");
+        // 3 ops + 1 halt event.
+        assert_eq!(trace.len(), 4);
+        assert!(matches!(
+            trace.events().last().unwrap().kind,
+            EventKind::Halted
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn builder_requires_processes() {
+        let _ = Engine::builder()
+            .memory(Memory::new(1, 0))
+            .scheduler(SerialScheduler::new())
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "memory is required")]
+    fn builder_requires_memory() {
+        let _ = Engine::builder()
+            .process(FaaHammer::new(0, 1.0, 1))
+            .scheduler(SerialScheduler::new())
+            .build();
+    }
+}

@@ -1,0 +1,237 @@
+//! The shared register file.
+//!
+//! Two banks of atomic registers: `f64` *model* registers (the shared
+//! parameter vector `X` of Algorithm 1, plus any additional arrays a program
+//! lays out, e.g. one model per epoch for Algorithm 2) and `u64` *counter*
+//! registers (the iteration counter `C`, one per epoch).
+//!
+//! The engine applies exactly one [`MemOp`] per global step, so the register
+//! file never needs interior synchronisation — atomicity and sequential
+//! consistency hold by construction.
+
+use crate::op::{MemOp, OpResult};
+
+/// The shared register file of a simulated execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Memory {
+    floats: Vec<f64>,
+    counters: Vec<u64>,
+}
+
+impl Memory {
+    /// Creates a register file with `float_regs` model registers (all `0.0`,
+    /// matching Algorithm 1's `X = (0, …, 0)` initialisation) and
+    /// `counter_regs` counter registers (all `0`).
+    #[must_use]
+    pub fn new(float_regs: usize, counter_regs: usize) -> Self {
+        Self {
+            floats: vec![0.0; float_regs],
+            counters: vec![0; counter_regs],
+        }
+    }
+
+    /// Creates a register file whose model registers are initialised to `x0`.
+    #[must_use]
+    pub fn with_model(x0: &[f64], counter_regs: usize) -> Self {
+        Self {
+            floats: x0.to_vec(),
+            counters: vec![0; counter_regs],
+        }
+    }
+
+    /// All model registers.
+    #[must_use]
+    pub fn floats(&self) -> &[f64] {
+        &self.floats
+    }
+
+    /// All counter registers.
+    #[must_use]
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
+    /// Reads model register `idx` without consuming a simulation step (for
+    /// schedulers and post-run inspection; simulated threads must go through
+    /// [`MemOp`]s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[must_use]
+    pub fn float(&self, idx: usize) -> f64 {
+        self.floats[idx]
+    }
+
+    /// Reads counter register `idx` without consuming a simulation step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[must_use]
+    pub fn counter(&self, idx: usize) -> u64 {
+        self.counters[idx]
+    }
+
+    /// Applies `op` atomically and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op addresses a register out of bounds; programs declare
+    /// their memory layout up front, so this is a programming error.
+    pub fn apply(&mut self, op: &MemOp) -> OpResult {
+        match *op {
+            MemOp::ReadF64 { idx } => OpResult::F64(self.floats[idx]),
+            MemOp::WriteF64 { idx, value } => {
+                self.floats[idx] = value;
+                OpResult::Unit
+            }
+            MemOp::FaaF64 { idx, delta } => {
+                let prior = self.floats[idx];
+                self.floats[idx] = prior + delta;
+                OpResult::F64(prior)
+            }
+            MemOp::CasF64 { idx, expected, new } => {
+                let observed = self.floats[idx];
+                let success = observed.to_bits() == expected.to_bits();
+                if success {
+                    self.floats[idx] = new;
+                }
+                OpResult::CasF64 { success, observed }
+            }
+            MemOp::ReadU64 { idx } => OpResult::U64(self.counters[idx]),
+            MemOp::WriteU64 { idx, value } => {
+                self.counters[idx] = value;
+                OpResult::Unit
+            }
+            MemOp::FaaU64 { idx, delta } => {
+                let prior = self.counters[idx];
+                self.counters[idx] = prior.wrapping_add(delta);
+                OpResult::U64(prior)
+            }
+            MemOp::CasU64 { idx, expected, new } => {
+                let observed = self.counters[idx];
+                let success = observed == expected;
+                if success {
+                    self.counters[idx] = new;
+                }
+                OpResult::CasU64 { success, observed }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let m = Memory::new(3, 2);
+        assert_eq!(m.floats(), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.counters(), &[0, 0]);
+    }
+
+    #[test]
+    fn with_model_copies_x0() {
+        let m = Memory::with_model(&[1.0, -2.0], 1);
+        assert_eq!(m.float(0), 1.0);
+        assert_eq!(m.float(1), -2.0);
+        assert_eq!(m.counter(0), 0);
+    }
+
+    #[test]
+    fn faa_f64_returns_prior() {
+        let mut m = Memory::new(1, 0);
+        assert_eq!(m.apply(&MemOp::FaaF64 { idx: 0, delta: 2.5 }), OpResult::F64(0.0));
+        assert_eq!(m.apply(&MemOp::FaaF64 { idx: 0, delta: -1.0 }), OpResult::F64(2.5));
+        assert_eq!(m.float(0), 1.5);
+    }
+
+    #[test]
+    fn faa_u64_returns_prior_and_wraps() {
+        let mut m = Memory::new(0, 1);
+        assert_eq!(m.apply(&MemOp::FaaU64 { idx: 0, delta: 1 }), OpResult::U64(0));
+        assert_eq!(m.apply(&MemOp::FaaU64 { idx: 0, delta: 1 }), OpResult::U64(1));
+        assert_eq!(m.counter(0), 2);
+        m.apply(&MemOp::WriteU64 {
+            idx: 0,
+            value: u64::MAX,
+        });
+        assert_eq!(
+            m.apply(&MemOp::FaaU64 { idx: 0, delta: 2 }),
+            OpResult::U64(u64::MAX)
+        );
+        assert_eq!(m.counter(0), 1);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = Memory::new(2, 1);
+        m.apply(&MemOp::WriteF64 { idx: 1, value: 7.0 });
+        assert_eq!(m.apply(&MemOp::ReadF64 { idx: 1 }), OpResult::F64(7.0));
+        m.apply(&MemOp::WriteU64 { idx: 0, value: 42 });
+        assert_eq!(m.apply(&MemOp::ReadU64 { idx: 0 }), OpResult::U64(42));
+    }
+
+    #[test]
+    fn cas_u64_success_and_failure() {
+        let mut m = Memory::new(0, 1);
+        assert_eq!(
+            m.apply(&MemOp::CasU64 {
+                idx: 0,
+                expected: 0,
+                new: 5
+            }),
+            OpResult::CasU64 {
+                success: true,
+                observed: 0
+            }
+        );
+        assert_eq!(
+            m.apply(&MemOp::CasU64 {
+                idx: 0,
+                expected: 0,
+                new: 9
+            }),
+            OpResult::CasU64 {
+                success: false,
+                observed: 5
+            }
+        );
+        assert_eq!(m.counter(0), 5);
+    }
+
+    #[test]
+    fn cas_f64_uses_bitwise_equality() {
+        let mut m = Memory::new(1, 0);
+        m.apply(&MemOp::WriteF64 { idx: 0, value: 0.1 });
+        // 0.1 + 0.2 - 0.2 != 0.1 bitwise? Use exact bits to be sure.
+        let ok = m.apply(&MemOp::CasF64 {
+            idx: 0,
+            expected: 0.1,
+            new: 1.0,
+        });
+        assert_eq!(
+            ok,
+            OpResult::CasF64 {
+                success: true,
+                observed: 0.1
+            }
+        );
+        let fail = m.apply(&MemOp::CasF64 {
+            idx: 0,
+            expected: 0.5,
+            new: 2.0,
+        });
+        assert!(matches!(fail, OpResult::CasF64 { success: false, .. }));
+        assert_eq!(m.float(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let mut m = Memory::new(1, 1);
+        m.apply(&MemOp::ReadF64 { idx: 5 });
+    }
+}

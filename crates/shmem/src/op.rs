@@ -1,0 +1,303 @@
+//! Shared-memory operations, their results, and semantic tags.
+//!
+//! A simulated thread interacts with shared memory exclusively through
+//! [`MemOp`]s. Each op is applied atomically by the engine, one per global
+//! step, which makes every execution sequentially consistent by construction —
+//! the memory model assumed in §2 of the paper.
+//!
+//! Ops carry an [`OpTag`] describing their role in the SGD iteration structure
+//! (claiming an iteration, scanning the model, writing a gradient entry). Tags
+//! are what let the engine's [contention tracker](crate::contention) recover
+//! the paper's iteration ordering (Lemma 6.1) and what let adaptive
+//! adversaries recognise "this thread is about to apply a gradient" — the
+//! information a strong adversary is entitled to.
+
+/// Identifier of a simulated thread (`P_1, …, P_n` in the paper; 0-based here).
+pub type ThreadId = usize;
+
+/// Global step counter: the number of actions the scheduler has fired.
+pub type Step = u64;
+
+/// An atomic operation on shared memory.
+///
+/// Two register banks exist: `f64` *model* registers (the shared parameter
+/// vector `X[d]`, plus any per-epoch copies) and `u64` *counter* registers
+/// (the iteration counter `C`). `read` / `write` / `fetch&add` / CAS are
+/// provided on both, mirroring the primitives named in §2; Algorithm 1 only
+/// needs `read` and `fetch&add`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemOp {
+    /// Atomic read of model register `idx`.
+    ReadF64 {
+        /// Register index.
+        idx: usize,
+    },
+    /// Atomic write of `value` to model register `idx`.
+    WriteF64 {
+        /// Register index.
+        idx: usize,
+        /// Value to store.
+        value: f64,
+    },
+    /// Atomic fetch&add of `delta` to model register `idx`; returns the prior
+    /// value (the primitive Algorithm 1 uses for gradient updates).
+    FaaF64 {
+        /// Register index.
+        idx: usize,
+        /// Addend.
+        delta: f64,
+    },
+    /// Atomic compare&swap on model register `idx`.
+    CasF64 {
+        /// Register index.
+        idx: usize,
+        /// Expected current value (bitwise comparison).
+        expected: f64,
+        /// Replacement value.
+        new: f64,
+    },
+    /// Atomic read of counter register `idx`.
+    ReadU64 {
+        /// Register index.
+        idx: usize,
+    },
+    /// Atomic write of `value` to counter register `idx`.
+    WriteU64 {
+        /// Register index.
+        idx: usize,
+        /// Value to store.
+        value: u64,
+    },
+    /// Atomic fetch&add on counter register `idx`; returns the prior value
+    /// (the `C.fetch&add(1)` of Algorithm 1, line 3).
+    FaaU64 {
+        /// Register index.
+        idx: usize,
+        /// Addend.
+        delta: u64,
+    },
+    /// Atomic compare&swap on counter register `idx`.
+    CasU64 {
+        /// Register index.
+        idx: usize,
+        /// Expected current value.
+        expected: u64,
+        /// Replacement value.
+        new: u64,
+    },
+}
+
+impl MemOp {
+    /// Returns `true` if the op mutates memory (everything except reads; a
+    /// failed CAS is still counted as a mutation attempt).
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        !matches!(self, MemOp::ReadF64 { .. } | MemOp::ReadU64 { .. })
+    }
+
+    /// The register index this op addresses.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        match *self {
+            MemOp::ReadF64 { idx }
+            | MemOp::WriteF64 { idx, .. }
+            | MemOp::FaaF64 { idx, .. }
+            | MemOp::CasF64 { idx, .. }
+            | MemOp::ReadU64 { idx }
+            | MemOp::WriteU64 { idx, .. }
+            | MemOp::FaaU64 { idx, .. }
+            | MemOp::CasU64 { idx, .. } => idx,
+        }
+    }
+}
+
+/// Result of applying a [`MemOp`], delivered to the issuing process on its
+/// next poll.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpResult {
+    /// Value returned by a `ReadF64` or the prior value of a `FaaF64`.
+    F64(f64),
+    /// Value returned by a `ReadU64` or the prior value of a `FaaU64`.
+    U64(u64),
+    /// Outcome of a `CasF64`: whether it succeeded, and the value observed.
+    CasF64 {
+        /// `true` if the swap was performed.
+        success: bool,
+        /// The register value observed at the time of the CAS.
+        observed: f64,
+    },
+    /// Outcome of a `CasU64`.
+    CasU64 {
+        /// `true` if the swap was performed.
+        success: bool,
+        /// The register value observed at the time of the CAS.
+        observed: u64,
+    },
+    /// A plain write completed.
+    Unit,
+}
+
+impl OpResult {
+    /// Extracts the `f64` payload of a `F64` result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is not `F64` — a protocol error in the calling
+    /// process's state machine.
+    #[must_use]
+    pub fn unwrap_f64(self) -> f64 {
+        match self {
+            OpResult::F64(v) => v,
+            other => panic!("expected F64 result, got {other:?}"),
+        }
+    }
+
+    /// Extracts the `u64` payload of a `U64` result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is not `U64`.
+    #[must_use]
+    pub fn unwrap_u64(self) -> u64 {
+        match self {
+            OpResult::U64(v) => v,
+            other => panic!("expected U64 result, got {other:?}"),
+        }
+    }
+}
+
+/// Semantic role of an action within the SGD iteration structure.
+///
+/// Tags are metadata: the engine applies ops identically regardless of tag.
+/// They drive the contention tracker and inform adaptive adversaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpTag {
+    /// No particular role.
+    Untagged,
+    /// The `C.fetch&add(1)` that claims an iteration slot (Alg. 1 line 3).
+    ClaimIteration,
+    /// Reading model entry `entry` while building the view `v_θ`
+    /// (Alg. 1 line 4). `first`/`last` mark the scan boundaries.
+    ViewRead {
+        /// Model entry being read.
+        entry: usize,
+        /// This is the first read of the scan.
+        first: bool,
+        /// This is the last read of the scan.
+        last: bool,
+    },
+    /// Local step that draws the stochastic-gradient coin and computes `g̃`
+    /// (Alg. 1 line 5). The coin outcome becomes visible to the adversary
+    /// through the thread's subsequent pending write ops.
+    SampleCoin,
+    /// Applying gradient entry `entry` via `fetch&add` (Alg. 1 lines 6-7).
+    /// `first` marks the op that *orders* the iteration (Lemma 6.1);
+    /// `last` marks iteration completion.
+    ModelWrite {
+        /// Model entry being updated.
+        entry: usize,
+        /// This is the iteration's first model write.
+        first: bool,
+        /// This is the iteration's last model write.
+        last: bool,
+    },
+}
+
+/// What a process wants to do next, declared before being scheduled.
+///
+/// Processes *pre-declare* their next action (drawing whatever local coins it
+/// requires), and the scheduler picks which declared action fires. This gives
+/// the scheduler the strong-adversary power of §2: it observes local coin
+/// flips before making scheduling decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Issue a shared-memory operation.
+    Op {
+        /// The operation.
+        op: MemOp,
+        /// Its semantic role.
+        tag: OpTag,
+    },
+    /// A local computation step (costs a scheduling slot, touches no memory).
+    Local {
+        /// Semantic role (e.g. [`OpTag::SampleCoin`]).
+        tag: OpTag,
+    },
+    /// The process's program has finished.
+    Halt,
+}
+
+impl Action {
+    /// Convenience constructor for an untagged op.
+    #[must_use]
+    pub fn op(op: MemOp) -> Self {
+        Action::Op {
+            op,
+            tag: OpTag::Untagged,
+        }
+    }
+
+    /// The action's tag ([`OpTag::Untagged`] for `Halt`).
+    #[must_use]
+    pub fn tag(&self) -> OpTag {
+        match self {
+            Action::Op { tag, .. } | Action::Local { tag } => *tag,
+            Action::Halt => OpTag::Untagged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_write_classification() {
+        assert!(!MemOp::ReadF64 { idx: 0 }.is_write());
+        assert!(!MemOp::ReadU64 { idx: 0 }.is_write());
+        assert!(MemOp::WriteF64 { idx: 0, value: 1.0 }.is_write());
+        assert!(MemOp::FaaF64 { idx: 0, delta: 1.0 }.is_write());
+        assert!(MemOp::FaaU64 { idx: 0, delta: 1 }.is_write());
+        assert!(MemOp::CasU64 {
+            idx: 0,
+            expected: 0,
+            new: 1
+        }
+        .is_write());
+    }
+
+    #[test]
+    fn index_extraction() {
+        assert_eq!(MemOp::ReadF64 { idx: 7 }.index(), 7);
+        assert_eq!(MemOp::FaaU64 { idx: 3, delta: 1 }.index(), 3);
+    }
+
+    #[test]
+    fn unwrap_helpers() {
+        assert_eq!(OpResult::F64(2.5).unwrap_f64(), 2.5);
+        assert_eq!(OpResult::U64(9).unwrap_u64(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F64")]
+    fn unwrap_f64_wrong_variant_panics() {
+        let _ = OpResult::U64(1).unwrap_f64();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected U64")]
+    fn unwrap_u64_wrong_variant_panics() {
+        let _ = OpResult::Unit.unwrap_u64();
+    }
+
+    #[test]
+    fn action_tag_accessor() {
+        let a = Action::Op {
+            op: MemOp::ReadF64 { idx: 0 },
+            tag: OpTag::ClaimIteration,
+        };
+        assert_eq!(a.tag(), OpTag::ClaimIteration);
+        assert_eq!(Action::Halt.tag(), OpTag::Untagged);
+        assert_eq!(Action::op(MemOp::ReadF64 { idx: 1 }).tag(), OpTag::Untagged);
+    }
+}

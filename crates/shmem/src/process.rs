@@ -1,0 +1,206 @@
+//! Processes: the programs simulated threads run.
+//!
+//! A [`Process`] is a resumable state machine. The engine polls it to obtain
+//! its next [`Action`]; the action is *declared* (pending) until the scheduler
+//! fires it, at which point the op's [`OpResult`] is delivered on the next
+//! poll. Any randomness a process needs is drawn from the deterministic
+//! per-process RNG in [`ProcessCtx`] **at declaration time**, which is what
+//! gives the adversary of §2 its strength: it observes the coins (through the
+//! declared ops they produce) before deciding the schedule.
+
+use crate::op::{Action, OpResult, Step};
+use rand::rngs::StdRng;
+
+/// Context handed to a process on each poll.
+#[derive(Debug)]
+pub struct ProcessCtx<'a> {
+    /// Result of the op declared by the *previous* poll, if that action was an
+    /// op (`None` on the first poll and after `Local` actions).
+    pub last: Option<OpResult>,
+    /// The process's private, deterministic coin source.
+    pub rng: &'a mut StdRng,
+    /// Global step count at poll time.
+    pub step: Step,
+}
+
+/// A program executed by one simulated thread.
+///
+/// Implementations are state machines: each call to [`Process::poll`] must
+/// return the next action given the result of the previous one. Returning
+/// [`Action::Halt`] permanently retires the process.
+pub trait Process {
+    /// Declares the process's next action.
+    ///
+    /// `ctx.last` carries the result of the previously declared op. The
+    /// engine guarantees polls alternate with firings: a process is never
+    /// polled twice without its previous action having fired (or at start).
+    fn poll(&mut self, ctx: &mut ProcessCtx<'_>) -> Action;
+
+    /// Short human-readable label used in traces.
+    fn describe(&self) -> String {
+        "process".to_string()
+    }
+}
+
+impl<P: Process + ?Sized> Process for Box<P> {
+    fn poll(&mut self, ctx: &mut ProcessCtx<'_>) -> Action {
+        (**self).poll(ctx)
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// Test/diagnostic process: performs `count` fetch&adds of `delta` on model
+/// register `idx`, then halts.
+///
+/// Useful for exercising the engine and schedulers without SGD semantics.
+#[derive(Debug, Clone)]
+pub struct FaaHammer {
+    /// Target model register.
+    pub idx: usize,
+    /// Addend per op.
+    pub delta: f64,
+    /// Ops remaining.
+    pub remaining: u64,
+}
+
+impl FaaHammer {
+    /// Creates a hammer that adds `delta` to register `idx` `count` times.
+    #[must_use]
+    pub fn new(idx: usize, delta: f64, count: u64) -> Self {
+        Self {
+            idx,
+            delta,
+            remaining: count,
+        }
+    }
+}
+
+impl Process for FaaHammer {
+    fn poll(&mut self, _ctx: &mut ProcessCtx<'_>) -> Action {
+        if self.remaining == 0 {
+            return Action::Halt;
+        }
+        self.remaining -= 1;
+        Action::op(crate::op::MemOp::FaaF64 {
+            idx: self.idx,
+            delta: self.delta,
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!("faa-hammer(idx={}, delta={})", self.idx, self.delta)
+    }
+}
+
+/// Test/diagnostic process: claims slots from counter `counter_idx` via
+/// fetch&add until the prior value reaches `limit`, recording how many slots
+/// it won. Models the `C.fetch&add(1) ≥ T` loop shape of Algorithm 1 without
+/// the gradient work.
+#[derive(Debug, Clone)]
+pub struct CounterClaimer {
+    /// Counter register to claim from.
+    pub counter_idx: usize,
+    /// Claim bound (`T` in Algorithm 1).
+    pub limit: u64,
+    /// Number of slots this process successfully claimed.
+    pub claimed: u64,
+    awaiting: bool,
+}
+
+impl CounterClaimer {
+    /// Creates a claimer on counter `counter_idx` bounded by `limit`.
+    #[must_use]
+    pub fn new(counter_idx: usize, limit: u64) -> Self {
+        Self {
+            counter_idx,
+            limit,
+            claimed: 0,
+            awaiting: false,
+        }
+    }
+}
+
+impl Process for CounterClaimer {
+    fn poll(&mut self, ctx: &mut ProcessCtx<'_>) -> Action {
+        if self.awaiting {
+            self.awaiting = false;
+            let prior = ctx
+                .last
+                .expect("claimer was awaiting a faa result")
+                .unwrap_u64();
+            if prior >= self.limit {
+                return Action::Halt;
+            }
+            self.claimed += 1;
+        }
+        self.awaiting = true;
+        Action::Op {
+            op: crate::op::MemOp::FaaU64 {
+                idx: self.counter_idx,
+                delta: 1,
+            },
+            tag: crate::op::OpTag::ClaimIteration,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("counter-claimer(limit={})", self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::MemOp;
+    use rand::SeedableRng;
+
+    fn ctx<'a>(last: Option<OpResult>, rng: &'a mut StdRng) -> ProcessCtx<'a> {
+        ProcessCtx { last, rng, step: 0 }
+    }
+
+    #[test]
+    fn hammer_emits_then_halts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut h = FaaHammer::new(2, 0.5, 2);
+        let a1 = h.poll(&mut ctx(None, &mut rng));
+        assert!(matches!(
+            a1,
+            Action::Op {
+                op: MemOp::FaaF64 { idx: 2, .. },
+                ..
+            }
+        ));
+        let _ = h.poll(&mut ctx(Some(OpResult::F64(0.0)), &mut rng));
+        let a3 = h.poll(&mut ctx(Some(OpResult::F64(0.5)), &mut rng));
+        assert_eq!(a3, Action::Halt);
+    }
+
+    #[test]
+    fn claimer_counts_until_limit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = CounterClaimer::new(0, 2);
+        // Simulate: claim returns 0 (win), 1 (win), 2 (≥ limit → halt).
+        assert!(matches!(c.poll(&mut ctx(None, &mut rng)), Action::Op { .. }));
+        assert!(matches!(
+            c.poll(&mut ctx(Some(OpResult::U64(0)), &mut rng)),
+            Action::Op { .. }
+        ));
+        assert!(matches!(
+            c.poll(&mut ctx(Some(OpResult::U64(1)), &mut rng)),
+            Action::Op { .. }
+        ));
+        assert_eq!(c.poll(&mut ctx(Some(OpResult::U64(2)), &mut rng)), Action::Halt);
+        assert_eq!(c.claimed, 2);
+    }
+
+    #[test]
+    fn boxed_process_delegates() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut b: Box<dyn Process> = Box::new(FaaHammer::new(0, 1.0, 1));
+        assert!(matches!(b.poll(&mut ctx(None, &mut rng)), Action::Op { .. }));
+        assert!(b.describe().contains("faa-hammer"));
+    }
+}

@@ -1,0 +1,463 @@
+//! Adaptive adversarial schedulers.
+//!
+//! These implement the attacks the paper reasons about:
+//!
+//! * [`BoundedDelayAdversary`] — freezes a thread at the moment it is about
+//!   to apply a gradient computed from an old view, and keeps it frozen while
+//!   other threads push iterations through, up to a configurable contention
+//!   budget `τ`. Used to exercise the upper bound of Theorem 6.5 at a chosen
+//!   `τ_max`.
+//! * [`StaleGradientAdversary`] — the exact §5 construction: both threads
+//!   compute a gradient at `x₀`, one thread then runs `τ` full iterations,
+//!   and only then is the other thread's stale gradient merged. Drives the
+//!   `Ω(τ)` lower bound of Theorem 5.1.
+//! * [`CrashAdversary`] — wraps another scheduler and crashes chosen threads
+//!   at chosen steps (the model allows up to `n − 1` crashes).
+
+use super::{Decision, SchedView, Scheduler};
+use crate::op::{OpTag, Step, ThreadId};
+
+/// Freezes threads holding stale pending gradients to manufacture interval
+/// contention up to a budget.
+///
+/// Strategy, repeated forever: wait until some thread's declared action is
+/// the *first write* of an iteration (its gradient is computed, its view is
+/// now only getting staler); freeze it; schedule everyone else round-robin
+/// until `budget` further iterations have been claimed; then release the
+/// victim, let it finish its (now maximally stale) iteration, and pick the
+/// next victim.
+///
+/// The achieved interval contention is ≈ `budget` for victim iterations, so
+/// sweeping `budget` sweeps the measured `τ_max`.
+#[derive(Debug, Clone)]
+pub struct BoundedDelayAdversary {
+    budget: u64,
+    victim: Option<ThreadId>,
+    victim_mark: u64,
+    releasing: Option<ThreadId>,
+    rr: ThreadId,
+    last_victim: Option<ThreadId>,
+}
+
+impl BoundedDelayAdversary {
+    /// Creates the adversary with the given iteration-contention budget
+    /// (≥ 1; a budget of 0 is clamped to 1).
+    #[must_use]
+    pub fn new(budget: u64) -> Self {
+        Self {
+            budget: budget.max(1),
+            victim: None,
+            victim_mark: 0,
+            releasing: None,
+            rr: 0,
+            last_victim: None,
+        }
+    }
+
+    /// The configured contention budget.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    fn schedule_rr(&mut self, view: &SchedView<'_>, skip: Option<ThreadId>) -> Decision {
+        let n = view.threads.len();
+        let from = self.rr % n;
+        let pick = match skip {
+            Some(s) => view
+                .next_runnable_excluding(from, s)
+                .or_else(|| view.next_runnable_from(from)),
+            None => view.next_runnable_from(from),
+        }
+        .expect("engine guarantees a runnable thread");
+        self.rr = (pick + 1) % n;
+        Decision::Schedule(pick)
+    }
+}
+
+impl Scheduler for BoundedDelayAdversary {
+    fn decide(&mut self, view: &SchedView<'_>) -> Decision {
+        // Phase 1: drive a released victim through the rest of its iteration
+        // so its stale writes land back-to-back.
+        if let Some(r) = self.releasing {
+            if view.is_runnable(r) && view.threads[r].mid_iteration() {
+                return Decision::Schedule(r);
+            }
+            self.releasing = None;
+        }
+
+        // Phase 2: victim held — starve it while others make progress.
+        if let Some(v) = self.victim {
+            if !view.is_runnable(v) {
+                self.victim = None;
+            } else {
+                let started_since = view.tracker.claims().saturating_sub(self.victim_mark);
+                let others_exist = view.runnable().any(|t| t.id != v);
+                if started_since >= self.budget || !others_exist {
+                    self.victim = None;
+                    self.last_victim = Some(v);
+                    self.releasing = Some(v);
+                    return Decision::Schedule(v);
+                }
+                return self.schedule_rr(view, Some(v));
+            }
+        }
+
+        // Phase 3: look for a fresh victim: a thread about to perform its
+        // first gradient write (prefer one we did not just victimise, so the
+        // damage spreads across threads).
+        let about_to_first_write = |t: &&crate::sched::ThreadView| {
+            matches!(
+                t.pending_tag(),
+                Some(OpTag::ModelWrite { first: true, .. })
+            )
+        };
+        let candidate = view
+            .runnable()
+            .filter(about_to_first_write)
+            .map(|t| t.id)
+            .find(|&id| Some(id) != self.last_victim)
+            .or_else(|| {
+                view.runnable()
+                    .filter(about_to_first_write)
+                    .map(|t| t.id)
+                    .next()
+            });
+        if let Some(v) = candidate {
+            if view.runnable().any(|t| t.id != v) {
+                self.victim = Some(v);
+                self.victim_mark = view.tracker.claims();
+                return self.schedule_rr(view, Some(v));
+            }
+        }
+        self.schedule_rr(view, None)
+    }
+
+    fn name(&self) -> &str {
+        "bounded-delay-adversary"
+    }
+}
+
+/// The §5 lower-bound adversary for two threads.
+///
+/// Cycle structure (repeating if the step budget allows):
+///
+/// 1. **Setup** — advance both threads until each has computed a gradient
+///    from the *same* model state and is about to perform its first write.
+/// 2. **Run** — schedule only the `runner` until it has completed `delay`
+///    full iterations.
+/// 3. **Merge** — release the `victim`: its gradient, computed `delay`
+///    iterations ago, lands on the advanced model, knocking it back towards
+///    the stale state (the `((1−α)^τ − α)·x₀` effect derived in §5).
+///
+/// Threads other than `runner` and `victim` are starved forever (legal for
+/// an adversary; they are never formally crashed).
+#[derive(Debug, Clone)]
+pub struct StaleGradientAdversary {
+    runner: ThreadId,
+    victim: ThreadId,
+    delay: u64,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Setup,
+    Run { completed_mark: u64 },
+    Merge,
+}
+
+impl StaleGradientAdversary {
+    /// Creates the adversary: `runner` executes `delay` iterations between
+    /// the `victim`'s gradient computation and its merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runner == victim`.
+    #[must_use]
+    pub fn new(runner: ThreadId, victim: ThreadId, delay: u64) -> Self {
+        assert_ne!(runner, victim, "runner and victim must differ");
+        Self {
+            runner,
+            victim,
+            delay: delay.max(1),
+            phase: Phase::Setup,
+        }
+    }
+
+    /// The configured delay `τ`.
+    #[must_use]
+    pub fn delay(&self) -> u64 {
+        self.delay
+    }
+}
+
+impl Scheduler for StaleGradientAdversary {
+    fn decide(&mut self, view: &SchedView<'_>) -> Decision {
+        let runner_ok = view.is_runnable(self.runner);
+        let victim_ok = view.is_runnable(self.victim);
+        // If either protagonist is gone, degrade to serving whoever remains.
+        if !runner_ok || !victim_ok {
+            if let Some(t) = view.first_runnable() {
+                return Decision::Schedule(t);
+            }
+            unreachable!("engine guarantees a runnable thread");
+        }
+
+        let at_first_write = |tid: ThreadId| {
+            matches!(
+                view.threads[tid].pending_tag(),
+                Some(OpTag::ModelWrite { first: true, .. })
+            )
+        };
+
+        loop {
+            match self.phase {
+                Phase::Setup => {
+                    // Bring both to the brink of their first write. Advance
+                    // the victim first so the runner's coin is the fresher.
+                    if !at_first_write(self.victim) {
+                        return Decision::Schedule(self.victim);
+                    }
+                    if !at_first_write(self.runner) {
+                        return Decision::Schedule(self.runner);
+                    }
+                    self.phase = Phase::Run {
+                        completed_mark: view.tracker.completed_by(self.runner),
+                    };
+                }
+                Phase::Run { completed_mark } => {
+                    let done = view.tracker.completed_by(self.runner) - completed_mark;
+                    if done < self.delay {
+                        return Decision::Schedule(self.runner);
+                    }
+                    self.phase = Phase::Merge;
+                }
+                Phase::Merge => {
+                    if view.threads[self.victim].mid_iteration() {
+                        return Decision::Schedule(self.victim);
+                    }
+                    // Victim completed its stale iteration: next cycle.
+                    self.phase = Phase::Setup;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "stale-gradient-adversary"
+    }
+}
+
+/// Wraps a scheduler and crashes chosen threads at chosen steps.
+///
+/// Crash requests beyond the engine's `n − 1` budget, or aimed at already
+/// dead threads, are silently dropped (the adversary wastes its step on the
+/// inner scheduler instead).
+#[derive(Debug, Clone)]
+pub struct CrashAdversary<S> {
+    inner: S,
+    /// `(step, thread)` pairs, sorted by step at construction.
+    plan: Vec<(Step, ThreadId)>,
+    next: usize,
+}
+
+impl<S: Scheduler> CrashAdversary<S> {
+    /// Wraps `inner`, crashing each thread in `plan` at (or after) the given
+    /// step.
+    #[must_use]
+    pub fn new(inner: S, mut plan: Vec<(Step, ThreadId)>) -> Self {
+        plan.sort_unstable();
+        Self {
+            inner,
+            plan,
+            next: 0,
+        }
+    }
+}
+
+impl<S: Scheduler> Scheduler for CrashAdversary<S> {
+    fn decide(&mut self, view: &SchedView<'_>) -> Decision {
+        while self.next < self.plan.len() && self.plan[self.next].0 <= view.step {
+            let (_, tid) = self.plan[self.next];
+            self.next += 1;
+            if view.crashes_remaining > 0
+                && view.is_runnable(tid)
+                && view.runnable().count() > 1
+            {
+                return Decision::Crash(tid);
+            }
+        }
+        self.inner.decide(view)
+    }
+
+    fn name(&self) -> &str {
+        "crash-adversary"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::ContentionTracker;
+    use crate::memory::Memory;
+    use crate::op::{Action, MemOp};
+    use crate::sched::{SerialScheduler, ThreadStatus, ThreadView};
+
+    fn thread(id: ThreadId, tag: OpTag) -> ThreadView {
+        ThreadView {
+            id,
+            status: ThreadStatus::Runnable,
+            pending: Some(Action::Op {
+                op: MemOp::ReadF64 { idx: 0 },
+                tag,
+            }),
+        }
+    }
+
+    fn first_write() -> OpTag {
+        OpTag::ModelWrite {
+            entry: 0,
+            first: true,
+            last: false,
+        }
+    }
+
+    #[test]
+    fn bounded_delay_freezes_first_writer() {
+        let threads = vec![thread(0, first_write()), thread(1, OpTag::ClaimIteration)];
+        let m = Memory::new(1, 1);
+        let tr = ContentionTracker::new(2);
+        let view = SchedView {
+            step: 0,
+            memory: &m,
+            threads: &threads,
+            tracker: &tr,
+            crashes_remaining: 1,
+        };
+        let mut adv = BoundedDelayAdversary::new(4);
+        // Thread 0 is about to first-write: it becomes the victim; thread 1
+        // gets scheduled instead.
+        assert_eq!(adv.decide(&view), Decision::Schedule(1));
+        assert_eq!(adv.victim, Some(0));
+        assert_eq!(adv.budget(), 4);
+    }
+
+    #[test]
+    fn bounded_delay_releases_after_budget() {
+        let threads = vec![thread(0, first_write()), thread(1, OpTag::ClaimIteration)];
+        let m = Memory::new(1, 1);
+        let mut tr = ContentionTracker::new(2);
+        let mut adv = BoundedDelayAdversary::new(2);
+        {
+            let view = SchedView {
+                step: 0,
+                memory: &m,
+                threads: &threads,
+                tracker: &tr,
+                crashes_remaining: 1,
+            };
+            assert_eq!(adv.decide(&view), Decision::Schedule(1));
+        }
+        // Two claims happen while the victim is frozen.
+        tr.observe(1, 1, OpTag::ClaimIteration);
+        tr.observe(1, 2, OpTag::ClaimIteration);
+        let view = SchedView {
+            step: 3,
+            memory: &m,
+            threads: &threads,
+            tracker: &tr,
+            crashes_remaining: 1,
+        };
+        // Budget met: victim released and scheduled.
+        assert_eq!(adv.decide(&view), Decision::Schedule(0));
+    }
+
+    #[test]
+    fn bounded_delay_zero_budget_clamped() {
+        assert_eq!(BoundedDelayAdversary::new(0).budget(), 1);
+    }
+
+    #[test]
+    fn stale_gradient_setup_advances_victim_then_runner() {
+        let threads = vec![
+            thread(0, OpTag::ClaimIteration),
+            thread(1, OpTag::ClaimIteration),
+        ];
+        let m = Memory::new(1, 1);
+        let tr = ContentionTracker::new(2);
+        let view = SchedView {
+            step: 0,
+            memory: &m,
+            threads: &threads,
+            tracker: &tr,
+            crashes_remaining: 1,
+        };
+        let mut adv = StaleGradientAdversary::new(0, 1, 3);
+        assert_eq!(adv.decide(&view), Decision::Schedule(1), "victim first");
+    }
+
+    #[test]
+    fn stale_gradient_runs_runner_during_run_phase() {
+        let threads = vec![thread(0, first_write()), thread(1, first_write())];
+        let m = Memory::new(1, 1);
+        let tr = ContentionTracker::new(2);
+        let view = SchedView {
+            step: 0,
+            memory: &m,
+            threads: &threads,
+            tracker: &tr,
+            crashes_remaining: 1,
+        };
+        let mut adv = StaleGradientAdversary::new(0, 1, 2);
+        // Both at first write ⇒ Setup completes, Run begins: runner chosen.
+        assert_eq!(adv.decide(&view), Decision::Schedule(0));
+        assert_eq!(adv.delay(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn stale_gradient_rejects_same_thread() {
+        let _ = StaleGradientAdversary::new(1, 1, 4);
+    }
+
+    #[test]
+    fn crash_adversary_executes_plan_then_delegates() {
+        let threads = vec![
+            thread(0, OpTag::ClaimIteration),
+            thread(1, OpTag::ClaimIteration),
+        ];
+        let m = Memory::new(1, 1);
+        let tr = ContentionTracker::new(2);
+        let view = SchedView {
+            step: 5,
+            memory: &m,
+            threads: &threads,
+            tracker: &tr,
+            crashes_remaining: 1,
+        };
+        let mut adv = CrashAdversary::new(SerialScheduler::new(), vec![(3, 1)]);
+        assert_eq!(adv.decide(&view), Decision::Crash(1));
+        // Plan exhausted: delegates to serial.
+        assert_eq!(adv.decide(&view), Decision::Schedule(0));
+    }
+
+    #[test]
+    fn crash_adversary_skips_when_budget_exhausted() {
+        let threads = vec![
+            thread(0, OpTag::ClaimIteration),
+            thread(1, OpTag::ClaimIteration),
+        ];
+        let m = Memory::new(1, 1);
+        let tr = ContentionTracker::new(2);
+        let view = SchedView {
+            step: 5,
+            memory: &m,
+            threads: &threads,
+            tracker: &tr,
+            crashes_remaining: 0,
+        };
+        let mut adv = CrashAdversary::new(SerialScheduler::new(), vec![(0, 1)]);
+        assert_eq!(adv.decide(&view), Decision::Schedule(0));
+    }
+}

@@ -1,0 +1,273 @@
+//! Benign (non-adversarial) schedulers.
+
+use super::{Decision, SchedView, Scheduler};
+use crate::op::{OpTag, ThreadId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs the lowest-id runnable thread to completion, then the next.
+///
+/// With the Algorithm-1 program this produces a fully serial execution:
+/// thread 0 performs all `T` iterations, the remaining threads find the
+/// counter exhausted and halt. Used as the no-concurrency baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerialScheduler;
+
+impl SerialScheduler {
+    /// Creates a serial scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for SerialScheduler {
+    fn decide(&mut self, view: &SchedView<'_>) -> Decision {
+        Decision::Schedule(view.first_runnable().expect("engine guarantees a runnable thread"))
+    }
+
+    fn name(&self) -> &str {
+        "serial"
+    }
+}
+
+/// Fires one action per thread in cyclic order — maximal benign interleaving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepRoundRobin {
+    next: ThreadId,
+}
+
+impl StepRoundRobin {
+    /// Creates a round-robin scheduler starting at thread 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { next: 0 }
+    }
+}
+
+impl Scheduler for StepRoundRobin {
+    fn decide(&mut self, view: &SchedView<'_>) -> Decision {
+        let tid = view
+            .next_runnable_from(self.next % view.threads.len().max(1))
+            .expect("engine guarantees a runnable thread");
+        self.next = (tid + 1) % view.threads.len();
+        Decision::Schedule(tid)
+    }
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+}
+
+/// Schedules a uniformly random runnable thread each step (the oblivious
+/// stochastic scheduler assumed by much prior work, e.g. De Sa et al.).
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler with its own deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn decide(&mut self, view: &SchedView<'_>) -> Decision {
+        let runnable: Vec<ThreadId> = view.runnable().map(|t| t.id).collect();
+        let pick = runnable[self.rng.gen_range(0..runnable.len())];
+        Decision::Schedule(pick)
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+/// Serialises *iterations* but rotates the executing thread at every
+/// iteration boundary.
+///
+/// Equivalent to sequential SGD in which consecutive iterations are executed
+/// by different threads (different coin streams). Useful for separating "the
+/// effect of concurrency" from "the effect of multiple coin streams".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IterationSerial {
+    token: ThreadId,
+    fresh: bool,
+}
+
+impl IterationSerial {
+    /// Creates the scheduler with the token at thread 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            token: 0,
+            fresh: true,
+        }
+    }
+}
+
+impl Scheduler for IterationSerial {
+    fn decide(&mut self, view: &SchedView<'_>) -> Decision {
+        let n = view.threads.len();
+        for _ in 0..=n {
+            if !view.is_runnable(self.token) {
+                self.token = view
+                    .next_runnable_from((self.token + 1) % n)
+                    .expect("engine guarantees a runnable thread");
+                self.fresh = true;
+            }
+            let at_boundary =
+                view.threads[self.token].pending_tag() == Some(OpTag::ClaimIteration);
+            if at_boundary && !self.fresh {
+                // Iteration finished: pass the token along.
+                self.token = view
+                    .next_runnable_from((self.token + 1) % n)
+                    .expect("engine guarantees a runnable thread");
+                self.fresh = true;
+                continue;
+            }
+            self.fresh = false;
+            return Decision::Schedule(self.token);
+        }
+        // All runnable threads sit at boundaries; schedule the token holder.
+        Decision::Schedule(self.token)
+    }
+
+    fn name(&self) -> &str {
+        "iteration-serial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::ContentionTracker;
+    use crate::memory::Memory;
+    use crate::op::{Action, MemOp};
+    use crate::sched::{ThreadStatus, ThreadView};
+
+    fn runnable_with_tags(tags: &[Option<OpTag>]) -> Vec<ThreadView> {
+        tags.iter()
+            .enumerate()
+            .map(|(id, tag)| ThreadView {
+                id,
+                status: if tag.is_some() {
+                    ThreadStatus::Runnable
+                } else {
+                    ThreadStatus::Halted
+                },
+                pending: tag.map(|tag| Action::Op {
+                    op: MemOp::ReadF64 { idx: 0 },
+                    tag,
+                }),
+            })
+            .collect()
+    }
+
+    fn view<'a>(
+        threads: &'a [ThreadView],
+        memory: &'a Memory,
+        tracker: &'a ContentionTracker,
+    ) -> SchedView<'a> {
+        SchedView {
+            step: 0,
+            memory,
+            threads,
+            tracker,
+            crashes_remaining: threads.len().saturating_sub(1),
+        }
+    }
+
+    #[test]
+    fn serial_picks_lowest() {
+        let threads = runnable_with_tags(&[None, Some(OpTag::Untagged), Some(OpTag::Untagged)]);
+        let m = Memory::new(1, 1);
+        let t = ContentionTracker::new(3);
+        let mut s = SerialScheduler::new();
+        assert_eq!(s.decide(&view(&threads, &m, &t)), Decision::Schedule(1));
+        assert_eq!(s.name(), "serial");
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let threads = runnable_with_tags(&[
+            Some(OpTag::Untagged),
+            Some(OpTag::Untagged),
+            Some(OpTag::Untagged),
+        ]);
+        let m = Memory::new(1, 1);
+        let t = ContentionTracker::new(3);
+        let mut s = StepRoundRobin::new();
+        let v = view(&threads, &m, &t);
+        assert_eq!(s.decide(&v), Decision::Schedule(0));
+        assert_eq!(s.decide(&v), Decision::Schedule(1));
+        assert_eq!(s.decide(&v), Decision::Schedule(2));
+        assert_eq!(s.decide(&v), Decision::Schedule(0));
+    }
+
+    #[test]
+    fn round_robin_skips_dead_threads() {
+        let threads = runnable_with_tags(&[Some(OpTag::Untagged), None, Some(OpTag::Untagged)]);
+        let m = Memory::new(1, 1);
+        let t = ContentionTracker::new(3);
+        let mut s = StepRoundRobin::new();
+        let v = view(&threads, &m, &t);
+        assert_eq!(s.decide(&v), Decision::Schedule(0));
+        assert_eq!(s.decide(&v), Decision::Schedule(2));
+        assert_eq!(s.decide(&v), Decision::Schedule(0));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let threads = runnable_with_tags(&[Some(OpTag::Untagged), Some(OpTag::Untagged)]);
+        let m = Memory::new(1, 1);
+        let t = ContentionTracker::new(2);
+        let seq = |seed: u64| -> Vec<Decision> {
+            let mut s = RandomScheduler::new(seed);
+            (0..16).map(|_| s.decide(&view(&threads, &m, &t))).collect()
+        };
+        assert_eq!(seq(5), seq(5));
+    }
+
+    #[test]
+    fn iteration_serial_holds_token_mid_iteration() {
+        // Thread 0 mid-iteration, thread 1 at boundary: token stays on 0.
+        let threads = runnable_with_tags(&[
+            Some(OpTag::ModelWrite {
+                entry: 0,
+                first: true,
+                last: false,
+            }),
+            Some(OpTag::ClaimIteration),
+        ]);
+        let m = Memory::new(1, 1);
+        let t = ContentionTracker::new(2);
+        let mut s = IterationSerial::new();
+        let v = view(&threads, &m, &t);
+        assert_eq!(s.decide(&v), Decision::Schedule(0));
+        assert_eq!(s.decide(&v), Decision::Schedule(0));
+    }
+
+    #[test]
+    fn iteration_serial_rotates_at_boundary() {
+        let m = Memory::new(1, 1);
+        let t = ContentionTracker::new(2);
+        let mut s = IterationSerial::new();
+        // Token 0, fresh: schedules 0 even at boundary.
+        let both_boundary = runnable_with_tags(&[
+            Some(OpTag::ClaimIteration),
+            Some(OpTag::ClaimIteration),
+        ]);
+        let v = view(&both_boundary, &m, &t);
+        assert_eq!(s.decide(&v), Decision::Schedule(0));
+        // Still at boundary next step (claim fired, new claim pending after a
+        // full iteration...) — not fresh anymore, so token passes to 1.
+        assert_eq!(s.decide(&v), Decision::Schedule(1));
+        assert_eq!(s.decide(&v), Decision::Schedule(0));
+    }
+}

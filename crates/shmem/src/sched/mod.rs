@@ -1,0 +1,241 @@
+//! Schedulers: the adversarial entity of §2.
+//!
+//! The order of process steps is controlled by a [`Scheduler`]. On every
+//! global step the engine presents a [`SchedView`] — the full machine state:
+//! every thread's *declared* next action (including any local coins already
+//! drawn to produce it), the entire shared memory, and the live
+//! [`ContentionTracker`]. The scheduler
+//! returns a [`Decision`]: fire one thread's pending action, or crash a
+//! thread (at most `n − 1` crashes, enforced by the engine).
+//!
+//! This is the *strong adaptive adversary* of the paper: it sees coin flips
+//! before scheduling. Benign schedulers ([`SerialScheduler`],
+//! [`StepRoundRobin`], [`RandomScheduler`], [`IterationSerial`]) simply
+//! ignore most of that power; the adversaries use all of it.
+
+mod adversary;
+mod basic;
+mod recorded;
+
+pub use adversary::{BoundedDelayAdversary, CrashAdversary, StaleGradientAdversary};
+pub use basic::{IterationSerial, RandomScheduler, SerialScheduler, StepRoundRobin};
+pub use recorded::{RecordingScheduler, ReplayScheduler, ScheduleLog};
+
+use crate::contention::ContentionTracker;
+use crate::memory::Memory;
+use crate::op::{Action, OpTag, Step, ThreadId};
+
+/// Lifecycle state of a simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// Has a declared pending action and can be scheduled.
+    Runnable,
+    /// Finished its program.
+    Halted,
+    /// Crashed by the adversary; never scheduled again.
+    Crashed,
+}
+
+/// A scheduler's per-step view of one thread.
+#[derive(Debug, Clone)]
+pub struct ThreadView {
+    /// Thread id.
+    pub id: ThreadId,
+    /// Lifecycle state.
+    pub status: ThreadStatus,
+    /// The declared next action (`Some` iff `status == Runnable`).
+    pub pending: Option<Action>,
+}
+
+impl ThreadView {
+    /// Tag of the pending action, if runnable.
+    #[must_use]
+    pub fn pending_tag(&self) -> Option<OpTag> {
+        self.pending.as_ref().map(Action::tag)
+    }
+
+    /// True if the thread is mid-iteration (its pending action is view
+    /// reading, gradient computation or gradient writing — anything but
+    /// claiming the next iteration).
+    #[must_use]
+    pub fn mid_iteration(&self) -> bool {
+        matches!(
+            self.pending_tag(),
+            Some(OpTag::ViewRead { .. }) | Some(OpTag::SampleCoin) | Some(OpTag::ModelWrite { .. })
+        )
+    }
+}
+
+/// Everything the strong adversary is allowed to see when deciding.
+#[derive(Debug)]
+pub struct SchedView<'a> {
+    /// Global step about to be assigned.
+    pub step: Step,
+    /// The full shared memory.
+    pub memory: &'a Memory,
+    /// Per-thread state including declared actions.
+    pub threads: &'a [ThreadView],
+    /// Live iteration/contention accounting.
+    pub tracker: &'a ContentionTracker,
+    /// How many more crashes the adversary may still issue.
+    pub crashes_remaining: usize,
+}
+
+impl<'a> SchedView<'a> {
+    /// Iterates over runnable threads.
+    pub fn runnable(&self) -> impl Iterator<Item = &ThreadView> + '_ {
+        self.threads
+            .iter()
+            .filter(|t| t.status == ThreadStatus::Runnable)
+    }
+
+    /// True if thread `tid` is runnable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    #[must_use]
+    pub fn is_runnable(&self, tid: ThreadId) -> bool {
+        self.threads[tid].status == ThreadStatus::Runnable
+    }
+
+    /// The lowest-id runnable thread, if any.
+    #[must_use]
+    pub fn first_runnable(&self) -> Option<ThreadId> {
+        self.runnable().map(|t| t.id).next()
+    }
+
+    /// The first runnable thread at or after `from`, wrapping around.
+    #[must_use]
+    pub fn next_runnable_from(&self, from: ThreadId) -> Option<ThreadId> {
+        let n = self.threads.len();
+        (0..n)
+            .map(|k| (from + k) % n)
+            .find(|&tid| self.is_runnable(tid))
+    }
+
+    /// The first runnable thread at or after `from` excluding `skip`,
+    /// wrapping around.
+    #[must_use]
+    pub fn next_runnable_excluding(&self, from: ThreadId, skip: ThreadId) -> Option<ThreadId> {
+        let n = self.threads.len();
+        (0..n)
+            .map(|k| (from + k) % n)
+            .find(|&tid| tid != skip && self.is_runnable(tid))
+    }
+}
+
+/// What the scheduler wants to happen this step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Fire thread `0`'s pending action.
+    Schedule(ThreadId),
+    /// Crash the thread (engine enforces the `n − 1` crash budget).
+    Crash(ThreadId),
+}
+
+/// The adversarial scheduler interface.
+///
+/// Implementations must return a decision naming a *runnable* thread; naming
+/// a halted/crashed thread, or crashing with an exhausted budget, is a
+/// scheduler bug and makes the engine panic.
+pub trait Scheduler {
+    /// Chooses the next step given full knowledge of the machine.
+    fn decide(&mut self, view: &SchedView<'_>) -> Decision;
+
+    /// Human-readable name for experiment tables.
+    fn name(&self) -> &str {
+        "scheduler"
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn decide(&mut self, view: &SchedView<'_>) -> Decision {
+        (**self).decide(view)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::MemOp;
+
+    pub(crate) fn mk_threads(statuses: &[ThreadStatus]) -> Vec<ThreadView> {
+        statuses
+            .iter()
+            .enumerate()
+            .map(|(id, &status)| ThreadView {
+                id,
+                status,
+                pending: (status == ThreadStatus::Runnable).then_some(Action::Op {
+                    op: MemOp::ReadF64 { idx: 0 },
+                    tag: OpTag::ClaimIteration,
+                }),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn view_navigation_helpers() {
+        let threads = mk_threads(&[
+            ThreadStatus::Halted,
+            ThreadStatus::Runnable,
+            ThreadStatus::Crashed,
+            ThreadStatus::Runnable,
+        ]);
+        let memory = Memory::new(1, 1);
+        let tracker = ContentionTracker::new(4);
+        let view = SchedView {
+            step: 0,
+            memory: &memory,
+            threads: &threads,
+            tracker: &tracker,
+            crashes_remaining: 3,
+        };
+        assert_eq!(view.first_runnable(), Some(1));
+        assert_eq!(view.next_runnable_from(2), Some(3));
+        assert_eq!(view.next_runnable_from(0), Some(1));
+        assert_eq!(view.next_runnable_excluding(1, 1), Some(3));
+        assert!(!view.is_runnable(0));
+        assert!(view.is_runnable(3));
+        assert_eq!(view.runnable().count(), 2);
+    }
+
+    #[test]
+    fn thread_view_tag_helpers() {
+        let t = ThreadView {
+            id: 0,
+            status: ThreadStatus::Runnable,
+            pending: Some(Action::Op {
+                op: MemOp::FaaF64 { idx: 0, delta: 1.0 },
+                tag: OpTag::ModelWrite {
+                    entry: 0,
+                    first: true,
+                    last: false,
+                },
+            }),
+        };
+        assert!(t.mid_iteration());
+        let c = ThreadView {
+            id: 1,
+            status: ThreadStatus::Runnable,
+            pending: Some(Action::Op {
+                op: MemOp::FaaU64 { idx: 0, delta: 1 },
+                tag: OpTag::ClaimIteration,
+            }),
+        };
+        assert!(!c.mid_iteration());
+        assert_eq!(c.pending_tag(), Some(OpTag::ClaimIteration));
+        let h = ThreadView {
+            id: 2,
+            status: ThreadStatus::Halted,
+            pending: None,
+        };
+        assert_eq!(h.pending_tag(), None);
+        assert!(!h.mid_iteration());
+    }
+}

@@ -1,0 +1,163 @@
+//! Recording and replaying schedules.
+//!
+//! Determinism is a first-class property of the simulator: the same master
+//! seed and scheduler must reproduce the same execution bit-for-bit. These
+//! wrappers make that testable — record a schedule once, replay it, and the
+//! resulting executions must be identical.
+
+use super::{Decision, SchedView, Scheduler};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared handle to a recorded decision log.
+pub type ScheduleLog = Rc<RefCell<Vec<Decision>>>;
+
+/// Wraps a scheduler, appending every decision to a shared log.
+#[derive(Debug)]
+pub struct RecordingScheduler<S> {
+    inner: S,
+    log: ScheduleLog,
+}
+
+impl<S: Scheduler> RecordingScheduler<S> {
+    /// Wraps `inner`; decisions are appended to a fresh log obtainable via
+    /// [`RecordingScheduler::log`].
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            log: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// A handle to the decision log (cheap to clone, shared with the
+    /// scheduler).
+    #[must_use]
+    pub fn log(&self) -> ScheduleLog {
+        Rc::clone(&self.log)
+    }
+}
+
+impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
+    fn decide(&mut self, view: &SchedView<'_>) -> Decision {
+        let d = self.inner.decide(view);
+        self.log.borrow_mut().push(d);
+        d
+    }
+
+    fn name(&self) -> &str {
+        "recording"
+    }
+}
+
+/// Replays a previously recorded schedule verbatim.
+///
+/// # Panics
+///
+/// `decide` panics if the log is exhausted — a replay must cover the whole
+/// execution, and running out means the replayed run diverged from the
+/// recorded one.
+#[derive(Debug, Clone)]
+pub struct ReplayScheduler {
+    decisions: Vec<Decision>,
+    pos: usize,
+}
+
+impl ReplayScheduler {
+    /// Creates a replayer from a decision sequence.
+    #[must_use]
+    pub fn new(decisions: Vec<Decision>) -> Self {
+        Self { decisions, pos: 0 }
+    }
+
+    /// Creates a replayer from a recording log handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log is still mutably borrowed.
+    #[must_use]
+    pub fn from_log(log: &ScheduleLog) -> Self {
+        Self::new(log.borrow().clone())
+    }
+
+    /// Number of decisions not yet replayed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.decisions.len() - self.pos
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn decide(&mut self, _view: &SchedView<'_>) -> Decision {
+        let d = *self
+            .decisions
+            .get(self.pos)
+            .expect("replay log exhausted: replayed execution diverged from recording");
+        self.pos += 1;
+        d
+    }
+
+    fn name(&self) -> &str {
+        "replay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::ContentionTracker;
+    use crate::memory::Memory;
+    use crate::op::{Action, MemOp, OpTag};
+    use crate::sched::{SerialScheduler, ThreadStatus, ThreadView};
+
+    fn one_thread_view() -> Vec<ThreadView> {
+        vec![ThreadView {
+            id: 0,
+            status: ThreadStatus::Runnable,
+            pending: Some(Action::Op {
+                op: MemOp::ReadF64 { idx: 0 },
+                tag: OpTag::Untagged,
+            }),
+        }]
+    }
+
+    #[test]
+    fn record_then_replay_matches() {
+        let threads = one_thread_view();
+        let m = Memory::new(1, 0);
+        let tr = ContentionTracker::new(1);
+        let view = SchedView {
+            step: 0,
+            memory: &m,
+            threads: &threads,
+            tracker: &tr,
+            crashes_remaining: 0,
+        };
+        let mut rec = RecordingScheduler::new(SerialScheduler::new());
+        let log = rec.log();
+        let d1 = rec.decide(&view);
+        let d2 = rec.decide(&view);
+        let mut rep = ReplayScheduler::from_log(&log);
+        assert_eq!(rep.remaining(), 2);
+        assert_eq!(rep.decide(&view), d1);
+        assert_eq!(rep.decide(&view), d2);
+        assert_eq!(rep.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay log exhausted")]
+    fn replay_exhaustion_panics() {
+        let threads = one_thread_view();
+        let m = Memory::new(1, 0);
+        let tr = ContentionTracker::new(1);
+        let view = SchedView {
+            step: 0,
+            memory: &m,
+            threads: &threads,
+            tracker: &tr,
+            crashes_remaining: 0,
+        };
+        let mut rep = ReplayScheduler::new(vec![]);
+        let _ = rep.decide(&view);
+    }
+}

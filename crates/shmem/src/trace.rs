@@ -1,0 +1,374 @@
+//! Execution traces and the Figure-1 update grid.
+//!
+//! With [`TraceLevel::Events`] the engine records every fired action. Traces
+//! power determinism checks (via [`Trace::hash`]) and the ASCII rendering of
+//! the paper's Figure 1 — the grid of gradient updates per iteration and
+//! model entry, distinguishing applied from still-pending updates
+//! ([`UpdateGrid`]).
+
+use crate::op::{MemOp, OpResult, OpTag, Step, ThreadId};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// How much the engine records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// Record nothing beyond contention accounting (fast; default).
+    #[default]
+    Off,
+    /// Record every fired action.
+    Events,
+}
+
+/// One fired action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Global step at which the action fired.
+    pub step: Step,
+    /// Thread whose action fired.
+    pub thread: ThreadId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of trace events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A shared-memory op fired.
+    Op {
+        /// The operation.
+        op: MemOp,
+        /// Its semantic tag.
+        tag: OpTag,
+        /// The result delivered to the process.
+        result: OpResult,
+    },
+    /// A local computation step fired.
+    Local {
+        /// Its semantic tag.
+        tag: OpTag,
+    },
+    /// The thread halted (after its previous action fired).
+    Halted,
+    /// The adversary crashed the thread.
+    Crashed,
+}
+
+/// A recorded execution trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<EventRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, ev: EventRecord) {
+        self.events.push(ev);
+    }
+
+    /// All recorded events in firing order.
+    #[must_use]
+    pub fn events(&self) -> &[EventRecord] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A deterministic hash of the whole trace (used by determinism and
+    /// replay-equivalence tests).
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for ev in &self.events {
+            ev.step.hash(&mut h);
+            ev.thread.hash(&mut h);
+            match &ev.kind {
+                EventKind::Op { op, tag, result } => {
+                    0u8.hash(&mut h);
+                    hash_op(op, &mut h);
+                    hash_tag(tag, &mut h);
+                    hash_result(result, &mut h);
+                }
+                EventKind::Local { tag } => {
+                    1u8.hash(&mut h);
+                    hash_tag(tag, &mut h);
+                }
+                EventKind::Halted => 2u8.hash(&mut h),
+                EventKind::Crashed => 3u8.hash(&mut h),
+            }
+        }
+        h.finish()
+    }
+
+    /// Builds the Figure-1 update grid for a `d`-dimensional model from the
+    /// events fired up to and including `at_step`.
+    #[must_use]
+    pub fn update_grid(&self, d: usize, at_step: Step) -> UpdateGrid {
+        UpdateGrid::from_events(&self.events, d, at_step)
+    }
+}
+
+fn hash_op(op: &MemOp, h: &mut impl Hasher) {
+    match *op {
+        MemOp::ReadF64 { idx } => (0u8, idx).hash(h),
+        MemOp::WriteF64 { idx, value } => (1u8, idx, value.to_bits()).hash(h),
+        MemOp::FaaF64 { idx, delta } => (2u8, idx, delta.to_bits()).hash(h),
+        MemOp::CasF64 { idx, expected, new } => {
+            (3u8, idx, expected.to_bits(), new.to_bits()).hash(h)
+        }
+        MemOp::ReadU64 { idx } => (4u8, idx).hash(h),
+        MemOp::WriteU64 { idx, value } => (5u8, idx, value).hash(h),
+        MemOp::FaaU64 { idx, delta } => (6u8, idx, delta).hash(h),
+        MemOp::CasU64 { idx, expected, new } => (7u8, idx, expected, new).hash(h),
+    }
+}
+
+fn hash_tag(tag: &OpTag, h: &mut impl Hasher) {
+    match *tag {
+        OpTag::Untagged => 0u8.hash(h),
+        OpTag::ClaimIteration => 1u8.hash(h),
+        OpTag::ViewRead { entry, first, last } => (2u8, entry, first, last).hash(h),
+        OpTag::SampleCoin => 3u8.hash(h),
+        OpTag::ModelWrite { entry, first, last } => (4u8, entry, first, last).hash(h),
+    }
+}
+
+fn hash_result(r: &OpResult, h: &mut impl Hasher) {
+    match *r {
+        OpResult::F64(v) => (0u8, v.to_bits()).hash(h),
+        OpResult::U64(v) => (1u8, v).hash(h),
+        OpResult::CasF64 { success, observed } => (2u8, success, observed.to_bits()).hash(h),
+        OpResult::CasU64 { success, observed } => (3u8, success, observed).hash(h),
+        OpResult::Unit => 4u8.hash(h),
+    }
+}
+
+/// State of one cell in the Figure-1 grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellState {
+    /// The update for this entry has been applied to shared memory
+    /// (drawn in red in the paper's figure).
+    Applied,
+    /// The iteration computed this entry's update but has not yet applied it
+    /// (drawn in black in the paper's figure).
+    Pending,
+}
+
+/// One row of the Figure-1 grid: an iteration's per-entry update status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridRow {
+    /// Iteration order index (0-based; the paper's `t` is `index + 1`).
+    pub index: usize,
+    /// Executing thread.
+    pub thread: ThreadId,
+    /// Per-entry state.
+    pub cells: Vec<CellState>,
+    /// True once the iteration applied its last write.
+    pub complete: bool,
+}
+
+/// The paper's Figure 1: iterations × model entries, applied vs pending.
+///
+/// Summing the *applied* updates in a column yields that entry's current
+/// shared-memory value (relative to `x₀`); summing *all* cells yields the
+/// accumulator `x_t` of §6.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateGrid {
+    rows: Vec<GridRow>,
+    d: usize,
+}
+
+impl UpdateGrid {
+    /// Reconstructs the grid from trace events up to `at_step`.
+    ///
+    /// Iterations appear in their Lemma-6.1 order (first model write). Rows
+    /// assume Algorithm 1's in-order entry writes: entries up to the furthest
+    /// applied write are `Applied`, the rest `Pending`.
+    #[must_use]
+    pub fn from_events(events: &[EventRecord], d: usize, at_step: Step) -> Self {
+        let mut rows: Vec<GridRow> = Vec::new();
+        let mut current_row: Vec<Option<usize>> = Vec::new();
+        for ev in events.iter().filter(|e| e.step <= at_step) {
+            if ev.thread >= current_row.len() {
+                current_row.resize(ev.thread + 1, None);
+            }
+            if let EventKind::Op {
+                tag: OpTag::ModelWrite { entry, first, last },
+                ..
+            } = ev.kind
+            {
+                if first {
+                    current_row[ev.thread] = Some(rows.len());
+                    rows.push(GridRow {
+                        index: rows.len(),
+                        thread: ev.thread,
+                        cells: vec![CellState::Pending; d],
+                        complete: false,
+                    });
+                }
+                if let Some(row_idx) = current_row[ev.thread] {
+                    let row = &mut rows[row_idx];
+                    if entry < d {
+                        row.cells[entry] = CellState::Applied;
+                    }
+                    if last {
+                        row.complete = true;
+                        // Dense iterations may skip zero entries; a complete
+                        // row's unwritten cells carried zero updates, shown
+                        // as applied.
+                        for c in &mut row.cells {
+                            *c = CellState::Applied;
+                        }
+                        current_row[ev.thread] = None;
+                    }
+                }
+            }
+        }
+        Self { rows, d }
+    }
+
+    /// The grid rows, in iteration order.
+    #[must_use]
+    pub fn rows(&self) -> &[GridRow] {
+        &self.rows
+    }
+
+    /// Model dimension.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.d
+    }
+
+    /// Renders the grid as ASCII art in the style of Figure 1: `#` applied,
+    /// `.` pending; one row per iteration, annotated with the thread id.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "update grid: {} iterations x {} entries (#=applied, .=pending)\n",
+            self.rows.len(),
+            self.d
+        ));
+        out.push_str("  iter thread  entries 0..d\n");
+        for row in &self.rows {
+            out.push_str(&format!("  t={:<4} P{:<4}  ", row.index + 1, row.thread));
+            for c in &row.cells {
+                out.push(match c {
+                    CellState::Applied => '#',
+                    CellState::Pending => '.',
+                });
+            }
+            if !row.complete {
+                out.push_str("  (in flight)");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_ev(step: Step, thread: ThreadId, entry: usize, first: bool, last: bool) -> EventRecord {
+        EventRecord {
+            step,
+            thread,
+            kind: EventKind::Op {
+                op: MemOp::FaaF64 {
+                    idx: entry,
+                    delta: -0.1,
+                },
+                tag: OpTag::ModelWrite { entry, first, last },
+                result: OpResult::F64(0.0),
+            },
+        }
+    }
+
+    #[test]
+    fn trace_hash_is_deterministic_and_sensitive() {
+        let mut a = Trace::new();
+        a.push(write_ev(0, 0, 0, true, true));
+        let mut b = Trace::new();
+        b.push(write_ev(0, 0, 0, true, true));
+        assert_eq!(a.hash(), b.hash());
+        b.push(write_ev(1, 0, 0, true, true));
+        assert_ne!(a.hash(), b.hash());
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+        assert!(Trace::new().is_empty());
+    }
+
+    #[test]
+    fn grid_tracks_partial_and_complete_rows() {
+        // Iteration by thread 0 writes entries 0,1,2 (complete);
+        // iteration by thread 1 writes entry 0 of 3 (in flight).
+        let events = vec![
+            write_ev(0, 0, 0, true, false),
+            write_ev(1, 0, 1, false, false),
+            write_ev(2, 1, 0, true, false),
+            write_ev(3, 0, 2, false, true),
+        ];
+        let grid = UpdateGrid::from_events(&events, 3, 99);
+        assert_eq!(grid.rows().len(), 2);
+        let r0 = &grid.rows()[0];
+        assert!(r0.complete);
+        assert_eq!(r0.thread, 0);
+        assert!(r0.cells.iter().all(|c| *c == CellState::Applied));
+        let r1 = &grid.rows()[1];
+        assert!(!r1.complete);
+        assert_eq!(r1.cells[0], CellState::Applied);
+        assert_eq!(r1.cells[1], CellState::Pending);
+        assert_eq!(r1.cells[2], CellState::Pending);
+    }
+
+    #[test]
+    fn grid_respects_snapshot_step() {
+        let events = vec![
+            write_ev(0, 0, 0, true, false),
+            write_ev(5, 0, 1, false, true),
+        ];
+        let early = UpdateGrid::from_events(&events, 2, 2);
+        assert!(!early.rows()[0].complete);
+        let late = UpdateGrid::from_events(&events, 2, 5);
+        assert!(late.rows()[0].complete);
+    }
+
+    #[test]
+    fn grid_render_contains_markers() {
+        let events = vec![write_ev(0, 0, 0, true, false)];
+        let grid = UpdateGrid::from_events(&events, 2, 9);
+        let s = grid.render();
+        assert!(s.contains('#'));
+        assert!(s.contains('.'));
+        assert!(s.contains("in flight"));
+        assert!(s.contains("t=1"));
+        assert_eq!(grid.dimension(), 2);
+    }
+
+    #[test]
+    fn trace_update_grid_convenience() {
+        let mut t = Trace::new();
+        t.push(write_ev(0, 0, 0, true, true));
+        let g = t.update_grid(1, 10);
+        assert_eq!(g.rows().len(), 1);
+        assert!(g.rows()[0].complete);
+    }
+}

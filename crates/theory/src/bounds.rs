@@ -1,0 +1,394 @@
+//! Failure-probability bounds and learning rates (Theorems 3.1, 6.3, 6.5;
+//! Corollary 6.7).
+//!
+//! All bounds concern the event `F_T` that the iterate sequence never enters
+//! the success region `S = {x : ‖x − x*‖² ≤ ε}` within `T` iterations. They
+//! are *upper bounds on a probability*: values above 1 are legitimate (the
+//! bound is then vacuous) and are returned unclamped, with a `min(1)`
+//! convenience in [`clamp_prob`].
+
+use asgd_math::plog;
+use asgd_oracle::Constants;
+
+/// Clamps a probability bound into `[0, 1]` for display.
+#[must_use]
+pub fn clamp_prob(p: f64) -> f64 {
+    p.clamp(0.0, 1.0)
+}
+
+/// The contention coefficient `C = 2√(τ_max·n)` of Lemma 6.4.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn contention_coefficient(tau_max: u64, n: usize) -> f64 {
+    assert!(n > 0, "at least one thread");
+    2.0 * ((tau_max.max(1) * n as u64) as f64).sqrt()
+}
+
+/// **Theorem 3.1** learning rate: `α = c·ε·ϑ / M²`.
+///
+/// # Panics
+///
+/// Panics if `eps` or `theta` is not in a valid range (`ε > 0`,
+/// `ϑ ∈ (0, 1]`).
+#[must_use]
+pub fn theorem_3_1_learning_rate(consts: &Constants, eps: f64, theta: f64) -> f64 {
+    validate_eps_theta(eps, theta);
+    consts.c * eps * theta / consts.m_sq
+}
+
+/// **Theorem 3.1**: sequential SGD failure bound
+/// `P(F_T) ≤ M²/(c²·ε·ϑ·T) · plog(e·‖x₀−x*‖²/ε)`.
+///
+/// # Panics
+///
+/// Panics if `eps ≤ 0`, `theta ∉ (0,1]`, or `t == 0`.
+#[must_use]
+pub fn theorem_3_1(consts: &Constants, eps: f64, theta: f64, t: u64, x0_dist_sq: f64) -> f64 {
+    validate_eps_theta(eps, theta);
+    assert!(t > 0, "horizon T must be positive");
+    consts.m_sq / (consts.c * consts.c * eps * theta * t as f64)
+        * plog(std::f64::consts::E * x0_dist_sq / eps)
+}
+
+/// **Theorem 6.3** (De Sa et al. \[10\]) learning rate:
+/// `α = c·ε·ϑ / (M² + 2·L·M·τ·√ε)` — the prior art with *linear* `τ`
+/// dependence, implemented for side-by-side comparison tables.
+#[must_use]
+pub fn theorem_6_3_learning_rate(consts: &Constants, eps: f64, theta: f64, tau: u64) -> f64 {
+    validate_eps_theta(eps, theta);
+    consts.c * eps * theta / (consts.m_sq + 2.0 * consts.l * consts.m() * tau as f64 * eps.sqrt())
+}
+
+/// **Theorem 6.3** (De Sa et al. \[10\]): failure bound
+/// `P(F_T) ≤ (M² + 2LMτ√ε)/(c²εϑT) · plog(e‖x₀−x*‖²/ε)`.
+///
+/// # Panics
+///
+/// Panics if `eps ≤ 0`, `theta ∉ (0,1]`, or `t == 0`.
+#[must_use]
+pub fn theorem_6_3(
+    consts: &Constants,
+    eps: f64,
+    theta: f64,
+    tau: u64,
+    t: u64,
+    x0_dist_sq: f64,
+) -> f64 {
+    validate_eps_theta(eps, theta);
+    assert!(t > 0, "horizon T must be positive");
+    (consts.m_sq + 2.0 * consts.l * consts.m() * tau as f64 * eps.sqrt())
+        / (consts.c * consts.c * eps * theta * t as f64)
+        * plog(std::f64::consts::E * x0_dist_sq / eps)
+}
+
+/// The **Theorem 6.5** precondition `α²·H·L·M·C·√d < 1`, with
+/// `C = 2√(τ_max·n)` and `H` the martingale Lipschitz constant.
+///
+/// Returns the left-hand side; convergence is guaranteed when it is `< 1`.
+#[must_use]
+pub fn theorem_6_5_precondition(
+    alpha: f64,
+    h: f64,
+    consts: &Constants,
+    tau_max: u64,
+    n: usize,
+    d: usize,
+) -> f64 {
+    alpha
+        * alpha
+        * h
+        * consts.l
+        * consts.m()
+        * contention_coefficient(tau_max, n)
+        * (d as f64).sqrt()
+}
+
+/// **Theorem 6.5**: the main failure bound
+/// `P(F_T) ≤ E[W₀(x₀)] / ((1 − α²HLMC√d)·T)`.
+///
+/// Returns `f64::INFINITY` when the precondition `α²HLMC√d < 1` fails (the
+/// theorem is then inapplicable).
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors the theorem's parameter list
+pub fn theorem_6_5(
+    e_w0: f64,
+    alpha: f64,
+    h: f64,
+    consts: &Constants,
+    tau_max: u64,
+    n: usize,
+    d: usize,
+    t: u64,
+) -> f64 {
+    assert!(t > 0, "horizon T must be positive");
+    let pre = theorem_6_5_precondition(alpha, h, consts, tau_max, n, d);
+    if pre >= 1.0 {
+        return f64::INFINITY;
+    }
+    e_w0 / ((1.0 - pre) * t as f64)
+}
+
+/// **Corollary 6.7 / Eq. 12** learning rate:
+/// `α = c·ε·ϑ / (M² + 4·√ε·L·M·√(τ_max·n)·√d)`.
+///
+/// # Panics
+///
+/// Panics if `eps ≤ 0` or `theta ∉ (0,1]`.
+#[must_use]
+pub fn corollary_6_7_learning_rate(
+    consts: &Constants,
+    eps: f64,
+    tau_max: u64,
+    n: usize,
+    d: usize,
+    theta: f64,
+) -> f64 {
+    validate_eps_theta(eps, theta);
+    let c_coeff = contention_coefficient(tau_max, n);
+    consts.c * eps * theta
+        / (consts.m_sq + 2.0 * eps.sqrt() * consts.l * consts.m() * c_coeff * (d as f64).sqrt())
+}
+
+/// **Corollary 6.7 / Eq. 13**: with the Eq. 12 learning rate,
+/// `P(F_T) ≤ (M² + 4√ε·L·M·√(τ_max·n)·√d)/(c²εϑT) · plog(e‖x₀−x*‖²/ε)`.
+///
+/// # Panics
+///
+/// Panics if `eps ≤ 0`, `theta ∉ (0,1]`, or `t == 0`.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn corollary_6_7(
+    consts: &Constants,
+    eps: f64,
+    tau_max: u64,
+    n: usize,
+    d: usize,
+    theta: f64,
+    t: u64,
+    x0_dist_sq: f64,
+) -> f64 {
+    validate_eps_theta(eps, theta);
+    assert!(t > 0, "horizon T must be positive");
+    let c_coeff = contention_coefficient(tau_max, n);
+    (consts.m_sq + 2.0 * eps.sqrt() * consts.l * consts.m() * c_coeff * (d as f64).sqrt())
+        / (consts.c * consts.c * eps * theta * t as f64)
+        * plog(std::f64::consts::E * x0_dist_sq / eps)
+}
+
+/// Horizon `T` needed for the Corollary 6.7 bound to drop below `target`
+/// failure probability (inverting Eq. 13).
+///
+/// # Panics
+///
+/// Panics if `target ∉ (0, 1)` or other arguments are invalid.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn corollary_6_7_horizon(
+    consts: &Constants,
+    eps: f64,
+    tau_max: u64,
+    n: usize,
+    d: usize,
+    theta: f64,
+    target: f64,
+    x0_dist_sq: f64,
+) -> u64 {
+    assert!(target > 0.0 && target < 1.0, "target must be in (0,1)");
+    let bound_at_1 = corollary_6_7(consts, eps, tau_max, n, d, theta, 1, x0_dist_sq);
+    (bound_at_1 / target).ceil() as u64
+}
+
+fn validate_eps_theta(eps: f64, theta: f64) {
+    assert!(eps.is_finite() && eps > 0.0, "eps must be positive");
+    assert!(
+        theta.is_finite() && theta > 0.0 && theta <= 1.0,
+        "theta must be in (0, 1]"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn consts() -> Constants {
+        Constants::new(1.0, 1.0, 4.0, 10.0)
+    }
+
+    #[test]
+    fn contention_coefficient_matches_lemma_6_4() {
+        assert_eq!(contention_coefficient(4, 4), 8.0); // 2√16
+        assert_eq!(contention_coefficient(1, 1), 2.0);
+        // τ_max = 0 clamps to 1 (an iteration is concurrent with itself).
+        assert_eq!(contention_coefficient(0, 4), 4.0);
+    }
+
+    #[test]
+    fn theorem_3_1_learning_rate_formula() {
+        // α = cεϑ/M² = 1·0.01·0.5/4.
+        let a = theorem_3_1_learning_rate(&consts(), 0.01, 0.5);
+        assert!((a - 0.00125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem_3_1_decays_linearly_in_t() {
+        let k = consts();
+        let b1 = theorem_3_1(&k, 0.01, 1.0, 1000, 1.0);
+        let b2 = theorem_3_1(&k, 0.01, 1.0, 2000, 1.0);
+        assert!((b1 / b2 - 2.0).abs() < 1e-9, "halves when T doubles");
+    }
+
+    #[test]
+    fn theorem_6_3_reduces_to_3_1_at_tau_zero() {
+        let k = consts();
+        let a = theorem_6_3(&k, 0.01, 1.0, 0, 500, 1.0);
+        let b = theorem_3_1(&k, 0.01, 1.0, 500, 1.0);
+        assert!((a - b).abs() < 1e-12);
+        let lr_a = theorem_6_3_learning_rate(&k, 0.01, 1.0, 0);
+        let lr_b = theorem_3_1_learning_rate(&k, 0.01, 1.0);
+        assert!((lr_a - lr_b).abs() < 1e-15);
+    }
+
+    #[test]
+    fn theorem_6_3_grows_linearly_in_tau() {
+        let k = consts();
+        // For large τ the additive term dominates: bound ≈ linear in τ.
+        let b1 = theorem_6_3(&k, 0.01, 1.0, 1000, 100, 1.0);
+        let b2 = theorem_6_3(&k, 0.01, 1.0, 2000, 100, 1.0);
+        assert!(b2 / b1 > 1.8, "ratio {} should approach 2", b2 / b1);
+    }
+
+    #[test]
+    fn corollary_6_7_grows_like_sqrt_tau() {
+        let k = consts();
+        // For large τ the √τ term dominates: quadrupling τ doubles the bound.
+        let b1 = corollary_6_7(&k, 0.01, 10_000, 4, 16, 1.0, 100, 1.0);
+        let b2 = corollary_6_7(&k, 0.01, 40_000, 4, 16, 1.0, 100, 1.0);
+        let ratio = b2 / b1;
+        assert!(
+            (1.8..2.1).contains(&ratio),
+            "√τ scaling violated: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn corollary_6_7_beats_theorem_6_3_at_large_tau() {
+        // The paper's headline: √(τ·n) ≪ τ for τ ≫ n.
+        let k = consts();
+        let tau = 100_000;
+        let ours = corollary_6_7(&k, 0.01, tau, 4, 4, 1.0, 1000, 1.0);
+        let prior = theorem_6_3(&k, 0.01, 1.0, tau, 1000, 1.0);
+        assert!(
+            ours < prior / 10.0,
+            "new bound {ours} should be ≪ prior bound {prior}"
+        );
+    }
+
+    #[test]
+    fn theorem_6_5_vacuous_when_precondition_fails() {
+        let k = consts();
+        let b = theorem_6_5(1.0, 10.0, 100.0, &k, 1000, 8, 64, 100);
+        assert_eq!(b, f64::INFINITY);
+    }
+
+    #[test]
+    fn theorem_6_5_bound_positive_and_decaying() {
+        let k = consts();
+        let alpha = 1e-3;
+        let h = 1.0;
+        let pre = theorem_6_5_precondition(alpha, h, &k, 16, 4, 4);
+        assert!(pre < 1.0, "precondition {pre}");
+        let b1 = theorem_6_5(5.0, alpha, h, &k, 16, 4, 4, 100);
+        let b2 = theorem_6_5(5.0, alpha, h, &k, 16, 4, 4, 200);
+        assert!(b1 > 0.0 && b2 > 0.0);
+        assert!((b1 / b2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horizon_inverts_bound() {
+        let k = consts();
+        let t = corollary_6_7_horizon(&k, 0.01, 16, 4, 8, 1.0, 0.1, 1.0);
+        let bound = corollary_6_7(&k, 0.01, 16, 4, 8, 1.0, t, 1.0);
+        assert!(bound <= 0.1 + 1e-9, "bound at derived horizon: {bound}");
+        // One fewer iteration must not satisfy the target (tightness).
+        if t > 1 {
+            let bound_prev = corollary_6_7(&k, 0.01, 16, 4, 8, 1.0, t - 1, 1.0);
+            assert!(bound_prev > 0.1 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn clamp_prob_clamps() {
+        assert_eq!(clamp_prob(3.7), 1.0);
+        assert_eq!(clamp_prob(-0.2), 0.0);
+        assert_eq!(clamp_prob(0.4), 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in (0, 1]")]
+    fn rejects_bad_theta() {
+        let _ = theorem_3_1(&consts(), 0.01, 1.5, 10, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn rejects_bad_eps() {
+        let _ = corollary_6_7_learning_rate(&consts(), -0.01, 4, 2, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon T must be positive")]
+    fn rejects_zero_horizon() {
+        let _ = theorem_3_1(&consts(), 0.01, 1.0, 0, 1.0);
+    }
+
+    proptest! {
+        /// The Eq. 12 learning rate is monotone decreasing in τ_max and in d
+        /// (more asynchrony / dimension ⇒ smaller safe step).
+        #[test]
+        fn lr_monotone_in_tau_and_d(
+            tau1 in 1_u64..1000, tau2 in 1_u64..1000,
+            d1 in 1_usize..256, d2 in 1_usize..256,
+        ) {
+            let k = consts();
+            let (tlo, thi) = if tau1 <= tau2 { (tau1, tau2) } else { (tau2, tau1) };
+            let (dlo, dhi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            let base = corollary_6_7_learning_rate(&k, 0.01, tlo, 4, dlo, 1.0);
+            prop_assert!(corollary_6_7_learning_rate(&k, 0.01, thi, 4, dlo, 1.0) <= base + 1e-15);
+            prop_assert!(corollary_6_7_learning_rate(&k, 0.01, tlo, 4, dhi, 1.0) <= base + 1e-15);
+        }
+
+        /// Bounds are non-negative and decrease in T.
+        #[test]
+        fn bounds_positive_and_monotone_in_t(t1 in 1_u64..10_000, t2 in 1_u64..10_000) {
+            let k = consts();
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            let b_lo = corollary_6_7(&k, 0.01, 8, 4, 4, 1.0, lo, 1.0);
+            let b_hi = corollary_6_7(&k, 0.01, 8, 4, 4, 1.0, hi, 1.0);
+            prop_assert!(b_lo >= 0.0 && b_hi >= 0.0);
+            prop_assert!(b_hi <= b_lo + 1e-12);
+        }
+
+        /// The new bound never exceeds the prior bound at equal τ when
+        /// τ ≥ 4n·d (the asymptotic-regime comparison from the abstract);
+        /// √(τ n d) ≤ τ there.
+        #[test]
+        fn new_bound_dominated_by_prior_in_asymptotic_regime(
+            n in 1_usize..8, d in 1_usize..16, extra in 1_u64..100,
+        ) {
+            let k = consts();
+            let tau = (4 * n as u64 * d as u64) * extra;
+            let ours = corollary_6_7(&k, 0.01, tau, n, d, 1.0, 100, 1.0);
+            let prior = theorem_6_3(&k, 0.01, 1.0, tau, 100, 1.0);
+            prop_assert!(ours <= prior * 1.0001,
+                "ours {} prior {} at tau={} n={} d={}", ours, prior, tau, n, d);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! The paper's theory as computable functions.
+//!
+//! Every displayed bound of *"The Convergence of SGD in Asynchronous Shared
+//! Memory"* (Alistarh, De Sa, Konstantinov; PODC 2018) is implemented here so
+//! experiments can print *paper-predicted* columns next to *measured* ones:
+//!
+//! * [`bounds`] — the failure-probability bounds: Theorem 3.1 (sequential),
+//!   Theorem 6.3 (De Sa et al. \[10\], linear in `τ`, for contrast),
+//!   Theorem 6.5 (the main result) and Corollary 6.7 (with the Eq. 12
+//!   learning rate), plus the contention coefficient `C = 2√(τ_max·n)`
+//!   (Lemma 6.4) and the Theorem 6.5 precondition check;
+//! * [`martingale`] — the rate supermartingale `W_t` of Lemma 6.6 with its
+//!   Lipschitz constant `H`, evaluable along real trajectories;
+//! * [`lower_bound`] — the §5 construction in closed form: `x_τ`, `x_{τ+1}`,
+//!   the injected variance, the `Ω(τ)` slowdown factor and the minimum
+//!   adversarial delay `τ*(α)` of Theorem 5.1;
+//! * [`corollary_7_1`] — the epoch count of Algorithm 2;
+//! * [`regimes`] — the §8 complementarity analysis between the lower-bound
+//!   precondition and the upper-bound precondition.
+//!
+//! # Example: the paper's learning rate for a real workload
+//!
+//! ```
+//! use asgd_oracle::{GradientOracle, NoisyQuadratic};
+//! use asgd_theory::bounds;
+//!
+//! let oracle = NoisyQuadratic::new(8, 0.5).expect("valid");
+//! let consts = oracle.constants(2.0);
+//! let alpha = bounds::corollary_6_7_learning_rate(&consts, 0.01, 8, 16, 4, 1.0);
+//! assert!(alpha > 0.0 && alpha < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod corollary_7_1;
+pub mod lower_bound;
+pub mod martingale;
+pub mod regimes;

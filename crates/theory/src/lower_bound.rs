@@ -1,0 +1,207 @@
+//! The §5 lower bound in closed form (Theorem 5.1).
+//!
+//! Setting: `f(x) = ½x²`, noisy gradients `g̃(x) = x − ũ`, `ũ ~ N(0, σ²)`,
+//! two threads. The adversary has both threads compute a gradient at `x₀`,
+//! lets the runner execute `τ` iterations, then merges the victim's stale
+//! gradient. The paper derives:
+//!
+//! * without the adversary: `x_τ = (1−α)^τ·x₀ + noise`,
+//! * with it: `x_{τ+1} = ((1−α)^τ − α)·x₀ + noise'`,
+//! * injected noise variance `α²σ²(1 + (1−(1−α)^{2τ})/(1−(1−α)²))`,
+//! * once `2(1−α)^τ ≤ α` (σ = 0): `‖x_{τ+1}‖ ≥ (α/2)‖x₀‖` versus
+//!   `(1−α)^τ‖x₀‖`, a slowdown factor `τ·log(1−α)/(log α − log 2) = Ω(τ)`.
+
+/// Deterministic part of the adversary-free iterate: `(1−α)^τ · x₀`.
+///
+/// # Panics
+///
+/// Panics unless `0 < α < 1`.
+#[must_use]
+pub fn clean_contraction(alpha: f64, tau: u64, x0: f64) -> f64 {
+    validate_alpha(alpha);
+    (1.0 - alpha).powi(tau as i32) * x0
+}
+
+/// Deterministic part of the post-merge iterate:
+/// `x_{τ+1} = ((1−α)^τ − α) · x₀` (σ = 0 case of the §5 derivation).
+///
+/// # Panics
+///
+/// Panics unless `0 < α < 1`.
+#[must_use]
+pub fn adversarial_iterate(alpha: f64, tau: u64, x0: f64) -> f64 {
+    validate_alpha(alpha);
+    ((1.0 - alpha).powi(tau as i32) - alpha) * x0
+}
+
+/// Variance of the noise term of `x_{τ+1}` (the §5 display):
+/// `α²σ²·(1 + (1 − (1−α)^{2τ}) / (1 − (1−α)²))`.
+///
+/// # Panics
+///
+/// Panics unless `0 < α < 1` or if `sigma` is negative.
+#[must_use]
+pub fn adversarial_noise_variance(alpha: f64, tau: u64, sigma: f64) -> f64 {
+    validate_alpha(alpha);
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    let q = (1.0 - alpha) * (1.0 - alpha);
+    let geom = (1.0 - q.powi(tau as i32)) / (1.0 - q);
+    alpha * alpha * sigma * sigma * (1.0 + geom)
+}
+
+/// The delay threshold of the construction: the smallest `τ` with
+/// `2(1−α)^τ ≤ α`, i.e. `τ ≥ log(α/2)/log(1−α)`. This is the `τ_max`
+/// Theorem 5.1 says the adversary needs.
+///
+/// # Panics
+///
+/// Panics unless `0 < α < 1`.
+#[must_use]
+pub fn required_delay(alpha: f64) -> u64 {
+    validate_alpha(alpha);
+    let tau = ((alpha / 2.0).ln() / (1.0 - alpha).ln()).ceil();
+    tau.max(1.0) as u64
+}
+
+/// The Ω(τ) slowdown factor of Theorem 5.1:
+/// `log((1−α)^τ) / log(α/2) = τ·log(1−α)/(log α − log 2)`.
+///
+/// Interpretation: the clean execution contracts by `(1−α)^τ` over the
+/// window, the adversarial one only by `α/2`; in per-iteration log-progress
+/// terms the adversarial run is this factor slower.
+///
+/// # Panics
+///
+/// Panics unless `0 < α < 1` (which also guarantees `log(α/2) < 0`).
+#[must_use]
+pub fn slowdown_factor(alpha: f64, tau: u64) -> f64 {
+    validate_alpha(alpha);
+    tau as f64 * (1.0 - alpha).ln() / (alpha / 2.0).ln()
+}
+
+/// Lower bound on the post-merge magnitude once `τ ≥ required_delay(α)`:
+/// `‖x_{τ+1}‖ ≥ (α/2)·‖x₀‖` (σ = 0).
+///
+/// # Panics
+///
+/// Panics unless `0 < α < 1`.
+#[must_use]
+pub fn adversarial_magnitude_floor(alpha: f64, x0_abs: f64) -> f64 {
+    validate_alpha(alpha);
+    alpha / 2.0 * x0_abs
+}
+
+fn validate_alpha(alpha: f64) {
+    assert!(
+        alpha.is_finite() && alpha > 0.0 && alpha < 1.0,
+        "alpha must be in (0, 1), got {alpha}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clean_contraction_shrinks_geometrically() {
+        assert!((clean_contraction(0.5, 3, 8.0) - 1.0).abs() < 1e-12);
+        assert_eq!(clean_contraction(0.5, 0, 8.0), 8.0);
+    }
+
+    #[test]
+    fn adversarial_iterate_is_clean_minus_alpha_x0() {
+        let (alpha, tau, x0) = (0.2, 10, 4.0);
+        let clean = clean_contraction(alpha, tau, x0);
+        let adv = adversarial_iterate(alpha, tau, x0);
+        assert!((adv - (clean - alpha * x0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_delay_satisfies_threshold() {
+        for alpha in [0.05, 0.1, 0.3, 0.5] {
+            let tau = required_delay(alpha);
+            assert!(
+                2.0 * (1.0 - alpha).powi(tau as i32) <= alpha + 1e-12,
+                "τ = {tau} too small for α = {alpha}"
+            );
+            if tau > 1 {
+                assert!(
+                    2.0 * (1.0 - alpha).powi(tau as i32 - 1) > alpha,
+                    "τ = {tau} not minimal for α = {alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn magnitude_floor_holds_past_required_delay() {
+        let alpha = 0.1;
+        let x0 = 1.0;
+        let tau = required_delay(alpha);
+        let adv = adversarial_iterate(alpha, tau, x0).abs();
+        // |(1−α)^τ − α| with (1−α)^τ ≤ α/2 gives ≥ α/2.
+        assert!(
+            adv >= adversarial_magnitude_floor(alpha, x0) - 1e-12,
+            "adv magnitude {adv} below floor"
+        );
+        // Meanwhile the clean run is far smaller.
+        assert!(clean_contraction(alpha, tau, x0).abs() <= alpha / 2.0 * x0);
+    }
+
+    #[test]
+    fn noise_variance_closed_form_matches_series() {
+        // Direct sum: α²σ²(1 + Σ_{k=0}^{τ-1} ((1−α)²)^k).
+        let (alpha, sigma, tau) = (0.3, 2.0, 7u64);
+        let q: f64 = (1.0 - alpha) * (1.0 - alpha);
+        let series: f64 = (0..tau).map(|k| q.powi(k as i32)).sum();
+        let direct = alpha * alpha * sigma * sigma * (1.0 + series);
+        let closed = adversarial_noise_variance(alpha, tau, sigma);
+        assert!((closed - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_variance_zero_for_zero_sigma() {
+        assert_eq!(adversarial_noise_variance(0.2, 100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn slowdown_factor_is_linear_in_tau() {
+        let alpha = 0.1;
+        let s1 = slowdown_factor(alpha, 100);
+        let s2 = slowdown_factor(alpha, 200);
+        assert!((s2 / s1 - 2.0).abs() < 1e-12, "Ω(τ): doubling τ doubles it");
+        assert!(s1 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1)")]
+    fn rejects_alpha_one() {
+        let _ = required_delay(1.0);
+    }
+
+    proptest! {
+        /// For every valid α, at τ = required_delay the adversarial iterate
+        /// is at least as large as the clean one — the slowdown is real.
+        #[test]
+        fn adversary_always_hurts_at_threshold(alpha in 0.01_f64..0.9) {
+            let tau = required_delay(alpha);
+            let clean = clean_contraction(alpha, tau, 1.0).abs();
+            let adv = adversarial_iterate(alpha, tau, 1.0).abs();
+            prop_assert!(adv >= clean - 1e-12,
+                "adv {} < clean {} at α={} τ={}", adv, clean, alpha, tau);
+            prop_assert!(adv >= adversarial_magnitude_floor(alpha, 1.0) - 1e-12);
+        }
+
+        /// Variance is increasing in τ and bounded by the geometric limit.
+        #[test]
+        fn variance_monotone_and_bounded(alpha in 0.01_f64..0.99, tau in 1_u64..200) {
+            let v1 = adversarial_noise_variance(alpha, tau, 1.0);
+            let v2 = adversarial_noise_variance(alpha, tau + 1, 1.0);
+            prop_assert!(v2 >= v1 - 1e-15);
+            let q = (1.0 - alpha) * (1.0 - alpha);
+            let limit = alpha * alpha * (1.0 + 1.0 / (1.0 - q));
+            prop_assert!(v1 <= limit + 1e-12);
+        }
+    }
+}

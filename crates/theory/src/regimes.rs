@@ -1,0 +1,161 @@
+//! §8 — complementarity of the lower and upper bounds.
+//!
+//! The lower bound (Theorem 5.1) needs the adversary to afford a delay
+//! `τ ≥ τ*(α) = log(α/2)/log(1−α)`; the upper bound (Theorem 6.5) needs
+//! `2·α²·H·L·M·√d·√(τ·n) < 1`. The paper observes these preconditions are
+//! incompatible: for any fixed `α`, delays large enough to make SGD stall
+//! violate the regime in which the upper bound promises fast convergence,
+//! and vice versa. This module computes both frontiers so the `regimes`
+//! experiment can tabulate them.
+
+use crate::bounds::theorem_6_5_precondition;
+use crate::lower_bound::required_delay;
+use crate::martingale::RateSupermartingale;
+use asgd_oracle::Constants;
+
+/// Classification of a parameter point `(α, τ, n, d)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// The Theorem 6.5 precondition holds: fast convergence is guaranteed.
+    UpperBoundApplies,
+    /// The Theorem 5.1 construction applies: the adversary can force an
+    /// `Ω(τ)` slowdown.
+    LowerBoundApplies,
+    /// Neither precondition holds at this point (the theory is silent).
+    Neither,
+}
+
+/// The analysis of one parameter point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegimePoint {
+    /// Step size.
+    pub alpha: f64,
+    /// Delay bound examined.
+    pub tau: u64,
+    /// The Theorem 6.5 precondition value `α²HLMC√d` (needs `< 1`).
+    pub upper_precondition: f64,
+    /// The minimal delay `τ*(α)` Theorem 5.1 requires.
+    pub required_delay: u64,
+    /// Classification.
+    pub regime: Regime,
+}
+
+/// Classifies a parameter point.
+///
+/// A step size violating even the *sequential* stability condition
+/// `α < 2cε/M²` makes the martingale machinery inapplicable; such points
+/// report an infinite upper-bound precondition (the upper bound certainly
+/// does not apply there).
+#[must_use]
+pub fn classify(
+    alpha: f64,
+    consts: &Constants,
+    eps: f64,
+    tau: u64,
+    n: usize,
+    d: usize,
+) -> RegimePoint {
+    let pre = match RateSupermartingale::try_new(alpha, consts, eps) {
+        Ok(w) => theorem_6_5_precondition(alpha, w.lipschitz_h(), consts, tau, n, d),
+        Err(_) => f64::INFINITY,
+    };
+    let tau_star = required_delay(alpha);
+    let regime = if pre < 1.0 {
+        Regime::UpperBoundApplies
+    } else if tau >= tau_star {
+        Regime::LowerBoundApplies
+    } else {
+        Regime::Neither
+    };
+    RegimePoint {
+        alpha,
+        tau,
+        upper_precondition: pre,
+        required_delay: tau_star,
+        regime,
+    }
+}
+
+/// Verifies the paper's §8 claim at a point: if the adversary has enough
+/// delay budget for the lower bound (`τ ≥ τ*(α)`), then the upper bound's
+/// precondition must fail — the regimes never overlap.
+#[must_use]
+pub fn preconditions_incompatible(
+    alpha: f64,
+    consts: &Constants,
+    eps: f64,
+    tau: u64,
+    n: usize,
+    d: usize,
+) -> bool {
+    let p = classify(alpha, consts, eps, tau, n, d);
+    !(tau >= p.required_delay && p.upper_precondition < 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn consts() -> Constants {
+        Constants::new(1.0, 1.0, 4.0, 10.0)
+    }
+
+    #[test]
+    fn small_tau_small_alpha_is_upper_regime() {
+        // α = 0.001 < 2cε/M² = 0.005: stable, and the precondition is small.
+        let p = classify(0.001, &consts(), 0.01, 4, 2, 2);
+        assert_eq!(p.regime, Regime::UpperBoundApplies);
+        assert!(p.upper_precondition < 1.0);
+    }
+
+    #[test]
+    fn sequentially_unstable_alpha_reports_infinite_precondition() {
+        let p = classify(0.3, &consts(), 0.01, 1, 2, 2);
+        assert_eq!(p.upper_precondition, f64::INFINITY);
+        assert_ne!(p.regime, Regime::UpperBoundApplies);
+    }
+
+    #[test]
+    fn huge_tau_is_lower_regime() {
+        let alpha = 0.05;
+        let tau_star = required_delay(alpha);
+        let p = classify(alpha, &consts(), 0.01, tau_star * 100, 8, 16);
+        assert_eq!(p.regime, Regime::LowerBoundApplies);
+        assert!(p.upper_precondition >= 1.0, "pre = {}", p.upper_precondition);
+    }
+
+    #[test]
+    fn classification_is_exhaustive_and_consistent() {
+        for &alpha in &[0.001, 0.01, 0.05, 0.1, 0.3] {
+            for &tau in &[1u64, 10, 100, 10_000, 1_000_000] {
+                let p = classify(alpha, &consts(), 0.01, tau, 4, 8);
+                match p.regime {
+                    Regime::UpperBoundApplies => assert!(p.upper_precondition < 1.0),
+                    Regime::LowerBoundApplies => {
+                        assert!(p.upper_precondition >= 1.0 && tau >= p.required_delay);
+                    }
+                    Regime::Neither => {
+                        assert!(p.upper_precondition >= 1.0 && tau < p.required_delay);
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// The §8 claim: the two preconditions never hold simultaneously, for
+        /// any step size, delay, thread count and dimension we probe
+        /// (sequentially unstable α counts as "upper bound inapplicable").
+        #[test]
+        fn regimes_never_overlap(
+            alpha in 0.0001_f64..0.9,
+            tau in 1_u64..10_000_000,
+            n in 1_usize..64,
+            d in 1_usize..512,
+        ) {
+            prop_assert!(preconditions_incompatible(alpha, &consts(), 0.01, tau, n, d),
+                "overlap at α={} τ={} n={} d={}", alpha, tau, n, d);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The §5 lower bound, live: run the stale-gradient adversary in the
+//! simulator and watch it knock SGD back — including the paper's Figure-1
+//! update grid rendered from the actual execution.
+//!
+//! ```text
+//! cargo run --release --example adversarial_delay
+//! ```
+
+use asyncsgd::prelude::*;
+use asyncsgd::theory::lower_bound;
+use std::sync::Arc;
+
+fn main() {
+    let alpha = 0.1;
+    let oracle = Arc::new(NoisyQuadratic::new(1, 0.0).expect("valid"));
+    let tau_star = lower_bound::required_delay(alpha);
+    println!("f(x) = x²/2, α = {alpha}; Theorem 5.1 needs delay τ ≥ τ* = {tau_star}\n");
+
+    println!("{:>6} {:>14} {:>14} {:>14} {:>10}", "tau", "measured |x|", "predicted", "clean", "slowdown");
+    for tau in [5, 10, tau_star, 2 * tau_star, 4 * tau_star] {
+        let run = LockFreeSgd::builder(Arc::clone(&oracle))
+            .threads(2)
+            .iterations(tau + 1)
+            .learning_rate(alpha)
+            .initial_point(vec![1.0])
+            .scheduler(StaleGradientAdversary::new(0, 1, tau))
+            .seed(1)
+            .run();
+        println!(
+            "{:>6} {:>14.6e} {:>14.6e} {:>14.6e} {:>10.1}",
+            tau,
+            run.final_model[0].abs(),
+            lower_bound::adversarial_iterate(alpha, tau, 1.0).abs(),
+            lower_bound::clean_contraction(alpha, tau, 1.0),
+            lower_bound::slowdown_factor(alpha, tau),
+        );
+    }
+
+    // Figure 1: the update grid of a small adversarial execution.
+    println!("\nFigure 1 — update grid under a bounded-delay adversary (d=6, n=3):\n");
+    let oracle6 = Arc::new(NoisyQuadratic::new(6, 0.5).expect("valid"));
+    let run = LockFreeSgd::builder(oracle6)
+        .threads(3)
+        .iterations(10)
+        .learning_rate(0.05)
+        .initial_point(vec![1.0; 6])
+        .scheduler(BoundedDelayAdversary::new(3))
+        .trace(TraceLevel::Events)
+        .seed(3)
+        .run();
+    let trace = run.execution.trace.expect("trace requested");
+    let mid = run.execution.steps / 2;
+    println!("mid-execution (step {mid}):");
+    println!("{}", trace.update_grid(6, mid).render());
+    println!("final:");
+    println!("{}", trace.update_grid(6, run.execution.steps).render());
+    println!(
+        "contention: τ_max = {}, τ_avg = {:.2}",
+        run.execution.contention.tau_max(),
+        run.execution.contention.tau_avg()
+    );
+}

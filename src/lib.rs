@@ -1,0 +1,92 @@
+//! `asyncsgd` — lock-free stochastic gradient descent in asynchronous shared
+//! memory.
+//!
+//! A full reproduction of *"The Convergence of Stochastic Gradient Descent
+//! in Asynchronous Shared Memory"* (Dan Alistarh, Christopher De Sa, Nikola
+//! Konstantinov; PODC 2018, arXiv:1803.08841): the asynchronous shared-
+//! memory machine with a strong adaptive adversary, Algorithm 1
+//! (`EpochSGD`) and Algorithm 2 (`FullSGD`) both simulated and on native
+//! threads, every convergence bound as computable functions, and an
+//! experiment harness regenerating each theorem's table.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`math`] | `asgd-math` | vector kernels, Gaussian sampling, statistics |
+//! | [`shmem`] | `asgd-shmem` | the simulated machine: registers, engine, schedulers/adversaries, contention audits |
+//! | [`oracle`] | `asgd-oracle` | workloads with known `(c, L, M²)` constants |
+//! | [`core`] | `asgd-core` | the paper's algorithms on the simulator |
+//! | [`theory`] | `asgd-theory` | Theorems 3.1/6.3/6.5, Corollaries 6.7/7.1, §5 lower bound |
+//! | [`hogwild`] | `asgd-hogwild` | native lock-free runtime + locked baseline |
+//! | [`metrics`] | `asgd-metrics` | trial harness, tables, histograms |
+//!
+//! # Quickstart: native lock-free SGD
+//!
+//! ```
+//! use asyncsgd::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let oracle = Arc::new(NoisyQuadratic::new(4, 0.1).expect("valid"));
+//! let report = Hogwild::new(oracle, HogwildConfig {
+//!     threads: 2,
+//!     iterations: 5_000,
+//!     alpha: 0.05,
+//!     seed: 42,
+//!     success_radius_sq: Some(0.01),
+//! })
+//! .run(&[1.0, -1.0, 1.0, -1.0]);
+//! assert!(report.final_dist_sq < 0.1);
+//! ```
+//!
+//! # Quickstart: the paper's adversary in the simulator
+//!
+//! ```
+//! use asyncsgd::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let oracle = Arc::new(NoisyQuadratic::new(1, 0.0).expect("valid"));
+//! let tau = 30;
+//! let run = LockFreeSgd::builder(oracle)
+//!     .threads(2)
+//!     .iterations(tau + 1)
+//!     .learning_rate(0.1)
+//!     .initial_point(vec![1.0])
+//!     .scheduler(StaleGradientAdversary::new(0, 1, tau))
+//!     .seed(7)
+//!     .run();
+//! // The §5 closed form, reproduced by a real execution:
+//! let predicted = asyncsgd::theory::lower_bound::adversarial_iterate(0.1, tau, 1.0);
+//! assert!((run.final_model[0] - predicted).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use asgd_core as core;
+pub use asgd_hogwild as hogwild;
+pub use asgd_math as math;
+pub use asgd_metrics as metrics;
+pub use asgd_oracle as oracle;
+pub use asgd_shmem as shmem;
+pub use asgd_theory as theory;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use asgd_core::full_sgd::{run_simulated as run_full_sgd_simulated, FullSgdConfig};
+    pub use asgd_core::runner::{LockFreeRun, LockFreeSgd};
+    pub use asgd_core::sequential::SequentialSgd;
+    pub use asgd_hogwild::full_sgd::{NativeFullSgd, NativeFullSgdConfig};
+    pub use asgd_hogwild::hogwild::{Hogwild, HogwildConfig};
+    pub use asgd_hogwild::locked::LockedSgd;
+    pub use asgd_oracle::{
+        Constants, GradientOracle, LinearRegression, NoisyQuadratic, RidgeLogistic,
+        SparseQuadratic,
+    };
+    pub use asgd_shmem::sched::{
+        BoundedDelayAdversary, CrashAdversary, RandomScheduler, Scheduler, SerialScheduler,
+        StaleGradientAdversary, StepRoundRobin,
+    };
+    pub use asgd_shmem::{Engine, Memory, TraceLevel};
+    pub use asgd_theory::bounds;
+}

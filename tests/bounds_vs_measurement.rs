@@ -1,0 +1,120 @@
+//! Bound-domination integration tests: the paper's probability bounds must
+//! sit above measured failure rates on real executions (small scale;
+//! the full sweeps live in the experiment harness).
+
+use asyncsgd::metrics::estimate_probability;
+use asyncsgd::prelude::*;
+use asyncsgd::theory::{bounds, martingale::RateSupermartingale};
+use std::sync::Arc;
+
+#[test]
+fn theorem_3_1_dominates_sequential_measurement() {
+    let oracle = Arc::new(NoisyQuadratic::new(2, 1.0).expect("valid"));
+    let consts = oracle.constants(2.0);
+    let (eps, theta, t) = (0.25, 1.0, 600_u64);
+    let alpha = bounds::theorem_3_1_learning_rate(&consts, eps, theta);
+    let est = estimate_probability(40, 0x31, |seed| {
+        SequentialSgd::new(&oracle)
+            .learning_rate(alpha)
+            .iterations(t)
+            .initial_point(vec![1.0, 0.0])
+            .success_radius_sq(eps)
+            .seed(seed)
+            .run()
+            .hit_iteration
+            .is_none()
+    });
+    let bound = bounds::theorem_3_1(&consts, eps, theta, t, 1.0);
+    assert!(
+        est.consistent_with_upper_bound(bound),
+        "measured {} exceeds bound {bound}",
+        est.interval.lower
+    );
+}
+
+#[test]
+fn corollary_6_7_dominates_adversarial_measurement() {
+    let d = 2;
+    let oracle = Arc::new(NoisyQuadratic::new(d, 0.5).expect("valid"));
+    let consts = oracle.constants(2.0);
+    let (eps, theta, tau, n) = (0.04, 1.0, 8_u64, 3);
+    let alpha = bounds::corollary_6_7_learning_rate(&consts, eps, tau, n, d, theta);
+    let t = bounds::corollary_6_7_horizon(&consts, eps, tau, n, d, theta, 0.5, 1.0);
+    let est = estimate_probability(12, 0x67, |seed| {
+        LockFreeSgd::builder(Arc::clone(&oracle))
+            .threads(n)
+            .iterations(t)
+            .learning_rate(alpha)
+            .initial_point(vec![(0.5_f64).sqrt(); d])
+            .success_radius_sq(eps)
+            .scheduler(BoundedDelayAdversary::new(tau))
+            .seed(seed)
+            .run()
+            .hit_iteration
+            .is_none()
+    });
+    let bound = bounds::corollary_6_7(&consts, eps, tau, n, d, theta, t, 1.0);
+    assert!(
+        est.consistent_with_upper_bound(bound),
+        "measured {} exceeds Eq. 13 bound {bound}",
+        est.interval.lower
+    );
+}
+
+#[test]
+fn theorem_6_5_bound_computable_from_run_artifacts() {
+    // Assemble the Theorem 6.5 bound from a real execution's measured τ_max
+    // (rather than an assumed one) and verify the run's failure status is
+    // consistent with it.
+    let d = 2;
+    let oracle = Arc::new(NoisyQuadratic::new(d, 0.5).expect("valid"));
+    let consts = oracle.constants(2.0);
+    let eps = 0.04;
+    let alpha = bounds::corollary_6_7_learning_rate(&consts, eps, 8, 3, d, 1.0);
+    let w = RateSupermartingale::new(alpha, &consts, eps);
+    let t = 30_000_u64;
+    let run = LockFreeSgd::builder(Arc::clone(&oracle))
+        .threads(3)
+        .iterations(t)
+        .learning_rate(alpha)
+        .initial_point(vec![(0.5_f64).sqrt(); d])
+        .success_radius_sq(eps)
+        .scheduler(BoundedDelayAdversary::new(8))
+        .seed(1)
+        .run();
+    let tau_measured = run.execution.contention.tau_max();
+    let bound = bounds::theorem_6_5(
+        w.w0_upper_bound(1.0),
+        alpha,
+        w.lipschitz_h(),
+        &consts,
+        tau_measured,
+        3,
+        d,
+        t,
+    );
+    assert!(bound.is_finite(), "precondition must hold at this scale");
+    // The bound is small at this long horizon; the run indeed succeeded.
+    assert!(bound < 0.5, "bound {bound}");
+    assert!(run.hit_iteration.is_some());
+}
+
+#[test]
+fn gibson_gramoli_and_lemmas_hold_on_a_long_adversarial_run() {
+    let oracle = Arc::new(NoisyQuadratic::new(4, 1.0).expect("valid"));
+    let run = LockFreeSgd::builder(oracle)
+        .threads(4)
+        .iterations(1_500)
+        .learning_rate(0.02)
+        .scheduler(BoundedDelayAdversary::new(24))
+        .seed(2)
+        .run();
+    let c = &run.execution.contention;
+    assert!(c.gibson_gramoli_holds(), "τ_avg = {} > 2n", c.tau_avg());
+    assert!(c.lemma_6_4().holds);
+    for k in [1, 2, 4] {
+        if let Some(audit) = c.lemma_6_2(k) {
+            assert!(audit.holds, "Lemma 6.2 failed at K={k}: {audit:?}");
+        }
+    }
+}

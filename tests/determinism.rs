@@ -1,0 +1,109 @@
+//! Determinism and replay: the simulator is a scientific instrument — equal
+//! seeds must reproduce executions exactly, and recorded schedules must
+//! replay to identical machines.
+
+use asyncsgd::core::lockfree::{EpochSgdConfig, EpochSgdProcess};
+use asyncsgd::prelude::*;
+use asyncsgd::shmem::sched::{RecordingScheduler, ReplayScheduler};
+use asyncsgd::shmem::Engine;
+use std::sync::Arc;
+
+fn build_engine(
+    oracle: &Arc<NoisyQuadratic>,
+    scheduler: impl Scheduler + 'static,
+    seed: u64,
+) -> Engine {
+    Engine::builder()
+        .memory(Memory::with_model(&[1.0, -1.0], 1))
+        .process(EpochSgdProcess::new(
+            Arc::clone(oracle),
+            EpochSgdConfig::simple(0.05, 60),
+        ))
+        .process(EpochSgdProcess::new(
+            Arc::clone(oracle),
+            EpochSgdConfig::simple(0.05, 60),
+        ))
+        .scheduler(scheduler)
+        .trace(TraceLevel::Events)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn recorded_schedule_replays_to_identical_execution() {
+    let oracle = Arc::new(NoisyQuadratic::new(2, 0.6).expect("valid"));
+    let rec = RecordingScheduler::new(RandomScheduler::new(1234));
+    let log = rec.log();
+    let original = build_engine(&oracle, rec, 42).run();
+    let replayed = build_engine(&oracle, ReplayScheduler::from_log(&log), 42).run();
+    assert_eq!(original.fingerprint, replayed.fingerprint);
+    assert_eq!(original.memory, replayed.memory);
+    assert_eq!(original.steps, replayed.steps);
+}
+
+#[test]
+fn fingerprint_is_stable_across_runs_and_sensitive_to_everything() {
+    let oracle = Arc::new(NoisyQuadratic::new(2, 0.6).expect("valid"));
+    let base = build_engine(&oracle, RandomScheduler::new(7), 42).run().fingerprint;
+    // Same everything → same fingerprint.
+    assert_eq!(
+        base,
+        build_engine(&oracle, RandomScheduler::new(7), 42).run().fingerprint
+    );
+    // Different engine seed (coin streams) → different.
+    assert_ne!(
+        base,
+        build_engine(&oracle, RandomScheduler::new(7), 43).run().fingerprint
+    );
+    // Different scheduler randomness → different.
+    assert_ne!(
+        base,
+        build_engine(&oracle, RandomScheduler::new(8), 42).run().fingerprint
+    );
+}
+
+#[test]
+fn adversarial_runs_are_reproducible_too() {
+    let oracle = Arc::new(NoisyQuadratic::new(2, 0.4).expect("valid"));
+    let run = |seed: u64| {
+        LockFreeSgd::builder(Arc::clone(&oracle))
+            .threads(3)
+            .iterations(150)
+            .learning_rate(0.05)
+            .scheduler(BoundedDelayAdversary::new(6))
+            .seed(seed)
+            .run()
+    };
+    let a = run(5);
+    let b = run(5);
+    assert_eq!(a.execution.fingerprint, b.execution.fingerprint);
+    assert_eq!(a.final_model, b.final_model);
+    assert_eq!(
+        a.execution.contention.tau_max(),
+        b.execution.contention.tau_max()
+    );
+}
+
+#[test]
+fn full_sgd_simulated_is_deterministic() {
+    let oracle = Arc::new(NoisyQuadratic::new(2, 0.8).expect("valid"));
+    let go = || {
+        asyncsgd::core::full_sgd::run_simulated(
+            Arc::clone(&oracle),
+            asyncsgd::core::full_sgd::FullSgdConfig {
+                alpha0: 0.2,
+                epoch_iterations: 40,
+                halving_epochs: 2,
+            },
+            3,
+            &[1.0, 1.0],
+            RandomScheduler::new(11),
+            13,
+            None,
+        )
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.execution.fingerprint, b.execution.fingerprint);
+    assert_eq!(a.r, b.r);
+}

