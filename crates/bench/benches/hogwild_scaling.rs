@@ -13,9 +13,8 @@ fn bench_scaling(c: &mut Criterion) {
     let iterations = 2_000_u64;
     // Minibatch gradients: compute O(b·d) per iteration dominates the O(d)
     // atomic update traffic, so thread scaling is visible (§8(c)).
-    let oracle = Arc::new(
-        MinibatchRegression::synthetic(2_000, d, 0.05, 64, 7).expect("well-conditioned"),
-    );
+    let oracle =
+        Arc::new(MinibatchRegression::synthetic(2_000, d, 0.05, 64, 7).expect("well-conditioned"));
     let x0 = vec![0.0; d];
 
     let mut group = c.benchmark_group("sgd_throughput");
@@ -24,25 +23,21 @@ fn bench_scaling(c: &mut Criterion) {
     group.throughput(Throughput::Elements(iterations));
 
     for &threads in &[1_usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("lockfree", threads),
-            &threads,
-            |b, &n| {
-                b.iter(|| {
-                    Hogwild::new(
-                        Arc::clone(&oracle),
-                        HogwildConfig {
-                            threads: n,
-                            iterations,
-                            alpha: 0.005,
-                            seed: 42,
-                            success_radius_sq: None,
-                        },
-                    )
-                    .run(&x0)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("lockfree", threads), &threads, |b, &n| {
+            b.iter(|| {
+                Hogwild::new(
+                    Arc::clone(&oracle),
+                    HogwildConfig {
+                        threads: n,
+                        iterations,
+                        alpha: 0.005,
+                        seed: 42,
+                        success_radius_sq: None,
+                    },
+                )
+                .run(&x0)
+            })
+        });
         group.bench_with_input(BenchmarkId::new("locked", threads), &threads, |b, &n| {
             b.iter(|| LockedSgd::new(Arc::clone(&oracle), n, iterations, 0.005, 42).run(&x0))
         });

@@ -27,7 +27,9 @@ fn bench_schedulers(c: &mut Criterion) {
         ("serial", || Box::new(SerialScheduler::new())),
         ("round-robin", || Box::new(StepRoundRobin::new())),
         ("random", || Box::new(RandomScheduler::new(3))),
-        ("delay-adversary", || Box::new(BoundedDelayAdversary::new(16))),
+        ("delay-adversary", || {
+            Box::new(BoundedDelayAdversary::new(16))
+        }),
     ];
     for (name, mk) in cases {
         group.bench_with_input(BenchmarkId::new("4_threads", name), &mk, |b, mk| {

@@ -1,4 +1,6 @@
-//! CLI regenerating every paper-claim table.
+//! Experiment CLI: paper-claim tables *and* spec-driven single runs.
+//!
+//! Table mode (regenerates the paper artifacts, as before):
 //!
 //! ```text
 //! cargo run -p asgd-bench --release --bin experiments -- all
@@ -6,20 +8,295 @@
 //! cargo run -p asgd-bench --release --bin experiments -- --quick all
 //! ```
 //!
-//! Tables are printed to stdout and written as CSV under
-//! `target/experiments/`.
+//! Run mode (the unified driver from the command line — one `RunSpec`, any
+//! backend, JSON out):
+//!
+//! ```text
+//! cargo run -p asgd-bench --release --bin experiments -- run \
+//!     --backend hogwild --oracle noisy-quadratic --dim 8 --threads 4 \
+//!     --iterations 50000 --alpha 0.02 --seed 7 --json out.json
+//! cargo run -p asgd-bench --release --bin experiments -- run --backend all --pretty
+//! ```
+//!
+//! `--json PATH` writes the report; if `PATH` is a directory, files named
+//! `BENCH_<backend>.json` are created inside it. Without `--json`, reports
+//! print to stdout.
 
 use asgd_bench::{experiment_ids, run_experiment};
-use std::path::PathBuf;
+use asgd_driver::{run_spec, BackendKind, RunReport, RunSpec, SchedulerSpec};
+use asgd_oracle::{registry, OracleSpec};
+use std::path::{Path, PathBuf};
+use std::process::exit;
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run_mode(&args[1..]),
+        _ => table_mode(args),
+    }
+}
+
+// ---------------------------------------------------------------- run mode
+
+struct RunArgs {
+    backend: String,
+    oracle: OracleSpec,
+    threads: usize,
+    iterations: u64,
+    alpha: f64,
+    halving_epochs: Option<usize>,
+    scheduler: SchedulerSpec,
+    seed: u64,
+    eps: Option<f64>,
+    max_steps: Option<u64>,
+    x0: Option<Vec<f64>>,
+    json: Option<PathBuf>,
+    pretty: bool,
+}
+
+fn usage_run() -> ! {
+    eprintln!(
+        "usage: experiments run [options]\n\
+         \n\
+         options (defaults in parentheses):\n\
+         \x20 --backend NAME|all     execution model ({backends}; default hogwild)\n\
+         \x20 --oracle KIND          workload ({oracles}; default noisy-quadratic)\n\
+         \x20 --dim D                model dimension (4)\n\
+         \x20 --sigma S              noise level (0.1)\n\
+         \x20 --dataset M            dataset size for dataset oracles (500)\n\
+         \x20 --batch B              minibatch size (32)\n\
+         \x20 --lambda L             ridge coefficient (0.1)\n\
+         \x20 --threads N            worker threads (2)\n\
+         \x20 --iterations T         total iteration budget (10000)\n\
+         \x20 --alpha A              learning rate (0.05)\n\
+         \x20 --halving-epochs E     use Algorithm 2's halving schedule with E halvings\n\
+         \x20 --scheduler SPEC       simulated scheduler: serial | round-robin |\n\
+         \x20                        iteration-serial | random:SEED | delay:BUDGET |\n\
+         \x20                        stale:DELAY (round-robin)\n\
+         \x20 --seed S               master seed (0)\n\
+         \x20 --eps EPS              success region threshold on ‖x−x*‖²\n\
+         \x20 --x0 V1,V2,…           initial point (origin; must match --dim)\n\
+         \x20 --max-steps K          simulated step cap\n\
+         \x20 --json PATH            write JSON report(s); directory ⇒ BENCH_<backend>.json\n\
+         \x20 --pretty               pretty-print JSON",
+        backends = BackendKind::all()
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(" | "),
+        oracles = registry::known_kinds().join(" | "),
+    );
+    exit(2);
+}
+
+fn run_mode(args: &[String]) {
+    let parsed = parse_run_args(args);
+    let mut spec = RunSpec::new(parsed.oracle.clone(), BackendKind::Hogwild)
+        .threads(parsed.threads)
+        .iterations(parsed.iterations)
+        .seed(parsed.seed)
+        .scheduler(parsed.scheduler);
+    spec = match parsed.halving_epochs {
+        Some(epochs) => spec.halving(parsed.alpha, epochs),
+        None => spec.learning_rate(parsed.alpha),
+    };
+    if let Some(eps) = parsed.eps {
+        spec = spec.success_radius_sq(eps);
+    }
+    if let Some(steps) = parsed.max_steps {
+        spec = spec.max_steps(steps);
+    }
+    if let Some(x0) = parsed.x0.clone() {
+        spec = spec.x0(x0);
+    }
+
+    let backends: Vec<BackendKind> = if parsed.backend == "all" {
+        BackendKind::all().to_vec()
+    } else {
+        match parsed.backend.parse() {
+            Ok(kind) => vec![kind],
+            Err(e) => {
+                eprintln!("{e}");
+                exit(2);
+            }
+        }
+    };
+
+    let mut reports = Vec::new();
+    for backend in backends {
+        match run_spec(&spec.clone().backend(backend)) {
+            Ok(report) => {
+                eprintln!(
+                    "[{}] T={} dist²={:.3e} wall={:.3}s{}{}",
+                    report.backend,
+                    report.iterations,
+                    report.final_dist_sq,
+                    report.wall_time_secs,
+                    report
+                        .hit_iteration
+                        .map(|t| format!(" hit@{t}"))
+                        .unwrap_or_default(),
+                    report
+                        .fingerprint
+                        .map(|f| format!(" fp={f:016x}"))
+                        .unwrap_or_default(),
+                );
+                reports.push(report);
+            }
+            Err(e) => {
+                if parsed.backend == "all" {
+                    eprintln!("[{backend}] skipped: {e}");
+                } else {
+                    eprintln!("error: {e}");
+                    exit(1);
+                }
+            }
+        }
+    }
+    if reports.is_empty() {
+        eprintln!("error: no backend produced a report");
+        exit(1);
+    }
+    emit_reports(&reports, parsed.json.as_deref(), parsed.pretty);
+}
+
+fn emit_reports(reports: &[RunReport], json: Option<&Path>, pretty: bool) {
+    let render = |report: &RunReport| {
+        if pretty {
+            report.to_json_pretty()
+        } else {
+            report.to_json()
+        }
+    };
+    match json {
+        None => {
+            for report in reports {
+                println!("{}", render(report));
+            }
+        }
+        Some(path) if path.is_dir() => {
+            for report in reports {
+                let file = path.join(format!("BENCH_{}.json", report.backend));
+                if let Err(e) = std::fs::write(&file, render(report) + "\n") {
+                    eprintln!("error: writing {}: {e}", file.display());
+                    exit(1);
+                }
+                println!("[json] {}", file.display());
+            }
+        }
+        Some(path) => {
+            let payload = if reports.len() == 1 {
+                render(&reports[0]) + "\n"
+            } else {
+                // An array of reports, preserving individual formatting.
+                let items: Vec<String> = reports.iter().map(render).collect();
+                format!("[{}]\n", items.join(","))
+            };
+            if let Err(e) = std::fs::write(path, payload) {
+                eprintln!("error: writing {}: {e}", path.display());
+                exit(1);
+            }
+            println!("[json] {}", path.display());
+        }
+    }
+}
+
+fn parse_run_args(args: &[String]) -> RunArgs {
+    let mut parsed = RunArgs {
+        backend: "hogwild".to_string(),
+        oracle: OracleSpec::new("noisy-quadratic", 4),
+        threads: 2,
+        iterations: 10_000,
+        alpha: 0.05,
+        halving_epochs: None,
+        scheduler: SchedulerSpec::RoundRobin,
+        seed: 0,
+        eps: None,
+        max_steps: None,
+        x0: None,
+        json: None,
+        pretty: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> &str {
+            match it.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("error: {name} needs a value");
+                    usage_run();
+                }
+            }
+        };
+        macro_rules! parse_to {
+            ($name:literal) => {{
+                let raw = value($name);
+                match raw.parse() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        eprintln!("error: bad value `{raw}` for {}", $name);
+                        exit(2);
+                    }
+                }
+            }};
+        }
+        match flag.as_str() {
+            "--backend" => parsed.backend = value("--backend").to_string(),
+            "--oracle" => parsed.oracle.kind = value("--oracle").to_string(),
+            "--dim" => parsed.oracle.dim = parse_to!("--dim"),
+            "--sigma" => parsed.oracle.sigma = parse_to!("--sigma"),
+            "--dataset" => parsed.oracle.dataset = parse_to!("--dataset"),
+            "--batch" => parsed.oracle.batch = parse_to!("--batch"),
+            "--lambda" => parsed.oracle.lambda = parse_to!("--lambda"),
+            "--threads" => parsed.threads = parse_to!("--threads"),
+            "--iterations" => parsed.iterations = parse_to!("--iterations"),
+            "--alpha" => parsed.alpha = parse_to!("--alpha"),
+            "--halving-epochs" => parsed.halving_epochs = Some(parse_to!("--halving-epochs")),
+            "--scheduler" => {
+                let raw = value("--scheduler");
+                parsed.scheduler = match raw.parse() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        exit(2);
+                    }
+                };
+            }
+            "--seed" => parsed.seed = parse_to!("--seed"),
+            "--eps" => parsed.eps = Some(parse_to!("--eps")),
+            "--x0" => {
+                let raw = value("--x0");
+                match raw.split(',').map(str::trim).map(str::parse).collect() {
+                    Ok(x0) => parsed.x0 = Some(x0),
+                    Err(_) => {
+                        eprintln!("error: bad value `{raw}` for --x0 (want V1,V2,…)");
+                        exit(2);
+                    }
+                }
+            }
+            "--max-steps" => parsed.max_steps = Some(parse_to!("--max-steps")),
+            "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
+            "--pretty" => parsed.pretty = true,
+            "--help" | "-h" => usage_run(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage_run();
+            }
+        }
+    }
+    parsed
+}
+
+// -------------------------------------------------------------- table mode
+
+fn table_mode(mut args: Vec<String>) {
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
     if args.is_empty() {
         eprintln!("usage: experiments [--quick] <id…|all>");
+        eprintln!("       experiments run [--help for options]");
         eprintln!("known experiments: {}", experiment_ids().join(", "));
-        std::process::exit(2);
+        exit(2);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         experiment_ids()

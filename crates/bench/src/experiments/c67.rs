@@ -48,8 +48,7 @@ fn cell(d: usize, tau: u64, n: usize, trials: u64, target: f64) -> Cell {
     let theta = 1.0;
     let x0_dist_sq = 1.0;
     let alpha = bounds::corollary_6_7_learning_rate(&consts, eps, tau, n, d, theta);
-    let horizon =
-        bounds::corollary_6_7_horizon(&consts, eps, tau, n, d, theta, target, x0_dist_sq);
+    let horizon = bounds::corollary_6_7_horizon(&consts, eps, tau, n, d, theta, target, x0_dist_sq);
     let bound = bounds::corollary_6_7(&consts, eps, tau, n, d, theta, horizon, x0_dist_sq);
     let est = estimate_probability(trials, 0xC67 ^ (d as u64) ^ (tau << 8), |seed| {
         let x0 = vec![1.0 / (d as f64).sqrt(); d];
@@ -85,7 +84,16 @@ pub fn sweep(quick: bool) -> Vec<Cell> {
         (vec![(2, 8), (8, 8), (4, 32)], 10)
     } else {
         (
-            vec![(2, 8), (4, 8), (8, 8), (16, 8), (4, 4), (4, 16), (4, 64), (4, 256)],
+            vec![
+                (2, 8),
+                (4, 8),
+                (8, 8),
+                (16, 8),
+                (4, 4),
+                (4, 16),
+                (4, 64),
+                (4, 256),
+            ],
             60,
         )
     };
@@ -127,8 +135,9 @@ pub fn run(quick: bool) -> ExperimentOutput {
     }
     out.tables.push(table);
     let all_hold = cells.iter().all(|c| c.holds);
-    out.notes
-        .push(format!("Eq. 13 bound dominates measurement in every cell: {all_hold}"));
+    out.notes.push(format!(
+        "Eq. 13 bound dominates measurement in every cell: {all_hold}"
+    ));
     out
 }
 

@@ -4,47 +4,60 @@
 //! These are the combinatorial facts the `√(τ_max·n)` analysis rests on.
 //! Each audit replays lock-free SGD under several schedulers (benign and
 //! adversarial) and checks the stated inequality on the recorded execution.
+//!
+//! Spec-driven: every execution is one [`RunSpec`] differing only in the
+//! [`SchedulerSpec`]; the Lemma 6.2/6.4 audits need the raw iteration
+//! records, so the runs go through the driver's detailed simulated entry
+//! point ([`asgd_driver::run_simulated_lockfree_detailed`]).
 
 use crate::ExperimentOutput;
-use asgd_core::runner::{LockFreeRun, LockFreeSgd};
+use asgd_core::runner::LockFreeRun;
+use asgd_driver::{
+    run_simulated_lockfree_detailed, BackendKind, RunReport, RunSpec, SchedulerSpec,
+};
 use asgd_metrics::table::fmt_f;
 use asgd_metrics::Table;
-use asgd_oracle::NoisyQuadratic;
-use asgd_shmem::sched::{
-    BoundedDelayAdversary, RandomScheduler, Scheduler, StaleGradientAdversary, StepRoundRobin,
-};
-use std::sync::Arc;
+use asgd_oracle::OracleSpec;
 
-fn schedulers(include_stale: bool) -> Vec<(&'static str, Box<dyn Scheduler>)> {
-    let mut v: Vec<(&'static str, Box<dyn Scheduler>)> = vec![
-        ("round-robin", Box::new(StepRoundRobin::new())),
-        ("random", Box::new(RandomScheduler::new(11))),
-        ("delay-adversary(16)", Box::new(BoundedDelayAdversary::new(16))),
+fn schedulers(include_stale: bool) -> Vec<(&'static str, SchedulerSpec)> {
+    let mut v = vec![
+        ("round-robin", SchedulerSpec::RoundRobin),
+        ("random", SchedulerSpec::Random { seed: 11 }),
+        (
+            "delay-adversary(16)",
+            SchedulerSpec::BoundedDelay { budget: 16 },
+        ),
     ];
     if include_stale {
         v.push((
             "stale-gradient(8)",
-            Box::new(StaleGradientAdversary::new(0, 1, 8)),
+            SchedulerSpec::StaleGradient {
+                runner: 0,
+                victim: 1,
+                delay: 8,
+            },
         ));
     }
     v
 }
 
 fn execute(
-    oracle: &Arc<NoisyQuadratic>,
-    scheduler: Box<dyn Scheduler>,
+    scheduler: SchedulerSpec,
     n: usize,
     iterations: u64,
     seed: u64,
-) -> LockFreeRun {
-    LockFreeSgd::builder(Arc::clone(oracle))
-        .threads(n)
-        .iterations(iterations)
-        .learning_rate(0.02)
-        .initial_point(vec![1.0; asgd_oracle::GradientOracle::dimension(oracle)])
-        .scheduler(scheduler)
-        .seed(seed)
-        .run()
+) -> (RunReport, LockFreeRun) {
+    let spec = RunSpec::new(
+        OracleSpec::new("noisy-quadratic", 4).sigma(1.0),
+        BackendKind::SimulatedLockFree,
+    )
+    .threads(n)
+    .iterations(iterations)
+    .learning_rate(0.02)
+    .x0(vec![1.0; 4])
+    .scheduler(scheduler)
+    .seed(seed);
+    run_simulated_lockfree_detailed(&spec).expect("audit spec runs")
 }
 
 /// **Lemma 6.2**: in any window where `K·n` consecutive iterations start,
@@ -54,13 +67,19 @@ pub fn run_l62(quick: bool) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("l62");
     let n = 4;
     let iterations = if quick { 200 } else { 2000 };
-    let oracle = super::quad(4, 1.0);
     let mut table = Table::new(
         "Lemma 6.2 audit: bad-iteration completions per K·n-start window (< n required)",
-        &["scheduler", "K", "windows", "max bad completions", "bound n", "holds"],
+        &[
+            "scheduler",
+            "K",
+            "windows",
+            "max bad completions",
+            "bound n",
+            "holds",
+        ],
     );
     for (name, sched) in schedulers(true) {
-        let run = execute(&oracle, sched, n, iterations, 0x62);
+        let (_, run) = execute(sched, n, iterations, 0x62);
         for k in [1u64, 2, 4] {
             if let Some(audit) = run.execution.contention.lemma_6_2(k) {
                 table.row(&[
@@ -84,17 +103,23 @@ pub fn run_l64(quick: bool) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("l64");
     let n = 4;
     let iterations = if quick { 200 } else { 2000 };
-    let oracle = super::quad(4, 1.0);
     let mut table = Table::new(
-        "Lemma 6.4 audit: max_t Σ_m 1{τ_t+m ≥ m} vs 2√(τ_max·n)",
-        &["scheduler", "tau_max (staleness)", "max sum", "2√(tau_max·n)", "holds"],
+        "Lemma 6.4 audit: max_t Σ_m 1{τ_t+m ≥ m} vs 2√(tau_max·n)",
+        &[
+            "scheduler",
+            "tau_max (staleness)",
+            "max sum",
+            "2√(tau_max·n)",
+            "holds",
+        ],
     );
     for (name, sched) in schedulers(true) {
-        let run = execute(&oracle, sched, n, iterations, 0x64);
+        let (report, run) = execute(sched, n, iterations, 0x64);
         let audit = run.execution.contention.lemma_6_4();
+        let summary = report.contention.as_ref().expect("simulated run");
         table.row(&[
             name.to_string(),
-            run.execution.contention.staleness_max().to_string(),
+            summary.staleness_max.to_string(),
             audit.max_sum.to_string(),
             fmt_f(audit.bound),
             audit.holds.to_string(),
@@ -105,11 +130,11 @@ pub fn run_l64(quick: bool) -> ExperimentOutput {
 }
 
 /// **§2**: the Gibson–Gramoli average-contention bound `τ_avg ≤ 2n`.
+/// This audit needs only the unified report's contention summary.
 #[must_use]
 pub fn run_tavg(quick: bool) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("tavg");
     let iterations = if quick { 200 } else { 2000 };
-    let oracle = super::quad(4, 1.0);
     let mut table = Table::new(
         "τ_avg ≤ 2n (Gibson–Gramoli) across schedulers and thread counts",
         &["scheduler", "n", "tau_avg", "tau_max", "2n", "holds"],
@@ -117,15 +142,15 @@ pub fn run_tavg(quick: bool) -> ExperimentOutput {
     let ns: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
     for &n in ns {
         for (name, sched) in schedulers(n >= 2) {
-            let run = execute(&oracle, sched, n, iterations, 0xA7 + n as u64);
-            let c = &run.execution.contention;
+            let (report, _) = execute(sched, n, iterations, 0xA7 + n as u64);
+            let c = report.contention.as_ref().expect("simulated run");
             table.row(&[
                 name.to_string(),
                 n.to_string(),
-                fmt_f(c.tau_avg()),
-                c.tau_max().to_string(),
+                fmt_f(c.tau_avg),
+                c.tau_max.to_string(),
                 (2 * n).to_string(),
-                c.gibson_gramoli_holds().to_string(),
+                c.gibson_gramoli_holds.to_string(),
             ]);
         }
     }
@@ -141,36 +166,46 @@ mod tests {
     fn lemma_6_2_holds_on_all_schedulers() {
         let out = run_l62(true);
         let rendered = out.tables[0].render();
-        assert!(!rendered.contains("false"), "Lemma 6.2 violated:\n{rendered}");
-        assert!(out.tables[0].len() >= 4, "several scheduler×K rows expected");
+        assert!(
+            !rendered.contains("false"),
+            "Lemma 6.2 violated:\n{rendered}"
+        );
+        assert!(
+            out.tables[0].len() >= 4,
+            "several scheduler×K rows expected"
+        );
     }
 
     #[test]
     fn lemma_6_4_holds_on_all_schedulers() {
         let out = run_l64(true);
         let rendered = out.tables[0].render();
-        assert!(!rendered.contains("false"), "Lemma 6.4 violated:\n{rendered}");
+        assert!(
+            !rendered.contains("false"),
+            "Lemma 6.4 violated:\n{rendered}"
+        );
     }
 
     #[test]
     fn tau_avg_bound_holds_everywhere() {
         let out = run_tavg(true);
         let rendered = out.tables[0].render();
-        assert!(!rendered.contains("false"), "τ_avg ≤ 2n violated:\n{rendered}");
+        assert!(
+            !rendered.contains("false"),
+            "τ_avg ≤ 2n violated:\n{rendered}"
+        );
     }
 
     #[test]
     fn adversary_rows_show_contention() {
         // The delay adversary must actually produce τ_max well above the
         // benign schedulers, otherwise the audits are vacuous.
-        let oracle = super::super::quad(4, 1.0);
-        let benign = execute(&oracle, Box::new(StepRoundRobin::new()), 4, 200, 1);
-        let adv = execute(&oracle, Box::new(BoundedDelayAdversary::new(16)), 4, 200, 1);
-        assert!(
-            adv.execution.contention.tau_max() > benign.execution.contention.tau_max(),
-            "adversary τ_max {} vs benign {}",
-            adv.execution.contention.tau_max(),
-            benign.execution.contention.tau_max()
+        let (benign, _) = execute(SchedulerSpec::RoundRobin, 4, 200, 1);
+        let (adv, _) = execute(SchedulerSpec::BoundedDelay { budget: 16 }, 4, 200, 1);
+        let (b, a) = (
+            benign.contention.as_ref().unwrap().tau_max,
+            adv.contention.as_ref().unwrap().tau_max,
         );
+        assert!(a > b, "adversary τ_max {a} vs benign {b}");
     }
 }

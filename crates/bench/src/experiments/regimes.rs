@@ -32,7 +32,13 @@ pub fn run(quick: bool) -> ExperimentOutput {
 
     let mut table = Table::new(
         "§8(b): regime map — Theorem 6.5 precondition α²HLMC√d vs Theorem 5.1 delay τ*(α)",
-        &["alpha", "tau", "upper precond (<1 ⇒ T6.5)", "τ*(α) (≤τ ⇒ T5.1)", "regime"],
+        &[
+            "alpha",
+            "tau",
+            "upper precond (<1 ⇒ T6.5)",
+            "τ*(α) (≤τ ⇒ T5.1)",
+            "regime",
+        ],
     );
     let mut overlap_free = true;
     for &alpha in alphas {

@@ -5,15 +5,16 @@
 //! Measured: lock-free SGD converges on both the dense quadratic and the
 //! single-nonzero-entry workload, under the same adversary, with comparable
 //! hitting behaviour — dense gradients are not a correctness problem.
+//!
+//! Spec-driven: both arms are the *same* [`RunSpec`]; only the oracle
+//! registry name differs (`noisy-quadratic` vs `sparse-quadratic`).
 
 use crate::ExperimentOutput;
-use asgd_core::runner::LockFreeSgd;
+use asgd_driver::{run_spec, BackendKind, RunSpec, SchedulerSpec};
 use asgd_math::rng::SeedSequence;
 use asgd_metrics::table::fmt_f;
 use asgd_metrics::Table;
-use asgd_oracle::{GradientOracle, SparseQuadratic};
-use asgd_shmem::sched::BoundedDelayAdversary;
-use std::sync::Arc;
+use asgd_oracle::OracleSpec;
 
 /// Per-oracle measurement.
 #[derive(Debug, Clone)]
@@ -28,35 +29,28 @@ pub struct Row {
     pub median_final_dist_sq: f64,
 }
 
-fn measure<O: GradientOracle + Clone + 'static>(
-    label: &'static str,
-    oracle: O,
-    iterations: u64,
-    trials: u64,
-    eps: f64,
-) -> Row {
-    let d = oracle.dimension();
+fn measure(label: &'static str, oracle: OracleSpec, iterations: u64, trials: u64, eps: f64) -> Row {
+    let d = oracle.dim;
     let seq = SeedSequence::new(0x59A55E);
+    let base = RunSpec::new(oracle, BackendKind::SimulatedLockFree)
+        .threads(4)
+        .iterations(iterations)
+        .learning_rate(0.02)
+        .x0(vec![1.0 / (d as f64).sqrt(); d])
+        .success_radius_sq(eps)
+        .scheduler(SchedulerSpec::BoundedDelay { budget: 8 });
     let mut hits = Vec::new();
     let mut finals = Vec::new();
     let mut converged = 0u64;
     for i in 0..trials {
-        let run = LockFreeSgd::builder(oracle.clone())
-            .threads(4)
-            .iterations(iterations)
-            .learning_rate(0.02)
-            .initial_point(vec![1.0 / (d as f64).sqrt(); d])
-            .success_radius_sq(eps)
-            .scheduler(BoundedDelayAdversary::new(8))
-            .seed(seq.child_seed(i))
-            .run();
-        if let Some(t) = run.hit_iteration {
+        let report = run_spec(&base.clone().seed(seq.child_seed(i))).expect("spec runs");
+        if let Some(t) = report.hit_iteration {
             hits.push(t as f64);
             converged += 1;
         } else {
             hits.push(iterations as f64);
         }
-        finals.push(run.final_dist_sq);
+        finals.push(report.final_dist_sq);
     }
     Row {
         oracle: label,
@@ -72,13 +66,21 @@ pub fn sweep(quick: bool) -> Vec<Row> {
     let d = 8;
     let (iterations, trials): (u64, u64) = if quick { (4_000, 4) } else { (20_000, 20) };
     let eps = 0.04;
-    let dense = super::quad(d, 0.3);
-    // Sparse workload dimension-scaled so per-iteration *expected* progress
-    // matches the dense one's order of magnitude.
-    let sparse = Arc::new(SparseQuadratic::uniform(d, 1.0, 0.3).expect("valid"));
     vec![
-        measure("dense (this paper's regime)", dense, iterations, trials, eps),
-        measure("single-nonzero ([10]'s regime)", sparse, iterations, trials, eps),
+        measure(
+            "dense (this paper's regime)",
+            OracleSpec::new("noisy-quadratic", d).sigma(0.3),
+            iterations,
+            trials,
+            eps,
+        ),
+        measure(
+            "single-nonzero ([10]'s regime)",
+            OracleSpec::new("sparse-quadratic", d).sigma(0.3),
+            iterations,
+            trials,
+            eps,
+        ),
     ]
 }
 
@@ -89,7 +91,12 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let rows = sweep(quick);
     let mut table = Table::new(
         "§3 fn.2: dense vs single-nonzero-entry gradients under the delay adversary (d=8, n=4)",
-        &["oracle", "median hit iteration", "converged fraction", "median final dist²"],
+        &[
+            "oracle",
+            "median hit iteration",
+            "converged fraction",
+            "median final dist²",
+        ],
     );
     for r in &rows {
         table.row(&[

@@ -5,20 +5,21 @@
 //! lock-free algorithm beats coarse-grained locking.
 //!
 //! Measured: native throughput (iterations/second) of the lock-free Hogwild
-//! executor vs the mutex-serialised baseline across thread counts, on a
-//! minibatch least-squares workload (compute `O(b·d)` per iteration,
+//! backend vs the mutex-serialised `locked` backend across thread counts, on
+//! a minibatch least-squares workload (compute `O(b·d)` per iteration,
 //! shared-memory update `O(d)` — the regime where parallel gradient
 //! computation pays; with single-sample gradients the atomic update traffic
 //! dominates and *neither* scheme scales, which the table also shows
 //! honestly via the `b=1` rows).
+//!
+//! Spec-driven: one [`RunSpec`] per cell, with only the backend and thread
+//! count varying — the head-to-head the unified driver exists for.
 
 use crate::ExperimentOutput;
-use asgd_hogwild::hogwild::{Hogwild, HogwildConfig};
-use asgd_hogwild::locked::LockedSgd;
+use asgd_driver::{run_spec, BackendKind, RunSpec};
 use asgd_metrics::table::fmt_f;
 use asgd_metrics::Table;
-use asgd_oracle::MinibatchRegression;
-use std::sync::Arc;
+use asgd_oracle::OracleSpec;
 
 /// One thread-count measurement.
 #[derive(Debug, Clone, Copy)]
@@ -41,30 +42,30 @@ pub struct Row {
 #[must_use]
 pub fn sweep(quick: bool) -> Vec<Row> {
     let d = 64;
-    let alpha = 0.002;
     let threads: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
     let batches: &[usize] = if quick { &[64] } else { &[1, 64] };
     let mut rows = Vec::new();
     for &batch in batches {
-        let iterations: u64 = if quick { 10_000 } else { 100_000 / (batch as u64).max(1) + 20_000 };
-        let oracle = Arc::new(
-            MinibatchRegression::synthetic(2_000, d, 0.05, batch, 0x5EED)
-                .expect("well-conditioned dataset"),
-        );
+        let iterations: u64 = if quick {
+            10_000
+        } else {
+            100_000 / (batch as u64).max(1) + 20_000
+        };
+        let base = RunSpec::new(
+            OracleSpec::new("minibatch-regression", d)
+                .dataset(2_000)
+                .sigma(0.05)
+                .batch(batch),
+            BackendKind::Hogwild,
+        )
+        .iterations(iterations)
+        .learning_rate(0.002)
+        .seed(42);
         for &n in threads {
-            let lf = Hogwild::new(
-                Arc::clone(&oracle),
-                HogwildConfig {
-                    threads: n,
-                    iterations,
-                    alpha,
-                    seed: 42,
-                    success_radius_sq: None,
-                },
-            )
-            .run(&vec![0.0; d]);
-            let lk = LockedSgd::new(Arc::clone(&oracle), n, iterations, alpha, 42)
-                .run(&vec![0.0; d]);
+            let spec = base.clone().threads(n);
+            let lf = run_spec(&spec).expect("hogwild spec runs");
+            let lk =
+                run_spec(&spec.clone().backend(BackendKind::Locked)).expect("locked spec runs");
             rows.push(Row {
                 batch,
                 threads: n,
@@ -109,7 +110,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
     out.tables.push(table);
 
     // Per-batch scaling summary for the lock-free executor.
-    for &batch in &rows.iter().map(|r| r.batch).collect::<std::collections::BTreeSet<_>>() {
+    for &batch in &rows
+        .iter()
+        .map(|r| r.batch)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
         let of_batch: Vec<&Row> = rows.iter().filter(|r| r.batch == batch).collect();
         let base = of_batch[0].lockfree_ips;
         let best = of_batch

@@ -12,16 +12,18 @@
 //! runs out) of a fixed-α run versus the halving-α Algorithm-2 run at equal
 //! iteration budget. The fixed run stalls at its `α`-proportional floor;
 //! halving pushes far below it.
+//!
+//! Spec-driven: both arms are the *same* [`RunSpec`] except for backend and
+//! step schedule — `simulated-lockfree` with `Constant` vs
+//! `simulated-fullsgd` with `Halving`, equal total budget.
 
 use crate::ExperimentOutput;
-use asgd_core::full_sgd::{run_simulated, FullSgdConfig};
-use asgd_core::runner::LockFreeSgd;
+use asgd_driver::{run_spec, BackendKind, RunSpec, SchedulerSpec};
 use asgd_math::rng::SeedSequence;
 use asgd_metrics::table::fmt_f;
 use asgd_metrics::Table;
-use asgd_shmem::sched::StaleGradientAdversary;
+use asgd_oracle::OracleSpec;
 use asgd_theory::lower_bound;
-use std::sync::Arc;
 
 /// Results of the comparison.
 #[derive(Debug, Clone, Copy)]
@@ -45,38 +47,38 @@ pub fn compare(quick: bool) -> Comparison {
     let t_per_epoch: u64 = if quick { 150 } else { 500 };
     let total: u64 = t_per_epoch * (epochs as u64 + 1);
     let trials: u64 = if quick { 6 } else { 20 };
-    let oracle = super::quad(1, 0.05);
-    let x0 = vec![1.0];
     let seq = SeedSequence::new(0x5E0);
+
+    let base = RunSpec::new(
+        OracleSpec::new("noisy-quadratic", 1).sigma(0.05),
+        BackendKind::SimulatedLockFree,
+    )
+    .threads(2)
+    .iterations(total)
+    .x0(vec![1.0])
+    .scheduler(SchedulerSpec::StaleGradient {
+        runner: 0,
+        victim: 1,
+        delay: tau,
+    });
 
     let mut fixed_acc = 0.0;
     let mut halving_acc = 0.0;
     for i in 0..trials {
         let seed = seq.child_seed(i);
-        let fixed = LockFreeSgd::builder(Arc::clone(&oracle))
-            .threads(2)
-            .iterations(total)
-            .learning_rate(alpha)
-            .initial_point(x0.clone())
-            .scheduler(StaleGradientAdversary::new(0, 1, tau))
-            .seed(seed)
-            .run();
+        let fixed =
+            run_spec(&base.clone().learning_rate(alpha).seed(seed)).expect("fixed-α spec runs");
         fixed_acc += fixed.final_dist_sq.sqrt();
 
-        let halving = run_simulated(
-            Arc::clone(&oracle),
-            FullSgdConfig {
-                alpha0: alpha,
-                epoch_iterations: t_per_epoch,
-                halving_epochs: epochs,
-            },
-            2,
-            &x0,
-            StaleGradientAdversary::new(0, 1, tau),
-            seed,
-            None,
-        );
-        halving_acc += halving.dist_to_opt;
+        let halving = run_spec(
+            &base
+                .clone()
+                .backend(BackendKind::SimulatedFullSgd)
+                .halving(alpha, epochs)
+                .seed(seed),
+        )
+        .expect("halving spec runs");
+        halving_acc += halving.final_dist_sq.sqrt();
     }
     Comparison {
         fixed_mean: fixed_acc / trials as f64,

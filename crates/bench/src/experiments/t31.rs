@@ -39,8 +39,17 @@ pub fn run(quick: bool) -> ExperimentOutput {
     };
 
     let mut table = Table::new(
-        format!("Theorem 3.1: sequential SGD, α={} (cεϑ/M²), ε={eps}", fmt_f(alpha)),
-        &["T", "P(F_T) measured", "95% CI upper", "T3.1 bound", "bound holds"],
+        format!(
+            "Theorem 3.1: sequential SGD, α={} (cεϑ/M²), ε={eps}",
+            fmt_f(alpha)
+        ),
+        &[
+            "T",
+            "P(F_T) measured",
+            "95% CI upper",
+            "T3.1 bound",
+            "bound holds",
+        ],
     );
     let mut measured_series = Vec::new();
     for &t in horizons {

@@ -67,9 +67,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let points = sweep(alpha, &taus);
 
     let mut table = Table::new(
-        format!(
-            "Theorem 5.1: stale-gradient adversary on f(x)=x²/2, α={alpha}, τ*(α)={tau_star}"
-        ),
+        format!("Theorem 5.1: stale-gradient adversary on f(x)=x²/2, α={alpha}, τ*(α)={tau_star}"),
         &[
             "tau",
             "|x_t+1| measured",

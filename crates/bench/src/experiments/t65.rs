@@ -13,13 +13,13 @@
 
 use crate::ExperimentOutput;
 use asgd_core::runner::LockFreeSgd;
+use asgd_math::rng::SeedSequence;
+use asgd_math::LogLogFit;
 use asgd_metrics::table::fmt_f;
 use asgd_metrics::Table;
 use asgd_oracle::{GradientOracle, NoisyQuadratic};
 use asgd_shmem::sched::BoundedDelayAdversary;
 use asgd_theory::bounds;
-use asgd_math::rng::SeedSequence;
-use asgd_math::LogLogFit;
 use std::sync::Arc;
 
 /// Hitting-time statistics for one (τ, learning-rate) cell.
@@ -106,8 +106,26 @@ pub fn sweep(quick: bool) -> (Vec<Cell>, Vec<Cell>) {
         // suffices for ln(‖x₀‖²/ε) ≈ 3.2 decades plus adversarial slack.
         let cap_ours = (40.0 / alpha_ours).ceil() as u64;
         let cap_prior = (40.0 / alpha_prior).ceil() as u64;
-        ours.push(measure(&oracle, n, eps, alpha_ours, tau, cap_ours, trials, 0x65 + tau));
-        prior.push(measure(&oracle, n, eps, alpha_prior, tau, cap_prior, trials, 0x63 + tau));
+        ours.push(measure(
+            &oracle,
+            n,
+            eps,
+            alpha_ours,
+            tau,
+            cap_ours,
+            trials,
+            0x65 + tau,
+        ));
+        prior.push(measure(
+            &oracle,
+            n,
+            eps,
+            alpha_prior,
+            tau,
+            cap_prior,
+            trials,
+            0x63 + tau,
+        ));
     }
     (ours, prior)
 }
@@ -166,7 +184,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let any_failures = ours.iter().chain(&prior).any(|c| c.failures > 0.0);
     out.notes.push(format!(
         "trials failing to reach S within the iteration cap: {}",
-        if any_failures { "some (capped values used)" } else { "none" }
+        if any_failures {
+            "some (capped values used)"
+        } else {
+            "none"
+        }
     ));
     out
 }
@@ -209,7 +231,11 @@ mod tests {
     fn all_quick_trials_converge() {
         let (ours, prior) = sweep(true);
         for c in ours.iter().chain(&prior) {
-            assert_eq!(c.failures, 0.0, "τ={} α={} failed trials", c.tau_budget, c.alpha);
+            assert_eq!(
+                c.failures, 0.0,
+                "τ={} α={} failed trials",
+                c.tau_budget, c.alpha
+            );
         }
     }
 }

@@ -84,7 +84,10 @@ pub fn run_experiment(id: &str, quick: bool) -> ExperimentOutput {
         "regimes" => experiments::regimes::run(quick),
         "speedup" => experiments::speedup::run(quick),
         "sparse" => experiments::sparse::run(quick),
-        other => panic!("unknown experiment id: {other} (known: {:?})", experiment_ids()),
+        other => panic!(
+            "unknown experiment id: {other} (known: {:?})",
+            experiment_ids()
+        ),
     }
 }
 

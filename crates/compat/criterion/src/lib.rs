@@ -1,0 +1,319 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use so they compile and
+//! run without crates.io access. Two execution modes, selected by the
+//! command line cargo passes to the bench binary:
+//!
+//! * **bench mode** (`--bench` present, i.e. `cargo bench`): every benchmark
+//!   is warmed up and timed over a fixed wall-clock budget; the mean
+//!   time/iteration is printed. No statistics beyond the mean — this is a
+//!   stand-in, not a measurement lab.
+//! * **smoke mode** (anything else, e.g. `cargo test` building bench
+//!   targets): every benchmark routine runs exactly once, so bench code is
+//!   exercised by the test suite at negligible cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup values.
+    SmallInput,
+    /// Large per-iteration setup values.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation (accepted; used to print an elements/second rate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per routine call.
+    Elements(u64),
+    /// Bytes processed per routine call.
+    Bytes(u64),
+}
+
+/// A benchmark identifier `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Conversion of the things benches pass as benchmark names.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Smoke,
+    Bench,
+}
+
+/// The top-level benchmark context.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mode = if std::env::args().any(|a| a == "--bench") {
+            Mode::Bench
+        } else {
+            Mode::Smoke
+        };
+        Self { mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            mode: self.mode,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    mode: Mode,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the stand-in
+    /// times a single continuous run).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the wall-clock measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into_id(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.into_id(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: self.mode,
+            budget: self.measurement_time,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        match self.mode {
+            Mode::Smoke => println!("bench {label}: ok (smoke mode, 1 iteration)"),
+            Mode::Bench => {
+                let per_iter = if bencher.iters == 0 {
+                    Duration::ZERO
+                } else {
+                    bencher.elapsed
+                        / u32::try_from(bencher.iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+                };
+                let rate = self.throughput.map(|t| match t {
+                    Throughput::Elements(e) | Throughput::Bytes(e) => {
+                        let secs = per_iter.as_secs_f64();
+                        if secs > 0.0 {
+                            format!(" ({:.3e} elems/s)", e as f64 / secs)
+                        } else {
+                            String::new()
+                        }
+                    }
+                });
+                println!(
+                    "bench {label}: {:?}/iter over {} iters{}",
+                    per_iter,
+                    bencher.iters,
+                    rate.unwrap_or_default()
+                );
+            }
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+                self.iters = 1;
+            }
+            Mode::Bench => {
+                // Warmup.
+                for _ in 0..3 {
+                    black_box(routine());
+                }
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < self.budget {
+                    black_box(routine());
+                    iters += 1;
+                }
+                self.iters = iters.max(1);
+                self.elapsed = start.elapsed();
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded from
+    /// timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                let input = setup();
+                black_box(routine(input));
+                self.iters = 1;
+            }
+            Mode::Bench => {
+                let input = setup();
+                black_box(routine(input));
+                let start = Instant::now();
+                let mut timed = Duration::ZERO;
+                let mut iters = 0u64;
+                while start.elapsed() < self.budget {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    black_box(routine(input));
+                    timed += t0.elapsed();
+                    iters += 1;
+                }
+                self.iters = iters.max(1);
+                self.elapsed = timed;
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn smoke_mode_runs_every_routine_once() {
+        // Under cargo test there is no --bench argument, so this exercises
+        // the smoke path end to end.
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

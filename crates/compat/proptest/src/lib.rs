@@ -1,0 +1,485 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of the proptest API the workspace uses: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map`, range and tuple strategies,
+//! [`Just`], `prop_oneof!`, `any::<T>()`, `collection::{vec, hash_set}`,
+//! the `prop_assert*` macros and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream: generation is fully deterministic (seeded per
+//! test case, so failures reproduce bit-identically), there is **no
+//! shrinking** — a failing case reports the assertion panic directly — and
+//! the default case count is 64 rather than 256.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+pub mod test_runner {
+    //! Test-runner configuration.
+
+    /// Subset of proptest's runner configuration: the number of cases.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic generator state handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator for case number `case` (fixed stream per case).
+        #[must_use]
+        pub fn for_case(case: u64) -> Self {
+            Self {
+                state: 0xA5A5_0000_0000_0000 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 uniform bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[lo, hi)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty size range");
+            lo + ((self.next_u64() as u128 * (hi - lo) as u128) >> 64) as usize
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A value generator. Upstream proptest builds shrinkable value trees; this
+/// stand-in generates plain values deterministically.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Object-safe strategy, for type-erased composition.
+trait DynStrategy {
+    type Value;
+    fn new_value_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn new_value_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn DynStrategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.inner.new_value_dyn(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Uniform choice between type-erased strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_in(0, self.options.len());
+        self.options[i].new_value(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as i128;
+                ((self.start as i128) + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $S:ident),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection sizes: an exact `usize` or a half-open `Range<usize>`.
+pub trait IntoSizeRange {
+    /// Half-open `(lo, hi)` bounds.
+    fn size_bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn size_bounds(self) -> (usize, usize) {
+        (self, self + 1)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn size_bounds(self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for i32 {
+    fn size_bounds(self) -> (usize, usize) {
+        let n = usize::try_from(self).expect("non-negative size");
+        (n, n + 1)
+    }
+}
+
+impl IntoSizeRange for Range<i32> {
+    fn size_bounds(self) -> (usize, usize) {
+        (
+            usize::try_from(self.start).expect("non-negative size"),
+            usize::try_from(self.end).expect("non-negative size"),
+        )
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::test_runner::TestRng;
+    use super::{IntoSizeRange, Strategy};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.lo, self.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with the given element strategy and size.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.size_bounds();
+        assert!(lo < hi, "empty collection size range");
+        VecStrategy { element, lo, hi }
+    }
+
+    /// Strategy for `HashSet<T>`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.usize_in(self.lo, self.hi);
+            let mut set = HashSet::with_capacity(target);
+            // Bounded retries in case the element space is small.
+            let mut budget = 100 + 20 * target;
+            while set.len() < target && budget > 0 {
+                set.insert(self.element.new_value(rng));
+                budget -= 1;
+            }
+            set
+        }
+    }
+
+    /// `HashSet` strategy with the given element strategy and size.
+    pub fn hash_set<S: Strategy>(element: S, size: impl IntoSizeRange) -> HashSetStrategy<S> {
+        let (lo, hi) = size.size_bounds();
+        assert!(lo < hi, "empty collection size range");
+        HashSetStrategy { element, lo, hi }
+    }
+}
+
+// Re-exports so `proptest::collection::hash_set(any::<u64>(), 2..64)` style
+// paths work identically to upstream.
+pub use collection::{HashSetStrategy, VecStrategy};
+
+/// The proptest entry-point macro: wraps property functions into `#[test]`s
+/// that generate `cases` deterministic inputs each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..u64::from(__config.cases) {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                    $(let $pat = $crate::Strategy::new_value(&($strat), &mut __rng);)+
+                    { $body }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default()); $($rest)*);
+    };
+}
+
+/// Asserts a property-test condition (no shrinking: behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*` imports.
+
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn composite() -> impl Strategy<Value = (String, u64)> {
+        prop_oneof![
+            Just(("fixed".to_string(), 0_u64)),
+            (1_u64..100).prop_map(|v| ("mapped".to_string(), v)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3_usize..9, y in -2.0_f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn vec_and_set_sizes(
+            v in crate::collection::vec(0_u64..10, 2..6),
+            s in crate::collection::hash_set(any::<u64>(), 2..6),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(s.len() >= 2 && s.len() < 6);
+        }
+
+        #[test]
+        fn oneof_and_map((label, v) in composite()) {
+            match label.as_str() {
+                "fixed" => prop_assert_eq!(v, 0),
+                "mapped" => prop_assert!((1..100).contains(&v)),
+                other => panic!("unexpected label {other}"),
+            }
+            prop_assert_ne!(label.len(), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+        let s = crate::collection::vec(0_u64..1000, 3..10);
+        let a = s.new_value(&mut TestRng::for_case(5));
+        let b = s.new_value(&mut TestRng::for_case(5));
+        assert_eq!(a, b);
+    }
+}

@@ -125,12 +125,24 @@ enum FPhase {
     AwaitCas,
     WaitGuard,
     AwaitWaitGuard,
-    CopyRead { j: usize },
-    AwaitCopyRead { j: usize },
-    CopyWriteModel { j: usize },
-    AwaitCopyWriteModel { j: usize },
-    CopyWriteSnap { j: usize },
-    AwaitCopyWriteSnap { j: usize },
+    CopyRead {
+        j: usize,
+    },
+    AwaitCopyRead {
+        j: usize,
+    },
+    CopyWriteModel {
+        j: usize,
+    },
+    AwaitCopyWriteModel {
+        j: usize,
+    },
+    CopyWriteSnap {
+        j: usize,
+    },
+    AwaitCopyWriteSnap {
+        j: usize,
+    },
     MarkReady,
     AwaitMarkReady,
     Running,
@@ -222,25 +234,23 @@ impl<O: GradientOracle + Clone> Process for FullSgdProcess<O> {
                         new: 1,
                     });
                 }
-                FPhase::AwaitCas => {
-                    match ctx.last.expect("CAS result must be delivered") {
-                        OpResult::CasU64 { success: true, .. } => {
-                            self.phase = FPhase::CopyRead { j: 0 };
-                        }
-                        OpResult::CasU64 {
-                            success: false,
-                            observed,
-                        } => {
-                            if observed >= 2 {
-                                self.inner = Some(self.make_inner());
-                                self.phase = FPhase::Running;
-                            } else {
-                                self.phase = FPhase::WaitGuard;
-                            }
-                        }
-                        other => panic!("expected CasU64 result, got {other:?}"),
+                FPhase::AwaitCas => match ctx.last.expect("CAS result must be delivered") {
+                    OpResult::CasU64 { success: true, .. } => {
+                        self.phase = FPhase::CopyRead { j: 0 };
                     }
-                }
+                    OpResult::CasU64 {
+                        success: false,
+                        observed,
+                    } => {
+                        if observed >= 2 {
+                            self.inner = Some(self.make_inner());
+                            self.phase = FPhase::Running;
+                        } else {
+                            self.phase = FPhase::WaitGuard;
+                        }
+                    }
+                    other => panic!("expected CasU64 result, got {other:?}"),
+                },
                 FPhase::WaitGuard => {
                     self.phase = FPhase::AwaitWaitGuard;
                     return Action::op(MemOp::ReadU64 {
@@ -248,10 +258,7 @@ impl<O: GradientOracle + Clone> Process for FullSgdProcess<O> {
                     });
                 }
                 FPhase::AwaitWaitGuard => {
-                    let v = ctx
-                        .last
-                        .expect("guard read must be delivered")
-                        .unwrap_u64();
+                    let v = ctx.last.expect("guard read must be delivered").unwrap_u64();
                     if v >= 2 {
                         self.inner = Some(self.make_inner());
                         self.phase = FPhase::Running;
@@ -268,10 +275,7 @@ impl<O: GradientOracle + Clone> Process for FullSgdProcess<O> {
                     });
                 }
                 FPhase::AwaitCopyRead { j } => {
-                    self.copy_value = ctx
-                        .last
-                        .expect("copy read must be delivered")
-                        .unwrap_f64();
+                    self.copy_value = ctx.last.expect("copy read must be delivered").unwrap_f64();
                     self.phase = FPhase::CopyWriteModel { j };
                 }
                 FPhase::CopyWriteModel { j } => {
@@ -339,9 +343,7 @@ impl<O: GradientOracle + Clone> Process for FullSgdProcess<O> {
     fn describe(&self) -> String {
         format!(
             "full-sgd(alpha0={}, T={}, epochs={})",
-            self.cfg.alpha0,
-            self.cfg.epoch_iterations,
-            self.layout.total_epochs
+            self.cfg.alpha0, self.cfg.epoch_iterations, self.layout.total_epochs
         )
     }
 }
@@ -496,40 +498,39 @@ mod tests {
     fn full_sgd_converges_below_single_epoch_floor() {
         // With noise, a fixed large α stalls at a noise floor ∝ α; halving
         // α across epochs must land closer than the first epoch alone.
+        // Single-seed endpoints of the α = 0.5 run are noise-dominated, so
+        // compare means over independent seeds.
         let oracle = quad(1, 1.0);
-        let one_epoch = run_simulated(
-            Arc::clone(&oracle),
-            FullSgdConfig {
-                alpha0: 0.5,
-                epoch_iterations: 400,
-                halving_epochs: 0,
-            },
-            2,
-            &[4.0],
-            RandomScheduler::new(3),
-            7,
-            None,
-        );
-        let many_epochs = run_simulated(
-            Arc::clone(&oracle),
-            FullSgdConfig {
-                alpha0: 0.5,
-                epoch_iterations: 400,
-                halving_epochs: 5,
-            },
-            2,
-            &[4.0],
-            RandomScheduler::new(3),
-            7,
-            None,
-        );
+        let seeds = [3_u64, 7, 11, 19, 23];
+        let mean_dist = |halving_epochs: usize| -> f64 {
+            seeds
+                .iter()
+                .map(|&seed| {
+                    run_simulated(
+                        Arc::clone(&oracle),
+                        FullSgdConfig {
+                            alpha0: 0.5,
+                            epoch_iterations: 400,
+                            halving_epochs,
+                        },
+                        2,
+                        &[4.0],
+                        RandomScheduler::new(seed),
+                        seed,
+                        None,
+                    )
+                    .dist_to_opt
+                })
+                .sum::<f64>()
+                / seeds.len() as f64
+        };
+        let one_epoch = mean_dist(0);
+        let many_epochs = mean_dist(5);
         assert!(
-            many_epochs.dist_to_opt < one_epoch.dist_to_opt,
-            "halving: {} vs single epoch: {}",
-            many_epochs.dist_to_opt,
-            one_epoch.dist_to_opt
+            many_epochs < one_epoch,
+            "halving: {many_epochs} vs single epoch: {one_epoch}"
         );
-        assert!(many_epochs.dist_to_opt < 0.2, "final dist {}", many_epochs.dist_to_opt);
+        assert!(many_epochs < 0.2, "final mean dist {many_epochs}");
     }
 
     #[test]
@@ -556,8 +557,20 @@ mod tests {
             assert_eq!(report.execution.memory.counter(e), 32);
         }
         // Guards of epochs 1, 2 marked ready.
-        assert_eq!(report.execution.memory.counter(report.layout.guard_counter(1)), 2);
-        assert_eq!(report.execution.memory.counter(report.layout.guard_counter(2)), 2);
+        assert_eq!(
+            report
+                .execution
+                .memory
+                .counter(report.layout.guard_counter(1)),
+            2
+        );
+        assert_eq!(
+            report
+                .execution
+                .memory
+                .counter(report.layout.guard_counter(2)),
+            2
+        );
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! * [`runner`] — one-call harness wiring oracle + scheduler + engine +
 //!   monitor together for experiments.
 //!
+//! **Front door:** new code should usually go through the unified driver
+//! (`asgd-driver`): build a `RunSpec` once and run it on this simulated
+//! backend *and* the native ones, getting one serialisable `RunReport`
+//! back. The entry points in this crate remain supported as the simulated
+//! backend's engine-level API (the driver wraps
+//! [`runner::LockFreeSgd::try_run`] and [`full_sgd::run_simulated`]).
+//!
 //! # Quick example (simulated lock-free SGD under an adversary)
 //!
 //! ```
@@ -55,5 +62,5 @@ pub mod sequential;
 pub use full_sgd::{FullSgdConfig, FullSgdProcess, FullSgdReport};
 pub use lockfree::{EpochSgdConfig, EpochSgdProcess};
 pub use monitor::HittingMonitor;
-pub use runner::{LockFreeRun, LockFreeSgd};
+pub use runner::{LockFreeRun, LockFreeSgd, RunnerError};
 pub use sequential::{SequentialReport, SequentialSgd};

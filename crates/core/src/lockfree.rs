@@ -367,8 +367,7 @@ mod tests {
             .seed(5)
             .build()
             .run();
-        let final_norm =
-            asgd_math::vec::l2_norm(&[report.memory.float(0), report.memory.float(1)]);
+        let final_norm = asgd_math::vec::l2_norm(&[report.memory.float(0), report.memory.float(1)]);
         assert!(final_norm < 0.05, "‖x_T‖ = {final_norm}");
     }
 

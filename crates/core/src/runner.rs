@@ -4,6 +4,12 @@
 //! engine and a [`HittingMonitor`], and returns everything an experiment
 //! needs: hitting time, distances, contention statistics and the raw
 //! execution report.
+//!
+//! **Note:** for new code, prefer the unified driver API (`asgd-driver`'s
+//! `RunSpec` / `run_spec`), which runs the same specification on this
+//! simulated backend and on every other execution model with one unified
+//! report. This builder remains as the simulated backend's engine-level
+//! entry point (the driver wraps it via [`LockFreeSgd::try_run`]).
 
 use crate::lockfree::{EpochSgdConfig, EpochSgdProcess};
 use crate::monitor::HittingMonitor;
@@ -29,6 +35,34 @@ pub struct LockFreeSgd<O> {
     max_steps: Option<u64>,
     trace: TraceLevel,
 }
+
+/// Error constructing a simulated lock-free run from its builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunnerError {
+    /// No scheduler was configured ([`LockFreeSgd::scheduler`] is required).
+    MissingScheduler,
+    /// The configured initial point does not match the oracle's dimension.
+    DimensionMismatch {
+        /// The oracle's dimension `d`.
+        expected: usize,
+        /// The initial point's length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingScheduler => write!(f, "a scheduler is required"),
+            Self::DimensionMismatch { expected, got } => write!(
+                f,
+                "initial point dimension mismatch: oracle has d = {expected}, x0 has {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
 
 /// Outcome of a simulated lock-free SGD run.
 #[derive(Debug)]
@@ -132,7 +166,11 @@ impl<O: GradientOracle + Clone + 'static> LockFreeSgd<O> {
         self
     }
 
-    /// Runs the simulation.
+    /// Runs the simulation, panicking on configuration errors.
+    ///
+    /// Kept as the ergonomic entry point for tests and examples; fallible
+    /// callers (the unified driver in particular) use
+    /// [`LockFreeSgd::try_run`].
     ///
     /// # Panics
     ///
@@ -140,10 +178,30 @@ impl<O: GradientOracle + Clone + 'static> LockFreeSgd<O> {
     /// dimension.
     #[must_use]
     pub fn run(self) -> LockFreeRun {
+        match self.try_run() {
+            Ok(run) => run,
+            Err(e @ RunnerError::MissingScheduler) => panic!("{e}"),
+            Err(e @ RunnerError::DimensionMismatch { .. }) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunnerError::MissingScheduler`] if no scheduler was
+    /// configured, or [`RunnerError::DimensionMismatch`] if the initial
+    /// point's length differs from the oracle's dimension.
+    pub fn try_run(self) -> Result<LockFreeRun, RunnerError> {
         let d = self.oracle.dimension();
         let x0 = self.x0.unwrap_or_else(|| vec![0.0; d]);
-        assert_eq!(x0.len(), d, "initial point dimension mismatch");
-        let scheduler = self.scheduler.expect("a scheduler is required");
+        if x0.len() != d {
+            return Err(RunnerError::DimensionMismatch {
+                expected: d,
+                got: x0.len(),
+            });
+        }
+        let scheduler = self.scheduler.ok_or(RunnerError::MissingScheduler)?;
 
         let mut builder = Engine::builder()
             .memory(Memory::with_model(&x0, 1))
@@ -184,13 +242,13 @@ impl<O: GradientOracle + Clone + 'static> LockFreeSgd<O> {
             }
             None => (None, final_dist_sq),
         };
-        LockFreeRun {
+        Ok(LockFreeRun {
             hit_iteration,
             min_dist_sq,
             final_model,
             final_dist_sq,
             execution,
-        }
+        })
     }
 }
 
@@ -208,7 +266,10 @@ mod tests {
     fn converges_under_benign_schedulers() {
         let oracle = Arc::new(NoisyQuadratic::new(3, 0.1).unwrap());
         for (name, sched) in [
-            ("serial", Box::new(SerialScheduler::new()) as Box<dyn Scheduler>),
+            (
+                "serial",
+                Box::new(SerialScheduler::new()) as Box<dyn Scheduler>,
+            ),
             ("rr", Box::new(StepRoundRobin::new())),
             ("random", Box::new(RandomScheduler::new(1))),
         ] {
@@ -308,5 +369,35 @@ mod tests {
     fn missing_scheduler_panics() {
         let oracle = Arc::new(NoisyQuadratic::new(1, 0.0).unwrap());
         let _ = LockFreeSgd::builder(oracle).run();
+    }
+
+    #[test]
+    fn try_run_reports_configuration_errors() {
+        let oracle = Arc::new(NoisyQuadratic::new(2, 0.0).unwrap());
+        let err = LockFreeSgd::builder(Arc::clone(&oracle))
+            .try_run()
+            .unwrap_err();
+        assert_eq!(err, RunnerError::MissingScheduler);
+        assert!(err.to_string().contains("scheduler is required"));
+
+        let err = LockFreeSgd::builder(Arc::clone(&oracle))
+            .initial_point(vec![1.0])
+            .scheduler(SerialScheduler::new())
+            .try_run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RunnerError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+
+        let run = LockFreeSgd::builder(oracle)
+            .iterations(10)
+            .scheduler(SerialScheduler::new())
+            .try_run()
+            .expect("valid configuration runs");
+        assert_eq!(run.execution.stop, StopReason::AllDone);
     }
 }

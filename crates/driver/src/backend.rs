@@ -1,0 +1,605 @@
+//! The [`Backend`] trait and its seven implementations.
+//!
+//! Each backend interprets one [`RunSpec`] on a different execution model
+//! and produces the same [`RunReport`], so experiments swap execution models
+//! by changing one enum value.
+
+use crate::error::DriverError;
+use crate::report::{ContentionSummary, RunReport};
+use crate::spec::{BackendKind, RunSpec};
+use asgd_core::full_sgd::{run_simulated, FullSgdConfig};
+use asgd_core::runner::LockFreeSgd;
+use asgd_core::sequential::SequentialSgd;
+use asgd_hogwild::{
+    GuardedEpochSgd, GuardedEpochSgdConfig, Hogwild, HogwildConfig, LockedSgd, NativeFullSgd,
+    NativeFullSgdConfig,
+};
+use asgd_math::rng::SeedSequence;
+use asgd_oracle::GradientOracle;
+use asgd_shmem::StopReason;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An execution model that can run a [`RunSpec`].
+pub trait Backend {
+    /// Which [`BackendKind`] this backend implements.
+    fn kind(&self) -> BackendKind;
+
+    /// Canonical name (mirrors [`BackendKind::name`]).
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Executes the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError`] when the spec cannot be built or is not
+    /// executable on this backend.
+    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError>;
+}
+
+/// Returns the backend implementing `kind`.
+#[must_use]
+pub fn backend(kind: BackendKind) -> Box<dyn Backend> {
+    match kind {
+        BackendKind::Sequential => Box::new(SequentialBackend),
+        BackendKind::SimulatedLockFree => Box::new(SimulatedLockFreeBackend),
+        BackendKind::SimulatedFullSgd => Box::new(SimulatedFullSgdBackend),
+        BackendKind::Hogwild => Box::new(HogwildBackend),
+        BackendKind::Locked => Box::new(LockedBackend),
+        BackendKind::GuardedEpoch => Box::new(GuardedEpochBackend),
+        BackendKind::NativeFullSgd => Box::new(NativeFullSgdBackend),
+    }
+}
+
+/// Executes `spec` on the backend it selects — the driver's front door.
+///
+/// # Errors
+///
+/// Returns [`DriverError::Oracle`] when the oracle spec cannot be built,
+/// [`DriverError::InvalidSpec`] for configurations the backend cannot
+/// execute, and [`DriverError::Runner`] when the simulator rejects the run.
+pub fn run_spec(spec: &RunSpec) -> Result<RunReport, DriverError> {
+    validate(spec)?;
+    backend(spec.backend).run(spec)
+}
+
+/// Like [`run_spec`] restricted to the simulated lock-free backend, but also
+/// returning the full engine-level [`asgd_core::runner::LockFreeRun`]
+/// (execution report, raw contention records) for experiments that audit
+/// more than the summary — e.g. the Lemma 6.2/6.4 contention experiments.
+///
+/// # Errors
+///
+/// Same conditions as [`run_spec`].
+pub fn run_simulated_lockfree_detailed(
+    spec: &RunSpec,
+) -> Result<(RunReport, asgd_core::runner::LockFreeRun), DriverError> {
+    validate(spec)?;
+    SimulatedLockFreeBackend::run_detailed(spec)
+}
+
+fn validate(spec: &RunSpec) -> Result<(), DriverError> {
+    if spec.threads == 0 {
+        return Err(DriverError::InvalidSpec(
+            "at least one thread required".to_string(),
+        ));
+    }
+    let alpha = spec.step.initial_alpha();
+    if !alpha.is_finite() || alpha <= 0.0 {
+        return Err(DriverError::InvalidSpec(format!(
+            "learning rate must be positive and finite, got {alpha}"
+        )));
+    }
+    // The scheduler only drives the simulated backends; check that its
+    // thread references exist there, so misconfigurations surface as errors
+    // instead of panics inside the adversary.
+    if matches!(
+        spec.backend,
+        BackendKind::SimulatedLockFree | BackendKind::SimulatedFullSgd
+    ) {
+        if let crate::spec::SchedulerSpec::StaleGradient { runner, victim, .. } = spec.scheduler {
+            if runner == victim {
+                return Err(DriverError::InvalidSpec(format!(
+                    "stale-gradient scheduler needs distinct threads, got runner = victim = \
+                     {runner}"
+                )));
+            }
+            let highest = runner.max(victim);
+            if highest >= spec.threads {
+                return Err(DriverError::InvalidSpec(format!(
+                    "stale-gradient scheduler references thread {highest}, but the spec runs \
+                     only {} threads",
+                    spec.threads
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the oracle and resolves the initial point, checking dimensions.
+fn oracle_and_x0(spec: &RunSpec) -> Result<(Arc<dyn GradientOracle>, Vec<f64>), DriverError> {
+    let oracle = spec.oracle.build()?;
+    let d = oracle.dimension();
+    let x0 = match &spec.x0 {
+        Some(x0) if x0.len() != d => {
+            return Err(DriverError::InvalidSpec(format!(
+                "x0 has dimension {}, oracle `{}` has {d}",
+                x0.len(),
+                spec.oracle.kind
+            )));
+        }
+        Some(x0) => x0.clone(),
+        None => vec![0.0; d],
+    };
+    Ok((oracle, x0))
+}
+
+/// Splits the total iteration budget across Algorithm-2 epochs.
+///
+/// Epochs share the budget equally; a non-divisible budget is floored, and
+/// every epoch backend executes (and reports) the same
+/// `per_epoch × epochs` total, so cross-backend head-to-heads stay
+/// equal-budget.
+fn epoch_split(spec: &RunSpec) -> Result<(u64, usize), DriverError> {
+    let epochs = spec.step.halving_epochs() + 1;
+    let per_epoch = spec.iterations / epochs as u64;
+    if per_epoch == 0 {
+        return Err(DriverError::InvalidSpec(format!(
+            "iteration budget {} cannot cover {epochs} epochs",
+            spec.iterations
+        )));
+    }
+    Ok((per_epoch, epochs))
+}
+
+fn stop_label(stop: StopReason) -> String {
+    match stop {
+        StopReason::AllDone => "all-done".to_string(),
+        StopReason::StepBudgetExhausted => "step-budget-exhausted".to_string(),
+    }
+}
+
+struct SequentialBackend;
+
+impl Backend for SequentialBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sequential
+    }
+
+    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+        let alpha = spec.step.constant_alpha(self.kind())?;
+        let (oracle, x0) = oracle_and_x0(spec)?;
+        // Thread 0's coin stream of the concurrent backends, so one spec
+        // yields bit-identical trajectories here, on the simulated serial
+        // schedule, and on single-threaded Hogwild.
+        let seed = SeedSequence::new(spec.seed).child_seed(0);
+        let mut runner = SequentialSgd::new(&oracle)
+            .learning_rate(alpha)
+            .iterations(spec.iterations)
+            .initial_point(x0)
+            .seed(seed);
+        if let Some(eps) = spec.success_radius_sq {
+            runner = runner.success_radius_sq(eps);
+        }
+        let started = Instant::now();
+        let report = runner.run();
+        let wall = started.elapsed().as_secs_f64();
+        Ok(RunReport {
+            backend: self.name().to_string(),
+            oracle: spec.oracle.kind.clone(),
+            threads: spec.threads,
+            iterations: report.iterations,
+            seed: spec.seed,
+            hit_iteration: report.hit_iteration,
+            min_dist_sq: Some(report.min_dist_sq),
+            final_dist_sq: report.final_dist_sq,
+            final_model: report.final_x,
+            wall_time_secs: wall,
+            steps: None,
+            fingerprint: None,
+            stop: None,
+            contention: None,
+            stale_rejected: None,
+        })
+    }
+}
+
+struct SimulatedLockFreeBackend;
+
+impl SimulatedLockFreeBackend {
+    fn run_detailed(
+        spec: &RunSpec,
+    ) -> Result<(RunReport, asgd_core::runner::LockFreeRun), DriverError> {
+        let alpha = spec.step.constant_alpha(BackendKind::SimulatedLockFree)?;
+        let (oracle, x0) = oracle_and_x0(spec)?;
+        let mut builder = LockFreeSgd::builder(oracle)
+            .threads(spec.threads)
+            .iterations(spec.iterations)
+            .learning_rate(alpha)
+            .initial_point(x0)
+            .scheduler(spec.scheduler.build())
+            .seed(spec.seed);
+        if let Some(eps) = spec.success_radius_sq {
+            builder = builder.success_radius_sq(eps);
+        }
+        if let Some(steps) = spec.max_steps {
+            builder = builder.max_steps(steps);
+        }
+        let started = Instant::now();
+        let run = builder.try_run()?;
+        let wall = started.elapsed().as_secs_f64();
+        let report = RunReport {
+            backend: BackendKind::SimulatedLockFree.name().to_string(),
+            oracle: spec.oracle.kind.clone(),
+            threads: spec.threads,
+            iterations: run.execution.contention.iterations(),
+            seed: spec.seed,
+            hit_iteration: run.hit_iteration,
+            min_dist_sq: spec.success_radius_sq.map(|_| run.min_dist_sq),
+            final_dist_sq: run.final_dist_sq,
+            final_model: run.final_model.clone(),
+            wall_time_secs: wall,
+            steps: Some(run.execution.steps),
+            fingerprint: Some(run.execution.fingerprint),
+            stop: Some(stop_label(run.execution.stop)),
+            contention: Some(ContentionSummary::from_report(&run.execution.contention)),
+            stale_rejected: None,
+        };
+        Ok((report, run))
+    }
+}
+
+impl Backend for SimulatedLockFreeBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::SimulatedLockFree
+    }
+
+    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+        Self::run_detailed(spec).map(|(report, _)| report)
+    }
+}
+
+struct SimulatedFullSgdBackend;
+
+impl Backend for SimulatedFullSgdBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::SimulatedFullSgd
+    }
+
+    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+        let (per_epoch, epochs) = epoch_split(spec)?;
+        let (oracle, x0) = oracle_and_x0(spec)?;
+        let cfg = FullSgdConfig {
+            alpha0: spec.step.initial_alpha(),
+            epoch_iterations: per_epoch,
+            halving_epochs: epochs - 1,
+        };
+        let started = Instant::now();
+        let report = run_simulated(
+            oracle,
+            cfg,
+            spec.threads,
+            &x0,
+            spec.scheduler.build(),
+            spec.seed,
+            spec.max_steps,
+        );
+        let wall = started.elapsed().as_secs_f64();
+        Ok(RunReport {
+            backend: self.name().to_string(),
+            oracle: spec.oracle.kind.clone(),
+            threads: spec.threads,
+            iterations: per_epoch * epochs as u64,
+            seed: spec.seed,
+            hit_iteration: None,
+            min_dist_sq: None,
+            final_dist_sq: report.dist_to_opt * report.dist_to_opt,
+            final_model: report.r,
+            wall_time_secs: wall,
+            steps: Some(report.execution.steps),
+            fingerprint: Some(report.execution.fingerprint),
+            stop: Some(stop_label(report.execution.stop)),
+            contention: Some(ContentionSummary::from_report(&report.execution.contention)),
+            stale_rejected: None,
+        })
+    }
+}
+
+struct HogwildBackend;
+
+impl Backend for HogwildBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Hogwild
+    }
+
+    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+        let alpha = spec.step.constant_alpha(self.kind())?;
+        let (oracle, x0) = oracle_and_x0(spec)?;
+        let report = Hogwild::new(
+            oracle,
+            HogwildConfig {
+                threads: spec.threads,
+                iterations: spec.iterations,
+                alpha,
+                seed: spec.seed,
+                success_radius_sq: spec.success_radius_sq,
+            },
+        )
+        .run(&x0);
+        Ok(RunReport {
+            backend: self.name().to_string(),
+            oracle: spec.oracle.kind.clone(),
+            threads: spec.threads,
+            iterations: report.iterations,
+            seed: spec.seed,
+            hit_iteration: report.first_success_claim,
+            min_dist_sq: None,
+            final_dist_sq: report.final_dist_sq,
+            final_model: report.final_model,
+            wall_time_secs: report.elapsed.as_secs_f64(),
+            steps: None,
+            fingerprint: None,
+            stop: None,
+            contention: None,
+            stale_rejected: None,
+        })
+    }
+}
+
+struct LockedBackend;
+
+impl Backend for LockedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Locked
+    }
+
+    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+        let alpha = spec.step.constant_alpha(self.kind())?;
+        let (oracle, x0) = oracle_and_x0(spec)?;
+        let report =
+            LockedSgd::new(oracle, spec.threads, spec.iterations, alpha, spec.seed).run(&x0);
+        Ok(RunReport {
+            backend: self.name().to_string(),
+            oracle: spec.oracle.kind.clone(),
+            threads: spec.threads,
+            iterations: report.iterations,
+            seed: spec.seed,
+            hit_iteration: None,
+            min_dist_sq: None,
+            final_dist_sq: report.final_dist_sq,
+            final_model: report.final_model,
+            wall_time_secs: report.elapsed.as_secs_f64(),
+            steps: None,
+            fingerprint: None,
+            stop: None,
+            contention: None,
+            stale_rejected: None,
+        })
+    }
+}
+
+struct GuardedEpochBackend;
+
+impl Backend for GuardedEpochBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::GuardedEpoch
+    }
+
+    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+        // Same floored per-epoch budget as the other epoch backends, so one
+        // spec compares equal iteration counts everywhere (the executor
+        // itself can distribute remainders, but the driver keeps backends
+        // aligned).
+        let (per_epoch, epochs) = epoch_split(spec)?;
+        let (oracle, x0) = oracle_and_x0(spec)?;
+        let report = GuardedEpochSgd::new(
+            oracle,
+            GuardedEpochSgdConfig {
+                threads: spec.threads,
+                iterations: per_epoch * epochs as u64,
+                alpha0: spec.step.initial_alpha(),
+                halving_epochs: spec.step.halving_epochs(),
+                seed: spec.seed,
+                success_radius_sq: spec.success_radius_sq,
+            },
+        )
+        .run(&x0);
+        Ok(RunReport {
+            backend: self.name().to_string(),
+            oracle: spec.oracle.kind.clone(),
+            threads: spec.threads,
+            iterations: report.iterations,
+            seed: spec.seed,
+            hit_iteration: report.first_success_claim,
+            min_dist_sq: None,
+            final_dist_sq: report.final_dist_sq,
+            final_model: report.final_model,
+            wall_time_secs: report.elapsed.as_secs_f64(),
+            steps: None,
+            fingerprint: None,
+            stop: None,
+            contention: None,
+            stale_rejected: Some(report.stale_rejected),
+        })
+    }
+}
+
+struct NativeFullSgdBackend;
+
+impl Backend for NativeFullSgdBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::NativeFullSgd
+    }
+
+    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+        let (per_epoch, epochs) = epoch_split(spec)?;
+        let (oracle, x0) = oracle_and_x0(spec)?;
+        let report = NativeFullSgd::new(
+            oracle,
+            NativeFullSgdConfig {
+                alpha0: spec.step.initial_alpha(),
+                epoch_iterations: per_epoch,
+                halving_epochs: epochs - 1,
+                threads: spec.threads,
+                seed: spec.seed,
+            },
+        )
+        .run(&x0);
+        Ok(RunReport {
+            backend: self.name().to_string(),
+            oracle: spec.oracle.kind.clone(),
+            threads: spec.threads,
+            iterations: per_epoch * epochs as u64,
+            seed: spec.seed,
+            hit_iteration: None,
+            min_dist_sq: None,
+            final_dist_sq: report.dist_to_opt * report.dist_to_opt,
+            final_model: report.r,
+            wall_time_secs: report.elapsed.as_secs_f64(),
+            steps: None,
+            fingerprint: None,
+            stop: None,
+            contention: None,
+            stale_rejected: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SchedulerSpec, StepSize};
+    use asgd_oracle::OracleSpec;
+
+    fn base_spec() -> RunSpec {
+        RunSpec::new(
+            OracleSpec::new("noisy-quadratic", 2).sigma(0.1),
+            BackendKind::SimulatedLockFree,
+        )
+        .threads(2)
+        .iterations(400)
+        .learning_rate(0.05)
+        .x0(vec![1.0, -1.0])
+        .success_radius_sq(0.05)
+        .seed(11)
+        .scheduler(SchedulerSpec::Random { seed: 3 })
+    }
+
+    #[test]
+    fn every_backend_reports_its_kind() {
+        for &kind in BackendKind::all() {
+            assert_eq!(backend(kind).kind(), kind);
+            assert_eq!(backend(kind).name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn validation_rejects_broken_specs() {
+        let spec = base_spec().threads(0);
+        assert!(matches!(run_spec(&spec), Err(DriverError::InvalidSpec(_))));
+        let mut spec = base_spec();
+        spec.step = StepSize::Constant { alpha: -0.5 };
+        assert!(matches!(run_spec(&spec), Err(DriverError::InvalidSpec(_))));
+        let spec = base_spec().x0(vec![1.0]);
+        assert!(matches!(run_spec(&spec), Err(DriverError::InvalidSpec(_))));
+        let mut spec = base_spec();
+        spec.oracle.kind = "no-such-oracle".to_string();
+        assert!(matches!(run_spec(&spec), Err(DriverError::Oracle(_))));
+    }
+
+    #[test]
+    fn halving_schedule_is_rejected_on_constant_backends() {
+        for kind in [
+            BackendKind::Sequential,
+            BackendKind::SimulatedLockFree,
+            BackendKind::Hogwild,
+            BackendKind::Locked,
+        ] {
+            let spec = base_spec().backend(kind).halving(0.1, 2);
+            assert!(
+                matches!(run_spec(&spec), Err(DriverError::InvalidSpec(_))),
+                "{kind} must reject halving schedules"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_backends_need_budget_for_every_epoch() {
+        for kind in [
+            BackendKind::SimulatedFullSgd,
+            BackendKind::NativeFullSgd,
+            BackendKind::GuardedEpoch,
+        ] {
+            let spec = base_spec().backend(kind).halving(0.1, 7).iterations(4);
+            assert!(
+                matches!(run_spec(&spec), Err(DriverError::InvalidSpec(_))),
+                "{kind} must reject budget 4 over 8 epochs"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_scheduler_thread_references_are_validated() {
+        // A stale-gradient adversary naming a thread the spec does not run
+        // must be an error, not an index-out-of-bounds panic in the
+        // scheduler.
+        let spec = base_spec()
+            .threads(1)
+            .scheduler(SchedulerSpec::StaleGradient {
+                runner: 0,
+                victim: 1,
+                delay: 4,
+            });
+        assert!(matches!(run_spec(&spec), Err(DriverError::InvalidSpec(_))));
+        let spec = base_spec().scheduler(SchedulerSpec::StaleGradient {
+            runner: 1,
+            victim: 1,
+            delay: 4,
+        });
+        assert!(matches!(run_spec(&spec), Err(DriverError::InvalidSpec(_))));
+        // Native backends ignore the scheduler; the same spec runs there.
+        let spec = base_spec()
+            .backend(BackendKind::Hogwild)
+            .threads(1)
+            .scheduler(SchedulerSpec::StaleGradient {
+                runner: 0,
+                victim: 1,
+                delay: 4,
+            });
+        assert!(run_spec(&spec).is_ok());
+    }
+
+    #[test]
+    fn epoch_backends_execute_identical_floored_budgets() {
+        // 100 iterations over 3 epochs floors to 33 × 3 = 99 on *every*
+        // epoch backend — cross-backend head-to-heads stay equal-budget.
+        let spec = base_spec().halving(0.1, 2).iterations(100);
+        for kind in [
+            BackendKind::SimulatedFullSgd,
+            BackendKind::NativeFullSgd,
+            BackendKind::GuardedEpoch,
+        ] {
+            let report = run_spec(&spec.clone().backend(kind)).unwrap();
+            assert_eq!(report.iterations, 99, "{kind}");
+        }
+    }
+
+    #[test]
+    fn detailed_run_matches_summary() {
+        let spec = base_spec();
+        let (mut report, run) = run_simulated_lockfree_detailed(&spec).unwrap();
+        assert_eq!(report.fingerprint, Some(run.execution.fingerprint));
+        assert_eq!(
+            report.contention.as_ref().unwrap().tau_max,
+            run.execution.contention.tau_max()
+        );
+        let mut again = run_spec(&spec).unwrap();
+        // Wall time is the one non-deterministic field.
+        report.wall_time_secs = 0.0;
+        again.wall_time_secs = 0.0;
+        assert_eq!(again, report, "deterministic backend");
+    }
+}

@@ -1,0 +1,48 @@
+//! The driver's error type.
+
+use asgd_core::runner::RunnerError;
+use asgd_oracle::OracleSpecError;
+
+/// Error running a [`RunSpec`](crate::RunSpec).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriverError {
+    /// The oracle spec could not be built.
+    Oracle(OracleSpecError),
+    /// The spec is not executable on the selected backend (e.g. a halving
+    /// step schedule on a constant-step backend).
+    InvalidSpec(String),
+    /// The simulated runner rejected the configuration.
+    Runner(RunnerError),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Oracle(e) => write!(f, "oracle: {e}"),
+            Self::InvalidSpec(msg) => write!(f, "invalid spec: {msg}"),
+            Self::Runner(e) => write!(f, "runner: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Oracle(e) => Some(e),
+            Self::Runner(e) => Some(e),
+            Self::InvalidSpec(_) => None,
+        }
+    }
+}
+
+impl From<OracleSpecError> for DriverError {
+    fn from(e: OracleSpecError) -> Self {
+        Self::Oracle(e)
+    }
+}
+
+impl From<RunnerError> for DriverError {
+    fn from(e: RunnerError) -> Self {
+        Self::Runner(e)
+    }
+}

@@ -1,0 +1,61 @@
+//! Unified execution driver for asynchronous SGD — **the front door of the
+//! workspace**.
+//!
+//! The paper (Alistarh, De Sa, Konstantinov; PODC 2018) is a comparison of
+//! *one* SGD iteration across execution models: the sequential baseline, the
+//! simulated asynchronous machine under adversarial schedulers, and native
+//! lock-free runtimes. This crate makes that comparison a one-struct
+//! operation:
+//!
+//! * [`RunSpec`] — one plain-data value describing a run: workload (by name,
+//!   through the oracle registry), backend, threads, iteration budget,
+//!   step-size schedule, success region, seed, scheduler/adversary;
+//! * [`Backend`] — the execution-model abstraction, with seven
+//!   implementations ([`BackendKind`]): `sequential`, `simulated-lockfree`,
+//!   `simulated-fullsgd`, `hogwild`, `locked`, `guarded-epoch`,
+//!   `native-fullsgd`;
+//! * [`RunReport`] — the unified outcome every backend produces: hitting
+//!   time, distances, wall time, contention statistics, and (for
+//!   deterministic backends) the execution fingerprint. Serialisable to and
+//!   from JSON via the built-in codec ([`json`]), and additionally deriving
+//!   `serde::{Serialize, Deserialize}` when the `serde` feature is enabled.
+//!
+//! # Example: one spec, several execution models
+//!
+//! ```
+//! use asgd_driver::{run_spec, BackendKind, RunSpec, SchedulerSpec};
+//! use asgd_oracle::OracleSpec;
+//!
+//! let spec = RunSpec::new(OracleSpec::new("noisy-quadratic", 2).sigma(0.1), BackendKind::Sequential)
+//!     .threads(2)
+//!     .iterations(500)
+//!     .learning_rate(0.05)
+//!     .x0(vec![1.0, -1.0])
+//!     .success_radius_sq(0.05)
+//!     .scheduler(SchedulerSpec::Serial)
+//!     .seed(7);
+//!
+//! let sequential = run_spec(&spec).expect("valid spec");
+//! let simulated = run_spec(&spec.clone().backend(BackendKind::SimulatedLockFree)).unwrap();
+//! // Under the serial scheduler the simulator replays the sequential
+//! // trajectory bit for bit:
+//! assert_eq!(sequential.final_model, simulated.final_model);
+//!
+//! // And every report round-trips through JSON:
+//! let json = simulated.to_json();
+//! assert_eq!(asgd_driver::RunReport::from_json(&json).unwrap(), simulated);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod error;
+pub mod json;
+pub mod report;
+pub mod spec;
+
+pub use backend::{backend, run_simulated_lockfree_detailed, run_spec, Backend};
+pub use error::DriverError;
+pub use report::{ContentionSummary, DecodeError, RunReport};
+pub use spec::{BackendKind, RunSpec, SchedulerSpec, StepSize};

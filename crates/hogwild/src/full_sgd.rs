@@ -96,9 +96,7 @@ impl<O: GradientOracle> NativeFullSgd<O> {
         let acc = SharedModel::zeros(d);
         let counters: Vec<AtomicU64> = (0..total_epochs).map(|_| AtomicU64::new(0)).collect();
         let guards: Vec<AtomicU64> = (0..total_epochs)
-            .map(|e| {
-                AtomicU64::new(if e == 0 { GUARD_READY } else { GUARD_UNINIT })
-            })
+            .map(|e| AtomicU64::new(if e == 0 { GUARD_READY } else { GUARD_UNINIT }))
             .collect();
         // Epoch 0 of a single-epoch run starts from x₀; pre-fill the
         // snapshot accordingly (no init race writes it in that case).

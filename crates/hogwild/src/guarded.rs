@@ -155,6 +155,201 @@ impl GuardedModel {
     }
 }
 
+/// Configuration of a [`GuardedEpochSgd`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardedEpochSgdConfig {
+    /// Worker thread count `n ≥ 1`.
+    pub threads: usize,
+    /// Total iteration budget across all epochs.
+    pub iterations: u64,
+    /// Initial learning rate `α₀ > 0` (halved every epoch).
+    pub alpha0: f64,
+    /// Halving epochs after the first (0 ⇒ a single constant-α epoch).
+    pub halving_epochs: usize,
+    /// Master seed; thread `i` derives coin stream `i`.
+    pub seed: u64,
+    /// Optional `ε`: record the first global claim index whose freshly read
+    /// view satisfied `‖v − x*‖² ≤ ε`.
+    pub success_radius_sq: Option<f64>,
+}
+
+/// Outcome of a [`GuardedEpochSgd`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedEpochSgdReport {
+    /// Final model (entries widened from the guard's `f32` storage).
+    pub final_model: Vec<f64>,
+    /// `‖X_final − x*‖²`.
+    pub final_dist_sq: f64,
+    /// Iterations executed (= configured total).
+    pub iterations: u64,
+    /// Total epochs executed.
+    pub epochs: usize,
+    /// Gradient-entry updates dropped by the epoch guard (stale updates from
+    /// threads still finishing an epoch after its entries advanced).
+    pub stale_rejected: u64,
+    /// Smallest global claim index whose view was inside the success region,
+    /// if tracking was enabled and any view qualified.
+    pub first_success_claim: Option<u64>,
+    /// Wall-clock duration of the parallel section.
+    pub elapsed: std::time::Duration,
+}
+
+/// SGD on a [`GuardedModel`]: Algorithm 2's epoch structure enforced at the
+/// *operation* level by the single-word-CAS epoch guard, on OS threads.
+///
+/// The first thread to exhaust an epoch's claim counter advances every
+/// entry's epoch tag; updates still in flight from slower threads are then
+/// rejected by the guard — exactly the "only apply updates in the epoch they
+/// were generated" rule of §7, paid for with `f32` value precision.
+#[derive(Debug)]
+pub struct GuardedEpochSgd<O> {
+    oracle: O,
+    cfg: GuardedEpochSgdConfig,
+}
+
+impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
+    /// Creates the executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `alpha0` is not finite and positive.
+    #[must_use]
+    pub fn new(oracle: O, cfg: GuardedEpochSgdConfig) -> Self {
+        assert!(cfg.threads >= 1, "at least one thread required");
+        assert!(
+            cfg.alpha0.is_finite() && cfg.alpha0 > 0.0,
+            "alpha0 must be positive"
+        );
+        Self { oracle, cfg }
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0`'s dimension differs from the oracle's.
+    #[must_use]
+    pub fn run(&self, x0: &[f64]) -> GuardedEpochSgdReport {
+        let d = self.oracle.dimension();
+        assert_eq!(x0.len(), d, "x0 dimension mismatch");
+        let epochs = self.cfg.halving_epochs + 1;
+        let base = self.cfg.iterations / epochs as u64;
+        let rem = (self.cfg.iterations % epochs as u64) as usize;
+        // Budgets sum to exactly `iterations`; early epochs absorb the
+        // remainder.
+        let budgets: Vec<u64> = (0..epochs).map(|e| base + u64::from(e < rem)).collect();
+        let offsets: Vec<u64> = budgets
+            .iter()
+            .scan(0u64, |acc, b| {
+                let off = *acc;
+                *acc += b;
+                Some(off)
+            })
+            .collect();
+
+        let model = GuardedModel::new(x0);
+        let counters: Vec<AtomicU64> = (0..epochs).map(|_| AtomicU64::new(0)).collect();
+        // advance[e] guards the transition into epoch e (0 = pending,
+        // 1 = advancing, 2 = done); epoch 0 needs no transition.
+        let advance: Vec<AtomicU64> = (0..epochs)
+            .map(|e| AtomicU64::new(if e == 0 { 2 } else { 0 }))
+            .collect();
+        let stale = AtomicU64::new(0);
+        let first_success = AtomicU64::new(u64::MAX);
+        let seeds = asgd_math::rng::SeedSequence::new(self.cfg.seed);
+
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for tid in 0..self.cfg.threads {
+                let model = &model;
+                let counters = &counters;
+                let advance = &advance;
+                let stale = &stale;
+                let first_success = &first_success;
+                let budgets = &budgets;
+                let offsets = &offsets;
+                let oracle = &self.oracle;
+                let cfg = self.cfg;
+                let mut rng = seeds.child_rng(tid as u64);
+                scope.spawn(move || {
+                    let mut view = vec![0.0; d];
+                    let mut grad = vec![0.0; d];
+                    for epoch in 0..epochs {
+                        // Transition protocol: one thread advances every
+                        // entry's epoch tag, the rest wait until done.
+                        match advance[epoch].compare_exchange(
+                            0,
+                            1,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        ) {
+                            Ok(_) => {
+                                for j in 0..d {
+                                    model
+                                        .advance_epoch(j, epoch as u32 - 1, epoch as u32)
+                                        .expect("single winner advances each entry once");
+                                }
+                                advance[epoch].store(2, Ordering::SeqCst);
+                            }
+                            Err(state) => {
+                                if state != 2 {
+                                    while advance[epoch].load(Ordering::SeqCst) != 2 {
+                                        std::hint::spin_loop();
+                                    }
+                                }
+                            }
+                        }
+                        let alpha = cfg.alpha0 / (1u64 << epoch.min(63)) as f64;
+                        loop {
+                            let claim = counters[epoch].fetch_add(1, Ordering::SeqCst);
+                            if claim >= budgets[epoch] {
+                                break;
+                            }
+                            for (j, v) in view.iter_mut().enumerate() {
+                                *v = f64::from(model.read(j).1);
+                            }
+                            if let Some(eps) = cfg.success_radius_sq {
+                                let dist_sq = asgd_math::vec::l2_dist_sq(&view, oracle.minimizer());
+                                if dist_sq <= eps {
+                                    first_success
+                                        .fetch_min(offsets[epoch] + claim, Ordering::SeqCst);
+                                }
+                            }
+                            oracle.sample_gradient(&view, &mut rng, &mut grad);
+                            for (j, &gj) in grad.iter().enumerate() {
+                                if gj != 0.0 {
+                                    let delta = (-alpha * gj) as f32;
+                                    if model.guarded_add(j, epoch as u32, delta).is_err() {
+                                        stale.fetch_add(1, Ordering::SeqCst);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+
+        let final_model: Vec<f64> = model
+            .snapshot_values()
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect();
+        let final_dist_sq = asgd_math::vec::l2_dist_sq(&final_model, self.oracle.minimizer());
+        let hit = first_success.load(Ordering::SeqCst);
+        GuardedEpochSgdReport {
+            final_model,
+            final_dist_sq,
+            iterations: self.cfg.iterations,
+            epochs,
+            stale_rejected: stale.load(Ordering::SeqCst),
+            first_success_claim: (hit != u64::MAX).then_some(hit),
+            elapsed,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +410,94 @@ mod tests {
     }
 
     #[test]
+    fn guarded_epoch_sgd_converges_on_quadratic() {
+        let oracle = Arc::new(asgd_oracle::NoisyQuadratic::new(3, 0.1).unwrap());
+        let report = GuardedEpochSgd::new(
+            Arc::clone(&oracle),
+            GuardedEpochSgdConfig {
+                threads: 4,
+                iterations: 12_000,
+                alpha0: 0.1,
+                halving_epochs: 3,
+                seed: 7,
+                success_radius_sq: Some(0.05),
+            },
+        )
+        .run(&[2.0, -2.0, 1.0]);
+        assert_eq!(report.epochs, 4);
+        assert_eq!(report.iterations, 12_000);
+        assert!(
+            report.final_dist_sq < 0.05,
+            "final dist² {} (f32 precision)",
+            report.final_dist_sq
+        );
+        assert!(report.first_success_claim.is_some());
+    }
+
+    #[test]
+    fn guarded_epoch_sgd_single_thread_drops_nothing() {
+        let oracle = Arc::new(asgd_oracle::NoisyQuadratic::new(2, 0.0).unwrap());
+        let report = GuardedEpochSgd::new(
+            oracle,
+            GuardedEpochSgdConfig {
+                threads: 1,
+                iterations: 100,
+                alpha0: 0.1,
+                halving_epochs: 1,
+                seed: 0,
+                success_radius_sq: None,
+            },
+        )
+        .run(&[1.0, 1.0]);
+        assert_eq!(report.stale_rejected, 0, "no concurrency, no stale drops");
+        assert!(report.final_dist_sq < 1.0);
+    }
+
+    #[test]
+    fn guarded_epoch_budgets_cover_total_exactly() {
+        // Odd totals distribute the remainder without losing iterations:
+        // visible through convergence with an exact, non-divisible budget.
+        let oracle = Arc::new(asgd_oracle::NoisyQuadratic::new(1, 0.0).unwrap());
+        let report = GuardedEpochSgd::new(
+            oracle,
+            GuardedEpochSgdConfig {
+                threads: 1,
+                iterations: 101,
+                alpha0: 0.2,
+                halving_epochs: 2,
+                seed: 0,
+                success_radius_sq: None,
+            },
+        )
+        .run(&[1.0]);
+        assert_eq!(report.iterations, 101);
+        // 101 noiseless contraction steps with α ∈ {0.2, 0.1, 0.05}.
+        let expected = 0.8_f64.powi(34) * 0.9_f64.powi(34) * 0.95_f64.powi(33);
+        assert!(
+            (report.final_model[0] - expected).abs() < 1e-3,
+            "got {} expected ≈ {expected} (f32 rounding)",
+            report.final_model[0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha0 must be positive")]
+    fn guarded_epoch_sgd_rejects_bad_alpha() {
+        let oracle = Arc::new(asgd_oracle::NoisyQuadratic::new(1, 0.0).unwrap());
+        let _ = GuardedEpochSgd::new(
+            oracle,
+            GuardedEpochSgdConfig {
+                threads: 1,
+                iterations: 1,
+                alpha0: 0.0,
+                halving_epochs: 0,
+                seed: 0,
+                success_radius_sq: None,
+            },
+        );
+    }
+
+    #[test]
     fn concurrent_epoch_transition_drops_exactly_the_stale_tail() {
         // Writers add in epoch 0 while one thread advances the epoch; every
         // successful add is reflected, every failed add is not: the final
@@ -248,6 +531,9 @@ mod tests {
         });
         let (epoch, value) = m.read(0);
         assert_eq!(epoch, 1);
-        assert_eq!(value, oks as f32, "value reflects exactly the accepted adds");
+        assert_eq!(
+            value, oks as f32,
+            "value reflects exactly the accepted adds"
+        );
     }
 }

@@ -117,8 +117,7 @@ impl<O: GradientOracle> Hogwild<O> {
                             }
                             model.read_view(&mut view);
                             if let Some(eps) = cfg.success_radius_sq {
-                                let dist_sq =
-                                    asgd_math::vec::l2_dist_sq(&view, oracle.minimizer());
+                                let dist_sq = asgd_math::vec::l2_dist_sq(&view, oracle.minimizer());
                                 if dist_sq <= eps {
                                     first_success.fetch_min(claim, Ordering::SeqCst);
                                 }

@@ -16,7 +16,15 @@
 //!   final accumulating epoch;
 //! * [`guarded`] — an op-level epoch guard packing `(epoch, f32 value)`
 //!   into one atomic word, demonstrating the DCAS-style guard of §7 with a
-//!   single-word CAS (at the cost of `f32` precision).
+//!   single-word CAS (at the cost of `f32` precision), plus
+//!   [`guarded::GuardedEpochSgd`], a full epoch-guarded SGD executor on top
+//!   of it.
+//!
+//! **Front door:** new code should usually go through the unified driver
+//! (`asgd-driver`): one `RunSpec` selects this crate's executors via the
+//! `hogwild`, `locked`, `guarded-epoch` and `native-fullsgd` backends and
+//! returns one serialisable `RunReport`. The types here remain supported as
+//! the native backends' engine-level API.
 //!
 //! Native runs are *not* deterministic (real interleavings); tests assert
 //! statistical properties — update conservation, convergence, monotone
@@ -53,7 +61,7 @@ pub mod model;
 
 pub use atomic::AtomicF64;
 pub use full_sgd::{NativeFullSgd, NativeFullSgdConfig, NativeFullSgdReport};
-pub use guarded::GuardedModel;
+pub use guarded::{GuardedEpochSgd, GuardedEpochSgdConfig, GuardedEpochSgdReport, GuardedModel};
 pub use hogwild::{Hogwild, HogwildConfig, HogwildReport};
 pub use locked::{LockedSgd, LockedSgdReport};
 pub use model::SharedModel;

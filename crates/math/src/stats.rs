@@ -175,8 +175,11 @@ impl WilsonInterval {
         let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
         Self {
             estimate: p,
-            lower: (center - half).max(0.0),
-            upper: (center + half).min(1.0),
+            // At p = 0 (resp. p = 1) the unclamped bound equals the estimate
+            // exactly in real arithmetic, but floating-point rounding can
+            // land an ulp beyond it; clamp so the interval always contains p.
+            lower: (center - half).max(0.0).min(p),
+            upper: (center + half).min(1.0).max(p),
         }
     }
 
@@ -240,7 +243,11 @@ impl LogLogFit {
         }
         let slope = sxy / sxx;
         let intercept = mean_y - slope * mean_x;
-        let r_squared = if syy == 0.0 { 1.0 } else { sxy * sxy / (sxx * syy) };
+        let r_squared = if syy == 0.0 {
+            1.0
+        } else {
+            sxy * sxy / (sxx * syy)
+        };
         Some(Self {
             slope,
             intercept,
@@ -262,7 +269,9 @@ mod tests {
 
     #[test]
     fn welford_small_case() {
-        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
         assert_eq!(s.min(), 2.0);

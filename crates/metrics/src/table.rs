@@ -116,7 +116,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -154,7 +158,11 @@ pub fn fmt_f(v: f64) -> String {
     if v == 0.0 {
         "0".to_string()
     } else if v.is_infinite() {
-        if v > 0.0 { "inf".to_string() } else { "-inf".to_string() }
+        if v > 0.0 {
+            "inf".to_string()
+        } else {
+            "-inf".to_string()
+        }
     } else if v.abs() >= 1e4 || v.abs() < 1e-3 {
         format!("{v:.3e}")
     } else {

@@ -32,7 +32,11 @@ impl ProbabilityEstimate {
 
 impl std::fmt::Display for ProbabilityEstimate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} ({}/{})", self.interval, self.occurrences, self.trials)
+        write!(
+            f,
+            "{} ({}/{})",
+            self.interval, self.occurrences, self.trials
+        )
     }
 }
 
@@ -92,9 +96,7 @@ mod tests {
 
     #[test]
     fn coin_flip_estimate_brackets_half() {
-        let est = estimate_probability(2000, 7, |seed| {
-            StdRng::seed_from_u64(seed).gen_bool(0.5)
-        });
+        let est = estimate_probability(2000, 7, |seed| StdRng::seed_from_u64(seed).gen_bool(0.5));
         assert!(
             est.interval.lower < 0.5 && 0.5 < est.interval.upper,
             "95% CI {} should contain 0.5",

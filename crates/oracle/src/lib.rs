@@ -47,6 +47,7 @@ pub mod logreg;
 pub mod minibatch;
 pub mod oracle;
 pub mod quadratic;
+pub mod registry;
 pub mod sparse;
 pub mod synth;
 
@@ -56,4 +57,5 @@ pub use logreg::RidgeLogistic;
 pub use minibatch::MinibatchRegression;
 pub use oracle::GradientOracle;
 pub use quadratic::NoisyQuadratic;
+pub use registry::{OracleSpec, OracleSpecError};
 pub use sparse::SparseQuadratic;

@@ -225,14 +225,13 @@ pub fn max_eigenvalue_sym(a: &DenseMatrix, iterations: usize) -> f64 {
 /// # Panics
 ///
 /// Panics if the matrix is not square or is empty.
-pub fn min_eigenvalue_spd(
-    a: &DenseMatrix,
-    iterations: usize,
-) -> Result<f64, SingularMatrixError> {
+pub fn min_eigenvalue_spd(a: &DenseMatrix, iterations: usize) -> Result<f64, SingularMatrixError> {
     assert_eq!(a.rows(), a.cols(), "eigenvalue of non-square matrix");
     let n = a.rows();
     assert!(n > 0, "empty matrix");
-    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 7 + 3) % 11) as f64 * 0.1).collect();
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| 1.0 + ((i * 7 + 3) % 11) as f64 * 0.1)
+        .collect();
     normalize(&mut v);
     let mut lambda = 0.0;
     for _ in 0..iterations.max(1) {

@@ -39,7 +39,10 @@ pub struct RankDeficientError;
 
 impl std::fmt::Display for RankDeficientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "design matrix is rank deficient; add samples or reduce d")
+        write!(
+            f,
+            "design matrix is rank deficient; add samples or reduce d"
+        )
     }
 }
 
@@ -58,7 +61,7 @@ impl LinearRegression {
         let flat: Vec<f64> = data.features.iter().flatten().copied().collect();
         let a = DenseMatrix::from_rows(m, d, flat);
         let hessian = a.gram_normalized(); // AᵀA/m
-        // Normal equations: (AᵀA/m)·x = Aᵀb/m.
+                                           // Normal equations: (AᵀA/m)·x = Aᵀb/m.
         let mut rhs = vec![0.0; d];
         for (row, &b) in data.features.iter().zip(&data.targets) {
             for (r, &ai) in rhs.iter_mut().zip(row) {
@@ -104,7 +107,12 @@ impl LinearRegression {
     ///
     /// Returns [`RankDeficientError`] if the generated design matrix is rank
     /// deficient (essentially impossible for Gaussian features with `m ≥ d`).
-    pub fn synthetic(m: usize, d: usize, noise: f64, seed: u64) -> Result<Self, RankDeficientError> {
+    pub fn synthetic(
+        m: usize,
+        d: usize,
+        noise: f64,
+        seed: u64,
+    ) -> Result<Self, RankDeficientError> {
         Self::new(crate::synth::regression(m, d, noise, seed))
     }
 

@@ -236,7 +236,11 @@ mod tests {
         let w = workload();
         let mut g = vec![0.0; 4];
         w.full_gradient(w.minimizer(), &mut g);
-        assert!(asgd_math::vec::l2_norm(&g) < 1e-8, "‖∇f(x*)‖ = {}", asgd_math::vec::l2_norm(&g));
+        assert!(
+            asgd_math::vec::l2_norm(&g) < 1e-8,
+            "‖∇f(x*)‖ = {}",
+            asgd_math::vec::l2_norm(&g)
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl MinibatchRegression {
         batch: usize,
         seed: u64,
     ) -> Result<Self, RankDeficientError> {
-        Ok(Self::new(LinearRegression::synthetic(m, d, noise, seed)?, batch))
+        Ok(Self::new(
+            LinearRegression::synthetic(m, d, noise, seed)?,
+            batch,
+        ))
     }
 
     /// The batch size `b`.

@@ -7,8 +7,8 @@
 
 use crate::constants::Constants;
 use crate::oracle::GradientOracle;
-use asgd_math::gaussian::standard_normal;
 use crate::quadratic::InvalidWorkloadError;
+use asgd_math::gaussian::standard_normal;
 use rand::{Rng, RngCore};
 
 /// Diagonal quadratic `f(x) = ½·Σ_j w_j·x_j²` whose stochastic gradient
@@ -187,15 +187,23 @@ mod tests {
         let x = [0.0, 0.0, radius];
         let mut g = vec![0.0; 3];
         let mut acc = 0.0;
+        let mut acc_sq = 0.0;
         let trials = 40_000;
         for _ in 0..trials {
             o.sample_gradient(&x, &mut rng, &mut g);
-            acc += asgd_math::vec::l2_norm_sq(&g);
+            let norm_sq = asgd_math::vec::l2_norm_sq(&g);
+            acc += norm_sq;
+            acc_sq += norm_sq * norm_sq;
         }
         let measured = acc / trials as f64;
+        // At this x the bound is *tight* (x sits on the trust-region
+        // boundary in the steepest coordinate), so the sample mean lands on
+        // either side of it; allow Monte-Carlo error at ~4 standard errors.
+        let variance = (acc_sq / trials as f64 - measured * measured).max(0.0);
+        let stderr = (variance / trials as f64).sqrt();
         assert!(
-            measured <= k.m_sq,
-            "measured {measured} exceeds bound {}",
+            measured <= k.m_sq + 4.0 * stderr,
+            "measured {measured} exceeds bound {} beyond sampling error {stderr}",
             k.m_sq
         );
     }

@@ -706,7 +706,11 @@ mod tests {
             },
         );
         assert_eq!(t.completed(), 1);
-        assert_eq!(t.watermark(), 0, "prefix incomplete: iteration 0 unfinished");
+        assert_eq!(
+            t.watermark(),
+            0,
+            "prefix incomplete: iteration 0 unfinished"
+        );
         // Thread 0 finishes; watermark jumps over both.
         t.observe(
             0,

@@ -167,7 +167,9 @@ impl EngineBuilder {
     #[must_use]
     pub fn build(self) -> Engine {
         let memory = self.memory.expect("EngineBuilder: memory is required");
-        let scheduler = self.scheduler.expect("EngineBuilder: scheduler is required");
+        let scheduler = self
+            .scheduler
+            .expect("EngineBuilder: scheduler is required");
         assert!(
             !self.processes.is_empty(),
             "EngineBuilder: at least one process is required"
@@ -197,7 +199,10 @@ impl EngineBuilder {
             },
             step: 0,
             max_steps: self.max_steps.unwrap_or(Step::MAX),
-            crashes_remaining: self.max_crashes.unwrap_or(n.saturating_sub(1)).min(n.saturating_sub(1)),
+            crashes_remaining: self
+                .max_crashes
+                .unwrap_or(n.saturating_sub(1))
+                .min(n.saturating_sub(1)),
             crashed: 0,
             observer: self.observer,
         }
@@ -427,9 +432,7 @@ fn fingerprint(steps: Step, memory: &Memory, trace: Option<&Trace>) -> u64 {
 mod tests {
     use super::*;
     use crate::process::{CounterClaimer, FaaHammer};
-    use crate::sched::{
-        CrashAdversary, RandomScheduler, SerialScheduler, StepRoundRobin,
-    };
+    use crate::sched::{CrashAdversary, RandomScheduler, SerialScheduler, StepRoundRobin};
 
     #[test]
     fn two_hammers_sum_their_adds() {
@@ -464,7 +467,11 @@ mod tests {
             .run();
         assert_eq!(report.stop, StopReason::AllDone);
         assert_eq!(report.memory.counter(0), 13);
-        assert_eq!(report.contention.iterations(), 0, "claimers never write the model");
+        assert_eq!(
+            report.contention.iterations(),
+            0,
+            "claimers never write the model"
+        );
     }
 
     #[test]

@@ -143,16 +143,31 @@ mod tests {
     #[test]
     fn faa_f64_returns_prior() {
         let mut m = Memory::new(1, 0);
-        assert_eq!(m.apply(&MemOp::FaaF64 { idx: 0, delta: 2.5 }), OpResult::F64(0.0));
-        assert_eq!(m.apply(&MemOp::FaaF64 { idx: 0, delta: -1.0 }), OpResult::F64(2.5));
+        assert_eq!(
+            m.apply(&MemOp::FaaF64 { idx: 0, delta: 2.5 }),
+            OpResult::F64(0.0)
+        );
+        assert_eq!(
+            m.apply(&MemOp::FaaF64 {
+                idx: 0,
+                delta: -1.0
+            }),
+            OpResult::F64(2.5)
+        );
         assert_eq!(m.float(0), 1.5);
     }
 
     #[test]
     fn faa_u64_returns_prior_and_wraps() {
         let mut m = Memory::new(0, 1);
-        assert_eq!(m.apply(&MemOp::FaaU64 { idx: 0, delta: 1 }), OpResult::U64(0));
-        assert_eq!(m.apply(&MemOp::FaaU64 { idx: 0, delta: 1 }), OpResult::U64(1));
+        assert_eq!(
+            m.apply(&MemOp::FaaU64 { idx: 0, delta: 1 }),
+            OpResult::U64(0)
+        );
+        assert_eq!(
+            m.apply(&MemOp::FaaU64 { idx: 0, delta: 1 }),
+            OpResult::U64(1)
+        );
         assert_eq!(m.counter(0), 2);
         m.apply(&MemOp::WriteU64 {
             idx: 0,

@@ -183,7 +183,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut c = CounterClaimer::new(0, 2);
         // Simulate: claim returns 0 (win), 1 (win), 2 (≥ limit → halt).
-        assert!(matches!(c.poll(&mut ctx(None, &mut rng)), Action::Op { .. }));
+        assert!(matches!(
+            c.poll(&mut ctx(None, &mut rng)),
+            Action::Op { .. }
+        ));
         assert!(matches!(
             c.poll(&mut ctx(Some(OpResult::U64(0)), &mut rng)),
             Action::Op { .. }
@@ -192,7 +195,10 @@ mod tests {
             c.poll(&mut ctx(Some(OpResult::U64(1)), &mut rng)),
             Action::Op { .. }
         ));
-        assert_eq!(c.poll(&mut ctx(Some(OpResult::U64(2)), &mut rng)), Action::Halt);
+        assert_eq!(
+            c.poll(&mut ctx(Some(OpResult::U64(2)), &mut rng)),
+            Action::Halt
+        );
         assert_eq!(c.claimed, 2);
     }
 
@@ -200,7 +206,10 @@ mod tests {
     fn boxed_process_delegates() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut b: Box<dyn Process> = Box::new(FaaHammer::new(0, 1.0, 1));
-        assert!(matches!(b.poll(&mut ctx(None, &mut rng)), Action::Op { .. }));
+        assert!(matches!(
+            b.poll(&mut ctx(None, &mut rng)),
+            Action::Op { .. }
+        ));
         assert!(b.describe().contains("faa-hammer"));
     }
 }

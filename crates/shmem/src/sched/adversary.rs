@@ -107,10 +107,7 @@ impl Scheduler for BoundedDelayAdversary {
         // first gradient write (prefer one we did not just victimise, so the
         // damage spreads across threads).
         let about_to_first_write = |t: &&crate::sched::ThreadView| {
-            matches!(
-                t.pending_tag(),
-                Some(OpTag::ModelWrite { first: true, .. })
-            )
+            matches!(t.pending_tag(), Some(OpTag::ModelWrite { first: true, .. }))
         };
         let candidate = view
             .runnable()
@@ -281,10 +278,7 @@ impl<S: Scheduler> Scheduler for CrashAdversary<S> {
         while self.next < self.plan.len() && self.plan[self.next].0 <= view.step {
             let (_, tid) = self.plan[self.next];
             self.next += 1;
-            if view.crashes_remaining > 0
-                && view.is_runnable(tid)
-                && view.runnable().count() > 1
-            {
+            if view.crashes_remaining > 0 && view.is_runnable(tid) && view.runnable().count() > 1 {
                 return Decision::Crash(tid);
             }
         }

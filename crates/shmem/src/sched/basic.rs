@@ -23,7 +23,10 @@ impl SerialScheduler {
 
 impl Scheduler for SerialScheduler {
     fn decide(&mut self, view: &SchedView<'_>) -> Decision {
-        Decision::Schedule(view.first_runnable().expect("engine guarantees a runnable thread"))
+        Decision::Schedule(
+            view.first_runnable()
+                .expect("engine guarantees a runnable thread"),
+        )
     }
 
     fn name(&self) -> &str {
@@ -121,8 +124,7 @@ impl Scheduler for IterationSerial {
                     .expect("engine guarantees a runnable thread");
                 self.fresh = true;
             }
-            let at_boundary =
-                view.threads[self.token].pending_tag() == Some(OpTag::ClaimIteration);
+            let at_boundary = view.threads[self.token].pending_tag() == Some(OpTag::ClaimIteration);
             if at_boundary && !self.fresh {
                 // Iteration finished: pass the token along.
                 self.token = view
@@ -259,10 +261,8 @@ mod tests {
         let t = ContentionTracker::new(2);
         let mut s = IterationSerial::new();
         // Token 0, fresh: schedules 0 even at boundary.
-        let both_boundary = runnable_with_tags(&[
-            Some(OpTag::ClaimIteration),
-            Some(OpTag::ClaimIteration),
-        ]);
+        let both_boundary =
+            runnable_with_tags(&[Some(OpTag::ClaimIteration), Some(OpTag::ClaimIteration)]);
         let v = view(&both_boundary, &m, &t);
         assert_eq!(s.decide(&v), Decision::Schedule(0));
         // Still at boundary next step (claim fired, new claim pending after a

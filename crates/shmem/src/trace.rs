@@ -287,7 +287,13 @@ impl UpdateGrid {
 mod tests {
     use super::*;
 
-    fn write_ev(step: Step, thread: ThreadId, entry: usize, first: bool, last: bool) -> EventRecord {
+    fn write_ev(
+        step: Step,
+        thread: ThreadId,
+        entry: usize,
+        first: bool,
+        last: bool,
+    ) -> EventRecord {
         EventRecord {
             step,
             thread,

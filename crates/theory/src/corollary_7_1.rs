@@ -16,7 +16,10 @@ use asgd_oracle::Constants;
 /// Panics if `alpha0 ≤ 0`, `eps ≤ 0`, or `n == 0`.
 #[must_use]
 pub fn epoch_count(alpha0: f64, consts: &Constants, n: usize, eps: f64) -> usize {
-    assert!(alpha0.is_finite() && alpha0 > 0.0, "alpha0 must be positive");
+    assert!(
+        alpha0.is_finite() && alpha0 > 0.0,
+        "alpha0 must be positive"
+    );
     assert!(eps.is_finite() && eps > 0.0, "eps must be positive");
     assert!(n > 0, "at least one thread");
     let ratio = alpha0 * 2.0 * consts.m() * n as f64 / eps.sqrt();

@@ -92,8 +92,7 @@ impl RateSupermartingale {
     /// that case gracefully.
     #[must_use]
     pub fn new(alpha: f64, consts: &Constants, eps: f64) -> Self {
-        Self::try_new(alpha, consts, eps)
-            .unwrap_or_else(|e| panic!("unstable step size: {e}"))
+        Self::try_new(alpha, consts, eps).unwrap_or_else(|e| panic!("unstable step size: {e}"))
     }
 
     /// The step size `α`.

@@ -122,7 +122,11 @@ mod tests {
         let tau_star = required_delay(alpha);
         let p = classify(alpha, &consts(), 0.01, tau_star * 100, 8, 16);
         assert_eq!(p.regime, Regime::LowerBoundApplies);
-        assert!(p.upper_precondition >= 1.0, "pre = {}", p.upper_precondition);
+        assert!(
+            p.upper_precondition >= 1.0,
+            "pre = {}",
+            p.upper_precondition
+        );
     }
 
     #[test]

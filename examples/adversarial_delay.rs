@@ -16,7 +16,10 @@ fn main() {
     let tau_star = lower_bound::required_delay(alpha);
     println!("f(x) = x²/2, α = {alpha}; Theorem 5.1 needs delay τ ≥ τ* = {tau_star}\n");
 
-    println!("{:>6} {:>14} {:>14} {:>14} {:>10}", "tau", "measured |x|", "predicted", "clean", "slowdown");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>10}",
+        "tau", "measured |x|", "predicted", "clean", "slowdown"
+    );
     for tau in [5, 10, tau_star, 2 * tau_star, 4 * tau_star] {
         let run = LockFreeSgd::builder(Arc::clone(&oracle))
             .threads(2)

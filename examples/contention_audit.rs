@@ -6,9 +6,9 @@
 //! cargo run --release --example contention_audit
 //! ```
 
+use asyncsgd::core::runner::LockFreeSgd;
 use asyncsgd::metrics::Histogram;
 use asyncsgd::prelude::*;
-use asyncsgd::core::runner::LockFreeSgd;
 use std::sync::Arc;
 
 fn audit(name: &str, scheduler: Box<dyn Scheduler>, n: usize) {
@@ -51,7 +51,11 @@ fn audit(name: &str, scheduler: Box<dyn Scheduler>, n: usize) {
 fn main() {
     audit("round-robin", Box::new(StepRoundRobin::new()), 4);
     audit("random", Box::new(RandomScheduler::new(5)), 4);
-    audit("bounded-delay adversary (budget 16)", Box::new(BoundedDelayAdversary::new(16)), 4);
+    audit(
+        "bounded-delay adversary (budget 16)",
+        Box::new(BoundedDelayAdversary::new(16)),
+        4,
+    );
     audit(
         "crash adversary (3 of 4 threads crash)",
         Box::new(CrashAdversary::new(

@@ -1,0 +1,63 @@
+//! One `RunSpec`, every backend: the head-to-head the unified driver is for.
+//!
+//! ```text
+//! cargo run --release --example driver_matrix
+//! ```
+//!
+//! Builds a single spec (noisy quadratic, 4 threads, constant α) and runs it
+//! unchanged on five constant-step backends plus — after switching the
+//! schedule to Algorithm 2's halving — on the two FullSGD backends. Prints a
+//! comparison table and dumps each report as one line of JSON, the same
+//! format `experiments run --json` writes to `BENCH_*.json` files.
+
+use asyncsgd::prelude::*;
+
+fn main() {
+    let spec = RunSpec::new(
+        OracleSpec::new("noisy-quadratic", 4).sigma(0.3),
+        BackendKind::Sequential,
+    )
+    .threads(4)
+    .iterations(20_000)
+    .learning_rate(0.05)
+    .x0(vec![2.0, -2.0, 1.0, -1.0])
+    .success_radius_sq(0.05)
+    .scheduler(SchedulerSpec::Random { seed: 3 })
+    .seed(7);
+
+    println!(
+        "{:<20} {:>12} {:>12} {:>10} {:>12}",
+        "backend", "dist²", "hit", "wall ms", "it/s"
+    );
+    let mut reports = Vec::new();
+    for &backend in BackendKind::all() {
+        // FullSGD backends run the halving schedule; the rest run the
+        // constant schedule. Same oracle, budget, seed and start everywhere.
+        let spec = match backend {
+            BackendKind::SimulatedFullSgd | BackendKind::NativeFullSgd => {
+                spec.clone().backend(backend).halving(0.05, 4)
+            }
+            _ => spec.clone().backend(backend),
+        };
+        let report = run_spec(&spec).expect("spec runs on every backend");
+        println!(
+            "{:<20} {:>12.3e} {:>12} {:>10.2} {:>12.0}",
+            report.backend,
+            report.final_dist_sq,
+            report
+                .hit_iteration
+                .map_or("-".to_string(), |t| t.to_string()),
+            report.wall_time_secs * 1e3,
+            report.iterations_per_sec(),
+        );
+        reports.push(report);
+    }
+
+    println!("\n--- JSON (BENCH_*.json format) ---");
+    for report in &reports {
+        let json = report.to_json();
+        // Round-trip check: the JSON codec is exact.
+        assert_eq!(RunReport::from_json(&json).expect("valid"), *report);
+        println!("{json}");
+    }
+}

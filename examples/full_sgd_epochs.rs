@@ -71,7 +71,13 @@ fn main() {
         4,
         None,
     );
-    println!("  fixed α = 0.2 : final ‖x−x*‖ = {:.4}", fixed.final_dist_sq.sqrt());
-    println!("  halving α     : final ‖r−x*‖ = {:.4}", halving.dist_to_opt);
+    println!(
+        "  fixed α = 0.2 : final ‖x−x*‖ = {:.4}",
+        fixed.final_dist_sq.sqrt()
+    );
+    println!(
+        "  halving α     : final ‖r−x*‖ = {:.4}",
+        halving.dist_to_opt
+    );
     println!("  (decreasing the step size defeats the adversary — §8 discussion)");
 }

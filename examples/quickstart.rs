@@ -18,9 +18,8 @@ fn main() {
     // minibatch-64 gradients (compute-heavy iterations — the regime where
     // lock-free parallelism pays, per §8 of the paper).
     let d = 64;
-    let oracle = Arc::new(
-        MinibatchRegression::synthetic(2_000, d, 0.05, 64, 42).expect("well-conditioned"),
-    );
+    let oracle =
+        Arc::new(MinibatchRegression::synthetic(2_000, d, 0.05, 64, 42).expect("well-conditioned"));
     let consts = oracle.constants(2.0);
     println!("workload: {} with constants {consts}", oracle.name());
 

@@ -13,13 +13,41 @@
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
+//! | [`driver`] | `asgd-driver` | **the front door**: one `RunSpec`, every backend, one `RunReport` |
 //! | [`math`] | `asgd-math` | vector kernels, Gaussian sampling, statistics |
 //! | [`shmem`] | `asgd-shmem` | the simulated machine: registers, engine, schedulers/adversaries, contention audits |
-//! | [`oracle`] | `asgd-oracle` | workloads with known `(c, L, M²)` constants |
+//! | [`oracle`] | `asgd-oracle` | workloads with known `(c, L, M²)` constants + by-name registry |
 //! | [`core`] | `asgd-core` | the paper's algorithms on the simulator |
 //! | [`theory`] | `asgd-theory` | Theorems 3.1/6.3/6.5, Corollaries 6.7/7.1, §5 lower bound |
-//! | [`hogwild`] | `asgd-hogwild` | native lock-free runtime + locked baseline |
+//! | [`hogwild`] | `asgd-hogwild` | native lock-free runtime + locked baseline + epoch guard |
 //! | [`metrics`] | `asgd-metrics` | trial harness, tables, histograms |
+//!
+//! # Quickstart: the unified driver
+//!
+//! One [`RunSpec`](driver::RunSpec) value runs unchanged on every execution
+//! model and yields one JSON-serialisable [`RunReport`](driver::RunReport):
+//!
+//! ```
+//! use asyncsgd::prelude::*;
+//!
+//! let spec = RunSpec::new(OracleSpec::new("noisy-quadratic", 2).sigma(0.1), BackendKind::Hogwild)
+//!     .threads(2)
+//!     .iterations(2_000)
+//!     .learning_rate(0.05)
+//!     .x0(vec![1.0, -1.0])
+//!     .seed(7);
+//! for backend in [
+//!     BackendKind::Sequential,
+//!     BackendKind::SimulatedLockFree,
+//!     BackendKind::Hogwild,
+//!     BackendKind::Locked,
+//!     BackendKind::GuardedEpoch,
+//! ] {
+//!     let report = run_spec(&spec.clone().backend(backend)).expect("valid spec");
+//!     assert!(report.final_dist_sq < 0.5, "{backend}: {}", report.final_dist_sq);
+//!     let _json = report.to_json(); // machine-readable summary
+//! }
+//! ```
 //!
 //! # Quickstart: native lock-free SGD
 //!
@@ -64,6 +92,7 @@
 #![warn(missing_docs)]
 
 pub use asgd_core as core;
+pub use asgd_driver as driver;
 pub use asgd_hogwild as hogwild;
 pub use asgd_math as math;
 pub use asgd_metrics as metrics;
@@ -74,13 +103,17 @@ pub use asgd_theory as theory;
 /// The most common imports in one place.
 pub mod prelude {
     pub use asgd_core::full_sgd::{run_simulated as run_full_sgd_simulated, FullSgdConfig};
-    pub use asgd_core::runner::{LockFreeRun, LockFreeSgd};
+    pub use asgd_core::runner::{LockFreeRun, LockFreeSgd, RunnerError};
     pub use asgd_core::sequential::SequentialSgd;
+    pub use asgd_driver::{
+        run_spec, BackendKind, DriverError, RunReport, RunSpec, SchedulerSpec, StepSize,
+    };
     pub use asgd_hogwild::full_sgd::{NativeFullSgd, NativeFullSgdConfig};
+    pub use asgd_hogwild::guarded::{GuardedEpochSgd, GuardedEpochSgdConfig};
     pub use asgd_hogwild::hogwild::{Hogwild, HogwildConfig};
     pub use asgd_hogwild::locked::LockedSgd;
     pub use asgd_oracle::{
-        Constants, GradientOracle, LinearRegression, NoisyQuadratic, RidgeLogistic,
+        Constants, GradientOracle, LinearRegression, NoisyQuadratic, OracleSpec, RidgeLogistic,
         SparseQuadratic,
     };
     pub use asgd_shmem::sched::{

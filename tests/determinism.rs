@@ -44,21 +44,29 @@ fn recorded_schedule_replays_to_identical_execution() {
 #[test]
 fn fingerprint_is_stable_across_runs_and_sensitive_to_everything() {
     let oracle = Arc::new(NoisyQuadratic::new(2, 0.6).expect("valid"));
-    let base = build_engine(&oracle, RandomScheduler::new(7), 42).run().fingerprint;
+    let base = build_engine(&oracle, RandomScheduler::new(7), 42)
+        .run()
+        .fingerprint;
     // Same everything → same fingerprint.
     assert_eq!(
         base,
-        build_engine(&oracle, RandomScheduler::new(7), 42).run().fingerprint
+        build_engine(&oracle, RandomScheduler::new(7), 42)
+            .run()
+            .fingerprint
     );
     // Different engine seed (coin streams) → different.
     assert_ne!(
         base,
-        build_engine(&oracle, RandomScheduler::new(7), 43).run().fingerprint
+        build_engine(&oracle, RandomScheduler::new(7), 43)
+            .run()
+            .fingerprint
     );
     // Different scheduler randomness → different.
     assert_ne!(
         base,
-        build_engine(&oracle, RandomScheduler::new(8), 42).run().fingerprint
+        build_engine(&oracle, RandomScheduler::new(8), 42)
+            .run()
+            .fingerprint
     );
 }
 

@@ -34,7 +34,10 @@ fn theory_rate_converges_under_adversary_in_simulator() {
             hits += 1;
         }
     }
-    assert!(hits * 2 > trials, "only {hits}/{trials} runs hit the region");
+    assert!(
+        hits * 2 > trials,
+        "only {hits}/{trials} runs hit the region"
+    );
 }
 
 #[test]

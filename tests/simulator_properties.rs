@@ -10,13 +10,7 @@ use asyncsgd::prelude::*;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-fn run_cfg(
-    n: usize,
-    d: usize,
-    t: u64,
-    sched: Box<dyn Scheduler>,
-    seed: u64,
-) -> LockFreeRun {
+fn run_cfg(n: usize, d: usize, t: u64, sched: Box<dyn Scheduler>, seed: u64) -> LockFreeRun {
     let oracle = Arc::new(NoisyQuadratic::new(d, 0.5).expect("valid"));
     LockFreeSgd::builder(oracle)
         .threads(n)
