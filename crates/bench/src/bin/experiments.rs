@@ -23,7 +23,10 @@
 //! print to stdout.
 
 use asgd_bench::{experiment_ids, run_experiment};
-use asgd_driver::{run_spec, BackendKind, RunReport, RunSpec, SchedulerSpec};
+use asgd_driver::{
+    run_spec, BackendKind, ModelLayoutSpec, RunReport, RunSpec, SchedulerSpec, SparsePathSpec,
+    UpdateOrderSpec,
+};
 use asgd_oracle::{registry, OracleSpec};
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -50,6 +53,9 @@ struct RunArgs {
     eps: Option<f64>,
     max_steps: Option<u64>,
     x0: Option<Vec<f64>>,
+    layout: ModelLayoutSpec,
+    order: UpdateOrderSpec,
+    sparse: SparsePathSpec,
     json: Option<PathBuf>,
     pretty: bool,
 }
@@ -77,6 +83,9 @@ fn usage_run() -> ! {
          \x20 --eps EPS              success region threshold on ‖x−x*‖²\n\
          \x20 --x0 V1,V2,…           initial point (origin; must match --dim)\n\
          \x20 --max-steps K          simulated step cap\n\
+         \x20 --layout L             native model layout: compact | padded (compact)\n\
+         \x20 --order O              native memory order: seqcst | relaxed (seqcst)\n\
+         \x20 --sparse P             gradient path: auto | dense | sparse (auto)\n\
          \x20 --json PATH            write JSON report(s); directory ⇒ BENCH_<backend>.json\n\
          \x20 --pretty               pretty-print JSON",
         backends = BackendKind::all()
@@ -95,7 +104,10 @@ fn run_mode(args: &[String]) {
         .threads(parsed.threads)
         .iterations(parsed.iterations)
         .seed(parsed.seed)
-        .scheduler(parsed.scheduler);
+        .scheduler(parsed.scheduler)
+        .layout(parsed.layout)
+        .order(parsed.order)
+        .sparse(parsed.sparse);
     spec = match parsed.halving_epochs {
         Some(epochs) => spec.halving(parsed.alpha, epochs),
         None => spec.learning_rate(parsed.alpha),
@@ -214,6 +226,9 @@ fn parse_run_args(args: &[String]) -> RunArgs {
         eps: None,
         max_steps: None,
         x0: None,
+        layout: ModelLayoutSpec::Compact,
+        order: UpdateOrderSpec::SeqCst,
+        sparse: SparsePathSpec::Auto,
         json: None,
         pretty: false,
     };
@@ -275,6 +290,9 @@ fn parse_run_args(args: &[String]) -> RunArgs {
                 }
             }
             "--max-steps" => parsed.max_steps = Some(parse_to!("--max-steps")),
+            "--layout" => parsed.layout = parse_to!("--layout"),
+            "--order" => parsed.order = parse_to!("--order"),
+            "--sparse" => parsed.sparse = parse_to!("--sparse"),
             "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
             "--pretty" => parsed.pretty = true,
             "--help" | "-h" => usage_run(),

@@ -1,0 +1,191 @@
+//! **O(Δ) vs O(d)** — the sparse fast path's measured d/Δ win.
+//!
+//! The paper's bounds are parameterized by the gradient sparsity Δ (§3);
+//! this experiment measures what that parameterisation is worth on real
+//! hardware: the same `sparse-quadratic` workload (Δ = 1) run through the
+//! native Hogwild backend on the dense O(d) path and the sparse O(Δ) path,
+//! sweeping d ∈ {16, 1k, 64k} × threads ∈ {1, 2, 4, 8} at a fixed
+//! iteration budget. At d = 64k the dense path reads and scans 64k entries
+//! per iteration to apply one update; the sparse path reads one.
+//!
+//! Full (non-quick) runs write `BENCH_sparse_path.json` into the current
+//! directory — the workspace's perf trajectory artifact.
+
+use crate::ExperimentOutput;
+use asgd_driver::json::Value;
+use asgd_driver::{run_spec, BackendKind, RunSpec, SparsePathSpec};
+use asgd_metrics::table::fmt_f;
+use asgd_metrics::Table;
+use asgd_oracle::OracleSpec;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model dimension.
+    pub d: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// `"dense"` or `"sparse"`.
+    pub path: &'static str,
+    /// Iteration budget (identical across paths).
+    pub iterations: u64,
+    /// Wall-clock seconds of the parallel section.
+    pub wall_secs: f64,
+    /// Iterations per second.
+    pub iters_per_sec: f64,
+}
+
+fn measure(d: usize, threads: usize, sparse: SparsePathSpec, iterations: u64) -> Row {
+    // Δ = 1 single-coordinate gradients have magnitude d·x_j, so stability
+    // needs α ~ 1/d; noiseless keeps every run finite at any d.
+    let spec = RunSpec::new(
+        OracleSpec::new("sparse-quadratic", d).sigma(0.0),
+        BackendKind::Hogwild,
+    )
+    .threads(threads)
+    .iterations(iterations)
+    .learning_rate(0.5 / d as f64)
+    .x0(vec![1.0; d])
+    .seed(0xD0_0D)
+    .sparse(sparse);
+    let report = run_spec(&spec).expect("sparse-scaling spec runs");
+    let path = if report.sparse_path == Some(true) {
+        "sparse"
+    } else {
+        "dense"
+    };
+    Row {
+        d,
+        threads,
+        path,
+        iterations,
+        wall_secs: report.wall_time_secs,
+        iters_per_sec: report.iterations_per_sec(),
+    }
+}
+
+/// Runs the sweep.
+#[must_use]
+pub fn sweep(quick: bool) -> Vec<Row> {
+    let (dims, thread_counts, iterations): (Vec<usize>, Vec<usize>, u64) = if quick {
+        (vec![16, 1024], vec![1, 2], 2_000)
+    } else {
+        (vec![16, 1024, 65_536], vec![1, 2, 4, 8], 20_000)
+    };
+    let mut rows = Vec::new();
+    for &d in &dims {
+        for &threads in &thread_counts {
+            for path in [SparsePathSpec::Dense, SparsePathSpec::Sparse] {
+                rows.push(measure(d, threads, path, iterations));
+            }
+        }
+    }
+    rows
+}
+
+/// The sparse/dense throughput ratio for each `(d, threads)` cell.
+#[must_use]
+pub fn speedups(rows: &[Row]) -> Vec<(usize, usize, f64)> {
+    let mut out = Vec::new();
+    for pair in rows.chunks(2) {
+        let [dense, sparse] = pair else { continue };
+        debug_assert_eq!(dense.path, "dense");
+        debug_assert_eq!(sparse.path, "sparse");
+        out.push((
+            dense.d,
+            dense.threads,
+            sparse.iters_per_sec / dense.iters_per_sec,
+        ));
+    }
+    out
+}
+
+/// Serialises the sweep to the `BENCH_sparse_path.json` value tree.
+#[must_use]
+pub fn to_json(rows: &[Row]) -> Value {
+    Value::obj([
+        ("experiment", Value::Str("sparse-scaling".to_string())),
+        ("backend", Value::Str("hogwild".to_string())),
+        ("oracle", Value::Str("sparse-quadratic".to_string())),
+        (
+            "rows",
+            Value::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Value::obj([
+                            ("d", Value::U64(r.d as u64)),
+                            ("threads", Value::U64(r.threads as u64)),
+                            ("path", Value::Str(r.path.to_string())),
+                            ("iterations", Value::U64(r.iterations)),
+                            ("wall_time_secs", Value::f64(r.wall_secs)),
+                            ("iters_per_sec", Value::f64(r.iters_per_sec)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Runs the experiment. Non-quick runs also write `BENCH_sparse_path.json`
+/// into the current directory.
+#[must_use]
+pub fn run(quick: bool) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("sparse_scaling");
+    let rows = sweep(quick);
+    let mut table = Table::new(
+        "O(Δ) sparse path vs O(d) dense path: hogwild on sparse-quadratic (Δ=1), equal budgets",
+        &["d", "threads", "path", "wall s", "iters/s"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.d.to_string(),
+            r.threads.to_string(),
+            r.path.to_string(),
+            format!("{:.4}", r.wall_secs),
+            fmt_f(r.iters_per_sec),
+        ]);
+    }
+    out.tables.push(table);
+    for (d, threads, speedup) in speedups(&rows) {
+        out.notes.push(format!(
+            "d={d} n={threads}: sparse path {speedup:.1}x dense throughput"
+        ));
+    }
+    if !quick {
+        let path = std::path::Path::new("BENCH_sparse_path.json");
+        match std::fs::write(path, to_json(&rows).to_json_pretty() + "\n") {
+            Ok(()) => out.notes.push(format!("[json] {}", path.display())),
+            Err(e) => out
+                .notes
+                .push(format!("[json] failed to write {}: {e}", path.display())),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_covers_both_paths_and_round_trips_json() {
+        let rows = sweep(true);
+        assert_eq!(rows.len(), 2 * 2 * 2, "dims × threads × paths");
+        assert!(rows.iter().any(|r| r.path == "sparse"));
+        assert!(rows.iter().any(|r| r.path == "dense"));
+        for r in &rows {
+            assert!(r.wall_secs >= 0.0);
+            assert!(r.iters_per_sec > 0.0, "{r:?}");
+        }
+        let json = to_json(&rows).to_json();
+        let back = asgd_driver::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            back.get("rows").and_then(|v| v.as_arr()).map(<[_]>::len),
+            Some(rows.len())
+        );
+        // No perf assertion here (CI boxes are noisy); the committed
+        // BENCH_sparse_path.json carries the full-run numbers.
+        assert_eq!(speedups(&rows).len(), rows.len() / 2);
+    }
+}

@@ -58,8 +58,20 @@ impl ExperimentOutput {
 #[must_use]
 pub fn experiment_ids() -> Vec<&'static str> {
     vec![
-        "fig1", "t31", "t51", "t65", "c67", "l62", "l64", "tavg", "c71", "stepsize", "regimes",
-        "speedup", "sparse",
+        "fig1",
+        "t31",
+        "t51",
+        "t65",
+        "c67",
+        "l62",
+        "l64",
+        "tavg",
+        "c71",
+        "stepsize",
+        "regimes",
+        "speedup",
+        "sparse",
+        "sparse-scaling",
     ]
 }
 
@@ -84,6 +96,7 @@ pub fn run_experiment(id: &str, quick: bool) -> ExperimentOutput {
         "regimes" => experiments::regimes::run(quick),
         "speedup" => experiments::speedup::run(quick),
         "sparse" => experiments::sparse::run(quick),
+        "sparse-scaling" => experiments::sparse_scaling::run(quick),
         other => panic!(
             "unknown experiment id: {other} (known: {:?})",
             experiment_ids()
@@ -101,7 +114,8 @@ mod tests {
         // tested in their own modules; here we only check the registry
         // wiring for a trivially cheap one).
         assert!(experiment_ids().contains(&"t51"));
-        assert_eq!(experiment_ids().len(), 13);
+        assert!(experiment_ids().contains(&"sparse-scaling"));
+        assert_eq!(experiment_ids().len(), 14);
     }
 
     #[test]

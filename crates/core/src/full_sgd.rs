@@ -202,6 +202,7 @@ impl<O: GradientOracle + Clone> FullSgdProcess<O> {
                 counter_idx: self.layout.claim_counter(self.epoch),
                 model_base: self.layout.model_region(self.epoch),
                 acc_base: last.then(|| self.layout.acc_base()),
+                sparse: false,
             },
         )
     }

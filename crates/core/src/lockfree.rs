@@ -17,8 +17,20 @@
 //! reads, between gradient computation and the first write, between any two
 //! writes. Every op carries the [`OpTag`] the contention tracker and the
 //! adaptive adversaries key on.
+//!
+//! **Sparse mode** ([`EpochSgdConfig::sparse`]): for oracles with a
+//! two-phase sparse decomposition (`sample_support` /
+//! `gradient_on_support`), the process draws the gradient's support first
+//! and then declares *only* the support's read ops instead of scanning all d
+//! registers — the simulated rendition of the O(Δ) fast path (host
+//! wall-clock drops by the same d/Δ factor as the native executors). The
+//! support coin is necessarily drawn before the reads rather than after the
+//! full scan, so sparse executions interleave differently from dense ones
+//! under adversarial schedulers (serial schedules still reproduce the
+//! sequential trajectory bit for bit); it is therefore an explicit opt-in,
+//! with the dense scan remaining the paper-faithful default.
 
-use asgd_oracle::GradientOracle;
+use asgd_oracle::{GradientOracle, SparseGrad};
 use asgd_shmem::op::{Action, MemOp, OpTag};
 use asgd_shmem::process::{Process, ProcessCtx};
 
@@ -39,11 +51,14 @@ pub struct EpochSgdConfig {
     /// last iteration — used by Algorithm 2's final epoch. `None` disables
     /// accumulation.
     pub acc_base: Option<usize>,
+    /// Declare O(Δ) sparse ops for two-phase sparse oracles (oracles without
+    /// the decomposition silently stay on the dense scan).
+    pub sparse: bool,
 }
 
 impl EpochSgdConfig {
     /// Canonical single-epoch layout: counter 0, model at float register 0,
-    /// no accumulator.
+    /// no accumulator, dense op pattern.
     #[must_use]
     pub fn simple(alpha: f64, iterations: u64) -> Self {
         Self {
@@ -52,7 +67,15 @@ impl EpochSgdConfig {
             counter_idx: 0,
             model_base: 0,
             acc_base: None,
+            sparse: false,
         }
+    }
+
+    /// Enables or disables the sparse op pattern.
+    #[must_use]
+    pub fn sparse(mut self, sparse: bool) -> Self {
+        self.sparse = sparse;
+        self
     }
 }
 
@@ -62,6 +85,8 @@ enum Phase {
     AwaitClaim,
     Read { j: usize },
     AwaitRead { j: usize },
+    ReadSupport { k: usize },
+    AwaitReadSupport { k: usize },
     Compute,
     Write { k: usize },
     AwaitWrite { k: usize },
@@ -77,8 +102,14 @@ pub struct EpochSgdProcess<O> {
     phase: Phase,
     view: Vec<f64>,
     grad: Vec<f64>,
-    /// Indices of nonzero gradient entries for the current iteration.
-    writes: Vec<usize>,
+    /// Support drawn for the current sparse iteration, and the model values
+    /// read at exactly those coordinates.
+    support: Vec<usize>,
+    support_values: Vec<f64>,
+    sgrad: SparseGrad,
+    /// `(entry, gradient value)` of the nonzero entries to apply this
+    /// iteration.
+    writes: Vec<(usize, f64)>,
     /// Locally accumulated applied updates (Algorithm 2, line 8).
     acc: Vec<f64>,
     /// Completed iterations by this thread.
@@ -105,6 +136,9 @@ impl<O: GradientOracle> EpochSgdProcess<O> {
             phase: Phase::Claim,
             view: vec![0.0; d],
             grad: vec![0.0; d],
+            support: Vec::new(),
+            support_values: Vec::new(),
+            sgrad: SparseGrad::new(),
             writes: Vec::with_capacity(d),
             acc: vec![0.0; d],
             completed: 0,
@@ -115,6 +149,14 @@ impl<O: GradientOracle> EpochSgdProcess<O> {
     #[must_use]
     pub fn completed(&self) -> u64 {
         self.completed
+    }
+
+    /// Compresses the sparse gradient into the write list (zero entries are
+    /// dropped, matching the dense path's `g̃[j] ≠ 0` filter).
+    fn stage_sparse_writes(&mut self) {
+        self.writes.clear();
+        self.writes
+            .extend(self.sgrad.entries().iter().filter(|(_, g)| *g != 0.0));
     }
 }
 
@@ -145,7 +187,29 @@ impl<O: GradientOracle> Process for EpochSgdProcess<O> {
                         }
                         return Action::Halt;
                     }
-                    self.phase = Phase::Read { j: 0 };
+                    if self.cfg.sparse && self.oracle.sample_support(ctx.rng, &mut self.support) {
+                        // Sparse iteration: the support coin is drawn here,
+                        // then only the support's registers are read.
+                        self.support_values.clear();
+                        if self.support.is_empty() {
+                            // Degenerate empty support: finish the sample
+                            // (keeping the RNG schedule) and move on.
+                            self.oracle.gradient_on_support(
+                                &self.support,
+                                &self.support_values,
+                                ctx.rng,
+                                &mut self.sgrad,
+                            );
+                            self.stage_sparse_writes();
+                            self.phase = Phase::Compute;
+                            return Action::Local {
+                                tag: OpTag::SampleCoin,
+                            };
+                        }
+                        self.phase = Phase::ReadSupport { k: 0 };
+                    } else {
+                        self.phase = Phase::Read { j: 0 };
+                    }
                 }
                 Phase::Read { j } => {
                     self.phase = Phase::AwaitRead { j };
@@ -175,8 +239,49 @@ impl<O: GradientOracle> Process for EpochSgdProcess<O> {
                         self.oracle
                             .sample_gradient(&self.view, ctx.rng, &mut self.grad);
                         self.writes.clear();
-                        self.writes
-                            .extend((0..self.d).filter(|&j| self.grad[j] != 0.0));
+                        self.writes.extend(
+                            (0..self.d)
+                                .filter(|&j| self.grad[j] != 0.0)
+                                .map(|j| (j, self.grad[j])),
+                        );
+                        return Action::Local {
+                            tag: OpTag::SampleCoin,
+                        };
+                    }
+                }
+                Phase::ReadSupport { k } => {
+                    self.phase = Phase::AwaitReadSupport { k };
+                    let entry = self.support[k];
+                    return Action::Op {
+                        op: MemOp::ReadF64 {
+                            idx: self.cfg.model_base + entry,
+                        },
+                        tag: OpTag::ViewRead {
+                            entry,
+                            first: k == 0,
+                            last: k == self.support.len() - 1,
+                        },
+                    };
+                }
+                Phase::AwaitReadSupport { k } => {
+                    let value = ctx
+                        .last
+                        .expect("read result must be delivered")
+                        .unwrap_f64();
+                    self.support_values.push(value);
+                    if k + 1 < self.support.len() {
+                        self.phase = Phase::ReadSupport { k: k + 1 };
+                    } else {
+                        self.phase = Phase::Compute;
+                        // Remaining gradient coins (noise) are drawn at the
+                        // Local step, as on the dense path.
+                        self.oracle.gradient_on_support(
+                            &self.support,
+                            &self.support_values,
+                            ctx.rng,
+                            &mut self.sgrad,
+                        );
+                        self.stage_sparse_writes();
                         return Action::Local {
                             tag: OpTag::SampleCoin,
                         };
@@ -193,8 +298,8 @@ impl<O: GradientOracle> Process for EpochSgdProcess<O> {
                     self.phase = Phase::Write { k: 0 };
                 }
                 Phase::Write { k } => {
-                    let entry = self.writes[k];
-                    let delta = -self.cfg.alpha * self.grad[entry];
+                    let (entry, g) = self.writes[k];
+                    let delta = -self.cfg.alpha * g;
                     self.acc[entry] += delta;
                     self.phase = Phase::AwaitWrite { k };
                     return Action::Op {
@@ -244,10 +349,11 @@ impl<O: GradientOracle> Process for EpochSgdProcess<O> {
 
     fn describe(&self) -> String {
         format!(
-            "epoch-sgd(alpha={}, T={}, oracle={})",
+            "epoch-sgd(alpha={}, T={}, oracle={}{})",
             self.cfg.alpha,
             self.cfg.iterations,
-            self.oracle.name()
+            self.oracle.name(),
+            if self.cfg.sparse { ", sparse" } else { "" }
         )
     }
 }
@@ -386,6 +492,7 @@ mod tests {
                     counter_idx: 0,
                     model_base: 0,
                     acc_base: Some(2),
+                    sparse: false,
                 },
             )
         };
@@ -436,6 +543,108 @@ mod tests {
     fn rejects_bad_alpha() {
         let oracle = quad(1, 0.0);
         let _ = EpochSgdProcess::new(oracle, EpochSgdConfig::simple(-0.1, 10));
+    }
+
+    #[test]
+    fn sparse_mode_matches_sequential_on_serial_schedule() {
+        // Sparse ops + serial scheduler: thread 0 runs alone, drawing the
+        // coordinate coin, reading one register, drawing the noise — the
+        // same RNG schedule and arithmetic as the dense sequential loop, so
+        // the trajectory reproduces bit for bit.
+        use asgd_oracle::SparseQuadratic;
+        let d = 4;
+        let oracle = Arc::new(SparseQuadratic::uniform(d, 1.0, 0.5).unwrap());
+        let x0 = vec![1.0, -1.0, 0.5, 2.0];
+        let t = 200;
+        let alpha = 0.05;
+        let report = Engine::builder()
+            .memory(Memory::with_model(&x0, 1))
+            .process(EpochSgdProcess::new(
+                Arc::clone(&oracle),
+                EpochSgdConfig::simple(alpha, t).sparse(true),
+            ))
+            .process(EpochSgdProcess::new(
+                Arc::clone(&oracle),
+                EpochSgdConfig::simple(alpha, t).sparse(true),
+            ))
+            .scheduler(SerialScheduler::new())
+            .seed(31)
+            .build()
+            .run();
+        assert_eq!(report.stop, StopReason::AllDone);
+
+        let seq = asgd_math::rng::SeedSequence::new(31);
+        let mut rng = seq.child_rng(0);
+        let mut x = x0.clone();
+        let mut g = vec![0.0; d];
+        for _ in 0..t {
+            oracle.sample_gradient(&x, &mut rng, &mut g);
+            asgd_math::vec::axpy(&mut x, -alpha, &g);
+        }
+        for (j, &xj) in x.iter().enumerate() {
+            assert_eq!(
+                report.memory.float(j).to_bits(),
+                xj.to_bits(),
+                "entry {j}: simulated sparse {} vs sequential {}",
+                report.memory.float(j),
+                xj
+            );
+        }
+        assert_eq!(report.contention.iterations(), t);
+    }
+
+    #[test]
+    fn sparse_mode_declares_o_delta_ops_per_iteration() {
+        // Dense: d reads + 1 write per iteration; sparse: 1 read + 1 write.
+        // The step counts must reflect the d/Δ gap.
+        use asgd_oracle::SparseQuadratic;
+        let d = 32;
+        let oracle = Arc::new(SparseQuadratic::uniform(d, 1.0, 0.0).unwrap());
+        let steps = |sparse: bool| {
+            Engine::builder()
+                .memory(Memory::with_model(&vec![1.0; d], 1))
+                .process(EpochSgdProcess::new(
+                    Arc::clone(&oracle),
+                    EpochSgdConfig::simple(0.01, 50).sparse(sparse),
+                ))
+                .scheduler(SerialScheduler::new())
+                .seed(5)
+                .build()
+                .run()
+                .steps
+        };
+        let dense = steps(false);
+        let sparse = steps(true);
+        assert!(
+            sparse * 4 < dense,
+            "sparse ops must be far fewer: {sparse} vs dense {dense}"
+        );
+    }
+
+    #[test]
+    fn sparse_flag_is_inert_for_dense_oracles() {
+        // NoisyQuadratic has no two-phase decomposition: sparse(true) must
+        // leave the execution identical to the dense run, fingerprint
+        // included.
+        let oracle = quad(2, 0.4);
+        let fp = |sparse: bool| {
+            Engine::builder()
+                .memory(Memory::new(2, 1))
+                .process(EpochSgdProcess::new(
+                    Arc::clone(&oracle),
+                    EpochSgdConfig::simple(0.05, 40).sparse(sparse),
+                ))
+                .process(EpochSgdProcess::new(
+                    Arc::clone(&oracle),
+                    EpochSgdConfig::simple(0.05, 40).sparse(sparse),
+                ))
+                .scheduler(RandomScheduler::new(3))
+                .seed(7)
+                .build()
+                .run()
+                .fingerprint
+        };
+        assert_eq!(fp(false), fp(true));
     }
 
     #[test]

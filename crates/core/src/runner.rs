@@ -34,6 +34,7 @@ pub struct LockFreeSgd<O> {
     seed: u64,
     max_steps: Option<u64>,
     trace: TraceLevel,
+    sparse: bool,
 }
 
 /// Error constructing a simulated lock-free run from its builder.
@@ -67,6 +68,9 @@ impl std::error::Error for RunnerError {}
 /// Outcome of a simulated lock-free SGD run.
 #[derive(Debug)]
 pub struct LockFreeRun {
+    /// Whether the processes declared O(Δ) sparse ops (sparse mode was
+    /// requested *and* the oracle has the two-phase decomposition).
+    pub used_sparse: bool,
     /// First (1-based) ordered iteration `t` whose accumulator state `x_t`
     /// entered the success region (`None` if never, or if no region was set).
     pub hit_iteration: Option<u64>,
@@ -97,7 +101,17 @@ impl<O: GradientOracle + Clone + 'static> LockFreeSgd<O> {
             seed: 0,
             max_steps: None,
             trace: TraceLevel::Off,
+            sparse: false,
         }
+    }
+
+    /// Requests the O(Δ) sparse op pattern (effective only for oracles with
+    /// the two-phase sparse decomposition; others stay dense). Off by
+    /// default — the dense scan is the paper-faithful op sequence.
+    #[must_use]
+    pub fn sparse(mut self, sparse: bool) -> Self {
+        self.sparse = sparse;
+        self
     }
 
     /// Number of simulated threads `n ≥ 1`.
@@ -211,10 +225,18 @@ impl<O: GradientOracle + Clone + 'static> LockFreeSgd<O> {
         if let Some(steps) = self.max_steps {
             builder = builder.max_steps(steps);
         }
+        // Sparse mode only changes the op pattern when the oracle actually
+        // has the two-phase decomposition; probe once with a throwaway RNG
+        // so the report states what really happened.
+        let used_sparse = self.sparse && {
+            use rand::SeedableRng as _;
+            let mut probe = rand::rngs::StdRng::seed_from_u64(0);
+            self.oracle.sample_support(&mut probe, &mut Vec::new())
+        };
         for _ in 0..self.threads {
             builder = builder.process(EpochSgdProcess::new(
                 self.oracle.clone(),
-                EpochSgdConfig::simple(self.alpha, self.iterations),
+                EpochSgdConfig::simple(self.alpha, self.iterations).sparse(self.sparse),
             ));
         }
 
@@ -243,6 +265,7 @@ impl<O: GradientOracle + Clone + 'static> LockFreeSgd<O> {
             None => (None, final_dist_sq),
         };
         Ok(LockFreeRun {
+            used_sparse,
             hit_iteration,
             min_dist_sq,
             final_model,

@@ -6,19 +6,39 @@
 
 use crate::error::DriverError;
 use crate::report::{ContentionSummary, RunReport};
-use crate::spec::{BackendKind, RunSpec};
+use crate::spec::{BackendKind, ModelLayoutSpec, RunSpec, SparsePathSpec, UpdateOrderSpec};
 use asgd_core::full_sgd::{run_simulated, FullSgdConfig};
 use asgd_core::runner::LockFreeSgd;
 use asgd_core::sequential::SequentialSgd;
 use asgd_hogwild::{
-    GuardedEpochSgd, GuardedEpochSgdConfig, Hogwild, HogwildConfig, LockedSgd, NativeFullSgd,
-    NativeFullSgdConfig,
+    ExecTuning, GuardedEpochSgd, GuardedEpochSgdConfig, Hogwild, HogwildConfig, LockedSgd,
+    ModelLayout, NativeFullSgd, NativeFullSgdConfig, SparsePolicy, UpdateOrder,
 };
 use asgd_math::rng::SeedSequence;
 use asgd_oracle::GradientOracle;
 use asgd_shmem::StopReason;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Maps the spec-level tuning knobs onto the native executors' [`ExecTuning`].
+fn native_tuning(spec: &RunSpec) -> ExecTuning {
+    ExecTuning {
+        layout: match spec.layout {
+            ModelLayoutSpec::Compact => ModelLayout::Compact,
+            ModelLayoutSpec::Padded => ModelLayout::Padded,
+        },
+        order: match spec.order {
+            UpdateOrderSpec::SeqCst => UpdateOrder::SeqCst,
+            UpdateOrderSpec::Relaxed => UpdateOrder::Relaxed,
+        },
+        sparse: match spec.sparse {
+            SparsePathSpec::Auto => SparsePolicy::Auto,
+            SparsePathSpec::Dense => SparsePolicy::ForceDense,
+            SparsePathSpec::Sparse => SparsePolicy::ForceSparse,
+        },
+        ..ExecTuning::default()
+    }
+}
 
 /// An execution model that can run a [`RunSpec`].
 pub trait Backend {
@@ -203,6 +223,7 @@ impl Backend for SequentialBackend {
             stop: None,
             contention: None,
             stale_rejected: None,
+            sparse_path: None,
         })
     }
 }
@@ -221,7 +242,10 @@ impl SimulatedLockFreeBackend {
             .learning_rate(alpha)
             .initial_point(x0)
             .scheduler(spec.scheduler.build())
-            .seed(spec.seed);
+            .seed(spec.seed)
+            // The dense op scan is the paper-faithful sequence; sparse ops
+            // are an explicit opt-in for the simulator.
+            .sparse(matches!(spec.sparse, SparsePathSpec::Sparse));
         if let Some(eps) = spec.success_radius_sq {
             builder = builder.success_radius_sq(eps);
         }
@@ -247,6 +271,7 @@ impl SimulatedLockFreeBackend {
             stop: Some(stop_label(run.execution.stop)),
             contention: Some(ContentionSummary::from_report(&run.execution.contention)),
             stale_rejected: None,
+            sparse_path: Some(run.used_sparse),
         };
         Ok((report, run))
     }
@@ -304,6 +329,7 @@ impl Backend for SimulatedFullSgdBackend {
             stop: Some(stop_label(report.execution.stop)),
             contention: Some(ContentionSummary::from_report(&report.execution.contention)),
             stale_rejected: None,
+            sparse_path: None,
         })
     }
 }
@@ -328,6 +354,7 @@ impl Backend for HogwildBackend {
                 success_radius_sq: spec.success_radius_sq,
             },
         )
+        .tuning(native_tuning(spec))
         .run(&x0);
         Ok(RunReport {
             backend: self.name().to_string(),
@@ -345,6 +372,7 @@ impl Backend for HogwildBackend {
             stop: None,
             contention: None,
             stale_rejected: None,
+            sparse_path: Some(report.used_sparse),
         })
     }
 }
@@ -359,8 +387,9 @@ impl Backend for LockedBackend {
     fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
         let alpha = spec.step.constant_alpha(self.kind())?;
         let (oracle, x0) = oracle_and_x0(spec)?;
-        let report =
-            LockedSgd::new(oracle, spec.threads, spec.iterations, alpha, spec.seed).run(&x0);
+        let report = LockedSgd::new(oracle, spec.threads, spec.iterations, alpha, spec.seed)
+            .tuning(native_tuning(spec))
+            .run(&x0);
         Ok(RunReport {
             backend: self.name().to_string(),
             oracle: spec.oracle.kind.clone(),
@@ -377,6 +406,7 @@ impl Backend for LockedBackend {
             stop: None,
             contention: None,
             stale_rejected: None,
+            sparse_path: Some(report.used_sparse),
         })
     }
 }
@@ -406,6 +436,7 @@ impl Backend for GuardedEpochBackend {
                 success_radius_sq: spec.success_radius_sq,
             },
         )
+        .tuning(native_tuning(spec))
         .run(&x0);
         Ok(RunReport {
             backend: self.name().to_string(),
@@ -423,6 +454,7 @@ impl Backend for GuardedEpochBackend {
             stop: None,
             contention: None,
             stale_rejected: Some(report.stale_rejected),
+            sparse_path: Some(report.used_sparse),
         })
     }
 }
@@ -447,6 +479,7 @@ impl Backend for NativeFullSgdBackend {
                 seed: spec.seed,
             },
         )
+        .tuning(native_tuning(spec))
         .run(&x0);
         Ok(RunReport {
             backend: self.name().to_string(),
@@ -464,6 +497,7 @@ impl Backend for NativeFullSgdBackend {
             stop: None,
             contention: None,
             stale_rejected: None,
+            sparse_path: Some(report.used_sparse),
         })
     }
 }
@@ -585,6 +619,53 @@ mod tests {
             let report = run_spec(&spec.clone().backend(kind)).unwrap();
             assert_eq!(report.iterations, 99, "{kind}");
         }
+    }
+
+    #[test]
+    fn sparse_knob_reaches_every_concurrent_backend() {
+        use crate::spec::SparsePathSpec;
+        let base = RunSpec::new(
+            OracleSpec::new("sparse-quadratic", 16).sigma(0.0),
+            BackendKind::Hogwild,
+        )
+        .threads(2)
+        .iterations(600)
+        .learning_rate(0.01)
+        .x0(vec![1.0; 16])
+        .seed(5);
+        // Constant-step native backends + the simulator honour the forced
+        // paths and report which one ran.
+        for kind in [
+            BackendKind::Hogwild,
+            BackendKind::Locked,
+            BackendKind::SimulatedLockFree,
+        ] {
+            let dense = run_spec(&base.clone().backend(kind).sparse(SparsePathSpec::Dense))
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(dense.sparse_path, Some(false), "{kind}");
+            let sparse = run_spec(&base.clone().backend(kind).sparse(SparsePathSpec::Sparse))
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(sparse.sparse_path, Some(true), "{kind}");
+        }
+        for kind in [BackendKind::GuardedEpoch, BackendKind::NativeFullSgd] {
+            let report = run_spec(&base.clone().backend(kind).sparse(SparsePathSpec::Sparse))
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(report.sparse_path, Some(true), "{kind}");
+        }
+        // Sequential has no dense/sparse distinction.
+        let seq = run_spec(&base.clone().backend(BackendKind::Sequential)).unwrap();
+        assert_eq!(seq.sparse_path, None);
+    }
+
+    #[test]
+    fn layout_and_order_knobs_run_on_native_backends() {
+        use crate::spec::{ModelLayoutSpec, UpdateOrderSpec};
+        let spec = base_spec()
+            .backend(BackendKind::Hogwild)
+            .layout(ModelLayoutSpec::Padded)
+            .order(UpdateOrderSpec::Relaxed);
+        let report = run_spec(&spec).unwrap();
+        assert!(report.final_dist_sq < 0.5, "dist² {}", report.final_dist_sq);
     }
 
     #[test]

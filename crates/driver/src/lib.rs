@@ -58,4 +58,6 @@ pub mod spec;
 pub use backend::{backend, run_simulated_lockfree_detailed, run_spec, Backend};
 pub use error::DriverError;
 pub use report::{ContentionSummary, DecodeError, RunReport};
-pub use spec::{BackendKind, RunSpec, SchedulerSpec, StepSize};
+pub use spec::{
+    BackendKind, ModelLayoutSpec, RunSpec, SchedulerSpec, SparsePathSpec, StepSize, UpdateOrderSpec,
+};

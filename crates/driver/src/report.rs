@@ -104,6 +104,9 @@ pub struct RunReport {
     pub contention: Option<ContentionSummary>,
     /// Updates dropped by the epoch guard (guarded-epoch backend only).
     pub stale_rejected: Option<u64>,
+    /// Whether the run took the O(Δ) sparse gradient path (`None` for
+    /// backends without the dense/sparse distinction, e.g. sequential).
+    pub sparse_path: Option<bool>,
 }
 
 impl RunReport {
@@ -148,6 +151,7 @@ impl RunReport {
                 "stale_rejected",
                 Value::opt(self.stale_rejected.map(Value::U64)),
             ),
+            ("sparse_path", Value::opt(self.sparse_path.map(Value::Bool))),
         ])
     }
 
@@ -209,6 +213,7 @@ impl RunReport {
             stale_rejected: opt_field(v, "stale_rejected", |f| {
                 f.as_u64().ok_or("expected integer")
             })?,
+            sparse_path: opt_field(v, "sparse_path", |f| f.as_bool().ok_or("expected bool"))?,
         })
     }
 }
@@ -330,6 +335,7 @@ mod tests {
                 lemma_6_4_holds: true,
             }),
             stale_rejected: None,
+            sparse_path: Some(false),
         }
     }
 
@@ -352,6 +358,7 @@ mod tests {
             stop: None,
             contention: None,
             stale_rejected: None,
+            sparse_path: None,
             ..sample()
         };
         assert_eq!(RunReport::from_json(&report.to_json()).unwrap(), report);

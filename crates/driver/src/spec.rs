@@ -95,6 +95,124 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
+/// Shared-model memory layout for the native backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ModelLayoutSpec {
+    /// Entries packed contiguously — the default.
+    #[default]
+    Compact,
+    /// One entry per 64-byte cache line (kills false sharing at small d).
+    Padded,
+}
+
+impl ModelLayoutSpec {
+    /// Canonical CLI/JSON name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Compact => "compact",
+            Self::Padded => "padded",
+        }
+    }
+}
+
+impl std::str::FromStr for ModelLayoutSpec {
+    type Err = DriverError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "compact" => Ok(Self::Compact),
+            "padded" => Ok(Self::Padded),
+            other => Err(DriverError::InvalidSpec(format!(
+                "unknown layout `{other}` (known: compact, padded)"
+            ))),
+        }
+    }
+}
+
+/// Memory ordering of the native shared model's reads and `fetch&add`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum UpdateOrderSpec {
+    /// Sequentially consistent — the §2 model, paper-faithful. The default.
+    #[default]
+    SeqCst,
+    /// Relaxed loads / AcqRel CAS: same per-entry atomicity and update
+    /// conservation, no total order across entries.
+    Relaxed,
+}
+
+impl UpdateOrderSpec {
+    /// Canonical CLI/JSON name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::SeqCst => "seqcst",
+            Self::Relaxed => "relaxed",
+        }
+    }
+}
+
+impl std::str::FromStr for UpdateOrderSpec {
+    type Err = DriverError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "seqcst" => Ok(Self::SeqCst),
+            "relaxed" => Ok(Self::Relaxed),
+            other => Err(DriverError::InvalidSpec(format!(
+                "unknown order `{other}` (known: seqcst, relaxed)"
+            ))),
+        }
+    }
+}
+
+/// Dense-vs-sparse gradient path selection.
+///
+/// Native backends interpret `Auto` as "sparse iff the oracle's support
+/// bound Δ satisfies 4·Δ ≤ d". The simulated lock-free backend treats the
+/// dense op scan as paper-faithful and only declares sparse ops under
+/// `Sparse` (for oracles with the two-phase decomposition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SparsePathSpec {
+    /// Let each backend pick (native: by Δ vs d; simulated: dense).
+    #[default]
+    Auto,
+    /// Force the dense O(d) path everywhere.
+    Dense,
+    /// Force the O(Δ) path wherever the oracle supports it.
+    Sparse,
+}
+
+impl SparsePathSpec {
+    /// Canonical CLI/JSON name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Dense => "dense",
+            Self::Sparse => "sparse",
+        }
+    }
+}
+
+impl std::str::FromStr for SparsePathSpec {
+    type Err = DriverError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Self::Auto),
+            "dense" => Ok(Self::Dense),
+            "sparse" => Ok(Self::Sparse),
+            other => Err(DriverError::InvalidSpec(format!(
+                "unknown sparse path `{other}` (known: auto, dense, sparse)"
+            ))),
+        }
+    }
+}
+
 /// Step-size schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -276,6 +394,14 @@ pub struct RunSpec {
     pub scheduler: SchedulerSpec,
     /// Step cap for simulated backends (needed with starving adversaries).
     pub max_steps: Option<u64>,
+    /// Shared-model layout for native backends (simulated registers have no
+    /// cache lines; ignored there).
+    pub layout: ModelLayoutSpec,
+    /// Memory ordering for native backends (the simulator is sequentially
+    /// consistent by construction; ignored there).
+    pub order: UpdateOrderSpec,
+    /// Dense-vs-sparse gradient path.
+    pub sparse: SparsePathSpec,
 }
 
 impl RunSpec {
@@ -294,6 +420,9 @@ impl RunSpec {
             seed: 0,
             scheduler: SchedulerSpec::RoundRobin,
             max_steps: None,
+            layout: ModelLayoutSpec::Compact,
+            order: UpdateOrderSpec::SeqCst,
+            sparse: SparsePathSpec::Auto,
         }
     }
 
@@ -371,6 +500,27 @@ impl RunSpec {
         self
     }
 
+    /// Selects the native shared-model layout.
+    #[must_use]
+    pub fn layout(mut self, layout: ModelLayoutSpec) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Selects the native memory ordering.
+    #[must_use]
+    pub fn order(mut self, order: UpdateOrderSpec) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Selects the dense-vs-sparse gradient path.
+    #[must_use]
+    pub fn sparse(mut self, sparse: SparsePathSpec) -> Self {
+        self.sparse = sparse;
+        self
+    }
+
     /// Executes the spec on its backend.
     ///
     /// # Errors
@@ -412,6 +562,41 @@ mod tests {
         }
         assert!("random".parse::<SchedulerSpec>().is_err(), "missing seed");
         assert!("bogus".parse::<SchedulerSpec>().is_err());
+    }
+
+    #[test]
+    fn tuning_labels_parse_back() {
+        for layout in [ModelLayoutSpec::Compact, ModelLayoutSpec::Padded] {
+            assert_eq!(layout.label().parse::<ModelLayoutSpec>().unwrap(), layout);
+        }
+        for order in [UpdateOrderSpec::SeqCst, UpdateOrderSpec::Relaxed] {
+            assert_eq!(order.label().parse::<UpdateOrderSpec>().unwrap(), order);
+        }
+        for sparse in [
+            SparsePathSpec::Auto,
+            SparsePathSpec::Dense,
+            SparsePathSpec::Sparse,
+        ] {
+            assert_eq!(sparse.label().parse::<SparsePathSpec>().unwrap(), sparse);
+        }
+        assert!("banana".parse::<ModelLayoutSpec>().is_err());
+        assert!("banana".parse::<UpdateOrderSpec>().is_err());
+        assert!("banana".parse::<SparsePathSpec>().is_err());
+    }
+
+    #[test]
+    fn tuning_builders_apply_and_default_is_paper_faithful() {
+        let spec = RunSpec::new(OracleSpec::new("noisy-quadratic", 2), BackendKind::Hogwild);
+        assert_eq!(spec.layout, ModelLayoutSpec::Compact);
+        assert_eq!(spec.order, UpdateOrderSpec::SeqCst);
+        assert_eq!(spec.sparse, SparsePathSpec::Auto);
+        let spec = spec
+            .layout(ModelLayoutSpec::Padded)
+            .order(UpdateOrderSpec::Relaxed)
+            .sparse(SparsePathSpec::Sparse);
+        assert_eq!(spec.layout, ModelLayoutSpec::Padded);
+        assert_eq!(spec.order, UpdateOrderSpec::Relaxed);
+        assert_eq!(spec.sparse, SparsePathSpec::Sparse);
     }
 
     #[test]

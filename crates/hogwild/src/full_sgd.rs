@@ -8,8 +8,9 @@
 //! The result is `r = snapshot + Σᵢ Acc[i]` (Algorithm 2, line 9).
 
 use crate::model::SharedModel;
+use crate::tuning::ExecTuning;
 use asgd_math::rng::SeedSequence;
-use asgd_oracle::GradientOracle;
+use asgd_oracle::{GradientOracle, SparseGrad};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -41,6 +42,8 @@ pub struct NativeFullSgdReport {
     pub elapsed: Duration,
     /// Total epochs executed.
     pub epochs: usize,
+    /// Whether the run took the O(Δ) sparse gradient path.
+    pub used_sparse: bool,
 }
 
 /// The native Algorithm-2 executor.
@@ -48,6 +51,7 @@ pub struct NativeFullSgdReport {
 pub struct NativeFullSgd<O> {
     oracle: O,
     cfg: NativeFullSgdConfig,
+    tuning: ExecTuning,
 }
 
 const GUARD_UNINIT: u64 = 0;
@@ -55,7 +59,7 @@ const GUARD_BUSY: u64 = 1;
 const GUARD_READY: u64 = 2;
 
 impl<O: GradientOracle> NativeFullSgd<O> {
-    /// Creates the executor.
+    /// Creates the executor with default [`ExecTuning`].
     ///
     /// # Panics
     ///
@@ -67,7 +71,18 @@ impl<O: GradientOracle> NativeFullSgd<O> {
             cfg.alpha0.is_finite() && cfg.alpha0 > 0.0,
             "alpha0 must be positive"
         );
-        Self { oracle, cfg }
+        Self {
+            oracle,
+            cfg,
+            tuning: ExecTuning::default(),
+        }
+    }
+
+    /// Overrides the execution tuning (layout, ordering, sparse policy).
+    #[must_use]
+    pub fn tuning(mut self, tuning: ExecTuning) -> Self {
+        self.tuning = tuning;
+        self
     }
 
     /// Runs Algorithm 2 to completion.
@@ -81,19 +96,20 @@ impl<O: GradientOracle> NativeFullSgd<O> {
         assert_eq!(x0.len(), d, "x0 dimension mismatch");
         let total_epochs = self.cfg.halving_epochs + 1;
 
+        let (layout, order) = (self.tuning.layout, self.tuning.order);
         // Per-epoch models; epoch 0 seeded with x₀, later epochs zeroed
         // until their init winner copies the predecessor in.
         let models: Vec<SharedModel> = (0..total_epochs)
             .map(|e| {
                 if e == 0 {
-                    SharedModel::new(x0)
+                    SharedModel::with_options(x0, layout, order)
                 } else {
-                    SharedModel::zeros(d)
+                    SharedModel::zeros_with(d, layout, order)
                 }
             })
             .collect();
-        let snapshot = SharedModel::zeros(d);
-        let acc = SharedModel::zeros(d);
+        let snapshot = SharedModel::zeros_with(d, layout, order);
+        let acc = SharedModel::zeros_with(d, layout, order);
         let counters: Vec<AtomicU64> = (0..total_epochs).map(|_| AtomicU64::new(0)).collect();
         let guards: Vec<AtomicU64> = (0..total_epochs)
             .map(|e| AtomicU64::new(if e == 0 { GUARD_READY } else { GUARD_UNINIT }))
@@ -106,6 +122,8 @@ impl<O: GradientOracle> NativeFullSgd<O> {
             }
         }
         let seeds = SeedSequence::new(self.cfg.seed);
+        let use_sparse = self.tuning.sparse.use_sparse(d, self.oracle.max_support());
+        let grad_cap = self.oracle.max_support().unwrap_or(1);
 
         let start = Instant::now();
         std::thread::scope(|scope| {
@@ -119,8 +137,9 @@ impl<O: GradientOracle> NativeFullSgd<O> {
                 let cfg = self.cfg;
                 let mut rng = seeds.child_rng(tid as u64);
                 scope.spawn(move || {
-                    let mut view = vec![0.0; d];
-                    let mut grad = vec![0.0; d];
+                    let mut view = if use_sparse { Vec::new() } else { vec![0.0; d] };
+                    let mut grad = if use_sparse { Vec::new() } else { vec![0.0; d] };
+                    let mut sgrad = SparseGrad::with_capacity(grad_cap);
                     let mut local_acc = vec![0.0; d];
                     for epoch in 0..total_epochs {
                         let is_final = epoch + 1 == total_epochs;
@@ -164,14 +183,29 @@ impl<O: GradientOracle> NativeFullSgd<O> {
                             {
                                 break;
                             }
-                            model.read_view(&mut view);
-                            oracle.sample_gradient(&view, &mut rng, &mut grad);
-                            for (j, &gj) in grad.iter().enumerate() {
-                                if gj != 0.0 {
-                                    let delta = -alpha * gj;
-                                    model.fetch_add(j, delta);
-                                    if is_final {
-                                        local_acc[j] += delta;
+                            if use_sparse {
+                                // O(Δ): per-entry reads of the gradient's
+                                // support, no full view materialisation.
+                                oracle.sample_gradient_sparse(model, &mut rng, &mut sgrad);
+                                for &(j, gj) in sgrad.entries() {
+                                    if gj != 0.0 {
+                                        let delta = -alpha * gj;
+                                        model.fetch_add(j, delta);
+                                        if is_final {
+                                            local_acc[j] += delta;
+                                        }
+                                    }
+                                }
+                            } else {
+                                model.read_view(&mut view);
+                                oracle.sample_gradient(&view, &mut rng, &mut grad);
+                                for (j, &gj) in grad.iter().enumerate() {
+                                    if gj != 0.0 {
+                                        let delta = -alpha * gj;
+                                        model.fetch_add(j, delta);
+                                        if is_final {
+                                            local_acc[j] += delta;
+                                        }
                                     }
                                 }
                             }
@@ -200,6 +234,7 @@ impl<O: GradientOracle> NativeFullSgd<O> {
             dist_to_opt,
             elapsed,
             epochs: total_epochs,
+            used_sparse: use_sparse,
         }
     }
 }
@@ -307,6 +342,33 @@ mod tests {
         .run(&[2.0, -2.0, 2.0, -2.0]);
         assert!(report.dist_to_opt < 0.5, "dist {}", report.dist_to_opt);
         assert!(report.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn sparse_path_still_reconstructs_r() {
+        // The r = snapshot + ΣAcc identity must hold on the O(Δ) path too:
+        // local accumulation sees exactly the applied deltas either way.
+        let oracle = Arc::new(asgd_oracle::SparseQuadratic::uniform(8, 1.0, 0.2).unwrap());
+        let report = NativeFullSgd::new(
+            oracle,
+            NativeFullSgdConfig {
+                alpha0: 0.05,
+                epoch_iterations: 800,
+                halving_epochs: 2,
+                threads: 4,
+                seed: 9,
+            },
+        )
+        .run(&[1.0; 8]);
+        assert!(report.used_sparse, "Auto selects sparse at Δ=1,d=8");
+        for j in 0..8 {
+            assert!(
+                (report.r[j] - report.final_model[j]).abs() < 1e-9,
+                "entry {j}: r={} model={}",
+                report.r[j],
+                report.final_model[j]
+            );
+        }
     }
 
     #[test]

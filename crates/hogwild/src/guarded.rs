@@ -10,6 +10,8 @@
 //! sanctioned mechanism (distinct model per epoch, full `f64`), and this
 //! type exists to demonstrate and test the guard semantics at the op level.
 
+use crate::tuning::ExecTuning;
+use asgd_oracle::{ModelView, SparseGrad};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Error returned when an update is rejected because its epoch tag does not
@@ -155,6 +157,19 @@ impl GuardedModel {
     }
 }
 
+/// Per-entry reads for sparse oracles: one atomic load per call, widening
+/// the guard's `f32` storage back to `f64` (epoch tags discarded — the
+/// guard is enforced on the *write* side).
+impl ModelView for GuardedModel {
+    fn dimension(&self) -> usize {
+        self.dimension()
+    }
+
+    fn entry(&self, j: usize) -> f64 {
+        f64::from(self.read(j).1)
+    }
+}
+
 /// Configuration of a [`GuardedEpochSgd`] run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GuardedEpochSgdConfig {
@@ -188,10 +203,13 @@ pub struct GuardedEpochSgdReport {
     /// threads still finishing an epoch after its entries advanced).
     pub stale_rejected: u64,
     /// Smallest global claim index whose view was inside the success region,
-    /// if tracking was enabled and any view qualified.
+    /// if tracking was enabled and any view qualified (sampled every
+    /// [`ExecTuning::success_check_stride`] claims on the sparse path).
     pub first_success_claim: Option<u64>,
     /// Wall-clock duration of the parallel section.
     pub elapsed: std::time::Duration,
+    /// Whether the run took the O(Δ) sparse gradient path.
+    pub used_sparse: bool,
 }
 
 /// SGD on a [`GuardedModel`]: Algorithm 2's epoch structure enforced at the
@@ -205,10 +223,12 @@ pub struct GuardedEpochSgdReport {
 pub struct GuardedEpochSgd<O> {
     oracle: O,
     cfg: GuardedEpochSgdConfig,
+    tuning: ExecTuning,
 }
 
 impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
-    /// Creates the executor.
+    /// Creates the executor with default [`ExecTuning`] (the guard packs its
+    /// own words, so only the sparse-path knobs apply here).
     ///
     /// # Panics
     ///
@@ -220,7 +240,19 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
             cfg.alpha0.is_finite() && cfg.alpha0 > 0.0,
             "alpha0 must be positive"
         );
-        Self { oracle, cfg }
+        Self {
+            oracle,
+            cfg,
+            tuning: ExecTuning::default(),
+        }
+    }
+
+    /// Overrides the execution tuning (sparse policy and check stride; the
+    /// layout/ordering knobs do not apply to the packed guard words).
+    #[must_use]
+    pub fn tuning(mut self, tuning: ExecTuning) -> Self {
+        self.tuning = tuning;
+        self
     }
 
     /// Runs to completion.
@@ -257,6 +289,11 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
         let stale = AtomicU64::new(0);
         let first_success = AtomicU64::new(u64::MAX);
         let seeds = asgd_math::rng::SeedSequence::new(self.cfg.seed);
+        let use_sparse = self.tuning.sparse.use_sparse(d, self.oracle.max_support());
+        let stride = self.tuning.stride();
+        let grad_cap = self.oracle.max_support().unwrap_or(1);
+        // Loop-invariant: resolve the minimizer virtual call once.
+        let minimizer = self.oracle.minimizer();
 
         let start = std::time::Instant::now();
         std::thread::scope(|scope| {
@@ -273,7 +310,8 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
                 let mut rng = seeds.child_rng(tid as u64);
                 scope.spawn(move || {
                     let mut view = vec![0.0; d];
-                    let mut grad = vec![0.0; d];
+                    let mut grad = if use_sparse { Vec::new() } else { vec![0.0; d] };
+                    let mut sgrad = SparseGrad::with_capacity(grad_cap);
                     for epoch in 0..epochs {
                         // Transition protocol: one thread advances every
                         // entry's epoch tag, the rest wait until done.
@@ -305,22 +343,49 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
                             if claim >= budgets[epoch] {
                                 break;
                             }
-                            for (j, v) in view.iter_mut().enumerate() {
-                                *v = f64::from(model.read(j).1);
-                            }
-                            if let Some(eps) = cfg.success_radius_sq {
-                                let dist_sq = asgd_math::vec::l2_dist_sq(&view, oracle.minimizer());
-                                if dist_sq <= eps {
-                                    first_success
-                                        .fetch_min(offsets[epoch] + claim, Ordering::SeqCst);
+                            if use_sparse {
+                                // O(Δ) path: sampled success check, per-
+                                // entry reads of just the support.
+                                if let Some(eps) = cfg.success_radius_sq {
+                                    if claim.is_multiple_of(stride) {
+                                        for (j, v) in view.iter_mut().enumerate() {
+                                            *v = f64::from(model.read(j).1);
+                                        }
+                                        if asgd_math::vec::l2_dist_sq(&view, minimizer) <= eps {
+                                            first_success.fetch_min(
+                                                offsets[epoch] + claim,
+                                                Ordering::SeqCst,
+                                            );
+                                        }
+                                    }
                                 }
-                            }
-                            oracle.sample_gradient(&view, &mut rng, &mut grad);
-                            for (j, &gj) in grad.iter().enumerate() {
-                                if gj != 0.0 {
-                                    let delta = (-alpha * gj) as f32;
-                                    if model.guarded_add(j, epoch as u32, delta).is_err() {
-                                        stale.fetch_add(1, Ordering::SeqCst);
+                                oracle.sample_gradient_sparse(model, &mut rng, &mut sgrad);
+                                for &(j, gj) in sgrad.entries() {
+                                    if gj != 0.0 {
+                                        let delta = (-alpha * gj) as f32;
+                                        if model.guarded_add(j, epoch as u32, delta).is_err() {
+                                            stale.fetch_add(1, Ordering::SeqCst);
+                                        }
+                                    }
+                                }
+                            } else {
+                                for (j, v) in view.iter_mut().enumerate() {
+                                    *v = f64::from(model.read(j).1);
+                                }
+                                if let Some(eps) = cfg.success_radius_sq {
+                                    let dist_sq = asgd_math::vec::l2_dist_sq(&view, minimizer);
+                                    if dist_sq <= eps {
+                                        first_success
+                                            .fetch_min(offsets[epoch] + claim, Ordering::SeqCst);
+                                    }
+                                }
+                                oracle.sample_gradient(&view, &mut rng, &mut grad);
+                                for (j, &gj) in grad.iter().enumerate() {
+                                    if gj != 0.0 {
+                                        let delta = (-alpha * gj) as f32;
+                                        if model.guarded_add(j, epoch as u32, delta).is_err() {
+                                            stale.fetch_add(1, Ordering::SeqCst);
+                                        }
                                     }
                                 }
                             }
@@ -346,6 +411,7 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
             stale_rejected: stale.load(Ordering::SeqCst),
             first_success_claim: (hit != u64::MAX).then_some(hit),
             elapsed,
+            used_sparse: use_sparse,
         }
     }
 }
@@ -478,6 +544,58 @@ mod tests {
             "got {} expected ≈ {expected} (f32 rounding)",
             report.final_model[0]
         );
+    }
+
+    #[test]
+    fn guarded_epoch_sgd_sparse_path_converges_and_is_exact_single_thread() {
+        // 1-thread, sparse path: guard drops nothing, and the O(Δ) loop
+        // applies the same f32-narrowed updates the dense loop would.
+        let oracle = Arc::new(asgd_oracle::SparseQuadratic::uniform(8, 1.0, 0.0).unwrap());
+        let run = |sparse| {
+            GuardedEpochSgd::new(
+                Arc::clone(&oracle),
+                GuardedEpochSgdConfig {
+                    threads: 1,
+                    iterations: 4_000,
+                    alpha0: 0.05,
+                    halving_epochs: 1,
+                    seed: 11,
+                    success_radius_sq: None,
+                },
+            )
+            .tuning(crate::tuning::ExecTuning {
+                sparse,
+                ..crate::tuning::ExecTuning::default()
+            })
+            .run(&[1.0; 8])
+        };
+        let dense = run(crate::tuning::SparsePolicy::ForceDense);
+        let sparse = run(crate::tuning::SparsePolicy::ForceSparse);
+        assert!(!dense.used_sparse);
+        assert!(sparse.used_sparse);
+        assert_eq!(sparse.stale_rejected, 0);
+        for (j, (a, b)) in dense
+            .final_model
+            .iter()
+            .zip(&sparse.final_model)
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "entry {j}");
+        }
+        assert!(
+            sparse.final_dist_sq < 0.05,
+            "dist² {}",
+            sparse.final_dist_sq
+        );
+    }
+
+    #[test]
+    fn guarded_model_is_a_model_view() {
+        let m = GuardedModel::new(&[1.5, -2.5]);
+        let view: &dyn asgd_oracle::ModelView = &m;
+        assert_eq!(view.dimension(), 2);
+        assert_eq!(view.entry(0), 1.5);
+        assert_eq!(view.entry(1), -2.5);
     }
 
     #[test]

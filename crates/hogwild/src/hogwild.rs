@@ -1,8 +1,9 @@
 //! The native lock-free executor — Algorithm 1 on OS threads.
 
 use crate::model::SharedModel;
+use crate::tuning::ExecTuning;
 use asgd_math::rng::SeedSequence;
-use asgd_oracle::GradientOracle;
+use asgd_oracle::{GradientOracle, SparseGrad};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -35,10 +36,14 @@ pub struct HogwildReport {
     /// Per-thread completed iteration counts (sums to `iterations`).
     pub per_thread_iterations: Vec<u64>,
     /// Smallest claim index whose view was inside the success region, if
-    /// tracking was enabled and any view qualified.
+    /// tracking was enabled and any view qualified. On the sparse path the
+    /// check is *sampled* (every [`ExecTuning::success_check_stride`]
+    /// claims), so this is an upper bound on the first qualifying claim.
     pub first_success_claim: Option<u64>,
     /// Wall-clock duration of the parallel section.
     pub elapsed: Duration,
+    /// Whether the run took the O(Δ) sparse gradient path.
+    pub used_sparse: bool,
 }
 
 impl HogwildReport {
@@ -59,14 +64,22 @@ impl HogwildReport {
 /// each thread loops: claim a slot via `fetch&add` on the iteration counter,
 /// read an (inconsistent) view, sample a gradient, apply nonzero entries via
 /// per-entry `fetch&add`. No locks, no barriers.
+///
+/// For Δ-sparse oracles ([`GradientOracle::max_support`]) the hot loop takes
+/// the O(Δ) path: no full view scan, per-entry atomic reads of just the
+/// gradient's support, Δ `fetch&add`s — the d/Δ cost factor the paper's
+/// sparsity parameterisation promises. [`Hogwild::tuning`] selects the path
+/// and the shared model's layout/ordering.
 #[derive(Debug)]
 pub struct Hogwild<O> {
     oracle: O,
     cfg: HogwildConfig,
+    tuning: ExecTuning,
 }
 
 impl<O: GradientOracle> Hogwild<O> {
-    /// Creates the executor.
+    /// Creates the executor with default [`ExecTuning`] (paper-faithful
+    /// ordering, compact layout, automatic sparse-path selection).
     ///
     /// # Panics
     ///
@@ -78,7 +91,18 @@ impl<O: GradientOracle> Hogwild<O> {
             cfg.alpha.is_finite() && cfg.alpha > 0.0,
             "alpha must be positive"
         );
-        Self { oracle, cfg }
+        Self {
+            oracle,
+            cfg,
+            tuning: ExecTuning::default(),
+        }
+    }
+
+    /// Overrides the execution tuning (layout, ordering, sparse policy).
+    #[must_use]
+    pub fn tuning(mut self, tuning: ExecTuning) -> Self {
+        self.tuning = tuning;
+        self
     }
 
     /// Runs Algorithm 1 to completion and reports.
@@ -90,11 +114,17 @@ impl<O: GradientOracle> Hogwild<O> {
     pub fn run(&self, x0: &[f64]) -> HogwildReport {
         let d = self.oracle.dimension();
         assert_eq!(x0.len(), d, "x0 dimension mismatch");
-        let model = SharedModel::new(x0);
+        let model = SharedModel::with_options(x0, self.tuning.layout, self.tuning.order);
         let counter = AtomicU64::new(0);
         let first_success = AtomicU64::new(u64::MAX);
         let seeds = SeedSequence::new(self.cfg.seed);
         let mut per_thread = vec![0u64; self.cfg.threads];
+        let use_sparse = self.tuning.sparse.use_sparse(d, self.oracle.max_support());
+        let stride = self.tuning.stride();
+        // The minimizer slice and the gradient capacity are loop-invariant;
+        // resolve the virtual calls once, outside the claim loop.
+        let minimizer = self.oracle.minimizer();
+        let grad_cap = self.oracle.max_support().unwrap_or(1);
 
         let start = Instant::now();
         std::thread::scope(|scope| {
@@ -107,28 +137,60 @@ impl<O: GradientOracle> Hogwild<O> {
                     let cfg = self.cfg;
                     let mut rng = seeds.child_rng(tid as u64);
                     scope.spawn(move || {
-                        let mut view = vec![0.0; d];
-                        let mut grad = vec![0.0; d];
                         let mut done = 0u64;
-                        loop {
-                            let claim = counter.fetch_add(1, Ordering::SeqCst);
-                            if claim >= cfg.iterations {
-                                return done;
-                            }
-                            model.read_view(&mut view);
-                            if let Some(eps) = cfg.success_radius_sq {
-                                let dist_sq = asgd_math::vec::l2_dist_sq(&view, oracle.minimizer());
-                                if dist_sq <= eps {
-                                    first_success.fetch_min(claim, Ordering::SeqCst);
+                        if use_sparse {
+                            let mut grad = SparseGrad::with_capacity(grad_cap);
+                            // Full-view scratch only needed for the sampled
+                            // success check.
+                            let mut view = if cfg.success_radius_sq.is_some() {
+                                vec![0.0; d]
+                            } else {
+                                Vec::new()
+                            };
+                            loop {
+                                let claim = counter.fetch_add(1, Ordering::SeqCst);
+                                if claim >= cfg.iterations {
+                                    return done;
                                 }
-                            }
-                            oracle.sample_gradient(&view, &mut rng, &mut grad);
-                            for (j, &gj) in grad.iter().enumerate() {
-                                if gj != 0.0 {
-                                    model.fetch_add(j, -cfg.alpha * gj);
+                                if let Some(eps) = cfg.success_radius_sq {
+                                    if claim.is_multiple_of(stride) {
+                                        model.read_view(&mut view);
+                                        if asgd_math::vec::l2_dist_sq(&view, minimizer) <= eps {
+                                            first_success.fetch_min(claim, Ordering::SeqCst);
+                                        }
+                                    }
                                 }
+                                oracle.sample_gradient_sparse(model, &mut rng, &mut grad);
+                                for &(j, gj) in grad.entries() {
+                                    if gj != 0.0 {
+                                        model.fetch_add(j, -cfg.alpha * gj);
+                                    }
+                                }
+                                done += 1;
                             }
-                            done += 1;
+                        } else {
+                            let mut view = vec![0.0; d];
+                            let mut grad = vec![0.0; d];
+                            loop {
+                                let claim = counter.fetch_add(1, Ordering::SeqCst);
+                                if claim >= cfg.iterations {
+                                    return done;
+                                }
+                                model.read_view(&mut view);
+                                if let Some(eps) = cfg.success_radius_sq {
+                                    let dist_sq = asgd_math::vec::l2_dist_sq(&view, minimizer);
+                                    if dist_sq <= eps {
+                                        first_success.fetch_min(claim, Ordering::SeqCst);
+                                    }
+                                }
+                                oracle.sample_gradient(&view, &mut rng, &mut grad);
+                                for (j, &gj) in grad.iter().enumerate() {
+                                    if gj != 0.0 {
+                                        model.fetch_add(j, -cfg.alpha * gj);
+                                    }
+                                }
+                                done += 1;
+                            }
                         }
                     })
                 })
@@ -149,6 +211,7 @@ impl<O: GradientOracle> Hogwild<O> {
             per_thread_iterations: per_thread,
             first_success_claim: (hit != u64::MAX).then_some(hit),
             elapsed,
+            used_sparse: use_sparse,
         }
     }
 }
@@ -236,10 +299,82 @@ mod tests {
         )
         .run(&[1.0; 8]);
         assert!(
+            report.used_sparse,
+            "Auto selects the sparse path at Δ=1,d=8"
+        );
+        assert!(
             report.final_dist_sq < 0.01,
             "final dist² {}",
             report.final_dist_sq
         );
+    }
+
+    #[test]
+    fn sparse_and_dense_paths_agree_bitwise_single_threaded() {
+        use crate::tuning::{ExecTuning, SparsePolicy};
+        let oracle = Arc::new(SparseQuadratic::uniform(16, 1.0, 0.4).unwrap());
+        let cfg = HogwildConfig {
+            threads: 1,
+            iterations: 2_000,
+            alpha: 0.01,
+            seed: 77,
+            success_radius_sq: None,
+        };
+        let x0 = vec![1.0; 16];
+        let dense = Hogwild::new(Arc::clone(&oracle), cfg)
+            .tuning(ExecTuning {
+                sparse: SparsePolicy::ForceDense,
+                ..ExecTuning::default()
+            })
+            .run(&x0);
+        let sparse = Hogwild::new(Arc::clone(&oracle), cfg)
+            .tuning(ExecTuning {
+                sparse: SparsePolicy::ForceSparse,
+                ..ExecTuning::default()
+            })
+            .run(&x0);
+        assert!(!dense.used_sparse);
+        assert!(sparse.used_sparse);
+        for (j, (a, b)) in dense
+            .final_model
+            .iter()
+            .zip(&sparse.final_model)
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "entry {j}: dense {a} sparse {b}");
+        }
+    }
+
+    #[test]
+    fn tuned_variants_converge_multithreaded() {
+        use crate::model::{ModelLayout, UpdateOrder};
+        use crate::tuning::ExecTuning;
+        let oracle = Arc::new(NoisyQuadratic::new(4, 0.1).unwrap());
+        for layout in [ModelLayout::Compact, ModelLayout::Padded] {
+            for order in [UpdateOrder::SeqCst, UpdateOrder::Relaxed] {
+                let report = Hogwild::new(
+                    Arc::clone(&oracle),
+                    HogwildConfig {
+                        threads: 4,
+                        iterations: 20_000,
+                        alpha: 0.02,
+                        seed: 3,
+                        success_radius_sq: None,
+                    },
+                )
+                .tuning(ExecTuning {
+                    layout,
+                    order,
+                    ..ExecTuning::default()
+                })
+                .run(&[2.0, -2.0, 1.0, -1.0]);
+                assert!(
+                    report.final_dist_sq < 0.05,
+                    "{layout:?}/{order:?}: dist² {}",
+                    report.final_dist_sq
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,13 @@
 //! an `AtomicU64`, and gradient entries are applied with `fetch&add` (a CAS
 //! loop on `f64` bits, [`atomic::AtomicF64`]). This crate provides:
 //!
-//! * [`atomic`] — `AtomicF64` with lock-free `fetch_add`;
-//! * [`model`] — the shared parameter vector;
+//! * [`atomic`] — `AtomicF64` with lock-free `fetch_add` (SeqCst and
+//!   relaxed variants);
+//! * [`model`] — the shared parameter vector, with compact or cache-line-
+//!   padded layouts and a paper-faithful-vs-relaxed ordering knob;
+//! * [`tuning`] — [`ExecTuning`]: the layout/ordering/sparse-path knobs
+//!   every native executor accepts; Δ-sparse oracles get an O(Δ) hot loop
+//!   instead of the O(d) dense scan;
 //! * [`hogwild`] — the lock-free executor (Algorithm 1 on OS threads);
 //! * [`locked`] — the coarse-grained-locking baseline the paper's
 //!   introduction contrasts against (one mutex around the whole model,
@@ -58,10 +63,12 @@ pub mod guarded;
 pub mod hogwild;
 pub mod locked;
 pub mod model;
+pub mod tuning;
 
 pub use atomic::AtomicF64;
 pub use full_sgd::{NativeFullSgd, NativeFullSgdConfig, NativeFullSgdReport};
 pub use guarded::{GuardedEpochSgd, GuardedEpochSgdConfig, GuardedEpochSgdReport, GuardedModel};
 pub use hogwild::{Hogwild, HogwildConfig, HogwildReport};
 pub use locked::{LockedSgd, LockedSgdReport};
-pub use model::SharedModel;
+pub use model::{ModelLayout, SharedModel, UpdateOrder};
+pub use tuning::{ExecTuning, SparsePolicy};

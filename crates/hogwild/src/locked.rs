@@ -8,8 +8,9 @@
 //! comparison point for the `speedup` experiment and the
 //! `hogwild_scaling` bench.
 
+use crate::tuning::ExecTuning;
 use asgd_math::rng::SeedSequence;
-use asgd_oracle::GradientOracle;
+use asgd_oracle::{GradientOracle, SparseGrad};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -25,6 +26,8 @@ pub struct LockedSgdReport {
     pub iterations: u64,
     /// Wall-clock duration of the parallel section.
     pub elapsed: Duration,
+    /// Whether the run took the O(Δ) sparse gradient path.
+    pub used_sparse: bool,
 }
 
 impl LockedSgdReport {
@@ -47,10 +50,13 @@ pub struct LockedSgd<O> {
     iterations: u64,
     alpha: f64,
     seed: u64,
+    tuning: ExecTuning,
 }
 
 impl<O: GradientOracle> LockedSgd<O> {
-    /// Creates the executor.
+    /// Creates the executor with default [`ExecTuning`] (only the sparse
+    /// knob applies — the model lives under one mutex, so layout/ordering
+    /// are moot).
     ///
     /// # Panics
     ///
@@ -65,7 +71,15 @@ impl<O: GradientOracle> LockedSgd<O> {
             iterations,
             alpha,
             seed,
+            tuning: ExecTuning::default(),
         }
+    }
+
+    /// Overrides the execution tuning.
+    #[must_use]
+    pub fn tuning(mut self, tuning: ExecTuning) -> Self {
+        self.tuning = tuning;
+        self
     }
 
     /// Runs to completion.
@@ -80,6 +94,8 @@ impl<O: GradientOracle> LockedSgd<O> {
         let model = Mutex::new(x0.to_vec());
         let counter = AtomicU64::new(0);
         let seeds = SeedSequence::new(self.seed);
+        let use_sparse = self.tuning.sparse.use_sparse(d, self.oracle.max_support());
+        let grad_cap = self.oracle.max_support().unwrap_or(1);
 
         let start = Instant::now();
         std::thread::scope(|scope| {
@@ -90,18 +106,37 @@ impl<O: GradientOracle> LockedSgd<O> {
                 let (alpha, iterations) = (self.alpha, self.iterations);
                 let mut rng = seeds.child_rng(tid as u64);
                 scope.spawn(move || {
-                    let mut grad = vec![0.0; d];
-                    let mut view = vec![0.0; d];
-                    loop {
-                        if counter.fetch_add(1, Ordering::SeqCst) >= iterations {
-                            return;
+                    if use_sparse {
+                        // Even under the lock, a Δ-sparse iteration need not
+                        // copy or scan the full model: sample through the
+                        // locked slice, update only the support.
+                        let mut grad = SparseGrad::with_capacity(grad_cap);
+                        loop {
+                            if counter.fetch_add(1, Ordering::SeqCst) >= iterations {
+                                return;
+                            }
+                            let mut x = model.lock();
+                            oracle.sample_gradient_sparse(&*x, &mut rng, &mut grad);
+                            for &(j, gj) in grad.entries() {
+                                if gj != 0.0 {
+                                    x[j] -= alpha * gj;
+                                }
+                            }
                         }
-                        // The whole iteration holds the lock: fully serial
-                        // semantics (and fully serial performance).
-                        let mut x = model.lock();
-                        view.copy_from_slice(&x);
-                        oracle.sample_gradient(&view, &mut rng, &mut grad);
-                        asgd_math::vec::axpy(&mut x, -alpha, &grad);
+                    } else {
+                        let mut grad = vec![0.0; d];
+                        let mut view = vec![0.0; d];
+                        loop {
+                            if counter.fetch_add(1, Ordering::SeqCst) >= iterations {
+                                return;
+                            }
+                            // The whole iteration holds the lock: fully serial
+                            // semantics (and fully serial performance).
+                            let mut x = model.lock();
+                            view.copy_from_slice(&x);
+                            oracle.sample_gradient(&view, &mut rng, &mut grad);
+                            asgd_math::vec::axpy(&mut x, -alpha, &grad);
+                        }
                     }
                 });
             }
@@ -115,6 +150,7 @@ impl<O: GradientOracle> LockedSgd<O> {
             final_dist_sq,
             iterations: self.iterations,
             elapsed,
+            used_sparse: use_sparse,
         }
     }
 }
@@ -145,6 +181,31 @@ mod tests {
         let oracle = Arc::new(NoisyQuadratic::new(1, 0.0).unwrap());
         let report = LockedSgd::new(oracle, 4, 100, 0.1, 1).run(&[1.0]);
         assert!((report.final_model[0] - 0.9_f64.powi(100)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_bitwise_single_threaded() {
+        let oracle = Arc::new(asgd_oracle::SparseQuadratic::uniform(8, 1.0, 0.5).unwrap());
+        let run = |sparse| {
+            LockedSgd::new(Arc::clone(&oracle), 1, 2_000, 0.02, 3)
+                .tuning(crate::tuning::ExecTuning {
+                    sparse,
+                    ..crate::tuning::ExecTuning::default()
+                })
+                .run(&[1.0; 8])
+        };
+        let dense = run(crate::tuning::SparsePolicy::ForceDense);
+        let sparse = run(crate::tuning::SparsePolicy::ForceSparse);
+        assert!(!dense.used_sparse);
+        assert!(sparse.used_sparse);
+        for (j, (a, b)) in dense
+            .final_model
+            .iter()
+            .zip(&sparse.final_model)
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "entry {j}");
+        }
     }
 
     #[test]

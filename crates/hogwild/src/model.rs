@@ -1,35 +1,132 @@
 //! The shared parameter vector `X[d]` for native threads.
 
 use crate::atomic::AtomicF64;
+use asgd_oracle::ModelView;
+
+/// Memory layout of the shared entries.
+///
+/// At small `d`, many `AtomicF64`s share one 64-byte cache line, so threads
+/// updating *different* coordinates still ping-pong the line between cores —
+/// false sharing. The padded layout gives every entry its own line (8× the
+/// memory), which pays off exactly when `d` is small and contention high;
+/// compact is the right default for large models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelLayout {
+    /// Entries packed contiguously (8 per cache line) — the default.
+    #[default]
+    Compact,
+    /// One entry per 64-byte cache line, eliminating false sharing.
+    Padded,
+}
+
+/// Memory ordering of entry reads and `fetch&add` updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum UpdateOrder {
+    /// Sequentially consistent — the shared-memory model assumed in §2 of
+    /// the paper, and the default.
+    #[default]
+    SeqCst,
+    /// Relaxed loads and an AcqRel CAS loop: per-entry atomicity and update
+    /// conservation are unchanged, the single total order across entries is
+    /// given up (which the inconsistent-view analysis tolerates by design).
+    Relaxed,
+}
+
+/// One entry on its own 64-byte cache line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct CachePadded(AtomicF64);
+
+#[derive(Debug)]
+enum Entries {
+    Compact(Vec<AtomicF64>),
+    Padded(Vec<CachePadded>),
+}
 
 /// A `d`-dimensional model shared by all worker threads, with the exact
 /// access pattern of Algorithm 1: entry-wise atomic reads (building a
 /// possibly inconsistent view) and entry-wise `fetch&add` updates.
+///
+/// Construction-time options select the [`ModelLayout`] (false-sharing
+/// avoidance) and the [`UpdateOrder`] (paper-faithful SeqCst vs relaxed
+/// hardware ordering); [`SharedModel::new`] keeps the paper-faithful
+/// compact/SeqCst defaults.
 #[derive(Debug)]
 pub struct SharedModel {
-    entries: Vec<AtomicF64>,
+    entries: Entries,
+    order: UpdateOrder,
 }
 
 impl SharedModel {
-    /// Creates a model initialised to `x0`.
+    /// Creates a model initialised to `x0` (compact layout, SeqCst order).
     #[must_use]
     pub fn new(x0: &[f64]) -> Self {
-        Self {
-            entries: x0.iter().map(|&v| AtomicF64::new(v)).collect(),
-        }
+        Self::with_options(x0, ModelLayout::Compact, UpdateOrder::SeqCst)
+    }
+
+    /// Creates a model initialised to `x0` with an explicit layout and
+    /// update ordering.
+    #[must_use]
+    pub fn with_options(x0: &[f64], layout: ModelLayout, order: UpdateOrder) -> Self {
+        let entries = match layout {
+            ModelLayout::Compact => {
+                Entries::Compact(x0.iter().map(|&v| AtomicF64::new(v)).collect())
+            }
+            ModelLayout::Padded => {
+                Entries::Padded(x0.iter().map(|&v| CachePadded(AtomicF64::new(v))).collect())
+            }
+        };
+        Self { entries, order }
     }
 
     /// Creates a zero model of dimension `d` (Algorithm 1's
-    /// `X = (0, …, 0)`).
+    /// `X = (0, …, 0)`), without materialising a temporary `vec![0.0; d]`.
     #[must_use]
     pub fn zeros(d: usize) -> Self {
-        Self::new(&vec![0.0; d])
+        Self::zeros_with(d, ModelLayout::Compact, UpdateOrder::SeqCst)
+    }
+
+    /// Zero model with explicit layout and ordering options.
+    #[must_use]
+    pub fn zeros_with(d: usize, layout: ModelLayout, order: UpdateOrder) -> Self {
+        let entries = match layout {
+            ModelLayout::Compact => Entries::Compact((0..d).map(|_| AtomicF64::new(0.0)).collect()),
+            ModelLayout::Padded => {
+                Entries::Padded((0..d).map(|_| CachePadded(AtomicF64::new(0.0))).collect())
+            }
+        };
+        Self { entries, order }
+    }
+
+    /// The entry layout this model was built with.
+    #[must_use]
+    pub fn layout(&self) -> ModelLayout {
+        match self.entries {
+            Entries::Compact(_) => ModelLayout::Compact,
+            Entries::Padded(_) => ModelLayout::Padded,
+        }
+    }
+
+    /// The update ordering this model was built with.
+    #[must_use]
+    pub fn order(&self) -> UpdateOrder {
+        self.order
+    }
+
+    fn entry(&self, j: usize) -> &AtomicF64 {
+        match &self.entries {
+            Entries::Compact(v) => &v[j],
+            Entries::Padded(v) => &v[j].0,
+        }
     }
 
     /// Model dimension `d`.
     #[must_use]
     pub fn dimension(&self) -> usize {
-        self.entries.len()
+        match &self.entries {
+            Entries::Compact(v) => v.len(),
+            Entries::Padded(v) => v.len(),
+        }
     }
 
     /// Atomically reads entry `j`.
@@ -39,7 +136,11 @@ impl SharedModel {
     /// Panics if `j` is out of bounds.
     #[must_use]
     pub fn read(&self, j: usize) -> f64 {
-        self.entries[j].load()
+        let e = self.entry(j);
+        match self.order {
+            UpdateOrder::SeqCst => e.load(),
+            UpdateOrder::Relaxed => e.load_relaxed(),
+        }
     }
 
     /// Reads the whole model entry-by-entry into `view` — the inconsistent
@@ -50,9 +151,9 @@ impl SharedModel {
     ///
     /// Panics if `view.len() != d`.
     pub fn read_view(&self, view: &mut [f64]) {
-        assert_eq!(view.len(), self.entries.len(), "view dimension mismatch");
-        for (v, e) in view.iter_mut().zip(&self.entries) {
-            *v = e.load();
+        assert_eq!(view.len(), self.dimension(), "view dimension mismatch");
+        for (j, v) in view.iter_mut().enumerate() {
+            *v = self.read(j);
         }
     }
 
@@ -62,7 +163,11 @@ impl SharedModel {
     ///
     /// Panics if `j` is out of bounds.
     pub fn fetch_add(&self, j: usize, delta: f64) -> f64 {
-        self.entries[j].fetch_add(delta)
+        let e = self.entry(j);
+        match self.order {
+            UpdateOrder::SeqCst => e.fetch_add(delta),
+            UpdateOrder::Relaxed => e.fetch_add_relaxed(delta),
+        }
     }
 
     /// Atomically overwrites entry `j` (used only by epoch initialisation,
@@ -72,14 +177,27 @@ impl SharedModel {
     ///
     /// Panics if `j` is out of bounds.
     pub fn write(&self, j: usize, value: f64) {
-        self.entries[j].store(value);
+        self.entry(j).store(value);
     }
 
     /// Snapshots the model into a fresh vector (entry-wise atomic reads; only
     /// consistent when no writers are active).
     #[must_use]
     pub fn snapshot(&self) -> Vec<f64> {
-        self.entries.iter().map(AtomicF64::load).collect()
+        (0..self.dimension()).map(|j| self.read(j)).collect()
+    }
+}
+
+/// Per-entry reads for sparse oracles: each [`ModelView::entry`] call is one
+/// atomic load of the live shared model — exactly the O(Δ) access pattern
+/// the sparse fast path exists for.
+impl ModelView for SharedModel {
+    fn dimension(&self) -> usize {
+        self.dimension()
+    }
+
+    fn entry(&self, j: usize) -> f64 {
+        self.read(j)
     }
 }
 
@@ -94,6 +212,8 @@ mod tests {
         assert_eq!(m.dimension(), 2);
         assert_eq!(m.read(0), 1.0);
         assert_eq!(m.read(1), -2.0);
+        assert_eq!(m.layout(), ModelLayout::Compact);
+        assert_eq!(m.order(), UpdateOrder::SeqCst);
         let z = SharedModel::zeros(3);
         assert_eq!(z.snapshot(), vec![0.0, 0.0, 0.0]);
     }
@@ -117,20 +237,60 @@ mod tests {
     }
 
     #[test]
+    fn all_option_combinations_behave_identically_single_threaded() {
+        for layout in [ModelLayout::Compact, ModelLayout::Padded] {
+            for order in [UpdateOrder::SeqCst, UpdateOrder::Relaxed] {
+                let m = SharedModel::with_options(&[1.0, 2.0, 3.0], layout, order);
+                assert_eq!(m.layout(), layout);
+                assert_eq!(m.order(), order);
+                assert_eq!(m.fetch_add(1, 0.5), 2.0);
+                m.write(2, -1.0);
+                assert_eq!(m.snapshot(), vec![1.0, 2.5, -1.0]);
+                let z = SharedModel::zeros_with(4, layout, order);
+                assert_eq!(z.snapshot(), vec![0.0; 4]);
+            }
+        }
+    }
+
+    #[test]
+    fn padded_entries_occupy_distinct_cache_lines() {
+        assert_eq!(std::mem::align_of::<CachePadded>(), 64);
+        assert_eq!(std::mem::size_of::<CachePadded>(), 64);
+    }
+
+    #[test]
+    fn model_view_reads_the_live_entries() {
+        let m = SharedModel::new(&[3.0, -4.0]);
+        let view: &dyn asgd_oracle::ModelView = &m;
+        assert_eq!(view.dimension(), 2);
+        assert_eq!(view.entry(1), -4.0);
+        m.fetch_add(1, 1.0);
+        assert_eq!(view.entry(1), -3.0, "reads are live, not a snapshot");
+    }
+
+    #[test]
     fn concurrent_updates_never_lost() {
-        let m = Arc::new(SharedModel::zeros(4));
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                let m = Arc::clone(&m);
-                s.spawn(move || {
-                    for j in 0..4 {
-                        for _ in 0..5_000 {
-                            m.fetch_add(j, 1.0);
-                        }
+        for layout in [ModelLayout::Compact, ModelLayout::Padded] {
+            for order in [UpdateOrder::SeqCst, UpdateOrder::Relaxed] {
+                let m = Arc::new(SharedModel::zeros_with(4, layout, order));
+                std::thread::scope(|s| {
+                    for _ in 0..4 {
+                        let m = Arc::clone(&m);
+                        s.spawn(move || {
+                            for j in 0..4 {
+                                for _ in 0..5_000 {
+                                    m.fetch_add(j, 1.0);
+                                }
+                            }
+                        });
                     }
                 });
+                assert_eq!(
+                    m.snapshot(),
+                    vec![20_000.0; 4],
+                    "{layout:?}/{order:?}: updates lost"
+                );
             }
-        });
-        assert_eq!(m.snapshot(), vec![20_000.0; 4]);
+        }
     }
 }

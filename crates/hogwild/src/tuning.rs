@@ -1,0 +1,108 @@
+//! Execution tuning knobs shared by all native executors.
+
+use crate::model::{ModelLayout, UpdateOrder};
+
+/// When to take the O(Δ) sparse gradient path instead of the O(d) dense one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SparsePolicy {
+    /// Sparse iff the oracle declares a support bound Δ with `4·Δ ≤ d` — the
+    /// regime where skipping the dense view scan clearly pays. The default.
+    #[default]
+    Auto,
+    /// Always run the dense path (the paper-faithful full view scan).
+    ForceDense,
+    /// Run the sparse path whenever the oracle declares *any* support bound
+    /// (oracles without one fall back to dense — the sparse machinery needs
+    /// a bound to be meaningful).
+    ForceSparse,
+}
+
+impl SparsePolicy {
+    /// Decides the path for a model of dimension `d` and an oracle reporting
+    /// `max_support`.
+    #[must_use]
+    pub fn use_sparse(self, d: usize, max_support: Option<usize>) -> bool {
+        match self {
+            Self::ForceDense => false,
+            Self::ForceSparse => max_support.is_some(),
+            Self::Auto => max_support.is_some_and(|s| s.saturating_mul(4) <= d),
+        }
+    }
+}
+
+/// Tuning of a native executor's hot loop, orthogonal to the algorithmic
+/// configuration (`threads`, `iterations`, `alpha`, …).
+///
+/// The defaults reproduce the paper-faithful execution on dense oracles and
+/// switch Δ-sparse oracles onto the O(Δ) path automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecTuning {
+    /// Shared-model memory layout (false-sharing avoidance at small d).
+    pub layout: ModelLayout,
+    /// Memory ordering of model reads and `fetch&add`s.
+    pub order: UpdateOrder,
+    /// Dense-vs-sparse path selection.
+    pub sparse: SparsePolicy,
+    /// On the sparse path, the success-region check needs a full O(d) view
+    /// read; it is sampled every this many claims instead of every claim
+    /// (the dense path, which has the view anyway, keeps checking every
+    /// claim). Clamped to ≥ 1.
+    pub success_check_stride: u64,
+}
+
+impl Default for ExecTuning {
+    fn default() -> Self {
+        Self {
+            layout: ModelLayout::Compact,
+            order: UpdateOrder::SeqCst,
+            sparse: SparsePolicy::Auto,
+            success_check_stride: 16,
+        }
+    }
+}
+
+impl ExecTuning {
+    /// The stride, clamped to ≥ 1.
+    #[must_use]
+    pub fn stride(&self) -> u64 {
+        self.success_check_stride.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_policy_requires_headroom() {
+        let p = SparsePolicy::Auto;
+        assert!(p.use_sparse(16, Some(1)), "Δ=1, d=16");
+        assert!(p.use_sparse(4, Some(1)), "Δ=1, d=4 is the boundary");
+        assert!(!p.use_sparse(3, Some(1)), "Δ=1, d=3: too dense to pay off");
+        assert!(!p.use_sparse(1 << 20, None), "dense oracle stays dense");
+    }
+
+    #[test]
+    fn force_policies() {
+        assert!(!SparsePolicy::ForceDense.use_sparse(1 << 20, Some(1)));
+        assert!(SparsePolicy::ForceSparse.use_sparse(2, Some(1)));
+        assert!(
+            !SparsePolicy::ForceSparse.use_sparse(2, None),
+            "no support bound ⇒ no sparse path even when forced"
+        );
+    }
+
+    #[test]
+    fn default_tuning_is_paper_faithful_with_auto_sparse() {
+        let t = ExecTuning::default();
+        assert_eq!(t.layout, ModelLayout::Compact);
+        assert_eq!(t.order, UpdateOrder::SeqCst);
+        assert_eq!(t.sparse, SparsePolicy::Auto);
+        assert!(t.stride() >= 1);
+        let zero = ExecTuning {
+            success_check_stride: 0,
+            ..ExecTuning::default()
+        };
+        assert_eq!(zero.stride(), 1, "stride clamps to 1");
+    }
+}

@@ -49,13 +49,15 @@ pub mod oracle;
 pub mod quadratic;
 pub mod registry;
 pub mod sparse;
+pub mod sparse_grad;
 pub mod synth;
 
 pub use constants::Constants;
 pub use linreg::LinearRegression;
 pub use logreg::RidgeLogistic;
-pub use minibatch::MinibatchRegression;
+pub use minibatch::{Minibatch, MinibatchRegression};
 pub use oracle::GradientOracle;
 pub use quadratic::NoisyQuadratic;
 pub use registry::{OracleSpec, OracleSpecError};
 pub use sparse::SparseQuadratic;
+pub use sparse_grad::{ModelView, SparseGrad};

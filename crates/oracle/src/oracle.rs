@@ -1,6 +1,7 @@
 //! The [`GradientOracle`] trait.
 
 use crate::constants::Constants;
+use crate::sparse_grad::{ModelView, SparseGrad};
 use rand::RngCore;
 
 /// A stochastic-gradient oracle for a strongly convex objective.
@@ -24,6 +25,87 @@ pub trait GradientOracle: Send + Sync {
     /// Implementations may panic if `x.len()` or `out.len()` differ from
     /// [`GradientOracle::dimension`].
     fn sample_gradient(&self, x: &[f64], rng: &mut dyn RngCore, out: &mut [f64]);
+
+    /// Upper bound Δ on the number of nonzero entries any stochastic
+    /// gradient can have, when the oracle knows one (§3's sparsity
+    /// parameter). `None` means dense/unknown — the default — and executors
+    /// then stay on the O(d) path.
+    fn max_support(&self) -> Option<usize> {
+        None
+    }
+
+    /// Draws a stochastic gradient reading only its support through `view`,
+    /// writing the (≤ Δ) nonzero entries into `out` — the O(Δ) counterpart
+    /// of [`GradientOracle::sample_gradient`].
+    ///
+    /// Sparse oracles override this to read exactly their support and must
+    /// consume the *same RNG stream* as `sample_gradient` (so the two paths
+    /// are trajectory-equivalent given one seed). The default falls back to
+    /// the dense sampler: it materialises the full view, samples densely,
+    /// and compresses the nonzeros — correct for every oracle, but it
+    /// allocates O(d) per call, so executors only take the sparse path when
+    /// [`GradientOracle::max_support`] says it pays off.
+    fn sample_gradient_sparse(
+        &self,
+        view: &dyn ModelView,
+        rng: &mut dyn RngCore,
+        out: &mut SparseGrad,
+    ) {
+        out.clear();
+        let d = self.dimension();
+        assert_eq!(view.dimension(), d, "view dimension mismatch");
+        let mut support = Vec::new();
+        if self.sample_support(rng, &mut support) {
+            let values: Vec<f64> = support.iter().map(|&j| view.entry(j)).collect();
+            self.gradient_on_support(&support, &values, rng, out);
+        } else {
+            let mut x = vec![0.0; d];
+            for (j, xj) in x.iter_mut().enumerate() {
+                *xj = view.entry(j);
+            }
+            let mut g = vec![0.0; d];
+            self.sample_gradient(&x, rng, &mut g);
+            for (j, &gj) in g.iter().enumerate() {
+                if gj != 0.0 {
+                    out.push(j, gj);
+                }
+            }
+        }
+    }
+
+    /// Phase 1 of two-phase sparse sampling: draws the *support* (coordinate
+    /// index set) of the next stochastic gradient into `out`, consuming
+    /// exactly the RNG draws `sample_gradient` uses for coordinate
+    /// selection. Returns `false` (the default) when the oracle has no
+    /// two-phase decomposition; `true` commits the caller to follow up with
+    /// [`GradientOracle::gradient_on_support`].
+    ///
+    /// This split exists for executors that must *declare* their reads
+    /// before performing them — the simulated shared-memory machine issues
+    /// one schedulable read op per support entry instead of scanning all d
+    /// registers.
+    fn sample_support(&self, rng: &mut dyn RngCore, out: &mut Vec<usize>) -> bool {
+        let _ = (rng, &out);
+        false
+    }
+
+    /// Phase 2 of two-phase sparse sampling: given the `support` drawn by
+    /// [`GradientOracle::sample_support`] and the model `values` read at
+    /// exactly those coordinates, writes the gradient entries into `out`
+    /// (consuming any remaining RNG draws, e.g. gradient noise).
+    ///
+    /// Only called after `sample_support` returned `true`; the default
+    /// panics to surface contract violations.
+    fn gradient_on_support(
+        &self,
+        support: &[usize],
+        values: &[f64],
+        rng: &mut dyn RngCore,
+        out: &mut SparseGrad,
+    ) {
+        let _ = (support, values, rng, out);
+        unreachable!("gradient_on_support called on an oracle whose sample_support returned false")
+    }
 
     /// Writes the exact gradient `∇f(x)` into `out` (for diagnostics and
     /// unbiasedness tests).
@@ -59,6 +141,29 @@ impl<O: GradientOracle + ?Sized> GradientOracle for &O {
     fn sample_gradient(&self, x: &[f64], rng: &mut dyn RngCore, out: &mut [f64]) {
         (**self).sample_gradient(x, rng, out);
     }
+    fn max_support(&self) -> Option<usize> {
+        (**self).max_support()
+    }
+    fn sample_gradient_sparse(
+        &self,
+        view: &dyn ModelView,
+        rng: &mut dyn RngCore,
+        out: &mut SparseGrad,
+    ) {
+        (**self).sample_gradient_sparse(view, rng, out);
+    }
+    fn sample_support(&self, rng: &mut dyn RngCore, out: &mut Vec<usize>) -> bool {
+        (**self).sample_support(rng, out)
+    }
+    fn gradient_on_support(
+        &self,
+        support: &[usize],
+        values: &[f64],
+        rng: &mut dyn RngCore,
+        out: &mut SparseGrad,
+    ) {
+        (**self).gradient_on_support(support, values, rng, out);
+    }
     fn full_gradient(&self, x: &[f64], out: &mut [f64]) {
         (**self).full_gradient(x, out);
     }
@@ -83,6 +188,29 @@ impl<O: GradientOracle + ?Sized> GradientOracle for std::sync::Arc<O> {
     }
     fn sample_gradient(&self, x: &[f64], rng: &mut dyn RngCore, out: &mut [f64]) {
         (**self).sample_gradient(x, rng, out);
+    }
+    fn max_support(&self) -> Option<usize> {
+        (**self).max_support()
+    }
+    fn sample_gradient_sparse(
+        &self,
+        view: &dyn ModelView,
+        rng: &mut dyn RngCore,
+        out: &mut SparseGrad,
+    ) {
+        (**self).sample_gradient_sparse(view, rng, out);
+    }
+    fn sample_support(&self, rng: &mut dyn RngCore, out: &mut Vec<usize>) -> bool {
+        (**self).sample_support(rng, out)
+    }
+    fn gradient_on_support(
+        &self,
+        support: &[usize],
+        values: &[f64],
+        rng: &mut dyn RngCore,
+        out: &mut SparseGrad,
+    ) {
+        (**self).gradient_on_support(support, values, rng, out);
     }
     fn full_gradient(&self, x: &[f64], out: &mut [f64]) {
         (**self).full_gradient(x, out);
@@ -157,6 +285,25 @@ mod tests {
     fn dist_sq_to_opt_default_impl() {
         let o = NoisyQuadratic::new(2, 0.0).unwrap();
         assert_eq!(o.dist_sq_to_opt(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn default_sparse_sampler_matches_dense_with_same_seed() {
+        // The dense-fallback default must consume exactly the dense RNG
+        // stream and produce the same (compressed) gradient.
+        let o = NoisyQuadratic::new(3, 0.7).unwrap();
+        let x = [1.0, -0.5, 2.0];
+        let mut dense = vec![0.0; 3];
+        o.sample_gradient(&x, &mut StdRng::seed_from_u64(9), &mut dense);
+        let mut sparse = crate::sparse_grad::SparseGrad::new();
+        o.sample_gradient_sparse(&&x[..], &mut StdRng::seed_from_u64(9), &mut sparse);
+        let mut densified = vec![0.0; 3];
+        sparse.densify_into(&mut densified);
+        for (a, b) in dense.iter().zip(&densified) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(o.max_support().is_none(), "dense oracle stays dense");
+        assert!(!o.sample_support(&mut StdRng::seed_from_u64(0), &mut Vec::new()));
     }
 
     #[test]

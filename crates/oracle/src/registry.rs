@@ -18,8 +18,8 @@
 //! ```
 
 use crate::{
-    GradientOracle, LinearRegression, MinibatchRegression, NoisyQuadratic, RidgeLogistic,
-    SparseQuadratic,
+    GradientOracle, LinearRegression, Minibatch, MinibatchRegression, NoisyQuadratic,
+    RidgeLogistic, SparseQuadratic,
 };
 use std::sync::Arc;
 
@@ -32,6 +32,7 @@ pub fn known_kinds() -> &'static [&'static str] {
         "linear-regression",
         "ridge-logistic",
         "minibatch-regression",
+        "minibatch-sparse",
     ]
 }
 
@@ -172,6 +173,19 @@ impl OracleSpec {
             )
             .map(|o| Arc::new(o) as Arc<dyn GradientOracle>)
             .map_err(|e| invalid(&e)),
+            // Δ-sparse gradients averaged in minibatches: the batch keeps
+            // the O(b·Δ) update footprint (`batch == 0` is rejected here so
+            // the constructor's panic never fires on spec input).
+            "minibatch-sparse" => {
+                if self.batch == 0 {
+                    return Err(OracleSpecError::Invalid(
+                        "batch size must be at least 1".to_string(),
+                    ));
+                }
+                SparseQuadratic::uniform(self.dim, 1.0, self.sigma)
+                    .map(|o| Arc::new(Minibatch::new(o, self.batch)) as Arc<dyn GradientOracle>)
+                    .map_err(|e| invalid(&e))
+            }
             other => Err(OracleSpecError::UnknownKind(other.to_string())),
         }
     }

@@ -8,6 +8,7 @@
 use crate::constants::Constants;
 use crate::oracle::GradientOracle;
 use crate::quadratic::InvalidWorkloadError;
+use crate::sparse_grad::{ModelView, SparseGrad};
 use asgd_math::gaussian::standard_normal;
 use rand::{Rng, RngCore};
 
@@ -74,6 +75,22 @@ impl SparseQuadratic {
     pub fn weights(&self) -> &[f64] {
         &self.weights
     }
+
+    /// The gradient value at coordinate `j` given the model value `xj` there,
+    /// with `noise` already drawn.
+    fn entry_value(&self, j: usize, xj: f64, noise: f64) -> f64 {
+        self.dimension() as f64 * self.weights[j] * xj + noise
+    }
+
+    /// Draws the gradient noise term (consumes one normal draw iff σ > 0 —
+    /// the same RNG schedule on every sampling path).
+    fn draw_noise(&self, rng: &mut dyn RngCore) -> f64 {
+        if self.sigma > 0.0 {
+            self.sigma * standard_normal(rng)
+        } else {
+            0.0
+        }
+    }
 }
 
 impl GradientOracle for SparseQuadratic {
@@ -87,12 +104,48 @@ impl GradientOracle for SparseQuadratic {
         assert_eq!(out.len(), d, "out dimension mismatch");
         out.fill(0.0);
         let j = rng.gen_range(0..d);
-        let noise = if self.sigma > 0.0 {
-            self.sigma * standard_normal(rng)
-        } else {
-            0.0
-        };
-        out[j] = d as f64 * self.weights[j] * x[j] + noise;
+        let noise = self.draw_noise(rng);
+        out[j] = self.entry_value(j, x[j], noise);
+    }
+
+    fn max_support(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn sample_gradient_sparse(
+        &self,
+        view: &dyn ModelView,
+        rng: &mut dyn RngCore,
+        out: &mut SparseGrad,
+    ) {
+        // Same RNG schedule as the dense sampler (coordinate coin, then
+        // noise), but exactly one model read — O(Δ) = O(1) per iteration.
+        let d = self.dimension();
+        assert_eq!(view.dimension(), d, "view dimension mismatch");
+        out.clear();
+        let j = rng.gen_range(0..d);
+        let noise = self.draw_noise(rng);
+        out.push(j, self.entry_value(j, view.entry(j), noise));
+    }
+
+    fn sample_support(&self, rng: &mut dyn RngCore, out: &mut Vec<usize>) -> bool {
+        out.clear();
+        out.push(rng.gen_range(0..self.dimension()));
+        true
+    }
+
+    fn gradient_on_support(
+        &self,
+        support: &[usize],
+        values: &[f64],
+        rng: &mut dyn RngCore,
+        out: &mut SparseGrad,
+    ) {
+        assert_eq!(support.len(), 1, "single-coordinate support");
+        assert_eq!(values.len(), 1, "one value per support entry");
+        out.clear();
+        let noise = self.draw_noise(rng);
+        out.push(support[0], self.entry_value(support[0], values[0], noise));
     }
 
     fn full_gradient(&self, x: &[f64], out: &mut [f64]) {
@@ -206,6 +259,39 @@ mod tests {
             "measured {measured} exceeds bound {} beyond sampling error {stderr}",
             k.m_sq
         );
+    }
+
+    #[test]
+    fn sparse_paths_match_dense_bitwise() {
+        // One seed, three sampling paths (dense, sparse-view, two-phase):
+        // identical RNG schedule ⇒ identical gradients, bit for bit.
+        let o = SparseQuadratic::new(vec![0.5, 1.0, 2.0, 0.25], 0.6).unwrap();
+        let x = [1.0, -2.0, 0.5, 3.0];
+        for seed in 0..20 {
+            let mut dense = vec![0.0; 4];
+            o.sample_gradient(&x, &mut StdRng::seed_from_u64(seed), &mut dense);
+
+            let mut sparse = SparseGrad::new();
+            o.sample_gradient_sparse(&&x[..], &mut StdRng::seed_from_u64(seed), &mut sparse);
+            assert_eq!(sparse.len(), 1);
+            let mut densified = vec![0.0; 4];
+            sparse.densify_into(&mut densified);
+            for (a, b) in dense.iter().zip(&densified) {
+                assert_eq!(a.to_bits(), b.to_bits(), "sparse-view path");
+            }
+
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut support = Vec::new();
+            assert!(o.sample_support(&mut rng, &mut support));
+            let values: Vec<f64> = support.iter().map(|&j| x[j]).collect();
+            let mut two_phase = SparseGrad::new();
+            o.gradient_on_support(&support, &values, &mut rng, &mut two_phase);
+            two_phase.densify_into(&mut densified);
+            for (a, b) in dense.iter().zip(&densified) {
+                assert_eq!(a.to_bits(), b.to_bits(), "two-phase path");
+            }
+        }
+        assert_eq!(o.max_support(), Some(1));
     }
 
     #[test]

@@ -106,15 +106,17 @@ pub mod prelude {
     pub use asgd_core::runner::{LockFreeRun, LockFreeSgd, RunnerError};
     pub use asgd_core::sequential::SequentialSgd;
     pub use asgd_driver::{
-        run_spec, BackendKind, DriverError, RunReport, RunSpec, SchedulerSpec, StepSize,
+        run_spec, BackendKind, DriverError, ModelLayoutSpec, RunReport, RunSpec, SchedulerSpec,
+        SparsePathSpec, StepSize, UpdateOrderSpec,
     };
     pub use asgd_hogwild::full_sgd::{NativeFullSgd, NativeFullSgdConfig};
     pub use asgd_hogwild::guarded::{GuardedEpochSgd, GuardedEpochSgdConfig};
     pub use asgd_hogwild::hogwild::{Hogwild, HogwildConfig};
     pub use asgd_hogwild::locked::LockedSgd;
+    pub use asgd_hogwild::{ExecTuning, ModelLayout, SparsePolicy, UpdateOrder};
     pub use asgd_oracle::{
-        Constants, GradientOracle, LinearRegression, NoisyQuadratic, OracleSpec, RidgeLogistic,
-        SparseQuadratic,
+        Constants, GradientOracle, LinearRegression, Minibatch, ModelView, NoisyQuadratic,
+        OracleSpec, RidgeLogistic, SparseGrad, SparseQuadratic,
     };
     pub use asgd_shmem::sched::{
         BoundedDelayAdversary, CrashAdversary, RandomScheduler, Scheduler, SerialScheduler,

@@ -1,0 +1,204 @@
+//! The sparse fast path's correctness contract:
+//!
+//! 1. Path equivalence — a 1-thread run of `sparse-quadratic` through the
+//!    O(Δ) sparse path is *bit-identical* to the dense path (same seed, same
+//!    final model).
+//! 2. The PR-1 cross-backend invariant (sequential ≡ simulated-serial ≡
+//!    1-thread hogwild) holds on **both** paths.
+//! 3. Property: for every registry oracle, applying a `SparseGrad` entry by
+//!    entry equals applying its densified form, and the sparse sampler
+//!    agrees with the dense sampler given one RNG stream.
+
+use asyncsgd::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sparse_spec(sparse: SparsePathSpec) -> RunSpec {
+    RunSpec::new(
+        OracleSpec::new("sparse-quadratic", 32).sigma(0.3),
+        BackendKind::Hogwild,
+    )
+    .threads(1)
+    .iterations(3_000)
+    .learning_rate(0.01)
+    .x0(vec![1.0; 32])
+    .scheduler(SchedulerSpec::Serial)
+    .seed(1234)
+    .sparse(sparse)
+}
+
+#[test]
+fn one_thread_sparse_run_is_bit_identical_to_dense() {
+    let dense = run_spec(&sparse_spec(SparsePathSpec::Dense)).expect("dense runs");
+    let sparse = run_spec(&sparse_spec(SparsePathSpec::Sparse)).expect("sparse runs");
+    assert_eq!(dense.sparse_path, Some(false));
+    assert_eq!(sparse.sparse_path, Some(true));
+    assert_eq!(dense.final_model.len(), sparse.final_model.len());
+    for (j, (a, b)) in dense
+        .final_model
+        .iter()
+        .zip(&sparse.final_model)
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "entry {j}: dense {a} vs sparse {b}"
+        );
+    }
+    assert_eq!(
+        dense.final_dist_sq.to_bits(),
+        sparse.final_dist_sq.to_bits()
+    );
+}
+
+#[test]
+fn cross_backend_invariant_holds_on_both_paths() {
+    // sequential ≡ simulated-serial ≡ 1-thread hogwild, bit for bit, with
+    // the dense path AND with the sparse path forced everywhere (the
+    // sequential backend has no path distinction; its RNG schedule matches
+    // both by construction).
+    for path in [SparsePathSpec::Dense, SparsePathSpec::Sparse] {
+        let spec = sparse_spec(path);
+        let sequential = run_spec(&spec.clone().backend(BackendKind::Sequential)).unwrap();
+        let simulated = run_spec(&spec.clone().backend(BackendKind::SimulatedLockFree)).unwrap();
+        let hogwild = run_spec(&spec.clone().backend(BackendKind::Hogwild)).unwrap();
+        for (name, other) in [("simulated-serial", &simulated), ("hogwild-1", &hogwild)] {
+            for (j, (a, b)) in sequential
+                .final_model
+                .iter()
+                .zip(&other.final_model)
+                .enumerate()
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{path:?}/{name}: entry {j}: sequential {a} vs {b}"
+                );
+            }
+        }
+        if path == SparsePathSpec::Sparse {
+            assert_eq!(
+                simulated.sparse_path,
+                Some(true),
+                "simulator took sparse ops"
+            );
+            assert_eq!(hogwild.sparse_path, Some(true));
+        }
+    }
+}
+
+#[test]
+fn locked_backend_sparse_path_matches_its_dense_path_single_threaded() {
+    let spec = sparse_spec(SparsePathSpec::Dense).backend(BackendKind::Locked);
+    let dense = run_spec(&spec).unwrap();
+    let sparse =
+        run_spec(&sparse_spec(SparsePathSpec::Sparse).backend(BackendKind::Locked)).unwrap();
+    for (j, (a, b)) in dense
+        .final_model
+        .iter()
+        .zip(&sparse.final_model)
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "entry {j}");
+    }
+}
+
+/// Every registry oracle, built small enough for exhaustive sampling.
+fn registry_oracles() -> Vec<(String, std::sync::Arc<dyn GradientOracle>)> {
+    asyncsgd::oracle::registry::known_kinds()
+        .iter()
+        .map(|kind| {
+            let oracle = OracleSpec::new(*kind, 6)
+                .dataset(48)
+                .batch(4)
+                .build()
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            ((*kind).to_string(), oracle)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Applying a `SparseGrad` (entry-wise, duplicates accumulating) to a
+    /// point equals applying its densified form — and the sparse sampler's
+    /// gradient matches the dense sampler's, for every registry oracle.
+    #[test]
+    fn sparse_grad_application_equals_densified_application(
+        seed in 0_u64..10_000,
+        alpha in 0.001_f64..0.1,
+        scale in -2.0_f64..2.0,
+    ) {
+        for (kind, oracle) in registry_oracles() {
+            let d = oracle.dimension();
+            let x: Vec<f64> = (0..d).map(|j| scale * (1.0 + j as f64 / d as f64)).collect();
+
+            // Dense reference gradient.
+            let mut dense = vec![0.0; d];
+            oracle.sample_gradient(&x, &mut StdRng::seed_from_u64(seed), &mut dense);
+
+            // Sparse gradient from the same RNG stream.
+            let mut sparse = SparseGrad::new();
+            oracle.sample_gradient_sparse(&x, &mut StdRng::seed_from_u64(seed), &mut sparse);
+            prop_assert!(
+                oracle.max_support().is_none_or(|s| sparse.len() <= s),
+                "{kind}: support {} exceeds declared bound {:?}",
+                sparse.len(),
+                oracle.max_support()
+            );
+
+            // (a) densified sparse ≈ dense sample (bitwise when the oracle
+            // has a native single-sample sparse path, tight FP tolerance
+            // for averaged minibatches).
+            let mut densified = vec![0.0; d];
+            sparse.densify_into(&mut densified);
+            for (j, (a, b)) in dense.iter().zip(&densified).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                    "{kind}: entry {j}: dense {a} vs densified sparse {b}"
+                );
+            }
+
+            // (b) applying the sparse entries directly == applying the
+            // densified vector, bit for bit (same additions in push order).
+            let mut via_entries = x.clone();
+            for &(j, g) in sparse.entries() {
+                via_entries[j] += -alpha * g;
+            }
+            let mut via_dense = x.clone();
+            for (j, &g) in densified.iter().enumerate() {
+                if g != 0.0 {
+                    via_dense[j] += -alpha * g;
+                }
+            }
+            // Duplicate support entries make the two application orders
+            // differ by FP associativity only; oracles with Δ ≤ 1 per
+            // sample (no duplicates) must match exactly.
+            for (j, (a, b)) in via_entries.iter().zip(&via_dense).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                    "{kind}: entry {j}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// The single-nonzero oracle's sparse path is bitwise-equal to dense.
+    #[test]
+    fn sparse_quadratic_paths_are_bitwise_equal(seed in 0_u64..10_000) {
+        let oracle = SparseQuadratic::uniform(12, 1.0, 0.7).expect("valid");
+        let x: Vec<f64> = (0..12).map(|j| (j as f64) - 6.0).collect();
+        let mut dense = vec![0.0; 12];
+        oracle.sample_gradient(&x, &mut StdRng::seed_from_u64(seed), &mut dense);
+        let mut sparse = SparseGrad::new();
+        oracle.sample_gradient_sparse(&x, &mut StdRng::seed_from_u64(seed), &mut sparse);
+        let mut densified = vec![0.0; 12];
+        sparse.densify_into(&mut densified);
+        for (a, b) in dense.iter().zip(&densified) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
