@@ -24,8 +24,8 @@
 
 use asgd_bench::{experiment_ids, run_experiment};
 use asgd_driver::{
-    run_spec, BackendKind, ModelLayoutSpec, RunReport, RunSpec, SchedulerSpec, SparsePathSpec,
-    UpdateOrderSpec,
+    run_spec, BackendKind, Driver, DriverError, ModelLayoutSpec, RunReport, RunSpec, SchedulerSpec,
+    SparsePathSpec, UpdateOrderSpec,
 };
 use asgd_oracle::{registry, OracleSpec};
 use std::path::{Path, PathBuf};
@@ -56,8 +56,10 @@ struct RunArgs {
     layout: ModelLayoutSpec,
     order: UpdateOrderSpec,
     sparse: SparsePathSpec,
+    trajectory_every: Option<u64>,
     json: Option<PathBuf>,
     pretty: bool,
+    parallel: bool,
 }
 
 fn usage_run() -> ! {
@@ -86,6 +88,8 @@ fn usage_run() -> ! {
          \x20 --layout L             native model layout: compact | padded (compact)\n\
          \x20 --order O              native memory order: seqcst | relaxed (seqcst)\n\
          \x20 --sparse P             gradient path: auto | dense | sparse (auto)\n\
+         \x20 --trajectory-every K   record a trajectory sample every K iterations\n\
+         \x20 --parallel             run multiple backends concurrently (Driver::run_many)\n\
          \x20 --json PATH            write JSON report(s); directory ⇒ BENCH_<backend>.json\n\
          \x20 --pretty               pretty-print JSON",
         backends = BackendKind::all()
@@ -121,6 +125,9 @@ fn run_mode(args: &[String]) {
     if let Some(x0) = parsed.x0.clone() {
         spec = spec.x0(x0);
     }
+    if let Some(stride) = parsed.trajectory_every {
+        spec = spec.trajectory_every(stride);
+    }
 
     let backends: Vec<BackendKind> = if parsed.backend == "all" {
         BackendKind::all().to_vec()
@@ -134,9 +141,21 @@ fn run_mode(args: &[String]) {
         }
     };
 
+    let specs: Vec<RunSpec> = backends
+        .iter()
+        .map(|&backend| spec.clone().backend(backend))
+        .collect();
+    let outcomes: Vec<Result<RunReport, DriverError>> = if parsed.parallel {
+        // The session driver's bounded pool: all backends at once, results
+        // in spec order.
+        Driver::new().run_many(&specs)
+    } else {
+        specs.iter().map(run_spec).collect()
+    };
+
     let mut reports = Vec::new();
-    for backend in backends {
-        match run_spec(&spec.clone().backend(backend)) {
+    for (backend, outcome) in backends.iter().zip(outcomes) {
+        match outcome {
             Ok(report) => {
                 eprintln!(
                     "[{}] T={} dist²={:.3e} wall={:.3}s{}{}",
@@ -229,8 +248,10 @@ fn parse_run_args(args: &[String]) -> RunArgs {
         layout: ModelLayoutSpec::Compact,
         order: UpdateOrderSpec::SeqCst,
         sparse: SparsePathSpec::Auto,
+        trajectory_every: None,
         json: None,
         pretty: false,
+        parallel: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -293,8 +314,12 @@ fn parse_run_args(args: &[String]) -> RunArgs {
             "--layout" => parsed.layout = parse_to!("--layout"),
             "--order" => parsed.order = parse_to!("--order"),
             "--sparse" => parsed.sparse = parse_to!("--sparse"),
+            "--trajectory-every" => {
+                parsed.trajectory_every = Some(parse_to!("--trajectory-every"));
+            }
             "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
             "--pretty" => parsed.pretty = true,
+            "--parallel" => parsed.parallel = true,
             "--help" | "-h" => usage_run(),
             other => {
                 eprintln!("error: unknown flag `{other}`");

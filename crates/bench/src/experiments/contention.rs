@@ -8,12 +8,15 @@
 //! Spec-driven: every execution is one [`RunSpec`] differing only in the
 //! [`SchedulerSpec`]; the Lemma 6.2/6.4 audits need the raw iteration
 //! records, so the runs go through the driver's detailed simulated entry
-//! point ([`asgd_driver::run_simulated_lockfree_detailed`]).
+//! point ([`asgd_driver::run_simulated_lockfree_detailed`]) — fanned out per
+//! scheduler on the session driver's worker pool
+//! ([`Driver::run_many_with`]), which is sound here because every spec
+//! carries its own seed and the simulated backend is deterministic.
 
 use crate::ExperimentOutput;
 use asgd_core::runner::LockFreeRun;
 use asgd_driver::{
-    run_simulated_lockfree_detailed, BackendKind, RunReport, RunSpec, SchedulerSpec,
+    run_simulated_lockfree_detailed, BackendKind, Driver, RunReport, RunSpec, SchedulerSpec,
 };
 use asgd_metrics::table::fmt_f;
 use asgd_metrics::Table;
@@ -41,13 +44,8 @@ fn schedulers(include_stale: bool) -> Vec<(&'static str, SchedulerSpec)> {
     v
 }
 
-fn execute(
-    scheduler: SchedulerSpec,
-    n: usize,
-    iterations: u64,
-    seed: u64,
-) -> (RunReport, LockFreeRun) {
-    let spec = RunSpec::new(
+fn audit_spec(scheduler: SchedulerSpec, n: usize, iterations: u64, seed: u64) -> RunSpec {
+    RunSpec::new(
         OracleSpec::new("noisy-quadratic", 4).sigma(1.0),
         BackendKind::SimulatedLockFree,
     )
@@ -56,8 +54,42 @@ fn execute(
     .learning_rate(0.02)
     .x0(vec![1.0; 4])
     .scheduler(scheduler)
-    .seed(seed);
-    run_simulated_lockfree_detailed(&spec).expect("audit spec runs")
+    .seed(seed)
+}
+
+/// Single-run variant of [`execute_all`], kept for targeted audits in tests.
+#[cfg(test)]
+fn execute(
+    scheduler: SchedulerSpec,
+    n: usize,
+    iterations: u64,
+    seed: u64,
+) -> (RunReport, LockFreeRun) {
+    run_simulated_lockfree_detailed(&audit_spec(scheduler, n, iterations, seed))
+        .expect("audit spec runs")
+}
+
+/// Runs every scheduler's audit concurrently on the session driver's pool,
+/// returning `(name, report, detailed run)` per scheduler, in input order.
+fn execute_all(
+    schedulers: &[(&'static str, SchedulerSpec)],
+    n: usize,
+    iterations: u64,
+    seed: u64,
+) -> Vec<(&'static str, RunReport, LockFreeRun)> {
+    let specs: Vec<RunSpec> = schedulers
+        .iter()
+        .map(|&(_, sched)| audit_spec(sched, n, iterations, seed))
+        .collect();
+    let results = Driver::new().run_many_with(&specs, run_simulated_lockfree_detailed);
+    schedulers
+        .iter()
+        .zip(results)
+        .map(|(&(name, _), result)| {
+            let (report, run) = result.expect("audit spec runs");
+            (name, report, run)
+        })
+        .collect()
 }
 
 /// **Lemma 6.2**: in any window where `K·n` consecutive iterations start,
@@ -78,8 +110,7 @@ pub fn run_l62(quick: bool) -> ExperimentOutput {
             "holds",
         ],
     );
-    for (name, sched) in schedulers(true) {
-        let (_, run) = execute(sched, n, iterations, 0x62);
+    for (name, _, run) in execute_all(&schedulers(true), n, iterations, 0x62) {
         for k in [1u64, 2, 4] {
             if let Some(audit) = run.execution.contention.lemma_6_2(k) {
                 table.row(&[
@@ -113,8 +144,7 @@ pub fn run_l64(quick: bool) -> ExperimentOutput {
             "holds",
         ],
     );
-    for (name, sched) in schedulers(true) {
-        let (report, run) = execute(sched, n, iterations, 0x64);
+    for (name, report, run) in execute_all(&schedulers(true), n, iterations, 0x64) {
         let audit = run.execution.contention.lemma_6_4();
         let summary = report.contention.as_ref().expect("simulated run");
         table.row(&[
@@ -141,8 +171,7 @@ pub fn run_tavg(quick: bool) -> ExperimentOutput {
     );
     let ns: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
     for &n in ns {
-        for (name, sched) in schedulers(n >= 2) {
-            let (report, _) = execute(sched, n, iterations, 0xA7 + n as u64);
+        for (name, report, _) in execute_all(&schedulers(n >= 2), n, iterations, 0xA7 + n as u64) {
             let c = report.contention.as_ref().expect("simulated run");
             table.row(&[
                 name.to_string(),

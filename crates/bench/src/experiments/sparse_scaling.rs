@@ -13,7 +13,7 @@
 
 use crate::ExperimentOutput;
 use asgd_driver::json::Value;
-use asgd_driver::{run_spec, BackendKind, RunSpec, SparsePathSpec};
+use asgd_driver::{BackendKind, Driver, RunSpec, SparsePathSpec};
 use asgd_metrics::table::fmt_f;
 use asgd_metrics::Table;
 use asgd_oracle::OracleSpec;
@@ -35,10 +35,10 @@ pub struct Row {
     pub iters_per_sec: f64,
 }
 
-fn measure(d: usize, threads: usize, sparse: SparsePathSpec, iterations: u64) -> Row {
+fn cell_spec(d: usize, threads: usize, sparse: SparsePathSpec, iterations: u64) -> RunSpec {
     // Δ = 1 single-coordinate gradients have magnitude d·x_j, so stability
     // needs α ~ 1/d; noiseless keeps every run finite at any d.
-    let spec = RunSpec::new(
+    RunSpec::new(
         OracleSpec::new("sparse-quadratic", d).sigma(0.0),
         BackendKind::Hogwild,
     )
@@ -47,24 +47,13 @@ fn measure(d: usize, threads: usize, sparse: SparsePathSpec, iterations: u64) ->
     .learning_rate(0.5 / d as f64)
     .x0(vec![1.0; d])
     .seed(0xD0_0D)
-    .sparse(sparse);
-    let report = run_spec(&spec).expect("sparse-scaling spec runs");
-    let path = if report.sparse_path == Some(true) {
-        "sparse"
-    } else {
-        "dense"
-    };
-    Row {
-        d,
-        threads,
-        path,
-        iterations,
-        wall_secs: report.wall_time_secs,
-        iters_per_sec: report.iterations_per_sec(),
-    }
+    .sparse(sparse)
 }
 
-/// Runs the sweep.
+/// Runs the sweep through [`Driver::run_many`] with a single-worker pool:
+/// like the `speedup` experiment, the throughput columns are the output, so
+/// a dense cell must not share cores with the sparse twin it is being
+/// compared against.
 #[must_use]
 pub fn sweep(quick: bool) -> Vec<Row> {
     let (dims, thread_counts, iterations): (Vec<usize>, Vec<usize>, u64) = if quick {
@@ -72,15 +61,34 @@ pub fn sweep(quick: bool) -> Vec<Row> {
     } else {
         (vec![16, 1024, 65_536], vec![1, 2, 4, 8], 20_000)
     };
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for &d in &dims {
         for &threads in &thread_counts {
             for path in [SparsePathSpec::Dense, SparsePathSpec::Sparse] {
-                rows.push(measure(d, threads, path, iterations));
+                specs.push(cell_spec(d, threads, path, iterations));
             }
         }
     }
-    rows
+    let reports = Driver::new().workers(1).run_many(&specs);
+    specs
+        .iter()
+        .zip(reports)
+        .map(|(spec, report)| {
+            let report = report.expect("sparse-scaling spec runs");
+            Row {
+                d: spec.oracle.dim,
+                threads: spec.threads,
+                path: if report.sparse_path == Some(true) {
+                    "sparse"
+                } else {
+                    "dense"
+                },
+                iterations: spec.iterations,
+                wall_secs: report.wall_time_secs,
+                iters_per_sec: report.iterations_per_sec(),
+            }
+        })
+        .collect()
 }
 
 /// The sparse/dense throughput ratio for each `(d, threads)` cell.

@@ -13,10 +13,14 @@
 //! honestly via the `b=1` rows).
 //!
 //! Spec-driven: one [`RunSpec`] per cell, with only the backend and thread
-//! count varying — the head-to-head the unified driver exists for.
+//! count varying — the head-to-head the unified driver exists for. The
+//! sweep executes through [`Driver::run_many`] with a single-worker pool:
+//! each spec carries its own seed, so pooled results equal serial
+//! `run_spec` calls, and serialising the cells keeps the throughput
+//! columns free of cross-cell core contention.
 
 use crate::ExperimentOutput;
-use asgd_driver::{run_spec, BackendKind, RunSpec};
+use asgd_driver::{BackendKind, Driver, RunSpec};
 use asgd_metrics::table::fmt_f;
 use asgd_metrics::Table;
 use asgd_oracle::OracleSpec;
@@ -38,13 +42,15 @@ pub struct Row {
     pub locked_dist_sq: f64,
 }
 
-/// Runs the sweep.
+/// The sweep's spec list: for each `(batch, threads)` cell, the lock-free
+/// spec immediately followed by its locked twin. Public so the acceptance
+/// tests can replay exactly this sweep serially and through the pool.
 #[must_use]
-pub fn sweep(quick: bool) -> Vec<Row> {
+pub fn specs(quick: bool) -> Vec<RunSpec> {
     let d = 64;
     let threads: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
     let batches: &[usize] = if quick { &[64] } else { &[1, 64] };
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for &batch in batches {
         let iterations: u64 = if quick {
             10_000
@@ -63,20 +69,39 @@ pub fn sweep(quick: bool) -> Vec<Row> {
         .seed(42);
         for &n in threads {
             let spec = base.clone().threads(n);
-            let lf = run_spec(&spec).expect("hogwild spec runs");
-            let lk =
-                run_spec(&spec.clone().backend(BackendKind::Locked)).expect("locked spec runs");
-            rows.push(Row {
-                batch,
-                threads: n,
+            specs.push(spec.clone());
+            specs.push(spec.backend(BackendKind::Locked));
+        }
+    }
+    specs
+}
+
+/// Runs the sweep through the session driver. The pool is capped at **one**
+/// worker: every cell's throughput is the experiment's actual output, and a
+/// hogwild cell running concurrently with its locked comparison twin would
+/// bias the very ratio the table reports. The sweep still exercises the
+/// `run_many` machinery (ordering, per-spec errors), just without timing
+/// interference.
+#[must_use]
+pub fn sweep(quick: bool) -> Vec<Row> {
+    let specs = specs(quick);
+    let reports = Driver::new().workers(1).run_many(&specs);
+    specs
+        .chunks(2)
+        .zip(reports.chunks(2))
+        .map(|(pair, outcome)| {
+            let lf = outcome[0].as_ref().expect("hogwild spec runs");
+            let lk = outcome[1].as_ref().expect("locked spec runs");
+            Row {
+                batch: pair[0].oracle.batch,
+                threads: pair[0].threads,
                 lockfree_ips: lf.iterations_per_sec(),
                 locked_ips: lk.iterations_per_sec(),
                 lockfree_dist_sq: lf.final_dist_sq,
                 locked_dist_sq: lk.final_dist_sq,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// Runs the experiment.

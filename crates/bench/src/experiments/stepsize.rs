@@ -15,10 +15,13 @@
 //!
 //! Spec-driven: both arms are the *same* [`RunSpec`] except for backend and
 //! step schedule — `simulated-lockfree` with `Constant` vs
-//! `simulated-fullsgd` with `Halving`, equal total budget.
+//! `simulated-fullsgd` with `Halving`, equal total budget. All
+//! `2 × trials` runs execute concurrently through [`Driver::run_many`];
+//! per-trial seeds live in the specs, so the pooled means are bit-identical
+//! to the serial ones.
 
 use crate::ExperimentOutput;
-use asgd_driver::{run_spec, BackendKind, RunSpec, SchedulerSpec};
+use asgd_driver::{BackendKind, Driver, RunSpec, SchedulerSpec};
 use asgd_math::rng::SeedSequence;
 use asgd_metrics::table::fmt_f;
 use asgd_metrics::Table;
@@ -62,22 +65,26 @@ pub fn compare(quick: bool) -> Comparison {
         delay: tau,
     });
 
-    let mut fixed_acc = 0.0;
-    let mut halving_acc = 0.0;
+    // One spec per (trial, arm), fixed arm first: the pool executes them
+    // concurrently; per-trial seeds make the means order-independent.
+    let mut specs = Vec::with_capacity(2 * trials as usize);
     for i in 0..trials {
         let seed = seq.child_seed(i);
-        let fixed =
-            run_spec(&base.clone().learning_rate(alpha).seed(seed)).expect("fixed-α spec runs");
-        fixed_acc += fixed.final_dist_sq.sqrt();
-
-        let halving = run_spec(
-            &base
-                .clone()
+        specs.push(base.clone().learning_rate(alpha).seed(seed));
+        specs.push(
+            base.clone()
                 .backend(BackendKind::SimulatedFullSgd)
                 .halving(alpha, epochs)
                 .seed(seed),
-        )
-        .expect("halving spec runs");
+        );
+    }
+    let reports = Driver::new().run_many(&specs);
+    let mut fixed_acc = 0.0;
+    let mut halving_acc = 0.0;
+    for pair in reports.chunks(2) {
+        let fixed = pair[0].as_ref().expect("fixed-α spec runs");
+        let halving = pair[1].as_ref().expect("halving spec runs");
+        fixed_acc += fixed.final_dist_sq.sqrt();
         halving_acc += halving.final_dist_sq.sqrt();
     }
     Comparison {

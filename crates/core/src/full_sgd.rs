@@ -24,12 +24,15 @@
 //!   `r = x_epoch_start + Σᵢ Acc[i]` (Algorithm 2, lines 8–9).
 
 use crate::lockfree::{EpochSgdConfig, EpochSgdProcess};
+use crate::monitor::HittingMonitor;
 use asgd_oracle::GradientOracle;
-use asgd_shmem::engine::{Engine, ExecutionReport};
+use asgd_shmem::engine::{Engine, ExecutionReport, StopReason};
 use asgd_shmem::memory::Memory;
 use asgd_shmem::op::{Action, MemOp, OpResult};
 use asgd_shmem::process::{Process, ProcessCtx};
 use asgd_shmem::sched::Scheduler;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Hyper-parameters of Algorithm 2.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -365,6 +368,38 @@ pub struct FullSgdReport {
     pub layout: FullSgdLayout,
 }
 
+/// Strided trajectory sampler: `f(t, ‖x_t − x*‖²)` over the §6.1 ordered
+/// accumulator sequence.
+pub type ProgressFn = Box<dyn FnMut(u64, f64)>;
+
+/// Session options for [`run_simulated_session`]: a cooperative stop flag
+/// and a strided trajectory sampler, both optional. [`run_simulated`] is the
+/// equivalent with neither.
+#[derive(Default)]
+pub struct SimSession {
+    /// Checked by the engine before every simulated step; once raised, the
+    /// run ends with [`asgd_shmem::StopReason::Cancelled`].
+    pub stop_flag: Option<Arc<AtomicBool>>,
+    /// `(stride, f)`: `f(t, ‖x_t − x*‖²)` fires for `t = 0` (`x₀`) and every
+    /// ordered iteration count `t` that is a multiple of `stride`, where
+    /// `x_t` is the §6.1 accumulator folded over *all* epochs' model writes
+    /// (epoch transitions drop late writes from the shared model, but the
+    /// accumulator, like the paper's, keeps every ordered update).
+    pub progress: Option<(u64, ProgressFn)>,
+}
+
+impl std::fmt::Debug for SimSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSession")
+            .field("stop_flag", &self.stop_flag.is_some())
+            .field(
+                "progress",
+                &self.progress.as_ref().map(|(stride, _)| stride),
+            )
+            .finish()
+    }
+}
+
 /// Runs Algorithm 2 in the simulator with `n` threads.
 ///
 /// # Panics
@@ -379,6 +414,36 @@ pub fn run_simulated<O: GradientOracle + Clone + 'static>(
     scheduler: impl Scheduler + 'static,
     seed: u64,
     max_steps: Option<u64>,
+) -> FullSgdReport {
+    run_simulated_session(
+        oracle,
+        cfg,
+        n,
+        x0,
+        scheduler,
+        seed,
+        max_steps,
+        SimSession::default(),
+    )
+}
+
+/// Like [`run_simulated`], with a [`SimSession`] for cancellation and
+/// trajectory sampling.
+///
+/// # Panics
+///
+/// Panics if `x0`'s dimension differs from the oracle's.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors run_simulated + the session
+pub fn run_simulated_session<O: GradientOracle + Clone + 'static>(
+    oracle: O,
+    cfg: FullSgdConfig,
+    n: usize,
+    x0: &[f64],
+    scheduler: impl Scheduler + 'static,
+    seed: u64,
+    max_steps: Option<u64>,
+    session: SimSession,
 ) -> FullSgdReport {
     let d = oracle.dimension();
     assert_eq!(x0.len(), d, "x0 dimension mismatch");
@@ -397,23 +462,54 @@ pub fn run_simulated<O: GradientOracle + Clone + 'static>(
     if let Some(steps) = max_steps {
         builder = builder.max_steps(steps);
     }
+    if let Some(flag) = session.stop_flag {
+        builder = builder.stop_flag(flag);
+    }
+    if let Some((stride, mut f)) = session.progress {
+        // ModelWrite tags carry model-relative entries in every epoch
+        // region, so one monitor folds the cross-epoch accumulator.
+        f(0, asgd_math::vec::l2_dist_sq(x0, oracle.minimizer()));
+        let monitor =
+            HittingMonitor::new(n, x0.to_vec(), oracle.minimizer().to_vec(), f64::INFINITY)
+                .on_sample(stride, f)
+                .shared();
+        builder = builder.observer(move |ev| monitor.borrow_mut().observe(ev));
+    }
     for _ in 0..n {
         builder = builder.process(FullSgdProcess::new(oracle.clone(), cfg));
     }
     let execution = builder.build().run();
 
-    let snapshot: Vec<f64> = if cfg.halving_epochs == 0 {
-        // The final epoch is epoch 0: its start state is x₀ itself.
-        x0.to_vec()
+    // A cancelled run's processes never reach their Acc-publish phase (and
+    // may not have initialised the final epoch at all), leaving the
+    // snapshot/Acc regions stale or zero; report the deepest epoch whose
+    // init guard reads "ready" instead, so cancelled reports describe real
+    // partial progress (mirrors the native executor).
+    let live_epoch = (0..layout.total_epochs)
+        .rev()
+        .find(|&e| e == 0 || execution.memory.counter(layout.guard_counter(e)) == 2)
+        .unwrap_or(0);
+    let (r, final_model) = if execution.stop == StopReason::Cancelled {
+        let base = layout.model_region(live_epoch);
+        let live = execution.memory.floats()[base..base + d].to_vec();
+        (live.clone(), live)
     } else {
-        let base = layout.snapshot_base();
-        execution.memory.floats()[base..base + d].to_vec()
+        let snapshot: Vec<f64> = if cfg.halving_epochs == 0 {
+            // The final epoch is epoch 0: its start state is x₀ itself.
+            x0.to_vec()
+        } else {
+            let base = layout.snapshot_base();
+            execution.memory.floats()[base..base + d].to_vec()
+        };
+        let acc_base = layout.acc_base();
+        let acc = &execution.memory.floats()[acc_base..acc_base + d];
+        let r: Vec<f64> = snapshot.iter().zip(acc).map(|(s, a)| s + a).collect();
+        let last_base = layout.model_region(layout.total_epochs - 1);
+        (
+            r,
+            execution.memory.floats()[last_base..last_base + d].to_vec(),
+        )
     };
-    let acc_base = layout.acc_base();
-    let acc = &execution.memory.floats()[acc_base..acc_base + d];
-    let r: Vec<f64> = snapshot.iter().zip(acc).map(|(s, a)| s + a).collect();
-    let last_base = layout.model_region(layout.total_epochs - 1);
-    let final_model = execution.memory.floats()[last_base..last_base + d].to_vec();
     let dist_to_opt = asgd_math::vec::l2_dist(&r, oracle.minimizer());
     FullSgdReport {
         r,

@@ -20,12 +20,15 @@ use std::rc::Rc;
 /// Sparse update list of one in-flight iteration: `(order index, deltas)`.
 type InFlight = (u64, Vec<(usize, f64)>);
 
+/// Strided trajectory sampler: called with `(t, ‖x_t − x*‖²)` for ordered
+/// iteration counts `t` that are multiples of the stride.
+type SampleFn = Box<dyn FnMut(u64, f64)>;
+
 /// Streaming monitor for success-region hitting times.
 ///
 /// Wrap it in an [`Rc<RefCell<_>>`] via [`HittingMonitor::shared`] and hand a
 /// forwarding closure to
 /// [`EngineBuilder::observer`](asgd_shmem::engine::EngineBuilder::observer).
-#[derive(Debug)]
 pub struct HittingMonitor {
     /// Running accumulator `x_t`.
     x: Vec<f64>,
@@ -42,6 +45,21 @@ pub struct HittingMonitor {
     hit: Option<u64>,
     min_dist_sq: f64,
     evaluated: u64,
+    sampler: Option<(u64, SampleFn)>,
+}
+
+impl std::fmt::Debug for HittingMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HittingMonitor")
+            .field("eps", &self.eps)
+            .field("next_index", &self.next_index)
+            .field("started", &self.started)
+            .field("hit", &self.hit)
+            .field("min_dist_sq", &self.min_dist_sq)
+            .field("evaluated", &self.evaluated)
+            .field("sampler", &self.sampler.as_ref().map(|(stride, _)| stride))
+            .finish_non_exhaustive()
+    }
 }
 
 impl HittingMonitor {
@@ -68,7 +86,17 @@ impl HittingMonitor {
             hit: None,
             min_dist_sq: min,
             evaluated: 0,
+            sampler: None,
         }
+    }
+
+    /// Installs a strided trajectory sampler: `f(t, ‖x_t − x*‖²)` fires after
+    /// folding ordered iteration `t` whenever `t` is a multiple of `stride`
+    /// (clamped to ≥ 1). Pure observation — the fold itself is unchanged.
+    #[must_use]
+    pub fn on_sample(mut self, stride: u64, f: impl FnMut(u64, f64) + 'static) -> Self {
+        self.sampler = Some((stride.max(1), Box::new(f)));
+        self
     }
 
     /// Wraps the monitor for sharing with the engine observer closure.
@@ -134,6 +162,11 @@ impl HittingMonitor {
             self.min_dist_sq = self.min_dist_sq.min(dist_sq);
             if self.hit.is_none() && dist_sq <= self.eps {
                 self.hit = Some(self.next_index); // 1-based iteration count
+            }
+            if let Some((stride, f)) = &mut self.sampler {
+                if self.next_index.is_multiple_of(*stride) {
+                    f(self.next_index, dist_sq);
+                }
             }
         }
     }
@@ -274,6 +307,21 @@ mod tests {
             },
         });
         assert_eq!(m.evaluated(), 0);
+    }
+
+    #[test]
+    fn sampler_fires_at_stride_multiples_without_changing_the_fold() {
+        let samples = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&samples);
+        let mut m = HittingMonitor::new(1, vec![4.0], vec![0.0], 1e-12)
+            .on_sample(2, move |t, d| sink.borrow_mut().push((t, d)));
+        for _ in 0..5 {
+            m.observe(&write_event(0, 0, -1.0, true, true));
+        }
+        assert_eq!(m.evaluated(), 5);
+        // x_t = 4 − t ⇒ dist² at t=2 is 4, at t=4 is 0.
+        assert_eq!(&*samples.borrow(), &[(2, 4.0), (4, 0.0)]);
+        assert!(format!("{m:?}").contains("sampler"), "debug impl present");
     }
 
     #[test]

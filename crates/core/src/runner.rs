@@ -18,6 +18,12 @@ use asgd_shmem::engine::{Engine, ExecutionReport};
 use asgd_shmem::memory::Memory;
 use asgd_shmem::sched::Scheduler;
 use asgd_shmem::trace::TraceLevel;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Strided trajectory sampler: `(t, ‖x_t − x*‖²)` over the §6.1 ordered
+/// accumulator sequence.
+type ProgressFn = Box<dyn FnMut(u64, f64)>;
 
 /// Builder for a simulated lock-free SGD run (Algorithm 1 on `n` threads).
 ///
@@ -35,6 +41,8 @@ pub struct LockFreeSgd<O> {
     max_steps: Option<u64>,
     trace: TraceLevel,
     sparse: bool,
+    stop_flag: Option<Arc<AtomicBool>>,
+    progress: Option<(u64, ProgressFn)>,
 }
 
 /// Error constructing a simulated lock-free run from its builder.
@@ -102,7 +110,29 @@ impl<O: GradientOracle + Clone + 'static> LockFreeSgd<O> {
             max_steps: None,
             trace: TraceLevel::Off,
             sparse: false,
+            stop_flag: None,
+            progress: None,
         }
+    }
+
+    /// Installs a cooperative stop flag, checked by the engine before every
+    /// simulated step: once raised, the run ends with
+    /// [`asgd_shmem::StopReason::Cancelled`].
+    #[must_use]
+    pub fn stop_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.stop_flag = Some(flag);
+        self
+    }
+
+    /// Installs a strided trajectory sampler on the §6.1 ordered accumulator
+    /// sequence: `f(t, ‖x_t − x*‖²)` fires for `t = 0` (`x₀`) and every
+    /// ordered iteration count `t` that is a multiple of `stride` (clamped
+    /// to ≥ 1). Pure observation via the engine event stream — attaching it
+    /// does not change the execution.
+    #[must_use]
+    pub fn progress(mut self, stride: u64, f: impl FnMut(u64, f64) + 'static) -> Self {
+        self.progress = Some((stride.max(1), Box::new(f)));
+        self
     }
 
     /// Requests the O(Δ) sparse op pattern (effective only for oracles with
@@ -225,6 +255,9 @@ impl<O: GradientOracle + Clone + 'static> LockFreeSgd<O> {
         if let Some(steps) = self.max_steps {
             builder = builder.max_steps(steps);
         }
+        if let Some(flag) = self.stop_flag {
+            builder = builder.stop_flag(flag);
+        }
         // Sparse mode only changes the op pattern when the oracle actually
         // has the two-phase decomposition; probe once with a throwaway RNG
         // so the report states what really happened.
@@ -240,15 +273,30 @@ impl<O: GradientOracle + Clone + 'static> LockFreeSgd<O> {
             ));
         }
 
-        let monitor = self.eps.map(|eps| {
-            HittingMonitor::new(
+        // One monitor serves both hitting-time tracking (a real `eps`) and
+        // trajectory sampling (an attached progress callback); with sampling
+        // only, it folds against an unreachable `∞` radius and its hit data
+        // is discarded below.
+        let mut progress = self.progress;
+        if let Some((_, f)) = &mut progress {
+            // The sampler sees x₀ (zero updates applied) first, matching the
+            // native executors' claim-0 sample.
+            f(0, asgd_math::vec::l2_dist_sq(&x0, self.oracle.minimizer()));
+        }
+        let monitor = if self.eps.is_some() || progress.is_some() {
+            let mut m = HittingMonitor::new(
                 self.threads,
                 x0.clone(),
                 self.oracle.minimizer().to_vec(),
-                eps,
-            )
-            .shared()
-        });
+                self.eps.unwrap_or(f64::INFINITY),
+            );
+            if let Some((stride, f)) = progress {
+                m = m.on_sample(stride, f);
+            }
+            Some(m.shared())
+        } else {
+            None
+        };
         if let Some(m) = &monitor {
             let handle = std::rc::Rc::clone(m);
             builder = builder.observer(move |ev| handle.borrow_mut().observe(ev));
@@ -257,12 +305,12 @@ impl<O: GradientOracle + Clone + 'static> LockFreeSgd<O> {
         let execution = builder.build().run();
         let final_model = execution.memory.floats()[..d].to_vec();
         let final_dist_sq = asgd_math::vec::l2_dist_sq(&final_model, self.oracle.minimizer());
-        let (hit_iteration, min_dist_sq) = match monitor {
-            Some(m) => {
+        let (hit_iteration, min_dist_sq) = match (&monitor, self.eps) {
+            (Some(m), Some(_)) => {
                 let m = m.borrow();
                 (m.hit_iteration(), m.min_dist_sq())
             }
-            None => (None, final_dist_sq),
+            _ => (None, final_dist_sq),
         };
         Ok(LockFreeRun {
             used_sparse,

@@ -3,6 +3,12 @@
 use asgd_oracle::GradientOracle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Strided trajectory inspector: called with `(t, ‖x_t − x*‖²)` where `t`
+/// counts the updates already applied to the inspected state.
+type InspectFn = Box<dyn FnMut(u64, f64)>;
 
 /// Runner for the classic iteration `x_{t+1} = x_t − α·g̃(x_t)`.
 ///
@@ -22,7 +28,6 @@ use rand::SeedableRng;
 ///     .run();
 /// assert!(report.hit_iteration.is_some());
 /// ```
-#[derive(Debug)]
 pub struct SequentialSgd<'a, O> {
     oracle: &'a O,
     alpha: f64,
@@ -32,6 +37,20 @@ pub struct SequentialSgd<'a, O> {
     seed: u64,
     record_distances: bool,
     stop_on_success: bool,
+    stop_flag: Option<Arc<AtomicBool>>,
+    inspect: Option<(u64, InspectFn)>,
+}
+
+impl<O: std::fmt::Debug> std::fmt::Debug for SequentialSgd<'_, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SequentialSgd")
+            .field("oracle", &self.oracle)
+            .field("alpha", &self.alpha)
+            .field("iterations", &self.iterations)
+            .field("seed", &self.seed)
+            .field("inspect", &self.inspect.as_ref().map(|(stride, _)| stride))
+            .finish_non_exhaustive()
+    }
 }
 
 /// Outcome of a sequential run.
@@ -52,6 +71,9 @@ pub struct SequentialReport {
     /// Per-iteration squared distances (index 0 = after first step), present
     /// only when distance recording was enabled.
     pub distances_sq: Option<Vec<f64>>,
+    /// Whether the run was ended early by the stop flag (the iteration count
+    /// then reflects only the work actually done).
+    pub cancelled: bool,
 }
 
 impl<'a, O: GradientOracle> SequentialSgd<'a, O> {
@@ -68,6 +90,8 @@ impl<'a, O: GradientOracle> SequentialSgd<'a, O> {
             seed: 0,
             record_distances: false,
             stop_on_success: false,
+            stop_flag: None,
+            inspect: None,
         }
     }
 
@@ -126,6 +150,26 @@ impl<'a, O: GradientOracle> SequentialSgd<'a, O> {
         self
     }
 
+    /// Installs a cooperative stop flag, checked at the top of every
+    /// iteration: once raised, the run returns early with
+    /// [`SequentialReport::cancelled`] set.
+    #[must_use]
+    pub fn stop_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.stop_flag = Some(flag);
+        self
+    }
+
+    /// Installs a strided trajectory inspector: `f(t, ‖x_t − x*‖²)` fires at
+    /// the top of iteration `t + 1` for every `t` that is a multiple of
+    /// `stride` (clamped to ≥ 1) — i.e. on the state with exactly `t`
+    /// updates applied, starting at `t = 0` (`x₀`). Pure observation: the
+    /// trajectory and coin stream are unchanged.
+    #[must_use]
+    pub fn inspect(mut self, stride: u64, f: impl FnMut(u64, f64) + 'static) -> Self {
+        self.inspect = Some((stride.max(1), Box::new(f)));
+        self
+    }
+
     /// Runs SGD and reports the trajectory statistics.
     ///
     /// # Panics
@@ -133,26 +177,45 @@ impl<'a, O: GradientOracle> SequentialSgd<'a, O> {
     /// Panics if the configured initial point has the wrong dimension.
     #[must_use]
     pub fn run(self) -> SequentialReport {
-        let d = self.oracle.dimension();
+        let oracle = self.oracle;
+        let stop_flag = self.stop_flag;
+        let mut inspect = self.inspect;
+        let d = oracle.dimension();
         let mut x = self.x0.unwrap_or_else(|| vec![0.0; d]);
         assert_eq!(x.len(), d, "initial point dimension mismatch");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut g = vec![0.0; d];
         let mut hit = None;
-        let mut min_dist_sq = self.oracle.dist_sq_to_opt(&x);
+        let mut current_dist_sq = oracle.dist_sq_to_opt(&x);
+        let mut min_dist_sq = current_dist_sq;
         let mut distances = self.record_distances.then(Vec::new);
         let mut executed = 0;
+        let mut cancelled = false;
         for t in 1..=self.iterations {
-            self.oracle.sample_gradient(&x, &mut rng, &mut g);
+            if let Some(flag) = &stop_flag {
+                if flag.load(Ordering::Relaxed) {
+                    cancelled = true;
+                    break;
+                }
+            }
+            if let Some((stride, f)) = &mut inspect {
+                // Observe x_{t−1}: the state with t − 1 updates applied —
+                // the same index convention as the native executors' claim
+                // indices, so strided samples align across backends.
+                if (t - 1).is_multiple_of(*stride) {
+                    f(t - 1, current_dist_sq);
+                }
+            }
+            oracle.sample_gradient(&x, &mut rng, &mut g);
             asgd_math::vec::axpy(&mut x, -self.alpha, &g);
             executed = t;
-            let dist_sq = self.oracle.dist_sq_to_opt(&x);
-            min_dist_sq = min_dist_sq.min(dist_sq);
+            current_dist_sq = oracle.dist_sq_to_opt(&x);
+            min_dist_sq = min_dist_sq.min(current_dist_sq);
             if let Some(ds) = &mut distances {
-                ds.push(dist_sq);
+                ds.push(current_dist_sq);
             }
             if let Some(eps) = self.eps {
-                if hit.is_none() && dist_sq <= eps {
+                if hit.is_none() && current_dist_sq <= eps {
                     hit = Some(t);
                     if self.stop_on_success {
                         break;
@@ -161,12 +224,13 @@ impl<'a, O: GradientOracle> SequentialSgd<'a, O> {
             }
         }
         SequentialReport {
-            final_dist_sq: self.oracle.dist_sq_to_opt(&x),
+            final_dist_sq: oracle.dist_sq_to_opt(&x),
             final_x: x,
             hit_iteration: hit,
             min_dist_sq,
             iterations: executed,
             distances_sq: distances,
+            cancelled,
         }
     }
 }
@@ -249,6 +313,50 @@ mod tests {
         };
         assert_eq!(run(9).final_x, run(9).final_x);
         assert_ne!(run(9).final_x, run(10).final_x);
+    }
+
+    #[test]
+    fn inspector_sees_strided_states_without_perturbing_the_run() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let o = NoisyQuadratic::new(1, 0.0).unwrap();
+        let plain = SequentialSgd::new(&o)
+            .learning_rate(0.5)
+            .iterations(8)
+            .initial_point(vec![1.0])
+            .run();
+        let samples = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&samples);
+        let inspected = SequentialSgd::new(&o)
+            .learning_rate(0.5)
+            .iterations(8)
+            .initial_point(vec![1.0])
+            .inspect(4, move |t, d| sink.borrow_mut().push((t, d)))
+            .run();
+        assert_eq!(plain.final_x, inspected.final_x, "pure observation");
+        // States with 0 and 4 updates: dist² = 1 and 0.5^8.
+        let got = samples.borrow().clone();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (0, 1.0));
+        assert_eq!(got[1].0, 4);
+        assert!((got[1].1 - 0.5_f64.powi(8)).abs() < 1e-15);
+        assert!(!inspected.cancelled);
+    }
+
+    #[test]
+    fn raised_stop_flag_ends_the_run_immediately() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let o = NoisyQuadratic::new(1, 0.0).unwrap();
+        let report = SequentialSgd::new(&o)
+            .learning_rate(0.5)
+            .iterations(1_000_000)
+            .initial_point(vec![1.0])
+            .stop_flag(Arc::new(AtomicBool::new(true)))
+            .run();
+        assert!(report.cancelled);
+        assert_eq!(report.iterations, 0);
+        assert_eq!(report.final_x, vec![1.0], "no step executed");
     }
 
     #[test]

@@ -6,13 +6,15 @@
 
 use crate::error::DriverError;
 use crate::report::{ContentionSummary, RunReport};
+use crate::session::{RunEvent, SampleHub, SessionCtx, DEFAULT_PROGRESS_STRIDE};
 use crate::spec::{BackendKind, ModelLayoutSpec, RunSpec, SparsePathSpec, UpdateOrderSpec};
-use asgd_core::full_sgd::{run_simulated, FullSgdConfig};
+use asgd_core::full_sgd::{run_simulated_session, FullSgdConfig, SimSession};
 use asgd_core::runner::LockFreeSgd;
 use asgd_core::sequential::SequentialSgd;
 use asgd_hogwild::{
     ExecTuning, GuardedEpochSgd, GuardedEpochSgdConfig, Hogwild, HogwildConfig, LockedSgd,
-    ModelLayout, NativeFullSgd, NativeFullSgdConfig, SparsePolicy, UpdateOrder,
+    MetricsSink, ModelLayout, NativeFullSgd, NativeFullSgdConfig, RunControl, SparsePolicy,
+    UpdateOrder,
 };
 use asgd_math::rng::SeedSequence;
 use asgd_oracle::GradientOracle;
@@ -40,6 +42,54 @@ fn native_tuning(spec: &RunSpec) -> ExecTuning {
     }
 }
 
+/// The sampling stride a session uses: the spec's trajectory stride, or a
+/// coarse default for observer-only sessions.
+fn effective_stride(spec: &RunSpec) -> u64 {
+    spec.trajectory_stride
+        .unwrap_or(DEFAULT_PROGRESS_STRIDE)
+        .max(1)
+}
+
+/// Builds the per-run sample hub, or `None` when nothing observes this run
+/// (backends then skip sampling work entirely).
+fn hub_for(spec: &RunSpec, ctx: &SessionCtx) -> Option<SampleHub> {
+    let hub = SampleHub::new(ctx, spec.trajectory_stride.is_some(), spec.iterations);
+    hub.active().then_some(hub)
+}
+
+/// The shared session wiring of the four native backends: builds the hub
+/// and the [`RunControl`] (stop flag + strided metrics sink forwarding into
+/// the hub), re-anchors the sample clock, invokes the executor, and drains
+/// the collected trajectory. One definition, so session semantics cannot
+/// silently diverge between native backends.
+fn with_native_control<R>(
+    spec: &RunSpec,
+    ctx: &SessionCtx,
+    run: impl FnOnce(RunControl<'_>) -> R,
+) -> (R, Option<Vec<crate::report::TrajectorySample>>) {
+    let hub = hub_for(spec, ctx);
+    let sink = |claim: u64, dist_sq: f64| {
+        if let Some(hub) = &hub {
+            hub.observe(claim, dist_sq);
+        }
+    };
+    let ctrl = RunControl {
+        stop: ctx.cancel.as_deref(),
+        metrics: hub.as_ref().map(|_| MetricsSink {
+            stride: effective_stride(spec),
+            f: &sink,
+        }),
+    };
+    if let Some(hub) = &hub {
+        // The executor starts its own wall-time clock inside `run`; anchor
+        // the sample clock here so both share one origin.
+        hub.start_now();
+    }
+    let out = run(ctrl);
+    let trajectory = hub.as_ref().and_then(SampleHub::take_trajectory);
+    (out, trajectory)
+}
+
 /// An execution model that can run a [`RunSpec`].
 pub trait Backend {
     /// Which [`BackendKind`] this backend implements.
@@ -50,13 +100,26 @@ pub trait Backend {
         self.kind().name()
     }
 
-    /// Executes the spec.
+    /// Executes the spec as a blocking one-shot call — a thin wrapper over
+    /// [`Backend::run_session`] with an inert context.
     ///
     /// # Errors
     ///
     /// Returns [`DriverError`] when the spec cannot be built or is not
     /// executable on this backend.
-    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError>;
+    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+        self.run_session(spec, &SessionCtx::default())
+    }
+
+    /// Executes the spec under a session context: progress/trajectory
+    /// observation and cooperative cancellation. Attaching a context is pure
+    /// observation — it never changes the run's coin streams or update
+    /// sequence.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Backend::run`].
+    fn run_session(&self, spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError>;
 }
 
 /// Returns the backend implementing `kind`.
@@ -81,8 +144,33 @@ pub fn backend(kind: BackendKind) -> Box<dyn Backend> {
 /// [`DriverError::InvalidSpec`] for configurations the backend cannot
 /// execute, and [`DriverError::Runner`] when the simulator rejects the run.
 pub fn run_spec(spec: &RunSpec) -> Result<RunReport, DriverError> {
+    run_spec_session(spec, &SessionCtx::default())
+}
+
+/// Like [`run_spec`], with a [`SessionCtx`] attached: the observer receives
+/// `Started`, periodic `Progress`/`TrajectorySample`, and `Finished` events,
+/// and raising the cancel flag ends the run early with
+/// `stop: Some("cancelled")`.
+///
+/// # Errors
+///
+/// Same conditions as [`run_spec`]. Cancellation is not an error.
+pub fn run_spec_session(spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError> {
     validate(spec)?;
-    backend(spec.backend).run(spec)
+    if let Some(obs) = &ctx.observer {
+        obs.on_event(&RunEvent::Started {
+            backend: spec.backend,
+            oracle: spec.oracle.kind.clone(),
+            threads: spec.threads,
+            iterations: spec.iterations,
+            seed: spec.seed,
+        });
+    }
+    let result = backend(spec.backend).run_session(spec, ctx);
+    if let (Some(obs), Ok(report)) = (&ctx.observer, &result) {
+        obs.on_event(&RunEvent::Finished(Box::new(report.clone())));
+    }
+    result
 }
 
 /// Like [`run_spec`] restricted to the simulated lock-free backend, but also
@@ -97,13 +185,18 @@ pub fn run_simulated_lockfree_detailed(
     spec: &RunSpec,
 ) -> Result<(RunReport, asgd_core::runner::LockFreeRun), DriverError> {
     validate(spec)?;
-    SimulatedLockFreeBackend::run_detailed(spec)
+    SimulatedLockFreeBackend::run_detailed(spec, &SessionCtx::default())
 }
 
 fn validate(spec: &RunSpec) -> Result<(), DriverError> {
     if spec.threads == 0 {
         return Err(DriverError::InvalidSpec(
             "at least one thread required".to_string(),
+        ));
+    }
+    if spec.trajectory_stride == Some(0) {
+        return Err(DriverError::InvalidSpec(
+            "trajectory stride must be at least 1".to_string(),
         ));
     }
     let alpha = spec.step.initial_alpha();
@@ -176,10 +269,20 @@ fn epoch_split(spec: &RunSpec) -> Result<(u64, usize), DriverError> {
 }
 
 fn stop_label(stop: StopReason) -> String {
+    // Every variant maps to a distinct label: cancellation must never be
+    // mistaken for a completed run by JSON consumers.
     match stop {
         StopReason::AllDone => "all-done".to_string(),
         StopReason::StepBudgetExhausted => "step-budget-exhausted".to_string(),
+        StopReason::Cancelled => "cancelled".to_string(),
     }
+}
+
+/// Stop label of a native run: `None` for a normal completion (native
+/// executors do not distinguish reasons), `Some("cancelled")` when the
+/// session's cancel flag ended it early.
+fn native_stop(cancelled: bool) -> Option<String> {
+    cancelled.then(|| "cancelled".to_string())
 }
 
 struct SequentialBackend;
@@ -189,13 +292,14 @@ impl Backend for SequentialBackend {
         BackendKind::Sequential
     }
 
-    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+    fn run_session(&self, spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError> {
         let alpha = spec.step.constant_alpha(self.kind())?;
         let (oracle, x0) = oracle_and_x0(spec)?;
         // Thread 0's coin stream of the concurrent backends, so one spec
         // yields bit-identical trajectories here, on the simulated serial
         // schedule, and on single-threaded Hogwild.
         let seed = SeedSequence::new(spec.seed).child_seed(0);
+        let hub = hub_for(spec, ctx).map(Arc::new);
         let mut runner = SequentialSgd::new(&oracle)
             .learning_rate(alpha)
             .iterations(spec.iterations)
@@ -204,7 +308,19 @@ impl Backend for SequentialBackend {
         if let Some(eps) = spec.success_radius_sq {
             runner = runner.success_radius_sq(eps);
         }
+        if let Some(hub) = &hub {
+            let sink = Arc::clone(hub);
+            runner = runner.inspect(effective_stride(spec), move |t, dist_sq| {
+                sink.observe(t, dist_sq);
+            });
+        }
+        if let Some(flag) = &ctx.cancel {
+            runner = runner.stop_flag(Arc::clone(flag));
+        }
         let started = Instant::now();
+        if let Some(hub) = &hub {
+            hub.start_now();
+        }
         let report = runner.run();
         let wall = started.elapsed().as_secs_f64();
         Ok(RunReport {
@@ -220,10 +336,11 @@ impl Backend for SequentialBackend {
             wall_time_secs: wall,
             steps: None,
             fingerprint: None,
-            stop: None,
+            stop: native_stop(report.cancelled),
             contention: None,
             stale_rejected: None,
             sparse_path: None,
+            trajectory: hub.as_ref().and_then(|h| h.take_trajectory()),
         })
     }
 }
@@ -233,9 +350,11 @@ struct SimulatedLockFreeBackend;
 impl SimulatedLockFreeBackend {
     fn run_detailed(
         spec: &RunSpec,
+        ctx: &SessionCtx,
     ) -> Result<(RunReport, asgd_core::runner::LockFreeRun), DriverError> {
         let alpha = spec.step.constant_alpha(BackendKind::SimulatedLockFree)?;
         let (oracle, x0) = oracle_and_x0(spec)?;
+        let hub = hub_for(spec, ctx).map(Arc::new);
         let mut builder = LockFreeSgd::builder(oracle)
             .threads(spec.threads)
             .iterations(spec.iterations)
@@ -252,7 +371,19 @@ impl SimulatedLockFreeBackend {
         if let Some(steps) = spec.max_steps {
             builder = builder.max_steps(steps);
         }
+        if let Some(hub) = &hub {
+            let sink = Arc::clone(hub);
+            builder = builder.progress(effective_stride(spec), move |t, dist_sq| {
+                sink.observe(t, dist_sq);
+            });
+        }
+        if let Some(flag) = &ctx.cancel {
+            builder = builder.stop_flag(Arc::clone(flag));
+        }
         let started = Instant::now();
+        if let Some(hub) = &hub {
+            hub.start_now();
+        }
         let run = builder.try_run()?;
         let wall = started.elapsed().as_secs_f64();
         let report = RunReport {
@@ -272,6 +403,7 @@ impl SimulatedLockFreeBackend {
             contention: Some(ContentionSummary::from_report(&run.execution.contention)),
             stale_rejected: None,
             sparse_path: Some(run.used_sparse),
+            trajectory: hub.as_ref().and_then(|h| h.take_trajectory()),
         };
         Ok((report, run))
     }
@@ -282,8 +414,8 @@ impl Backend for SimulatedLockFreeBackend {
         BackendKind::SimulatedLockFree
     }
 
-    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
-        Self::run_detailed(spec).map(|(report, _)| report)
+    fn run_session(&self, spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError> {
+        Self::run_detailed(spec, ctx).map(|(report, _)| report)
     }
 }
 
@@ -294,7 +426,7 @@ impl Backend for SimulatedFullSgdBackend {
         BackendKind::SimulatedFullSgd
     }
 
-    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+    fn run_session(&self, spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError> {
         let (per_epoch, epochs) = epoch_split(spec)?;
         let (oracle, x0) = oracle_and_x0(spec)?;
         let cfg = FullSgdConfig {
@@ -302,8 +434,21 @@ impl Backend for SimulatedFullSgdBackend {
             epoch_iterations: per_epoch,
             halving_epochs: epochs - 1,
         };
+        let hub = hub_for(spec, ctx).map(Arc::new);
+        let session = SimSession {
+            stop_flag: ctx.cancel.clone(),
+            progress: hub.as_ref().map(|hub| {
+                let sink = Arc::clone(hub);
+                let f: Box<dyn FnMut(u64, f64)> =
+                    Box::new(move |t, dist_sq| sink.observe(t, dist_sq));
+                (effective_stride(spec), f)
+            }),
+        };
         let started = Instant::now();
-        let report = run_simulated(
+        if let Some(hub) = &hub {
+            hub.start_now();
+        }
+        let report = run_simulated_session(
             oracle,
             cfg,
             spec.threads,
@@ -311,13 +456,21 @@ impl Backend for SimulatedFullSgdBackend {
             spec.scheduler.build(),
             spec.seed,
             spec.max_steps,
+            session,
         );
         let wall = started.elapsed().as_secs_f64();
+        let cancelled = report.execution.stop == StopReason::Cancelled;
         Ok(RunReport {
             backend: self.name().to_string(),
             oracle: spec.oracle.kind.clone(),
             threads: spec.threads,
-            iterations: per_epoch * epochs as u64,
+            // The claim budget is executed in full unless the run was cut
+            // short; then report the ordered iterations actually started.
+            iterations: if cancelled {
+                report.execution.contention.iterations()
+            } else {
+                per_epoch * epochs as u64
+            },
             seed: spec.seed,
             hit_iteration: None,
             min_dist_sq: None,
@@ -330,6 +483,7 @@ impl Backend for SimulatedFullSgdBackend {
             contention: Some(ContentionSummary::from_report(&report.execution.contention)),
             stale_rejected: None,
             sparse_path: None,
+            trajectory: hub.as_ref().and_then(|h| h.take_trajectory()),
         })
     }
 }
@@ -341,21 +495,23 @@ impl Backend for HogwildBackend {
         BackendKind::Hogwild
     }
 
-    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+    fn run_session(&self, spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError> {
         let alpha = spec.step.constant_alpha(self.kind())?;
         let (oracle, x0) = oracle_and_x0(spec)?;
-        let report = Hogwild::new(
-            oracle,
-            HogwildConfig {
-                threads: spec.threads,
-                iterations: spec.iterations,
-                alpha,
-                seed: spec.seed,
-                success_radius_sq: spec.success_radius_sq,
-            },
-        )
-        .tuning(native_tuning(spec))
-        .run(&x0);
+        let (report, trajectory) = with_native_control(spec, ctx, |ctrl| {
+            Hogwild::new(
+                oracle,
+                HogwildConfig {
+                    threads: spec.threads,
+                    iterations: spec.iterations,
+                    alpha,
+                    seed: spec.seed,
+                    success_radius_sq: spec.success_radius_sq,
+                },
+            )
+            .tuning(native_tuning(spec))
+            .run_controlled(&x0, ctrl)
+        });
         Ok(RunReport {
             backend: self.name().to_string(),
             oracle: spec.oracle.kind.clone(),
@@ -369,10 +525,11 @@ impl Backend for HogwildBackend {
             wall_time_secs: report.elapsed.as_secs_f64(),
             steps: None,
             fingerprint: None,
-            stop: None,
+            stop: native_stop(report.cancelled),
             contention: None,
             stale_rejected: None,
             sparse_path: Some(report.used_sparse),
+            trajectory,
         })
     }
 }
@@ -384,12 +541,14 @@ impl Backend for LockedBackend {
         BackendKind::Locked
     }
 
-    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+    fn run_session(&self, spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError> {
         let alpha = spec.step.constant_alpha(self.kind())?;
         let (oracle, x0) = oracle_and_x0(spec)?;
-        let report = LockedSgd::new(oracle, spec.threads, spec.iterations, alpha, spec.seed)
-            .tuning(native_tuning(spec))
-            .run(&x0);
+        let (report, trajectory) = with_native_control(spec, ctx, |ctrl| {
+            LockedSgd::new(oracle, spec.threads, spec.iterations, alpha, spec.seed)
+                .tuning(native_tuning(spec))
+                .run_controlled(&x0, ctrl)
+        });
         Ok(RunReport {
             backend: self.name().to_string(),
             oracle: spec.oracle.kind.clone(),
@@ -403,10 +562,11 @@ impl Backend for LockedBackend {
             wall_time_secs: report.elapsed.as_secs_f64(),
             steps: None,
             fingerprint: None,
-            stop: None,
+            stop: native_stop(report.cancelled),
             contention: None,
             stale_rejected: None,
             sparse_path: Some(report.used_sparse),
+            trajectory,
         })
     }
 }
@@ -418,26 +578,28 @@ impl Backend for GuardedEpochBackend {
         BackendKind::GuardedEpoch
     }
 
-    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+    fn run_session(&self, spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError> {
         // Same floored per-epoch budget as the other epoch backends, so one
         // spec compares equal iteration counts everywhere (the executor
         // itself can distribute remainders, but the driver keeps backends
         // aligned).
         let (per_epoch, epochs) = epoch_split(spec)?;
         let (oracle, x0) = oracle_and_x0(spec)?;
-        let report = GuardedEpochSgd::new(
-            oracle,
-            GuardedEpochSgdConfig {
-                threads: spec.threads,
-                iterations: per_epoch * epochs as u64,
-                alpha0: spec.step.initial_alpha(),
-                halving_epochs: spec.step.halving_epochs(),
-                seed: spec.seed,
-                success_radius_sq: spec.success_radius_sq,
-            },
-        )
-        .tuning(native_tuning(spec))
-        .run(&x0);
+        let (report, trajectory) = with_native_control(spec, ctx, |ctrl| {
+            GuardedEpochSgd::new(
+                oracle,
+                GuardedEpochSgdConfig {
+                    threads: spec.threads,
+                    iterations: per_epoch * epochs as u64,
+                    alpha0: spec.step.initial_alpha(),
+                    halving_epochs: spec.step.halving_epochs(),
+                    seed: spec.seed,
+                    success_radius_sq: spec.success_radius_sq,
+                },
+            )
+            .tuning(native_tuning(spec))
+            .run_controlled(&x0, ctrl)
+        });
         Ok(RunReport {
             backend: self.name().to_string(),
             oracle: spec.oracle.kind.clone(),
@@ -451,10 +613,11 @@ impl Backend for GuardedEpochBackend {
             wall_time_secs: report.elapsed.as_secs_f64(),
             steps: None,
             fingerprint: None,
-            stop: None,
+            stop: native_stop(report.cancelled),
             contention: None,
             stale_rejected: Some(report.stale_rejected),
             sparse_path: Some(report.used_sparse),
+            trajectory,
         })
     }
 }
@@ -466,26 +629,28 @@ impl Backend for NativeFullSgdBackend {
         BackendKind::NativeFullSgd
     }
 
-    fn run(&self, spec: &RunSpec) -> Result<RunReport, DriverError> {
+    fn run_session(&self, spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError> {
         let (per_epoch, epochs) = epoch_split(spec)?;
         let (oracle, x0) = oracle_and_x0(spec)?;
-        let report = NativeFullSgd::new(
-            oracle,
-            NativeFullSgdConfig {
-                alpha0: spec.step.initial_alpha(),
-                epoch_iterations: per_epoch,
-                halving_epochs: epochs - 1,
-                threads: spec.threads,
-                seed: spec.seed,
-            },
-        )
-        .tuning(native_tuning(spec))
-        .run(&x0);
+        let (report, trajectory) = with_native_control(spec, ctx, |ctrl| {
+            NativeFullSgd::new(
+                oracle,
+                NativeFullSgdConfig {
+                    alpha0: spec.step.initial_alpha(),
+                    epoch_iterations: per_epoch,
+                    halving_epochs: epochs - 1,
+                    threads: spec.threads,
+                    seed: spec.seed,
+                },
+            )
+            .tuning(native_tuning(spec))
+            .run_controlled(&x0, ctrl)
+        });
         Ok(RunReport {
             backend: self.name().to_string(),
             oracle: spec.oracle.kind.clone(),
             threads: spec.threads,
-            iterations: per_epoch * epochs as u64,
+            iterations: report.iterations,
             seed: spec.seed,
             hit_iteration: None,
             min_dist_sq: None,
@@ -494,10 +659,11 @@ impl Backend for NativeFullSgdBackend {
             wall_time_secs: report.elapsed.as_secs_f64(),
             steps: None,
             fingerprint: None,
-            stop: None,
+            stop: native_stop(report.cancelled),
             contention: None,
             stale_rejected: None,
             sparse_path: Some(report.used_sparse),
+            trajectory,
         })
     }
 }

@@ -15,10 +15,16 @@
 //!   `simulated-fullsgd`, `hogwild`, `locked`, `guarded-epoch`,
 //!   `native-fullsgd`;
 //! * [`RunReport`] — the unified outcome every backend produces: hitting
-//!   time, distances, wall time, contention statistics, and (for
-//!   deterministic backends) the execution fingerprint. Serialisable to and
-//!   from JSON via the built-in codec ([`json`]), and additionally deriving
-//!   `serde::{Serialize, Deserialize}` when the `serde` feature is enabled.
+//!   time, distances, wall time, contention statistics, optional strided
+//!   [`TrajectorySample`]s, and (for deterministic backends) the execution
+//!   fingerprint. Serialisable to and from JSON via the built-in codec
+//!   ([`json`]), and additionally deriving `serde::{Serialize, Deserialize}`
+//!   when the `serde` feature is enabled;
+//! * [`session`] — runs as *jobs*: [`Driver::submit`] returns a
+//!   [`RunHandle`] with `cancel()` / `wait()` / `try_report()`,
+//!   [`Driver::run_many`] executes sweeps on a bounded worker pool, and a
+//!   [`RunObserver`] streams typed [`RunEvent`]s (progress, trajectory
+//!   samples) live from any backend.
 //!
 //! # Example: one spec, several execution models
 //!
@@ -53,11 +59,13 @@ pub mod backend;
 pub mod error;
 pub mod json;
 pub mod report;
+pub mod session;
 pub mod spec;
 
-pub use backend::{backend, run_simulated_lockfree_detailed, run_spec, Backend};
+pub use backend::{backend, run_simulated_lockfree_detailed, run_spec, run_spec_session, Backend};
 pub use error::DriverError;
-pub use report::{ContentionSummary, DecodeError, RunReport};
+pub use report::{ContentionSummary, DecodeError, RunReport, TrajectorySample};
+pub use session::{Driver, Progress, RunEvent, RunHandle, RunObserver, SessionCtx};
 pub use spec::{
     BackendKind, ModelLayoutSpec, RunSpec, SchedulerSpec, SparsePathSpec, StepSize, UpdateOrderSpec,
 };

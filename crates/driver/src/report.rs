@@ -2,6 +2,44 @@
 
 use crate::json::{self, Value};
 
+/// One strided trajectory sample: the observed squared distance to the
+/// optimum after `index` updates, with the wall-clock offset at which it was
+/// taken. Collected into [`RunReport::trajectory`] when the spec requests it
+/// (`RunSpec::trajectory_every`) and streamed live to any attached
+/// [`RunObserver`](crate::RunObserver).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TrajectorySample {
+    /// Number of updates reflected in the measured state: the claim index on
+    /// native backends, the ordered iteration count on simulated/sequential
+    /// ones.
+    pub index: u64,
+    /// `‖x_index − x*‖²` at the sample point.
+    pub dist_sq: f64,
+    /// Seconds since the run started when the sample was taken (the one
+    /// wall-clock-dependent field; everything else is deterministic on
+    /// deterministic backends).
+    pub elapsed_secs: f64,
+}
+
+impl TrajectorySample {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("index", Value::U64(self.index)),
+            ("dist_sq", Value::f64(self.dist_sq)),
+            ("elapsed_secs", Value::f64(self.elapsed_secs)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        Ok(Self {
+            index: field_u64(v, "index")?,
+            dist_sq: field_f64(v, "dist_sq")?,
+            elapsed_secs: field_f64(v, "elapsed_secs")?,
+        })
+    }
+}
+
 /// Contention statistics of a simulated execution, summarised for reports.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -107,6 +145,9 @@ pub struct RunReport {
     /// Whether the run took the O(Δ) sparse gradient path (`None` for
     /// backends without the dense/sparse distinction, e.g. sequential).
     pub sparse_path: Option<bool>,
+    /// Strided trajectory samples, ordered by index — present when the spec
+    /// enabled collection (`RunSpec::trajectory_every`).
+    pub trajectory: Option<Vec<TrajectorySample>>,
 }
 
 impl RunReport {
@@ -152,6 +193,12 @@ impl RunReport {
                 Value::opt(self.stale_rejected.map(Value::U64)),
             ),
             ("sparse_path", Value::opt(self.sparse_path.map(Value::Bool))),
+            (
+                "trajectory",
+                Value::opt(self.trajectory.as_ref().map(|samples| {
+                    Value::Arr(samples.iter().map(TrajectorySample::to_value).collect())
+                })),
+            ),
         ])
     }
 
@@ -214,6 +261,17 @@ impl RunReport {
                 f.as_u64().ok_or("expected integer")
             })?,
             sparse_path: opt_field(v, "sparse_path", |f| f.as_bool().ok_or("expected bool"))?,
+            trajectory: match v.get("trajectory") {
+                None => None,
+                Some(item) if item.is_null() => None,
+                Some(item) => Some(
+                    item.as_arr()
+                        .ok_or_else(|| DecodeError::field("trajectory", "expected array"))?
+                        .iter()
+                        .map(TrajectorySample::from_value)
+                        .collect::<Result<_, _>>()?,
+                ),
+            },
         })
     }
 }
@@ -336,6 +394,18 @@ mod tests {
             }),
             stale_rejected: None,
             sparse_path: Some(false),
+            trajectory: Some(vec![
+                TrajectorySample {
+                    index: 0,
+                    dist_sq: 4.41,
+                    elapsed_secs: 0.0,
+                },
+                TrajectorySample {
+                    index: 128,
+                    dist_sq: 0.5 + f64::EPSILON,
+                    elapsed_secs: 0.125,
+                },
+            ]),
         }
     }
 
@@ -359,9 +429,31 @@ mod tests {
             contention: None,
             stale_rejected: None,
             sparse_path: None,
+            trajectory: None,
             ..sample()
         };
         assert_eq!(RunReport::from_json(&report.to_json()).unwrap(), report);
+    }
+
+    #[test]
+    fn empty_trajectory_stays_distinct_from_absent() {
+        let report = RunReport {
+            trajectory: Some(Vec::new()),
+            ..sample()
+        };
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.trajectory, Some(Vec::new()));
+    }
+
+    #[test]
+    fn malformed_trajectory_is_rejected_by_field_name() {
+        let mut text = sample().to_json();
+        text = text.replace(
+            "\"trajectory\":[",
+            "\"trajectory\":[{\"index\":1,\"elapsed_secs\":0.0},",
+        );
+        let err = RunReport::from_json(&text).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("dist_sq"), "{err}");
     }
 
     #[test]

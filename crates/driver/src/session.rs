@@ -1,0 +1,496 @@
+//! Observable run sessions: runs as *jobs*.
+//!
+//! The paper's convergence statements are about trajectories — the hitting
+//! time of the accumulator sequence `x_t` on the success region (§6.1) — not
+//! just terminal states, and an SGD service at scale needs runs that are
+//! observable while in flight, cancellable, and schedulable many at a time.
+//! This module is that front door:
+//!
+//! * [`RunObserver`] — typed [`RunEvent`]s streamed live from every backend:
+//!   `Started`, periodic [`Progress`], strided [`TrajectorySample`]s, and
+//!   `Finished` with the full report;
+//! * [`SessionCtx`] — the per-run wiring (observer + cancel flag) accepted
+//!   by [`Backend::run_session`](crate::Backend) and
+//!   [`run_spec_session`](crate::run_spec_session);
+//! * [`Driver`] — `submit` a spec and get a [`RunHandle`] with `cancel()`,
+//!   `wait()` and non-blocking `try_report()`; or execute whole sweeps
+//!   concurrently on a bounded worker pool with [`Driver::run_many`].
+//!
+//! Observation is pure: attaching an observer never consumes RNG state or
+//! reorders operations, so an observed run is bit-identical to an unobserved
+//! one on every deterministic backend (and single-threaded native runs).
+
+use crate::error::DriverError;
+use crate::report::{RunReport, TrajectorySample};
+use crate::spec::{BackendKind, RunSpec};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Progress stride used when an observer is attached but the spec did not
+/// request trajectory collection.
+pub const DEFAULT_PROGRESS_STRIDE: u64 = 1024;
+
+/// A periodic progress snapshot streamed to observers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Progress {
+    /// Updates reflected in the observed state (claim index on native
+    /// backends, ordered iteration count on simulated/sequential ones).
+    pub iterations: u64,
+    /// Distance evaluations performed so far on behalf of this session.
+    pub evaluations: u64,
+    /// `‖x − x*‖²` at the observation point.
+    pub dist_sq: f64,
+    /// Seconds since the run started.
+    pub elapsed_secs: f64,
+}
+
+/// A typed event in a run session's lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunEvent {
+    /// The spec validated and is about to execute.
+    Started {
+        /// Execution model.
+        backend: BackendKind,
+        /// Oracle kind.
+        oracle: String,
+        /// Thread count.
+        threads: usize,
+        /// Total iteration budget.
+        iterations: u64,
+        /// Master seed.
+        seed: u64,
+    },
+    /// Periodic progress (every sample point).
+    Progress(Progress),
+    /// A strided trajectory sample (only when the spec enabled collection
+    /// via `RunSpec::trajectory_every`).
+    TrajectorySample(TrajectorySample),
+    /// The run finished; the same report the blocking call returns.
+    Finished(Box<RunReport>),
+}
+
+/// A streaming observer of [`RunEvent`]s.
+///
+/// Implementations must be `Send + Sync`: native backends invoke the
+/// observer from worker threads. Any `Fn(&RunEvent) + Send + Sync` closure
+/// implements it.
+pub trait RunObserver: Send + Sync {
+    /// Receives one event. Called synchronously from the run's execution
+    /// context — keep it fast (or hand off to a channel).
+    fn on_event(&self, event: &RunEvent);
+}
+
+impl<F: Fn(&RunEvent) + Send + Sync> RunObserver for F {
+    fn on_event(&self, event: &RunEvent) {
+        self(event)
+    }
+}
+
+/// Per-run session wiring passed to [`Backend::run_session`](crate::Backend).
+///
+/// The default is inert — `run_session(spec, &SessionCtx::default())` is
+/// exactly `run(spec)`.
+#[derive(Clone, Default)]
+pub struct SessionCtx {
+    /// Event sink, shared with the run (native backends call it from worker
+    /// threads).
+    pub observer: Option<Arc<dyn RunObserver>>,
+    /// Cooperative cancel flag: raise it to stop the run early; the report
+    /// then carries `stop: Some("cancelled")` and the iterations actually
+    /// executed.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl std::fmt::Debug for SessionCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionCtx")
+            .field("observer", &self.observer.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .finish()
+    }
+}
+
+impl SessionCtx {
+    /// A context with just an observer.
+    #[must_use]
+    pub fn observed(observer: Arc<dyn RunObserver>) -> Self {
+        Self {
+            observer: Some(observer),
+            cancel: None,
+        }
+    }
+
+    /// Adds a cancel flag.
+    #[must_use]
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+}
+
+/// Internal sample fan-out shared by all backends: collects trajectory
+/// samples (when the spec asked for them) and forwards progress/trajectory
+/// events to the observer. Thread-safe — native workers call
+/// [`SampleHub::observe`] concurrently.
+pub(crate) struct SampleHub {
+    observer: Option<Arc<dyn RunObserver>>,
+    start: Mutex<Instant>,
+    collect: bool,
+    /// Exclusive upper bound on sample indices (the spec's iteration
+    /// budget). Native claim loops sample indices `0..T` by construction;
+    /// the simulated accumulator fold would additionally emit the terminal
+    /// `index == T` state when `T` is a stride multiple — filtering here
+    /// keeps sample indices aligned across backends.
+    index_limit: u64,
+    samples: Mutex<Vec<TrajectorySample>>,
+    evaluations: AtomicU64,
+}
+
+impl SampleHub {
+    /// Builds the hub for one run. `collect` mirrors
+    /// `spec.trajectory_stride.is_some()`; `index_limit` is the spec's
+    /// iteration budget.
+    pub(crate) fn new(ctx: &SessionCtx, collect: bool, index_limit: u64) -> Self {
+        Self {
+            observer: ctx.observer.clone(),
+            start: Mutex::new(Instant::now()),
+            collect,
+            index_limit,
+            samples: Mutex::new(Vec::new()),
+            evaluations: AtomicU64::new(0),
+        }
+    }
+
+    /// True if any sink wants samples (otherwise backends skip sampling
+    /// entirely).
+    pub(crate) fn active(&self) -> bool {
+        self.collect || self.observer.is_some()
+    }
+
+    /// Re-anchors the elapsed clock. Backends call this at the same point
+    /// they start their own wall-time measurement, so `elapsed_secs` in
+    /// samples and `wall_time_secs` in the report share one origin (oracle
+    /// construction and model allocation are excluded from both).
+    pub(crate) fn start_now(&self) {
+        *self.start.lock().expect("sample clock poisoned") = Instant::now();
+    }
+
+    /// Records one sample: `index` updates applied, observed `dist²`.
+    pub(crate) fn observe(&self, index: u64, dist_sq: f64) {
+        if index >= self.index_limit {
+            return;
+        }
+        let elapsed_secs = self
+            .start
+            .lock()
+            .expect("sample clock poisoned")
+            .elapsed()
+            .as_secs_f64();
+        let evaluations = self.evaluations.fetch_add(1, Ordering::Relaxed) + 1;
+        let sample = TrajectorySample {
+            index,
+            dist_sq,
+            elapsed_secs,
+        };
+        if self.collect {
+            self.samples
+                .lock()
+                .expect("sample sink poisoned")
+                .push(sample.clone());
+        }
+        if let Some(obs) = &self.observer {
+            if self.collect {
+                obs.on_event(&RunEvent::TrajectorySample(sample));
+            }
+            obs.on_event(&RunEvent::Progress(Progress {
+                iterations: index,
+                evaluations,
+                dist_sq,
+                elapsed_secs,
+            }));
+        }
+    }
+
+    /// Drains the collected trajectory, ordered by index (`None` when
+    /// collection was not requested). Native workers sample concurrently, so
+    /// arrival order is not index order.
+    pub(crate) fn take_trajectory(&self) -> Option<Vec<TrajectorySample>> {
+        self.collect.then(|| {
+            let mut samples =
+                std::mem::take(&mut *self.samples.lock().expect("sample sink poisoned"));
+            samples.sort_by_key(|s| s.index);
+            samples
+        })
+    }
+}
+
+/// The session front door: submits specs as cancellable background jobs and
+/// executes sweeps on a bounded worker pool.
+///
+/// Sweep results are deterministic wherever the backends are: every spec
+/// carries its own master seed, so concurrent execution order cannot leak
+/// into any run's coin streams, and `run_many` returns reports in spec
+/// order, equal (modulo wall-time fields) to serial `run` calls of the same
+/// specs.
+#[derive(Debug, Clone)]
+pub struct Driver {
+    workers: usize,
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Driver {
+    /// A driver with one pool worker per available core.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(4, usize::from),
+        }
+    }
+
+    /// Overrides the pool width for [`Driver::run_many`] (clamped to ≥ 1).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Submits a spec as a background job.
+    #[must_use]
+    pub fn submit(&self, spec: RunSpec) -> RunHandle {
+        self.spawn(spec, None)
+    }
+
+    /// Submits a spec as a background job with an observer attached.
+    #[must_use]
+    pub fn submit_observed(&self, spec: RunSpec, observer: Arc<dyn RunObserver>) -> RunHandle {
+        self.spawn(spec, Some(observer))
+    }
+
+    fn spawn(&self, spec: RunSpec, observer: Option<Arc<dyn RunObserver>>) -> RunHandle {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let slot: Arc<Mutex<Option<Result<RunReport, DriverError>>>> = Arc::new(Mutex::new(None));
+        let ctx = SessionCtx {
+            observer,
+            cancel: Some(Arc::clone(&cancel)),
+        };
+        let worker_slot = Arc::clone(&slot);
+        let join = std::thread::spawn(move || {
+            let result = crate::run_spec_session(&spec, &ctx);
+            *worker_slot.lock().expect("result slot poisoned") = Some(result);
+        });
+        RunHandle {
+            cancel,
+            slot,
+            join: Some(join),
+        }
+    }
+
+    /// Executes every spec concurrently on a bounded worker pool and returns
+    /// per-spec results **in spec order**.
+    #[must_use]
+    pub fn run_many(&self, specs: &[RunSpec]) -> Vec<Result<RunReport, DriverError>> {
+        self.run_many_with(specs, crate::run_spec)
+    }
+
+    /// Generalised sweep: runs `f` over every spec on the pool, in spec
+    /// order. Used by experiments that need more than a [`RunReport`] per
+    /// run (e.g. the detailed simulated entry point).
+    #[must_use]
+    pub fn run_many_with<T, F>(&self, specs: &[RunSpec], f: F) -> Vec<Result<T, DriverError>>
+    where
+        T: Send,
+        F: Fn(&RunSpec) -> Result<T, DriverError> + Sync,
+    {
+        let slots: Vec<Mutex<Option<Result<T, DriverError>>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicU64::new(0);
+        let workers = self.workers.min(specs.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst) as usize;
+                    let Some(spec) = specs.get(i) else {
+                        return;
+                    };
+                    *slots[i].lock().expect("sweep slot poisoned") = Some(f(spec));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("sweep slot poisoned")
+                    .expect("every claimed spec stores a result")
+            })
+            .collect()
+    }
+}
+
+/// Handle to a run submitted via [`Driver::submit`]: cancel it, poll it, or
+/// block for its report.
+///
+/// Dropping the handle without [`RunHandle::wait`] detaches the job — it
+/// keeps running to completion (or until cancelled) in the background.
+#[derive(Debug)]
+pub struct RunHandle {
+    cancel: Arc<AtomicBool>,
+    slot: Arc<Mutex<Option<Result<RunReport, DriverError>>>>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl RunHandle {
+    /// Requests cancellation. Executors honour the flag within one
+    /// success-check stride (simulated backends: one engine step); the run
+    /// then finishes with `stop: Some("cancelled")` and partial iterations.
+    /// Idempotent; racing a natural finish is harmless.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`RunHandle::cancel`] has been called.
+    #[must_use]
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+
+    /// True once the run has finished and a report is available.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.slot.lock().expect("result slot poisoned").is_some()
+    }
+
+    /// Non-blocking result check: `None` while the run is still in flight,
+    /// the (cloned) outcome once it finished.
+    #[must_use]
+    pub fn try_report(&self) -> Option<Result<RunReport, DriverError>> {
+        self.slot.lock().expect("result slot poisoned").clone()
+    }
+
+    /// Blocks until the run finishes and returns its outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever [`crate::run_spec`] would for the same spec.
+    /// Cancelled runs are **not** errors — they return `Ok` with
+    /// `stop: Some("cancelled")`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run thread itself panicked.
+    pub fn wait(mut self) -> Result<RunReport, DriverError> {
+        if let Some(join) = self.join.take() {
+            join.join().expect("run thread panicked");
+        }
+        self.slot
+            .lock()
+            .expect("result slot poisoned")
+            .take()
+            .expect("joined run always stores a result")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SchedulerSpec;
+    use asgd_oracle::OracleSpec;
+
+    fn quick_spec(seed: u64) -> RunSpec {
+        RunSpec::new(
+            OracleSpec::new("noisy-quadratic", 2).sigma(0.1),
+            BackendKind::Sequential,
+        )
+        .threads(1)
+        .iterations(300)
+        .learning_rate(0.05)
+        .x0(vec![1.0, -1.0])
+        .scheduler(SchedulerSpec::Serial)
+        .seed(seed)
+    }
+
+    #[test]
+    fn submit_wait_returns_the_blocking_result() {
+        let handle = Driver::new().submit(quick_spec(3));
+        let report = handle.wait().expect("valid spec");
+        let serial = crate::run_spec(&quick_spec(3)).unwrap();
+        assert_eq!(report.final_model, serial.final_model);
+        assert_eq!(report.iterations, 300);
+    }
+
+    #[test]
+    fn try_report_is_none_until_finished_then_some() {
+        let handle = Driver::new().submit(quick_spec(4));
+        let report = loop {
+            if let Some(result) = handle.try_report() {
+                break result.expect("valid spec");
+            }
+            std::thread::yield_now();
+        };
+        assert!(handle.is_finished());
+        assert_eq!(report.iterations, 300);
+        // try_report clones: still available, and wait() agrees.
+        let again = handle.try_report().unwrap().unwrap();
+        assert_eq!(again, report);
+        assert_eq!(handle.wait().unwrap(), report);
+    }
+
+    #[test]
+    fn run_many_preserves_spec_order_with_more_specs_than_workers() {
+        let specs: Vec<RunSpec> = (0..9).map(quick_spec).collect();
+        let reports = Driver::new().workers(2).run_many(&specs);
+        assert_eq!(reports.len(), 9);
+        for (i, (spec, report)) in specs.iter().zip(&reports).enumerate() {
+            let report = report.as_ref().expect("valid spec");
+            assert_eq!(report.seed, spec.seed, "slot {i} out of order");
+        }
+    }
+
+    #[test]
+    fn run_many_reports_per_spec_errors_without_aborting_the_sweep() {
+        let mut bad = quick_spec(1);
+        bad.oracle.kind = "no-such-oracle".to_string();
+        let specs = vec![quick_spec(0), bad, quick_spec(2)];
+        let results = Driver::new().run_many(&specs);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(DriverError::Oracle(_))));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn observer_closures_receive_lifecycle_events() {
+        let events: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let observer = Arc::new(move |ev: &RunEvent| {
+            let label = match ev {
+                RunEvent::Started { .. } => "started",
+                RunEvent::Progress(_) => "progress",
+                RunEvent::TrajectorySample(_) => "sample",
+                RunEvent::Finished(_) => "finished",
+            };
+            sink.lock().unwrap().push(label.to_string());
+        });
+        let spec = quick_spec(7).trajectory_every(100);
+        let report = Driver::new()
+            .submit_observed(spec, observer)
+            .wait()
+            .expect("valid spec");
+        let events = events.lock().unwrap();
+        assert_eq!(events.first().map(String::as_str), Some("started"));
+        assert_eq!(events.last().map(String::as_str), Some("finished"));
+        assert!(events.iter().any(|e| e == "progress"));
+        assert!(events.iter().any(|e| e == "sample"));
+        assert_eq!(
+            report.trajectory.as_ref().map(Vec::len),
+            Some(3),
+            "samples at 0, 100, 200"
+        );
+    }
+}

@@ -402,6 +402,13 @@ pub struct RunSpec {
     pub order: UpdateOrderSpec,
     /// Dense-vs-sparse gradient path.
     pub sparse: SparsePathSpec,
+    /// Trajectory collection stride: `Some(k)` records a
+    /// [`TrajectorySample`](crate::TrajectorySample) roughly every `k`
+    /// iterations into [`RunReport::trajectory`](crate::RunReport) (and
+    /// streams it to any attached observer). `None` (the default) collects
+    /// nothing; observers then still receive progress at a default stride.
+    /// Sampling is pure observation — it never changes a run's trajectory.
+    pub trajectory_stride: Option<u64>,
 }
 
 impl RunSpec {
@@ -423,6 +430,7 @@ impl RunSpec {
             layout: ModelLayoutSpec::Compact,
             order: UpdateOrderSpec::SeqCst,
             sparse: SparsePathSpec::Auto,
+            trajectory_stride: None,
         }
     }
 
@@ -518,6 +526,15 @@ impl RunSpec {
     #[must_use]
     pub fn sparse(mut self, sparse: SparsePathSpec) -> Self {
         self.sparse = sparse;
+        self
+    }
+
+    /// Enables trajectory collection: one sample roughly every `stride`
+    /// iterations lands in `RunReport::trajectory`. A zero stride is
+    /// rejected at validation time.
+    #[must_use]
+    pub fn trajectory_every(mut self, stride: u64) -> Self {
+        self.trajectory_stride = Some(stride);
         self
     }
 

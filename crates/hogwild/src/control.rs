@@ -1,0 +1,133 @@
+//! Cross-thread run control shared by all native executors.
+//!
+//! Native runs are *jobs* from the driver's point of view: they must be
+//! cancellable while in flight and observable at a bounded cost. Both
+//! facilities ride the executors' existing success-check stride
+//! ([`crate::ExecTuning::success_check_stride`]): every worker checks the
+//! stop flag and (when installed) samples metrics whenever its claim index
+//! is a stride multiple, so cancellation latency and observation overhead
+//! are bounded by the stride regardless of the model dimension.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Strided metrics sink function: called from worker threads with
+/// `(claim index, ‖view − x*‖²)`, where the view is the freshly read shared
+/// model at the moment the claim was taken (i.e. with `claim` updates
+/// logically issued before it, modulo in-flight writes).
+pub type MetricsFn<'a> = &'a (dyn Fn(u64, f64) + Sync);
+
+/// A metrics callback with its own firing stride: the sink fires on every
+/// claim index that is a multiple of `stride`, independent of the
+/// success-check stride, so callers get samples exactly where they asked for
+/// them (and single-threaded runs sample at identical indices across
+/// executors).
+#[derive(Clone, Copy)]
+pub struct MetricsSink<'a> {
+    /// Claim-index stride between samples (clamped to ≥ 1).
+    pub stride: u64,
+    /// The sink.
+    pub f: MetricsFn<'a>,
+}
+
+impl MetricsSink<'_> {
+    /// True if `claim` is a sample point.
+    #[must_use]
+    pub fn fires_at(&self, claim: u64) -> bool {
+        claim.is_multiple_of(self.stride.max(1))
+    }
+}
+
+impl std::fmt::Debug for MetricsSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsSink")
+            .field("stride", &self.stride)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-run control handles threaded into a native executor's claim loops.
+///
+/// The default is inert: no stop flag, no metrics — executors behave exactly
+/// as their plain `run` entry points always have. Both hooks are pure
+/// observation/termination: they never consume RNG state, so attaching them
+/// cannot perturb a run's trajectory.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct RunControl<'a> {
+    /// Cooperative stop flag. Checked at the success-check stride in every
+    /// claim loop; once it reads `true`, workers stop claiming and the run
+    /// returns early with its report marked cancelled.
+    pub stop: Option<&'a AtomicBool>,
+    /// Strided metrics callback.
+    pub metrics: Option<MetricsSink<'a>>,
+}
+
+impl RunControl<'_> {
+    /// True once the stop flag has been raised.
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.stop.is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    /// True if the metrics sink is installed and fires at `claim`.
+    #[must_use]
+    pub fn metrics_at(&self, claim: u64) -> bool {
+        self.metrics.is_some_and(|m| m.fires_at(claim))
+    }
+
+    /// Invokes the metrics sink (no-op when none is installed).
+    pub fn emit_metrics(&self, claim: u64, dist_sq: f64) {
+        if let Some(m) = self.metrics {
+            (m.f)(claim, dist_sq);
+        }
+    }
+
+    /// True if either hook is installed (workers then need view scratch for
+    /// strided sampling even on the sparse path).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.stop.is_some() || self.metrics.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_control_is_inert() {
+        let ctrl = RunControl::default();
+        assert!(!ctrl.is_stopped());
+        assert!(!ctrl.is_active());
+        assert!(!ctrl.metrics_at(0));
+        ctrl.emit_metrics(0, 1.0); // no sink: no-op
+        assert!(format!("{ctrl:?}").contains("stop: None"));
+    }
+
+    #[test]
+    fn stop_flag_is_observed() {
+        let flag = AtomicBool::new(false);
+        let ctrl = RunControl {
+            stop: Some(&flag),
+            metrics: None,
+        };
+        assert!(!ctrl.is_stopped());
+        assert!(ctrl.is_active());
+        flag.store(true, Ordering::Relaxed);
+        assert!(ctrl.is_stopped());
+    }
+
+    #[test]
+    fn metrics_sink_fires_at_its_own_stride() {
+        let noop: &(dyn Fn(u64, f64) + Sync) = &|_, _| {};
+        let sink = MetricsSink {
+            stride: 50,
+            f: noop,
+        };
+        assert!(sink.fires_at(0));
+        assert!(sink.fires_at(100));
+        assert!(!sink.fires_at(16));
+        let zero = MetricsSink { stride: 0, f: noop };
+        assert!(zero.fires_at(7), "zero stride clamps to every claim");
+        assert!(format!("{sink:?}").contains("stride: 50"));
+    }
+}

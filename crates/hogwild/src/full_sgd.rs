@@ -7,11 +7,12 @@
 //! final epoch's threads publish their locally accumulated updates into.
 //! The result is `r = snapshot + Σᵢ Acc[i]` (Algorithm 2, line 9).
 
+use crate::control::RunControl;
 use crate::model::SharedModel;
 use crate::tuning::ExecTuning;
 use asgd_math::rng::SeedSequence;
 use asgd_oracle::{GradientOracle, SparseGrad};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Configuration of a native Algorithm-2 run.
@@ -42,8 +43,15 @@ pub struct NativeFullSgdReport {
     pub elapsed: Duration,
     /// Total epochs executed.
     pub epochs: usize,
+    /// Iterations actually executed (= `epoch_iterations ×` total epochs, or
+    /// fewer if cancelled).
+    pub iterations: u64,
     /// Whether the run took the O(Δ) sparse gradient path.
     pub used_sparse: bool,
+    /// Whether the run was ended early by [`RunControl::stop`]. The final
+    /// epoch's local accumulators are still published, so `r` remains the
+    /// snapshot-plus-sum of every applied final-epoch update.
+    pub cancelled: bool,
 }
 
 /// The native Algorithm-2 executor.
@@ -92,6 +100,18 @@ impl<O: GradientOracle> NativeFullSgd<O> {
     /// Panics if `x0`'s dimension differs from the oracle's.
     #[must_use]
     pub fn run(&self, x0: &[f64]) -> NativeFullSgdReport {
+        self.run_controlled(x0, RunControl::default())
+    }
+
+    /// Like [`NativeFullSgd::run`], with a [`RunControl`] for cancellation
+    /// and strided metrics (claim indices in the callback are global across
+    /// epochs; dist² is measured on the current epoch's model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0`'s dimension differs from the oracle's.
+    #[must_use]
+    pub fn run_controlled(&self, x0: &[f64], ctrl: RunControl<'_>) -> NativeFullSgdReport {
         let d = self.oracle.dimension();
         assert_eq!(x0.len(), d, "x0 dimension mismatch");
         let total_epochs = self.cfg.halving_epochs + 1;
@@ -123,7 +143,11 @@ impl<O: GradientOracle> NativeFullSgd<O> {
         }
         let seeds = SeedSequence::new(self.cfg.seed);
         let use_sparse = self.tuning.sparse.use_sparse(d, self.oracle.max_support());
+        let stride = self.tuning.stride();
+        let minimizer = self.oracle.minimizer();
         let grad_cap = self.oracle.max_support().unwrap_or(1);
+        let interrupted = AtomicBool::new(false);
+        let executed = AtomicU64::new(0);
 
         let start = Instant::now();
         std::thread::scope(|scope| {
@@ -133,14 +157,19 @@ impl<O: GradientOracle> NativeFullSgd<O> {
                 let acc = &acc;
                 let counters = &counters;
                 let guards = &guards;
+                let interrupted = &interrupted;
+                let executed = &executed;
                 let oracle = &self.oracle;
                 let cfg = self.cfg;
                 let mut rng = seeds.child_rng(tid as u64);
                 scope.spawn(move || {
-                    let mut view = if use_sparse { Vec::new() } else { vec![0.0; d] };
+                    let need_view = !use_sparse || ctrl.metrics.is_some();
+                    let mut view = if need_view { vec![0.0; d] } else { Vec::new() };
                     let mut grad = if use_sparse { Vec::new() } else { vec![0.0; d] };
                     let mut sgrad = SparseGrad::with_capacity(grad_cap);
                     let mut local_acc = vec![0.0; d];
+                    let mut done = 0u64;
+                    let mut stopped = false;
                     for epoch in 0..total_epochs {
                         let is_final = epoch + 1 == total_epochs;
                         // Epoch initialisation protocol.
@@ -178,14 +207,27 @@ impl<O: GradientOracle> NativeFullSgd<O> {
                             local_acc.fill(0.0);
                         }
                         loop {
-                            if counters[epoch].fetch_add(1, Ordering::SeqCst)
-                                >= cfg.epoch_iterations
-                            {
+                            let claim = counters[epoch].fetch_add(1, Ordering::SeqCst);
+                            if claim >= cfg.epoch_iterations {
+                                break;
+                            }
+                            let global_claim = epoch as u64 * cfg.epoch_iterations + claim;
+                            if global_claim.is_multiple_of(stride) && ctrl.is_stopped() {
+                                interrupted.store(true, Ordering::SeqCst);
+                                stopped = true;
                                 break;
                             }
                             if use_sparse {
                                 // O(Δ): per-entry reads of the gradient's
-                                // support, no full view materialisation.
+                                // support, no full view materialisation
+                                // (except for a strided metrics sample).
+                                if ctrl.metrics_at(global_claim) {
+                                    model.read_view(&mut view);
+                                    ctrl.emit_metrics(
+                                        global_claim,
+                                        asgd_math::vec::l2_dist_sq(&view, minimizer),
+                                    );
+                                }
                                 oracle.sample_gradient_sparse(model, &mut rng, &mut sgrad);
                                 for &(j, gj) in sgrad.entries() {
                                     if gj != 0.0 {
@@ -198,6 +240,12 @@ impl<O: GradientOracle> NativeFullSgd<O> {
                                 }
                             } else {
                                 model.read_view(&mut view);
+                                if ctrl.metrics_at(global_claim) {
+                                    ctrl.emit_metrics(
+                                        global_claim,
+                                        asgd_math::vec::l2_dist_sq(&view, minimizer),
+                                    );
+                                }
                                 oracle.sample_gradient(&view, &mut rng, &mut grad);
                                 for (j, &gj) in grad.iter().enumerate() {
                                     if gj != 0.0 {
@@ -209,6 +257,7 @@ impl<O: GradientOracle> NativeFullSgd<O> {
                                     }
                                 }
                             }
+                            done += 1;
                         }
                         if is_final {
                             for (j, &a) in local_acc.iter().enumerate() {
@@ -217,16 +266,34 @@ impl<O: GradientOracle> NativeFullSgd<O> {
                                 }
                             }
                         }
+                        if stopped {
+                            break;
+                        }
                     }
+                    executed.fetch_add(done, Ordering::SeqCst);
                 });
             }
         });
         let elapsed = start.elapsed();
 
-        let snap = snapshot.snapshot();
-        let acc_final = acc.snapshot();
-        let r: Vec<f64> = snap.iter().zip(&acc_final).map(|(s, a)| s + a).collect();
-        let final_model = models[total_epochs - 1].snapshot();
+        let cancelled = interrupted.load(Ordering::SeqCst);
+        // A run cancelled before the final epoch was initialised has an
+        // untouched (all-zero) snapshot/Acc/final-model; report the deepest
+        // *live* epoch's model instead, so cancelled reports always describe
+        // real partial progress.
+        let live_epoch = (0..total_epochs)
+            .rev()
+            .find(|&e| guards[e].load(Ordering::SeqCst) == GUARD_READY)
+            .unwrap_or(0);
+        let (r, final_model) = if cancelled && live_epoch + 1 < total_epochs {
+            let live = models[live_epoch].snapshot();
+            (live.clone(), live)
+        } else {
+            let snap = snapshot.snapshot();
+            let acc_final = acc.snapshot();
+            let r: Vec<f64> = snap.iter().zip(&acc_final).map(|(s, a)| s + a).collect();
+            (r, models[total_epochs - 1].snapshot())
+        };
         let dist_to_opt = asgd_math::vec::l2_dist(&r, self.oracle.minimizer());
         NativeFullSgdReport {
             r,
@@ -234,7 +301,9 @@ impl<O: GradientOracle> NativeFullSgd<O> {
             dist_to_opt,
             elapsed,
             epochs: total_epochs,
+            iterations: executed.load(Ordering::SeqCst),
             used_sparse: use_sparse,
+            cancelled,
         }
     }
 }
@@ -362,6 +431,69 @@ mod tests {
         .run(&[1.0; 8]);
         assert!(report.used_sparse, "Auto selects sparse at Δ=1,d=8");
         for j in 0..8 {
+            assert!(
+                (report.r[j] - report.final_model[j]).abs() < 1e-9,
+                "entry {j}: r={} model={}",
+                report.r[j],
+                report.final_model[j]
+            );
+        }
+    }
+
+    #[test]
+    fn completed_runs_report_their_full_budget() {
+        let oracle = Arc::new(NoisyQuadratic::new(2, 0.1).unwrap());
+        let report = NativeFullSgd::new(
+            oracle,
+            NativeFullSgdConfig {
+                alpha0: 0.1,
+                epoch_iterations: 300,
+                halving_epochs: 2,
+                threads: 3,
+                seed: 4,
+            },
+        )
+        .run(&[1.0, -1.0]);
+        assert_eq!(report.iterations, 900);
+        assert!(!report.cancelled);
+    }
+
+    #[test]
+    fn stop_flag_cancels_and_r_still_reconstructs_applied_updates() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let oracle = Arc::new(NoisyQuadratic::new(2, 0.1).unwrap());
+        let flag = AtomicBool::new(false);
+        // Single epoch so every applied update is accumulator-tracked; raise
+        // the flag from the metrics callback after a few strides.
+        let sink = |claim: u64, _d: f64| {
+            if claim >= 64 {
+                flag.store(true, Ordering::SeqCst);
+            }
+        };
+        let report = NativeFullSgd::new(
+            oracle,
+            NativeFullSgdConfig {
+                alpha0: 0.01,
+                epoch_iterations: u64::MAX / 4,
+                halving_epochs: 0,
+                threads: 2,
+                seed: 6,
+            },
+        )
+        .run_controlled(
+            &[1.0, -1.0],
+            RunControl {
+                stop: Some(&flag),
+                metrics: Some(crate::control::MetricsSink {
+                    stride: 16,
+                    f: &sink,
+                }),
+            },
+        );
+        assert!(report.cancelled);
+        assert!(report.iterations < 100_000, "{}", report.iterations);
+        // r = snapshot + ΣAcc must still reconstruct the final model.
+        for j in 0..2 {
             assert!(
                 (report.r[j] - report.final_model[j]).abs() < 1e-9,
                 "entry {j}: r={} model={}",

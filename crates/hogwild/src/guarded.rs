@@ -10,9 +10,10 @@
 //! sanctioned mechanism (distinct model per epoch, full `f64`), and this
 //! type exists to demonstrate and test the guard semantics at the op level.
 
+use crate::control::RunControl;
 use crate::tuning::ExecTuning;
 use asgd_oracle::{ModelView, SparseGrad};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Error returned when an update is rejected because its epoch tag does not
 /// match the entry's current epoch.
@@ -195,7 +196,7 @@ pub struct GuardedEpochSgdReport {
     pub final_model: Vec<f64>,
     /// `‖X_final − x*‖²`.
     pub final_dist_sq: f64,
-    /// Iterations executed (= configured total).
+    /// Iterations executed (= configured total, or fewer if cancelled).
     pub iterations: u64,
     /// Total epochs executed.
     pub epochs: usize,
@@ -210,6 +211,8 @@ pub struct GuardedEpochSgdReport {
     pub elapsed: std::time::Duration,
     /// Whether the run took the O(Δ) sparse gradient path.
     pub used_sparse: bool,
+    /// Whether the run was ended early by [`RunControl::stop`].
+    pub cancelled: bool,
 }
 
 /// SGD on a [`GuardedModel`]: Algorithm 2's epoch structure enforced at the
@@ -262,6 +265,18 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
     /// Panics if `x0`'s dimension differs from the oracle's.
     #[must_use]
     pub fn run(&self, x0: &[f64]) -> GuardedEpochSgdReport {
+        self.run_controlled(x0, RunControl::default())
+    }
+
+    /// Like [`GuardedEpochSgd::run`], with a [`RunControl`] for cancellation
+    /// and strided metrics (claim indices in the callback are global across
+    /// epochs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0`'s dimension differs from the oracle's.
+    #[must_use]
+    pub fn run_controlled(&self, x0: &[f64], ctrl: RunControl<'_>) -> GuardedEpochSgdReport {
         let d = self.oracle.dimension();
         assert_eq!(x0.len(), d, "x0 dimension mismatch");
         let epochs = self.cfg.halving_epochs + 1;
@@ -288,6 +303,8 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
             .collect();
         let stale = AtomicU64::new(0);
         let first_success = AtomicU64::new(u64::MAX);
+        let interrupted = AtomicBool::new(false);
+        let executed = AtomicU64::new(0);
         let seeds = asgd_math::rng::SeedSequence::new(self.cfg.seed);
         let use_sparse = self.tuning.sparse.use_sparse(d, self.oracle.max_support());
         let stride = self.tuning.stride();
@@ -303,6 +320,8 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
                 let advance = &advance;
                 let stale = &stale;
                 let first_success = &first_success;
+                let interrupted = &interrupted;
+                let executed = &executed;
                 let budgets = &budgets;
                 let offsets = &offsets;
                 let oracle = &self.oracle;
@@ -312,7 +331,8 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
                     let mut view = vec![0.0; d];
                     let mut grad = if use_sparse { Vec::new() } else { vec![0.0; d] };
                     let mut sgrad = SparseGrad::with_capacity(grad_cap);
-                    for epoch in 0..epochs {
+                    let mut done = 0u64;
+                    'epochs: for epoch in 0..epochs {
                         // Transition protocol: one thread advances every
                         // entry's epoch tag, the rest wait until done.
                         match advance[epoch].compare_exchange(
@@ -343,20 +363,29 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
                             if claim >= budgets[epoch] {
                                 break;
                             }
+                            let global_claim = offsets[epoch] + claim;
+                            if global_claim.is_multiple_of(stride) && ctrl.is_stopped() {
+                                interrupted.store(true, Ordering::SeqCst);
+                                break 'epochs;
+                            }
                             if use_sparse {
-                                // O(Δ) path: sampled success check, per-
-                                // entry reads of just the support.
-                                if let Some(eps) = cfg.success_radius_sq {
-                                    if claim.is_multiple_of(stride) {
-                                        for (j, v) in view.iter_mut().enumerate() {
-                                            *v = f64::from(model.read(j).1);
-                                        }
-                                        if asgd_math::vec::l2_dist_sq(&view, minimizer) <= eps {
-                                            first_success.fetch_min(
-                                                offsets[epoch] + claim,
-                                                Ordering::SeqCst,
-                                            );
-                                        }
+                                // O(Δ) path: sampled success check/metrics,
+                                // per-entry reads of just the support.
+                                let at_success = cfg.success_radius_sq.is_some()
+                                    && global_claim.is_multiple_of(stride);
+                                let at_metrics = ctrl.metrics_at(global_claim);
+                                if at_success || at_metrics {
+                                    for (j, v) in view.iter_mut().enumerate() {
+                                        *v = f64::from(model.read(j).1);
+                                    }
+                                    let dist_sq = asgd_math::vec::l2_dist_sq(&view, minimizer);
+                                    if at_success
+                                        && cfg.success_radius_sq.is_some_and(|eps| dist_sq <= eps)
+                                    {
+                                        first_success.fetch_min(global_claim, Ordering::SeqCst);
+                                    }
+                                    if at_metrics {
+                                        ctrl.emit_metrics(global_claim, dist_sq);
                                     }
                                 }
                                 oracle.sample_gradient_sparse(model, &mut rng, &mut sgrad);
@@ -372,11 +401,14 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
                                 for (j, v) in view.iter_mut().enumerate() {
                                     *v = f64::from(model.read(j).1);
                                 }
-                                if let Some(eps) = cfg.success_radius_sq {
+                                let at_metrics = ctrl.metrics_at(global_claim);
+                                if cfg.success_radius_sq.is_some() || at_metrics {
                                     let dist_sq = asgd_math::vec::l2_dist_sq(&view, minimizer);
-                                    if dist_sq <= eps {
-                                        first_success
-                                            .fetch_min(offsets[epoch] + claim, Ordering::SeqCst);
+                                    if cfg.success_radius_sq.is_some_and(|eps| dist_sq <= eps) {
+                                        first_success.fetch_min(global_claim, Ordering::SeqCst);
+                                    }
+                                    if at_metrics {
+                                        ctrl.emit_metrics(global_claim, dist_sq);
                                     }
                                 }
                                 oracle.sample_gradient(&view, &mut rng, &mut grad);
@@ -389,8 +421,10 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
                                     }
                                 }
                             }
+                            done += 1;
                         }
                     }
+                    executed.fetch_add(done, Ordering::SeqCst);
                 });
             }
         });
@@ -406,12 +440,13 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
         GuardedEpochSgdReport {
             final_model,
             final_dist_sq,
-            iterations: self.cfg.iterations,
+            iterations: executed.load(Ordering::SeqCst),
             epochs,
             stale_rejected: stale.load(Ordering::SeqCst),
             first_success_claim: (hit != u64::MAX).then_some(hit),
             elapsed,
             used_sparse: use_sparse,
+            cancelled: interrupted.load(Ordering::SeqCst),
         }
     }
 }
@@ -587,6 +622,34 @@ mod tests {
             "dist² {}",
             sparse.final_dist_sq
         );
+    }
+
+    #[test]
+    fn stop_flag_cancels_across_epochs_without_deadlock() {
+        use std::sync::atomic::AtomicBool;
+        let oracle = Arc::new(asgd_oracle::NoisyQuadratic::new(2, 0.1).unwrap());
+        let flag = AtomicBool::new(true);
+        let report = GuardedEpochSgd::new(
+            oracle,
+            GuardedEpochSgdConfig {
+                threads: 4,
+                iterations: u64::MAX / 8,
+                alpha0: 0.01,
+                halving_epochs: 3,
+                seed: 2,
+                success_radius_sq: None,
+            },
+        )
+        .run_controlled(
+            &[1.0, 1.0],
+            RunControl {
+                stop: Some(&flag),
+                metrics: None,
+            },
+        );
+        assert!(report.cancelled);
+        let stride = ExecTuning::default().stride();
+        assert!(report.iterations <= 4 * stride, "{}", report.iterations);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The native lock-free executor — Algorithm 1 on OS threads.
 
+use crate::control::RunControl;
 use crate::model::SharedModel;
 use crate::tuning::ExecTuning;
 use asgd_math::rng::SeedSequence;
 use asgd_oracle::{GradientOracle, SparseGrad};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Configuration of a native Hogwild run.
@@ -31,7 +32,7 @@ pub struct HogwildReport {
     pub final_model: Vec<f64>,
     /// `‖X_final − x*‖²`.
     pub final_dist_sq: f64,
-    /// Iterations actually executed (= `T`).
+    /// Iterations actually executed (= `T`, or fewer if cancelled).
     pub iterations: u64,
     /// Per-thread completed iteration counts (sums to `iterations`).
     pub per_thread_iterations: Vec<u64>,
@@ -44,6 +45,9 @@ pub struct HogwildReport {
     pub elapsed: Duration,
     /// Whether the run took the O(Δ) sparse gradient path.
     pub used_sparse: bool,
+    /// Whether the run was ended early by [`RunControl::stop`] (workers stop
+    /// within one success-check stride of the flag being raised).
+    pub cancelled: bool,
 }
 
 impl HogwildReport {
@@ -112,11 +116,25 @@ impl<O: GradientOracle> Hogwild<O> {
     /// Panics if `x0`'s dimension differs from the oracle's.
     #[must_use]
     pub fn run(&self, x0: &[f64]) -> HogwildReport {
+        self.run_controlled(x0, RunControl::default())
+    }
+
+    /// Like [`Hogwild::run`], with a [`RunControl`] for cancellation and
+    /// strided metrics. Both hooks fire when a claim index is a multiple of
+    /// [`ExecTuning::success_check_stride`], so their cost and the
+    /// cancellation latency are bounded regardless of `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0`'s dimension differs from the oracle's.
+    #[must_use]
+    pub fn run_controlled(&self, x0: &[f64], ctrl: RunControl<'_>) -> HogwildReport {
         let d = self.oracle.dimension();
         assert_eq!(x0.len(), d, "x0 dimension mismatch");
         let model = SharedModel::with_options(x0, self.tuning.layout, self.tuning.order);
         let counter = AtomicU64::new(0);
         let first_success = AtomicU64::new(u64::MAX);
+        let interrupted = AtomicBool::new(false);
         let seeds = SeedSequence::new(self.cfg.seed);
         let mut per_thread = vec![0u64; self.cfg.threads];
         let use_sparse = self.tuning.sparse.use_sparse(d, self.oracle.max_support());
@@ -133,6 +151,7 @@ impl<O: GradientOracle> Hogwild<O> {
                     let model = &model;
                     let counter = &counter;
                     let first_success = &first_success;
+                    let interrupted = &interrupted;
                     let oracle = &self.oracle;
                     let cfg = self.cfg;
                     let mut rng = seeds.child_rng(tid as u64);
@@ -141,23 +160,35 @@ impl<O: GradientOracle> Hogwild<O> {
                         if use_sparse {
                             let mut grad = SparseGrad::with_capacity(grad_cap);
                             // Full-view scratch only needed for the sampled
-                            // success check.
-                            let mut view = if cfg.success_radius_sq.is_some() {
-                                vec![0.0; d]
-                            } else {
-                                Vec::new()
-                            };
+                            // success check / metrics sample.
+                            let mut view =
+                                if cfg.success_radius_sq.is_some() || ctrl.metrics.is_some() {
+                                    vec![0.0; d]
+                                } else {
+                                    Vec::new()
+                                };
                             loop {
                                 let claim = counter.fetch_add(1, Ordering::SeqCst);
                                 if claim >= cfg.iterations {
                                     return done;
                                 }
-                                if let Some(eps) = cfg.success_radius_sq {
-                                    if claim.is_multiple_of(stride) {
-                                        model.read_view(&mut view);
-                                        if asgd_math::vec::l2_dist_sq(&view, minimizer) <= eps {
-                                            first_success.fetch_min(claim, Ordering::SeqCst);
-                                        }
+                                if claim.is_multiple_of(stride) && ctrl.is_stopped() {
+                                    interrupted.store(true, Ordering::SeqCst);
+                                    return done;
+                                }
+                                let at_success =
+                                    cfg.success_radius_sq.is_some() && claim.is_multiple_of(stride);
+                                let at_metrics = ctrl.metrics_at(claim);
+                                if at_success || at_metrics {
+                                    model.read_view(&mut view);
+                                    let dist_sq = asgd_math::vec::l2_dist_sq(&view, minimizer);
+                                    if at_success
+                                        && cfg.success_radius_sq.is_some_and(|eps| dist_sq <= eps)
+                                    {
+                                        first_success.fetch_min(claim, Ordering::SeqCst);
+                                    }
+                                    if at_metrics {
+                                        ctrl.emit_metrics(claim, dist_sq);
                                     }
                                 }
                                 oracle.sample_gradient_sparse(model, &mut rng, &mut grad);
@@ -176,11 +207,21 @@ impl<O: GradientOracle> Hogwild<O> {
                                 if claim >= cfg.iterations {
                                     return done;
                                 }
+                                if claim.is_multiple_of(stride) && ctrl.is_stopped() {
+                                    interrupted.store(true, Ordering::SeqCst);
+                                    return done;
+                                }
                                 model.read_view(&mut view);
-                                if let Some(eps) = cfg.success_radius_sq {
+                                let at_metrics = ctrl.metrics_at(claim);
+                                if cfg.success_radius_sq.is_some() || at_metrics {
                                     let dist_sq = asgd_math::vec::l2_dist_sq(&view, minimizer);
-                                    if dist_sq <= eps {
-                                        first_success.fetch_min(claim, Ordering::SeqCst);
+                                    if let Some(eps) = cfg.success_radius_sq {
+                                        if dist_sq <= eps {
+                                            first_success.fetch_min(claim, Ordering::SeqCst);
+                                        }
+                                    }
+                                    if at_metrics {
+                                        ctrl.emit_metrics(claim, dist_sq);
                                     }
                                 }
                                 oracle.sample_gradient(&view, &mut rng, &mut grad);
@@ -207,11 +248,12 @@ impl<O: GradientOracle> Hogwild<O> {
         HogwildReport {
             final_model,
             final_dist_sq,
-            iterations: self.cfg.iterations,
+            iterations: per_thread.iter().sum(),
             per_thread_iterations: per_thread,
             first_success_claim: (hit != u64::MAX).then_some(hit),
             elapsed,
             used_sparse: use_sparse,
+            cancelled: interrupted.load(Ordering::SeqCst),
         }
     }
 }
@@ -394,6 +436,80 @@ mod tests {
         assert_eq!(report.per_thread_iterations, vec![64]);
         // Single-threaded noiseless run is exactly (1−α)^T.
         assert!((report.final_model[0] - 0.9_f64.powi(64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_raised_stop_flag_cancels_within_one_stride() {
+        use std::sync::atomic::AtomicBool;
+        let oracle = Arc::new(NoisyQuadratic::new(2, 0.1).unwrap());
+        let flag = AtomicBool::new(true);
+        let report = Hogwild::new(
+            oracle,
+            HogwildConfig {
+                threads: 4,
+                iterations: u64::MAX / 2, // effectively unbounded
+                alpha: 0.01,
+                seed: 1,
+                success_radius_sq: None,
+            },
+        )
+        .run_controlled(
+            &[1.0, 1.0],
+            RunControl {
+                stop: Some(&flag),
+                metrics: None,
+            },
+        );
+        assert!(report.cancelled);
+        let stride = ExecTuning::default().stride();
+        assert!(
+            report.iterations <= 4 * stride,
+            "each worker stops within one stride: {} claims",
+            report.iterations
+        );
+    }
+
+    #[test]
+    fn metrics_callback_fires_at_stride_multiples_on_both_paths() {
+        use crate::tuning::SparsePolicy;
+        use std::sync::Mutex;
+        let oracle = Arc::new(SparseQuadratic::uniform(16, 1.0, 0.0).unwrap());
+        for sparse in [SparsePolicy::ForceDense, SparsePolicy::ForceSparse] {
+            let samples: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::new());
+            let sink = |claim: u64, dist_sq: f64| {
+                samples.lock().unwrap().push((claim, dist_sq));
+            };
+            let report = Hogwild::new(
+                Arc::clone(&oracle),
+                HogwildConfig {
+                    threads: 2,
+                    iterations: 200,
+                    alpha: 0.01,
+                    seed: 5,
+                    success_radius_sq: None,
+                },
+            )
+            .tuning(ExecTuning {
+                sparse,
+                ..ExecTuning::default()
+            })
+            .run_controlled(
+                &[1.0; 16],
+                RunControl {
+                    stop: None,
+                    metrics: Some(crate::control::MetricsSink {
+                        stride: 50,
+                        f: &sink,
+                    }),
+                },
+            );
+            assert!(!report.cancelled);
+            let got = samples.into_inner().unwrap();
+            let mut claims: Vec<u64> = got.iter().map(|&(c, _)| c).collect();
+            claims.sort_unstable();
+            assert_eq!(claims, vec![0, 50, 100, 150], "{sparse:?}");
+            assert!(got.iter().all(|&(_, d)| d.is_finite() && d >= 0.0));
+        }
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * [`tuning`] — [`ExecTuning`]: the layout/ordering/sparse-path knobs
 //!   every native executor accepts; Δ-sparse oracles get an O(Δ) hot loop
 //!   instead of the O(d) dense scan;
+//! * [`control`] — [`RunControl`]: a cooperative stop flag and a strided
+//!   metrics sink threaded into every executor's claim loop (the
+//!   `run_controlled` entry points), with cancellation latency bounded by
+//!   the success-check stride;
 //! * [`hogwild`] — the lock-free executor (Algorithm 1 on OS threads);
 //! * [`locked`] — the coarse-grained-locking baseline the paper's
 //!   introduction contrasts against (one mutex around the whole model,
@@ -58,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod atomic;
+pub mod control;
 pub mod full_sgd;
 pub mod guarded;
 pub mod hogwild;
@@ -66,6 +71,7 @@ pub mod model;
 pub mod tuning;
 
 pub use atomic::AtomicF64;
+pub use control::{MetricsFn, MetricsSink, RunControl};
 pub use full_sgd::{NativeFullSgd, NativeFullSgdConfig, NativeFullSgdReport};
 pub use guarded::{GuardedEpochSgd, GuardedEpochSgdConfig, GuardedEpochSgdReport, GuardedModel};
 pub use hogwild::{Hogwild, HogwildConfig, HogwildReport};

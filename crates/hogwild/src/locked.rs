@@ -8,11 +8,12 @@
 //! comparison point for the `speedup` experiment and the
 //! `hogwild_scaling` bench.
 
+use crate::control::RunControl;
 use crate::tuning::ExecTuning;
 use asgd_math::rng::SeedSequence;
 use asgd_oracle::{GradientOracle, SparseGrad};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Outcome of a locked-baseline run.
@@ -22,12 +23,14 @@ pub struct LockedSgdReport {
     pub final_model: Vec<f64>,
     /// `‖X_final − x*‖²`.
     pub final_dist_sq: f64,
-    /// Iterations executed (= configured `T`).
+    /// Iterations executed (= configured `T`, or fewer if cancelled).
     pub iterations: u64,
     /// Wall-clock duration of the parallel section.
     pub elapsed: Duration,
     /// Whether the run took the O(Δ) sparse gradient path.
     pub used_sparse: bool,
+    /// Whether the run was ended early by [`RunControl::stop`].
+    pub cancelled: bool,
 }
 
 impl LockedSgdReport {
@@ -89,12 +92,27 @@ impl<O: GradientOracle> LockedSgd<O> {
     /// Panics if `x0`'s dimension differs from the oracle's.
     #[must_use]
     pub fn run(&self, x0: &[f64]) -> LockedSgdReport {
+        self.run_controlled(x0, RunControl::default())
+    }
+
+    /// Like [`LockedSgd::run`], with a [`RunControl`] for cancellation and
+    /// strided metrics (dist² computed under a brief model lock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0`'s dimension differs from the oracle's.
+    #[must_use]
+    pub fn run_controlled(&self, x0: &[f64], ctrl: RunControl<'_>) -> LockedSgdReport {
         let d = self.oracle.dimension();
         assert_eq!(x0.len(), d, "x0 dimension mismatch");
         let model = Mutex::new(x0.to_vec());
         let counter = AtomicU64::new(0);
+        let executed = AtomicU64::new(0);
+        let interrupted = AtomicBool::new(false);
         let seeds = SeedSequence::new(self.seed);
         let use_sparse = self.tuning.sparse.use_sparse(d, self.oracle.max_support());
+        let stride = self.tuning.stride();
+        let minimizer = self.oracle.minimizer();
         let grad_cap = self.oracle.max_support().unwrap_or(1);
 
         let start = Instant::now();
@@ -102,18 +120,41 @@ impl<O: GradientOracle> LockedSgd<O> {
             for tid in 0..self.threads {
                 let model = &model;
                 let counter = &counter;
+                let executed = &executed;
+                let interrupted = &interrupted;
                 let oracle = &self.oracle;
                 let (alpha, iterations) = (self.alpha, self.iterations);
                 let mut rng = seeds.child_rng(tid as u64);
                 scope.spawn(move || {
+                    let mut done = 0u64;
+                    // Strided control point shared by both paths: stop at
+                    // the success-check stride, metrics at their own stride.
+                    let observe = |claim: u64| -> bool {
+                        if claim.is_multiple_of(stride) && ctrl.is_stopped() {
+                            interrupted.store(true, Ordering::SeqCst);
+                            return true;
+                        }
+                        if ctrl.metrics_at(claim) {
+                            // Hold the lock only for the distance read; the
+                            // observer pipeline must run outside the critical
+                            // section or it stalls every worker.
+                            let dist_sq = {
+                                let x = model.lock();
+                                asgd_math::vec::l2_dist_sq(&x, minimizer)
+                            };
+                            ctrl.emit_metrics(claim, dist_sq);
+                        }
+                        false
+                    };
                     if use_sparse {
                         // Even under the lock, a Δ-sparse iteration need not
                         // copy or scan the full model: sample through the
                         // locked slice, update only the support.
                         let mut grad = SparseGrad::with_capacity(grad_cap);
                         loop {
-                            if counter.fetch_add(1, Ordering::SeqCst) >= iterations {
-                                return;
+                            let claim = counter.fetch_add(1, Ordering::SeqCst);
+                            if claim >= iterations || observe(claim) {
+                                break;
                             }
                             let mut x = model.lock();
                             oracle.sample_gradient_sparse(&*x, &mut rng, &mut grad);
@@ -122,13 +163,15 @@ impl<O: GradientOracle> LockedSgd<O> {
                                     x[j] -= alpha * gj;
                                 }
                             }
+                            done += 1;
                         }
                     } else {
                         let mut grad = vec![0.0; d];
                         let mut view = vec![0.0; d];
                         loop {
-                            if counter.fetch_add(1, Ordering::SeqCst) >= iterations {
-                                return;
+                            let claim = counter.fetch_add(1, Ordering::SeqCst);
+                            if claim >= iterations || observe(claim) {
+                                break;
                             }
                             // The whole iteration holds the lock: fully serial
                             // semantics (and fully serial performance).
@@ -136,8 +179,10 @@ impl<O: GradientOracle> LockedSgd<O> {
                             view.copy_from_slice(&x);
                             oracle.sample_gradient(&view, &mut rng, &mut grad);
                             asgd_math::vec::axpy(&mut x, -alpha, &grad);
+                            done += 1;
                         }
                     }
+                    executed.fetch_add(done, Ordering::SeqCst);
                 });
             }
         });
@@ -148,9 +193,10 @@ impl<O: GradientOracle> LockedSgd<O> {
         LockedSgdReport {
             final_model,
             final_dist_sq,
-            iterations: self.iterations,
+            iterations: executed.load(Ordering::SeqCst),
             elapsed,
             used_sparse: use_sparse,
+            cancelled: interrupted.load(Ordering::SeqCst),
         }
     }
 }
@@ -206,6 +252,34 @@ mod tests {
         {
             assert_eq!(a.to_bits(), b.to_bits(), "entry {j}");
         }
+    }
+
+    #[test]
+    fn stop_flag_cancels_and_metrics_fire() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Mutex as StdMutex;
+        let oracle = Arc::new(NoisyQuadratic::new(2, 0.0).unwrap());
+        let flag = AtomicBool::new(false);
+        let samples: StdMutex<Vec<u64>> = StdMutex::new(Vec::new());
+        let sink = |claim: u64, _dist_sq: f64| {
+            samples.lock().unwrap().push(claim);
+            // Cancel as soon as the first strided sample lands.
+            flag.store(true, Ordering::SeqCst);
+        };
+        let report = LockedSgd::new(oracle, 2, u64::MAX / 2, 0.1, 3).run_controlled(
+            &[1.0, 1.0],
+            crate::control::RunControl {
+                stop: Some(&flag),
+                metrics: Some(crate::control::MetricsSink {
+                    stride: 16,
+                    f: &sink,
+                }),
+            },
+        );
+        assert!(report.cancelled);
+        let stride = crate::tuning::ExecTuning::default().stride();
+        assert!(report.iterations <= 2 * stride + 2);
+        assert!(!samples.lock().unwrap().is_empty());
     }
 
     #[test]

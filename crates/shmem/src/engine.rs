@@ -16,6 +16,8 @@ use asgd_math::rng::SeedSequence;
 use rand::rngs::StdRng;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A streaming observer of fired events (see
 /// [`EngineBuilder::observer`]).
@@ -28,6 +30,11 @@ pub enum StopReason {
     AllDone,
     /// The configured step budget ran out.
     StepBudgetExhausted,
+    /// The external stop flag ([`EngineBuilder::stop_flag`]) was raised; the
+    /// run ended early by request, **not** by completing its program. Callers
+    /// distinguishing success from early exit must not lump this in with
+    /// [`StopReason::AllDone`].
+    Cancelled,
 }
 
 /// Final state and statistics of one simulated execution.
@@ -82,6 +89,7 @@ pub struct EngineBuilder {
     trace: TraceLevel,
     max_crashes: Option<usize>,
     observer: Option<EventObserver>,
+    stop_flag: Option<Arc<AtomicBool>>,
 }
 
 impl EngineBuilder {
@@ -152,10 +160,31 @@ impl EngineBuilder {
     /// Installs a streaming observer called with every fired event, in firing
     /// order, regardless of trace level. Used by live monitors (e.g. the
     /// hitting-time monitor of `asgd-core`) that would otherwise need a full
-    /// in-memory trace.
+    /// in-memory trace. Calling this more than once *chains* the observers:
+    /// each fired event reaches every installed observer, in installation
+    /// order.
     #[must_use]
     pub fn observer(mut self, f: impl FnMut(&EventRecord) + 'static) -> Self {
-        self.observer = Some(Box::new(f));
+        self.observer = Some(match self.observer {
+            None => Box::new(f),
+            Some(mut first) => {
+                let mut second = f;
+                Box::new(move |ev: &EventRecord| {
+                    first(ev);
+                    second(ev);
+                })
+            }
+        });
+        self
+    }
+
+    /// Installs a cooperative stop flag, checked before every step: once it
+    /// reads `true`, the run ends with [`StopReason::Cancelled`]. The flag is
+    /// shared (typically raised from another thread by a run handle); the
+    /// engine itself never writes it.
+    #[must_use]
+    pub fn stop_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.stop_flag = Some(flag);
         self
     }
 
@@ -205,6 +234,7 @@ impl EngineBuilder {
                 .min(n.saturating_sub(1)),
             crashed: 0,
             observer: self.observer,
+            stop_flag: self.stop_flag,
         }
     }
 }
@@ -230,6 +260,7 @@ pub struct Engine {
     crashes_remaining: usize,
     crashed: usize,
     observer: Option<EventObserver>,
+    stop_flag: Option<Arc<AtomicBool>>,
 }
 
 impl Engine {
@@ -267,6 +298,11 @@ impl Engine {
         let stop = loop {
             if self.step >= self.max_steps {
                 break StopReason::StepBudgetExhausted;
+            }
+            if let Some(flag) = &self.stop_flag {
+                if flag.load(Ordering::Relaxed) {
+                    break StopReason::Cancelled;
+                }
             }
             if !self
                 .slots
@@ -551,6 +587,64 @@ mod tests {
             trace.events().last().unwrap().kind,
             EventKind::Halted
         ));
+    }
+
+    #[test]
+    fn raised_stop_flag_cancels_before_the_first_step() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let report = Engine::builder()
+            .memory(Memory::new(1, 0))
+            .process(FaaHammer::new(0, 1.0, 1_000))
+            .scheduler(SerialScheduler::new())
+            .stop_flag(Arc::clone(&flag))
+            .seed(0)
+            .build()
+            .run();
+        assert_eq!(report.stop, StopReason::Cancelled);
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.memory.float(0), 0.0, "no op fired after cancel");
+    }
+
+    #[test]
+    fn unraised_stop_flag_changes_nothing() {
+        let run = |flag: Option<Arc<AtomicBool>>| {
+            let mut b = Engine::builder()
+                .memory(Memory::new(1, 0))
+                .process(FaaHammer::new(0, 1.0, 25))
+                .scheduler(SerialScheduler::new())
+                .seed(9);
+            if let Some(f) = flag {
+                b = b.stop_flag(f);
+            }
+            b.build().run()
+        };
+        let plain = run(None);
+        let flagged = run(Some(Arc::new(AtomicBool::new(false))));
+        assert_eq!(plain.stop, StopReason::AllDone);
+        assert_eq!(flagged.stop, StopReason::AllDone);
+        assert_eq!(plain.fingerprint, flagged.fingerprint);
+    }
+
+    #[test]
+    fn chained_observers_each_see_every_event() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let first = Rc::new(Cell::new(0_usize));
+        let second = Rc::new(Cell::new(0_usize));
+        let (f1, f2) = (Rc::clone(&first), Rc::clone(&second));
+        let report = Engine::builder()
+            .memory(Memory::new(1, 0))
+            .process(FaaHammer::new(0, 1.0, 3))
+            .scheduler(SerialScheduler::new())
+            .observer(move |_| f1.set(f1.get() + 1))
+            .observer(move |_| f2.set(f2.get() + 1))
+            .seed(0)
+            .build()
+            .run();
+        assert_eq!(report.stop, StopReason::AllDone);
+        // 3 ops + 1 halt event, delivered to both observers.
+        assert_eq!(first.get(), 4);
+        assert_eq!(second.get(), first.get());
     }
 
     #[test]

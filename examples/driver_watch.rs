@@ -1,0 +1,119 @@
+//! Live-observed run sessions: submit, stream progress, cancel, sweep.
+//!
+//! ```text
+//! cargo run --release --example driver_watch
+//! ```
+//!
+//! Submits a small sweep as background jobs through `Driver::submit_observed`
+//! and prints each run's progress lines as they stream in; one deliberately
+//! oversized run is cancelled mid-flight to show the stop path. Finally the
+//! same sweep is executed through the bounded pool (`Driver::run_many`) and
+//! summarised.
+
+use asyncsgd::prelude::*;
+use std::sync::Arc;
+
+/// Prints one line per progress/lifecycle event, prefixed with a job label.
+struct PrintObserver {
+    label: &'static str,
+}
+
+impl RunObserver for PrintObserver {
+    fn on_event(&self, event: &RunEvent) {
+        match event {
+            RunEvent::Started {
+                backend,
+                threads,
+                iterations,
+                ..
+            } => {
+                println!(
+                    "[{}] started: {backend} n={threads} T={iterations}",
+                    self.label
+                );
+            }
+            RunEvent::Progress(p) => {
+                println!(
+                    "[{}] t={:>8} dist²={:.3e} ({:.1} ms)",
+                    self.label,
+                    p.iterations,
+                    p.dist_sq,
+                    p.elapsed_secs * 1e3
+                );
+            }
+            RunEvent::TrajectorySample(_) => {} // Progress already covers the demo
+            RunEvent::Finished(report) => {
+                println!(
+                    "[{}] finished: T={} dist²={:.3e} stop={}",
+                    self.label,
+                    report.iterations,
+                    report.final_dist_sq,
+                    report.stop.as_deref().unwrap_or("-")
+                );
+            }
+        }
+    }
+}
+
+fn main() {
+    let driver = Driver::new();
+    let base = RunSpec::new(
+        OracleSpec::new("noisy-quadratic", 8).sigma(0.2),
+        BackendKind::Hogwild,
+    )
+    .threads(2)
+    .iterations(400_000)
+    .learning_rate(0.01)
+    .x0(vec![2.0; 8])
+    .seed(7)
+    .trajectory_every(50_000);
+
+    // Two observed jobs running concurrently.
+    let fast = driver.submit_observed(
+        base.clone().seed(1),
+        Arc::new(PrintObserver { label: "hogwild-a" }),
+    );
+    let slow = driver.submit_observed(
+        base.clone().backend(BackendKind::Locked).seed(2),
+        Arc::new(PrintObserver { label: "locked-b" }),
+    );
+
+    // A deliberately unbounded job: cancel it once the fast one finishes.
+    let doomed = driver.submit_observed(
+        base.clone()
+            .iterations(u64::MAX / 2)
+            .trajectory_every(2_000_000)
+            .seed(3),
+        Arc::new(PrintObserver { label: "doomed-c" }),
+    );
+
+    let fast_report = fast.wait().expect("hogwild spec runs");
+    println!(
+        "--> hogwild-a done after {} samples",
+        fast_report.trajectory.as_ref().map_or(0, Vec::len)
+    );
+    doomed.cancel();
+    let doomed_report = doomed.wait().expect("cancelled runs still report");
+    assert_eq!(doomed_report.stop.as_deref(), Some("cancelled"));
+    println!(
+        "--> doomed-c cancelled after {} iterations",
+        doomed_report.iterations
+    );
+    let _ = slow.wait().expect("locked spec runs");
+
+    // The same comparison as a pooled sweep: results in spec order.
+    let sweep: Vec<RunSpec> = [1_u64, 2, 3, 4]
+        .iter()
+        .map(|&seed| base.clone().iterations(100_000).seed(seed))
+        .collect();
+    println!("\npooled sweep over {} specs:", sweep.len());
+    for (spec, report) in sweep.iter().zip(driver.run_many(&sweep)) {
+        let report = report.expect("sweep spec runs");
+        println!(
+            "  seed {} -> dist² {:.3e} in {:.1} ms",
+            spec.seed,
+            report.final_dist_sq,
+            report.wall_time_secs * 1e3
+        );
+    }
+}

@@ -13,7 +13,7 @@
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
-//! | [`driver`] | `asgd-driver` | **the front door**: one `RunSpec`, every backend, one `RunReport` |
+//! | [`driver`] | `asgd-driver` | **the front door**: one `RunSpec`, every backend, one `RunReport`; observable/cancellable sessions (`Driver`, `RunHandle`, `RunObserver`) and pooled sweeps (`run_many`) |
 //! | [`math`] | `asgd-math` | vector kernels, Gaussian sampling, statistics |
 //! | [`shmem`] | `asgd-shmem` | the simulated machine: registers, engine, schedulers/adversaries, contention audits |
 //! | [`oracle`] | `asgd-oracle` | workloads with known `(c, L, M²)` constants + by-name registry |
@@ -106,8 +106,9 @@ pub mod prelude {
     pub use asgd_core::runner::{LockFreeRun, LockFreeSgd, RunnerError};
     pub use asgd_core::sequential::SequentialSgd;
     pub use asgd_driver::{
-        run_spec, BackendKind, DriverError, ModelLayoutSpec, RunReport, RunSpec, SchedulerSpec,
-        SparsePathSpec, StepSize, UpdateOrderSpec,
+        run_spec, run_spec_session, BackendKind, Driver, DriverError, ModelLayoutSpec, Progress,
+        RunEvent, RunHandle, RunObserver, RunReport, RunSpec, SchedulerSpec, SessionCtx,
+        SparsePathSpec, StepSize, TrajectorySample, UpdateOrderSpec,
     };
     pub use asgd_hogwild::full_sgd::{NativeFullSgd, NativeFullSgdConfig};
     pub use asgd_hogwild::guarded::{GuardedEpochSgd, GuardedEpochSgdConfig};

@@ -97,12 +97,24 @@ fn sequential_and_simulated_serial_schedule_agree_exactly() {
         sequential.final_dist_sq.to_bits(),
         simulated.final_dist_sq.to_bits()
     );
-    // And single-threaded Hogwild shares the same coin stream too.
-    let native =
-        run_spec(&spec.clone().backend(BackendKind::Hogwild).threads(1)).expect("hogwild runs");
+    // And single-threaded Hogwild shares the same coin stream too — with a
+    // live observer attached, which must not perturb the run.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let events = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&events);
+    let ctx = SessionCtx::observed(Arc::new(move |_: &RunEvent| {
+        counter.fetch_add(1, Ordering::SeqCst);
+    }));
+    let native = run_spec_session(&spec.clone().backend(BackendKind::Hogwild).threads(1), &ctx)
+        .expect("hogwild runs");
     for (a, b) in sequential.final_model.iter().zip(&native.final_model) {
         assert_eq!(a.to_bits(), b.to_bits(), "native single-thread parity");
     }
+    assert!(
+        events.load(Ordering::SeqCst) >= 2,
+        "observer saw at least Started and Finished"
+    );
 }
 
 #[test]
