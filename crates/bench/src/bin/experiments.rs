@@ -21,12 +21,27 @@
 //! `--json PATH` writes the report; if `PATH` is a directory, files named
 //! `BENCH_<backend>.json` are created inside it. Without `--json`, reports
 //! print to stdout.
+//!
+//! Validate mode (the paper's bounds against live measurements — derives
+//! step sizes/horizons/epoch budgets from the theory crate, runs a
+//! backend × n × ε grid of multi-seed sweeps, and emits per-cell
+//! bound-vs-measurement verdicts; the committed `BENCH_validation.json` is
+//! its output):
+//!
+//! ```text
+//! cargo run -p asgd-bench --release --bin experiments -- validate \
+//!     --json BENCH_validation.json
+//! cargo run -p asgd-bench --release --bin experiments -- validate --quick
+//! ```
 
 use asgd_bench::{experiment_ids, run_experiment};
+use asgd_driver::validation::default_backends;
 use asgd_driver::{
-    run_spec, BackendKind, Driver, DriverError, ModelLayoutSpec, RunReport, RunSpec, SchedulerSpec,
-    SparsePathSpec, UpdateOrderSpec,
+    run_spec, validate, BackendKind, Driver, DriverError, ModelLayoutSpec, RunReport, RunSpec,
+    SchedulerSpec, SparsePathSpec, UpdateOrderSpec, ValidationPlan,
 };
+use asgd_metrics::table::fmt_f;
+use asgd_metrics::Table;
 use asgd_oracle::{registry, OracleSpec};
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -35,8 +50,42 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => run_mode(&args[1..]),
+        Some("validate") => validate_mode(&args[1..]),
         _ => table_mode(args),
     }
+}
+
+// ------------------------------------------------- shared flag plumbing
+
+/// Pulls a flag's value off the argument iterator, or prints the calling
+/// mode's usage and exits.
+fn flag_value<'a>(it: &mut std::slice::Iter<'a, String>, name: &str, usage: fn() -> !) -> &'a str {
+    match it.next() {
+        Some(v) => v,
+        None => {
+            eprintln!("error: {name} needs a value");
+            usage();
+        }
+    }
+}
+
+/// [`flag_value`] + `FromStr`, with the uniform bad-value error (exit 2).
+macro_rules! parse_flag {
+    ($it:expr, $name:literal, $usage:path) => {{
+        let raw = flag_value($it, $name, $usage);
+        match raw.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("error: bad value `{raw}` for {}", $name);
+                exit(2);
+            }
+        }
+    }};
+}
+
+/// Parses a comma-separated list, trimming around each element.
+fn parse_csv<T: std::str::FromStr>(raw: &str) -> Result<Vec<T>, T::Err> {
+    raw.split(',').map(str::trim).map(str::parse).collect()
 }
 
 // ---------------------------------------------------------------- run mode
@@ -255,41 +304,24 @@ fn parse_run_args(args: &[String]) -> RunArgs {
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| -> &str {
-            match it.next() {
-                Some(v) => v,
-                None => {
-                    eprintln!("error: {name} needs a value");
-                    usage_run();
-                }
-            }
-        };
-        macro_rules! parse_to {
-            ($name:literal) => {{
-                let raw = value($name);
-                match raw.parse() {
-                    Ok(v) => v,
-                    Err(_) => {
-                        eprintln!("error: bad value `{raw}` for {}", $name);
-                        exit(2);
-                    }
-                }
-            }};
-        }
         match flag.as_str() {
-            "--backend" => parsed.backend = value("--backend").to_string(),
-            "--oracle" => parsed.oracle.kind = value("--oracle").to_string(),
-            "--dim" => parsed.oracle.dim = parse_to!("--dim"),
-            "--sigma" => parsed.oracle.sigma = parse_to!("--sigma"),
-            "--dataset" => parsed.oracle.dataset = parse_to!("--dataset"),
-            "--batch" => parsed.oracle.batch = parse_to!("--batch"),
-            "--lambda" => parsed.oracle.lambda = parse_to!("--lambda"),
-            "--threads" => parsed.threads = parse_to!("--threads"),
-            "--iterations" => parsed.iterations = parse_to!("--iterations"),
-            "--alpha" => parsed.alpha = parse_to!("--alpha"),
-            "--halving-epochs" => parsed.halving_epochs = Some(parse_to!("--halving-epochs")),
+            "--backend" => parsed.backend = flag_value(&mut it, "--backend", usage_run).to_string(),
+            "--oracle" => {
+                parsed.oracle.kind = flag_value(&mut it, "--oracle", usage_run).to_string()
+            }
+            "--dim" => parsed.oracle.dim = parse_flag!(&mut it, "--dim", usage_run),
+            "--sigma" => parsed.oracle.sigma = parse_flag!(&mut it, "--sigma", usage_run),
+            "--dataset" => parsed.oracle.dataset = parse_flag!(&mut it, "--dataset", usage_run),
+            "--batch" => parsed.oracle.batch = parse_flag!(&mut it, "--batch", usage_run),
+            "--lambda" => parsed.oracle.lambda = parse_flag!(&mut it, "--lambda", usage_run),
+            "--threads" => parsed.threads = parse_flag!(&mut it, "--threads", usage_run),
+            "--iterations" => parsed.iterations = parse_flag!(&mut it, "--iterations", usage_run),
+            "--alpha" => parsed.alpha = parse_flag!(&mut it, "--alpha", usage_run),
+            "--halving-epochs" => {
+                parsed.halving_epochs = Some(parse_flag!(&mut it, "--halving-epochs", usage_run));
+            }
             "--scheduler" => {
-                let raw = value("--scheduler");
+                let raw = flag_value(&mut it, "--scheduler", usage_run);
                 parsed.scheduler = match raw.parse() {
                     Ok(s) => s,
                     Err(e) => {
@@ -298,11 +330,11 @@ fn parse_run_args(args: &[String]) -> RunArgs {
                     }
                 };
             }
-            "--seed" => parsed.seed = parse_to!("--seed"),
-            "--eps" => parsed.eps = Some(parse_to!("--eps")),
+            "--seed" => parsed.seed = parse_flag!(&mut it, "--seed", usage_run),
+            "--eps" => parsed.eps = Some(parse_flag!(&mut it, "--eps", usage_run)),
             "--x0" => {
-                let raw = value("--x0");
-                match raw.split(',').map(str::trim).map(str::parse).collect() {
+                let raw = flag_value(&mut it, "--x0", usage_run);
+                match parse_csv(raw) {
                     Ok(x0) => parsed.x0 = Some(x0),
                     Err(_) => {
                         eprintln!("error: bad value `{raw}` for --x0 (want V1,V2,…)");
@@ -310,14 +342,17 @@ fn parse_run_args(args: &[String]) -> RunArgs {
                     }
                 }
             }
-            "--max-steps" => parsed.max_steps = Some(parse_to!("--max-steps")),
-            "--layout" => parsed.layout = parse_to!("--layout"),
-            "--order" => parsed.order = parse_to!("--order"),
-            "--sparse" => parsed.sparse = parse_to!("--sparse"),
-            "--trajectory-every" => {
-                parsed.trajectory_every = Some(parse_to!("--trajectory-every"));
+            "--max-steps" => {
+                parsed.max_steps = Some(parse_flag!(&mut it, "--max-steps", usage_run))
             }
-            "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
+            "--layout" => parsed.layout = parse_flag!(&mut it, "--layout", usage_run),
+            "--order" => parsed.order = parse_flag!(&mut it, "--order", usage_run),
+            "--sparse" => parsed.sparse = parse_flag!(&mut it, "--sparse", usage_run),
+            "--trajectory-every" => {
+                parsed.trajectory_every =
+                    Some(parse_flag!(&mut it, "--trajectory-every", usage_run));
+            }
+            "--json" => parsed.json = Some(PathBuf::from(flag_value(&mut it, "--json", usage_run))),
             "--pretty" => parsed.pretty = true,
             "--parallel" => parsed.parallel = true,
             "--help" | "-h" => usage_run(),
@@ -328,6 +363,212 @@ fn parse_run_args(args: &[String]) -> RunArgs {
         }
     }
     parsed
+}
+
+// --------------------------------------------------------- validate mode
+
+fn usage_validate() -> ! {
+    eprintln!(
+        "usage: experiments validate [options]\n\
+         \n\
+         Derives (α, horizon, epoch budget) from the paper's formulas for a\n\
+         backend × n × ε grid, measures failure probabilities over seeded\n\
+         trials, and reports whether every bound is consistent with its\n\
+         measurement. Exits non-zero if any cell is inconsistent.\n\
+         \n\
+         options (defaults in parentheses):\n\
+         \x20 --oracle KIND     workload ({oracles}; default noisy-quadratic)\n\
+         \x20 --dim D           model dimension (2)\n\
+         \x20 --sigma S         noise level (0.5)\n\
+         \x20 --backends CSV    backends or `all` (all validatable: {backends})\n\
+         \x20 --threads CSV     thread counts n (1,2,4; quick: 1,2)\n\
+         \x20 --eps CSV         success thresholds ε (0.04,0.01; quick: 0.04)\n\
+         \x20 --tau T           assumed τ_max (8)\n\
+         \x20 --theta TH        Eq. 12 slack ϑ in (0,1] (1.0)\n\
+         \x20 --target P        failure-probability target in (0,1) (0.5)\n\
+         \x20 --radius R        constants radius (2.0)\n\
+         \x20 --alpha A         step-size override, judged via Theorem 6.5 (default: Eq. 12 rate vs Eq. 13)\n\
+         \x20 --trials K        trials per cell (40; quick: 8)\n\
+         \x20 --seed S          master seed (0x7A11DA7E)\n\
+         \x20 --workers W       run_many pool width (one per core)\n\
+         \x20 --quick           smaller grid for smoke runs\n\
+         \x20 --json PATH       write the ValidationReport JSON\n\
+         \x20 --pretty          pretty-print JSON",
+        oracles = registry::known_kinds().join(" | "),
+        backends = default_backends()
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    exit(2);
+}
+
+fn validate_mode(args: &[String]) {
+    let mut oracle = OracleSpec::new("noisy-quadratic", 2).sigma(0.5);
+    let mut backends: Option<Vec<BackendKind>> = None;
+    let mut threads: Option<Vec<usize>> = None;
+    let mut eps: Option<Vec<f64>> = None;
+    let mut plan_tweaks: Vec<Box<dyn FnOnce(ValidationPlan) -> ValidationPlan>> = Vec::new();
+    let mut trials: Option<u64> = None;
+    let mut quick = false;
+    let mut json: Option<PathBuf> = None;
+    let mut pretty = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--oracle" => oracle.kind = flag_value(&mut it, "--oracle", usage_validate).to_string(),
+            "--dim" => oracle.dim = parse_flag!(&mut it, "--dim", usage_validate),
+            "--sigma" => oracle.sigma = parse_flag!(&mut it, "--sigma", usage_validate),
+            "--backends" => {
+                let raw = flag_value(&mut it, "--backends", usage_validate);
+                if raw == "all" {
+                    backends = Some(default_backends());
+                } else {
+                    match parse_csv(raw) {
+                        Ok(list) => backends = Some(list),
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            exit(2);
+                        }
+                    }
+                }
+            }
+            "--threads" => match parse_csv(flag_value(&mut it, "--threads", usage_validate)) {
+                Ok(list) => threads = Some(list),
+                Err(_) => {
+                    eprintln!("error: bad value for --threads (want N1,N2,…)");
+                    exit(2);
+                }
+            },
+            "--eps" => match parse_csv(flag_value(&mut it, "--eps", usage_validate)) {
+                Ok(list) => eps = Some(list),
+                Err(_) => {
+                    eprintln!("error: bad value for --eps (want E1,E2,…)");
+                    exit(2);
+                }
+            },
+            "--tau" => {
+                let tau: u64 = parse_flag!(&mut it, "--tau", usage_validate);
+                plan_tweaks.push(Box::new(move |p| p.tau_max(tau)));
+            }
+            "--theta" => {
+                let theta: f64 = parse_flag!(&mut it, "--theta", usage_validate);
+                plan_tweaks.push(Box::new(move |p| p.theta(theta)));
+            }
+            "--target" => {
+                let target: f64 = parse_flag!(&mut it, "--target", usage_validate);
+                plan_tweaks.push(Box::new(move |p| p.target(target)));
+            }
+            "--radius" => {
+                let radius: f64 = parse_flag!(&mut it, "--radius", usage_validate);
+                plan_tweaks.push(Box::new(move |p| p.radius(radius)));
+            }
+            "--alpha" => {
+                let alpha: f64 = parse_flag!(&mut it, "--alpha", usage_validate);
+                plan_tweaks.push(Box::new(move |p| p.alpha(alpha)));
+            }
+            "--trials" => trials = Some(parse_flag!(&mut it, "--trials", usage_validate)),
+            "--seed" => {
+                let seed: u64 = parse_flag!(&mut it, "--seed", usage_validate);
+                plan_tweaks.push(Box::new(move |p| p.seed(seed)));
+            }
+            "--workers" => {
+                let workers: usize = parse_flag!(&mut it, "--workers", usage_validate);
+                plan_tweaks.push(Box::new(move |p| p.workers(workers)));
+            }
+            "--quick" => quick = true,
+            "--json" => json = Some(PathBuf::from(flag_value(&mut it, "--json", usage_validate))),
+            "--pretty" => pretty = true,
+            "--help" | "-h" => usage_validate(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage_validate();
+            }
+        }
+    }
+
+    let mut plan = ValidationPlan::new(oracle)
+        .thread_counts(threads.unwrap_or(if quick { vec![1, 2] } else { vec![1, 2, 4] }))
+        .eps_grid(eps.unwrap_or(if quick { vec![0.04] } else { vec![0.04, 0.01] }))
+        .trials(trials.unwrap_or(if quick { 8 } else { 40 }));
+    if let Some(backends) = backends {
+        plan = plan.backends(backends);
+    }
+    for tweak in plan_tweaks {
+        plan = tweak(plan);
+    }
+
+    let report = match validate(&plan) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Theory validation: {} d={} σ={} τ_max={} ϑ={} target={} ({} trials/cell)",
+            report.oracle,
+            report.dim,
+            report.sigma,
+            plan.tau_max,
+            report.theta,
+            report.target,
+            report.trials,
+        ),
+        &[
+            "backend",
+            "criterion",
+            "n",
+            "eps",
+            "alpha",
+            "T",
+            "epochs",
+            "P(fail) measured",
+            "CI",
+            "bound",
+            "consistent",
+        ],
+    );
+    for c in &report.cells {
+        table.row(&[
+            c.backend.clone(),
+            c.criterion.clone(),
+            c.threads.to_string(),
+            fmt_f(c.eps),
+            fmt_f(c.alpha),
+            c.total_iterations.to_string(),
+            c.halving_epochs
+                .map_or_else(|| "-".to_string(), |h| (h + 1).to_string()),
+            format!("{}/{} = {}", c.failures, c.trials, fmt_f(c.measured)),
+            format!("[{}, {}]", fmt_f(c.ci_lower), fmt_f(c.ci_upper)),
+            fmt_f(c.bound),
+            c.consistent_with_upper_bound.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "every bound consistent with its measurement: {}",
+        report.all_consistent()
+    );
+
+    if let Some(path) = &json {
+        let payload = if pretty {
+            report.to_json_pretty()
+        } else {
+            report.to_json()
+        };
+        if let Err(e) = std::fs::write(path, payload + "\n") {
+            eprintln!("error: writing {}: {e}", path.display());
+            exit(1);
+        }
+        println!("[json] {}", path.display());
+    }
+    if !report.all_consistent() {
+        exit(1);
+    }
 }
 
 // -------------------------------------------------------------- table mode

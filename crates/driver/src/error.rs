@@ -2,6 +2,7 @@
 
 use asgd_core::runner::RunnerError;
 use asgd_oracle::OracleSpecError;
+use asgd_theory::martingale::UnstableStepSizeError;
 
 /// Error running a [`RunSpec`](crate::RunSpec).
 #[derive(Debug, Clone, PartialEq)]
@@ -9,10 +10,16 @@ pub enum DriverError {
     /// The oracle spec could not be built.
     Oracle(OracleSpecError),
     /// The spec is not executable on the selected backend (e.g. a halving
-    /// step schedule on a constant-step backend).
+    /// step schedule on a constant-step backend), or a theory-derived
+    /// configuration is invalid (e.g. a step size violating the Lemma 6.6
+    /// stability condition).
     InvalidSpec(String),
     /// The simulated runner rejected the configuration.
     Runner(RunnerError),
+    /// The run (or an attached observer) panicked. Session entry points
+    /// contain the unwind instead of cascading it into unrelated pooled
+    /// jobs; the payload message is preserved here.
+    Panicked(String),
 }
 
 impl std::fmt::Display for DriverError {
@@ -21,6 +28,7 @@ impl std::fmt::Display for DriverError {
             Self::Oracle(e) => write!(f, "oracle: {e}"),
             Self::InvalidSpec(msg) => write!(f, "invalid spec: {msg}"),
             Self::Runner(e) => write!(f, "runner: {e}"),
+            Self::Panicked(msg) => write!(f, "run panicked: {msg}"),
         }
     }
 }
@@ -30,7 +38,7 @@ impl std::error::Error for DriverError {
         match self {
             Self::Oracle(e) => Some(e),
             Self::Runner(e) => Some(e),
-            Self::InvalidSpec(_) => None,
+            Self::InvalidSpec(_) | Self::Panicked(_) => None,
         }
     }
 }
@@ -44,5 +52,15 @@ impl From<OracleSpecError> for DriverError {
 impl From<RunnerError> for DriverError {
     fn from(e: RunnerError) -> Self {
         Self::Runner(e)
+    }
+}
+
+impl From<UnstableStepSizeError> for DriverError {
+    fn from(e: UnstableStepSizeError) -> Self {
+        // Route the Lemma 6.6 stability failure through the spec-error path:
+        // a bad theory-derived step size must surface as a recoverable
+        // error, never as `RateSupermartingale::new`'s panic inside a worker
+        // thread.
+        Self::InvalidSpec(e.to_string())
     }
 }

@@ -24,7 +24,11 @@
 //!   [`RunHandle`] with `cancel()` / `wait()` / `try_report()`,
 //!   [`Driver::run_many`] executes sweeps on a bounded worker pool, and a
 //!   [`RunObserver`] streams typed [`RunEvent`]s (progress, trajectory
-//!   samples) live from any backend.
+//!   samples) live from any backend;
+//! * [`validation`] — the paper's formulas as an executable check: a
+//!   [`ValidationPlan`] derives step sizes, horizons and epoch budgets from
+//!   the theory crate, runs multi-seed sweeps across the backends, and
+//!   produces a [`ValidationReport`] of bound-vs-measurement verdicts.
 //!
 //! # Example: one spec, several execution models
 //!
@@ -61,6 +65,7 @@ pub mod json;
 pub mod report;
 pub mod session;
 pub mod spec;
+pub mod validation;
 
 pub use backend::{backend, run_simulated_lockfree_detailed, run_spec, run_spec_session, Backend};
 pub use error::DriverError;
@@ -68,4 +73,7 @@ pub use report::{ContentionSummary, DecodeError, RunReport, TrajectorySample};
 pub use session::{Driver, Progress, RunEvent, RunHandle, RunObserver, SessionCtx};
 pub use spec::{
     BackendKind, ModelLayoutSpec, RunSpec, SchedulerSpec, SparsePathSpec, StepSize, UpdateOrderSpec,
+};
+pub use validation::{
+    validate, ValidationCell, ValidationCriterion, ValidationPlan, ValidationReport,
 };

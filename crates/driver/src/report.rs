@@ -291,7 +291,7 @@ pub enum DecodeError {
 }
 
 impl DecodeError {
-    fn field(field: &'static str, expected: &'static str) -> Self {
+    pub(crate) fn field(field: &'static str, expected: &'static str) -> Self {
         Self::Field { field, expected }
     }
 }
@@ -315,32 +315,32 @@ impl From<json::ParseError> for DecodeError {
     }
 }
 
-fn field<'v>(v: &'v Value, name: &'static str) -> Result<&'v Value, DecodeError> {
+pub(crate) fn field<'v>(v: &'v Value, name: &'static str) -> Result<&'v Value, DecodeError> {
     v.get(name).ok_or(DecodeError::Field {
         field: name,
         expected: "missing",
     })
 }
 
-fn field_u64(v: &Value, name: &'static str) -> Result<u64, DecodeError> {
+pub(crate) fn field_u64(v: &Value, name: &'static str) -> Result<u64, DecodeError> {
     field(v, name)?
         .as_u64()
         .ok_or_else(|| DecodeError::field(name, "expected integer"))
 }
 
-fn field_f64(v: &Value, name: &'static str) -> Result<f64, DecodeError> {
+pub(crate) fn field_f64(v: &Value, name: &'static str) -> Result<f64, DecodeError> {
     field(v, name)?
         .as_f64()
         .ok_or_else(|| DecodeError::field(name, "expected number"))
 }
 
-fn field_bool(v: &Value, name: &'static str) -> Result<bool, DecodeError> {
+pub(crate) fn field_bool(v: &Value, name: &'static str) -> Result<bool, DecodeError> {
     field(v, name)?
         .as_bool()
         .ok_or_else(|| DecodeError::field(name, "expected bool"))
 }
 
-fn field_str(v: &Value, name: &'static str) -> Result<String, DecodeError> {
+pub(crate) fn field_str(v: &Value, name: &'static str) -> Result<String, DecodeError> {
     field(v, name)?
         .as_str()
         .map(str::to_string)
@@ -349,7 +349,7 @@ fn field_str(v: &Value, name: &'static str) -> Result<String, DecodeError> {
 
 /// Optional field: absent or `null` decode to `None`; a present value must
 /// decode through `f`.
-fn opt_field<T>(
+pub(crate) fn opt_field<T>(
     v: &Value,
     name: &'static str,
     f: impl FnOnce(&Value) -> Result<T, &'static str>,

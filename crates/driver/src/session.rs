@@ -24,9 +24,31 @@ use crate::error::DriverError;
 use crate::report::{RunReport, TrajectorySample};
 use crate::spec::{BackendKind, RunSpec};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Locks a mutex, recovering the inner value if a previous holder panicked.
+///
+/// Every mutex in this module guards plain data (an `Instant`, a sample
+/// vector, a result slot) whose invariants cannot be broken mid-update, so
+/// poisoning carries no information here — but propagating it would let one
+/// panicking observer cascade-panic every later `observe`/`try_report` on
+/// unrelated threads of the same pool.
+fn lock_recovered<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a `catch_unwind` payload for [`DriverError::Panicked`].
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Progress stride used when an observer is attached but the spec did not
 /// request trajectory collection.
@@ -174,7 +196,7 @@ impl SampleHub {
     /// samples and `wall_time_secs` in the report share one origin (oracle
     /// construction and model allocation are excluded from both).
     pub(crate) fn start_now(&self) {
-        *self.start.lock().expect("sample clock poisoned") = Instant::now();
+        *lock_recovered(&self.start) = Instant::now();
     }
 
     /// Records one sample: `index` updates applied, observed `dist²`.
@@ -182,12 +204,7 @@ impl SampleHub {
         if index >= self.index_limit {
             return;
         }
-        let elapsed_secs = self
-            .start
-            .lock()
-            .expect("sample clock poisoned")
-            .elapsed()
-            .as_secs_f64();
+        let elapsed_secs = lock_recovered(&self.start).elapsed().as_secs_f64();
         let evaluations = self.evaluations.fetch_add(1, Ordering::Relaxed) + 1;
         let sample = TrajectorySample {
             index,
@@ -195,10 +212,7 @@ impl SampleHub {
             elapsed_secs,
         };
         if self.collect {
-            self.samples
-                .lock()
-                .expect("sample sink poisoned")
-                .push(sample.clone());
+            lock_recovered(&self.samples).push(sample.clone());
         }
         if let Some(obs) = &self.observer {
             if self.collect {
@@ -218,8 +232,7 @@ impl SampleHub {
     /// arrival order is not index order.
     pub(crate) fn take_trajectory(&self) -> Option<Vec<TrajectorySample>> {
         self.collect.then(|| {
-            let mut samples =
-                std::mem::take(&mut *self.samples.lock().expect("sample sink poisoned"));
+            let mut samples = std::mem::take(&mut *lock_recovered(&self.samples));
             samples.sort_by_key(|s| s.index);
             samples
         })
@@ -282,8 +295,14 @@ impl Driver {
         };
         let worker_slot = Arc::clone(&slot);
         let join = std::thread::spawn(move || {
-            let result = crate::run_spec_session(&spec, &ctx);
-            *worker_slot.lock().expect("result slot poisoned") = Some(result);
+            // Contain panics (a throwing observer, a worker-thread unwind):
+            // the handle then reports `DriverError::Panicked` instead of
+            // propagating the unwind through `wait()`.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::run_spec_session(&spec, &ctx)
+            }))
+            .unwrap_or_else(|payload| Err(DriverError::Panicked(panic_message(&*payload))));
+            *lock_recovered(&worker_slot) = Some(result);
         });
         RunHandle {
             cancel,
@@ -319,7 +338,14 @@ impl Driver {
                     let Some(spec) = specs.get(i) else {
                         return;
                     };
-                    *slots[i].lock().expect("sweep slot poisoned") = Some(f(spec));
+                    // One panicking run (e.g. a throwing observer) becomes
+                    // that spec's `Err(Panicked)`; the pool worker survives
+                    // to execute the remaining, unrelated jobs.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(spec)))
+                        .unwrap_or_else(|payload| {
+                            Err(DriverError::Panicked(panic_message(&*payload)))
+                        });
+                    *lock_recovered(&slots[i]) = Some(result);
                 });
             }
         });
@@ -327,7 +353,7 @@ impl Driver {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("sweep slot poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .expect("every claimed spec stores a result")
             })
             .collect()
@@ -364,34 +390,36 @@ impl RunHandle {
     /// True once the run has finished and a report is available.
     #[must_use]
     pub fn is_finished(&self) -> bool {
-        self.slot.lock().expect("result slot poisoned").is_some()
+        lock_recovered(&self.slot).is_some()
     }
 
     /// Non-blocking result check: `None` while the run is still in flight,
     /// the (cloned) outcome once it finished.
     #[must_use]
     pub fn try_report(&self) -> Option<Result<RunReport, DriverError>> {
-        self.slot.lock().expect("result slot poisoned").clone()
+        lock_recovered(&self.slot).clone()
     }
 
     /// Blocks until the run finishes and returns its outcome.
     ///
     /// # Errors
     ///
-    /// Returns whatever [`crate::run_spec`] would for the same spec.
-    /// Cancelled runs are **not** errors — they return `Ok` with
+    /// Returns whatever [`crate::run_spec`] would for the same spec, plus
+    /// [`DriverError::Panicked`] if the run (or an attached observer)
+    /// panicked. Cancelled runs are **not** errors — they return `Ok` with
     /// `stop: Some("cancelled")`.
     ///
     /// # Panics
     ///
-    /// Panics if the run thread itself panicked.
+    /// Panics only if the contained run thread failed to store any result —
+    /// unreachable through this module's spawn path.
     pub fn wait(mut self) -> Result<RunReport, DriverError> {
         if let Some(join) = self.join.take() {
-            join.join().expect("run thread panicked");
+            // The worker contains its own panics; a join error would mean
+            // the containment itself unwound, which catch_unwind precludes.
+            let _ = join.join();
         }
-        self.slot
-            .lock()
-            .expect("result slot poisoned")
+        lock_recovered(&self.slot)
             .take()
             .expect("joined run always stores a result")
     }
@@ -462,6 +490,64 @@ mod tests {
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(DriverError::Oracle(_))));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn poisoned_sample_clock_recovers_instead_of_cascading() {
+        // Regression: the clock/sink mutexes used `.expect("poisoned")`, so
+        // one panic while a guard was alive turned every later observe()
+        // from other worker threads into a second panic.
+        let hub = Arc::new(SampleHub::new(&SessionCtx::default(), true, 1_000));
+        let poisoner = Arc::clone(&hub);
+        let _ = std::thread::spawn(move || {
+            let _clock = poisoner.start.lock().unwrap();
+            let _sink = poisoner.samples.lock().unwrap();
+            panic!("observer exploded while sampling");
+        })
+        .join();
+        assert!(hub.start.is_poisoned(), "precondition: clock poisoned");
+        // All hub operations must keep working on the recovered values.
+        hub.start_now();
+        hub.observe(7, 0.25);
+        let trajectory = hub.take_trajectory().expect("collection stays on");
+        assert_eq!(trajectory.len(), 1);
+        assert_eq!(trajectory[0].index, 7);
+    }
+
+    #[test]
+    fn panicking_observer_fails_only_its_own_pooled_job() {
+        // One pooled run whose observer throws must come back as
+        // Err(Panicked) while unrelated jobs in the same run_many sweep
+        // complete normally.
+        let specs = vec![quick_spec(0), quick_spec(13), quick_spec(2)];
+        let results = Driver::new().workers(2).run_many_with(&specs, |spec| {
+            if spec.seed == 13 {
+                let observer = Arc::new(|_: &RunEvent| panic!("observer exploded"));
+                crate::run_spec_session(spec, &SessionCtx::observed(observer))
+            } else {
+                crate::run_spec(spec)
+            }
+        });
+        assert!(results[0].is_ok(), "{:?}", results[0]);
+        assert!(results[2].is_ok(), "{:?}", results[2]);
+        match &results[1] {
+            Err(DriverError::Panicked(msg)) => {
+                assert!(msg.contains("observer exploded"), "{msg}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submitted_run_with_panicking_observer_reports_panicked() {
+        let observer = Arc::new(|_: &RunEvent| panic!("observer exploded"));
+        let handle = Driver::new().submit_observed(quick_spec(5), observer);
+        match handle.wait() {
+            Err(DriverError::Panicked(msg)) => {
+                assert!(msg.contains("observer exploded"), "{msg}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
     }
 
     #[test]

@@ -18,13 +18,17 @@ pub fn clamp_prob(p: f64) -> f64 {
 
 /// The contention coefficient `C = 2√(τ_max·n)` of Lemma 6.4.
 ///
+/// The product is taken in `f64` so extreme `τ_max·n` combinations widen
+/// instead of wrapping `u64` multiplication (exact for all realistic
+/// magnitudes: both factors are exact in `f64` up to 2⁵³).
+///
 /// # Panics
 ///
 /// Panics if `n == 0`.
 #[must_use]
 pub fn contention_coefficient(tau_max: u64, n: usize) -> f64 {
     assert!(n > 0, "at least one thread");
-    2.0 * ((tau_max.max(1) * n as u64) as f64).sqrt()
+    2.0 * (tau_max.max(1) as f64 * n as f64).sqrt()
 }
 
 /// **Theorem 3.1** learning rate: `α = c·ε·ϑ / M²`.
@@ -185,9 +189,15 @@ pub fn corollary_6_7(
 /// Horizon `T` needed for the Corollary 6.7 bound to drop below `target`
 /// failure probability (inverting Eq. 13).
 ///
+/// Always returns at least 1. A ratio too large for `u64` saturates at
+/// `u64::MAX` (float→int `as` casts saturate; they never wrap) — "longer
+/// than any runnable horizon", not a small wrapped number.
+///
 /// # Panics
 ///
-/// Panics if `target ∉ (0, 1)` or other arguments are invalid.
+/// Panics if `target ∉ (0, 1)` (NaN targets fail the range check),
+/// `x0_dist_sq` is not finite and non-negative, or other arguments are
+/// invalid for [`corollary_6_7`].
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn corollary_6_7_horizon(
@@ -201,8 +211,16 @@ pub fn corollary_6_7_horizon(
     x0_dist_sq: f64,
 ) -> u64 {
     assert!(target > 0.0 && target < 1.0, "target must be in (0,1)");
+    assert!(
+        x0_dist_sq.is_finite() && x0_dist_sq >= 0.0,
+        "x0_dist_sq must be finite and non-negative"
+    );
     let bound_at_1 = corollary_6_7(consts, eps, tau_max, n, d, theta, 1, x0_dist_sq);
-    (bound_at_1 / target).ceil() as u64
+    // With the inputs validated, bound_at_1 ∈ (0, ∞] — never NaN — so the
+    // ratio is positive (possibly ∞); `.max(1.0)` pins the floor and the
+    // saturating cast maps anything beyond u64::MAX (including ∞) to
+    // u64::MAX.
+    (bound_at_1 / target).ceil().max(1.0) as u64
 }
 
 fn validate_eps_theta(eps: f64, theta: f64) {
@@ -349,6 +367,29 @@ mod tests {
         let _ = theorem_3_1(&consts(), 0.01, 1.0, 0, 1.0);
     }
 
+    #[test]
+    #[should_panic(expected = "x0_dist_sq must be finite")]
+    fn horizon_rejects_nan_start_instead_of_casting_it() {
+        // A NaN start distance used to flow through `.ceil() as u64` and
+        // silently become horizon 0.
+        let _ = corollary_6_7_horizon(&consts(), 0.01, 16, 4, 8, 1.0, 0.1, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be in (0,1)")]
+    fn horizon_rejects_nan_target() {
+        let _ = corollary_6_7_horizon(&consts(), 0.01, 16, 4, 8, 1.0, f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn horizon_saturates_on_overflowing_ratio() {
+        // An astronomically large bound (huge M², tiny ε·target) must clamp
+        // to u64::MAX rather than wrapping or going through UB.
+        let k = Constants::new(1e-6, 1e6, 1e18, 10.0);
+        let t = corollary_6_7_horizon(&k, 1e-18, u64::MAX, 1_000_000, 65_536, 1e-9, 1e-9, 1e12);
+        assert_eq!(t, u64::MAX);
+    }
+
     proptest! {
         /// The Eq. 12 learning rate is monotone decreasing in τ_max and in d
         /// (more asynchrony / dimension ⇒ smaller safe step).
@@ -374,6 +415,28 @@ mod tests {
             let b_hi = corollary_6_7(&k, 0.01, 8, 4, 4, 1.0, hi, 1.0);
             prop_assert!(b_lo >= 0.0 && b_hi >= 0.0);
             prop_assert!(b_hi <= b_lo + 1e-12);
+        }
+
+        /// Hardening: across wide valid inputs the derived horizon never
+        /// panics, is at least 1, and actually meets the target (or
+        /// saturated).
+        #[test]
+        fn horizon_is_total_and_meets_target(
+            eps in 1e-9_f64..1e3,
+            tau in 0_u64..u64::MAX,
+            n in 1_usize..1_000_000,
+            d in 1_usize..1_000_000,
+            target in 1e-9_f64..0.999,
+            x0 in 0.0_f64..1e9,
+        ) {
+            let k = consts();
+            let t = corollary_6_7_horizon(&k, eps, tau, n, d, 1.0, target, x0);
+            prop_assert!(t >= 1);
+            if t < u64::MAX {
+                let bound = corollary_6_7(&k, eps, tau, n, d, 1.0, t, x0);
+                prop_assert!(bound <= target * (1.0 + 1e-9),
+                    "bound {} at derived horizon {} misses target {}", bound, t, target);
+            }
         }
 
         /// The new bound never exceeds the prior bound at equal τ when

@@ -11,6 +11,13 @@ use asgd_oracle::Constants;
 /// Number of *halving* epochs Algorithm 2 runs before the final accumulating
 /// epoch: `⌈log₂(α·2·M·n/√ε)⌉`, clamped to at least 1.
 ///
+/// Encodes the epoch budget of **Corollary 7.1**.
+///
+/// For extreme-magnitude inputs whose ratio overflows `f64` the count
+/// saturates (at `usize::MAX` via the float→int cast) instead of wrapping;
+/// `total_iterations` then saturates the product too, so the budget
+/// arithmetic is monotone end to end.
+///
 /// # Panics
 ///
 /// Panics if `alpha0 ≤ 0`, `eps ≤ 0`, or `n == 0`.
@@ -23,28 +30,38 @@ pub fn epoch_count(alpha0: f64, consts: &Constants, n: usize, eps: f64) -> usize
     assert!(eps.is_finite() && eps > 0.0, "eps must be positive");
     assert!(n > 0, "at least one thread");
     let ratio = alpha0 * 2.0 * consts.m() * n as f64 / eps.sqrt();
+    // Float→int `as` casts saturate (never wrap, never UB): an infinite
+    // ratio yields usize::MAX, an underflowed one clamps at 1 epoch.
     ratio.log2().ceil().max(1.0) as usize
 }
 
 /// Total iterations of Algorithm 2: `T·(epoch_count + 1)` (halving epochs
-/// plus the final accumulating epoch), the `O(T·log(α2Mn/√ε))` of the
-/// corollary.
+/// plus the final accumulating epoch), the `O(T·log(α2Mn/√ε))` of
+/// **Corollary 7.1**.
+///
+/// The product saturates at `u64::MAX` instead of silently wrapping in
+/// release builds — a budget too large to represent reads as "effectively
+/// unbounded", never as a small wrapped number that would silently truncate
+/// a run.
 #[must_use]
 pub fn total_iterations(t_per_epoch: u64, halving_epochs: usize) -> u64 {
-    t_per_epoch * (halving_epochs as u64 + 1)
+    let epochs = u64::try_from(halving_epochs)
+        .unwrap_or(u64::MAX)
+        .saturating_add(1);
+    t_per_epoch.saturating_mul(epochs)
 }
 
-/// The final-epoch pending-gradient slack from the proof sketch: at most
-/// `n − 1` gradients generated before the success time may still be
-/// unapplied, displacing the result by at most `α·n·M`.
+/// The final-epoch pending-gradient slack from the **Corollary 7.1** proof
+/// sketch: at most `n − 1` gradients generated before the success time may
+/// still be unapplied, displacing the result by at most `α·n·M`.
 #[must_use]
 pub fn pending_gradient_slack(alpha_final: f64, n: usize, consts: &Constants) -> f64 {
     alpha_final * n as f64 * consts.m()
 }
 
-/// Checks the proof-sketch requirement that the final epoch's learning rate
-/// keeps the pending-gradient slack below `√ε/2`, so that
-/// `√ε/2 + slack ≤ √ε`.
+/// Checks the **Corollary 7.1** proof-sketch requirement that the final
+/// epoch's learning rate keeps the pending-gradient slack below `√ε/2`, so
+/// that `√ε/2 + slack ≤ √ε`.
 #[must_use]
 pub fn final_alpha_small_enough(alpha_final: f64, n: usize, consts: &Constants, eps: f64) -> bool {
     pending_gradient_slack(alpha_final, n, consts) <= eps.sqrt() / 2.0
@@ -138,5 +155,45 @@ mod tests {
             prop_assert!(final_alpha_small_enough(alpha_final, n, &k, eps),
                 "α_final {} n {} eps {} E {}", alpha_final, n, eps, e);
         }
+
+        /// Overflow hardening: across wide valid inputs (including magnitudes
+        /// whose products overflow `u64`/`f64`), the budget arithmetic never
+        /// panics and never wraps — `total_iterations` is always ≥ the
+        /// per-epoch budget (saturating at `u64::MAX`), and the slack is
+        /// non-negative.
+        #[test]
+        fn budget_math_never_panics_or_wraps(
+            alpha0 in 1e-12_f64..1e12,
+            c in 1e-6_f64..1e6,
+            l in 1e-6_f64..1e6,
+            m_sq in 1e-9_f64..1e18,
+            n in 1_usize..1_000_000,
+            eps in 1e-18_f64..1e12,
+            t_per_epoch in 0_u64..u64::MAX,
+            extra_epochs in 0_usize..usize::MAX,
+        ) {
+            let k = Constants::new(c, l, m_sq, 10.0);
+            let e = epoch_count(alpha0, &k, n, eps);
+            prop_assert!(e >= 1, "at least one halving epoch");
+            for halving in [e, extra_epochs] {
+                let total = total_iterations(t_per_epoch, halving);
+                prop_assert!(
+                    total >= t_per_epoch,
+                    "total {} < per-epoch {} (wrapped?)", total, t_per_epoch
+                );
+                let epochs = u64::try_from(halving).unwrap_or(u64::MAX).saturating_add(1);
+                let exact = t_per_epoch.checked_mul(epochs);
+                prop_assert_eq!(total, exact.unwrap_or(u64::MAX), "saturates, never wraps");
+            }
+            let slack = pending_gradient_slack(alpha0, n, &k);
+            prop_assert!(slack >= 0.0, "slack {}", slack);
+        }
+    }
+
+    #[test]
+    fn total_iterations_saturates_instead_of_wrapping() {
+        assert_eq!(total_iterations(u64::MAX, 1), u64::MAX);
+        assert_eq!(total_iterations(2, usize::MAX), u64::MAX);
+        assert_eq!(total_iterations(0, usize::MAX), 0);
     }
 }

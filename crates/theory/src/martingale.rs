@@ -107,8 +107,8 @@ impl RateSupermartingale {
         2.0 * self.eps.sqrt() / self.denom
     }
 
-    /// Evaluates `W_t` for a *not-yet-successful* trajectory state:
-    /// `W_t = ε/(2αcε−α²M²)·plog(‖x_t−x*‖²/ε) + t`.
+    /// Evaluates the **Lemma 6.6** process `W_t` for a *not-yet-successful*
+    /// trajectory state: `W_t = ε/(2αcε−α²M²)·plog(‖x_t−x*‖²/ε) + t`.
     #[must_use]
     pub fn value(&self, dist_sq: f64, t: u64) -> f64 {
         self.eps / self.denom * plog(dist_sq / self.eps) + t as f64

@@ -106,9 +106,10 @@ pub mod prelude {
     pub use asgd_core::runner::{LockFreeRun, LockFreeSgd, RunnerError};
     pub use asgd_core::sequential::SequentialSgd;
     pub use asgd_driver::{
-        run_spec, run_spec_session, BackendKind, Driver, DriverError, ModelLayoutSpec, Progress,
-        RunEvent, RunHandle, RunObserver, RunReport, RunSpec, SchedulerSpec, SessionCtx,
-        SparsePathSpec, StepSize, TrajectorySample, UpdateOrderSpec,
+        run_spec, run_spec_session, validate, BackendKind, Driver, DriverError, ModelLayoutSpec,
+        Progress, RunEvent, RunHandle, RunObserver, RunReport, RunSpec, SchedulerSpec, SessionCtx,
+        SparsePathSpec, StepSize, TrajectorySample, UpdateOrderSpec, ValidationCell,
+        ValidationCriterion, ValidationPlan, ValidationReport,
     };
     pub use asgd_hogwild::full_sgd::{NativeFullSgd, NativeFullSgdConfig};
     pub use asgd_hogwild::guarded::{GuardedEpochSgd, GuardedEpochSgdConfig};

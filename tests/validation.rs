@@ -1,0 +1,173 @@
+//! The validation subsystem's contract: theory-derived grids run end to
+//! end, verdicts hold where the paper says they must, bad configurations
+//! surface as errors (never panics), and `ValidationReport` JSON
+//! round-trips exactly — including the committed `BENCH_validation.json`.
+
+use asyncsgd::prelude::*;
+use proptest::prelude::*;
+
+fn quick_plan() -> ValidationPlan {
+    ValidationPlan::new(OracleSpec::new("noisy-quadratic", 2).sigma(0.5))
+        .backends(vec![BackendKind::Sequential, BackendKind::Hogwild])
+        .thread_counts(vec![1, 2])
+        .eps_grid(vec![0.04])
+        .trials(6)
+}
+
+#[test]
+fn sequential_and_hogwild_bounds_hold_on_a_quick_grid() {
+    // The acceptance bar of the harness: the Eq. 13 bound must dominate the
+    // measured hitting-failure probability on the paper's baseline and on
+    // the native lock-free runtime.
+    let report = validate(&quick_plan()).expect("valid plan");
+    assert_eq!(report.cells.len(), 4);
+    for cell in &report.cells {
+        assert_eq!(cell.criterion, "hitting");
+        assert!(
+            cell.consistent_with_upper_bound,
+            "{} n={}: measured {} (CI ≥ {}) vs bound {}",
+            cell.backend, cell.threads, cell.measured, cell.ci_lower, cell.bound
+        );
+    }
+    assert!(report.all_consistent());
+}
+
+#[test]
+fn measured_reports_round_trip_json_exactly() {
+    let report = validate(&quick_plan()).expect("valid plan");
+    let back = ValidationReport::from_json(&report.to_json()).expect("decodes");
+    assert_eq!(back, report);
+    let back = ValidationReport::from_json(&report.to_json_pretty()).expect("decodes");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn committed_bench_grid_parses_and_every_verdict_holds() {
+    // BENCH_validation.json is a committed artifact: it must stay decodable
+    // by the current codec and keep the headline property the README
+    // advertises (sequential and hogwild rows included).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_validation.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_validation.json is committed");
+    let report = ValidationReport::from_json(&text).expect("committed grid decodes");
+    assert!(
+        report.all_consistent(),
+        "committed grid has a failed verdict"
+    );
+    for backend in ["sequential", "hogwild"] {
+        let rows: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|c| c.backend == backend)
+            .collect();
+        assert!(
+            !rows.is_empty(),
+            "{backend} missing from the committed grid"
+        );
+        assert!(
+            rows.iter().all(|c| c.consistent_with_upper_bound),
+            "{backend} has an inconsistent committed cell"
+        );
+    }
+    // The grid spans thread counts and ε values (backend × n × ε).
+    let mut ns: Vec<usize> = report.cells.iter().map(|c| c.threads).collect();
+    ns.sort_unstable();
+    ns.dedup();
+    assert!(ns.len() >= 2, "grid sweeps n");
+    let mut epss: Vec<u64> = report.cells.iter().map(|c| c.eps.to_bits()).collect();
+    epss.sort_unstable();
+    epss.dedup();
+    assert!(epss.len() >= 2, "grid sweeps eps");
+    // Round-trip the committed bytes' decoded form exactly.
+    assert_eq!(
+        ValidationReport::from_json(&report.to_json()).unwrap(),
+        report
+    );
+}
+
+#[test]
+fn unstable_override_is_an_error_not_a_worker_panic() {
+    let plan = quick_plan().alpha(10.0);
+    match validate(&plan) {
+        Err(DriverError::InvalidSpec(msg)) => {
+            assert!(msg.contains("stability limit"), "{msg}");
+        }
+        other => panic!("expected InvalidSpec, got {other:?}"),
+    }
+}
+
+#[test]
+fn validation_runs_on_registry_oracles_beyond_the_quadratic() {
+    // The derivation anchors x₀ to each oracle's own minimizer, so the
+    // harness is not quadratic-specific.
+    let plan = ValidationPlan::new(OracleSpec::new("sparse-quadratic", 4).sigma(0.2))
+        .backends(vec![BackendKind::Sequential])
+        .thread_counts(vec![2])
+        .eps_grid(vec![0.04])
+        .trials(4);
+    let report = validate(&plan).expect("valid plan");
+    assert_eq!(report.oracle, "sparse-quadratic");
+    assert!((report.x0_dist_sq - 1.0).abs() < 1e-9);
+    assert!(report.all_consistent());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Registry-wide codec property in the `RunReport` proptest style: a
+    /// report carrying one cell per backend kind (both criteria, optional
+    /// epoch fields, full-range integers, awkward floats) survives the JSON
+    /// round trip bit for bit.
+    #[test]
+    fn validation_reports_round_trip_for_every_backend_kind(
+        seed in 0_u64..u64::MAX,
+        trials in 1_u64..10_000,
+        eps in 1e-9_f64..10.0,
+        alpha in 1e-12_f64..1.0,
+        bound in 0.0_f64..1e6,
+        measured in 0.0_f64..1.0,
+        horizon in 1_u64..u64::MAX,
+        halving in 0_u64..64,
+    ) {
+        let cells: Vec<ValidationCell> = BackendKind::all()
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| {
+                let terminal = i % 2 == 0;
+                ValidationCell {
+                    backend: kind.name().to_string(),
+                    criterion: if terminal { "terminal" } else { "hitting" }.to_string(),
+                    threads: i + 1,
+                    eps: eps / (i + 1) as f64,
+                    tau_max: seed.rotate_left(i as u32),
+                    alpha,
+                    horizon,
+                    halving_epochs: terminal.then_some(halving),
+                    total_iterations: horizon.saturating_mul(halving + 1),
+                    trials,
+                    failures: trials.min(i as u64),
+                    measured,
+                    ci_lower: measured * 0.5,
+                    ci_upper: (measured * 1.5).min(1.0),
+                    bound,
+                    consistent_with_upper_bound: bound >= measured * 0.5,
+                }
+            })
+            .collect();
+        let report = ValidationReport {
+            oracle: "noisy-quadratic".to_string(),
+            dim: 3,
+            sigma: 0.1 + measured,
+            theta: 1.0,
+            target: 0.5,
+            radius: 2.0,
+            x0_dist_sq: eps + f64::EPSILON,
+            trials,
+            seed,
+            cells,
+        };
+        let back = ValidationReport::from_json(&report.to_json()).expect("decodes");
+        prop_assert_eq!(&back, &report, "compact round trip");
+        let back = ValidationReport::from_json(&report.to_json_pretty()).expect("decodes");
+        prop_assert_eq!(&back, &report, "pretty round trip");
+    }
+}
