@@ -51,6 +51,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("run") => run_mode(&args[1..]),
         Some("validate") => validate_mode(&args[1..]),
+        Some("serve") => serve_mode(&args[1..]),
         _ => table_mode(args),
     }
 }
@@ -363,6 +364,160 @@ fn parse_run_args(args: &[String]) -> RunArgs {
         }
     }
     parsed
+}
+
+// ------------------------------------------------------------ serve mode
+
+fn usage_serve() -> ! {
+    eprintln!(
+        "usage: experiments serve [options]\n\
+         \n\
+         Starts a hogwild training run and serves it: N client threads read\n\
+         the live shared model (or its published snapshots) while training\n\
+         mutates it underneath, then prints the ServeReport (latency\n\
+         percentiles, throughput, snapshot staleness, training report).\n\
+         \n\
+         options (defaults in parentheses):\n\
+         \x20 --oracle KIND          workload ({oracles}; default sparse-quadratic)\n\
+         \x20 --dim D                model dimension (4096)\n\
+         \x20 --sigma S              noise level (0.0)\n\
+         \x20 --threads N            trainer threads (2)\n\
+         \x20 --iterations T         training budget (effectively unbounded)\n\
+         \x20 --alpha A              learning rate (0.5/d)\n\
+         \x20 --seed S               training master seed (0)\n\
+         \x20 --mode M               read mode: live | snapshot (snapshot)\n\
+         \x20 --query Q              query kind: dot-score | predict | fetch (dot-score)\n\
+         \x20 --arrival A            closed-loop | rate:QPS per client (closed-loop)\n\
+         \x20 --clients N            client threads (4)\n\
+         \x20 --duration SECS        serving window (1.0)\n\
+         \x20 --publish-every K      snapshot publication stride (2048)\n\
+         \x20 --probe K              dot-score probe support (8)\n\
+         \x20 --serve-seed S         client RNG master seed (0xCAFE)\n\
+         \x20 --json PATH            write the ServeReport JSON\n\
+         \x20 --pretty               pretty-print JSON",
+        oracles = registry::known_kinds().join(" | "),
+    );
+    exit(2);
+}
+
+fn serve_mode(args: &[String]) {
+    let mut oracle = OracleSpec::new("sparse-quadratic", 4096).sigma(0.0);
+    let mut threads = 2_usize;
+    let mut iterations = u64::MAX / 2;
+    let mut alpha: Option<f64> = None;
+    let mut seed = 0_u64;
+    let mut mode = asgd_serve::ReadMode::Snapshot;
+    let mut query = asgd_serve::QueryKind::DotScore;
+    let mut arrival = asgd_serve::Arrival::ClosedLoop;
+    let mut clients = 4_usize;
+    let mut duration = 1.0_f64;
+    let mut publish_every = 2_048_u64;
+    let mut probe = 8_usize;
+    let mut serve_seed = 0xCAFE_u64;
+    let mut json: Option<PathBuf> = None;
+    let mut pretty = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--oracle" => oracle.kind = flag_value(&mut it, "--oracle", usage_serve).to_string(),
+            "--dim" => oracle.dim = parse_flag!(&mut it, "--dim", usage_serve),
+            "--sigma" => oracle.sigma = parse_flag!(&mut it, "--sigma", usage_serve),
+            "--dataset" => oracle.dataset = parse_flag!(&mut it, "--dataset", usage_serve),
+            "--batch" => oracle.batch = parse_flag!(&mut it, "--batch", usage_serve),
+            "--lambda" => oracle.lambda = parse_flag!(&mut it, "--lambda", usage_serve),
+            "--threads" => threads = parse_flag!(&mut it, "--threads", usage_serve),
+            "--iterations" => iterations = parse_flag!(&mut it, "--iterations", usage_serve),
+            "--alpha" => alpha = Some(parse_flag!(&mut it, "--alpha", usage_serve)),
+            "--seed" => seed = parse_flag!(&mut it, "--seed", usage_serve),
+            "--mode" => mode = parse_serve_flag(flag_value(&mut it, "--mode", usage_serve)),
+            "--query" => query = parse_serve_flag(flag_value(&mut it, "--query", usage_serve)),
+            "--arrival" => {
+                arrival = parse_serve_flag(flag_value(&mut it, "--arrival", usage_serve));
+            }
+            "--clients" => clients = parse_flag!(&mut it, "--clients", usage_serve),
+            "--duration" => duration = parse_flag!(&mut it, "--duration", usage_serve),
+            "--publish-every" => {
+                publish_every = parse_flag!(&mut it, "--publish-every", usage_serve);
+            }
+            "--probe" => probe = parse_flag!(&mut it, "--probe", usage_serve),
+            "--serve-seed" => serve_seed = parse_flag!(&mut it, "--serve-seed", usage_serve),
+            "--json" => json = Some(PathBuf::from(flag_value(&mut it, "--json", usage_serve))),
+            "--pretty" => pretty = true,
+            "--help" | "-h" => usage_serve(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage_serve();
+            }
+        }
+    }
+    let alpha = alpha.unwrap_or(0.5 / oracle.dim as f64);
+    let train = RunSpec::new(oracle.clone(), BackendKind::Hogwild)
+        .threads(threads)
+        .iterations(iterations)
+        .learning_rate(alpha)
+        .x0(vec![1.0; oracle.dim])
+        .seed(seed);
+    let spec = asgd_serve::ServeSpec::new(train)
+        .mode(mode)
+        .query(query)
+        .arrival(arrival)
+        .clients(clients)
+        .duration_secs(duration)
+        .publish_every(publish_every)
+        .probe_len(probe)
+        .serve_seed(serve_seed);
+    let report = match spec.run() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+    eprintln!(
+        "[serve] {} clients={} mode={} queries={} qps={:.0} p50={:.1}µs p99={:.1}µs p999={:.1}µs{} train: T={} ({:.0} iters/s)",
+        report.query,
+        report.clients,
+        report.mode,
+        report.queries,
+        report.qps,
+        report.latency.p50_ns as f64 / 1e3,
+        report.latency.p99_ns as f64 / 1e3,
+        report.latency.p999_ns as f64 / 1e3,
+        report
+            .staleness
+            .as_ref()
+            .map(|s| format!(" staleness avg={:.0} max={}", s.mean, s.max))
+            .unwrap_or_default(),
+        report.train.iterations,
+        report.train.iterations_per_sec(),
+    );
+    let payload = if pretty {
+        report.to_json_pretty()
+    } else {
+        report.to_json()
+    };
+    match json {
+        None => println!("{payload}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, payload + "\n") {
+                eprintln!("error: writing {}: {e}", path.display());
+                exit(1);
+            }
+            println!("[json] {}", path.display());
+        }
+    }
+}
+
+/// Parses a serve-mode enum flag (`ReadMode`/`QueryKind`/`Arrival`),
+/// exiting with the error's own message (it lists the known labels).
+fn parse_serve_flag<T: std::str::FromStr<Err = asgd_serve::ServeError>>(raw: &str) -> T {
+    match raw.parse() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+    }
 }
 
 // --------------------------------------------------------- validate mode

@@ -6,6 +6,7 @@ pub mod c71;
 pub mod contention;
 pub mod fig1;
 pub mod regimes;
+pub mod serving;
 pub mod sparse;
 pub mod sparse_scaling;
 pub mod speedup;

@@ -72,6 +72,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "speedup",
         "sparse",
         "sparse-scaling",
+        "serving",
     ]
 }
 
@@ -97,6 +98,7 @@ pub fn run_experiment(id: &str, quick: bool) -> ExperimentOutput {
         "speedup" => experiments::speedup::run(quick),
         "sparse" => experiments::sparse::run(quick),
         "sparse-scaling" => experiments::sparse_scaling::run(quick),
+        "serving" => experiments::serving::run(quick),
         other => panic!(
             "unknown experiment id: {other} (known: {:?})",
             experiment_ids()
@@ -115,7 +117,8 @@ mod tests {
         // wiring for a trivially cheap one).
         assert!(experiment_ids().contains(&"t51"));
         assert!(experiment_ids().contains(&"sparse-scaling"));
-        assert_eq!(experiment_ids().len(), 14);
+        assert!(experiment_ids().contains(&"serving"));
+        assert_eq!(experiment_ids().len(), 15);
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides just enough surface for the workspace's feature-gated
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize,
+//! serde::Deserialize))]` attributes to compile without crates.io access:
+//! two empty marker traits and the re-exported stub derives from the
+//! sibling `serde_derive` compat crate. Consumers with a real registry get
+//! the real serde through the same feature names; this stub exists so CI
+//! can build `--features serde` and catch attribute rot.
+
+#![forbid(unsafe_code)]
+
+// The stub derives emit `impl ::serde::Serialize for …`; make that path
+// resolve inside this crate too (the self-alias real serde also uses).
+extern crate self as serde;
+
+/// Marker stand-in for `serde::Serialize` (no methods — the built-in JSON
+/// codecs in `asgd_driver::json` do the actual serialisation offline).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime-free: the workspace
+/// only names it in derives, never in bounds).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[derive(crate::Serialize, crate::Deserialize)]
+    struct Plain {
+        _x: u64,
+    }
+
+    #[derive(crate::Serialize, crate::Deserialize)]
+    enum Choice {
+        _A,
+        #[allow(dead_code)]
+        _B(f64),
+    }
+
+    fn takes_serialize<T: crate::Serialize>(_: &T) {}
+    fn takes_deserialize<T: crate::Deserialize>(_: &T) {}
+
+    #[test]
+    fn derives_emit_trait_impls() {
+        takes_serialize(&Plain { _x: 1 });
+        takes_deserialize(&Plain { _x: 2 });
+        takes_serialize(&Choice::_B(0.5));
+        takes_deserialize(&Choice::_A);
+    }
+}

@@ -79,6 +79,7 @@ fn with_native_control<R>(
             stride: effective_stride(spec),
             f: &sink,
         }),
+        serve: ctx.serve.as_deref(),
     };
     if let Some(hub) = &hub {
         // The executor starts its own wall-time clock inside `run`; anchor
@@ -165,6 +166,15 @@ pub fn run_spec_session(spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, D
             iterations: spec.iterations,
             seed: spec.seed,
         });
+    }
+    // Serving hook + observer: forward each snapshot publication as a typed
+    // session event (the listener is invoked from the publishing worker, so
+    // observers see publications live, in order of version).
+    if let (Some(hook), Some(obs)) = (&ctx.serve, &ctx.observer) {
+        let obs = Arc::clone(obs);
+        hook.set_listener(Box::new(move |version, iteration| {
+            obs.on_event(&RunEvent::SnapshotPublished { version, iteration });
+        }));
     }
     let result = backend(spec.backend).run_session(spec, ctx);
     if let (Some(obs), Ok(report)) = (&ctx.observer, &result) {

@@ -24,7 +24,12 @@
 //!   [`RunHandle`] with `cancel()` / `wait()` / `try_report()`,
 //!   [`Driver::run_many`] executes sweeps on a bounded worker pool, and a
 //!   [`RunObserver`] streams typed [`RunEvent`]s (progress, trajectory
-//!   samples) live from any backend;
+//!   samples) live from any backend. Runs can additionally carry a serving
+//!   attachment ([`SessionCtx::serve`] with a [`ServeHook`]): the `hogwild`
+//!   backend then exposes a live [`ModelReader`] and publishes coherent
+//!   [`ModelSnapshot`]s at a stride, streamed as
+//!   [`RunEvent::SnapshotPublished`] — the engine under the `asgd-serve`
+//!   crate's `ModelService`;
 //! * [`validation`] — the paper's formulas as an executable check: a
 //!   [`ValidationPlan`] derives step sizes, horizons and epoch budgets from
 //!   the theory crate, runs multi-seed sweeps across the backends, and
@@ -71,9 +76,34 @@ pub use backend::{backend, run_simulated_lockfree_detailed, run_spec, run_spec_s
 pub use error::DriverError;
 pub use report::{ContentionSummary, DecodeError, RunReport, TrajectorySample};
 pub use session::{Driver, Progress, RunEvent, RunHandle, RunObserver, SessionCtx};
+// Serving attachment types, re-exported so session consumers need only this
+// crate: build a `ServeHook`, pass it via `SessionCtx::with_serve`, read the
+// training model live through the attached `ModelReader`.
+pub use asgd_hogwild::{ModelReader, ModelSnapshot, ServeHook, SnapshotCell};
 pub use spec::{
     BackendKind, ModelLayoutSpec, RunSpec, SchedulerSpec, SparsePathSpec, StepSize, UpdateOrderSpec,
 };
 pub use validation::{
     validate, ValidationCell, ValidationCriterion, ValidationPlan, ValidationReport,
 };
+
+/// Compile-time proof the feature-gated serde derives actually emit impls
+/// (CI builds `--features serde`, so a rotted attribute fails loudly). Only
+/// the lifetime-free `Serialize` bound is asserted — it is spelled the same
+/// against the offline stub and the real serde.
+#[cfg(all(test, feature = "serde"))]
+mod serde_feature_tests {
+    fn assert_serialize<T: serde::Serialize>() {}
+
+    #[test]
+    fn spec_and_report_types_derive_serialize() {
+        assert_serialize::<crate::RunSpec>();
+        assert_serialize::<crate::RunReport>();
+        assert_serialize::<crate::TrajectorySample>();
+        assert_serialize::<crate::ContentionSummary>();
+        assert_serialize::<crate::BackendKind>();
+        assert_serialize::<crate::StepSize>();
+        assert_serialize::<crate::SchedulerSpec>();
+        assert_serialize::<asgd_oracle::OracleSpec>();
+    }
+}

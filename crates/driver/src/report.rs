@@ -315,32 +315,60 @@ impl From<json::ParseError> for DecodeError {
     }
 }
 
-pub(crate) fn field<'v>(v: &'v Value, name: &'static str) -> Result<&'v Value, DecodeError> {
+/// Required-field lookup for report codecs in the `asgd_driver::json`
+/// style. Public so downstream report types (e.g. `asgd-serve`'s
+/// `ServeReport`) decode with the same helpers and error shape.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Field`] when `name` is absent.
+pub fn field<'v>(v: &'v Value, name: &'static str) -> Result<&'v Value, DecodeError> {
     v.get(name).ok_or(DecodeError::Field {
         field: name,
         expected: "missing",
     })
 }
 
-pub(crate) fn field_u64(v: &Value, name: &'static str) -> Result<u64, DecodeError> {
+/// Required `u64` field (see [`field`]).
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Field`] when absent or not a non-negative
+/// integer.
+pub fn field_u64(v: &Value, name: &'static str) -> Result<u64, DecodeError> {
     field(v, name)?
         .as_u64()
         .ok_or_else(|| DecodeError::field(name, "expected integer"))
 }
 
-pub(crate) fn field_f64(v: &Value, name: &'static str) -> Result<f64, DecodeError> {
+/// Required `f64` field (integers widen; see [`field`]).
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Field`] when absent or not a number.
+pub fn field_f64(v: &Value, name: &'static str) -> Result<f64, DecodeError> {
     field(v, name)?
         .as_f64()
         .ok_or_else(|| DecodeError::field(name, "expected number"))
 }
 
-pub(crate) fn field_bool(v: &Value, name: &'static str) -> Result<bool, DecodeError> {
+/// Required `bool` field (see [`field`]).
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Field`] when absent or not a bool.
+pub fn field_bool(v: &Value, name: &'static str) -> Result<bool, DecodeError> {
     field(v, name)?
         .as_bool()
         .ok_or_else(|| DecodeError::field(name, "expected bool"))
 }
 
-pub(crate) fn field_str(v: &Value, name: &'static str) -> Result<String, DecodeError> {
+/// Required string field (see [`field`]).
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Field`] when absent or not a string.
+pub fn field_str(v: &Value, name: &'static str) -> Result<String, DecodeError> {
     field(v, name)?
         .as_str()
         .map(str::to_string)

@@ -89,6 +89,15 @@ pub enum RunEvent {
     /// A strided trajectory sample (only when the spec enabled collection
     /// via `RunSpec::trajectory_every`).
     TrajectorySample(TrajectorySample),
+    /// A model snapshot was published for serving (only when a
+    /// [`ServeHook`](asgd_hogwild::ServeHook) is attached via
+    /// [`SessionCtx::serve`]).
+    SnapshotPublished {
+        /// Publication version (1-based, strictly increasing).
+        version: u64,
+        /// Training claim index the snapshot was taken at.
+        iteration: u64,
+    },
     /// The run finished; the same report the blocking call returns.
     Finished(Box<RunReport>),
 }
@@ -123,6 +132,13 @@ pub struct SessionCtx {
     /// then carries `stop: Some("cancelled")` and the iterations actually
     /// executed.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Serving attachment: the backend exposes a live
+    /// [`ModelReader`](asgd_hogwild::ModelReader) through the hook and
+    /// publishes coherent snapshots at the hook's stride (streamed to the
+    /// observer as [`RunEvent::SnapshotPublished`]). Implemented by the
+    /// `hogwild` backend; other backends accept and ignore the hook (it
+    /// then never attaches). One hook serves one run.
+    pub serve: Option<Arc<asgd_hogwild::ServeHook>>,
 }
 
 impl std::fmt::Debug for SessionCtx {
@@ -130,6 +146,7 @@ impl std::fmt::Debug for SessionCtx {
         f.debug_struct("SessionCtx")
             .field("observer", &self.observer.is_some())
             .field("cancel", &self.cancel.is_some())
+            .field("serve", &self.serve.is_some())
             .finish()
     }
 }
@@ -140,7 +157,7 @@ impl SessionCtx {
     pub fn observed(observer: Arc<dyn RunObserver>) -> Self {
         Self {
             observer: Some(observer),
-            cancel: None,
+            ..Self::default()
         }
     }
 
@@ -148,6 +165,13 @@ impl SessionCtx {
     #[must_use]
     pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
         self.cancel = Some(flag);
+        self
+    }
+
+    /// Adds a serving hook (native `hogwild` backend only).
+    #[must_use]
+    pub fn with_serve(mut self, hook: Arc<asgd_hogwild::ServeHook>) -> Self {
+        self.serve = Some(hook);
         self
     }
 }
@@ -277,22 +301,36 @@ impl Driver {
     /// Submits a spec as a background job.
     #[must_use]
     pub fn submit(&self, spec: RunSpec) -> RunHandle {
-        self.spawn(spec, None)
+        self.spawn(spec, SessionCtx::default())
     }
 
     /// Submits a spec as a background job with an observer attached.
     #[must_use]
     pub fn submit_observed(&self, spec: RunSpec, observer: Arc<dyn RunObserver>) -> RunHandle {
-        self.spawn(spec, Some(observer))
+        self.spawn(
+            spec,
+            SessionCtx {
+                observer: Some(observer),
+                ..SessionCtx::default()
+            },
+        )
     }
 
-    fn spawn(&self, spec: RunSpec, observer: Option<Arc<dyn RunObserver>>) -> RunHandle {
-        let cancel = Arc::new(AtomicBool::new(false));
+    /// Submits a spec as a background job under a caller-built context
+    /// (observer and/or serving hook). The handle's cancel flag is the
+    /// context's one when set, or a fresh flag otherwise — either way
+    /// [`RunHandle::cancel`] stops the run.
+    #[must_use]
+    pub fn submit_with(&self, spec: RunSpec, ctx: SessionCtx) -> RunHandle {
+        self.spawn(spec, ctx)
+    }
+
+    fn spawn(&self, spec: RunSpec, mut ctx: SessionCtx) -> RunHandle {
+        let cancel = ctx
+            .cancel
+            .get_or_insert_with(|| Arc::new(AtomicBool::new(false)))
+            .clone();
         let slot: Arc<Mutex<Option<Result<RunReport, DriverError>>>> = Arc::new(Mutex::new(None));
-        let ctx = SessionCtx {
-            observer,
-            cancel: Some(Arc::clone(&cancel)),
-        };
         let worker_slot = Arc::clone(&slot);
         let join = std::thread::spawn(move || {
             // Contain panics (a throwing observer, a worker-thread unwind):
@@ -559,6 +597,7 @@ mod tests {
                 RunEvent::Started { .. } => "started",
                 RunEvent::Progress(_) => "progress",
                 RunEvent::TrajectorySample(_) => "sample",
+                RunEvent::SnapshotPublished { .. } => "snapshot",
                 RunEvent::Finished(_) => "finished",
             };
             sink.lock().unwrap().push(label.to_string());

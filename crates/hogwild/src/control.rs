@@ -8,6 +8,7 @@
 //! is a stride multiple, so cancellation latency and observation overhead
 //! are bounded by the stride regardless of the model dimension.
 
+use crate::snapshot::ServeHook;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Strided metrics sink function: called from worker threads with
@@ -59,6 +60,13 @@ pub struct RunControl<'a> {
     pub stop: Option<&'a AtomicBool>,
     /// Strided metrics callback.
     pub metrics: Option<MetricsSink<'a>>,
+    /// Serving attachment: the executor exposes a
+    /// [`ModelReader`](crate::snapshot::ModelReader) through the hook before
+    /// its workers start and publishes coherent snapshots every
+    /// [`ServeHook::publish_stride`] claims (plus a final one after the
+    /// join). Currently implemented by the lock-free [`crate::Hogwild`]
+    /// executor; the other native executors accept and ignore it.
+    pub serve: Option<&'a ServeHook>,
 }
 
 impl RunControl<'_> {
@@ -109,6 +117,7 @@ mod tests {
         let ctrl = RunControl {
             stop: Some(&flag),
             metrics: None,
+            serve: None,
         };
         assert!(!ctrl.is_stopped());
         assert!(ctrl.is_active());

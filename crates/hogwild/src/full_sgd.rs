@@ -488,6 +488,7 @@ mod tests {
                     stride: 16,
                     f: &sink,
                 }),
+                serve: None,
             },
         );
         assert!(report.cancelled);

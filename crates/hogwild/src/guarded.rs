@@ -645,6 +645,7 @@ mod tests {
             RunControl {
                 stop: Some(&flag),
                 metrics: None,
+                serve: None,
             },
         );
         assert!(report.cancelled);

@@ -2,10 +2,12 @@
 
 use crate::control::RunControl;
 use crate::model::SharedModel;
+use crate::snapshot::{ModelReader, SnapshotCell};
 use crate::tuning::ExecTuning;
 use asgd_math::rng::SeedSequence;
 use asgd_oracle::{GradientOracle, SparseGrad};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a native Hogwild run.
@@ -131,8 +133,25 @@ impl<O: GradientOracle> Hogwild<O> {
     pub fn run_controlled(&self, x0: &[f64], ctrl: RunControl<'_>) -> HogwildReport {
         let d = self.oracle.dimension();
         assert_eq!(x0.len(), d, "x0 dimension mismatch");
-        let model = SharedModel::with_options(x0, self.tuning.layout, self.tuning.order);
-        let counter = AtomicU64::new(0);
+        // The model and claim counter live in `Arc`s so a serving attachment
+        // can keep reading them after this call returns (one allocation per
+        // run — irrelevant next to the model itself).
+        let model = Arc::new(SharedModel::with_options(
+            x0,
+            self.tuning.layout,
+            self.tuning.order,
+        ));
+        let counter = Arc::new(AtomicU64::new(0));
+        // Snapshot storage, only when a serving hook is attached.
+        let cell = ctrl.serve.map(|_| Arc::new(SnapshotCell::new(d)));
+        if let (Some(hook), Some(cell)) = (ctrl.serve, &cell) {
+            hook.attach(ModelReader::new(
+                Arc::clone(&model),
+                Arc::clone(cell),
+                Arc::clone(&counter),
+                self.cfg.iterations,
+            ));
+        }
         let first_success = AtomicU64::new(u64::MAX);
         let interrupted = AtomicBool::new(false);
         let seeds = SeedSequence::new(self.cfg.seed);
@@ -148,8 +167,9 @@ impl<O: GradientOracle> Hogwild<O> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.cfg.threads)
                 .map(|tid| {
-                    let model = &model;
-                    let counter = &counter;
+                    let model = &*model;
+                    let counter = &*counter;
+                    let cell = cell.as_deref();
                     let first_success = &first_success;
                     let interrupted = &interrupted;
                     let oracle = &self.oracle;
@@ -175,6 +195,25 @@ impl<O: GradientOracle> Hogwild<O> {
                                 if claim.is_multiple_of(stride) && ctrl.is_stopped() {
                                     interrupted.store(true, Ordering::SeqCst);
                                     return done;
+                                }
+                                if let (Some(hook), Some(cell)) = (ctrl.serve, cell) {
+                                    if hook.publishes_at(claim) {
+                                        // Tag with the global claim counter at copy
+                                        // start (not this worker's own claim index,
+                                        // which can be arbitrarily stale if the
+                                        // worker was descheduled after claiming).
+                                        // Single-threaded, the two coincide: x_claim
+                                        // exactly.
+                                        let progress = (counter.load(Ordering::SeqCst) - 1)
+                                            .min(cfg.iterations);
+                                        // Notify inside the publish critical
+                                        // section: versions reach the listener
+                                        // in strictly increasing order.
+                                        let _ =
+                                            cell.try_publish_notify(model, progress, |v, tag| {
+                                                hook.notify_published(v, tag)
+                                            });
+                                    }
                                 }
                                 let at_success =
                                     cfg.success_radius_sq.is_some() && claim.is_multiple_of(stride);
@@ -211,6 +250,21 @@ impl<O: GradientOracle> Hogwild<O> {
                                     interrupted.store(true, Ordering::SeqCst);
                                     return done;
                                 }
+                                if let (Some(hook), Some(cell)) = (ctrl.serve, cell) {
+                                    if hook.publishes_at(claim) {
+                                        // See the sparse loop: counter-based tag,
+                                        // exact for one thread.
+                                        let progress = (counter.load(Ordering::SeqCst) - 1)
+                                            .min(cfg.iterations);
+                                        // Notify inside the publish critical
+                                        // section: versions reach the listener
+                                        // in strictly increasing order.
+                                        let _ =
+                                            cell.try_publish_notify(model, progress, |v, tag| {
+                                                hook.notify_published(v, tag)
+                                            });
+                                    }
+                                }
                                 model.read_view(&mut view);
                                 let at_metrics = ctrl.metrics_at(claim);
                                 if cfg.success_radius_sq.is_some() || at_metrics {
@@ -242,13 +296,24 @@ impl<O: GradientOracle> Hogwild<O> {
         });
         let elapsed = start.elapsed();
 
+        let executed: u64 = per_thread.iter().sum();
+        // Publish the quiescent final state (also on cancellation): the last
+        // snapshot a reader sees always reflects the reported final model.
+        // The cell keeps tags monotone, so a cancelled run whose last
+        // strided tag counted aborted claims reports that (≤ executed + n)
+        // tag rather than regressing.
+        if let (Some(hook), Some(cell)) = (ctrl.serve, &cell) {
+            let _ = cell.try_publish_notify(&model, executed, |version, tag| {
+                hook.notify_published(version, tag);
+            });
+        }
         let final_model = model.snapshot();
         let final_dist_sq = asgd_math::vec::l2_dist_sq(&final_model, self.oracle.minimizer());
         let hit = first_success.load(Ordering::SeqCst);
         HogwildReport {
             final_model,
             final_dist_sq,
-            iterations: per_thread.iter().sum(),
+            iterations: executed,
             per_thread_iterations: per_thread,
             first_success_claim: (hit != u64::MAX).then_some(hit),
             elapsed,
@@ -458,6 +523,7 @@ mod tests {
             RunControl {
                 stop: Some(&flag),
                 metrics: None,
+                serve: None,
             },
         );
         assert!(report.cancelled);
@@ -501,6 +567,7 @@ mod tests {
                         stride: 50,
                         f: &sink,
                     }),
+                    serve: None,
                 },
             );
             assert!(!report.cancelled);

@@ -17,6 +17,11 @@
 //!   metrics sink threaded into every executor's claim loop (the
 //!   `run_controlled` entry points), with cancellation latency bounded by
 //!   the success-check stride;
+//! * [`snapshot`] — model serving attachments: epoch-versioned
+//!   double-buffered snapshot publication ([`SnapshotCell`]) and cloneable
+//!   [`ModelReader`] handles (live per-entry reads racing the trainers +
+//!   coherent published snapshots), threaded into the lock-free executor
+//!   through [`RunControl::serve`] ([`ServeHook`]);
 //! * [`hogwild`] — the lock-free executor (Algorithm 1 on OS threads);
 //! * [`locked`] — the coarse-grained-locking baseline the paper's
 //!   introduction contrasts against (one mutex around the whole model,
@@ -68,6 +73,7 @@ pub mod guarded;
 pub mod hogwild;
 pub mod locked;
 pub mod model;
+pub mod snapshot;
 pub mod tuning;
 
 pub use atomic::AtomicF64;
@@ -77,4 +83,5 @@ pub use guarded::{GuardedEpochSgd, GuardedEpochSgdConfig, GuardedEpochSgdReport,
 pub use hogwild::{Hogwild, HogwildConfig, HogwildReport};
 pub use locked::{LockedSgd, LockedSgdReport};
 pub use model::{ModelLayout, SharedModel, UpdateOrder};
+pub use snapshot::{ModelReader, ModelSnapshot, PublishListener, ServeHook, SnapshotCell};
 pub use tuning::{ExecTuning, SparsePolicy};

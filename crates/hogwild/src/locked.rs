@@ -274,6 +274,7 @@ mod tests {
                     stride: 16,
                     f: &sink,
                 }),
+                serve: None,
             },
         );
         assert!(report.cancelled);

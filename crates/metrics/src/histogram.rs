@@ -1,7 +1,24 @@
-//! Integer histograms for contention statistics.
+//! Integer histograms for contention statistics and serving telemetry.
 
-/// A histogram over `u64` observations (e.g. interval contention `ρ(θ)` or
-/// staleness `τ_t` values).
+/// The tail percentiles serving benchmarks report, extracted exactly from a
+/// [`Histogram`] by cumulative count (no interpolation — every value returned
+/// was actually observed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median (p50).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Largest observation (p100).
+    pub max: u64,
+}
+
+/// A histogram over `u64` observations (e.g. interval contention `ρ(θ)`,
+/// staleness `τ_t` values, or per-query latencies in nanoseconds).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     counts: std::collections::BTreeMap<u64, u64>,
@@ -69,6 +86,45 @@ impl Histogram {
             }
         }
         self.max()
+    }
+
+    /// Smallest observed value.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Mean of the observations (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| {
+            let sum: f64 = self.counts.iter().map(|(&v, &c)| v as f64 * c as f64).sum();
+            sum / self.total as f64
+        })
+    }
+
+    /// The serving-telemetry percentile set (p50/p90/p99/p999/max), each an
+    /// exact observed value (`None` when empty).
+    #[must_use]
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        Some(Percentiles {
+            p50: self.quantile(0.50)?,
+            p90: self.quantile(0.90)?,
+            p99: self.quantile(0.99)?,
+            p999: self.quantile(0.999)?,
+            max: self.max()?,
+        })
+    }
+
+    /// Folds another histogram into this one (per-value count addition).
+    /// Merging is how per-client serving telemetry becomes one report:
+    /// `merge` over the client histograms is exactly the histogram of the
+    /// concatenated observations.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            *self.counts.entry(v).or_insert(0) += c;
+        }
+        self.total += other.total;
     }
 
     /// Iterates `(value, count)` in increasing value order.
@@ -148,6 +204,55 @@ mod tests {
         assert!(s.contains('#'));
         assert!(s.contains('7'));
         assert!(s.lines().count() == 2);
+    }
+
+    #[test]
+    fn min_and_mean() {
+        let h = Histogram::from_values(&[2, 4, 6]);
+        assert_eq!(h.min(), Some(2));
+        assert_eq!(h.mean(), Some(4.0));
+        assert_eq!(Histogram::new().min(), None);
+        assert_eq!(Histogram::new().mean(), None);
+    }
+
+    #[test]
+    fn percentiles_are_exact_observed_values() {
+        // 1000 observations 1..=1000: the q-quantile by cumulative count is
+        // exactly ⌈q·1000⌉.
+        let h: Histogram = (1..=1000).collect();
+        let p = h.percentiles().expect("non-empty");
+        assert_eq!(
+            p,
+            Percentiles {
+                p50: 500,
+                p90: 900,
+                p99: 990,
+                p999: 999,
+                max: 1000,
+            }
+        );
+        assert_eq!(Histogram::new().percentiles(), None);
+        // A single observation is every percentile.
+        let one = Histogram::from_values(&[7]);
+        let p = one.percentiles().unwrap();
+        assert_eq!((p.p50, p.p999, p.max), (7, 7, 7));
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = Histogram::from_values(&[1, 1, 5]);
+        let b = Histogram::from_values(&[1, 2, 9]);
+        a.merge(&b);
+        let concat = Histogram::from_values(&[1, 1, 5, 1, 2, 9]);
+        assert_eq!(a, concat);
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.count(1), 3);
+        // Merging an empty histogram is a no-op; merging into one copies.
+        let mut empty = Histogram::new();
+        empty.merge(&concat);
+        assert_eq!(empty, concat);
+        a.merge(&Histogram::new());
+        assert_eq!(a, concat);
     }
 
     #[test]

@@ -24,6 +24,6 @@ pub mod histogram;
 pub mod table;
 pub mod trials;
 
-pub use histogram::Histogram;
+pub use histogram::{Histogram, Percentiles};
 pub use table::Table;
 pub use trials::{estimate_probability, trial_stats, ProbabilityEstimate};

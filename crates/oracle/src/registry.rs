@@ -197,23 +197,36 @@ mod tests {
 
     #[test]
     fn every_known_kind_builds() {
+        // Drift guard: `known_kinds()` is the list CLIs and docs advertise,
+        // so every entry must actually construct through `build` at a small
+        // dimension — adding an oracle to the match without the list (or
+        // vice versa) fails here, not in a user's hands. Default spec
+        // parameters must also work: that is what spec-driven callers start
+        // from.
         for kind in known_kinds() {
-            let oracle = OracleSpec::new(*kind, 4)
-                .dataset(64)
-                .batch(8)
-                .build()
-                .unwrap_or_else(|e| panic!("{kind}: {e}"));
-            assert_eq!(oracle.dimension(), 4, "{kind}");
-            let k = oracle.constants(1.0);
-            assert!(k.c > 0.0, "{kind}: constants must be positive");
+            for spec in [
+                OracleSpec::new(*kind, 4),
+                OracleSpec::new(*kind, 4).dataset(64).batch(8),
+            ] {
+                let oracle = spec.build().unwrap_or_else(|e| panic!("{kind}: {e}"));
+                assert_eq!(oracle.dimension(), 4, "{kind}");
+                let k = oracle.constants(1.0);
+                assert!(k.c > 0.0, "{kind}: constants must be positive");
+            }
         }
     }
 
     #[test]
-    fn unknown_kind_is_reported() {
+    fn unknown_kind_is_reported_by_name() {
         let err = OracleSpec::new("nope", 2).build().map(|_| ()).unwrap_err();
         assert!(matches!(err, OracleSpecError::UnknownKind(_)));
-        assert!(err.to_string().contains("noisy-quadratic"));
+        let message = err.to_string();
+        // The message must name the offending kind (so a typo in a config
+        // is findable) and list every known kind (so the fix is, too).
+        assert!(message.contains("`nope`"), "{message}");
+        for kind in known_kinds() {
+            assert!(message.contains(kind), "{message} missing {kind}");
+        }
     }
 
     #[test]

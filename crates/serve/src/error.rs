@@ -1,0 +1,65 @@
+//! The serving subsystem's error type.
+
+use asgd_driver::{BackendKind, DriverError};
+
+/// Error starting or driving a serving workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The underlying training run failed to build or execute.
+    Driver(DriverError),
+    /// The training spec selects a backend without serving support (only
+    /// the native `hogwild` backend exposes readers today).
+    UnsupportedBackend(BackendKind),
+    /// The serve spec itself is not executable (zero clients, bad duration
+    /// or rate, zero probe, unknown label).
+    InvalidSpec(String),
+    /// The executor never attached a reader (the run ended or stalled
+    /// before exposing one).
+    AttachTimeout,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Driver(e) => write!(f, "training run: {e}"),
+            Self::UnsupportedBackend(kind) => write!(
+                f,
+                "backend `{kind}` has no serving support (use the hogwild backend)"
+            ),
+            Self::InvalidSpec(msg) => write!(f, "invalid serve spec: {msg}"),
+            Self::AttachTimeout => {
+                write!(f, "the training run never attached a model reader")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Driver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DriverError> for ServeError {
+    fn from(e: DriverError) -> Self {
+        Self::Driver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_cause() {
+        let e = ServeError::UnsupportedBackend(BackendKind::Locked);
+        assert!(e.to_string().contains("locked"));
+        let e = ServeError::from(DriverError::InvalidSpec("nope".to_string()));
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ServeError::AttachTimeout.to_string().contains("reader"));
+    }
+}

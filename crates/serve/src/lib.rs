@@ -1,0 +1,73 @@
+//! Online model serving over asynchronous SGD — **inference reads racing
+//! training writes on the very shared model the convergence bounds
+//! describe**.
+//!
+//! The paper (Alistarh, De Sa, Konstantinov; PODC 2018) proves that the
+//! lock-free iterate stays useful while other processes concurrently mutate
+//! it under bounded delay τ. Everywhere else in this workspace the model is
+//! read *after* a run finishes (`RunReport::final_model`); this crate is the
+//! serving layer that reads it *during* the run:
+//!
+//! * [`ModelService`] — owns a training run as a job (via
+//!   `Driver::submit_with` + `RunHandle`) and hands out live
+//!   [`ModelReader`](asgd_driver::ModelReader)s into the executing shared
+//!   model;
+//! * [`ReadMode`] — `Live` (per-entry atomic reads; the inconsistent-view
+//!   semantics the paper's adversary allows) vs `Snapshot` (epoch-versioned
+//!   double-buffered copies published every
+//!   [`ServeSpec::publish_stride`] claims; one coherent vector per query);
+//! * [`ServeSpec`] + [`run_workload`] — a closed-loop or fixed-rate client
+//!   fleet ([`QueryClient`]s issuing dot-product scores, held-out
+//!   predictions, or raw parameter fetches) hammering the service while
+//!   training runs underneath;
+//! * [`ServeReport`] — per-query telemetry (latency p50/p90/p99/p999,
+//!   throughput, snapshot *staleness* in training iterations) plus the
+//!   training run's own report, with exact JSON round-trip.
+//!
+//! Serving is pure observation: attaching a service never consumes RNG
+//! state or reorders updates, so a served single-threaded run is
+//! bit-identical to an unserved one (tested in `tests/serving.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use asgd_driver::{BackendKind, RunSpec};
+//! use asgd_oracle::OracleSpec;
+//! use asgd_serve::{QueryKind, ReadMode, ServeSpec};
+//!
+//! let train = RunSpec::new(
+//!     OracleSpec::new("sparse-quadratic", 256).sigma(0.0),
+//!     BackendKind::Hogwild,
+//! )
+//! .threads(2)
+//! .iterations(500_000)
+//! .learning_rate(0.002)
+//! .x0(vec![1.0; 256])
+//! .seed(7);
+//!
+//! let report = ServeSpec::new(train)
+//!     .mode(ReadMode::Snapshot)
+//!     .query(QueryKind::DotScore)
+//!     .clients(2)
+//!     .duration_secs(0.05)
+//!     .publish_every(1_000)
+//!     .run()
+//!     .expect("serves");
+//! assert!(report.queries > 0);
+//! assert_eq!(asgd_serve::ServeReport::from_json(&report.to_json()).unwrap(), report);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod report;
+pub mod service;
+pub mod spec;
+pub mod workload;
+
+pub use error::ServeError;
+pub use report::{LatencySummary, ServeReport, StalenessSummary};
+pub use service::ModelService;
+pub use spec::{Arrival, QueryKind, ReadMode, ServeSpec};
+pub use workload::{run_workload, QueryClient, QueryOutcome};

@@ -1,0 +1,329 @@
+//! [`ServeReport`] — the serving workload's outcome, with exact JSON.
+
+use asgd_driver::json::{self, Value};
+use asgd_driver::report::{field, field_f64, field_str, field_u64};
+use asgd_driver::{DecodeError, RunReport};
+use asgd_metrics::Histogram;
+
+/// Latency telemetry of one serving run, in nanoseconds. Percentiles are
+/// exact observed values extracted from the merged per-client histograms
+/// (`0` everywhere when no query ran).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Queries measured.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_ns: f64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Slowest query.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarises a merged latency histogram.
+    #[must_use]
+    pub fn from_histogram(h: &Histogram) -> Self {
+        let p = h.percentiles();
+        Self {
+            count: h.total(),
+            mean_ns: h.mean().unwrap_or(0.0),
+            p50_ns: p.map_or(0, |p| p.p50),
+            p90_ns: p.map_or(0, |p| p.p90),
+            p99_ns: p.map_or(0, |p| p.p99),
+            p999_ns: p.map_or(0, |p| p.p999),
+            max_ns: p.map_or(0, |p| p.max),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("count", Value::U64(self.count)),
+            ("mean_ns", Value::f64(self.mean_ns)),
+            ("p50_ns", Value::U64(self.p50_ns)),
+            ("p90_ns", Value::U64(self.p90_ns)),
+            ("p99_ns", Value::U64(self.p99_ns)),
+            ("p999_ns", Value::U64(self.p999_ns)),
+            ("max_ns", Value::U64(self.max_ns)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        Ok(Self {
+            count: field_u64(v, "count")?,
+            mean_ns: field_f64(v, "mean_ns")?,
+            p50_ns: field_u64(v, "p50_ns")?,
+            p90_ns: field_u64(v, "p90_ns")?,
+            p99_ns: field_u64(v, "p99_ns")?,
+            p999_ns: field_u64(v, "p999_ns")?,
+            max_ns: field_u64(v, "max_ns")?,
+        })
+    }
+}
+
+/// Staleness telemetry of snapshot-mode queries: training iterations
+/// between each query's snapshot publication and the query itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StalenessSummary {
+    /// Queries that measured staleness (snapshot reads).
+    pub samples: u64,
+    /// Mean staleness in iterations.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Worst observed staleness.
+    pub max: u64,
+}
+
+impl StalenessSummary {
+    /// Summarises a merged staleness histogram (`None` when no
+    /// snapshot-mode query ran — e.g. live-mode workloads).
+    #[must_use]
+    pub fn from_histogram(h: &Histogram) -> Option<Self> {
+        let p = h.percentiles()?;
+        Some(Self {
+            samples: h.total(),
+            mean: h.mean().unwrap_or(0.0),
+            p50: p.p50,
+            p99: p.p99,
+            max: p.max,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("samples", Value::U64(self.samples)),
+            ("mean", Value::f64(self.mean)),
+            ("p50", Value::U64(self.p50)),
+            ("p99", Value::U64(self.p99)),
+            ("max", Value::U64(self.max)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        Ok(Self {
+            samples: field_u64(v, "samples")?,
+            mean: field_f64(v, "mean")?,
+            p50: field_u64(v, "p50")?,
+            p99: field_u64(v, "p99")?,
+            max: field_u64(v, "max")?,
+        })
+    }
+}
+
+/// The outcome of one serving workload: traffic shape, throughput, latency
+/// percentiles, staleness, and the (final or cancelled) training report
+/// underneath. Serialises to and from JSON exactly, in the
+/// `asgd_driver::json` style.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Read mode label (`live` / `snapshot`).
+    pub mode: String,
+    /// Query kind label.
+    pub query: String,
+    /// Arrival label (`closed-loop` / `rate:QPS`).
+    pub arrival: String,
+    /// Client thread count.
+    pub clients: usize,
+    /// Snapshot publication stride the run actually used (`u64::MAX` for
+    /// live-mode runs started via `ServeSpec::run`, which skip strided
+    /// publication entirely).
+    pub publish_stride: u64,
+    /// Actual serving window in seconds.
+    pub duration_secs: f64,
+    /// Total queries answered.
+    pub queries: u64,
+    /// Aggregate throughput (queries / `duration_secs`).
+    pub qps: f64,
+    /// Latency telemetry.
+    pub latency: LatencySummary,
+    /// Staleness telemetry (`None` when no snapshot-mode query ran).
+    pub staleness: Option<StalenessSummary>,
+    /// Snapshot versions published over the run (including the final one).
+    pub snapshots: u64,
+    /// The training run's report (cancelled if it outlived the window).
+    pub train: RunReport,
+}
+
+impl ServeReport {
+    /// Converts into the JSON value tree.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        Value::obj([
+            ("mode", Value::Str(self.mode.clone())),
+            ("query", Value::Str(self.query.clone())),
+            ("arrival", Value::Str(self.arrival.clone())),
+            ("clients", Value::U64(self.clients as u64)),
+            ("publish_stride", Value::U64(self.publish_stride)),
+            ("duration_secs", Value::f64(self.duration_secs)),
+            ("queries", Value::U64(self.queries)),
+            ("qps", Value::f64(self.qps)),
+            ("latency", self.latency.to_value()),
+            (
+                "staleness",
+                Value::opt(self.staleness.as_ref().map(StalenessSummary::to_value)),
+            ),
+            ("snapshots", Value::U64(self.snapshots)),
+            ("train", self.train.to_value()),
+        ])
+    }
+
+    /// Serialises to compact JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Serialises to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        self.to_value().to_json_pretty()
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed JSON or missing/mistyped
+    /// fields.
+    pub fn from_json(text: &str) -> Result<Self, DecodeError> {
+        Self::from_value(&json::parse(text)?)
+    }
+
+    /// Decodes from a JSON value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Field`] on missing/mistyped fields.
+    pub fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        Ok(Self {
+            mode: field_str(v, "mode")?,
+            query: field_str(v, "query")?,
+            arrival: field_str(v, "arrival")?,
+            clients: field_u64(v, "clients")? as usize,
+            publish_stride: field_u64(v, "publish_stride")?,
+            duration_secs: field_f64(v, "duration_secs")?,
+            queries: field_u64(v, "queries")?,
+            qps: field_f64(v, "qps")?,
+            latency: LatencySummary::from_value(field(v, "latency")?)?,
+            staleness: match v.get("staleness") {
+                None => None,
+                Some(item) if item.is_null() => None,
+                Some(item) => Some(StalenessSummary::from_value(item)?),
+            },
+            snapshots: field_u64(v, "snapshots")?,
+            train: RunReport::from_value(field(v, "train")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_train() -> RunReport {
+        RunReport {
+            backend: "hogwild".to_string(),
+            oracle: "sparse-quadratic".to_string(),
+            threads: 4,
+            iterations: 123_456,
+            seed: 7,
+            hit_iteration: Some(321),
+            min_dist_sq: None,
+            final_dist_sq: 0.125,
+            final_model: vec![0.5, -0.25],
+            wall_time_secs: 0.75,
+            steps: None,
+            fingerprint: None,
+            stop: Some("cancelled".to_string()),
+            contention: None,
+            stale_rejected: None,
+            sparse_path: Some(true),
+            trajectory: None,
+        }
+    }
+
+    fn sample() -> ServeReport {
+        ServeReport {
+            mode: "snapshot".to_string(),
+            query: "dot-score".to_string(),
+            arrival: "closed-loop".to_string(),
+            clients: 8,
+            publish_stride: 256,
+            duration_secs: 0.5 + f64::EPSILON,
+            queries: 10_000,
+            qps: 20_000.5,
+            latency: LatencySummary {
+                count: 10_000,
+                mean_ns: 48_000.25,
+                p50_ns: 41_000,
+                p90_ns: 70_000,
+                p99_ns: 140_000,
+                p999_ns: 900_000,
+                max_ns: u64::MAX - 3,
+            },
+            staleness: Some(StalenessSummary {
+                samples: 9_990,
+                mean: 130.5,
+                p50: 120,
+                p99: 255,
+                max: 256,
+            }),
+            snapshots: 40,
+            train: sample_train(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let report = sample();
+        assert_eq!(ServeReport::from_json(&report.to_json()).unwrap(), report);
+        assert_eq!(
+            ServeReport::from_json(&report.to_json_pretty()).unwrap(),
+            report
+        );
+    }
+
+    #[test]
+    fn live_mode_report_without_staleness_round_trips() {
+        let report = ServeReport {
+            mode: "live".to_string(),
+            staleness: None,
+            ..sample()
+        };
+        let back = ServeReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert!(back.staleness.is_none());
+    }
+
+    #[test]
+    fn missing_fields_are_reported_by_name() {
+        let err = ServeReport::from_json("{}").map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("mode"), "{err}");
+        let mut text = sample().to_json();
+        text = text.replace("\"p999_ns\":900000,", "");
+        let err = ServeReport::from_json(&text).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("p999_ns"), "{err}");
+    }
+
+    #[test]
+    fn empty_histograms_summarise_to_zeros() {
+        let empty = Histogram::new();
+        let lat = LatencySummary::from_histogram(&empty);
+        assert_eq!(lat.count, 0);
+        assert_eq!(lat.p999_ns, 0);
+        assert_eq!(lat.mean_ns, 0.0);
+        assert_eq!(StalenessSummary::from_histogram(&empty), None);
+        let one = Histogram::from_values(&[42]);
+        let s = StalenessSummary::from_histogram(&one).unwrap();
+        assert_eq!((s.samples, s.p50, s.max), (1, 42, 42));
+    }
+}

@@ -1,0 +1,290 @@
+//! [`ModelService`] — a training run owned as a job, served while it runs.
+
+use crate::error::ServeError;
+use asgd_driver::{
+    BackendKind, Driver, DriverError, ModelReader, RunHandle, RunObserver, RunReport, RunSpec,
+    ServeHook, SessionCtx,
+};
+use asgd_hogwild::snapshot::lock_recovered;
+use asgd_oracle::GradientOracle;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long [`ModelService::start`] waits for the executor to expose its
+/// reader before giving up. Attachment happens before the first worker
+/// thread spawns, so in practice this is bounded by thread start-up, not by
+/// training.
+const ATTACH_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// An online model service: owns one training run (submitted through
+/// [`Driver::submit_with`]) and hands out [`ModelReader`]s into its live
+/// shared model — the serving counterpart of the paper's claim that the
+/// iterate stays useful under concurrent mutation.
+///
+/// The service outlives the run: after training finishes (or is cancelled),
+/// live reads see the quiescent final model exactly and the last published
+/// snapshot reflects the reported final state. Reads are pure observation —
+/// an attached service never perturbs the training trajectory (tested
+/// bit-for-bit against an unserved run in `tests/serving.rs`).
+pub struct ModelService {
+    hook: Arc<ServeHook>,
+    reader: ModelReader,
+    oracle: Arc<dyn GradientOracle>,
+    handle: Mutex<Option<RunHandle>>,
+    outcome: Mutex<Option<Result<RunReport, DriverError>>>,
+    /// Serialises [`ModelService::wait`] callers: the first blocks on the
+    /// run, later concurrent ones park here (instead of spinning) and then
+    /// read the cached outcome.
+    wait_gate: Mutex<()>,
+}
+
+impl std::fmt::Debug for ModelService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelService")
+            .field("dimension", &self.reader.dimension())
+            .field("publish_stride", &self.hook.publish_stride())
+            .field("finished", &self.is_finished())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ModelService {
+    /// Starts `train` as a background job and waits for its reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnsupportedBackend`] unless the spec selects
+    /// the `hogwild` backend, [`ServeError::Driver`] when the spec is
+    /// invalid or the run fails before attaching, and
+    /// [`ServeError::AttachTimeout`] if no reader appears.
+    pub fn start(train: &RunSpec, publish_stride: u64) -> Result<Self, ServeError> {
+        Self::start_observed(train, publish_stride, None)
+    }
+
+    /// Like [`ModelService::start`], with a session observer attached: it
+    /// receives the usual run events plus
+    /// [`RunEvent::SnapshotPublished`](asgd_driver::RunEvent) for every
+    /// publication.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModelService::start`].
+    pub fn start_observed(
+        train: &RunSpec,
+        publish_stride: u64,
+        observer: Option<Arc<dyn RunObserver>>,
+    ) -> Result<Self, ServeError> {
+        if train.backend != BackendKind::Hogwild {
+            return Err(ServeError::UnsupportedBackend(train.backend));
+        }
+        // A held-out oracle instance for predict queries: same spec, same
+        // synthetic dataset, its own allocation — query evaluation must
+        // never contend on the trainer's oracle state.
+        let oracle = train.oracle.build().map_err(DriverError::from)?;
+        let hook = Arc::new(ServeHook::new(publish_stride));
+        let ctx = SessionCtx {
+            observer,
+            cancel: None,
+            serve: Some(Arc::clone(&hook)),
+        };
+        let handle = Driver::new().submit_with(train.clone(), ctx);
+        let deadline = Instant::now() + ATTACH_TIMEOUT;
+        let reader = loop {
+            if let Some(reader) = hook.wait_reader(Duration::from_millis(20)) {
+                break reader;
+            }
+            if let Some(result) = handle.try_report() {
+                // The run ended before we saw a reader: surface its error,
+                // or — if it attached while finishing — use the reader.
+                match (hook.reader(), result) {
+                    (Some(reader), _) => break reader,
+                    (None, Err(e)) => return Err(ServeError::Driver(e)),
+                    (None, Ok(_)) => return Err(ServeError::AttachTimeout),
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(ServeError::AttachTimeout);
+            }
+        };
+        Ok(Self {
+            hook,
+            reader,
+            oracle,
+            handle: Mutex::new(Some(handle)),
+            outcome: Mutex::new(None),
+            wait_gate: Mutex::new(()),
+        })
+    }
+
+    /// A cloneable reader into the live model (valid past the run's end).
+    #[must_use]
+    pub fn reader(&self) -> ModelReader {
+        self.reader.clone()
+    }
+
+    /// The serving hook (publication stride, listener installation).
+    #[must_use]
+    pub fn hook(&self) -> &Arc<ServeHook> {
+        &self.hook
+    }
+
+    /// The held-out oracle instance predict queries evaluate against.
+    #[must_use]
+    pub fn oracle(&self) -> &Arc<dyn GradientOracle> {
+        &self.oracle
+    }
+
+    /// Model dimension `d`.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.reader.dimension()
+    }
+
+    /// Current snapshot staleness: training iterations claimed since the
+    /// latest publication (`None` before the first publication).
+    #[must_use]
+    pub fn staleness(&self) -> Option<u64> {
+        let (_, published_at) = self.reader.snapshot_tag()?;
+        Some(self.reader.iterations().saturating_sub(published_at))
+    }
+
+    /// True once the training run has finished (normally or cancelled).
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        if lock_recovered(&self.outcome).is_some() {
+            return true;
+        }
+        lock_recovered(&self.handle)
+            .as_ref()
+            .is_none_or(RunHandle::is_finished)
+    }
+
+    /// Requests cancellation of the training run (idempotent; a no-op once
+    /// the run finished). Serving keeps working: the executor publishes the
+    /// final state before returning.
+    pub fn cancel(&self) {
+        if let Some(handle) = &*lock_recovered(&self.handle) {
+            handle.cancel();
+        }
+    }
+
+    /// Blocks until the training run finishes and returns its report
+    /// (cached — repeat calls return the same outcome).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the run itself returns; cancellation is not an error.
+    pub fn wait(&self) -> Result<RunReport, DriverError> {
+        // The gate makes concurrent waiters block (parked, not spinning)
+        // until the first caller's handle.wait() has cached the outcome.
+        let _gate = lock_recovered(&self.wait_gate);
+        if let Some(outcome) = &*lock_recovered(&self.outcome) {
+            return outcome.clone();
+        }
+        let handle = lock_recovered(&self.handle)
+            .take()
+            .expect("the gate serialises waiters: no handle implies a cached outcome");
+        let outcome = handle.wait();
+        *lock_recovered(&self.outcome) = Some(outcome.clone());
+        outcome
+    }
+
+    /// Cancels the training run and waits for its (partial) report.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModelService::wait`].
+    pub fn stop(&self) -> Result<RunReport, DriverError> {
+        self.cancel();
+        self.wait()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_oracle::OracleSpec;
+
+    fn train_spec() -> RunSpec {
+        RunSpec::new(
+            OracleSpec::new("noisy-quadratic", 4).sigma(0.1),
+            BackendKind::Hogwild,
+        )
+        .threads(2)
+        .iterations(30_000)
+        .learning_rate(0.02)
+        .x0(vec![1.0, -1.0, 0.5, -0.5])
+        .seed(11)
+    }
+
+    #[test]
+    fn rejects_non_hogwild_backends() {
+        let spec = train_spec().backend(BackendKind::Sequential);
+        match ModelService::start(&spec, 64) {
+            Err(ServeError::UnsupportedBackend(BackendKind::Sequential)) => {}
+            other => panic!("expected UnsupportedBackend, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_train_specs_surface_as_driver_errors() {
+        let mut spec = train_spec();
+        spec.oracle.kind = "no-such-oracle".to_string();
+        match ModelService::start(&spec, 64) {
+            Err(ServeError::Driver(DriverError::Oracle(_))) => {}
+            other => panic!("expected Driver(Oracle), got {other:?}"),
+        }
+        let spec = train_spec().threads(0);
+        assert!(matches!(
+            ModelService::start(&spec, 64),
+            Err(ServeError::Driver(DriverError::InvalidSpec(_)))
+        ));
+    }
+
+    #[test]
+    fn serves_reads_while_training_then_quiesces() {
+        let service = ModelService::start(&train_spec(), 128).expect("starts");
+        assert_eq!(service.dimension(), 4);
+        let reader = service.reader();
+        // Live reads work immediately; snapshots appear once claim 0
+        // publishes.
+        let mut live = vec![0.0; 4];
+        reader.read_live(&mut live);
+        assert!(live.iter().all(|v| v.is_finite()));
+        let report = service.wait().expect("run completes");
+        assert_eq!(report.iterations, 30_000);
+        // Quiescent: live reads now equal the reported final model exactly.
+        reader.read_live(&mut live);
+        assert_eq!(live, report.final_model);
+        // The final snapshot reflects the final state, at full iteration
+        // count, and staleness is zero.
+        let snap = reader.snapshot().expect("final publication");
+        assert_eq!(snap.values, report.final_model);
+        assert_eq!(snap.iteration, 30_000);
+        assert_eq!(service.staleness(), Some(0));
+        assert!(service.is_finished());
+        // Repeat waits return the cached outcome.
+        assert_eq!(service.wait().unwrap(), report);
+        let _ = format!("{service:?}");
+    }
+
+    #[test]
+    fn cancel_stops_training_and_leaves_the_service_readable() {
+        let spec = train_spec().iterations(u64::MAX / 2);
+        let service = ModelService::start(&spec, 256).expect("starts");
+        assert!(!service.is_finished());
+        let report = service.stop().expect("cancelled runs report Ok");
+        assert_eq!(report.stop.as_deref(), Some("cancelled"));
+        let snap = service.reader().snapshot().expect("final publication");
+        assert_eq!(snap.values, report.final_model);
+        // Tags are monotone: a strided tag published just before the cancel
+        // may count claims that aborted, so the final tag can exceed the
+        // executed count by at most the thread count.
+        assert!(
+            snap.iteration >= report.iterations && snap.iteration <= report.iterations + 2,
+            "final tag {} vs executed {}",
+            snap.iteration,
+            report.iterations
+        );
+    }
+}

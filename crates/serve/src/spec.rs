@@ -1,0 +1,410 @@
+//! [`ServeSpec`] — one value describing a serving workload end to end.
+
+use crate::error::ServeError;
+use asgd_driver::{BackendKind, RunSpec};
+
+/// How a query reads the (possibly still training) model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReadMode {
+    /// Per-entry atomic loads of the live shared model, racing the trainers
+    /// entry by entry — inconsistent-snapshot semantics, exactly what the
+    /// paper's adversary is allowed to show a worker (§2). Zero publication
+    /// cost, zero staleness, no cross-entry coherence.
+    Live,
+    /// The latest published epoch-versioned snapshot: one internally
+    /// coherent vector per query, at most `publish_stride` training
+    /// iterations stale. The default.
+    #[default]
+    Snapshot,
+}
+
+impl ReadMode {
+    /// Canonical CLI/JSON name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Live => "live",
+            Self::Snapshot => "snapshot",
+        }
+    }
+
+    /// Both modes, in documentation order.
+    #[must_use]
+    pub fn all() -> &'static [ReadMode] {
+        &[Self::Live, Self::Snapshot]
+    }
+}
+
+impl std::str::FromStr for ReadMode {
+    type Err = ServeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "live" => Ok(Self::Live),
+            "snapshot" => Ok(Self::Snapshot),
+            other => Err(ServeError::InvalidSpec(format!(
+                "unknown read mode `{other}` (known: live, snapshot)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for ReadMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a query computes against its view of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueryKind {
+    /// Dot-product score of the model against a random sparse probe
+    /// ([`ServeSpec::probe_len`] coordinates drawn per query from the
+    /// client's RNG) — O(probe) per query, the recommendation-style scoring
+    /// read. The default.
+    #[default]
+    DotScore,
+    /// Objective evaluation `f(x)` at the served point on a held-out
+    /// [`GradientOracle`](asgd_oracle::GradientOracle) instance — O(d) per
+    /// query (a full live scan in [`ReadMode::Live`]), the
+    /// loss-on-fresh-data prediction read.
+    Predict,
+    /// Raw fetch of one uniformly random parameter — O(1), the latency
+    /// floor probe.
+    Fetch,
+}
+
+impl QueryKind {
+    /// Canonical CLI/JSON name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::DotScore => "dot-score",
+            Self::Predict => "predict",
+            Self::Fetch => "fetch",
+        }
+    }
+
+    /// Every kind, in documentation order.
+    #[must_use]
+    pub fn all() -> &'static [QueryKind] {
+        &[Self::DotScore, Self::Predict, Self::Fetch]
+    }
+}
+
+impl std::str::FromStr for QueryKind {
+    type Err = ServeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dot-score" => Ok(Self::DotScore),
+            "predict" => Ok(Self::Predict),
+            "fetch" => Ok(Self::Fetch),
+            other => Err(ServeError::InvalidSpec(format!(
+                "unknown query kind `{other}` (known: dot-score, predict, fetch)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Query arrival pattern per client.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Arrival {
+    /// Closed loop: each client issues its next query the moment the
+    /// previous one returns — measures saturation throughput. The default.
+    #[default]
+    ClosedLoop,
+    /// Fixed rate: each client issues `qps` queries per second on a fixed
+    /// tick schedule (falling behind, it proceeds immediately without
+    /// accumulating a backlog).
+    FixedRate {
+        /// Per-client target queries per second (`> 0`, finite).
+        qps: f64,
+    },
+}
+
+impl Arrival {
+    /// Canonical CLI/JSON rendering (`closed-loop` or `rate:QPS`).
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Self::ClosedLoop => "closed-loop".to_string(),
+            Self::FixedRate { qps } => format!("rate:{qps}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Arrival {
+    type Err = ServeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "closed-loop" {
+            return Ok(Self::ClosedLoop);
+        }
+        if let Some(raw) = s.strip_prefix("rate:") {
+            let qps: f64 = raw
+                .parse()
+                .map_err(|_| ServeError::InvalidSpec(format!("arrival `{s}`: bad qps value")))?;
+            return Ok(Self::FixedRate { qps });
+        }
+        Err(ServeError::InvalidSpec(format!(
+            "unknown arrival `{s}` (known: closed-loop, rate:QPS)"
+        )))
+    }
+}
+
+impl std::fmt::Display for Arrival {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One value describing a serving workload: the training run underneath,
+/// the read mode, the query mix, the traffic shape, and the seeds — built
+/// once, executed by [`ServeSpec::run`] (or piecewise through
+/// [`ModelService`](crate::ModelService) +
+/// [`run_workload`](crate::run_workload)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSpec {
+    /// The training run the service reads from. Must select the `hogwild`
+    /// backend — the lock-free executor is the one that exposes readers.
+    pub train: RunSpec,
+    /// How queries read the model.
+    pub mode: ReadMode,
+    /// What queries compute.
+    pub query: QueryKind,
+    /// Arrival pattern per client.
+    pub arrival: Arrival,
+    /// Concurrent client threads (`≥ 1`).
+    pub clients: usize,
+    /// Serving window in seconds; when it closes, a still-running training
+    /// run is cancelled and its (partial) report embedded.
+    pub duration_secs: f64,
+    /// Training claims between snapshot publications (clamped to `≥ 1`).
+    pub publish_stride: u64,
+    /// Probe support size for [`QueryKind::DotScore`] (clamped to the model
+    /// dimension).
+    pub probe_len: usize,
+    /// Master seed for the client RNG streams — deliberately separate from
+    /// `train.seed`, so serving draws can never collide with training coin
+    /// streams.
+    pub serve_seed: u64,
+}
+
+impl ServeSpec {
+    /// A spec with defaults: snapshot reads, dot-score queries, closed
+    /// loop, 4 clients, a 1-second window, publish stride 256, probe 8.
+    #[must_use]
+    pub fn new(train: RunSpec) -> Self {
+        Self {
+            train,
+            mode: ReadMode::default(),
+            query: QueryKind::default(),
+            arrival: Arrival::default(),
+            clients: 4,
+            duration_secs: 1.0,
+            publish_stride: 256,
+            probe_len: 8,
+            serve_seed: 0x05EA_F00D,
+        }
+    }
+
+    /// Selects the read mode.
+    #[must_use]
+    pub fn mode(mut self, mode: ReadMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects the query kind.
+    #[must_use]
+    pub fn query(mut self, query: QueryKind) -> Self {
+        self.query = query;
+        self
+    }
+
+    /// Selects the arrival pattern.
+    #[must_use]
+    pub fn arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the client count.
+    #[must_use]
+    pub fn clients(mut self, n: usize) -> Self {
+        self.clients = n;
+        self
+    }
+
+    /// Sets the serving window.
+    #[must_use]
+    pub fn duration_secs(mut self, secs: f64) -> Self {
+        self.duration_secs = secs;
+        self
+    }
+
+    /// Sets the snapshot publication stride.
+    #[must_use]
+    pub fn publish_every(mut self, stride: u64) -> Self {
+        self.publish_stride = stride;
+        self
+    }
+
+    /// Sets the dot-score probe support size.
+    #[must_use]
+    pub fn probe_len(mut self, len: usize) -> Self {
+        self.probe_len = len;
+        self
+    }
+
+    /// Sets the serving-side master seed.
+    #[must_use]
+    pub fn serve_seed(mut self, seed: u64) -> Self {
+        self.serve_seed = seed;
+        self
+    }
+
+    /// Checks the spec is executable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnsupportedBackend`] unless the training run
+    /// selects `hogwild`, and [`ServeError::InvalidSpec`] for zero clients,
+    /// a non-positive/non-finite duration or rate, or a zero probe.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.train.backend != BackendKind::Hogwild {
+            return Err(ServeError::UnsupportedBackend(self.train.backend));
+        }
+        if self.clients == 0 {
+            return Err(ServeError::InvalidSpec(
+                "at least one client required".to_string(),
+            ));
+        }
+        if !(self.duration_secs.is_finite() && self.duration_secs > 0.0) {
+            return Err(ServeError::InvalidSpec(format!(
+                "duration must be positive and finite, got {}",
+                self.duration_secs
+            )));
+        }
+        if let Arrival::FixedRate { qps } = self.arrival {
+            if !(qps.is_finite() && qps > 0.0) {
+                return Err(ServeError::InvalidSpec(format!(
+                    "fixed-rate qps must be positive and finite, got {qps}"
+                )));
+            }
+        }
+        if self.probe_len == 0 {
+            return Err(ServeError::InvalidSpec(
+                "probe length must be at least 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Starts the training run, drives the client fleet for the serving
+    /// window, then stops training and reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the spec is invalid or the underlying
+    /// run fails.
+    pub fn run(&self) -> Result<crate::ServeReport, ServeError> {
+        self.validate()?;
+        // Live reads never consume published snapshots, so don't make the
+        // trainers pay the strided O(d) copy for them: an effectively
+        // infinite stride leaves only the claim-0 and final publications
+        // (quiescent snapshot reads stay valid). The report then carries
+        // the stride the run actually used.
+        let stride = match self.mode {
+            ReadMode::Snapshot => self.publish_stride,
+            ReadMode::Live => u64::MAX,
+        };
+        let service = crate::ModelService::start(&self.train, stride)?;
+        crate::run_workload(&service, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_oracle::OracleSpec;
+
+    fn train() -> RunSpec {
+        RunSpec::new(OracleSpec::new("noisy-quadratic", 2), BackendKind::Hogwild)
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        for mode in ReadMode::all() {
+            assert_eq!(mode.label().parse::<ReadMode>().unwrap(), *mode);
+        }
+        for kind in QueryKind::all() {
+            assert_eq!(kind.label().parse::<QueryKind>().unwrap(), *kind);
+        }
+        for arrival in [Arrival::ClosedLoop, Arrival::FixedRate { qps: 250.0 }] {
+            assert_eq!(arrival.label().parse::<Arrival>().unwrap(), arrival);
+        }
+        assert!("bogus".parse::<ReadMode>().is_err());
+        assert!("bogus".parse::<QueryKind>().is_err());
+        assert!("rate:banana".parse::<Arrival>().is_err());
+        assert!("bogus".parse::<Arrival>().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_broken_specs() {
+        let ok = ServeSpec::new(train());
+        assert!(ok.validate().is_ok());
+        let wrong_backend = ServeSpec::new(train().backend(BackendKind::Sequential));
+        assert!(matches!(
+            wrong_backend.validate(),
+            Err(ServeError::UnsupportedBackend(BackendKind::Sequential))
+        ));
+        assert!(ServeSpec::new(train()).clients(0).validate().is_err());
+        assert!(ServeSpec::new(train())
+            .duration_secs(0.0)
+            .validate()
+            .is_err());
+        assert!(ServeSpec::new(train())
+            .duration_secs(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(ServeSpec::new(train())
+            .arrival(Arrival::FixedRate { qps: 0.0 })
+            .validate()
+            .is_err());
+        assert!(ServeSpec::new(train()).probe_len(0).validate().is_err());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let spec = ServeSpec::new(train())
+            .mode(ReadMode::Live)
+            .query(QueryKind::Fetch)
+            .arrival(Arrival::FixedRate { qps: 10.0 })
+            .clients(3)
+            .duration_secs(0.5)
+            .publish_every(64)
+            .probe_len(4)
+            .serve_seed(9);
+        assert_eq!(spec.mode, ReadMode::Live);
+        assert_eq!(spec.query, QueryKind::Fetch);
+        assert_eq!(spec.arrival, Arrival::FixedRate { qps: 10.0 });
+        assert_eq!(
+            (
+                spec.clients,
+                spec.publish_stride,
+                spec.probe_len,
+                spec.serve_seed
+            ),
+            (3, 64, 4, 9)
+        );
+        assert_eq!(spec.duration_secs, 0.5);
+    }
+}

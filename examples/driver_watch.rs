@@ -42,6 +42,7 @@ impl RunObserver for PrintObserver {
                 );
             }
             RunEvent::TrajectorySample(_) => {} // Progress already covers the demo
+            RunEvent::SnapshotPublished { .. } => {} // serving demo lives in serve_live
             RunEvent::Finished(report) => {
                 println!(
                     "[{}] finished: T={} dist²={:.3e} stop={}",

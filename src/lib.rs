@@ -19,7 +19,8 @@
 //! | [`oracle`] | `asgd-oracle` | workloads with known `(c, L, M²)` constants + by-name registry |
 //! | [`core`] | `asgd-core` | the paper's algorithms on the simulator |
 //! | [`theory`] | `asgd-theory` | Theorems 3.1/6.3/6.5, Corollaries 6.7/7.1, §5 lower bound |
-//! | [`hogwild`] | `asgd-hogwild` | native lock-free runtime + locked baseline + epoch guard |
+//! | [`hogwild`] | `asgd-hogwild` | native lock-free runtime + locked baseline + epoch guard + snapshot publication |
+//! | [`serve`] | `asgd-serve` | online model serving: live/snapshot reads racing a training run, closed-loop traffic harness, latency/staleness telemetry |
 //! | [`metrics`] | `asgd-metrics` | trial harness, tables, histograms |
 //!
 //! # Quickstart: the unified driver
@@ -97,6 +98,7 @@ pub use asgd_hogwild as hogwild;
 pub use asgd_math as math;
 pub use asgd_metrics as metrics;
 pub use asgd_oracle as oracle;
+pub use asgd_serve as serve;
 pub use asgd_shmem as shmem;
 pub use asgd_theory as theory;
 
@@ -107,9 +109,10 @@ pub mod prelude {
     pub use asgd_core::sequential::SequentialSgd;
     pub use asgd_driver::{
         run_spec, run_spec_session, validate, BackendKind, Driver, DriverError, ModelLayoutSpec,
-        Progress, RunEvent, RunHandle, RunObserver, RunReport, RunSpec, SchedulerSpec, SessionCtx,
-        SparsePathSpec, StepSize, TrajectorySample, UpdateOrderSpec, ValidationCell,
-        ValidationCriterion, ValidationPlan, ValidationReport,
+        ModelReader, ModelSnapshot, Progress, RunEvent, RunHandle, RunObserver, RunReport, RunSpec,
+        SchedulerSpec, ServeHook, SessionCtx, SnapshotCell, SparsePathSpec, StepSize,
+        TrajectorySample, UpdateOrderSpec, ValidationCell, ValidationCriterion, ValidationPlan,
+        ValidationReport,
     };
     pub use asgd_hogwild::full_sgd::{NativeFullSgd, NativeFullSgdConfig};
     pub use asgd_hogwild::guarded::{GuardedEpochSgd, GuardedEpochSgdConfig};
@@ -119,6 +122,10 @@ pub mod prelude {
     pub use asgd_oracle::{
         Constants, GradientOracle, LinearRegression, Minibatch, ModelView, NoisyQuadratic,
         OracleSpec, RidgeLogistic, SparseGrad, SparseQuadratic,
+    };
+    pub use asgd_serve::{
+        run_workload, Arrival, LatencySummary, ModelService, QueryClient, QueryKind, QueryOutcome,
+        ReadMode, ServeError, ServeReport, ServeSpec, StalenessSummary,
     };
     pub use asgd_shmem::sched::{
         BoundedDelayAdversary, CrashAdversary, RandomScheduler, Scheduler, SerialScheduler,

@@ -1,0 +1,331 @@
+//! The serving subsystem's contract: coherent snapshots are exact
+//! trajectory points, serving is pure observation, quiescent live reads
+//! equal the final report bit for bit, cancellation under query load stays
+//! inside the session latency bound, and `ServeReport` JSON round-trips
+//! exactly.
+
+use asyncsgd::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn one_thread_train(iterations: u64) -> RunSpec {
+    RunSpec::new(
+        OracleSpec::new("noisy-quadratic", 6).sigma(0.3),
+        BackendKind::Hogwild,
+    )
+    .threads(1)
+    .iterations(iterations)
+    .learning_rate(0.05)
+    .x0(vec![1.5, -1.5, 1.0, -1.0, 0.5, -0.5])
+    .seed(33)
+}
+
+#[test]
+fn snapshot_reads_never_observe_a_mixed_vector() {
+    // Every snapshot a client observes during a 1-thread run must equal an
+    // *exact* trajectory point: the sequential backend replayed to the
+    // snapshot's iteration tag reproduces its vector bit for bit. A torn
+    // (mixed) vector would almost surely match no trajectory point.
+    let spec = one_thread_train(3_000);
+    let service = ModelService::start(&spec, 100).expect("starts");
+    let reader = service.reader();
+    let mut observed: BTreeMap<u64, (u64, Vec<f64>)> = BTreeMap::new();
+    let mut buf = Vec::new();
+    let mut last_version = 0;
+    while !service.is_finished() {
+        if let Some((version, iteration)) = reader.snapshot_into(&mut buf) {
+            assert!(version >= last_version, "snapshot versions are monotone");
+            last_version = version;
+            observed.entry(version).or_insert((iteration, buf.clone()));
+        }
+    }
+    let report = service.wait().expect("completes");
+    // Include the final publication: its tag is the full iteration count.
+    let last = reader.snapshot().expect("final publication");
+    assert_eq!(last.iteration, report.iterations);
+    observed
+        .entry(last.version)
+        .or_insert((last.iteration, last.values));
+    assert!(!observed.is_empty(), "at least the final snapshot observed");
+    for (version, (iteration, values)) in &observed {
+        let replay = run_spec(
+            &spec
+                .clone()
+                .backend(BackendKind::Sequential)
+                .iterations(*iteration),
+        )
+        .expect("sequential replay runs");
+        assert_eq!(
+            replay.final_model.len(),
+            values.len(),
+            "version {version}: dimension"
+        );
+        for (j, (a, b)) in values.iter().zip(&replay.final_model).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "version {version} (iteration {iteration}) entry {j}: snapshot {a} vs x_t {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn live_reads_on_a_quiescent_model_equal_the_final_report() {
+    let spec = one_thread_train(10_000).threads(3);
+    let service = ModelService::start(&spec, 512).expect("starts");
+    let report = service.wait().expect("completes");
+    let reader = service.reader();
+    let mut live = vec![0.0; reader.dimension()];
+    reader.read_live(&mut live);
+    for (j, (a, b)) in live.iter().zip(&report.final_model).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "entry {j}: quiescent live read {a} vs final report {b}"
+        );
+    }
+    for j in 0..reader.dimension() {
+        assert_eq!(
+            reader.read_entry(j).to_bits(),
+            report.final_model[j].to_bits()
+        );
+    }
+    // The final snapshot agrees as well.
+    let snap = reader.snapshot().expect("final publication");
+    assert_eq!(snap.values, report.final_model);
+}
+
+#[test]
+fn serving_is_pure_observation() {
+    // A 1-thread hogwild run with an attached service and clients hammering
+    // it stays bit-identical to the sequential baseline: reads never touch
+    // RNG state or update order.
+    let spec = one_thread_train(4_000);
+    let sequential = run_spec(&spec.clone().backend(BackendKind::Sequential)).expect("baseline");
+    for (mode, query) in [
+        (ReadMode::Live, QueryKind::Predict),
+        (ReadMode::Snapshot, QueryKind::DotScore),
+    ] {
+        let report = ServeSpec::new(spec.clone())
+            .mode(mode)
+            .query(query)
+            .clients(4)
+            .duration_secs(0.25)
+            .publish_every(64)
+            .run()
+            .expect("serves");
+        assert!(report.queries > 0, "{mode}/{query}: clients ran");
+        assert!(
+            report.train.stop.is_none(),
+            "{mode}/{query}: training finished naturally before the window closed"
+        );
+        for (j, (a, b)) in sequential
+            .final_model
+            .iter()
+            .zip(&report.train.final_model)
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{mode}/{query} entry {j}: sequential {a} vs served hogwild {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cancellation_under_serving_load_is_bounded_and_leaves_readers_usable() {
+    // An effectively unbounded dense run at d = 64k (the worst-case claim
+    // cost) must stop within the session latency bound even while client
+    // threads are mid-query; the last published snapshot stays readable and
+    // matches the cancelled report, and clients keep working afterwards.
+    let d = 65_536;
+    let spec = RunSpec::new(
+        OracleSpec::new("sparse-quadratic", d).sigma(0.0),
+        BackendKind::Hogwild,
+    )
+    .threads(2)
+    .iterations(u64::MAX / 2)
+    .learning_rate(1e-7)
+    .x0(vec![1.0; d])
+    .sparse(SparsePathSpec::Dense)
+    .seed(1);
+    let service = ModelService::start(&spec, 4_096).expect("starts");
+    let serve_spec = ServeSpec::new(spec)
+        .mode(ReadMode::Snapshot)
+        .query(QueryKind::DotScore)
+        .serve_seed(9);
+    let stop_clients = AtomicBool::new(false);
+    let (latency, report, post_cancel_queries) = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..2)
+            .map(|i| {
+                let mut client = QueryClient::new(&service, &serve_spec, 100 + i);
+                let stop_clients = &stop_clients;
+                scope.spawn(move || {
+                    let mut before = 0u64;
+                    let mut after = 0u64;
+                    while !stop_clients.load(Ordering::SeqCst) {
+                        let outcome = client.query();
+                        assert!(outcome.value.is_finite());
+                        before += 1;
+                        // Leave the trainers breathing room on small boxes.
+                        std::thread::sleep(Duration::from_micros(300));
+                    }
+                    // Readers must survive cancellation un-poisoned.
+                    for _ in 0..16 {
+                        let outcome = client.query();
+                        assert!(outcome.value.is_finite());
+                        after += 1;
+                    }
+                    (before, after)
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!service.is_finished(), "still training under load");
+        let cancelled_at = Instant::now();
+        service.cancel();
+        let report = service.wait().expect("cancelled runs report Ok");
+        let latency = cancelled_at.elapsed();
+        stop_clients.store(true, Ordering::SeqCst);
+        let mut mid_query = 0;
+        let mut post = 0;
+        for handle in clients {
+            let (before, after) = handle.join().expect("client thread never poisons");
+            mid_query += before;
+            post += after;
+        }
+        assert!(mid_query > 0, "clients were querying during training");
+        (latency, report, post)
+    });
+    assert!(
+        latency <= Duration::from_millis(250),
+        "cancellation under load took {latency:?}"
+    );
+    assert_eq!(report.stop.as_deref(), Some("cancelled"));
+    assert_eq!(post_cancel_queries, 32, "every post-cancel query answered");
+    // The last published snapshot is the cancelled run's final state. Its
+    // tag is monotone, so it may exceed the executed count by at most the
+    // thread count (a pre-cancel strided tag can include aborted claims).
+    let snap = service.reader().snapshot().expect("final publication");
+    assert!(
+        snap.iteration >= report.iterations && snap.iteration <= report.iterations + 2,
+        "final tag {} vs executed {}",
+        snap.iteration,
+        report.iterations
+    );
+    assert_eq!(snap.values, report.final_model);
+}
+
+#[test]
+fn snapshot_events_stream_to_observers_in_version_order() {
+    let events: Arc<std::sync::Mutex<Vec<(u64, u64)>>> =
+        Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    let observer = Arc::new(move |ev: &RunEvent| {
+        if let RunEvent::SnapshotPublished { version, iteration } = ev {
+            sink.lock().unwrap().push((*version, *iteration));
+        }
+    });
+    let spec = one_thread_train(2_000);
+    let service = ModelService::start_observed(&spec, 250, Some(observer)).expect("starts");
+    let report = service.wait().expect("completes");
+    let events = events.lock().unwrap();
+    assert!(events.len() >= 2, "strided + final publications observed");
+    for pair in events.windows(2) {
+        assert!(
+            pair[0].0 < pair[1].0,
+            "versions strictly increase: {events:?}"
+        );
+        assert!(
+            pair[0].1 <= pair[1].1,
+            "iterations never regress: {events:?}"
+        );
+    }
+    let &(_, last_iteration) = events.last().unwrap();
+    assert_eq!(last_iteration, report.iterations, "final publication tag");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Registry-wide codec property in the `RunReport`/`ValidationReport`
+    /// proptest style: a `ServeReport` over every oracle kind (both read
+    /// modes, optional staleness, full-range integers, awkward floats)
+    /// survives the JSON round trip bit for bit.
+    #[test]
+    fn serve_reports_round_trip_for_every_oracle_kind(
+        seed in 0_u64..u64::MAX,
+        queries in 1_u64..u64::MAX,
+        qps in 0.0_f64..1e9,
+        mean_ns in 0.0_f64..1e12,
+        p50 in 0_u64..u64::MAX,
+        stale_mean in 0.0_f64..1e9,
+        duration in 1e-6_f64..1e4,
+        stride in 1_u64..1_000_000,
+    ) {
+        for (i, kind) in asyncsgd::oracle::registry::known_kinds().iter().enumerate() {
+            let snapshot_mode = i % 2 == 0;
+            let train = RunReport {
+                backend: "hogwild".to_string(),
+                oracle: (*kind).to_string(),
+                threads: i + 1,
+                iterations: queries.rotate_left(i as u32),
+                seed,
+                hit_iteration: (i % 3 == 0).then_some(seed % 1_000),
+                min_dist_sq: None,
+                final_dist_sq: mean_ns / 1e13 + f64::MIN_POSITIVE,
+                final_model: vec![0.5 + duration, -0.25, f64::EPSILON],
+                wall_time_secs: duration,
+                steps: None,
+                fingerprint: None,
+                stop: snapshot_mode.then(|| "cancelled".to_string()),
+                contention: None,
+                stale_rejected: None,
+                sparse_path: Some(i % 2 == 1),
+                trajectory: None,
+            };
+            let report = ServeReport {
+                mode: if snapshot_mode { "snapshot" } else { "live" }.to_string(),
+                query: ["dot-score", "predict", "fetch"][i % 3].to_string(),
+                arrival: if i % 2 == 0 {
+                    "closed-loop".to_string()
+                } else {
+                    format!("rate:{}", qps.max(1.0))
+                },
+                clients: i * 7 + 1,
+                publish_stride: stride,
+                duration_secs: duration,
+                queries,
+                qps,
+                latency: LatencySummary {
+                    count: queries,
+                    mean_ns,
+                    p50_ns: p50,
+                    p90_ns: p50.saturating_add(1),
+                    p99_ns: p50.saturating_add(2),
+                    p999_ns: p50.saturating_add(3),
+                    max_ns: u64::MAX,
+                },
+                staleness: snapshot_mode.then(|| StalenessSummary {
+                    samples: queries.min(777),
+                    mean: stale_mean,
+                    p50: seed % 10_000,
+                    p99: seed % 100_000,
+                    max: u64::MAX - 1,
+                }),
+                snapshots: stride.saturating_mul(3),
+                train,
+            };
+            let back = ServeReport::from_json(&report.to_json()).expect("decodes");
+            prop_assert_eq!(&back, &report, "compact round trip ({})", kind);
+            let back = ServeReport::from_json(&report.to_json_pretty()).expect("decodes");
+            prop_assert_eq!(&back, &report, "pretty round trip ({})", kind);
+        }
+    }
+}
