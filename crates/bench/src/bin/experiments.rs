@@ -33,6 +33,22 @@
 //!     --json BENCH_validation.json
 //! cargo run -p asgd-bench --release --bin experiments -- validate --quick
 //! ```
+//!
+//! Serve-net mode (the wire path: a multi-model registry behind a TCP
+//! front-end, hammered by open- or closed-loop socket clients):
+//!
+//! ```text
+//! cargo run -p asgd-bench --release --bin experiments -- serve-net \
+//!     --models 2 --clients 8 --arrival rate:2000 --slo-ms 1 --pretty
+//! ```
+//!
+//! Bench-check mode (the committed-artifact regression gate: re-runs the
+//! quick serving sweeps and fails on >30% throughput/p99 regressions
+//! against `BENCH_serving.json` / `BENCH_net.json`):
+//!
+//! ```text
+//! cargo run -p asgd-bench --release --bin experiments -- bench-check
+//! ```
 
 use asgd_bench::{experiment_ids, run_experiment};
 use asgd_driver::validation::default_backends;
@@ -42,9 +58,15 @@ use asgd_driver::{
 };
 use asgd_metrics::table::fmt_f;
 use asgd_metrics::Table;
+use asgd_net::{
+    run_net_workload, NetConfig, NetOp, NetServer, NetWorkloadSpec, Priority, SloPolicy,
+};
 use asgd_oracle::{registry, OracleSpec};
+use asgd_serve::ModelRegistry;
 use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +74,8 @@ fn main() {
         Some("run") => run_mode(&args[1..]),
         Some("validate") => validate_mode(&args[1..]),
         Some("serve") => serve_mode(&args[1..]),
+        Some("serve-net") => serve_net_mode(&args[1..]),
+        Some("bench-check") => bench_check_mode(&args[1..]),
         _ => table_mode(args),
     }
 }
@@ -520,6 +544,309 @@ fn parse_serve_flag<T: std::str::FromStr<Err = asgd_serve::ServeError>>(raw: &st
     }
 }
 
+// -------------------------------------------------------- serve-net mode
+
+fn usage_serve_net() -> ! {
+    eprintln!(
+        "usage: experiments serve-net [options]\n\
+         \n\
+         Hosts N hogwild training runs in a ModelRegistry behind the TCP\n\
+         wire protocol, drives them with socket clients over loopback, and\n\
+         prints the per-priority NetReport plus the server's own counters\n\
+         (admissions, busy rejections, shed requests, rolling p99).\n\
+         \n\
+         options (defaults in parentheses):\n\
+         \x20 --oracle KIND          workload ({oracles}; default sparse-quadratic)\n\
+         \x20 --dim D                model dimension (4096)\n\
+         \x20 --sigma S              noise level (0.0)\n\
+         \x20 --models N             hosted models, named model-0… (1)\n\
+         \x20 --threads N            trainer threads per model (1)\n\
+         \x20 --iterations T         training budget (effectively unbounded)\n\
+         \x20 --alpha A              learning rate (0.5/d)\n\
+         \x20 --seed S               training master seed (0x5E1F00D + model index)\n\
+         \x20 --mode M               read mode: live | snapshot (snapshot)\n\
+         \x20 --publish-every K      snapshot publication stride (2048)\n\
+         \x20 --op OP                request op: dot-score | predict | fetch-range (dot-score)\n\
+         \x20 --arrival A            closed-loop | rate:QPS per client (closed-loop)\n\
+         \x20 --clients N            client connections (4)\n\
+         \x20 --duration SECS        serving window (1.0)\n\
+         \x20 --probe K              dot-score probe support (8)\n\
+         \x20 --fetch K              fetch-range length (16)\n\
+         \x20 --priorities CSV       client priority classes, round-robin over\n\
+         \x20                        clients: low,normal,high (normal)\n\
+         \x20 --serve-seed S         client RNG master seed (0xE75EED)\n\
+         \x20 --slo-ms MS            executed-request p99 objective; enables\n\
+         \x20                        SLO load shedding (off)\n\
+         \x20 --shed-trigger R       shed at R x the SLO, 0 < R <= 1: headroom\n\
+         \x20                        so the settled p99 lands inside the\n\
+         \x20                        objective, not at it (1.0)\n\
+         \x20 --max-connections N    admission-control connection budget (64)\n\
+         \x20 --max-inflight N       bounded in-flight window (64)\n\
+         \x20 --addr HOST:PORT       bind address (127.0.0.1:0)\n\
+         \x20 --json PATH            write the NetReport JSON\n\
+         \x20 --pretty               pretty-print JSON",
+        oracles = registry::known_kinds().join(" | "),
+    );
+    exit(2);
+}
+
+#[allow(clippy::too_many_lines)]
+fn serve_net_mode(args: &[String]) {
+    let mut oracle = OracleSpec::new("sparse-quadratic", 4096).sigma(0.0);
+    let mut models = 1_usize;
+    let mut threads = 1_usize;
+    let mut iterations = u64::MAX / 2;
+    let mut alpha: Option<f64> = None;
+    let mut seed = 0x5E1_F00D_u64;
+    let mut mode = asgd_serve::ReadMode::Snapshot;
+    let mut publish_every = 2_048_u64;
+    let mut op = NetOp::DotScore;
+    let mut arrival = asgd_serve::Arrival::ClosedLoop;
+    let mut clients = 4_usize;
+    let mut duration = 1.0_f64;
+    let mut probe = 8_usize;
+    let mut fetch = 16_u32;
+    let mut priorities = vec![Priority::Normal];
+    let mut serve_seed = 0x00E7_5EED_u64;
+    let mut slo_ms: Option<f64> = None;
+    let mut shed_trigger = 1.0_f64;
+    let mut config = NetConfig::default();
+    let mut json: Option<PathBuf> = None;
+    let mut pretty = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--oracle" => {
+                oracle.kind = flag_value(&mut it, "--oracle", usage_serve_net).to_string();
+            }
+            "--dim" => oracle.dim = parse_flag!(&mut it, "--dim", usage_serve_net),
+            "--sigma" => oracle.sigma = parse_flag!(&mut it, "--sigma", usage_serve_net),
+            "--dataset" => oracle.dataset = parse_flag!(&mut it, "--dataset", usage_serve_net),
+            "--batch" => oracle.batch = parse_flag!(&mut it, "--batch", usage_serve_net),
+            "--lambda" => oracle.lambda = parse_flag!(&mut it, "--lambda", usage_serve_net),
+            "--models" => models = parse_flag!(&mut it, "--models", usage_serve_net),
+            "--threads" => threads = parse_flag!(&mut it, "--threads", usage_serve_net),
+            "--iterations" => iterations = parse_flag!(&mut it, "--iterations", usage_serve_net),
+            "--alpha" => alpha = Some(parse_flag!(&mut it, "--alpha", usage_serve_net)),
+            "--seed" => seed = parse_flag!(&mut it, "--seed", usage_serve_net),
+            "--mode" => mode = parse_serve_flag(flag_value(&mut it, "--mode", usage_serve_net)),
+            "--publish-every" => {
+                publish_every = parse_flag!(&mut it, "--publish-every", usage_serve_net);
+            }
+            "--op" => op = parse_flag!(&mut it, "--op", usage_serve_net),
+            "--arrival" => {
+                arrival = parse_serve_flag(flag_value(&mut it, "--arrival", usage_serve_net));
+            }
+            "--clients" => clients = parse_flag!(&mut it, "--clients", usage_serve_net),
+            "--duration" => duration = parse_flag!(&mut it, "--duration", usage_serve_net),
+            "--probe" => probe = parse_flag!(&mut it, "--probe", usage_serve_net),
+            "--fetch" => fetch = parse_flag!(&mut it, "--fetch", usage_serve_net),
+            "--priorities" => {
+                let raw = flag_value(&mut it, "--priorities", usage_serve_net);
+                match parse_csv(raw) {
+                    Ok(list) => priorities = list,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        exit(2);
+                    }
+                }
+            }
+            "--serve-seed" => serve_seed = parse_flag!(&mut it, "--serve-seed", usage_serve_net),
+            "--slo-ms" => slo_ms = Some(parse_flag!(&mut it, "--slo-ms", usage_serve_net)),
+            "--shed-trigger" => {
+                shed_trigger = parse_flag!(&mut it, "--shed-trigger", usage_serve_net);
+            }
+            "--max-connections" => {
+                config = config.max_connections(parse_flag!(
+                    &mut it,
+                    "--max-connections",
+                    usage_serve_net
+                ));
+            }
+            "--max-inflight" => {
+                config =
+                    config.max_inflight(parse_flag!(&mut it, "--max-inflight", usage_serve_net));
+            }
+            "--addr" => config = config.addr(flag_value(&mut it, "--addr", usage_serve_net)),
+            "--json" => {
+                json = Some(PathBuf::from(flag_value(
+                    &mut it,
+                    "--json",
+                    usage_serve_net,
+                )))
+            }
+            "--pretty" => pretty = true,
+            "--help" | "-h" => usage_serve_net(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage_serve_net();
+            }
+        }
+    }
+    if let Some(ms) = slo_ms {
+        if !ms.is_finite() || ms <= 0.0 {
+            eprintln!("error: --slo-ms must be positive");
+            exit(2);
+        }
+        if !shed_trigger.is_finite() || shed_trigger <= 0.0 || shed_trigger > 1.0 {
+            eprintln!("error: --shed-trigger must be in (0, 1]");
+            exit(2);
+        }
+        config = config.slo(SloPolicy {
+            trigger_ratio: shed_trigger,
+            ..SloPolicy::with_slo(Duration::from_secs_f64(ms / 1e3))
+        });
+    }
+
+    let alpha = alpha.unwrap_or(0.5 / oracle.dim as f64);
+    let model_registry = Arc::new(ModelRegistry::new());
+    let mut ids = Vec::new();
+    for m in 0..models {
+        let train = RunSpec::new(oracle.clone(), BackendKind::Hogwild)
+            .threads(threads)
+            .iterations(iterations)
+            .learning_rate(alpha)
+            .x0(vec![1.0; oracle.dim])
+            .seed(seed + m as u64);
+        match model_registry.create(&format!("model-{m}"), &train, mode, publish_every) {
+            Ok(id) => ids.push(id.0),
+            Err(e) => {
+                eprintln!("error: creating model-{m}: {e}");
+                exit(1);
+            }
+        }
+    }
+    let server = match NetServer::serve(Arc::clone(&model_registry), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: binding server: {e}");
+            model_registry.shutdown();
+            exit(1);
+        }
+    };
+    eprintln!(
+        "[serve-net] listening on {} ({} model(s), mode={})",
+        server.local_addr(),
+        models,
+        mode.label(),
+    );
+    let spec = NetWorkloadSpec::new(ids)
+        .clients(clients)
+        .duration_secs(duration)
+        .arrival(arrival)
+        .op(op)
+        .probe_len(probe)
+        .fetch_len(fetch)
+        .priorities(priorities)
+        .seed(serve_seed);
+    let report = match run_net_workload(server.local_addr(), &spec) {
+        Ok(report) => report,
+        Err(e) => {
+            server.stop();
+            model_registry.shutdown();
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+    let stats = server.stats();
+    server.stop();
+    model_registry.shutdown();
+    eprintln!(
+        "[serve-net] {} clients={} sent={} answered={} shed={} errors={} lost={} qps={:.0} p50={:.1}µs p99={:.1}µs",
+        report.op,
+        report.clients,
+        report.sent,
+        report.answered,
+        report.shed,
+        report.errors,
+        report.lost,
+        report.qps,
+        report.latency.p50_ns as f64 / 1e3,
+        report.latency.p99_ns as f64 / 1e3,
+    );
+    for class in &report.classes {
+        eprintln!(
+            "[serve-net]   class {}: sent={} answered={} shed={} p99={:.1}µs",
+            class.priority,
+            class.sent,
+            class.answered,
+            class.shed,
+            class.latency.p99_ns as f64 / 1e3,
+        );
+    }
+    eprintln!(
+        "[serve-net] server: accepted={} denied={} busy={} bad_frames={} executed={} shed={} rolling_p99={}",
+        stats.accepted,
+        stats.denied,
+        stats.busy,
+        stats.bad_frames,
+        stats.executed,
+        stats.shed,
+        stats
+            .rolling_p99_ns
+            .map_or_else(|| "-".to_string(), |ns| format!("{:.1}µs", ns as f64 / 1e3)),
+    );
+    let payload = if pretty {
+        report.to_json_pretty()
+    } else {
+        report.to_json()
+    };
+    match json {
+        None => println!("{payload}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, payload + "\n") {
+                eprintln!("error: writing {}: {e}", path.display());
+                exit(1);
+            }
+            println!("[json] {}", path.display());
+        }
+    }
+}
+
+// ------------------------------------------------------ bench-check mode
+
+fn usage_bench_check() -> ! {
+    eprintln!(
+        "usage: experiments bench-check [options]\n\
+         \n\
+         Re-runs the quick `serving` and `serving-net` sweeps and compares\n\
+         every cell both grids measured against the committed artifacts\n\
+         (BENCH_serving.json, BENCH_net.json). Exits non-zero when answered\n\
+         throughput drops, or p99 latency rises, past the tolerance.\n\
+         \n\
+         options (defaults in parentheses):\n\
+         \x20 --dir PATH        directory holding the committed artifacts (.)\n\
+         \x20 --tolerance F     allowed fractional regression (0.30)",
+    );
+    exit(2);
+}
+
+fn bench_check_mode(args: &[String]) {
+    let mut dir = PathBuf::from(".");
+    let mut tolerance = asgd_bench::check::DEFAULT_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--dir" => dir = PathBuf::from(flag_value(&mut it, "--dir", usage_bench_check)),
+            "--tolerance" => tolerance = parse_flag!(&mut it, "--tolerance", usage_bench_check),
+            "--help" | "-h" => usage_bench_check(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage_bench_check();
+            }
+        }
+    }
+    if !(0.0..1.0).contains(&tolerance) {
+        eprintln!("error: --tolerance must be in [0, 1)");
+        exit(2);
+    }
+    let report = asgd_bench::check::run_bench_check(&dir, tolerance);
+    print!("{}", report.render());
+    if !report.passed() {
+        exit(1);
+    }
+}
+
 // --------------------------------------------------------- validate mode
 
 fn usage_validate() -> ! {
@@ -733,7 +1060,9 @@ fn table_mode(mut args: Vec<String>) {
     args.retain(|a| a != "--quick");
     if args.is_empty() {
         eprintln!("usage: experiments [--quick] <id…|all>");
-        eprintln!("       experiments run [--help for options]");
+        eprintln!(
+            "       experiments run|validate|serve|serve-net|bench-check [--help for options]"
+        );
         eprintln!("known experiments: {}", experiment_ids().join(", "));
         exit(2);
     }

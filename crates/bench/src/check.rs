@@ -1,0 +1,322 @@
+//! `bench-check` — the committed-artifact regression gate.
+//!
+//! The repo commits full-run serving artifacts (`BENCH_serving.json`,
+//! `BENCH_net.json`). This module re-runs the *quick* sweeps fresh and
+//! compares every cell whose configuration appears in both the fresh
+//! sweep and the committed artifact: answered throughput must not drop,
+//! and p99 latency must not rise, by more than the tolerance (default
+//! 30%; p99 breaches additionally need [`P99_NOISE_FLOOR_NS`] of
+//! absolute slack before they count). Cells only one side measured (the
+//! full grids are wider than the
+//! quick ones) are skipped; the deliberately saturated `overload` cell is
+//! excluded on principle — its latency is governed by the shedding
+//! policy, not by code speed. An empty intersection is itself a failure:
+//! a gate that compares nothing gates nothing.
+
+use crate::experiments::{serving, serving_net};
+use asgd_driver::json::{self, Value};
+use asgd_driver::report::{field_f64, field_str, field_u64};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Default allowed regression: 30% on throughput and on p99.
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// Absolute p99 slack beneath which a ratio breach is not a failure.
+/// Tail quantiles of sub-second quick cells on a shared core move by
+/// hundreds of µs from scheduler noise alone; a regression must clear
+/// both the relative ceiling *and* this absolute floor to be real.
+pub const P99_NOISE_FLOOR_NS: u64 = 1_000_000; // 1 ms
+
+/// One artifact's measured baseline for a cell.
+#[derive(Debug, Clone, Copy)]
+struct Baseline {
+    qps: f64,
+    p99_ns: u64,
+}
+
+/// The gate's outcome: human-readable per-cell lines plus the failures
+/// that make it red.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Per-cell comparison lines (and skip notes), in artifact order.
+    pub lines: Vec<String>,
+    /// Regressions and structural problems. Empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether the gate passes.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the report for the terminal.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            let _ = writeln!(out, "{line}");
+        }
+        if self.passed() {
+            let _ = writeln!(out, "bench-check: PASS");
+        } else {
+            for f in &self.failures {
+                let _ = writeln!(out, "FAIL: {f}");
+            }
+            let _ = writeln!(
+                out,
+                "bench-check: FAIL ({} regression(s))",
+                self.failures.len()
+            );
+        }
+        out
+    }
+}
+
+fn load_rows(path: &Path) -> Result<Vec<Value>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let root = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let rows = root
+        .get("rows")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{}: missing `rows` array", path.display()))?;
+    Ok(rows.to_vec())
+}
+
+fn committed_map(
+    rows: &[Value],
+    key_of: impl Fn(&Value) -> Result<Option<String>, asgd_driver::DecodeError>,
+) -> Result<BTreeMap<String, Baseline>, String> {
+    let mut map = BTreeMap::new();
+    for row in rows {
+        let Some(key) = key_of(row).map_err(|e| e.to_string())? else {
+            continue;
+        };
+        map.insert(
+            key,
+            Baseline {
+                qps: field_f64(row, "qps").map_err(|e| e.to_string())?,
+                p99_ns: field_u64(row, "p99_ns").map_err(|e| e.to_string())?,
+            },
+        );
+    }
+    Ok(map)
+}
+
+/// Compares fresh cells against committed baselines; appends one line per
+/// intersecting cell and failure entries for regressions past `tol`.
+fn compare(
+    label: &str,
+    committed: &BTreeMap<String, Baseline>,
+    fresh: &BTreeMap<String, Baseline>,
+    tol: f64,
+    report: &mut CheckReport,
+) {
+    let mut matched = 0usize;
+    for (key, now) in fresh {
+        let Some(base) = committed.get(key) else {
+            continue;
+        };
+        matched += 1;
+        let qps_ratio = if base.qps > 0.0 {
+            now.qps / base.qps
+        } else {
+            1.0
+        };
+        let p99_ratio = if base.p99_ns > 0 {
+            now.p99_ns as f64 / base.p99_ns as f64
+        } else {
+            1.0
+        };
+        let mut verdict = "ok";
+        if qps_ratio < 1.0 - tol {
+            verdict = "REGRESSED";
+            report.failures.push(format!(
+                "{label} {key}: throughput {:.0}/s vs committed {:.0}/s (x{qps_ratio:.2}, floor x{:.2})",
+                now.qps,
+                base.qps,
+                1.0 - tol
+            ));
+        }
+        if p99_ratio > 1.0 + tol && now.p99_ns > base.p99_ns.saturating_add(P99_NOISE_FLOOR_NS) {
+            verdict = "REGRESSED";
+            report.failures.push(format!(
+                "{label} {key}: p99 {}ns vs committed {}ns (x{p99_ratio:.2}, ceiling x{:.2})",
+                now.p99_ns,
+                base.p99_ns,
+                1.0 + tol
+            ));
+        }
+        report.lines.push(format!(
+            "{label} {key}: qps x{qps_ratio:.2}, p99 x{p99_ratio:.2} [{verdict}]"
+        ));
+    }
+    report.lines.push(format!(
+        "{label}: compared {matched} cell(s) ({} fresh, {} committed)",
+        fresh.len(),
+        committed.len()
+    ));
+    if matched == 0 {
+        report.failures.push(format!(
+            "{label}: no comparable cells — the gate is vacuous"
+        ));
+    }
+}
+
+fn serving_fresh() -> BTreeMap<String, Baseline> {
+    serving::sweep(true)
+        .into_iter()
+        .map(|r| {
+            (
+                format!(
+                    "clients={},mode={},threads={}",
+                    r.clients, r.mode, r.trainer_threads
+                ),
+                Baseline {
+                    qps: r.qps,
+                    p99_ns: r.p99_ns,
+                },
+            )
+        })
+        .collect()
+}
+
+fn serving_net_fresh() -> BTreeMap<String, Baseline> {
+    serving_net::sweep(true)
+        .into_iter()
+        .filter(|r| r.cell == "grid")
+        .map(|r| {
+            (
+                format!("clients={},mode={},models={}", r.clients, r.mode, r.models),
+                Baseline {
+                    qps: r.qps,
+                    p99_ns: r.p99_ns,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Runs the full gate: fresh quick sweeps of `serving` and `serving-net`
+/// compared against `BENCH_serving.json` and `BENCH_net.json` in `dir`.
+///
+/// Missing or malformed artifacts are failures — they are committed files
+/// in this repository, so their absence means the gate's baseline is gone.
+#[must_use]
+pub fn run_bench_check(dir: &Path, tol: f64) -> CheckReport {
+    let mut report = CheckReport::default();
+    report.lines.push(format!("tolerance: {:.0}%", tol * 100.0));
+
+    match load_rows(&dir.join("BENCH_serving.json")).and_then(|rows| {
+        committed_map(&rows, |row| {
+            Ok(Some(format!(
+                "clients={},mode={},threads={}",
+                field_u64(row, "clients")?,
+                field_str(row, "mode")?,
+                field_u64(row, "trainer_threads")?
+            )))
+        })
+    }) {
+        Ok(committed) => compare("serving", &committed, &serving_fresh(), tol, &mut report),
+        Err(e) => report.failures.push(format!("serving baseline: {e}")),
+    }
+
+    match load_rows(&dir.join("BENCH_net.json")).and_then(|rows| {
+        committed_map(&rows, |row| {
+            if field_str(row, "cell")? != "grid" {
+                return Ok(None);
+            }
+            Ok(Some(format!(
+                "clients={},mode={},models={}",
+                field_u64(row, "clients")?,
+                field_str(row, "mode")?,
+                field_u64(row, "models")?
+            )))
+        })
+    }) {
+        Ok(committed) => compare(
+            "serving-net",
+            &committed,
+            &serving_net_fresh(),
+            tol,
+            &mut report,
+        ),
+        Err(e) => report.failures.push(format!("serving-net baseline: {e}")),
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(qps: f64, p99_ns: u64) -> Baseline {
+        Baseline { qps, p99_ns }
+    }
+
+    #[test]
+    fn identical_measurements_pass() {
+        let base: BTreeMap<_, _> = [("a".to_string(), cell(1000.0, 500))].into();
+        let mut report = CheckReport::default();
+        compare("t", &base, &base.clone(), DEFAULT_TOLERANCE, &mut report);
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn regressions_past_tolerance_fail_with_named_cell() {
+        let base: BTreeMap<_, _> = [("a".to_string(), cell(1000.0, 5_000_000))].into();
+        let slow: BTreeMap<_, _> = [("a".to_string(), cell(600.0, 9_000_000))].into();
+        let mut report = CheckReport::default();
+        compare("t", &base, &slow, DEFAULT_TOLERANCE, &mut report);
+        assert_eq!(report.failures.len(), 2, "{report:?}");
+        assert!(report.failures[0].contains("t a:"), "{report:?}");
+        assert!(report.render().contains("bench-check: FAIL"));
+    }
+
+    #[test]
+    fn sub_floor_tail_noise_passes_even_past_the_ratio_ceiling() {
+        // 500ns → 900ns is x1.8 but only 400ns absolute — scheduler
+        // noise on a tail quantile, not a regression.
+        let base: BTreeMap<_, _> = [("a".to_string(), cell(1000.0, 500))].into();
+        let noisy: BTreeMap<_, _> = [("a".to_string(), cell(1000.0, 900))].into();
+        let mut report = CheckReport::default();
+        compare("t", &base, &noisy, DEFAULT_TOLERANCE, &mut report);
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn within_tolerance_noise_passes() {
+        let base: BTreeMap<_, _> = [("a".to_string(), cell(1000.0, 500))].into();
+        let noisy: BTreeMap<_, _> = [("a".to_string(), cell(750.0, 620))].into();
+        let mut report = CheckReport::default();
+        compare("t", &base, &noisy, DEFAULT_TOLERANCE, &mut report);
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn disjoint_grids_make_the_gate_fail_as_vacuous() {
+        let base: BTreeMap<_, _> = [("a".to_string(), cell(1000.0, 500))].into();
+        let other: BTreeMap<_, _> = [("b".to_string(), cell(1000.0, 500))].into();
+        let mut report = CheckReport::default();
+        compare("t", &base, &other, DEFAULT_TOLERANCE, &mut report);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("vacuous"), "{report:?}");
+    }
+
+    #[test]
+    fn missing_artifact_is_a_failure() {
+        let report = run_bench_check(Path::new("/nonexistent-dir-for-test"), DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("BENCH_serving.json")),
+            "{report:?}"
+        );
+    }
+}

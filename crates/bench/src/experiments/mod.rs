@@ -7,6 +7,7 @@ pub mod contention;
 pub mod fig1;
 pub mod regimes;
 pub mod serving;
+pub mod serving_net;
 pub mod sparse;
 pub mod sparse_scaling;
 pub mod speedup;

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod experiments;
 
 use asgd_metrics::Table;
@@ -73,6 +74,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "sparse",
         "sparse-scaling",
         "serving",
+        "serving-net",
     ]
 }
 
@@ -99,6 +101,7 @@ pub fn run_experiment(id: &str, quick: bool) -> ExperimentOutput {
         "sparse" => experiments::sparse::run(quick),
         "sparse-scaling" => experiments::sparse_scaling::run(quick),
         "serving" => experiments::serving::run(quick),
+        "serving-net" => experiments::serving_net::run(quick),
         other => panic!(
             "unknown experiment id: {other} (known: {:?})",
             experiment_ids()
@@ -118,7 +121,8 @@ mod tests {
         assert!(experiment_ids().contains(&"t51"));
         assert!(experiment_ids().contains(&"sparse-scaling"));
         assert!(experiment_ids().contains(&"serving"));
-        assert_eq!(experiment_ids().len(), 15);
+        assert!(experiment_ids().contains(&"serving-net"));
+        assert_eq!(experiment_ids().len(), 16);
     }
 
     #[test]

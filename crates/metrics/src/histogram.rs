@@ -54,6 +54,22 @@ impl Histogram {
         self.total
     }
 
+    /// Total observations — alias of [`Histogram::total`], paired with
+    /// [`Histogram::is_empty`] in the standard container idiom.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no observation has been recorded. An empty histogram has
+    /// no order statistics: [`Histogram::quantile`],
+    /// [`Histogram::percentiles`], [`Histogram::min`], [`Histogram::max`]
+    /// and [`Histogram::mean`] all return `None` (never a sentinel value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
     /// Count of a specific value.
     #[must_use]
     pub fn count(&self, value: u64) -> u64 {
@@ -104,9 +120,17 @@ impl Histogram {
     }
 
     /// The serving-telemetry percentile set (p50/p90/p99/p999/max), each an
-    /// exact observed value (`None` when empty).
+    /// exact observed value.
+    ///
+    /// On an empty histogram the outcome is defined: `None`, always — there
+    /// is no observation to return, and inventing a `0` would let an idle
+    /// window masquerade as a fast one (tested in
+    /// `percentiles_on_empty_are_defined`).
     #[must_use]
     pub fn percentiles(&self) -> Option<Percentiles> {
+        if self.is_empty() {
+            return None;
+        }
         Some(Percentiles {
             p50: self.quantile(0.50)?,
             p90: self.quantile(0.90)?,
@@ -236,6 +260,37 @@ mod tests {
         let one = Histogram::from_values(&[7]);
         let p = one.percentiles().unwrap();
         assert_eq!((p.p50, p.p999, p.max), (7, 7, 7));
+    }
+
+    #[test]
+    fn len_and_is_empty_track_total() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        h.push(9);
+        h.push(9);
+        assert!(!h.is_empty());
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.len(), h.total());
+    }
+
+    #[test]
+    fn percentiles_on_empty_are_defined() {
+        // The empty outcome is part of the API contract: every order
+        // statistic is None, and stays None regardless of how the empty
+        // histogram was produced.
+        let fresh = Histogram::new();
+        assert_eq!(fresh.percentiles(), None);
+        assert_eq!(fresh.quantile(0.99), None);
+        assert_eq!(fresh.min(), None);
+        assert_eq!(fresh.max(), None);
+        assert_eq!(fresh.mean(), None);
+        let mut merged_empty = Histogram::new();
+        merged_empty.merge(&Histogram::new());
+        assert_eq!(merged_empty.percentiles(), None);
+        let from_nothing = Histogram::from_values(&[]);
+        assert_eq!(from_nothing.percentiles(), None);
+        assert!(from_nothing.is_empty());
     }
 
     #[test]

@@ -23,7 +23,9 @@
 pub mod histogram;
 pub mod table;
 pub mod trials;
+pub mod window;
 
 pub use histogram::{Histogram, Percentiles};
 pub use table::Table;
 pub use trials::{estimate_probability, trial_stats, ProbabilityEstimate};
+pub use window::SlidingHistogram;

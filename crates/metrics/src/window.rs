@@ -1,0 +1,175 @@
+//! [`SlidingHistogram`] — a rolling window of recent observations with
+//! exact order statistics, built from a ring of [`Histogram`] buckets.
+//!
+//! The serving front-end's SLO load shedder needs "the p99 of *recent*
+//! request latencies", not of everything since boot: a single cumulative
+//! [`Histogram`] can never recover after one overload spike, because the
+//! spike's samples stay in the tail forever. The sliding window rotates by
+//! **observation count** (not wall time), which keeps it deterministic and
+//! unit-testable: after `bucket_capacity` pushes the oldest bucket is
+//! evicted wholesale, so the window always covers the last
+//! `(buckets-1)·bucket_capacity + 1 ..= buckets·bucket_capacity`
+//! observations.
+
+use crate::histogram::{Histogram, Percentiles};
+
+/// A bounded window over the most recent observations: a ring of
+/// [`Histogram`] buckets rotated every `bucket_capacity` pushes. Quantiles
+/// are exact over the union of the live buckets (every value returned was
+/// actually observed inside the window).
+#[derive(Debug, Clone)]
+pub struct SlidingHistogram {
+    buckets: Vec<Histogram>,
+    current: usize,
+    bucket_capacity: u64,
+}
+
+impl SlidingHistogram {
+    /// A window of `buckets` ring slots, each holding `bucket_capacity`
+    /// observations before the oldest slot is evicted. Both are clamped to
+    /// at least 1 (a zero-capacity window could never hold an observation).
+    #[must_use]
+    pub fn new(buckets: usize, bucket_capacity: u64) -> Self {
+        Self {
+            buckets: vec![Histogram::new(); buckets.max(1)],
+            current: 0,
+            bucket_capacity: bucket_capacity.max(1),
+        }
+    }
+
+    /// Records one observation, evicting the oldest bucket first if the
+    /// current one is full.
+    pub fn push(&mut self, value: u64) {
+        if self.buckets[self.current].total() >= self.bucket_capacity {
+            self.current = (self.current + 1) % self.buckets.len();
+            self.buckets[self.current] = Histogram::new();
+        }
+        self.buckets[self.current].push(value);
+    }
+
+    /// Observations currently inside the window.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.buckets.iter().map(Histogram::total).sum()
+    }
+
+    /// True when the window holds no observation.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(Histogram::is_empty)
+    }
+
+    /// Maximum observations the window can hold before eviction
+    /// (`buckets · bucket_capacity`).
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.buckets.len() as u64 * self.bucket_capacity
+    }
+
+    /// The union of the live buckets as one [`Histogram`].
+    #[must_use]
+    pub fn merged(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for b in &self.buckets {
+            out.merge(b);
+        }
+        out
+    }
+
+    /// The `q`-quantile over the window (`None` when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.merged().quantile(q)
+    }
+
+    /// The serving percentile set over the window (`None` when empty —
+    /// same defined empty outcome as [`Histogram::percentiles`]).
+    #[must_use]
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        self.merged().percentiles()
+    }
+
+    /// Drops every observation, keeping the configured geometry.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            *b = Histogram::new();
+        }
+        self.current = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_clamped_and_reported() {
+        let w = SlidingHistogram::new(0, 0);
+        assert_eq!(w.capacity(), 1);
+        let w = SlidingHistogram::new(4, 128);
+        assert_eq!(w.capacity(), 512);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.percentiles(), None);
+        assert_eq!(w.quantile(0.99), None);
+    }
+
+    #[test]
+    fn window_without_eviction_matches_a_plain_histogram() {
+        let mut w = SlidingHistogram::new(4, 100);
+        let mut h = Histogram::new();
+        for v in 0..300 {
+            w.push(v);
+            h.push(v);
+        }
+        assert_eq!(w.len(), 300);
+        assert_eq!(w.merged(), h);
+        assert_eq!(w.percentiles(), h.percentiles());
+    }
+
+    #[test]
+    fn old_observations_are_evicted_by_count() {
+        // Fill the whole ring with slow observations, then push fast ones:
+        // after `capacity` fast pushes every slow sample has been evicted
+        // and the p99 recovers. A cumulative histogram never would.
+        let mut w = SlidingHistogram::new(4, 50);
+        for _ in 0..w.capacity() {
+            w.push(1_000_000);
+        }
+        assert_eq!(w.quantile(0.99), Some(1_000_000));
+        for _ in 0..w.capacity() {
+            w.push(10);
+        }
+        assert_eq!(w.quantile(0.99), Some(10), "spike fully forgotten");
+        assert!(w.len() <= w.capacity());
+    }
+
+    #[test]
+    fn eviction_is_wholesale_per_bucket() {
+        // 2 buckets × 2: the 5th push evicts observations 1 and 2 together.
+        let mut w = SlidingHistogram::new(2, 2);
+        for v in [1, 2, 3, 4] {
+            w.push(v);
+        }
+        assert_eq!(w.merged().min(), Some(1));
+        w.push(5);
+        let m = w.merged();
+        assert_eq!(m.min(), Some(3), "oldest bucket evicted wholesale");
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn clear_resets_observations_only() {
+        let mut w = SlidingHistogram::new(2, 8);
+        w.push(7);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), 16);
+        w.push(9);
+        assert_eq!(w.quantile(1.0), Some(9));
+    }
+}

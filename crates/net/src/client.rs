@@ -1,0 +1,299 @@
+//! [`NetClient`] — a blocking wire-protocol client.
+//!
+//! One request in flight at a time: [`NetClient::call`] writes a frame,
+//! then blocks for the answer. The convenience methods (`dot_score`,
+//! `predict`, …) additionally turn `Error`/`Shed` frames into a typed
+//! [`ClientError`], so a caller that only wants the value gets a `Result`
+//! instead of a response enum to match. The open-loop bench harness in
+//! [`workload`](crate::workload) bypasses this type and drives the raw
+//! framing functions over a cloned stream instead.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use asgd_serve::ModelStats;
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, Priority, Request, RequestFrame, Response,
+    StatsSelector, MAX_FRAME_LEN,
+};
+
+/// What a convenience call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server's bytes did not decode as a response frame.
+    Frame(FrameError),
+    /// The server answered with an error frame.
+    Remote {
+        /// The typed failure code.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The server shed the request (SLO pressure). Retrying later — or at
+    /// a higher priority — may succeed.
+    Shed {
+        /// The priority that was refused.
+        priority: Priority,
+        /// The server's rolling p99 at refusal time, ns.
+        p99_ns: u64,
+        /// The server's objective, ns.
+        slo_ns: u64,
+    },
+    /// The server answered with a frame of the wrong kind (e.g. stats to a
+    /// score request) — a protocol bug, not a transient failure.
+    UnexpectedResponse(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket: {e}"),
+            Self::Frame(e) => write!(f, "bad response frame: {e}"),
+            Self::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
+            Self::Shed {
+                priority,
+                p99_ns,
+                slo_ns,
+            } => write!(
+                f,
+                "request shed at priority {priority}: rolling p99 {p99_ns} ns over SLO {slo_ns} ns"
+            ),
+            Self::UnexpectedResponse(kind) => {
+                write!(f, "unexpected response frame of kind `{kind}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        Self::Frame(e)
+    }
+}
+
+/// A blocking client over one TCP connection.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl NetClient {
+    /// Connects with 5-second read/write timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Whatever connecting or configuring the socket returns.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connects with the given read/write timeout.
+    ///
+    /// # Errors
+    ///
+    /// Whatever connecting or configuring the socket returns.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request frame and blocks for the response.
+    ///
+    /// Shed and error frames are returned as `Ok(Response::Shed)` /
+    /// `Ok(Response::Error)` — at this level they are valid answers.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failure, [`ClientError::Frame`] when
+    /// the response bytes do not decode.
+    pub fn call(&mut self, frame: &RequestFrame) -> Result<Response, ClientError> {
+        let body = frame.encode()?;
+        write_frame(&mut self.stream, &body)?;
+        read_frame(&mut self.stream, &mut self.buf, MAX_FRAME_LEN)?;
+        Ok(Response::decode(&self.buf)?)
+    }
+
+    /// Sends `request` at `priority` and unwraps error/shed frames into
+    /// [`ClientError`]s.
+    fn call_ok(&mut self, request: Request, priority: Priority) -> Result<Response, ClientError> {
+        match self.call(&RequestFrame::new(request).priority(priority))? {
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            Response::Shed {
+                priority,
+                p99_ns,
+                slo_ns,
+            } => Err(ClientError::Shed {
+                priority,
+                p99_ns,
+                slo_ns,
+            }),
+            ok => Ok(ok),
+        }
+    }
+
+    /// Scores a sparse probe against a model: `Σ wᵢ · x[idxᵢ]`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, server error frames, or shedding, as
+    /// [`ClientError`].
+    pub fn dot_score(
+        &mut self,
+        model: u32,
+        probe: &[(u32, f64)],
+        priority: Priority,
+    ) -> Result<(f64, Option<u64>), ClientError> {
+        match self.call_ok(
+            Request::DotScore {
+                model,
+                probe: probe.to_vec(),
+            },
+            priority,
+        )? {
+            Response::Score { value, staleness } => Ok((value, staleness)),
+            other => Err(ClientError::UnexpectedResponse(kind_of(&other))),
+        }
+    }
+
+    /// Evaluates the held-out objective at the served point.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetClient::dot_score`].
+    pub fn predict(
+        &mut self,
+        model: u32,
+        priority: Priority,
+    ) -> Result<(f64, Option<u64>), ClientError> {
+        match self.call_ok(Request::Predict { model }, priority)? {
+            Response::Score { value, staleness } => Ok((value, staleness)),
+            other => Err(ClientError::UnexpectedResponse(kind_of(&other))),
+        }
+    }
+
+    /// Fetches raw parameters `x[start .. start+len]`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetClient::dot_score`].
+    pub fn fetch_range(
+        &mut self,
+        model: u32,
+        start: u32,
+        len: u32,
+        priority: Priority,
+    ) -> Result<(Vec<f64>, Option<u64>), ClientError> {
+        match self.call_ok(Request::FetchRange { model, start, len }, priority)? {
+            Response::Values {
+                values, staleness, ..
+            } => Ok((values, staleness)),
+            other => Err(ClientError::UnexpectedResponse(kind_of(&other))),
+        }
+    }
+
+    /// Statistics for the model addressed by registry id.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetClient::dot_score`].
+    pub fn stats_by_id(&mut self, id: u32) -> Result<ModelStats, ClientError> {
+        self.stats(StatsSelector::ById(id))
+    }
+
+    /// Statistics (and id discovery) for the model named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetClient::dot_score`].
+    pub fn stats_by_name(&mut self, name: &str) -> Result<ModelStats, ClientError> {
+        self.stats(StatsSelector::ByName(name.to_string()))
+    }
+
+    fn stats(&mut self, selector: StatsSelector) -> Result<ModelStats, ClientError> {
+        match self.call_ok(Request::ModelStats { selector }, Priority::High)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ClientError::UnexpectedResponse(kind_of(&other))),
+        }
+    }
+}
+
+fn kind_of(r: &Response) -> &'static str {
+    match r {
+        Response::Score { .. } => "score",
+        Response::Values { .. } => "values",
+        Response::Stats(_) => "stats",
+        Response::Error { .. } => "error",
+        Response::Shed { .. } => "shed",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_cause() {
+        let e = ClientError::Remote {
+            code: ErrorCode::NoSuchModel,
+            message: "no model with id 4".to_string(),
+        };
+        assert!(e.to_string().contains("no-such-model"));
+        let e = ClientError::Shed {
+            priority: Priority::Low,
+            p99_ns: 2,
+            slo_ns: 1,
+        };
+        assert!(e.to_string().contains("shed"));
+        let e = ClientError::from(FrameError::BadTag(9));
+        assert!(e.to_string().contains("tag"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ClientError::UnexpectedResponse("stats");
+        assert!(e.to_string().contains("stats"));
+        let e = ClientError::from(std::io::Error::new(std::io::ErrorKind::TimedOut, "slow"));
+        assert!(e.to_string().contains("slow"));
+    }
+
+    #[test]
+    fn connect_to_a_dead_port_is_an_io_error() {
+        // Bind then immediately drop a listener to get a port that's
+        // very likely closed.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+            l.local_addr().unwrap().port()
+        };
+        match NetClient::connect(("127.0.0.1", port)) {
+            Err(ClientError::Io(_)) => {}
+            Ok(_) => {} // something else grabbed the port; fine
+            Err(other) => panic!("expected Io, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,1030 @@
+//! The wire protocol: length-prefixed, versioned binary frames.
+//!
+//! Every message on the socket is one **frame**:
+//!
+//! ```text
+//! [ len: u32 LE ][ body: len bytes ]
+//! ```
+//!
+//! `len` counts only the body and is capped at [`MAX_FRAME_LEN`] — an
+//! oversized prefix is rejected before any allocation, a truncated body is
+//! a typed error, never a panic. The body starts with a two-byte header:
+//!
+//! ```text
+//! request  body:  [ version: u8 ][ opcode: u8 ][ priority: u8 ][ payload ]
+//! response body:  [ version: u8 ][ tag: u8 ][ payload ]
+//! ```
+//!
+//! Integers are little-endian; `f64`s travel as their IEEE-754 bit
+//! patterns (`to_bits`/`from_bits`), so values round-trip *exactly* — the
+//! socket path preserves the bit-identity guarantees the rest of the
+//! workspace is tested against. Strings are `u16`-length-prefixed UTF-8.
+//!
+//! Operations ([`Request`]): `dot-score` (client-supplied sparse probe),
+//! `predict` (held-out objective at the served point), `fetch-range` (raw
+//! parameters), `model-stats` (by id or by name). Every request addresses
+//! a model by its registry id and carries a [`Priority`] the SLO load
+//! shedder uses to decide who gets shed first.
+//!
+//! Replies ([`Response`]): `Score`, `Values`, `Stats`, plus two explicit
+//! failure frames — `Error` (typed [`ErrorCode`] + message) and `Shed`
+//! (the load shedder refused the request; carries the rolling p99 and the
+//! SLO that was breached). **Shed and rejected requests always get a
+//! frame** — the protocol never drops a request silently.
+
+use asgd_serve::{ModelStats, ReadMode};
+
+/// Spells `fmt` as "write the label" for label-carrying enums.
+macro_rules! fmt_label {
+    () => {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(self.label())
+        }
+    };
+}
+
+/// Protocol version this build speaks (the first byte of every body).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard cap on a frame body, enforced on both encode and decode.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Most probe coordinates one dot-score request may carry.
+pub const MAX_PROBE_LEN: usize = 4_096;
+
+/// Most parameters one fetch-range request may ask for (the values
+/// response must itself fit a frame: 65 536 × 8 B = 512 KiB).
+pub const MAX_FETCH_LEN: u32 = 65_536;
+
+/// Request priority, lowest first. Under SLO pressure the load shedder
+/// sheds [`Priority::Low`] traffic first, then [`Priority::Normal`];
+/// [`Priority::High`] is never shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Best-effort traffic — first to be shed.
+    Low = 0,
+    /// Standard traffic. The default.
+    #[default]
+    Normal = 1,
+    /// Traffic that is never shed (admission and timeouts still apply).
+    High = 2,
+}
+
+impl Priority {
+    /// Canonical CLI/JSON name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Low => "low",
+            Self::Normal => "normal",
+            Self::High => "high",
+        }
+    }
+
+    /// All priorities, lowest first.
+    #[must_use]
+    pub fn all() -> &'static [Priority] {
+        &[Self::Low, Self::Normal, Self::High]
+    }
+
+    /// Decodes a wire byte.
+    fn from_wire(b: u8) -> Result<Self, FrameError> {
+        match b {
+            0 => Ok(Self::Low),
+            1 => Ok(Self::Normal),
+            2 => Ok(Self::High),
+            other => Err(FrameError::BadPriority(other)),
+        }
+    }
+}
+
+impl std::str::FromStr for Priority {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "low" => Ok(Self::Low),
+            "normal" => Ok(Self::Normal),
+            "high" => Ok(Self::High),
+            other => Err(format!(
+                "unknown priority `{other}` (known: low, normal, high)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fmt_label!();
+}
+
+/// How a model-stats request names its model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsSelector {
+    /// By registry id (the steady-state path).
+    ById(u32),
+    /// By name — the discovery path: a client that only knows the model's
+    /// name resolves it to an id from the stats response.
+    ByName(String),
+}
+
+/// One decoded request. Every query op addresses a model by registry id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Sparse dot-product score: `Σ wᵢ · x[idxᵢ]` over a client-supplied
+    /// probe (at most [`MAX_PROBE_LEN`] coordinates).
+    DotScore {
+        /// Registry id of the model to score against.
+        model: u32,
+        /// `(index, weight)` probe coordinates.
+        probe: Vec<(u32, f64)>,
+    },
+    /// Held-out objective `f(x)` at the served point — O(d).
+    Predict {
+        /// Registry id of the model to evaluate.
+        model: u32,
+    },
+    /// Raw parameters `x[start .. start+len]` (at most [`MAX_FETCH_LEN`]).
+    FetchRange {
+        /// Registry id of the model to read.
+        model: u32,
+        /// First parameter index.
+        start: u32,
+        /// Number of parameters.
+        len: u32,
+    },
+    /// Statistics (and id discovery) for one model.
+    ModelStats {
+        /// By-id or by-name selection.
+        selector: StatsSelector,
+    },
+}
+
+impl Request {
+    /// The opcode byte this request encodes as.
+    #[must_use]
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Self::DotScore { .. } => 1,
+            Self::Predict { .. } => 2,
+            Self::FetchRange { .. } => 3,
+            Self::ModelStats { .. } => 4,
+        }
+    }
+
+    /// Human-readable op name (bench/report label).
+    #[must_use]
+    pub fn op_label(&self) -> &'static str {
+        match self {
+            Self::DotScore { .. } => "dot-score",
+            Self::Predict { .. } => "predict",
+            Self::FetchRange { .. } => "fetch-range",
+            Self::ModelStats { .. } => "model-stats",
+        }
+    }
+}
+
+/// A request plus the priority byte it travels with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Shedding priority.
+    pub priority: Priority,
+    /// The operation.
+    pub request: Request,
+}
+
+impl RequestFrame {
+    /// A frame at [`Priority::Normal`].
+    #[must_use]
+    pub fn new(request: Request) -> Self {
+        Self {
+            priority: Priority::Normal,
+            request,
+        }
+    }
+
+    /// Sets the priority.
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Encodes the frame body (no length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] when the probe exceeds [`MAX_PROBE_LEN`],
+    /// the fetch exceeds [`MAX_FETCH_LEN`], or a name exceeds `u16`.
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        let mut buf = Vec::with_capacity(16);
+        buf.push(PROTOCOL_VERSION);
+        buf.push(self.request.opcode());
+        buf.push(self.priority as u8);
+        match &self.request {
+            Request::DotScore { model, probe } => {
+                if probe.len() > MAX_PROBE_LEN {
+                    return Err(FrameError::Oversized {
+                        len: probe.len(),
+                        max: MAX_PROBE_LEN,
+                    });
+                }
+                put_u32(&mut buf, *model);
+                put_u32(&mut buf, probe.len() as u32);
+                for &(idx, w) in probe {
+                    put_u32(&mut buf, idx);
+                    put_f64(&mut buf, w);
+                }
+            }
+            Request::Predict { model } => put_u32(&mut buf, *model),
+            Request::FetchRange { model, start, len } => {
+                if *len > MAX_FETCH_LEN {
+                    return Err(FrameError::Oversized {
+                        len: *len as usize,
+                        max: MAX_FETCH_LEN as usize,
+                    });
+                }
+                put_u32(&mut buf, *model);
+                put_u32(&mut buf, *start);
+                put_u32(&mut buf, *len);
+            }
+            Request::ModelStats { selector } => match selector {
+                StatsSelector::ById(id) => {
+                    buf.push(0);
+                    put_u32(&mut buf, *id);
+                }
+                StatsSelector::ByName(name) => {
+                    buf.push(1);
+                    put_str(&mut buf, name)?;
+                }
+            },
+        }
+        Ok(buf)
+    }
+
+    /// Decodes a frame body.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`FrameError`] for any malformed body: wrong version,
+    /// unknown opcode/priority, truncated or trailing bytes, probe/fetch
+    /// over the caps, invalid UTF-8 in names.
+    pub fn decode(body: &[u8]) -> Result<Self, FrameError> {
+        let mut cur = Cursor::new(body);
+        let version = cur.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(FrameError::BadVersion(version));
+        }
+        let opcode = cur.u8()?;
+        let priority = Priority::from_wire(cur.u8()?)?;
+        let request = match opcode {
+            1 => {
+                let model = cur.u32()?;
+                let k = cur.u32()? as usize;
+                if k > MAX_PROBE_LEN {
+                    return Err(FrameError::Oversized {
+                        len: k,
+                        max: MAX_PROBE_LEN,
+                    });
+                }
+                let mut probe = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let idx = cur.u32()?;
+                    let w = cur.f64()?;
+                    probe.push((idx, w));
+                }
+                Request::DotScore { model, probe }
+            }
+            2 => Request::Predict { model: cur.u32()? },
+            3 => {
+                let model = cur.u32()?;
+                let start = cur.u32()?;
+                let len = cur.u32()?;
+                if len > MAX_FETCH_LEN {
+                    return Err(FrameError::Oversized {
+                        len: len as usize,
+                        max: MAX_FETCH_LEN as usize,
+                    });
+                }
+                Request::FetchRange { model, start, len }
+            }
+            4 => {
+                let selector = match cur.u8()? {
+                    0 => StatsSelector::ById(cur.u32()?),
+                    1 => StatsSelector::ByName(cur.str()?),
+                    other => return Err(FrameError::BadSelector(other)),
+                };
+                Request::ModelStats { selector }
+            }
+            other => return Err(FrameError::BadOpcode(other)),
+        };
+        cur.finish()?;
+        Ok(Self { priority, request })
+    }
+}
+
+/// Typed failure codes carried by [`Response::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The addressed model does not exist (never created, or dropped).
+    NoSuchModel = 1,
+    /// The request was structurally valid but semantically wrong (index
+    /// out of range, empty probe, …).
+    BadRequest = 2,
+    /// The server does not speak the client's protocol version.
+    VersionMismatch = 3,
+    /// Admission control refused the connection (budget exhausted). Sent
+    /// once, then the connection closes.
+    AdmissionDenied = 4,
+    /// The bounded in-flight window is full — backpressure, try again.
+    Busy = 5,
+    /// The server failed internally while executing the request.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    /// Canonical name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::NoSuchModel => "no-such-model",
+            Self::BadRequest => "bad-request",
+            Self::VersionMismatch => "version-mismatch",
+            Self::AdmissionDenied => "admission-denied",
+            Self::Busy => "busy",
+            Self::Internal => "internal",
+        }
+    }
+
+    fn from_wire(code: u16) -> Result<Self, FrameError> {
+        match code {
+            1 => Ok(Self::NoSuchModel),
+            2 => Ok(Self::BadRequest),
+            3 => Ok(Self::VersionMismatch),
+            4 => Ok(Self::AdmissionDenied),
+            5 => Ok(Self::Busy),
+            6 => Ok(Self::Internal),
+            other => Err(FrameError::BadErrorCode(other)),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fmt_label!();
+}
+
+/// One decoded response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to dot-score and predict.
+    Score {
+        /// The computed value (bit-exact across the wire).
+        value: f64,
+        /// Snapshot staleness in training iterations (`None` for live
+        /// reads and pre-publication fallbacks).
+        staleness: Option<u64>,
+    },
+    /// Answer to fetch-range.
+    Values {
+        /// First parameter index.
+        start: u32,
+        /// The parameters, bit-exact.
+        values: Vec<f64>,
+        /// Snapshot staleness (as in [`Response::Score`]).
+        staleness: Option<u64>,
+    },
+    /// Answer to model-stats.
+    Stats(ModelStats),
+    /// Typed failure — the request was refused or failed.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The SLO load shedder refused the request: the rolling p99 breached
+    /// the objective and this request's priority was below the admission
+    /// floor. An explicit frame — shed traffic is never silently dropped.
+    Shed {
+        /// The refused request's priority.
+        priority: Priority,
+        /// The rolling p99 estimate that triggered shedding, ns.
+        p99_ns: u64,
+        /// The configured objective, ns.
+        slo_ns: u64,
+    },
+}
+
+impl Response {
+    /// The tag byte this response encodes as.
+    #[must_use]
+    pub fn tag(&self) -> u8 {
+        match self {
+            Self::Score { .. } => 1,
+            Self::Values { .. } => 2,
+            Self::Stats(_) => 3,
+            Self::Error { .. } => 4,
+            Self::Shed { .. } => 5,
+        }
+    }
+
+    /// Encodes the response body (no length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] when a values vector or a name would not
+    /// fit the frame caps.
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        let mut buf = Vec::with_capacity(16);
+        buf.push(PROTOCOL_VERSION);
+        buf.push(self.tag());
+        match self {
+            Self::Score { value, staleness } => {
+                put_f64(&mut buf, *value);
+                put_opt_u64(&mut buf, *staleness);
+            }
+            Self::Values {
+                start,
+                values,
+                staleness,
+            } => {
+                if values.len() > MAX_FETCH_LEN as usize {
+                    return Err(FrameError::Oversized {
+                        len: values.len(),
+                        max: MAX_FETCH_LEN as usize,
+                    });
+                }
+                put_u32(&mut buf, *start);
+                put_u32(&mut buf, values.len() as u32);
+                for &v in values {
+                    put_f64(&mut buf, v);
+                }
+                put_opt_u64(&mut buf, *staleness);
+            }
+            Self::Stats(stats) => {
+                put_u32(&mut buf, stats.id);
+                put_str(&mut buf, &stats.name)?;
+                put_u64(&mut buf, stats.dim);
+                buf.push(match stats.mode {
+                    ReadMode::Live => 0,
+                    ReadMode::Snapshot => 1,
+                });
+                put_u64(&mut buf, stats.iterations);
+                put_u64(&mut buf, stats.snapshots);
+                buf.push(u8::from(stats.finished));
+            }
+            Self::Error { code, message } => {
+                put_u16(&mut buf, *code as u16);
+                put_str(&mut buf, message)?;
+            }
+            Self::Shed {
+                priority,
+                p99_ns,
+                slo_ns,
+            } => {
+                buf.push(*priority as u8);
+                put_u64(&mut buf, *p99_ns);
+                put_u64(&mut buf, *slo_ns);
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Decodes a response body.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`FrameError`] for any malformed body.
+    pub fn decode(body: &[u8]) -> Result<Self, FrameError> {
+        let mut cur = Cursor::new(body);
+        let version = cur.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(FrameError::BadVersion(version));
+        }
+        let tag = cur.u8()?;
+        let response = match tag {
+            1 => Response::Score {
+                value: cur.f64()?,
+                staleness: cur.opt_u64()?,
+            },
+            2 => {
+                let start = cur.u32()?;
+                let n = cur.u32()? as usize;
+                if n > MAX_FETCH_LEN as usize {
+                    return Err(FrameError::Oversized {
+                        len: n,
+                        max: MAX_FETCH_LEN as usize,
+                    });
+                }
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(cur.f64()?);
+                }
+                Response::Values {
+                    start,
+                    values,
+                    staleness: cur.opt_u64()?,
+                }
+            }
+            3 => {
+                let id = cur.u32()?;
+                let name = cur.str()?;
+                let dim = cur.u64()?;
+                let mode = match cur.u8()? {
+                    0 => ReadMode::Live,
+                    1 => ReadMode::Snapshot,
+                    other => return Err(FrameError::BadReadMode(other)),
+                };
+                let iterations = cur.u64()?;
+                let snapshots = cur.u64()?;
+                let finished = match cur.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(FrameError::BadBool(other)),
+                };
+                Response::Stats(ModelStats {
+                    id,
+                    name,
+                    dim,
+                    mode,
+                    iterations,
+                    snapshots,
+                    finished,
+                })
+            }
+            4 => Response::Error {
+                code: ErrorCode::from_wire(cur.u16()?)?,
+                message: cur.str()?,
+            },
+            5 => Response::Shed {
+                priority: Priority::from_wire(cur.u8()?)?,
+                p99_ns: cur.u64()?,
+                slo_ns: cur.u64()?,
+            },
+            other => return Err(FrameError::BadTag(other)),
+        };
+        cur.finish()?;
+        Ok(response)
+    }
+}
+
+/// Typed decode/encode failure. Malformed bytes are *errors*, never
+/// panics — a hostile peer cannot crash the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The body ended before the payload did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        need: usize,
+        /// Bytes remaining.
+        have: usize,
+    },
+    /// A length (frame, probe, fetch, values) exceeds its cap.
+    Oversized {
+        /// The offending length.
+        len: usize,
+        /// The cap it broke.
+        max: usize,
+    },
+    /// The body decoded fully but bytes were left over.
+    TrailingBytes(usize),
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown request opcode.
+    BadOpcode(u8),
+    /// Unknown response tag.
+    BadTag(u8),
+    /// Unknown priority byte.
+    BadPriority(u8),
+    /// Unknown stats selector byte.
+    BadSelector(u8),
+    /// Unknown read-mode byte.
+    BadReadMode(u8),
+    /// Unknown error-code value.
+    BadErrorCode(u16),
+    /// A byte that must be 0 or 1 was neither.
+    BadBool(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A string field exceeds the `u16` length prefix.
+    StringTooLong(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated { need, have } => {
+                write!(f, "truncated frame: needed {need} more bytes, had {have}")
+            }
+            Self::Oversized { len, max } => {
+                write!(f, "oversized frame element: {len} exceeds cap {max}")
+            }
+            Self::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            Self::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this build speaks {PROTOCOL_VERSION})"
+                )
+            }
+            Self::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            Self::BadTag(tag) => write!(f, "unknown response tag {tag}"),
+            Self::BadPriority(p) => write!(f, "unknown priority byte {p}"),
+            Self::BadSelector(s) => write!(f, "unknown stats selector byte {s}"),
+            Self::BadReadMode(m) => write!(f, "unknown read-mode byte {m}"),
+            Self::BadErrorCode(c) => write!(f, "unknown error code {c}"),
+            Self::BadBool(b) => write!(f, "byte {b} where a bool (0/1) was expected"),
+            Self::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            Self::StringTooLong(n) => {
+                write!(f, "string field of {n} bytes exceeds the u16 length prefix")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+// ------------------------------------------------------------- framed IO
+
+/// Writes one `[len][body]` frame.
+///
+/// # Errors
+///
+/// `InvalidInput` when the body exceeds [`MAX_FRAME_LEN`]; otherwise
+/// whatever the writer returns.
+pub fn write_frame(w: &mut impl std::io::Write, body: &[u8]) -> std::io::Result<()> {
+    if body.len() > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            FrameError::Oversized {
+                len: body.len(),
+                max: MAX_FRAME_LEN,
+            },
+        ));
+    }
+    // One write, not two: a separate 4-byte length write interacts with
+    // Nagle + delayed ACK into ~40ms ping-pong stalls on real sockets.
+    let mut framed = Vec::with_capacity(4 + body.len());
+    framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    framed.extend_from_slice(body);
+    w.write_all(&framed)
+}
+
+/// Reads one `[len][body]` frame into `buf` (cleared first).
+///
+/// # Errors
+///
+/// `InvalidData` (wrapping [`FrameError::Oversized`]) when the length
+/// prefix exceeds `max` — read *before* any body allocation, so a hostile
+/// 4 GiB prefix costs nothing; `UnexpectedEof` when the peer closed
+/// mid-frame; otherwise whatever the reader returns.
+pub fn read_frame(
+    r: &mut impl std::io::Read,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<()> {
+    let mut len_bytes = [0_u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > max {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            FrameError::Oversized { len, max },
+        ));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)
+}
+
+// --------------------------------------------------------- little-endian
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => buf.push(0),
+        Some(v) => {
+            buf.push(1);
+            put_u64(buf, v);
+        }
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) -> Result<(), FrameError> {
+    let bytes = s.as_bytes();
+    if bytes.len() > u16::MAX as usize {
+        return Err(FrameError::StringTooLong(bytes.len()));
+    }
+    put_u16(buf, bytes.len() as u16);
+    buf.extend_from_slice(bytes);
+    Ok(())
+}
+
+/// A bounds-checked little-endian reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let have = self.buf.len() - self.pos;
+        if have < n {
+            return Err(FrameError::Truncated { need: n, have });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, FrameError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            other => Err(FrameError::BadBool(other)),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, FrameError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadUtf8)
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        let left = self.buf.len() - self.pos;
+        if left != 0 {
+            return Err(FrameError::TrailingBytes(left));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<RequestFrame> {
+        vec![
+            RequestFrame::new(Request::DotScore {
+                model: 7,
+                probe: vec![(0, 1.5), (9, -0.25), (u32::MAX, f64::MIN_POSITIVE)],
+            })
+            .priority(Priority::Low),
+            RequestFrame::new(Request::DotScore {
+                model: 0,
+                probe: vec![],
+            }),
+            RequestFrame::new(Request::Predict { model: u32::MAX }).priority(Priority::High),
+            RequestFrame::new(Request::FetchRange {
+                model: 3,
+                start: 17,
+                len: MAX_FETCH_LEN,
+            }),
+            RequestFrame::new(Request::ModelStats {
+                selector: StatsSelector::ById(42),
+            }),
+            RequestFrame::new(Request::ModelStats {
+                selector: StatsSelector::ByName("café-ranker".to_string()),
+            })
+            .priority(Priority::High),
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Score {
+                value: -0.0,
+                staleness: None,
+            },
+            Response::Score {
+                value: f64::NAN,
+                staleness: Some(u64::MAX),
+            },
+            Response::Values {
+                start: 5,
+                values: vec![1.0, f64::INFINITY, -1e-300],
+                staleness: Some(0),
+            },
+            Response::Values {
+                start: 0,
+                values: vec![],
+                staleness: None,
+            },
+            Response::Stats(ModelStats {
+                id: 9,
+                name: "m".to_string(),
+                dim: 1 << 40,
+                mode: ReadMode::Snapshot,
+                iterations: u64::MAX - 1,
+                snapshots: 3,
+                finished: true,
+            }),
+            Response::Error {
+                code: ErrorCode::NoSuchModel,
+                message: "no model with id 9".to_string(),
+            },
+            Response::Shed {
+                priority: Priority::Low,
+                p99_ns: 2_000_000,
+                slo_ns: 1_000_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_bit_exactly() {
+        for frame in sample_requests() {
+            let body = frame.encode().expect("encodes");
+            let back = RequestFrame::decode(&body).expect("decodes");
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        for response in sample_responses() {
+            let body = response.encode().expect("encodes");
+            let back = Response::decode(&body).expect("decodes");
+            // NaN breaks PartialEq; compare through the re-encoded bytes,
+            // which are bit-exact by construction.
+            assert_eq!(back.encode().expect("re-encodes"), body);
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_are_typed_errors() {
+        for frame in sample_requests() {
+            let body = frame.encode().expect("encodes");
+            for cut in 0..body.len() {
+                let err = RequestFrame::decode(&body[..cut]).expect_err("truncation detected");
+                assert!(
+                    matches!(err, FrameError::Truncated { .. }),
+                    "cut at {cut}: {err:?}"
+                );
+            }
+        }
+        for response in sample_responses() {
+            let body = response.encode().expect("encodes");
+            for cut in 0..body.len() {
+                assert!(Response::decode(&body[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut body = RequestFrame::new(Request::Predict { model: 1 })
+            .encode()
+            .unwrap();
+        body.push(0);
+        assert_eq!(
+            RequestFrame::decode(&body),
+            Err(FrameError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn bad_header_bytes_are_typed_errors() {
+        let good = RequestFrame::new(Request::Predict { model: 1 })
+            .encode()
+            .unwrap();
+        let mut wrong_version = good.clone();
+        wrong_version[0] = 99;
+        assert_eq!(
+            RequestFrame::decode(&wrong_version),
+            Err(FrameError::BadVersion(99))
+        );
+        let mut wrong_op = good.clone();
+        wrong_op[1] = 200;
+        assert_eq!(
+            RequestFrame::decode(&wrong_op),
+            Err(FrameError::BadOpcode(200))
+        );
+        let mut wrong_priority = good;
+        wrong_priority[2] = 9;
+        assert_eq!(
+            RequestFrame::decode(&wrong_priority),
+            Err(FrameError::BadPriority(9))
+        );
+        assert_eq!(
+            Response::decode(&[PROTOCOL_VERSION, 77]).map(|_| ()),
+            Err(FrameError::BadTag(77))
+        );
+    }
+
+    #[test]
+    fn caps_are_enforced_on_encode_and_decode() {
+        let big_probe = RequestFrame::new(Request::DotScore {
+            model: 0,
+            probe: vec![(0, 0.0); MAX_PROBE_LEN + 1],
+        });
+        assert!(matches!(
+            big_probe.encode(),
+            Err(FrameError::Oversized { .. })
+        ));
+        let big_fetch = RequestFrame::new(Request::FetchRange {
+            model: 0,
+            start: 0,
+            len: MAX_FETCH_LEN + 1,
+        });
+        assert!(matches!(
+            big_fetch.encode(),
+            Err(FrameError::Oversized { .. })
+        ));
+        // A hand-forged decode with a huge declared probe count is rejected
+        // before any allocation.
+        let mut forged = vec![PROTOCOL_VERSION, 1, 1];
+        forged.extend_from_slice(&0_u32.to_le_bytes());
+        forged.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            RequestFrame::decode(&forged),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn framed_io_round_trips_and_rejects_oversized_prefixes() {
+        let body = RequestFrame::new(Request::Predict { model: 5 })
+            .encode()
+            .unwrap();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).expect("writes");
+        let mut read = Vec::new();
+        read_frame(&mut wire.as_slice(), &mut read, MAX_FRAME_LEN).expect("reads");
+        assert_eq!(read, body);
+        // A forged 4 GiB length prefix fails with InvalidData before any
+        // allocation.
+        let forged = (u32::MAX).to_le_bytes();
+        let err = read_frame(&mut forged.as_slice(), &mut read, MAX_FRAME_LEN)
+            .expect_err("oversized rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // A truncated wire stream is UnexpectedEof, not a panic.
+        let err = read_frame(&mut wire[..6].as_ref(), &mut read, MAX_FRAME_LEN)
+            .expect_err("truncated stream");
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn labels_and_displays() {
+        for p in Priority::all() {
+            assert_eq!(p.label().parse::<Priority>().unwrap(), *p);
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert!("bogus".parse::<Priority>().is_err());
+        assert_eq!(ErrorCode::Busy.to_string(), "busy");
+        let req = Request::FetchRange {
+            model: 0,
+            start: 0,
+            len: 1,
+        };
+        assert_eq!(req.op_label(), "fetch-range");
+        assert!(FrameError::BadUtf8.to_string().contains("UTF-8"));
+        assert!(FrameError::Truncated { need: 4, have: 1 }
+            .to_string()
+            .contains("truncated"));
+    }
+}

@@ -1,0 +1,345 @@
+//! SLO-based load shedding.
+//!
+//! The server tracks the rolling p99 of *executed* request latencies in an
+//! [`SlidingHistogram`] (a count-rotated
+//! window, so old overload decays as fresh traffic arrives) and compares
+//! it against a latency objective. Tiers are evaluated at the *shed
+//! trigger* — the SLO scaled by [`SloPolicy::trigger_ratio`] — so an
+//! operator can shed early enough that the declared objective itself
+//! still holds (a threshold controller with no headroom regulates the
+//! p99 *to* its threshold, which would leave it hovering at the SLO):
+//!
+//! * p99 ≤ trigger — healthy; every priority is admitted;
+//! * trigger < p99 ≤ 2×trigger — degraded; [`Priority::Low`] is shed;
+//! * p99 > 2×trigger — overloaded; only [`Priority::High`] is admitted.
+//!
+//! Shed requests get an explicit [`Response::Shed`](crate::Response::Shed)
+//! frame carrying the observed p99 and the objective — never a silent
+//! drop — and skip the request's compute entirely, which is what frees
+//! capacity for the admitted traffic. Shed requests are *not* recorded in
+//! the window (they complete in ~µs; recording them would drag the p99
+//! down and oscillate the shedder), so recovery is driven by the rotation
+//! of the window as admitted requests complete.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use asgd_metrics::SlidingHistogram;
+
+use crate::protocol::Priority;
+
+/// Recovers a poisoned mutex: every critical section here leaves the
+/// window structurally valid, so the data is safe to keep using.
+fn lock_recovered<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The shedder's latency objective and window geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Target p99, as a duration. `None` disables shedding entirely.
+    pub slo: Option<Duration>,
+    /// Fraction of the SLO at which shedding engages (the *shed
+    /// trigger*). `1.0` sheds only once the objective is already
+    /// violated; values below 1 buy headroom so the executed-request
+    /// p99 settles *inside* the objective instead of hovering at it.
+    /// Values outside `(0, 1]` are treated as `1.0`.
+    pub trigger_ratio: f64,
+    /// Number of rotation buckets in the rolling window.
+    pub window_buckets: usize,
+    /// Executed requests per bucket before the window rotates.
+    pub bucket_capacity: u64,
+    /// Minimum executed requests in the window before the shedder trusts
+    /// its p99 estimate (cold-start guard: a handful of slow warm-up
+    /// requests must not shed the whole warm-up).
+    pub min_samples: u64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        Self {
+            slo: None,
+            trigger_ratio: 1.0,
+            window_buckets: 8,
+            bucket_capacity: 256,
+            min_samples: 64,
+        }
+    }
+}
+
+impl SloPolicy {
+    /// A policy with the given p99 objective and default window geometry.
+    #[must_use]
+    pub fn with_slo(slo: Duration) -> Self {
+        Self {
+            slo: Some(slo),
+            ..Self::default()
+        }
+    }
+}
+
+/// The verdict for one arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Execute the request.
+    Admit,
+    /// Refuse it with a `Shed` frame.
+    Shed {
+        /// The rolling p99 that triggered shedding, ns.
+        p99_ns: u64,
+        /// The objective, ns.
+        slo_ns: u64,
+    },
+}
+
+/// Rolling-p99 load shedder shared by every connection thread.
+///
+/// The hot path ([`LoadShedder::verdict`]) is a single relaxed atomic
+/// load of the cached p99 — the histogram mutex is only taken when
+/// recording a completed request, and the p99 is re-derived at most once
+/// per [`refresh_stride`](SloPolicy::bucket_capacity) recordings.
+#[derive(Debug)]
+pub struct LoadShedder {
+    policy: SloPolicy,
+    window: Mutex<SlidingHistogram>,
+    /// Cached rolling p99 in ns; 0 = "no estimate yet".
+    p99_ns: AtomicU64,
+    /// Executed requests recorded since the last p99 refresh.
+    since_refresh: AtomicU64,
+    /// Refresh the cached p99 every this many recordings.
+    refresh_stride: u64,
+    shed_total: AtomicU64,
+    executed_total: AtomicU64,
+}
+
+impl LoadShedder {
+    /// A shedder with the given policy.
+    #[must_use]
+    pub fn new(policy: SloPolicy) -> Self {
+        let window = SlidingHistogram::new(policy.window_buckets, policy.bucket_capacity);
+        // Re-deriving quantiles is O(buckets × bins); a stride of 1/8 of a
+        // bucket keeps the estimate fresh (sub-bucket granularity) while
+        // amortising the scan.
+        let refresh_stride = (policy.bucket_capacity / 8).max(1);
+        Self {
+            policy,
+            window: Mutex::new(window),
+            p99_ns: AtomicU64::new(0),
+            since_refresh: AtomicU64::new(0),
+            refresh_stride,
+            shed_total: AtomicU64::new(0),
+            executed_total: AtomicU64::new(0),
+        }
+    }
+
+    /// The policy this shedder enforces.
+    #[must_use]
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Decides whether a request at `priority` is admitted right now.
+    pub fn verdict(&self, priority: Priority) -> Verdict {
+        let Some(slo) = self.policy.slo else {
+            return Verdict::Admit;
+        };
+        let p99_ns = self.p99_ns.load(Ordering::Relaxed);
+        if p99_ns == 0 {
+            return Verdict::Admit; // no estimate yet
+        }
+        let slo_ns = slo.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let ratio = self.policy.trigger_ratio;
+        let trigger_ns = if ratio.is_finite() && ratio > 0.0 && ratio < 1.0 {
+            ((slo_ns as f64 * ratio) as u64).max(1)
+        } else {
+            slo_ns
+        };
+        let floor = if p99_ns <= trigger_ns {
+            return Verdict::Admit;
+        } else if p99_ns <= trigger_ns.saturating_mul(2) {
+            Priority::Normal // degraded: shed Low
+        } else {
+            Priority::High // overloaded: only High survives
+        };
+        if priority >= floor {
+            Verdict::Admit
+        } else {
+            self.shed_total.fetch_add(1, Ordering::Relaxed);
+            Verdict::Shed { p99_ns, slo_ns }
+        }
+    }
+
+    /// Records the latency of one *executed* request and periodically
+    /// refreshes the cached p99. Shed requests must not be recorded.
+    pub fn record(&self, latency: Duration) {
+        self.executed_total.fetch_add(1, Ordering::Relaxed);
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut window = lock_recovered(&self.window);
+        window.push(ns);
+        let n = self.since_refresh.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= self.refresh_stride {
+            self.since_refresh.store(0, Ordering::Relaxed);
+            let p99 = if window.len() >= self.policy.min_samples {
+                window.quantile(0.99).unwrap_or(0)
+            } else {
+                0
+            };
+            self.p99_ns.store(p99, Ordering::Relaxed);
+        }
+    }
+
+    /// The cached rolling p99 in ns (`None` before enough samples).
+    #[must_use]
+    pub fn rolling_p99_ns(&self) -> Option<u64> {
+        match self.p99_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(ns),
+        }
+    }
+
+    /// Requests shed since construction.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Requests executed (recorded) since construction.
+    #[must_use]
+    pub fn executed_total(&self) -> u64 {
+        self.executed_total.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn saturate(shedder: &LoadShedder, latency: Duration, n: u64) {
+        for _ in 0..n {
+            shedder.record(latency);
+        }
+    }
+
+    #[test]
+    fn no_slo_admits_everything() {
+        let shedder = LoadShedder::new(SloPolicy::default());
+        saturate(&shedder, ms(1_000), 500);
+        for &p in Priority::all() {
+            assert_eq!(shedder.verdict(p), Verdict::Admit);
+        }
+        assert_eq!(shedder.shed_total(), 0);
+    }
+
+    #[test]
+    fn healthy_latencies_admit_everything() {
+        let shedder = LoadShedder::new(SloPolicy::with_slo(ms(10)));
+        saturate(&shedder, ms(1), 500);
+        for &p in Priority::all() {
+            assert_eq!(shedder.verdict(p), Verdict::Admit);
+        }
+    }
+
+    #[test]
+    fn degraded_sheds_low_only() {
+        let shedder = LoadShedder::new(SloPolicy::with_slo(ms(10)));
+        // p99 lands between SLO and 2×SLO.
+        saturate(&shedder, ms(15), 500);
+        assert!(matches!(
+            shedder.verdict(Priority::Low),
+            Verdict::Shed { .. }
+        ));
+        assert_eq!(shedder.verdict(Priority::Normal), Verdict::Admit);
+        assert_eq!(shedder.verdict(Priority::High), Verdict::Admit);
+        assert!(shedder.shed_total() > 0);
+    }
+
+    #[test]
+    fn overloaded_admits_only_high() {
+        let shedder = LoadShedder::new(SloPolicy::with_slo(ms(10)));
+        saturate(&shedder, ms(100), 500);
+        let v = shedder.verdict(Priority::Low);
+        let Verdict::Shed { p99_ns, slo_ns } = v else {
+            panic!("low must be shed, got {v:?}");
+        };
+        assert!(p99_ns > slo_ns * 2);
+        assert!(matches!(
+            shedder.verdict(Priority::Normal),
+            Verdict::Shed { .. }
+        ));
+        assert_eq!(shedder.verdict(Priority::High), Verdict::Admit);
+    }
+
+    #[test]
+    fn trigger_ratio_sheds_before_the_objective_is_violated() {
+        let shedder = LoadShedder::new(SloPolicy {
+            trigger_ratio: 0.5, // trigger at 5 ms against a 10 ms SLO
+            ..SloPolicy::with_slo(ms(10))
+        });
+        // p99 ~7 ms: inside the SLO, past the trigger — Low is shed with
+        // the frame still reporting the declared objective.
+        saturate(&shedder, ms(7), 500);
+        let v = shedder.verdict(Priority::Low);
+        let Verdict::Shed { p99_ns, slo_ns } = v else {
+            panic!("low must be shed at the trigger, got {v:?}");
+        };
+        assert!(p99_ns <= slo_ns, "shed engaged while still inside the SLO");
+        assert_eq!(shedder.verdict(Priority::Normal), Verdict::Admit);
+        // p99 ~12 ms: past 2×trigger — only High survives.
+        saturate(&shedder, ms(12), 2_000);
+        assert!(matches!(
+            shedder.verdict(Priority::Normal),
+            Verdict::Shed { .. }
+        ));
+        assert_eq!(shedder.verdict(Priority::High), Verdict::Admit);
+    }
+
+    #[test]
+    fn out_of_range_trigger_ratio_falls_back_to_the_objective() {
+        for ratio in [0.0, -1.0, 2.0, f64::NAN] {
+            let shedder = LoadShedder::new(SloPolicy {
+                trigger_ratio: ratio,
+                ..SloPolicy::with_slo(ms(10))
+            });
+            saturate(&shedder, ms(8), 500); // inside the SLO
+            assert_eq!(shedder.verdict(Priority::Low), Verdict::Admit);
+        }
+    }
+
+    #[test]
+    fn cold_start_never_sheds() {
+        let policy = SloPolicy {
+            slo: Some(ms(10)),
+            min_samples: 64,
+            ..SloPolicy::default()
+        };
+        let shedder = LoadShedder::new(policy);
+        // Fewer than min_samples slow requests: estimate not trusted yet.
+        saturate(&shedder, ms(500), 40);
+        assert_eq!(shedder.verdict(Priority::Low), Verdict::Admit);
+    }
+
+    #[test]
+    fn recovery_after_overload_passes() {
+        let shedder = LoadShedder::new(SloPolicy {
+            slo: Some(ms(10)),
+            window_buckets: 4,
+            bucket_capacity: 64,
+            min_samples: 32,
+            ..SloPolicy::default()
+        });
+        saturate(&shedder, ms(100), 256);
+        assert!(matches!(
+            shedder.verdict(Priority::Normal),
+            Verdict::Shed { .. }
+        ));
+        // Healthy traffic rotates the overload out of the window.
+        saturate(&shedder, ms(1), 256);
+        assert_eq!(shedder.verdict(Priority::Low), Verdict::Admit);
+        assert!(shedder.executed_total() >= 512);
+    }
+}

@@ -16,6 +16,13 @@ pub enum ServeError {
     /// The executor never attached a reader (the run ended or stalled
     /// before exposing one).
     AttachTimeout,
+    /// A registry create collided with an existing model name.
+    DuplicateModel(String),
+    /// A registry lookup by name found no such model.
+    NoSuchModel(String),
+    /// A registry lookup by id found no such model (never created, or
+    /// already dropped) — the error a query against a dropped model gets.
+    NoSuchModelId(u32),
 }
 
 impl std::fmt::Display for ServeError {
@@ -29,6 +36,13 @@ impl std::fmt::Display for ServeError {
             Self::InvalidSpec(msg) => write!(f, "invalid serve spec: {msg}"),
             Self::AttachTimeout => {
                 write!(f, "the training run never attached a model reader")
+            }
+            Self::DuplicateModel(name) => {
+                write!(f, "a model named `{name}` already exists")
+            }
+            Self::NoSuchModel(name) => write!(f, "no model named `{name}`"),
+            Self::NoSuchModelId(id) => {
+                write!(f, "no model with id {id} (never created, or dropped)")
             }
         }
     }
@@ -61,5 +75,11 @@ mod tests {
         assert!(e.to_string().contains("nope"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(ServeError::AttachTimeout.to_string().contains("reader"));
+        let e = ServeError::DuplicateModel("ranker".to_string());
+        assert!(e.to_string().contains("ranker"));
+        let e = ServeError::NoSuchModel("ghost".to_string());
+        assert!(e.to_string().contains("ghost"));
+        let e = ServeError::NoSuchModelId(17);
+        assert!(e.to_string().contains("17"));
     }
 }

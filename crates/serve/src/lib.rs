@@ -12,6 +12,11 @@
 //!   `Driver::submit_with` + `RunHandle`) and hands out live
 //!   [`ModelReader`](asgd_driver::ModelReader)s into the executing shared
 //!   model;
+//! * [`ModelRegistry`] — the multi-tenant generalisation: many named
+//!   concurrent training runs sharing one `Driver`, created/attached/
+//!   dropped by name, addressed by compact [`ModelId`]s (what the
+//!   `asgd-net` wire protocol puts in request frames), each with its own
+//!   per-model [`ReadMode`];
 //! * [`ReadMode`] — `Live` (per-entry atomic reads; the inconsistent-view
 //!   semantics the paper's adversary allows) vs `Snapshot` (epoch-versioned
 //!   double-buffered copies published every
@@ -61,12 +66,14 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod registry;
 pub mod report;
 pub mod service;
 pub mod spec;
 pub mod workload;
 
 pub use error::ServeError;
+pub use registry::{ModelEntry, ModelId, ModelRegistry, ModelStats};
 pub use report::{LatencySummary, ServeReport, StalenessSummary};
 pub use service::ModelService;
 pub use spec::{Arrival, QueryKind, ReadMode, ServeSpec};

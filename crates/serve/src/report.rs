@@ -42,7 +42,11 @@ impl LatencySummary {
         }
     }
 
-    fn to_value(&self) -> Value {
+    /// Converts into the JSON value tree (shared by every report type that
+    /// embeds a latency block — `ServeReport` here, `NetReport` in
+    /// `asgd-net`).
+    #[must_use]
+    pub fn to_value(&self) -> Value {
         Value::obj([
             ("count", Value::U64(self.count)),
             ("mean_ns", Value::f64(self.mean_ns)),
@@ -54,7 +58,12 @@ impl LatencySummary {
         ])
     }
 
-    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+    /// Decodes from a JSON value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Field`] on missing/mistyped fields.
+    pub fn from_value(v: &Value) -> Result<Self, DecodeError> {
         Ok(Self {
             count: field_u64(v, "count")?,
             mean_ns: field_f64(v, "mean_ns")?,

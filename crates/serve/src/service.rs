@@ -74,6 +74,25 @@ impl ModelService {
         publish_stride: u64,
         observer: Option<Arc<dyn RunObserver>>,
     ) -> Result<Self, ServeError> {
+        Self::start_on(&Driver::new(), train, publish_stride, observer)
+    }
+
+    /// Like [`ModelService::start_observed`], submitting the training run
+    /// through the caller's [`Driver`] instead of a private one — the
+    /// multi-tenant entry point: a
+    /// [`ModelRegistry`](crate::registry::ModelRegistry) starts every
+    /// hosted model through one shared driver, so concurrent training runs
+    /// share its session plumbing rather than each spinning up their own.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModelService::start`].
+    pub fn start_on(
+        driver: &Driver,
+        train: &RunSpec,
+        publish_stride: u64,
+        observer: Option<Arc<dyn RunObserver>>,
+    ) -> Result<Self, ServeError> {
         if train.backend != BackendKind::Hogwild {
             return Err(ServeError::UnsupportedBackend(train.backend));
         }
@@ -87,7 +106,7 @@ impl ModelService {
             cancel: None,
             serve: Some(Arc::clone(&hook)),
         };
-        let handle = Driver::new().submit_with(train.clone(), ctx);
+        let handle = driver.submit_with(train.clone(), ctx);
         let deadline = Instant::now() + ATTACH_TIMEOUT;
         let reader = loop {
             if let Some(reader) = hook.wait_reader(Duration::from_millis(20)) {

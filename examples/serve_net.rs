@@ -1,0 +1,125 @@
+//! Serve live training runs over TCP — tenancy, priorities, and shedding.
+//!
+//! ```text
+//! cargo run --release --example serve_net
+//! ```
+//!
+//! Hosts two named hogwild training runs in a [`ModelRegistry`], puts the
+//! `asgd-net` wire protocol in front of them on an ephemeral loopback
+//! port, and walks the whole surface: per-model scoring and stats from a
+//! plain blocking client, then a deliberate overload — open-loop predict
+//! traffic far past capacity with a low/normal/high priority mix and a
+//! 1 ms SLO on executed requests — showing the server shed low-priority
+//! traffic with explicit frames while the admitted classes keep serving.
+//! Finally one model is dropped mid-flight: its queries turn into typed
+//! `NoSuchModel` errors while the surviving model answers on.
+
+use asyncsgd::net::ErrorCode;
+use asyncsgd::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIM: usize = 8_192;
+
+fn train_spec(seed: u64) -> RunSpec {
+    RunSpec::new(
+        OracleSpec::new("sparse-quadratic", DIM).sigma(0.0),
+        BackendKind::Hogwild,
+    )
+    .threads(1)
+    .iterations(u64::MAX / 2)
+    .learning_rate(0.5 / DIM as f64)
+    .x0(vec![1.0; DIM])
+    .seed(seed)
+}
+
+fn main() {
+    // --- tenancy: two named runs behind one front-end -----------------
+    let registry = Arc::new(ModelRegistry::new());
+    let ranker = registry
+        .create("ranker", &train_spec(7), ReadMode::Snapshot, 2_048)
+        .expect("ranker starts")
+        .0;
+    let scorer = registry
+        .create("scorer", &train_spec(8), ReadMode::Live, 2_048)
+        .expect("scorer starts")
+        .0;
+    let config = NetConfig::default().slo(SloPolicy::with_slo(Duration::from_millis(1)));
+    let server = NetServer::serve(Arc::clone(&registry), config).expect("server binds loopback");
+    println!(
+        "serving {} models on {}",
+        registry.len(),
+        server.local_addr()
+    );
+
+    let mut client = NetClient::connect(server.local_addr()).expect("client connects");
+    for &(name, id) in &[("ranker", ranker), ("scorer", scorer)] {
+        let stats = client.stats_by_name(name).expect("stats answer");
+        assert_eq!(stats.id, id);
+        let (score, staleness) = client
+            .dot_score(id, &[(0, 1.0), (17, -2.0), (4_000, 0.5)], Priority::Normal)
+            .expect("scores");
+        println!(
+            "  {name} (id {id}, {mode}): dot-score {score:+.4}, staleness {stale}, {iters} iters trained",
+            mode = stats.mode.label(),
+            stale = staleness.map_or_else(|| "-".to_string(), |s| s.to_string()),
+            iters = stats.iterations,
+        );
+    }
+
+    // --- overload: open-loop predict traffic far past one core --------
+    println!("\noverloading: 9 open-loop clients at 1500 req/s each, priorities low/normal/high, SLO 1 ms");
+    let spec = NetWorkloadSpec::new(vec![ranker, scorer])
+        .clients(9)
+        .duration_secs(1.2)
+        .arrival(Arrival::FixedRate { qps: 1_500.0 })
+        .op(asyncsgd::net::NetOp::Predict)
+        .priorities(vec![Priority::Low, Priority::Normal, Priority::High])
+        .seed(0xFEED);
+    let report = run_net_workload(server.local_addr(), &spec).expect("workload runs");
+    for class in &report.classes {
+        println!(
+            "  class {:>6}: sent {:>5}, answered {:>5}, shed {:>5}, p99 {:>8.1} µs",
+            class.priority,
+            class.sent,
+            class.answered,
+            class.shed,
+            class.latency.p99_ns as f64 / 1e3,
+        );
+    }
+    let stats = server.stats();
+    println!(
+        "  server: executed {}, shed {}, rolling p99 {}",
+        stats.executed,
+        stats.shed,
+        stats.rolling_p99_ns.map_or_else(
+            || "-".to_string(),
+            |ns| format!("{:.1} µs", ns as f64 / 1e3)
+        ),
+    );
+
+    // --- drop one tenant mid-flight -----------------------------------
+    let dropped = registry.drop_model("scorer").expect("drops");
+    println!(
+        "\ndropped `scorer` after {} iterations (stop={})",
+        dropped.iterations,
+        dropped.stop.as_deref().unwrap_or("-"),
+    );
+    // High priority: the rolling p99 is still catching its breath after
+    // the overload, so lower classes may still be shed for a moment.
+    match client.predict(scorer, Priority::High) {
+        Err(asyncsgd::net::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::NoSuchModel);
+            println!("  querying it now answers a typed NoSuchModel error");
+        }
+        other => panic!("expected a typed miss, got {other:?}"),
+    }
+    let (score, _) = client
+        .dot_score(ranker, &[(0, 1.0)], Priority::High)
+        .expect("survivor serves on");
+    println!("  `ranker` serves on: dot-score {score:+.4}");
+
+    server.stop();
+    registry.shutdown();
+    println!("\nfront-end stopped, registry drained — clean exit");
+}

@@ -20,7 +20,8 @@
 //! | [`core`] | `asgd-core` | the paper's algorithms on the simulator |
 //! | [`theory`] | `asgd-theory` | Theorems 3.1/6.3/6.5, Corollaries 6.7/7.1, §5 lower bound |
 //! | [`hogwild`] | `asgd-hogwild` | native lock-free runtime + locked baseline + epoch guard + snapshot publication |
-//! | [`serve`] | `asgd-serve` | online model serving: live/snapshot reads racing a training run, closed-loop traffic harness, latency/staleness telemetry |
+//! | [`serve`] | `asgd-serve` | online model serving: live/snapshot reads racing a training run, multi-model `ModelRegistry`, closed-loop traffic harness, latency/staleness telemetry |
+//! | [`net`] | `asgd-net` | the network tier: length-prefixed wire protocol over TCP, thread-per-connection server with admission control and SLO load shedding, blocking client, open-loop socket workloads |
 //! | [`metrics`] | `asgd-metrics` | trial harness, tables, histograms |
 //!
 //! # Quickstart: the unified driver
@@ -97,6 +98,7 @@ pub use asgd_driver as driver;
 pub use asgd_hogwild as hogwild;
 pub use asgd_math as math;
 pub use asgd_metrics as metrics;
+pub use asgd_net as net;
 pub use asgd_oracle as oracle;
 pub use asgd_serve as serve;
 pub use asgd_shmem as shmem;
@@ -119,13 +121,18 @@ pub mod prelude {
     pub use asgd_hogwild::hogwild::{Hogwild, HogwildConfig};
     pub use asgd_hogwild::locked::LockedSgd;
     pub use asgd_hogwild::{ExecTuning, ModelLayout, SparsePolicy, UpdateOrder};
+    pub use asgd_net::{
+        run_net_workload, NetClient, NetConfig, NetOp, NetReport, NetServer, NetWorkloadSpec,
+        Priority, SloPolicy,
+    };
     pub use asgd_oracle::{
         Constants, GradientOracle, LinearRegression, Minibatch, ModelView, NoisyQuadratic,
         OracleSpec, RidgeLogistic, SparseGrad, SparseQuadratic,
     };
     pub use asgd_serve::{
-        run_workload, Arrival, LatencySummary, ModelService, QueryClient, QueryKind, QueryOutcome,
-        ReadMode, ServeError, ServeReport, ServeSpec, StalenessSummary,
+        run_workload, Arrival, LatencySummary, ModelEntry, ModelId, ModelRegistry, ModelService,
+        ModelStats, QueryClient, QueryKind, QueryOutcome, ReadMode, ServeError, ServeReport,
+        ServeSpec, StalenessSummary,
     };
     pub use asgd_shmem::sched::{
         BoundedDelayAdversary, CrashAdversary, RandomScheduler, Scheduler, SerialScheduler,
