@@ -42,12 +42,24 @@
 //!     --models 2 --clients 8 --arrival rate:2000 --slo-ms 1 --pretty
 //! ```
 //!
-//! Bench-check mode (the committed-artifact regression gate: re-runs the
-//! quick serving sweeps and fails on >30% throughput/p99 regressions
-//! against `BENCH_serving.json` / `BENCH_net.json`):
+//! Bench-check mode (the committed-artifact regression gate: re-measures
+//! the serving, serving-net, sparse-path, and theory-validation grids and
+//! fails on >30% regressions against `BENCH_serving.json` /
+//! `BENCH_net.json` / `BENCH_sparse_path.json` / `BENCH_validation.json`):
 //!
 //! ```text
 //! cargo run -p asgd-bench --release --bin experiments -- bench-check
+//! ```
+//!
+//! Chaos mode (the adversarial-robustness gate: bounded-preemption model
+//! checking of the workspace's concurrent protocols — correct variants
+//! must verify, seeded bugs must be caught with replayable minimized
+//! traces — plus the zero-wrong-answers fault-injection net campaign):
+//!
+//! ```text
+//! cargo run -p asgd-bench --release --bin experiments -- chaos
+//! cargo run -p asgd-bench --release --bin experiments -- chaos \
+//!     --suite net --seed 7 --clients 4 --requests 64
 //! ```
 
 use asgd_bench::{experiment_ids, run_experiment};
@@ -76,6 +88,7 @@ fn main() {
         Some("serve") => serve_mode(&args[1..]),
         Some("serve-net") => serve_net_mode(&args[1..]),
         Some("bench-check") => bench_check_mode(&args[1..]),
+        Some("chaos") => chaos_mode(&args[1..]),
         _ => table_mode(args),
     }
 }
@@ -847,6 +860,240 @@ fn bench_check_mode(args: &[String]) {
     }
 }
 
+// -------------------------------------------------------------- chaos mode
+
+fn usage_chaos() -> ! {
+    eprintln!(
+        "usage: experiments chaos [options]\n\
+         \n\
+         Adversarial-robustness gate. The `explore` suite model-checks the\n\
+         workspace's concurrent protocols (snapshot seqlock, AtomicF64 CAS\n\
+         loop, registry lifecycle) over every schedule within a preemption\n\
+         bound: the shipped protocols must verify, and deliberately seeded\n\
+         bugs must be caught with minimized traces that replay to the\n\
+         identical violation. The `net` suite runs the fault-injection\n\
+         campaign against a live server and fails on any wrong answer.\n\
+         Counterexample traces are written to the artifact directory.\n\
+         \n\
+         options (defaults in parentheses):\n\
+         \x20 --suite NAME      explore | net | all (all)\n\
+         \x20 --bound K         explorer preemption bound (2)\n\
+         \x20 --seed S          net campaign seed (3405691582)\n\
+         \x20 --clients N       net campaign client threads (4)\n\
+         \x20 --requests N      net campaign requests per client (48)\n\
+         \x20 --artifacts DIR   counterexample trace directory (chaos-artifacts)",
+    );
+    exit(2);
+}
+
+/// Writes a counterexample trace artifact and prints how to replay it.
+fn write_trace(dir: &Path, name: &str, cex: &asgd_chaos::Counterexample) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("chaos: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.trace"));
+    let body = format!(
+        "model: {name}\nviolation: {}\nviolation_step: {}\npreemptions: {}\nschedule: {}\n",
+        cex.violation.message,
+        cex.violation.step,
+        cex.preemptions,
+        cex.artifact()
+    );
+    match std::fs::write(&path, body) {
+        Ok(()) => println!(
+            "  trace -> {} (decode_schedule + asgd_chaos::replay reproduces it)",
+            path.display()
+        ),
+        Err(e) => eprintln!("chaos: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Runs one explorer cell: a protocol that must verify (`expect_bug =
+/// false`) or a seeded-bug variant that must be caught with a replayable
+/// minimized trace (`expect_bug = true`). Returns whether the cell passed.
+fn chaos_explore_cell<P: asgd_chaos::Schedulable>(
+    name: &str,
+    protocol: &P,
+    bound: usize,
+    expect_bug: bool,
+    artifacts: &Path,
+) -> bool {
+    let report = asgd_chaos::Explorer::with_bound(bound).explore(protocol);
+    match (&report.counterexample, expect_bug) {
+        (None, false) => {
+            if report.truncated {
+                println!(
+                    "FAIL {name}: search truncated at {} schedules",
+                    report.schedules
+                );
+                return false;
+            }
+            println!(
+                "  ok  {name}: verified over {} schedules ({} steps, bound {bound})",
+                report.schedules, report.steps
+            );
+            true
+        }
+        (None, true) => {
+            println!("FAIL {name}: seeded bug escaped the explorer (bound {bound})");
+            false
+        }
+        (Some(cex), expect) => {
+            let replayed = asgd_chaos::replay(protocol, &cex.trace);
+            let reproduces =
+                replayed == Err(asgd_chaos::ReplayOutcome::Violation(cex.violation.clone()));
+            if expect {
+                println!(
+                    "  ok  {name}: caught `{}` in {} steps / {} preemption(s); replay {}",
+                    cex.violation.message,
+                    cex.trace.len(),
+                    cex.preemptions,
+                    if reproduces { "identical" } else { "DIVERGED" }
+                );
+            } else {
+                println!("FAIL {name}: counterexample `{}`", cex.violation.message);
+            }
+            write_trace(artifacts, name, cex);
+            expect && reproduces
+        }
+    }
+}
+
+fn chaos_mode(args: &[String]) {
+    use asgd_chaos::{
+        AddMode, AtomicAddModel, FenceMode, RegistryMode, RegistryModel, SnapshotModel,
+    };
+
+    let mut suite = "all".to_string();
+    let mut bound = 2usize;
+    let mut seed = 0xCAFE_BABE_u64;
+    let mut clients: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut artifacts = PathBuf::from("chaos-artifacts");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--suite" => suite = flag_value(&mut it, "--suite", usage_chaos).to_string(),
+            "--bound" => bound = parse_flag!(&mut it, "--bound", usage_chaos),
+            "--seed" => seed = parse_flag!(&mut it, "--seed", usage_chaos),
+            "--clients" => clients = Some(parse_flag!(&mut it, "--clients", usage_chaos)),
+            "--requests" => requests = Some(parse_flag!(&mut it, "--requests", usage_chaos)),
+            "--artifacts" => {
+                artifacts = PathBuf::from(flag_value(&mut it, "--artifacts", usage_chaos));
+            }
+            "--help" | "-h" => usage_chaos(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage_chaos();
+            }
+        }
+    }
+    if !matches!(suite.as_str(), "explore" | "net" | "all") {
+        eprintln!("error: --suite must be explore, net, or all");
+        exit(2);
+    }
+
+    let mut failed = false;
+
+    if suite != "net" {
+        println!("explore suite (preemption bound {bound}):");
+        // The shipped protocols: every schedule within the bound must hold.
+        failed |= !chaos_explore_cell(
+            "snapshot-correct",
+            &SnapshotModel::buffer_reuse(FenceMode::Correct),
+            bound,
+            false,
+            &artifacts,
+        );
+        failed |= !chaos_explore_cell(
+            "atomic-cas",
+            &AtomicAddModel::two_by_two(AddMode::Cas),
+            bound,
+            false,
+            &artifacts,
+        );
+        failed |= !chaos_explore_cell(
+            "registry-locked",
+            &RegistryModel::name_race(RegistryMode::Locked),
+            bound,
+            false,
+            &artifacts,
+        );
+        // Seeded bugs: the explorer must catch each one, and the minimized
+        // trace must replay to the identical violation.
+        failed |= !chaos_explore_cell(
+            "snapshot-weak-fence",
+            &SnapshotModel::buffer_reuse(FenceMode::WeakPublish),
+            bound,
+            true,
+            &artifacts,
+        );
+        failed |= !chaos_explore_cell(
+            "atomic-blind-store",
+            &AtomicAddModel::two_by_two(AddMode::BlindStore),
+            bound,
+            true,
+            &artifacts,
+        );
+        failed |= !chaos_explore_cell(
+            "registry-split-check",
+            &RegistryModel::name_race(RegistryMode::SplitCheck),
+            bound,
+            true,
+            &artifacts,
+        );
+    }
+
+    if suite != "explore" {
+        let mut spec = asgd_chaos::NetChaosSpec::new(seed);
+        if let Some(clients) = clients {
+            spec.clients = clients;
+        }
+        if let Some(requests) = requests {
+            spec.requests_per_client = requests;
+        }
+        println!(
+            "net suite (seed {seed}, {} clients x {} requests):",
+            spec.clients, spec.requests_per_client
+        );
+        match asgd_chaos::run_net_chaos(&spec) {
+            Ok(report) => {
+                println!(
+                    "  {} requests: {} exact, {} wrong, {} gave up; {} retries, {} reconnects",
+                    report.requests,
+                    report.exact,
+                    report.wrong,
+                    report.gave_up,
+                    report.retries,
+                    report.reconnects
+                );
+                if !report.zero_wrong() {
+                    println!(
+                        "FAIL net: {} wrong answer(s) under fault injection",
+                        report.wrong
+                    );
+                    failed = true;
+                }
+                if report.exact == 0 {
+                    println!("FAIL net: no request ever succeeded — the campaign is vacuous");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                println!("FAIL net: campaign harness error: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        println!("chaos: FAIL");
+        exit(1);
+    }
+    println!("chaos: PASS");
+}
+
 // --------------------------------------------------------- validate mode
 
 fn usage_validate() -> ! {
@@ -1061,7 +1308,7 @@ fn table_mode(mut args: Vec<String>) {
     if args.is_empty() {
         eprintln!("usage: experiments [--quick] <id…|all>");
         eprintln!(
-            "       experiments run|validate|serve|serve-net|bench-check [--help for options]"
+            "       experiments run|validate|serve|serve-net|bench-check|chaos [--help for options]"
         );
         eprintln!("known experiments: {}", experiment_ids().join(", "));
         exit(2);

@@ -1,21 +1,36 @@
 //! `bench-check` — the committed-artifact regression gate.
 //!
-//! The repo commits full-run serving artifacts (`BENCH_serving.json`,
-//! `BENCH_net.json`). This module re-runs the *quick* sweeps fresh and
-//! compares every cell whose configuration appears in both the fresh
-//! sweep and the committed artifact: answered throughput must not drop,
-//! and p99 latency must not rise, by more than the tolerance (default
-//! 30%; p99 breaches additionally need [`P99_NOISE_FLOOR_NS`] of
-//! absolute slack before they count). Cells only one side measured (the
-//! full grids are wider than the
-//! quick ones) are skipped; the deliberately saturated `overload` cell is
-//! excluded on principle — its latency is governed by the shedding
-//! policy, not by code speed. An empty intersection is itself a failure:
-//! a gate that compares nothing gates nothing.
+//! The repo commits full-run artifacts for the serving tiers
+//! (`BENCH_serving.json`, `BENCH_net.json`) **and** the training side
+//! (`BENCH_sparse_path.json`, `BENCH_validation.json`). This module
+//! re-measures fresh and compares every cell whose configuration appears
+//! on both sides, all under one tolerance (default 30%):
+//!
+//! - **serving / serving-net**: fresh *quick* sweeps; answered throughput
+//!   must not drop, and p99 latency must not rise, past the tolerance
+//!   (p99 breaches additionally need [`P99_NOISE_FLOOR_NS`] of absolute
+//!   slack before they count). The deliberately saturated `overload` cell
+//!   is excluded on principle — its latency is governed by the shedding
+//!   policy, not by code speed.
+//! - **sparse-path**: the committed grid's `d ≤ 1024` corner re-measured
+//!   at the committed iteration budget (quick cells are too short — thread
+//!   spawn would dominate); per-cell `iters_per_sec` must not drop.
+//! - **validation**: a fresh quick theory-validation corner derived at the
+//!   committed plan parameters; every intersecting cell must stay
+//!   consistent with its upper bound, and the *derived* quantities
+//!   (α, horizon, total iterations, bound) must agree with the committed
+//!   artifact within the tolerance. Fewer fresh trials only coarsen the
+//!   measured rate, which the gate does not compare.
+//!
+//! Cells only one side measured (the full grids are wider than the fresh
+//! ones) are skipped. An empty intersection is itself a failure: a gate
+//! that compares nothing gates nothing.
 
-use crate::experiments::{serving, serving_net};
+use crate::experiments::{serving, serving_net, sparse_scaling};
 use asgd_driver::json::{self, Value};
 use asgd_driver::report::{field_f64, field_str, field_u64};
+use asgd_driver::{validate, ValidationCell, ValidationPlan, ValidationReport};
+use asgd_oracle::OracleSpec;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -89,21 +104,24 @@ fn load_rows(path: &Path) -> Result<Vec<Value>, String> {
 fn committed_map(
     rows: &[Value],
     key_of: impl Fn(&Value) -> Result<Option<String>, asgd_driver::DecodeError>,
+    baseline_of: impl Fn(&Value) -> Result<Baseline, asgd_driver::DecodeError>,
 ) -> Result<BTreeMap<String, Baseline>, String> {
     let mut map = BTreeMap::new();
     for row in rows {
         let Some(key) = key_of(row).map_err(|e| e.to_string())? else {
             continue;
         };
-        map.insert(
-            key,
-            Baseline {
-                qps: field_f64(row, "qps").map_err(|e| e.to_string())?,
-                p99_ns: field_u64(row, "p99_ns").map_err(|e| e.to_string())?,
-            },
-        );
+        map.insert(key, baseline_of(row).map_err(|e| e.to_string())?);
     }
     Ok(map)
+}
+
+/// The serving artifacts' measured pair: answered throughput + p99.
+fn qps_p99(row: &Value) -> Result<Baseline, asgd_driver::DecodeError> {
+    Ok(Baseline {
+        qps: field_f64(row, "qps")?,
+        p99_ns: field_u64(row, "p99_ns")?,
+    })
 }
 
 /// Compares fresh cells against committed baselines; appends one line per
@@ -184,6 +202,151 @@ fn serving_fresh() -> BTreeMap<String, Baseline> {
         .collect()
 }
 
+/// The corner of the committed sparse-path grid the gate re-measures, at
+/// the committed iteration budget (20k). The quick sweep's 2k-iteration
+/// cells are a few hundred µs of work — thread-spawn overhead would read
+/// as a throughput regression — so the gate pays for real cells instead;
+/// at `d ≤ 1024` the whole corner is still well under a second.
+const SPARSE_GATE_DIMS: &[usize] = &[16, 1024];
+const SPARSE_GATE_THREADS: &[usize] = &[1, 2];
+const SPARSE_GATE_ITERATIONS: u64 = 20_000;
+
+fn sparse_key(d: u64, path: &str, threads: u64) -> String {
+    format!("d={d},path={path},threads={threads}")
+}
+
+fn sparse_fresh() -> BTreeMap<String, Baseline> {
+    sparse_scaling::sweep_cells(
+        SPARSE_GATE_DIMS,
+        SPARSE_GATE_THREADS,
+        SPARSE_GATE_ITERATIONS,
+    )
+    .into_iter()
+    .map(|r| {
+        (
+            sparse_key(r.d as u64, r.path, r.threads as u64),
+            Baseline {
+                qps: r.iters_per_sec,
+                p99_ns: 0, // throughput-only: the artifact has no latency column
+            },
+        )
+    })
+    .collect()
+}
+
+fn validation_cell_key(cell: &ValidationCell) -> String {
+    format!(
+        "backend={},criterion={},threads={},eps={}",
+        cell.backend, cell.criterion, cell.threads, cell.eps
+    )
+}
+
+/// Compares fresh validation cells against committed ones: every
+/// intersecting cell must remain consistent with its upper bound, and its
+/// derived quantities must sit within `tol` of the committed values.
+fn compare_validation_cells(
+    committed: &[ValidationCell],
+    fresh: &[ValidationCell],
+    tol: f64,
+    report: &mut CheckReport,
+) {
+    let by_key: BTreeMap<String, &ValidationCell> = committed
+        .iter()
+        .map(|c| (validation_cell_key(c), c))
+        .collect();
+    let mut matched = 0usize;
+    for cell in fresh {
+        let key = validation_cell_key(cell);
+        let Some(base) = by_key.get(&key) else {
+            continue;
+        };
+        matched += 1;
+        let mut verdict = "ok";
+        if !cell.consistent_with_upper_bound {
+            verdict = "REGRESSED";
+            report.failures.push(format!(
+                "validation {key}: measured failure rate {:.3} is no longer consistent with its bound {:.3}",
+                cell.measured, cell.bound
+            ));
+        }
+        for (name, now, then) in [
+            ("alpha", cell.alpha, base.alpha),
+            ("horizon", cell.horizon as f64, base.horizon as f64),
+            (
+                "total_iterations",
+                cell.total_iterations as f64,
+                base.total_iterations as f64,
+            ),
+            ("bound", cell.bound, base.bound),
+        ] {
+            let ratio = if then != 0.0 {
+                now / then
+            } else if now == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
+            if !(1.0 - tol..=1.0 + tol).contains(&ratio) {
+                verdict = "REGRESSED";
+                report.failures.push(format!(
+                    "validation {key}: derived {name} {now} vs committed {then} (x{ratio:.2}, tolerance ±{:.0}%)",
+                    tol * 100.0
+                ));
+            }
+        }
+        report.lines.push(format!("validation {key}: [{verdict}]"));
+    }
+    report.lines.push(format!(
+        "validation: compared {matched} cell(s) ({} fresh, {} committed)",
+        fresh.len(),
+        committed.len()
+    ));
+    if matched == 0 {
+        report
+            .failures
+            .push("validation: no comparable cells — the gate is vacuous".to_string());
+    }
+}
+
+/// Loads the committed validation artifact, re-derives a quick corner of
+/// its grid at the same plan parameters, and compares.
+fn validation_gate(dir: &Path, tol: f64, report: &mut CheckReport) {
+    let path = dir.join("BENCH_validation.json");
+    let committed = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{}: {e}", path.display()))
+        .and_then(|text| {
+            ValidationReport::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+        });
+    let committed = match committed {
+        Ok(committed) => committed,
+        Err(e) => {
+            report.failures.push(format!("validation baseline: {e}"));
+            return;
+        }
+    };
+    // Fewer trials than the committed 40 only widens the fresh cells'
+    // confidence intervals; the derived (α, T, bound) depend on the plan
+    // alone, so they must reproduce the committed values exactly (the
+    // tolerance is slack for float-environment drift, not for noise).
+    let plan = ValidationPlan::new(
+        OracleSpec::new(&committed.oracle, committed.dim).sigma(committed.sigma),
+    )
+    .thread_counts(vec![1, 2])
+    .eps_grid(vec![0.04])
+    .tau_max(committed.cells.first().map_or(8, |c| c.tau_max))
+    .theta(committed.theta)
+    .target(committed.target)
+    .radius(committed.radius)
+    .trials(8)
+    .seed(committed.seed);
+    match validate(&plan) {
+        Ok(fresh) => compare_validation_cells(&committed.cells, &fresh.cells, tol, report),
+        Err(e) => report
+            .failures
+            .push(format!("validation: fresh quick validate failed: {e}")),
+    }
+}
+
 fn serving_net_fresh() -> BTreeMap<String, Baseline> {
     serving_net::sweep(true)
         .into_iter()
@@ -201,7 +364,10 @@ fn serving_net_fresh() -> BTreeMap<String, Baseline> {
 }
 
 /// Runs the full gate: fresh quick sweeps of `serving` and `serving-net`
-/// compared against `BENCH_serving.json` and `BENCH_net.json` in `dir`.
+/// compared against `BENCH_serving.json` and `BENCH_net.json`, a fresh
+/// budget-matched sparse-path corner against `BENCH_sparse_path.json`, and
+/// a fresh quick validation corner against `BENCH_validation.json`, all
+/// read from `dir`.
 ///
 /// Missing or malformed artifacts are failures — they are committed files
 /// in this repository, so their absence means the gate's baseline is gone.
@@ -211,31 +377,39 @@ pub fn run_bench_check(dir: &Path, tol: f64) -> CheckReport {
     report.lines.push(format!("tolerance: {:.0}%", tol * 100.0));
 
     match load_rows(&dir.join("BENCH_serving.json")).and_then(|rows| {
-        committed_map(&rows, |row| {
-            Ok(Some(format!(
-                "clients={},mode={},threads={}",
-                field_u64(row, "clients")?,
-                field_str(row, "mode")?,
-                field_u64(row, "trainer_threads")?
-            )))
-        })
+        committed_map(
+            &rows,
+            |row| {
+                Ok(Some(format!(
+                    "clients={},mode={},threads={}",
+                    field_u64(row, "clients")?,
+                    field_str(row, "mode")?,
+                    field_u64(row, "trainer_threads")?
+                )))
+            },
+            qps_p99,
+        )
     }) {
         Ok(committed) => compare("serving", &committed, &serving_fresh(), tol, &mut report),
         Err(e) => report.failures.push(format!("serving baseline: {e}")),
     }
 
     match load_rows(&dir.join("BENCH_net.json")).and_then(|rows| {
-        committed_map(&rows, |row| {
-            if field_str(row, "cell")? != "grid" {
-                return Ok(None);
-            }
-            Ok(Some(format!(
-                "clients={},mode={},models={}",
-                field_u64(row, "clients")?,
-                field_str(row, "mode")?,
-                field_u64(row, "models")?
-            )))
-        })
+        committed_map(
+            &rows,
+            |row| {
+                if field_str(row, "cell")? != "grid" {
+                    return Ok(None);
+                }
+                Ok(Some(format!(
+                    "clients={},mode={},models={}",
+                    field_u64(row, "clients")?,
+                    field_str(row, "mode")?,
+                    field_u64(row, "models")?
+                )))
+            },
+            qps_p99,
+        )
     }) {
         Ok(committed) => compare(
             "serving-net",
@@ -246,6 +420,30 @@ pub fn run_bench_check(dir: &Path, tol: f64) -> CheckReport {
         ),
         Err(e) => report.failures.push(format!("serving-net baseline: {e}")),
     }
+
+    match load_rows(&dir.join("BENCH_sparse_path.json")).and_then(|rows| {
+        committed_map(
+            &rows,
+            |row| {
+                Ok(Some(sparse_key(
+                    field_u64(row, "d")?,
+                    &field_str(row, "path")?,
+                    field_u64(row, "threads")?,
+                )))
+            },
+            |row| {
+                Ok(Baseline {
+                    qps: field_f64(row, "iters_per_sec")?,
+                    p99_ns: 0,
+                })
+            },
+        )
+    }) {
+        Ok(committed) => compare("sparse-path", &committed, &sparse_fresh(), tol, &mut report),
+        Err(e) => report.failures.push(format!("sparse-path baseline: {e}")),
+    }
+
+    validation_gate(dir, tol, &mut report);
 
     report
 }
@@ -308,15 +506,78 @@ mod tests {
     }
 
     #[test]
-    fn missing_artifact_is_a_failure() {
+    fn missing_artifacts_fail_for_every_gate() {
         let report = run_bench_check(Path::new("/nonexistent-dir-for-test"), DEFAULT_TOLERANCE);
         assert!(!report.passed());
-        assert!(
-            report
-                .failures
-                .iter()
-                .any(|f| f.contains("BENCH_serving.json")),
-            "{report:?}"
-        );
+        for artifact in [
+            "BENCH_serving.json",
+            "BENCH_net.json",
+            "BENCH_sparse_path.json",
+            "BENCH_validation.json",
+        ] {
+            assert!(
+                report.failures.iter().any(|f| f.contains(artifact)),
+                "no failure names {artifact}: {report:?}"
+            );
+        }
+    }
+
+    fn vcell(backend: &str, threads: usize, alpha: f64, consistent: bool) -> ValidationCell {
+        ValidationCell {
+            backend: backend.to_string(),
+            criterion: "hitting".to_string(),
+            threads,
+            eps: 0.04,
+            tau_max: 8,
+            alpha,
+            horizon: 3_000,
+            halving_epochs: None,
+            total_iterations: 3_000,
+            trials: 8,
+            failures: 0,
+            measured: 0.0,
+            ci_lower: 0.0,
+            ci_upper: 0.3,
+            bound: 0.5,
+            consistent_with_upper_bound: consistent,
+        }
+    }
+
+    #[test]
+    fn matching_validation_cells_pass() {
+        let committed = vec![vcell("hogwild", 1, 0.003, true)];
+        let fresh = vec![vcell("hogwild", 1, 0.003, true)];
+        let mut report = CheckReport::default();
+        compare_validation_cells(&committed, &fresh, DEFAULT_TOLERANCE, &mut report);
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn drifted_derivations_and_broken_bounds_fail() {
+        let committed = vec![
+            vcell("hogwild", 1, 0.003, true),
+            vcell("hogwild", 2, 0.003, true),
+        ];
+        // Cell 1: alpha drifted x2 past tolerance. Cell 2: the measured
+        // failure rate escaped the theorem's bound.
+        let fresh = vec![
+            vcell("hogwild", 1, 0.006, true),
+            vcell("hogwild", 2, 0.003, false),
+        ];
+        let mut report = CheckReport::default();
+        compare_validation_cells(&committed, &fresh, DEFAULT_TOLERANCE, &mut report);
+        assert_eq!(report.failures.len(), 2, "{report:?}");
+        assert!(report.failures.iter().any(|f| f.contains("alpha")));
+        assert!(report.failures.iter().any(|f| f.contains("consistent")));
+    }
+
+    #[test]
+    fn disjoint_validation_grids_are_vacuous_failures() {
+        let committed = vec![vcell("hogwild", 4, 0.003, true)];
+        let fresh = vec![vcell("sequential", 1, 0.003, true)];
+        let mut report = CheckReport::default();
+        compare_validation_cells(&committed, &fresh, DEFAULT_TOLERANCE, &mut report);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("vacuous"), "{report:?}");
     }
 }

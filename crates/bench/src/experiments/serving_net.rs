@@ -252,6 +252,7 @@ pub fn overload_cells(quick: bool) -> Vec<Row> {
                 // headroom is what keeps the settled value *inside* the
                 // declared SLO rather than hovering at it.
                 trigger_ratio: 0.7,
+                release_ratio: 0.85,
                 window_buckets: 8,
                 bucket_capacity: 128,
                 min_samples: 64,

@@ -56,14 +56,22 @@ fn cell_spec(d: usize, threads: usize, sparse: SparsePathSpec, iterations: u64) 
 /// compared against.
 #[must_use]
 pub fn sweep(quick: bool) -> Vec<Row> {
-    let (dims, thread_counts, iterations): (Vec<usize>, Vec<usize>, u64) = if quick {
-        (vec![16, 1024], vec![1, 2], 2_000)
+    if quick {
+        sweep_cells(&[16, 1024], &[1, 2], 2_000)
     } else {
-        (vec![16, 1024, 65_536], vec![1, 2, 4, 8], 20_000)
-    };
+        sweep_cells(&[16, 1024, 65_536], &[1, 2, 4, 8], 20_000)
+    }
+}
+
+/// Measures an explicit `dims × thread_counts` grid at a caller-chosen
+/// iteration budget (both paths per cell, dense first). `bench-check` uses
+/// this to re-measure a corner of the committed grid at the committed
+/// budget, so its throughput comparison is apples-to-apples.
+#[must_use]
+pub fn sweep_cells(dims: &[usize], thread_counts: &[usize], iterations: u64) -> Vec<Row> {
     let mut specs = Vec::new();
-    for &d in &dims {
-        for &threads in &thread_counts {
+    for &d in dims {
+        for &threads in thread_counts {
             for path in [SparsePathSpec::Dense, SparsePathSpec::Sparse] {
                 specs.push(cell_spec(d, threads, path, iterations));
             }

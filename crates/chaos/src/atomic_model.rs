@@ -1,0 +1,182 @@
+//! The [`AtomicF64`](asgd_hogwild::AtomicF64) `fetch_add` CAS loop as an
+//! explorable step function.
+//!
+//! `AtomicF64::fetch_add` is a load → compare-exchange retry loop over the
+//! bit pattern; conservation of the accumulated sum comes from the CAS, not
+//! from fences — which is exactly what [`AddMode::BlindStore`] removes to
+//! seed the classic lost-update bug (load, add locally, plain store). The
+//! model's threads each add a distinct power-of-two delta a fixed number of
+//! times, so the quiescent sum is exact in floating point and any lost
+//! update changes it.
+//!
+//! The CAS loop is lock-free, not wait-free: a thread whose CAS fails
+//! re-reads and retries, and under exhaustive scheduling that retry chain
+//! terminates because some thread's CAS must have succeeded for another's
+//! to fail — total work per schedule stays finite, so the DFS terminates.
+
+use crate::explore::{Schedulable, StepStatus};
+
+/// How the modeled adder writes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddMode {
+    /// The shipped protocol: compare-exchange, retry on contention.
+    Cas,
+    /// Seeded bug: plain store of the locally computed sum (lost updates).
+    BlindStore,
+}
+
+/// `threads` adders, each performing `adds_each` additions of its own
+/// power-of-two delta.
+#[derive(Debug, Clone, Copy)]
+pub struct AtomicAddModel {
+    /// Concurrent adder threads (≤ 52 so deltas stay exactly summable).
+    pub threads: usize,
+    /// Additions per thread.
+    pub adds_each: usize,
+    /// Write-back discipline.
+    pub mode: AddMode,
+}
+
+impl AtomicAddModel {
+    /// The headline configuration: 2 threads × 2 adds each.
+    #[must_use]
+    pub fn two_by_two(mode: AddMode) -> Self {
+        Self {
+            threads: 2,
+            adds_each: 2,
+            mode,
+        }
+    }
+
+    /// Thread `tid`'s delta: `2^tid`, exactly representable and exactly
+    /// summable for small configurations.
+    fn delta(tid: usize) -> f64 {
+        (1u64 << tid) as f64
+    }
+
+    fn expected_sum(&self) -> f64 {
+        (0..self.threads)
+            .map(|tid| Self::delta(tid) * self.adds_each as f64)
+            .sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Adder {
+    /// The value observed by the pending load, if mid-add.
+    observed: Option<f64>,
+    remaining: usize,
+}
+
+/// The shared accumulator plus each adder's in-flight load.
+#[derive(Debug, Clone)]
+pub struct AtomicAddState {
+    value: f64,
+    adders: Vec<Adder>,
+}
+
+impl Schedulable for AtomicAddModel {
+    type State = AtomicAddState;
+
+    fn init(&self) -> AtomicAddState {
+        AtomicAddState {
+            value: 0.0,
+            adders: (0..self.threads)
+                .map(|_| Adder {
+                    observed: None,
+                    remaining: self.adds_each,
+                })
+                .collect(),
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    fn step(&self, state: &mut AtomicAddState, tid: usize) -> StepStatus {
+        let observed = state.adders[tid].observed;
+        match observed {
+            None => {
+                state.adders[tid].observed = Some(state.value);
+                StepStatus::Runnable
+            }
+            Some(seen) => {
+                let proposed = seen + Self::delta(tid);
+                match self.mode {
+                    AddMode::Cas => {
+                        if state.value.to_bits() == seen.to_bits() {
+                            state.value = proposed;
+                        } else {
+                            // CAS failed: re-read immediately (the re-read
+                            // is the atomic failure-reload of
+                            // `compare_exchange_weak`'s returned value) and
+                            // stay mid-add.
+                            state.adders[tid].observed = Some(state.value);
+                            return StepStatus::Runnable;
+                        }
+                    }
+                    AddMode::BlindStore => state.value = proposed,
+                }
+                state.adders[tid].observed = None;
+                state.adders[tid].remaining -= 1;
+                if state.adders[tid].remaining == 0 {
+                    StepStatus::Done
+                } else {
+                    StepStatus::Runnable
+                }
+            }
+        }
+    }
+
+    fn check(&self, state: &AtomicAddState, done: bool) -> Result<(), String> {
+        if done {
+            let expected = self.expected_sum();
+            if state.value.to_bits() != expected.to_bits() {
+                return Err(format!(
+                    "conservation violated: accumulated {} != expected {expected}",
+                    state.value
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{replay, Explorer, ReplayOutcome};
+
+    #[test]
+    fn cas_fetch_add_conserves_the_sum_under_two_preemptions() {
+        let model = AtomicAddModel::two_by_two(AddMode::Cas);
+        let report = Explorer::with_bound(2).explore(&model);
+        assert!(report.verified(), "{:?}", report.counterexample);
+        assert!(report.schedules > 10, "exhaustiveness: {report:?}");
+    }
+
+    #[test]
+    fn three_threads_still_conserve() {
+        let model = AtomicAddModel {
+            threads: 3,
+            adds_each: 1,
+            mode: AddMode::Cas,
+        };
+        let report = Explorer::with_bound(2).explore(&model);
+        assert!(report.verified(), "{:?}", report.counterexample);
+    }
+
+    #[test]
+    fn blind_store_loses_an_update_with_one_preemption() {
+        let model = AtomicAddModel::two_by_two(AddMode::BlindStore);
+        let report = Explorer::with_bound(2).explore(&model);
+        let cex = report.counterexample.expect("blind store must lose");
+        assert_eq!(cex.preemptions, 1, "{cex:?}");
+        assert!(cex.violation.message.contains("conservation violated"));
+        match replay(&model, &cex.trace) {
+            Err(ReplayOutcome::Violation(v)) => assert_eq!(v, cex.violation),
+            other => panic!("minimized trace must reproduce, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! The bounded-preemption interleaving explorer.
+//!
+//! A protocol implements [`Schedulable`]: a fixed set of threads, each
+//! advanced one *atomic step* at a time over a cloneable shared state, with
+//! an invariant checked after every step. The [`Explorer`] then enumerates
+//! every schedule whose number of *preemptions* — switching away from a
+//! thread that could still run — stays within a bound, depth-first. This is
+//! the classic context-bounded model-checking trade: most concurrency bugs
+//! need only one or two preemptions at exactly the wrong step, so a small
+//! bound buys exhaustive coverage of the dangerous schedules at a cost that
+//! stays polynomial in program length per preemption.
+//!
+//! Schedules are recorded in the same [`Decision`] vocabulary as the shmem
+//! simulator's adversary logs (`asgd_shmem::sched`), and counterexamples
+//! serialize through
+//! [`encode_schedule`](asgd_shmem::sched::encode_schedule) — one replayable
+//! text line. [`replay`] re-executes a trace step for step; a minimized
+//! counterexample must reproduce its violation *bit for bit* (same message,
+//! same step), which is what makes an artifact from CI actionable locally.
+//!
+//! Minimization is two-stage: the explorer searches preemption bounds in
+//! increasing order, so the first counterexample found already uses the
+//! fewest preemptions any failure needs; a greedy delta pass then deletes
+//! individual steps while the replayed violation message stays identical.
+
+use asgd_shmem::sched::Decision;
+
+/// Whether a thread can take more steps after the one just executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The thread has more steps to run.
+    Runnable,
+    /// The thread finished its program.
+    Done,
+}
+
+/// A concurrent protocol lifted into an explorable step function.
+///
+/// Implementations must be deterministic: the same schedule over the same
+/// initial state must visit the same states — that determinism is what
+/// makes counterexample traces replayable.
+pub trait Schedulable {
+    /// The shared state the threads race on. Cloned at every branch point
+    /// of the DFS, so keep it small.
+    type State: Clone;
+
+    /// The initial shared state.
+    fn init(&self) -> Self::State;
+
+    /// Number of threads; thread ids are `0..thread_count()`.
+    fn thread_count(&self) -> usize;
+
+    /// True when thread `tid` can make progress right now. A blocked
+    /// thread (e.g. spinning on a latch another thread holds) must report
+    /// `false` instead of burning no-op steps, so the schedule space stays
+    /// finite. Threads that returned [`StepStatus::Done`] are never asked.
+    fn enabled(&self, _state: &Self::State, _tid: usize) -> bool {
+        true
+    }
+
+    /// Executes thread `tid`'s next atomic step.
+    fn step(&self, state: &mut Self::State, tid: usize) -> StepStatus;
+
+    /// The protocol invariant, checked after every step; `Err` is the
+    /// violation message. `done` is true once every thread has finished
+    /// (for invariants, like conservation, that only hold at quiescence).
+    fn check(&self, state: &Self::State, done: bool) -> Result<(), String>;
+}
+
+/// An invariant violation at a specific step of a specific schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The protocol's message from [`Schedulable::check`].
+    pub message: String,
+    /// 0-based index of the schedule step after which the check failed.
+    pub step: usize,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "after step {}: {}", self.step, self.message)
+    }
+}
+
+/// A failing schedule: the trace that reaches the violation, minimized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The schedule, one [`Decision::Schedule`] per step, ending at the
+    /// violating step.
+    pub trace: Vec<Decision>,
+    /// What failed.
+    pub violation: Violation,
+    /// Preemptions the trace uses (minimal: lower bounds found nothing).
+    pub preemptions: usize,
+}
+
+impl Counterexample {
+    /// The replayable one-line artifact form of the trace
+    /// (see [`encode_schedule`](asgd_shmem::sched::encode_schedule)).
+    #[must_use]
+    pub fn artifact(&self) -> String {
+        asgd_shmem::sched::encode_schedule(&self.trace)
+    }
+}
+
+/// What an exploration found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Complete schedules executed across all searched preemption bounds.
+    pub schedules: u64,
+    /// Total steps executed.
+    pub steps: u64,
+    /// The minimized counterexample, if any schedule violated the
+    /// invariant. `None` means every schedule within the bound passed.
+    pub counterexample: Option<Counterexample>,
+    /// True if the schedule budget ran out before the space was exhausted
+    /// — a `None` counterexample is then *not* a verification.
+    pub truncated: bool,
+}
+
+impl ExploreReport {
+    /// True when the invariant held on every explored schedule *and* the
+    /// space within the bound was fully enumerated.
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        self.counterexample.is_none() && !self.truncated
+    }
+}
+
+/// Why a [`replay`] did not reproduce a clean run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// The trace replayed to this violation.
+    Violation(Violation),
+    /// The trace named a thread that was done or blocked at that step —
+    /// the trace does not belong to this protocol instance.
+    Diverged {
+        /// The step at which the trace stopped making sense.
+        step: usize,
+    },
+}
+
+/// DFS explorer over bounded-preemption schedules.
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    /// Maximum preemptions per schedule (searched 0..=bound, in order).
+    pub max_preemptions: usize,
+    /// Safety valve on complete schedules before giving up (`truncated`).
+    pub max_schedules: u64,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self {
+            max_preemptions: 2,
+            max_schedules: 5_000_000,
+        }
+    }
+}
+
+struct Dfs<'a, P: Schedulable> {
+    protocol: &'a P,
+    bound: usize,
+    budget: u64,
+    schedules: u64,
+    steps: u64,
+    truncated: bool,
+    trace: Vec<Decision>,
+}
+
+impl<P: Schedulable> Dfs<'_, P> {
+    /// Explores every completion of the current prefix; `Some` is the first
+    /// violation found.
+    fn run(
+        &mut self,
+        state: &P::State,
+        alive: &[bool],
+        last: Option<usize>,
+        preemptions_left: usize,
+    ) -> Option<Counterexample> {
+        let enabled: Vec<usize> = (0..alive.len())
+            .filter(|&tid| alive[tid] && self.protocol.enabled(state, tid))
+            .collect();
+        if enabled.is_empty() {
+            // Deadlock (alive threads, none enabled) would also land here;
+            // protocols in this crate block only on latches whose holder is
+            // alive, so an empty enabled set with live threads cannot
+            // persist — treat it as schedule end and let `check(done)`
+            // judge the state (alive threads ⇒ done=false ⇒ quiescence
+            // invariants are not asserted spuriously).
+            self.schedules += 1;
+            if self.schedules >= self.budget {
+                self.truncated = true;
+            }
+            return None;
+        }
+        // Continue the running thread first: low-preemption schedules come
+        // out of the DFS earliest, which keeps counterexamples natural.
+        let mut order = Vec::with_capacity(enabled.len());
+        if let Some(last) = last {
+            if enabled.contains(&last) {
+                order.push(last);
+            }
+        }
+        for &tid in &enabled {
+            if Some(tid) != last {
+                order.push(tid);
+            }
+        }
+        let last_still_enabled = last.is_some_and(|l| enabled.contains(&l));
+        for tid in order {
+            if self.truncated {
+                return None;
+            }
+            let preemption = last_still_enabled && Some(tid) != last;
+            if preemption && preemptions_left == 0 {
+                continue;
+            }
+            let mut next = state.clone();
+            let status = self.protocol.step(&mut next, tid);
+            self.steps += 1;
+            self.trace.push(Decision::Schedule(tid));
+            let done_after = {
+                let mut alive_after = alive.to_vec();
+                if status == StepStatus::Done {
+                    alive_after[tid] = false;
+                }
+                alive_after
+            };
+            let all_done = !done_after.iter().any(|&a| a);
+            if let Err(message) = self.protocol.check(&next, all_done) {
+                let violation = Violation {
+                    message,
+                    step: self.trace.len() - 1,
+                };
+                let trace = self.trace.clone();
+                self.trace.pop();
+                return Some(Counterexample {
+                    trace,
+                    violation,
+                    preemptions: self.bound - preemptions_left + usize::from(preemption),
+                });
+            }
+            let found = self.run(
+                &next,
+                &done_after,
+                Some(tid),
+                preemptions_left - usize::from(preemption),
+            );
+            self.trace.pop();
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+}
+
+impl Explorer {
+    /// An explorer with the given preemption bound.
+    #[must_use]
+    pub fn with_bound(max_preemptions: usize) -> Self {
+        Self {
+            max_preemptions,
+            ..Self::default()
+        }
+    }
+
+    /// Explores all schedules of `protocol` with at most
+    /// [`max_preemptions`](Explorer::max_preemptions) preemptions.
+    ///
+    /// Bounds are searched in increasing order, so a returned
+    /// counterexample uses the fewest preemptions any failure needs; it is
+    /// then step-minimized with [`minimize`].
+    pub fn explore<P: Schedulable>(&self, protocol: &P) -> ExploreReport {
+        let mut report = ExploreReport {
+            schedules: 0,
+            steps: 0,
+            counterexample: None,
+            truncated: false,
+        };
+        for bound in 0..=self.max_preemptions {
+            let mut dfs = Dfs {
+                protocol,
+                bound,
+                budget: self.max_schedules.saturating_sub(report.schedules),
+                schedules: 0,
+                steps: 0,
+                truncated: false,
+                trace: Vec::new(),
+            };
+            let state = protocol.init();
+            let alive = vec![true; protocol.thread_count()];
+            let found = dfs.run(&state, &alive, None, bound);
+            report.schedules += dfs.schedules;
+            report.steps += dfs.steps;
+            report.truncated |= dfs.truncated;
+            if let Some(cex) = found {
+                report.counterexample = Some(minimize(protocol, cex));
+                return report;
+            }
+            if report.truncated {
+                return report;
+            }
+        }
+        report
+    }
+}
+
+/// Replays `trace` against a fresh instance of `protocol`. `Ok` means the
+/// whole trace executed without violating the invariant.
+///
+/// Deterministic protocols make this exact: replaying a counterexample's
+/// trace yields the same [`Violation`] — message and step — bit for bit.
+///
+/// # Errors
+///
+/// [`ReplayOutcome::Violation`] when the invariant fails mid-trace,
+/// [`ReplayOutcome::Diverged`] when the trace schedules a thread that is
+/// done or blocked (the trace belongs to a different protocol instance).
+pub fn replay<P: Schedulable>(protocol: &P, trace: &[Decision]) -> Result<(), ReplayOutcome> {
+    let mut state = protocol.init();
+    let mut alive = vec![true; protocol.thread_count()];
+    for (step, decision) in trace.iter().enumerate() {
+        let Decision::Schedule(tid) = *decision else {
+            return Err(ReplayOutcome::Diverged { step });
+        };
+        if tid >= alive.len() || !alive[tid] || !protocol.enabled(&state, tid) {
+            return Err(ReplayOutcome::Diverged { step });
+        }
+        if protocol.step(&mut state, tid) == StepStatus::Done {
+            alive[tid] = false;
+        }
+        let done = !alive.iter().any(|&a| a);
+        if let Err(message) = protocol.check(&state, done) {
+            return Err(ReplayOutcome::Violation(Violation { message, step }));
+        }
+    }
+    Ok(())
+}
+
+/// Greedy delta-minimization: tries to delete each step of the trace,
+/// keeping a deletion whenever the replayed run still fails with the *same
+/// violation message*. The returned counterexample's violation is the
+/// replayed one (its `step` reflects the shortened trace).
+#[must_use]
+pub fn minimize<P: Schedulable>(protocol: &P, cex: Counterexample) -> Counterexample {
+    let mut trace = cex.trace;
+    let mut violation = cex.violation;
+    let mut i = 0;
+    while i < trace.len() {
+        let mut candidate = trace.clone();
+        candidate.remove(i);
+        match replay(protocol, &candidate) {
+            Err(ReplayOutcome::Violation(v)) if v.message == violation.message => {
+                trace = candidate;
+                violation = v;
+                // Do not advance: the element now at `i` is new.
+            }
+            _ => i += 1,
+        }
+    }
+    // The violating step is the last one that matters; drop any tail.
+    trace.truncate(violation.step + 1);
+    Counterexample {
+        preemptions: count_preemptions(protocol, &trace),
+        trace,
+        violation,
+    }
+}
+
+/// Preemptions a trace uses: switches away from a thread that was still
+/// runnable and enabled at the switch point.
+fn count_preemptions<P: Schedulable>(protocol: &P, trace: &[Decision]) -> usize {
+    let mut state = protocol.init();
+    let mut alive = vec![true; protocol.thread_count()];
+    let mut last: Option<usize> = None;
+    let mut preemptions = 0;
+    for decision in trace {
+        let Decision::Schedule(tid) = *decision else {
+            break;
+        };
+        if let Some(l) = last {
+            if l != tid && alive.get(l).copied().unwrap_or(false) && protocol.enabled(&state, l) {
+                preemptions += 1;
+            }
+        }
+        if tid >= alive.len() || !alive[tid] {
+            break;
+        }
+        if protocol.step(&mut state, tid) == StepStatus::Done {
+            alive[tid] = false;
+        }
+        last = Some(tid);
+    }
+    preemptions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads increment a counter via load-then-store; the classic
+    /// lost update needs exactly one preemption between load and store.
+    #[derive(Clone)]
+    struct RacyCounter;
+
+    #[derive(Clone)]
+    struct RacyState {
+        value: u32,
+        loaded: [Option<u32>; 2],
+        done: [bool; 2],
+    }
+
+    impl Schedulable for RacyCounter {
+        type State = RacyState;
+
+        fn init(&self) -> RacyState {
+            RacyState {
+                value: 0,
+                loaded: [None, None],
+                done: [false, false],
+            }
+        }
+
+        fn thread_count(&self) -> usize {
+            2
+        }
+
+        fn step(&self, state: &mut RacyState, tid: usize) -> StepStatus {
+            match state.loaded[tid] {
+                None => {
+                    state.loaded[tid] = Some(state.value);
+                    StepStatus::Runnable
+                }
+                Some(v) => {
+                    state.value = v + 1;
+                    state.done[tid] = true;
+                    StepStatus::Done
+                }
+            }
+        }
+
+        fn check(&self, state: &RacyState, done: bool) -> Result<(), String> {
+            if done && state.value != 2 {
+                return Err(format!("lost update: value {} != 2", state.value));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn zero_preemptions_misses_the_lost_update() {
+        let report = Explorer::with_bound(0).explore(&RacyCounter);
+        assert!(report.verified(), "{report:?}");
+        assert_eq!(report.schedules, 2, "two serial orders");
+    }
+
+    #[test]
+    fn one_preemption_finds_and_minimizes_the_lost_update() {
+        let report = Explorer::with_bound(2).explore(&RacyCounter);
+        let cex = report.counterexample.expect("racy counter must fail");
+        assert_eq!(cex.preemptions, 1, "minimal preemption count");
+        // Minimal failing schedule: both loads, both stores — 4 steps.
+        assert_eq!(cex.trace.len(), 4, "{cex:?}");
+        assert!(cex.violation.message.contains("lost update"));
+        // The artifact replays to the identical violation.
+        let decoded = asgd_shmem::sched::decode_schedule(&cex.artifact()).expect("artifact parses");
+        assert_eq!(decoded, cex.trace);
+        match replay(&RacyCounter, &cex.trace) {
+            Err(ReplayOutcome::Violation(v)) => assert_eq!(v, cex.violation),
+            other => panic!("expected the same violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_of_a_foreign_trace_diverges_with_a_typed_outcome() {
+        let trace = vec![Decision::Schedule(7)];
+        assert_eq!(
+            replay(&RacyCounter, &trace),
+            Err(ReplayOutcome::Diverged { step: 0 })
+        );
+        let trace = vec![Decision::Crash(0)];
+        assert_eq!(
+            replay(&RacyCounter, &trace),
+            Err(ReplayOutcome::Diverged { step: 0 })
+        );
+    }
+
+    #[test]
+    fn schedule_budget_truncation_is_reported_not_verified() {
+        let explorer = Explorer {
+            max_preemptions: 2,
+            max_schedules: 1,
+        };
+        let report = explorer.explore(&RacyCounter);
+        assert!(report.truncated);
+        assert!(!report.verified());
+    }
+}

@@ -1,0 +1,323 @@
+//! The fault-injection campaign for the net tier: a served workload under
+//! injected connection churn, scored for *wrong answers*.
+//!
+//! The campaign trains a small deterministic model to quiescence, reads
+//! the final parameters once, then fires a fleet of
+//! [`RetryingClient`]s at a [`NetServer`] whose connections (and the
+//! clients' own) run through [`FaultyStream`](asgd_net::FaultyStream)
+//! fault injection — partial writes, short reads, delays, and mid-frame
+//! disconnects, all seeded. Every response is checked **bit-for-bit**
+//! against the locally computed expectation (the wire protocol carries
+//! `f64`s as IEEE-754 bit patterns, and every request is an idempotent
+//! read of a quiescent model, so there is exactly one right answer).
+//!
+//! The acceptance bar is asymmetric on purpose: a request may end in a
+//! typed error after the retry budget ([`NetChaosReport::gave_up`]) — the
+//! network is allowed to be bad — but a *wrong* answer
+//! ([`NetChaosReport::wrong`]) is a protocol or retry-layer bug, and a
+//! campaign passes only at zero. [`NetChaosReport::retries`] and
+//! [`NetChaosReport::reconnects`] are the evidence that the campaign
+//! actually exercised churn rather than passing vacuously.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use asgd_driver::{BackendKind, RunSpec};
+use asgd_net::{FaultPlan, NetConfig, NetServer, Priority, RetryPolicy, RetryingClient};
+use asgd_oracle::OracleSpec;
+use asgd_serve::{ModelRegistry, ReadMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded chaos campaign over the serving-net stack.
+#[derive(Debug, Clone)]
+pub struct NetChaosSpec {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Model dimension of the served run.
+    pub dim: usize,
+    /// Campaign seed: derives every fault sequence and probe.
+    pub seed: u64,
+    /// Fault plan injected on every admitted server connection.
+    pub server_fault: FaultPlan,
+    /// Fault plan injected on every client connection.
+    pub client_fault: FaultPlan,
+    /// Client retry policy.
+    pub policy: RetryPolicy,
+    /// Per-call IO timeout for the clients.
+    pub timeout: Duration,
+}
+
+impl NetChaosSpec {
+    /// A default campaign: 4 clients × 48 requests over a 32-dim model,
+    /// chaotic fault plans on both sides of every connection.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            clients: 4,
+            requests_per_client: 48,
+            dim: 32,
+            seed,
+            server_fault: FaultPlan::chaotic(seed),
+            client_fault: FaultPlan::chaotic(seed ^ 0x636c_6965_6e74),
+            policy: RetryPolicy {
+                max_attempts: 8,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(20),
+                jitter: 0.5,
+            },
+            timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What a campaign observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetChaosReport {
+    /// Requests issued in total.
+    pub requests: u64,
+    /// Responses that matched the expectation bit-for-bit.
+    pub exact: u64,
+    /// Responses that arrived but carried the wrong bits — must be zero.
+    pub wrong: u64,
+    /// Requests that ended in a typed error after the retry budget.
+    pub gave_up: u64,
+    /// Retries performed across all clients (churn evidence).
+    pub retries: u64,
+    /// Reconnections performed across all clients (churn evidence).
+    pub reconnects: u64,
+}
+
+impl NetChaosReport {
+    /// True when every answered request carried exactly the right bits.
+    #[must_use]
+    pub fn zero_wrong(&self) -> bool {
+        self.wrong == 0
+    }
+
+    fn absorb(&mut self, other: &NetChaosReport) {
+        self.requests += other.requests;
+        self.exact += other.exact;
+        self.wrong += other.wrong;
+        self.gave_up += other.gave_up;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
+    }
+}
+
+/// Why a campaign could not run to completion (distinct from a campaign
+/// that ran and found wrong answers — that is a failing *report*).
+#[derive(Debug)]
+pub enum NetChaosError {
+    /// Binding or configuring the server failed.
+    Io(std::io::Error),
+    /// Creating or training the served model failed.
+    Serve(String),
+    /// The served model did not reach quiescence in time.
+    TrainingTimeout,
+}
+
+impl std::fmt::Display for NetChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "server setup: {e}"),
+            Self::Serve(e) => write!(f, "model setup: {e}"),
+            Self::TrainingTimeout => write!(f, "served model never finished training"),
+        }
+    }
+}
+
+impl std::error::Error for NetChaosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetChaosError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// A short deterministic training run whose final model the campaign
+/// checks against (mirrors the servable spec of `tests/net.rs`).
+fn servable(dim: usize, seed: u64) -> RunSpec {
+    RunSpec::new(
+        OracleSpec::new("sparse-quadratic", dim).sigma(0.0),
+        BackendKind::Hogwild,
+    )
+    .threads(2)
+    .iterations(6_000)
+    .learning_rate(0.4 / dim as f64)
+    .x0(vec![1.0; dim])
+    .seed(seed)
+}
+
+/// Runs the campaign: returns the aggregated report. A report with
+/// `wrong > 0` is the failure the campaign exists to catch.
+///
+/// # Errors
+///
+/// [`NetChaosError`] when the harness itself (server bind, model
+/// creation, training) fails — not when the network chaos does its job.
+pub fn run_net_chaos(spec: &NetChaosSpec) -> Result<NetChaosReport, NetChaosError> {
+    let registry = Arc::new(ModelRegistry::new());
+    let model_id = registry
+        .create("chaos", &servable(spec.dim, spec.seed), ReadMode::Live, 500)
+        .map_err(|e| NetChaosError::Serve(e.to_string()))?;
+
+    // Quiesce: the model must be finished before traffic starts, so every
+    // request has exactly one right answer.
+    let entry = registry
+        .lookup(model_id)
+        .map_err(|e| NetChaosError::Serve(e.to_string()))?;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !entry.stats().finished {
+        if Instant::now() > deadline {
+            return Err(NetChaosError::TrainingTimeout);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut expected = vec![0.0_f64; spec.dim];
+    entry.service().reader().read_live(&mut expected);
+    let expected = Arc::new(expected);
+
+    let config = NetConfig::default()
+        .max_connections(spec.clients * 4 + 8)
+        .fault(spec.server_fault)
+        .write_timeout(spec.timeout);
+    let server = NetServer::serve(Arc::clone(&registry), config)?;
+    let addr = server.local_addr();
+
+    let mut report = NetChaosReport::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.clients)
+            .map(|c| {
+                let expected = Arc::clone(&expected);
+                scope.spawn(move || client_run(c, spec, addr, model_id.0, &expected))
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => report.absorb(&part),
+                Err(_) => report.wrong += 1, // a panicked client is a failure
+            }
+        }
+    });
+    server.stop();
+    registry.shutdown();
+    Ok(report)
+}
+
+/// One client's share of the campaign.
+fn client_run(
+    index: usize,
+    spec: &NetChaosSpec,
+    addr: std::net::SocketAddr,
+    model: u32,
+    expected: &[f64],
+) -> NetChaosReport {
+    let mut report = NetChaosReport::default();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ (index as u64).wrapping_mul(0x9e37));
+    let mut client = match RetryingClient::new(addr, spec.policy) {
+        Ok(client) => client,
+        Err(_) => {
+            // Loopback failed to resolve: count the whole share as given up.
+            report.requests = spec.requests_per_client as u64;
+            report.gave_up = report.requests;
+            return report;
+        }
+    };
+    client = client
+        .timeout(spec.timeout)
+        .fault(spec.client_fault.child(index as u64));
+    let dim = expected.len();
+    for _ in 0..spec.requests_per_client {
+        report.requests += 1;
+        match rng.gen_range(0..3_u32) {
+            0 => {
+                // Sparse probe, scored locally in the same fold order the
+                // server uses.
+                let len = rng.gen_range(1..4.min(dim) + 1);
+                let probe: Vec<(u32, f64)> = (0..len)
+                    .map(|_| {
+                        let idx = rng.gen_range(0..dim) as u32;
+                        let weight = f64::from(rng.gen_range(-8..9_i32)) * 0.25;
+                        (idx, weight)
+                    })
+                    .collect();
+                let mut want = 0.0_f64;
+                for &(idx, weight) in &probe {
+                    want += weight * expected[idx as usize];
+                }
+                match client.dot_score(model, &probe, Priority::High) {
+                    Ok((value, _)) if value.to_bits() == want.to_bits() => report.exact += 1,
+                    Ok((value, _)) => {
+                        eprintln!("chaos: dot_score {value} != expected {want}");
+                        report.wrong += 1;
+                    }
+                    Err(_) => report.gave_up += 1,
+                }
+            }
+            1 => {
+                let start = rng.gen_range(0..dim);
+                let len = rng.gen_range(1..(dim - start).min(8) + 1);
+                let want = &expected[start..start + len];
+                match client.fetch_range(model, start as u32, len as u32, Priority::High) {
+                    Ok((values, _))
+                        if values.len() == want.len()
+                            && values
+                                .iter()
+                                .zip(want)
+                                .all(|(a, b)| a.to_bits() == b.to_bits()) =>
+                    {
+                        report.exact += 1;
+                    }
+                    Ok((values, _)) => {
+                        eprintln!("chaos: fetch_range {values:?} != expected {want:?}");
+                        report.wrong += 1;
+                    }
+                    Err(_) => report.gave_up += 1,
+                }
+            }
+            _ => match client.stats_by_id(model) {
+                Ok(stats) if stats.id == model && stats.name == "chaos" && stats.finished => {
+                    report.exact += 1;
+                }
+                Ok(stats) => {
+                    eprintln!("chaos: stats mismatch {stats:?}");
+                    report.wrong += 1;
+                }
+                Err(_) => report.gave_up += 1,
+            },
+        }
+    }
+    report.retries = client.retries();
+    report.reconnects = client.reconnects();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_faultless_campaign_is_all_exact() {
+        let mut spec = NetChaosSpec::new(11);
+        spec.clients = 2;
+        spec.requests_per_client = 12;
+        spec.dim = 8;
+        spec.server_fault = FaultPlan::passthrough();
+        spec.client_fault = FaultPlan::passthrough();
+        let report = run_net_chaos(&spec).expect("harness runs");
+        assert_eq!(report.requests, 24);
+        assert_eq!(report.exact, 24, "{report:?}");
+        assert!(report.zero_wrong());
+        assert_eq!(report.gave_up, 0);
+    }
+}

@@ -1,0 +1,346 @@
+//! The [`ModelRegistry`](asgd_serve::ModelRegistry) create/query/drop
+//! lifecycle as an explorable step function.
+//!
+//! The registry's concurrency contract (see `asgd_serve::registry`): the
+//! name and id maps mutate together under one lock, ids increase
+//! monotonically and are never reused, and the create path is
+//! *fast-path check → start service → lock, recheck, insert-or-lose* —
+//! the loser of a duplicate-name race must stop the service it already
+//! started. The model replays that structure with creators, droppers and
+//! queriers over a miniature two-map registry, checking after every step:
+//!
+//! * **coherence** — every name maps to a live entry carrying that name,
+//!   and every live entry's name maps back to its id;
+//! * **monotone ids** — issued ids strictly increase, never reused;
+//! * **no leaked services** — at quiescence, exactly one running service
+//!   per registered model (losers and droppers stopped theirs).
+//!
+//! [`RegistryMode::SplitCheck`] is the seeded bug: the locked
+//! recheck-and-insert is split into two steps, modeling an insert that
+//! acts on a stale duplicate check. Two creators racing the same name then
+//! both insert; the second overwrites the name slot and the first entry is
+//! orphaned — a coherence violation the explorer finds with one
+//! preemption.
+
+use crate::explore::{Schedulable, StepStatus};
+
+/// Locking discipline of the modeled create path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryMode {
+    /// The shipped protocol: recheck and insert are one atomic (locked)
+    /// step.
+    Locked,
+    /// Seeded bug: recheck and insert are separate steps (stale check).
+    SplitCheck,
+}
+
+/// One creator/dropper/querier population over a shared name space.
+#[derive(Debug, Clone)]
+pub struct RegistryModel {
+    /// Distinct model names; threads address names by index.
+    pub names: usize,
+    /// One creator per element, creating the given name index.
+    pub creators: Vec<usize>,
+    /// One dropper per element, dropping the given name index.
+    pub droppers: Vec<usize>,
+    /// One querier per element: `(name index, lookups to perform)`.
+    pub queriers: Vec<(usize, usize)>,
+    /// Create-path locking discipline.
+    pub mode: RegistryMode,
+}
+
+impl RegistryModel {
+    /// The headline configuration: two creators racing one name, a querier
+    /// and a dropper on the same name.
+    #[must_use]
+    pub fn name_race(mode: RegistryMode) -> Self {
+        Self {
+            names: 1,
+            creators: vec![0, 0],
+            droppers: vec![0],
+            queriers: vec![(0, 1)],
+            mode,
+        }
+    }
+
+    fn creator_count(&self) -> usize {
+        self.creators.len()
+    }
+
+    fn dropper_count(&self) -> usize {
+        self.droppers.len()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CreatorPc {
+    FastCheck,
+    Start,
+    /// `SplitCheck` only: read the duplicate check into a local.
+    Recheck,
+    /// Locked mode: recheck + insert in one step. Split mode: insert using
+    /// the stale `Recheck` result.
+    Insert,
+    StopLoser,
+}
+
+#[derive(Debug, Clone)]
+struct Creator {
+    pc: CreatorPc,
+    /// `SplitCheck` only: what the recheck observed.
+    saw_absent: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DropperPc {
+    Remove,
+    Stop,
+}
+
+#[derive(Debug, Clone)]
+struct LiveEntry {
+    id: u32,
+    name: usize,
+}
+
+/// The miniature registry plus every thread's control state.
+#[derive(Debug, Clone)]
+pub struct RegistryState {
+    by_name: Vec<Option<u32>>,
+    entries: Vec<LiveEntry>,
+    next_id: u32,
+    last_issued: Option<u32>,
+    running_services: usize,
+    creators: Vec<Creator>,
+    droppers: Vec<DropperPc>,
+    querier_remaining: Vec<usize>,
+    violation: Option<String>,
+}
+
+impl RegistryState {
+    fn coherent(&self) -> Result<(), String> {
+        for (name, slot) in self.by_name.iter().enumerate() {
+            if let Some(id) = slot {
+                match self.entries.iter().find(|e| e.id == *id) {
+                    Some(entry) if entry.name == name => {}
+                    Some(entry) => {
+                        return Err(format!(
+                            "maps disagree: name {name} maps to id {id} which carries name {}",
+                            entry.name
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "maps disagree: name {name} maps to id {id} with no live entry"
+                        ));
+                    }
+                }
+            }
+        }
+        for entry in &self.entries {
+            if self.by_name[entry.name] != Some(entry.id) {
+                return Err(format!(
+                    "orphaned entry: id {} carries name {} but the name maps to {:?}",
+                    entry.id, entry.name, self.by_name[entry.name]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Schedulable for RegistryModel {
+    type State = RegistryState;
+
+    fn init(&self) -> RegistryState {
+        RegistryState {
+            by_name: vec![None; self.names],
+            entries: Vec::new(),
+            next_id: 0,
+            last_issued: None,
+            running_services: 0,
+            creators: self
+                .creators
+                .iter()
+                .map(|_| Creator {
+                    pc: CreatorPc::FastCheck,
+                    saw_absent: false,
+                })
+                .collect(),
+            droppers: self.droppers.iter().map(|_| DropperPc::Remove).collect(),
+            querier_remaining: self.queriers.iter().map(|&(_, n)| n).collect(),
+            violation: None,
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.creators.len() + self.droppers.len() + self.queriers.len()
+    }
+
+    fn step(&self, state: &mut RegistryState, tid: usize) -> StepStatus {
+        if tid < self.creator_count() {
+            self.creator_step(state, tid)
+        } else if tid < self.creator_count() + self.dropper_count() {
+            self.dropper_step(state, tid - self.creator_count())
+        } else {
+            self.querier_step(state, tid - self.creator_count() - self.dropper_count())
+        }
+    }
+
+    fn check(&self, state: &RegistryState, done: bool) -> Result<(), String> {
+        if let Some(message) = &state.violation {
+            return Err(message.clone());
+        }
+        state.coherent()?;
+        if done && state.running_services != state.entries.len() {
+            return Err(format!(
+                "leaked services: {} running for {} registered models at quiescence",
+                state.running_services,
+                state.entries.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl RegistryModel {
+    fn creator_step(&self, state: &mut RegistryState, cid: usize) -> StepStatus {
+        let name = self.creators[cid];
+        match state.creators[cid].pc {
+            CreatorPc::FastCheck => {
+                if state.by_name[name].is_some() {
+                    // Straight duplicate: error out without starting a run.
+                    return StepStatus::Done;
+                }
+                state.creators[cid].pc = CreatorPc::Start;
+            }
+            CreatorPc::Start => {
+                state.running_services += 1;
+                state.creators[cid].pc = match self.mode {
+                    RegistryMode::Locked => CreatorPc::Insert,
+                    RegistryMode::SplitCheck => CreatorPc::Recheck,
+                };
+            }
+            CreatorPc::Recheck => {
+                state.creators[cid].saw_absent = state.by_name[name].is_none();
+                state.creators[cid].pc = CreatorPc::Insert;
+            }
+            CreatorPc::Insert => {
+                let absent = match self.mode {
+                    RegistryMode::Locked => state.by_name[name].is_none(),
+                    RegistryMode::SplitCheck => state.creators[cid].saw_absent,
+                };
+                if !absent {
+                    // Lost the race: tear the fresh run down.
+                    state.creators[cid].pc = CreatorPc::StopLoser;
+                    return StepStatus::Runnable;
+                }
+                let id = state.next_id;
+                state.next_id += 1;
+                if state.last_issued.is_some_and(|last| id <= last) {
+                    state.violation = Some(format!(
+                        "id reuse: issued {id} after {:?}",
+                        state.last_issued
+                    ));
+                }
+                state.last_issued = Some(id);
+                state.by_name[name] = Some(id);
+                state.entries.push(LiveEntry { id, name });
+                return StepStatus::Done;
+            }
+            CreatorPc::StopLoser => {
+                state.running_services -= 1;
+                return StepStatus::Done;
+            }
+        }
+        StepStatus::Runnable
+    }
+
+    fn dropper_step(&self, state: &mut RegistryState, did: usize) -> StepStatus {
+        let name = self.droppers[did];
+        match state.droppers[did] {
+            DropperPc::Remove => {
+                let Some(id) = state.by_name[name].take() else {
+                    // NoSuchModel: a typed error, not a protocol violation.
+                    return StepStatus::Done;
+                };
+                state.entries.retain(|e| e.id != id);
+                state.droppers[did] = DropperPc::Stop;
+                StepStatus::Runnable
+            }
+            DropperPc::Stop => {
+                state.running_services -= 1;
+                StepStatus::Done
+            }
+        }
+    }
+
+    fn querier_step(&self, state: &mut RegistryState, qid: usize) -> StepStatus {
+        let (name, _) = self.queriers[qid];
+        if let Some(id) = state.by_name[name] {
+            match state.entries.iter().find(|e| e.id == id) {
+                Some(entry) if entry.name == name => {}
+                Some(entry) => {
+                    state.violation = Some(format!(
+                        "query for name {name} returned entry named {}",
+                        entry.name
+                    ));
+                }
+                None => {
+                    state.violation = Some(format!("query for name {name} hit dangling id {id}"));
+                }
+            }
+        }
+        state.querier_remaining[qid] -= 1;
+        if state.querier_remaining[qid] == 0 {
+            StepStatus::Done
+        } else {
+            StepStatus::Runnable
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{replay, Explorer, ReplayOutcome};
+
+    #[test]
+    fn locked_lifecycle_verifies_under_a_name_race() {
+        let model = RegistryModel::name_race(RegistryMode::Locked);
+        let report = Explorer::with_bound(2).explore(&model);
+        assert!(report.verified(), "{:?}", report.counterexample);
+        assert!(report.schedules > 100, "exhaustiveness: {report:?}");
+    }
+
+    #[test]
+    fn split_check_insert_is_caught_with_one_preemption() {
+        let model = RegistryModel::name_race(RegistryMode::SplitCheck);
+        let report = Explorer::with_bound(2).explore(&model);
+        let cex = report.counterexample.expect("stale recheck must corrupt");
+        assert_eq!(cex.preemptions, 1, "{cex:?}");
+        assert!(
+            cex.violation.message.contains("orphaned entry")
+                || cex.violation.message.contains("maps disagree"),
+            "{:?}",
+            cex.violation
+        );
+        match replay(&model, &cex.trace) {
+            Err(ReplayOutcome::Violation(v)) => assert_eq!(v, cex.violation),
+            other => panic!("minimized trace must reproduce, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropping_a_missing_name_is_an_error_not_a_violation() {
+        let model = RegistryModel {
+            names: 1,
+            creators: vec![],
+            droppers: vec![0, 0],
+            queriers: vec![(0, 2)],
+            mode: RegistryMode::Locked,
+        };
+        let report = Explorer::with_bound(2).explore(&model);
+        assert!(report.verified(), "{:?}", report.counterexample);
+    }
+}

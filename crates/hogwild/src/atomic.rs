@@ -6,6 +6,11 @@
 //! failed CAS means *another* update succeeded, so system-wide progress is
 //! guaranteed — exactly the property that prevents a delayed thread from
 //! obliterating others' progress (§1).
+//!
+//! Update conservation — concurrent `fetch_add`s never lose an addend — is
+//! model-checked in `asgd-chaos` (`AtomicAddModel`): the CAS loop verifies
+//! over every bounded-preemption schedule, while a load-then-store variant
+//! is caught losing updates with one preemption.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -23,6 +23,12 @@
 //! Publication is pure observation — it never touches the model, the claim
 //! counter, or any RNG stream, so an attached serving layer cannot perturb a
 //! run's trajectory.
+//!
+//! The publish/read protocol is model-checked in `asgd-chaos`
+//! (`SnapshotModel`): every schedule within a preemption bound is explored
+//! for torn snapshots, version regressions, and unbounded reader retries,
+//! and a deliberately weakened publish fence is shown to tear — evidence
+//! the announce-before-fill ordering below is load-bearing.
 
 use crate::model::SharedModel;
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};

@@ -1,4 +1,5 @@
-//! [`NetClient`] — a blocking wire-protocol client.
+//! [`NetClient`] — a blocking wire-protocol client — and
+//! [`RetryingClient`], its fault-tolerant wrapper.
 //!
 //! One request in flight at a time: [`NetClient::call`] writes a frame,
 //! then blocks for the answer. The convenience methods (`dot_score`,
@@ -7,12 +8,27 @@
 //! instead of a response enum to match. The open-loop bench harness in
 //! [`workload`](crate::workload) bypasses this type and drives the raw
 //! framing functions over a cloned stream instead.
+//!
+//! Every failure carries a [`RetryClass`]: transport faults and explicit
+//! backpressure (`Busy`, `AdmissionDenied`, shed frames) are
+//! [`RetryClass::Retryable`]; protocol violations and semantic errors
+//! (`NoSuchModel`, `BadRequest`, undecodable frames) are
+//! [`RetryClass::Terminal`] — retrying cannot change the answer.
+//! [`RetryingClient`] acts on that split: capped exponential backoff with
+//! seeded jitter, reconnect-on-broken-pipe, and request replay. Replay is
+//! sound because every request in the protocol is a read (`dot-score`,
+//! `predict`, `fetch-range`, `model-stats`) — idempotent by construction,
+//! so a request whose response was lost mid-frame can be re-sent on a
+//! fresh connection without changing any state.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use asgd_serve::ModelStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use crate::fault::{FaultPlan, FaultyStream};
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameError, Priority, Request, RequestFrame, Response,
     StatsSelector, MAX_FRAME_LEN,
@@ -90,10 +106,49 @@ impl From<FrameError> for ClientError {
     }
 }
 
+/// Whether retrying a failed call can possibly succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// Transient: transport fault or explicit backpressure. Retry (after
+    /// backoff, possibly on a fresh connection) may succeed.
+    Retryable,
+    /// Permanent: the request itself is wrong, the model is gone, or the
+    /// protocol broke. Retrying returns the same failure.
+    Terminal,
+}
+
+impl ClientError {
+    /// Classifies this failure for retry loops.
+    ///
+    /// * [`ClientError::Io`] — retryable: timeouts, broken pipes, resets
+    ///   and truncated frames all look like IO here, and a reconnect plus
+    ///   replay (all requests are idempotent reads) can succeed.
+    /// * [`ClientError::Remote`] with `Busy`/`AdmissionDenied` — retryable
+    ///   backpressure; every other code (`NoSuchModel`, `BadRequest`,
+    ///   `VersionMismatch`, `Internal`) is terminal.
+    /// * [`ClientError::Shed`] — retryable: shedding is load-dependent.
+    /// * [`ClientError::Frame`] / [`ClientError::UnexpectedResponse`] —
+    ///   terminal protocol violations.
+    #[must_use]
+    pub fn retry_class(&self) -> RetryClass {
+        match self {
+            Self::Io(_) | Self::Shed { .. } => RetryClass::Retryable,
+            Self::Remote { code, .. } => match code {
+                ErrorCode::Busy | ErrorCode::AdmissionDenied => RetryClass::Retryable,
+                ErrorCode::NoSuchModel
+                | ErrorCode::BadRequest
+                | ErrorCode::VersionMismatch
+                | ErrorCode::Internal => RetryClass::Terminal,
+            },
+            Self::Frame(_) | Self::UnexpectedResponse(_) => RetryClass::Terminal,
+        }
+    }
+}
+
 /// A blocking client over one TCP connection.
 #[derive(Debug)]
 pub struct NetClient {
-    stream: TcpStream,
+    stream: FaultyStream,
     buf: Vec<u8>,
 }
 
@@ -116,12 +171,28 @@ impl NetClient {
         addr: impl ToSocketAddrs,
         timeout: Duration,
     ) -> Result<Self, ClientError> {
+        Self::connect_faulty(addr, timeout, FaultPlan::passthrough())
+    }
+
+    /// Connects with the given timeout and a [`FaultPlan`] injected under
+    /// the framing layer — the client-side half of a chaos campaign. A
+    /// passthrough plan makes this identical to
+    /// [`NetClient::connect_with_timeout`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever connecting or configuring the socket returns.
+    pub fn connect_faulty(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+        fault: FaultPlan,
+    ) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         Ok(Self {
-            stream,
+            stream: FaultyStream::new(stream, fault),
             buf: Vec::new(),
         })
     }
@@ -256,6 +327,243 @@ fn kind_of(r: &Response) -> &'static str {
     }
 }
 
+/// Backoff schedule for [`RetryingClient`]: capped exponential with
+/// seeded multiplicative jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per call, including the first (clamped to ≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a uniform
+    /// factor from `[1 - jitter, 1]`, so synchronized clients desynchronize.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (0-based), without jitter:
+    /// `min(max_backoff, base_backoff · 2^retry)`.
+    #[must_use]
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 2_u32.saturating_pow(retry);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// A [`NetClient`] wrapper that survives connection churn: it classifies
+/// every failure via [`ClientError::retry_class`], replays retryable calls
+/// with capped exponential backoff plus seeded jitter, and reconnects
+/// transparently when the transport dies mid-call.
+///
+/// Replaying is safe because the protocol's requests are all idempotent
+/// reads; a request whose response was lost cannot have mutated server
+/// state, so re-sending it on a fresh connection returns the same answer
+/// the lost response carried (bit-exact once the model is quiescent).
+///
+/// Connections are lazy: the first call connects, and a dead connection is
+/// dropped and re-established on the next attempt. With a non-passthrough
+/// [`FaultPlan`], each connection gets a distinct child seed, so a chaos
+/// campaign's fault sequence is deterministic per (seed, connection index).
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    policy: RetryPolicy,
+    fault: FaultPlan,
+    jitter_rng: StdRng,
+    conn: Option<NetClient>,
+    conn_seq: u64,
+    retries: u64,
+    reconnects: u64,
+}
+
+impl RetryingClient {
+    /// A lazy client for `addr` under `policy` (5-second IO timeouts).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when `addr` does not resolve. Connection
+    /// failures surface from the first call, not from here.
+    pub fn new(addr: impl ToSocketAddrs, policy: RetryPolicy) -> Result<Self, ClientError> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            ))
+        })?;
+        Ok(Self {
+            addr,
+            timeout: Duration::from_secs(5),
+            policy,
+            fault: FaultPlan::passthrough(),
+            jitter_rng: StdRng::seed_from_u64(0x6a69_7474_6572),
+            conn: None,
+            conn_seq: 0,
+            retries: 0,
+            reconnects: 0,
+        })
+    }
+
+    /// Sets the per-call IO timeout.
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Injects `fault` (re-seeded per connection) under this client's
+    /// framing — the client-side half of a chaos campaign. The plan's seed
+    /// also seeds the backoff jitter, keeping whole campaigns replayable.
+    #[must_use]
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.jitter_rng = StdRng::seed_from_u64(fault.seed ^ 0x6a69_7474_6572);
+        self.fault = fault;
+        self
+    }
+
+    /// Retries performed across all calls so far.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Reconnections performed across all calls so far (excludes the
+    /// initial lazy connect).
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut NetClient, ClientError> {
+        if self.conn.is_none() {
+            let client = NetClient::connect_faulty(
+                self.addr,
+                self.timeout,
+                self.fault.child(self.conn_seq),
+            )?;
+            if self.conn_seq > 0 {
+                self.reconnects += 1;
+            }
+            self.conn_seq += 1;
+            self.conn = Some(client);
+        }
+        Ok(self.conn.as_mut().expect("just ensured"))
+    }
+
+    /// Runs `call` with retry, backoff, and reconnect-on-transport-failure.
+    fn call_retry<T>(
+        &mut self,
+        mut call: impl FnMut(&mut NetClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            let result = match self.ensure_connected() {
+                Ok(client) => call(client),
+                Err(e) => Err(e),
+            };
+            let error = match result {
+                Ok(value) => return Ok(value),
+                Err(e) => e,
+            };
+            if error.retry_class() == RetryClass::Terminal {
+                return Err(error);
+            }
+            if matches!(error, ClientError::Io(_)) {
+                // The transport is suspect: drop it and reconnect on the
+                // next attempt (backpressure keeps its connection).
+                self.conn = None;
+            }
+            attempt += 1;
+            if attempt >= max_attempts {
+                return Err(error);
+            }
+            self.retries += 1;
+            let backoff = self.policy.backoff(attempt - 1);
+            if !backoff.is_zero() {
+                let jitter = self.policy.jitter.clamp(0.0, 1.0);
+                let scale = 1.0 - jitter * self.jitter_rng.gen::<f64>();
+                std::thread::sleep(backoff.mul_f64(scale));
+            }
+        }
+    }
+
+    /// [`NetClient::dot_score`], with retry.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's [`ClientError`] (terminal errors immediately).
+    pub fn dot_score(
+        &mut self,
+        model: u32,
+        probe: &[(u32, f64)],
+        priority: Priority,
+    ) -> Result<(f64, Option<u64>), ClientError> {
+        self.call_retry(|c| c.dot_score(model, probe, priority))
+    }
+
+    /// [`NetClient::predict`], with retry.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's [`ClientError`] (terminal errors immediately).
+    pub fn predict(
+        &mut self,
+        model: u32,
+        priority: Priority,
+    ) -> Result<(f64, Option<u64>), ClientError> {
+        self.call_retry(|c| c.predict(model, priority))
+    }
+
+    /// [`NetClient::fetch_range`], with retry.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's [`ClientError`] (terminal errors immediately).
+    pub fn fetch_range(
+        &mut self,
+        model: u32,
+        start: u32,
+        len: u32,
+        priority: Priority,
+    ) -> Result<(Vec<f64>, Option<u64>), ClientError> {
+        self.call_retry(|c| c.fetch_range(model, start, len, priority))
+    }
+
+    /// [`NetClient::stats_by_id`], with retry.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's [`ClientError`] (terminal errors immediately).
+    pub fn stats_by_id(&mut self, id: u32) -> Result<ModelStats, ClientError> {
+        self.call_retry(|c| c.stats_by_id(id))
+    }
+
+    /// [`NetClient::stats_by_name`], with retry.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's [`ClientError`] (terminal errors immediately).
+    pub fn stats_by_name(&mut self, name: &str) -> Result<ModelStats, ClientError> {
+        self.call_retry(|c| c.stats_by_name(name))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +588,88 @@ mod tests {
         assert!(e.to_string().contains("stats"));
         let e = ClientError::from(std::io::Error::new(std::io::ErrorKind::TimedOut, "slow"));
         assert!(e.to_string().contains("slow"));
+    }
+
+    #[test]
+    fn retry_classification_separates_transient_from_permanent() {
+        let retryable = [
+            ClientError::Io(std::io::Error::new(std::io::ErrorKind::TimedOut, "slow")),
+            ClientError::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone")),
+            ClientError::Remote {
+                code: ErrorCode::Busy,
+                message: "window full".to_string(),
+            },
+            ClientError::Remote {
+                code: ErrorCode::AdmissionDenied,
+                message: "budget".to_string(),
+            },
+            ClientError::Shed {
+                priority: Priority::Low,
+                p99_ns: 2,
+                slo_ns: 1,
+            },
+        ];
+        for e in retryable {
+            assert_eq!(e.retry_class(), RetryClass::Retryable, "{e}");
+        }
+        let terminal = [
+            ClientError::Remote {
+                code: ErrorCode::NoSuchModel,
+                message: "gone".to_string(),
+            },
+            ClientError::Remote {
+                code: ErrorCode::BadRequest,
+                message: "bad".to_string(),
+            },
+            ClientError::Remote {
+                code: ErrorCode::VersionMismatch,
+                message: "v9".to_string(),
+            },
+            ClientError::Remote {
+                code: ErrorCode::Internal,
+                message: "bug".to_string(),
+            },
+            ClientError::Frame(FrameError::BadTag(9)),
+            ClientError::UnexpectedResponse("stats"),
+        ];
+        for e in terminal {
+            assert_eq!(e.retry_class(), RetryClass::Terminal, "{e}");
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff(0), Duration::from_millis(5));
+        assert_eq!(policy.backoff(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff(10), Duration::from_millis(200), "capped");
+        assert_eq!(policy.backoff(u32::MAX), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn retrying_client_gives_up_with_the_last_io_error() {
+        // A port with (very likely) nothing behind it: every attempt fails
+        // at connect, the client retries its budget, then reports Io.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+            l.local_addr().unwrap().port()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter: 0.5,
+        };
+        let mut client =
+            RetryingClient::new(("127.0.0.1", port), policy).expect("resolves loopback");
+        match client.stats_by_id(0) {
+            Err(ClientError::Io(_)) => {
+                assert_eq!(client.retries(), 2, "two retries after the first attempt");
+            }
+            Ok(_) => {} // something grabbed the port; nothing to assert
+            Err(other) => panic!("expected Io, got {other}"),
+        }
     }
 
     #[test]

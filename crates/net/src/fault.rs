@@ -1,0 +1,319 @@
+//! Deterministic fault injection for the socket layer.
+//!
+//! [`FaultyStream`] wraps a [`TcpStream`] and, driven by a seeded RNG,
+//! perturbs its IO the ways real networks do: **partial writes** (a write
+//! accepts only a prefix, exercising every `write_all` loop), **short
+//! reads** (a read fills only a prefix, exercising `read_exact`
+//! reassembly), **injected delays** (latency jitter), and **mid-frame
+//! disconnects** (the socket is shut down partway through a frame, so the
+//! peer sees a truncated stream). The same [`FaultPlan`] seed reproduces
+//! the same fault sequence for the same IO sequence — chaos tests are
+//! replayable, not flaky.
+//!
+//! The wrapper sits *under* the framing layer on both sides:
+//! [`NetConfig::fault`](crate::NetConfig::fault) injects on every admitted
+//! server connection, and
+//! [`RetryingClient`](crate::RetryingClient) injects on its own
+//! connections. Faults corrupt *delivery*, never payloads — a frame either
+//! arrives intact or the connection dies — so a client that retries can
+//! be wrong only if the protocol is; the chaos campaign in `asgd-chaos`
+//! asserts exactly that (zero wrong answers under churn).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded probabilities for each fault class. The default plan is a
+/// passthrough: every probability zero, no disconnect budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-stream fault RNG.
+    pub seed: u64,
+    /// Probability an IO operation is delayed first.
+    pub delay_prob: f64,
+    /// Upper bound on an injected delay.
+    pub max_delay: Duration,
+    /// Probability a write accepts only a prefix of the buffer.
+    pub partial_write_prob: f64,
+    /// Probability a read fills only a prefix of the buffer.
+    pub short_read_prob: f64,
+    /// Probability an IO operation tears the connection down mid-frame.
+    pub disconnect_prob: f64,
+    /// Disconnects this plan may inject in total (per stream).
+    pub max_disconnects: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            delay_prob: 0.0,
+            max_delay: Duration::ZERO,
+            partial_write_prob: 0.0,
+            short_read_prob: 0.0,
+            disconnect_prob: 0.0,
+            max_disconnects: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the default).
+    #[must_use]
+    pub fn passthrough() -> Self {
+        Self::default()
+    }
+
+    /// An aggressive-but-bounded plan for chaos tests: frequent partial
+    /// writes and short reads, occasional small delays, and up to
+    /// `max_disconnects` mid-frame disconnects.
+    #[must_use]
+    pub fn chaotic(seed: u64) -> Self {
+        Self {
+            seed,
+            delay_prob: 0.05,
+            max_delay: Duration::from_millis(2),
+            partial_write_prob: 0.4,
+            short_read_prob: 0.4,
+            disconnect_prob: 0.02,
+            max_disconnects: 2,
+        }
+    }
+
+    /// True when this plan can never perturb IO.
+    #[must_use]
+    pub fn is_passthrough(&self) -> bool {
+        self.partial_write_prob <= 0.0
+            && self.short_read_prob <= 0.0
+            && self.delay_prob <= 0.0
+            && (self.disconnect_prob <= 0.0 || self.max_disconnects == 0)
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the delay fault class.
+    #[must_use]
+    pub fn delays(mut self, prob: f64, max_delay: Duration) -> Self {
+        self.delay_prob = prob;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Sets the partial-write probability.
+    #[must_use]
+    pub fn partial_writes(mut self, prob: f64) -> Self {
+        self.partial_write_prob = prob;
+        self
+    }
+
+    /// Sets the short-read probability.
+    #[must_use]
+    pub fn short_reads(mut self, prob: f64) -> Self {
+        self.short_read_prob = prob;
+        self
+    }
+
+    /// Sets the disconnect fault class.
+    #[must_use]
+    pub fn disconnects(mut self, prob: f64, budget: u32) -> Self {
+        self.disconnect_prob = prob;
+        self.max_disconnects = budget;
+        self
+    }
+
+    /// The same plan re-seeded for a child stream: connection `salt` under
+    /// one campaign seed gets its own deterministic fault sequence.
+    #[must_use]
+    pub fn child(&self, salt: u64) -> Self {
+        let mut child = *self;
+        // SplitMix64 finalizer: decorrelates consecutive salts.
+        let mut z = self.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        child.seed = z ^ (z >> 31);
+        child
+    }
+}
+
+/// A [`TcpStream`] with deterministic fault injection under the framing
+/// layer. Constructed with a passthrough plan it behaves exactly like the
+/// bare stream.
+#[derive(Debug)]
+pub struct FaultyStream {
+    inner: TcpStream,
+    plan: FaultPlan,
+    rng: StdRng,
+    disconnects_left: u32,
+}
+
+impl FaultyStream {
+    /// Wraps `inner` under `plan`.
+    #[must_use]
+    pub fn new(inner: TcpStream, plan: FaultPlan) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(plan.seed),
+            disconnects_left: plan.max_disconnects,
+            inner,
+            plan,
+        }
+    }
+
+    /// Wraps `inner` with no faults at all.
+    #[must_use]
+    pub fn passthrough(inner: TcpStream) -> Self {
+        Self::new(inner, FaultPlan::passthrough())
+    }
+
+    /// The underlying socket, for timeouts and shutdown.
+    #[must_use]
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.inner
+    }
+
+    fn roll(&mut self, prob: f64) -> bool {
+        prob > 0.0 && self.rng.gen::<f64>() < prob
+    }
+
+    fn maybe_delay(&mut self) {
+        if self.roll(self.plan.delay_prob) && !self.plan.max_delay.is_zero() {
+            let nanos = self.plan.max_delay.as_nanos().min(u128::from(u64::MAX / 2)) as u64;
+            std::thread::sleep(Duration::from_nanos(self.rng.gen_range(0..nanos + 1)));
+        }
+    }
+
+    /// Tears the connection down and reports the error the peer of a dying
+    /// socket would see.
+    fn disconnect(&mut self) -> std::io::Error {
+        let _ = self.inner.shutdown(std::net::Shutdown::Both);
+        std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "injected fault: connection torn down mid-frame",
+        )
+    }
+
+    fn take_disconnect(&mut self) -> bool {
+        if self.disconnects_left > 0 && self.roll(self.plan.disconnect_prob) {
+            self.disconnects_left -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Read for FaultyStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.maybe_delay();
+        if self.take_disconnect() {
+            return Err(self.disconnect());
+        }
+        let len = if buf.len() > 1 && self.roll(self.plan.short_read_prob) {
+            self.rng.gen_range(1..buf.len())
+        } else {
+            buf.len()
+        };
+        self.inner.read(&mut buf[..len])
+    }
+}
+
+impl Write for FaultyStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.maybe_delay();
+        if self.take_disconnect() {
+            // A mid-frame tear: deliver a random prefix, then kill the
+            // socket, so the peer sees a truncated frame followed by EOF.
+            if !buf.is_empty() {
+                let torn = self.rng.gen_range(0..buf.len());
+                if torn > 0 {
+                    let _ = self.inner.write(&buf[..torn]);
+                    let _ = self.inner.flush();
+                }
+            }
+            return Err(self.disconnect());
+        }
+        let len = if buf.len() > 1 && self.roll(self.plan.partial_write_prob) {
+            self.rng.gen_range(1..buf.len())
+        } else {
+            buf.len()
+        };
+        self.inner.write(&buf[..len])
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).expect("connects");
+        let (b, _) = listener.accept().expect("accepts");
+        (a, b)
+    }
+
+    #[test]
+    fn passthrough_moves_bytes_unchanged() {
+        let (a, b) = pair();
+        let mut tx = FaultyStream::passthrough(a);
+        let mut rx = FaultyStream::passthrough(b);
+        tx.write_all(b"hello faults").expect("writes");
+        let mut got = [0_u8; 12];
+        rx.read_exact(&mut got).expect("reads");
+        assert_eq!(&got, b"hello faults");
+        assert!(FaultPlan::default().is_passthrough());
+        assert!(!FaultPlan::chaotic(1).is_passthrough());
+    }
+
+    #[test]
+    fn partial_writes_and_short_reads_still_deliver_every_byte() {
+        let (a, b) = pair();
+        let plan = FaultPlan::default()
+            .seed(42)
+            .partial_writes(0.9)
+            .short_reads(0.9);
+        let mut tx = FaultyStream::new(a, plan);
+        let mut rx = FaultyStream::new(b, plan.child(1));
+        let payload: Vec<u8> = (0..=255).collect();
+        tx.write_all(&payload)
+            .expect("write_all loops over partials");
+        let mut got = vec![0_u8; payload.len()];
+        rx.read_exact(&mut got)
+            .expect("read_exact loops over shorts");
+        assert_eq!(got, payload, "fragmentation must never corrupt bytes");
+    }
+
+    #[test]
+    fn disconnect_budget_is_respected_and_kills_the_socket() {
+        let (a, b) = pair();
+        let plan = FaultPlan::default().seed(7).disconnects(1.0, 1);
+        let mut tx = FaultyStream::new(a, plan);
+        let err = tx.write(b"doomed").expect_err("first write disconnects");
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        // Budget exhausted: the wrapper stops injecting, but the socket is
+        // already dead, so the OS reports the failure from here on.
+        assert!(tx.write(b"after").is_err());
+        drop(b);
+    }
+
+    #[test]
+    fn child_plans_decorrelate_but_reproduce() {
+        let plan = FaultPlan::chaotic(99);
+        assert_eq!(plan.child(3), plan.child(3), "same salt, same plan");
+        assert_ne!(plan.child(3).seed, plan.child(4).seed);
+        assert_ne!(plan.child(3).seed, plan.seed);
+    }
+}

@@ -28,6 +28,16 @@
 //!   **open-loop** socket fleet (fixed tick schedule, latency charged
 //!   from the scheduled send instant) whose per-priority [`NetReport`]
 //!   is how the bench demonstrates shedding under deliberate overload.
+//! * [`fault`] — deterministic fault injection under the framing layer:
+//!   [`FaultyStream`] perturbs delivery (partial writes, short reads,
+//!   delays, mid-frame disconnects) per a seeded [`FaultPlan`], on both
+//!   the server ([`NetConfig::fault`]) and the client side.
+//!   [`RetryingClient`] is the survival strategy: every [`ClientError`]
+//!   carries a [`RetryClass`], and retryable failures are replayed with
+//!   capped exponential backoff, jitter, and reconnect-on-broken-pipe —
+//!   sound because the protocol's requests are all idempotent reads. The
+//!   `asgd-chaos` crate drives this pair as a campaign and asserts zero
+//!   wrong answers under churn.
 //!
 //! # Example
 //!
@@ -66,12 +76,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod protocol;
 pub mod server;
 pub mod shed;
 pub mod workload;
 
-pub use client::{ClientError, NetClient};
+pub use client::{ClientError, NetClient, RetryClass, RetryPolicy, RetryingClient};
+pub use fault::{FaultPlan, FaultyStream};
 pub use protocol::{
     read_frame, write_frame, ErrorCode, FrameError, Priority, Request, RequestFrame, Response,
     StatsSelector, MAX_FRAME_LEN, MAX_PROBE_LEN, PROTOCOL_VERSION,

@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use asgd_serve::{ModelEntry, ModelId, ModelRegistry, ReadMode, ServeError};
 
+use crate::fault::{FaultPlan, FaultyStream};
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameError, Request, RequestFrame, Response, StatsSelector,
     MAX_FRAME_LEN,
@@ -59,6 +60,10 @@ pub struct NetConfig {
     pub write_timeout: Duration,
     /// The load-shedding policy (no SLO by default — shedding off).
     pub slo: SloPolicy,
+    /// Fault injection on every admitted connection (passthrough by
+    /// default). Each connection's faults are re-seeded from the accept
+    /// counter, so a campaign seed reproduces the same churn.
+    pub fault: FaultPlan,
 }
 
 impl Default for NetConfig {
@@ -70,6 +75,7 @@ impl Default for NetConfig {
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(5),
             slo: SloPolicy::default(),
+            fault: FaultPlan::passthrough(),
         }
     }
 }
@@ -114,6 +120,13 @@ impl NetConfig {
     #[must_use]
     pub fn slo(mut self, slo: SloPolicy) -> Self {
         self.slo = slo;
+        self
+    }
+
+    /// Sets the fault-injection plan for admitted connections.
+    #[must_use]
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
         self
     }
 }
@@ -282,8 +295,9 @@ fn accept_loop(
                     deny(stream);
                     continue;
                 }
-                counters.accepted.fetch_add(1, Ordering::Relaxed);
+                let salt = counters.accepted.fetch_add(1, Ordering::Relaxed);
                 counters.active.fetch_add(1, Ordering::SeqCst);
+                let stream = FaultyStream::new(stream, config.fault.child(salt));
                 let conn = Connection {
                     stop: Arc::clone(stop),
                     counters: Arc::clone(counters),
@@ -345,7 +359,7 @@ struct Connection {
 }
 
 impl Connection {
-    fn run(self, mut stream: TcpStream) {
+    fn run(self, mut stream: FaultyStream) {
         // Decrement `active` however this thread exits.
         struct ActiveGuard(Arc<Counters>);
         impl Drop for ActiveGuard {
@@ -356,7 +370,7 @@ impl Connection {
         let _guard = ActiveGuard(Arc::clone(&self.counters));
         // Reads wake every POLL_INTERVAL to check the stop flag; the idle
         // timeout is enforced across consecutive wake-ups.
-        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let _ = stream.get_ref().set_read_timeout(Some(POLL_INTERVAL));
         let mut cache: HashMap<u32, ModelCache> = HashMap::new();
         let mut body = Vec::new();
         let mut idle_since = Instant::now();
@@ -459,7 +473,7 @@ impl Connection {
     }
 
     /// Writes one response frame; false when the connection is dead.
-    fn respond(&self, stream: &mut TcpStream, response: &Response) -> bool {
+    fn respond(&self, stream: &mut FaultyStream, response: &Response) -> bool {
         let body = match response.encode() {
             Ok(body) => body,
             Err(e) => {

@@ -13,6 +13,15 @@
 //! * trigger < p99 ≤ 2×trigger — degraded; [`Priority::Low`] is shed;
 //! * p99 > 2×trigger — overloaded; only [`Priority::High`] is admitted.
 //!
+//! Tier changes are **hysteretic**: a tier engages at its trigger
+//! threshold but only releases once the p99 falls below
+//! [`SloPolicy::release_ratio`] × that threshold. Without the gap, a p99
+//! hovering at the trigger flaps the shedder every refresh — each flap
+//! admits a burst of traffic that re-degrades the p99, re-engaging the
+//! tier it just left. The engaged/held/released tier is recomputed at
+//! every p99 refresh and cached, so the verdict hot path stays one atomic
+//! load.
+//!
 //! Shed requests get an explicit [`Response::Shed`](crate::Response::Shed)
 //! frame carrying the observed p99 and the objective — never a silent
 //! drop — and skip the request's compute entirely, which is what frees
@@ -21,7 +30,7 @@
 //! down and oscillate the shedder), so recovery is driven by the rotation
 //! of the window as admitted requests complete.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -46,6 +55,11 @@ pub struct SloPolicy {
     /// p99 settles *inside* the objective instead of hovering at it.
     /// Values outside `(0, 1]` are treated as `1.0`.
     pub trigger_ratio: f64,
+    /// Hysteresis: an engaged tier releases only once the p99 falls below
+    /// `release_ratio` × its engage threshold. `1.0` means no hysteresis
+    /// (engage and release at the same point); values outside `(0, 1]`
+    /// are treated as `1.0`.
+    pub release_ratio: f64,
     /// Number of rotation buckets in the rolling window.
     pub window_buckets: usize,
     /// Executed requests per bucket before the window rotates.
@@ -61,6 +75,7 @@ impl Default for SloPolicy {
         Self {
             slo: None,
             trigger_ratio: 1.0,
+            release_ratio: 0.85,
             window_buckets: 8,
             bucket_capacity: 256,
             min_samples: 64,
@@ -109,6 +124,12 @@ pub struct LoadShedder {
     since_refresh: AtomicU64,
     /// Refresh the cached p99 every this many recordings.
     refresh_stride: u64,
+    /// Cached shedding tier: 0 healthy, 1 degraded (shed Low), 2
+    /// overloaded (shed Low and Normal). Recomputed hysteretically at
+    /// every p99 refresh.
+    tier: AtomicU8,
+    /// Tier changes since construction (flap detector).
+    transitions: AtomicU64,
     shed_total: AtomicU64,
     executed_total: AtomicU64,
 }
@@ -128,6 +149,8 @@ impl LoadShedder {
             p99_ns: AtomicU64::new(0),
             since_refresh: AtomicU64::new(0),
             refresh_stride,
+            tier: AtomicU8::new(0),
+            transitions: AtomicU64::new(0),
             shed_total: AtomicU64::new(0),
             executed_total: AtomicU64::new(0),
         }
@@ -139,28 +162,86 @@ impl LoadShedder {
         &self.policy
     }
 
+    /// The shed trigger in ns: the SLO scaled by the (validated)
+    /// trigger ratio. `None` when shedding is off.
+    fn trigger_ns(&self) -> Option<u64> {
+        let slo_ns = self.slo_ns()?;
+        let ratio = self.policy.trigger_ratio;
+        Some(if ratio.is_finite() && ratio > 0.0 && ratio < 1.0 {
+            ((slo_ns as f64 * ratio) as u64).max(1)
+        } else {
+            slo_ns
+        })
+    }
+
+    fn slo_ns(&self) -> Option<u64> {
+        self.policy
+            .slo
+            .map(|slo| slo.as_nanos().min(u128::from(u64::MAX)) as u64)
+    }
+
+    /// The validated release ratio (out-of-range values mean no
+    /// hysteresis).
+    fn release_ratio(&self) -> f64 {
+        let r = self.policy.release_ratio;
+        if r.is_finite() && r > 0.0 && r < 1.0 {
+            r
+        } else {
+            1.0
+        }
+    }
+
+    /// The hysteretic tier update, run at every p99 refresh:
+    /// `engage` is the tier the fresh p99 demands outright; `hold` is the
+    /// highest tier whose *release* threshold (release_ratio × its engage
+    /// threshold) the p99 still exceeds. The new tier engages upward
+    /// immediately but releases downward only past the hold thresholds —
+    /// `max(engage, min(current, hold))`.
+    fn retier(&self, p99_ns: u64) {
+        let Some(trigger_ns) = self.trigger_ns() else {
+            return;
+        };
+        let tier_from = |p99: u64, low: u64, high: u64| -> u8 {
+            if p99 > high {
+                2
+            } else if p99 > low {
+                1
+            } else {
+                0
+            }
+        };
+        let new = if p99_ns == 0 {
+            0 // estimate lost (window below min_samples): start over
+        } else {
+            let high_ns = trigger_ns.saturating_mul(2);
+            let engage = tier_from(p99_ns, trigger_ns, high_ns);
+            let release = self.release_ratio();
+            let hold = tier_from(
+                p99_ns,
+                ((trigger_ns as f64 * release) as u64).max(1),
+                ((high_ns as f64 * release) as u64).max(1),
+            );
+            let current = self.tier.load(Ordering::Relaxed);
+            engage.max(current.min(hold))
+        };
+        if self.tier.swap(new, Ordering::Relaxed) != new {
+            self.transitions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Decides whether a request at `priority` is admitted right now.
     pub fn verdict(&self, priority: Priority) -> Verdict {
-        let Some(slo) = self.policy.slo else {
+        let Some(slo_ns) = self.slo_ns() else {
             return Verdict::Admit;
         };
         let p99_ns = self.p99_ns.load(Ordering::Relaxed);
         if p99_ns == 0 {
             return Verdict::Admit; // no estimate yet
         }
-        let slo_ns = slo.as_nanos().min(u128::from(u64::MAX)) as u64;
-        let ratio = self.policy.trigger_ratio;
-        let trigger_ns = if ratio.is_finite() && ratio > 0.0 && ratio < 1.0 {
-            ((slo_ns as f64 * ratio) as u64).max(1)
-        } else {
-            slo_ns
-        };
-        let floor = if p99_ns <= trigger_ns {
-            return Verdict::Admit;
-        } else if p99_ns <= trigger_ns.saturating_mul(2) {
-            Priority::Normal // degraded: shed Low
-        } else {
-            Priority::High // overloaded: only High survives
+        let floor = match self.tier.load(Ordering::Relaxed) {
+            0 => return Verdict::Admit,
+            1 => Priority::Normal, // degraded: shed Low
+            _ => Priority::High,   // overloaded: only High survives
         };
         if priority >= floor {
             Verdict::Admit
@@ -186,7 +267,21 @@ impl LoadShedder {
                 0
             };
             self.p99_ns.store(p99, Ordering::Relaxed);
+            self.retier(p99);
         }
+    }
+
+    /// The current shedding tier: 0 healthy, 1 degraded, 2 overloaded.
+    #[must_use]
+    pub fn tier(&self) -> u8 {
+        self.tier.load(Ordering::Relaxed)
+    }
+
+    /// Tier changes since construction — the flap detector hysteresis
+    /// exists to keep small.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions.load(Ordering::Relaxed)
     }
 
     /// The cached rolling p99 in ns (`None` before enough samples).
@@ -321,6 +416,86 @@ mod tests {
         // Fewer than min_samples slow requests: estimate not trusted yet.
         saturate(&shedder, ms(500), 40);
         assert_eq!(shedder.verdict(Priority::Low), Verdict::Admit);
+    }
+
+    #[test]
+    fn hysteresis_holds_the_tier_through_an_oscillating_p99() {
+        // Trigger 10 ms, release at 0.8 × 10 = 8 ms. A p99 ramping
+        // 11 → 9 → 11 → … crosses the engage threshold every burst but
+        // never the release threshold, so the tier must engage once and
+        // hold.
+        let shedder = LoadShedder::new(SloPolicy {
+            release_ratio: 0.8,
+            window_buckets: 4,
+            bucket_capacity: 64,
+            min_samples: 32,
+            ..SloPolicy::with_slo(ms(10))
+        });
+        saturate(&shedder, ms(11), 256);
+        assert_eq!(shedder.tier(), 1, "degraded engages past the trigger");
+        let engaged = shedder.transitions();
+        assert!(engaged >= 1);
+        for _ in 0..6 {
+            saturate(&shedder, ms(9), 256); // below trigger, above release
+            assert_eq!(shedder.tier(), 1, "held: 9 ms is above the 8 ms release");
+            assert!(matches!(
+                shedder.verdict(Priority::Low),
+                Verdict::Shed { .. }
+            ));
+            saturate(&shedder, ms(11), 256);
+            assert_eq!(shedder.tier(), 1);
+        }
+        assert_eq!(
+            shedder.transitions(),
+            engaged,
+            "no flapping across the whole ramp"
+        );
+        // A real recovery (clearly below release) still releases the tier.
+        saturate(&shedder, ms(1), 256);
+        assert_eq!(shedder.tier(), 0);
+        assert_eq!(shedder.verdict(Priority::Low), Verdict::Admit);
+        assert_eq!(shedder.transitions(), engaged + 1);
+    }
+
+    #[test]
+    fn without_hysteresis_the_same_ramp_flaps() {
+        // Control experiment: release_ratio 1.0 turns hysteresis off, and
+        // the identical 11/9 ms ramp now toggles the tier every burst.
+        let shedder = LoadShedder::new(SloPolicy {
+            release_ratio: 1.0,
+            window_buckets: 4,
+            bucket_capacity: 64,
+            min_samples: 32,
+            ..SloPolicy::with_slo(ms(10))
+        });
+        saturate(&shedder, ms(11), 256);
+        let engaged = shedder.transitions();
+        for _ in 0..6 {
+            saturate(&shedder, ms(9), 256);
+            saturate(&shedder, ms(11), 256);
+        }
+        assert!(
+            shedder.transitions() >= engaged + 12,
+            "expected a flap per burst, saw {} transitions",
+            shedder.transitions()
+        );
+    }
+
+    #[test]
+    fn out_of_range_release_ratios_mean_no_hysteresis() {
+        for ratio in [0.0, -0.5, 1.5, f64::NAN] {
+            let shedder = LoadShedder::new(SloPolicy {
+                release_ratio: ratio,
+                window_buckets: 4,
+                bucket_capacity: 64,
+                min_samples: 32,
+                ..SloPolicy::with_slo(ms(10))
+            });
+            saturate(&shedder, ms(11), 256);
+            assert_eq!(shedder.tier(), 1);
+            saturate(&shedder, ms(9), 256); // below the trigger releases
+            assert_eq!(shedder.tier(), 0, "ratio {ratio} must disable the hold");
+        }
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //! Handles obtained *before* a drop stay readable (the underlying
 //! [`ModelReader`](asgd_driver::ModelReader) outlives the run); the drop
 //! cancels training and unpublishes the name and id.
+//!
+//! The create/query/drop lifecycle is model-checked in `asgd-chaos`
+//! (`RegistryModel`): the lock-recheck-insert shape used by `create` keeps
+//! both name→id and id→entry maps coherent on every bounded-preemption
+//! schedule, while a split check-then-insert variant is caught orphaning
+//! an entry with a single preemption.
 
 use crate::error::ServeError;
 use crate::service::ModelService;

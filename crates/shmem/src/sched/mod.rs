@@ -19,7 +19,10 @@ mod recorded;
 
 pub use adversary::{BoundedDelayAdversary, CrashAdversary, StaleGradientAdversary};
 pub use basic::{IterationSerial, RandomScheduler, SerialScheduler, StepRoundRobin};
-pub use recorded::{RecordingScheduler, ReplayScheduler, ScheduleLog};
+pub use recorded::{
+    decode_schedule, encode_schedule, RecordingScheduler, ReplayScheduler, ScheduleLog,
+    ScheduleParseError,
+};
 
 use crate::contention::ContentionTracker;
 use crate::memory::Memory;

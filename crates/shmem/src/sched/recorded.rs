@@ -4,10 +4,86 @@
 //! seed and scheduler must reproduce the same execution bit-for-bit. These
 //! wrappers make that testable — record a schedule once, replay it, and the
 //! resulting executions must be identical.
+//!
+//! [`encode_schedule`]/[`decode_schedule`] give decision logs a stable
+//! one-line text form (`s3` = schedule thread 3, `c1` = crash thread 1,
+//! space-separated), so a recorded adversarial schedule — or an explorer
+//! counterexample from `asgd-chaos`, which uses the same [`Decision`]
+//! vocabulary — can be committed, attached to a bug report, and replayed
+//! verbatim later.
 
 use super::{Decision, SchedView, Scheduler};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// A token [`decode_schedule`] could not parse, with its 0-based position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleParseError {
+    /// The offending whitespace-separated token.
+    pub token: String,
+    /// Its 0-based index in the token stream.
+    pub position: usize,
+}
+
+impl std::fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bad schedule token `{}` at position {} (want `s<tid>` or `c<tid>`)",
+            self.token, self.position
+        )
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
+/// Renders a decision log as replayable text: `s<tid>` per scheduled step,
+/// `c<tid>` per crash, space-separated. The empty log encodes as `""`.
+#[must_use]
+pub fn encode_schedule(decisions: &[Decision]) -> String {
+    let mut out = String::new();
+    for (i, d) in decisions.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        match d {
+            Decision::Schedule(tid) => {
+                out.push('s');
+                out.push_str(&tid.to_string());
+            }
+            Decision::Crash(tid) => {
+                out.push('c');
+                out.push_str(&tid.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Parses the text form produced by [`encode_schedule`]. Whitespace between
+/// tokens is free-form, so logs survive line wrapping in artifacts.
+///
+/// # Errors
+///
+/// [`ScheduleParseError`] naming the first malformed token.
+pub fn decode_schedule(text: &str) -> Result<Vec<Decision>, ScheduleParseError> {
+    let mut out = Vec::new();
+    for (position, token) in text.split_whitespace().enumerate() {
+        let err = || ScheduleParseError {
+            token: token.to_string(),
+            position,
+        };
+        let mut chars = token.chars();
+        let kind = chars.next().ok_or_else(err)?;
+        let tid: usize = chars.as_str().parse().map_err(|_| err())?;
+        match kind {
+            's' => out.push(Decision::Schedule(tid)),
+            'c' => out.push(Decision::Crash(tid)),
+            _ => return Err(err()),
+        }
+    }
+    Ok(out)
+}
 
 /// Shared handle to a recorded decision log.
 pub type ScheduleLog = Rc<RefCell<Vec<Decision>>>;
@@ -142,6 +218,44 @@ mod tests {
         assert_eq!(rep.decide(&view), d1);
         assert_eq!(rep.decide(&view), d2);
         assert_eq!(rep.remaining(), 0);
+    }
+
+    #[test]
+    fn schedule_text_round_trips() {
+        let log = vec![
+            Decision::Schedule(0),
+            Decision::Schedule(12),
+            Decision::Crash(3),
+            Decision::Schedule(1),
+        ];
+        let text = encode_schedule(&log);
+        assert_eq!(text, "s0 s12 c3 s1");
+        assert_eq!(decode_schedule(&text).expect("round trip"), log);
+        assert_eq!(decode_schedule("").expect("empty"), vec![]);
+        assert_eq!(
+            decode_schedule("  s0\n s1\t c2 ").expect("free-form whitespace"),
+            vec![
+                Decision::Schedule(0),
+                Decision::Schedule(1),
+                Decision::Crash(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_schedule_tokens_are_typed_errors() {
+        for (text, bad_token, position) in [
+            ("s0 x1", "x1", 1),
+            ("s", "s", 0),
+            ("s0 c", "c", 1),
+            ("é3", "é3", 0),
+            ("s-1", "s-1", 0),
+        ] {
+            let err = decode_schedule(text).expect_err(text);
+            assert_eq!(err.token, bad_token, "{text}");
+            assert_eq!(err.position, position, "{text}");
+            assert!(err.to_string().contains(bad_token));
+        }
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! | [`theory`] | `asgd-theory` | Theorems 3.1/6.3/6.5, Corollaries 6.7/7.1, §5 lower bound |
 //! | [`hogwild`] | `asgd-hogwild` | native lock-free runtime + locked baseline + epoch guard + snapshot publication |
 //! | [`serve`] | `asgd-serve` | online model serving: live/snapshot reads racing a training run, multi-model `ModelRegistry`, closed-loop traffic harness, latency/staleness telemetry |
-//! | [`net`] | `asgd-net` | the network tier: length-prefixed wire protocol over TCP, thread-per-connection server with admission control and SLO load shedding, blocking client, open-loop socket workloads |
+//! | [`net`] | `asgd-net` | the network tier: length-prefixed wire protocol over TCP, thread-per-connection server with admission control and SLO load shedding, blocking + retrying clients, seeded fault injection, open-loop socket workloads |
+//! | [`chaos`] | `asgd-chaos` | adversarial robustness: bounded-preemption model checking of the workspace's own concurrent protocols (snapshot seqlock, atomic CAS loop, registry lifecycle) with replayable counterexample traces, plus the zero-wrong-answers net fault campaign |
 //! | [`metrics`] | `asgd-metrics` | trial harness, tables, histograms |
 //!
 //! # Quickstart: the unified driver
@@ -93,6 +94,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use asgd_chaos as chaos;
 pub use asgd_core as core;
 pub use asgd_driver as driver;
 pub use asgd_hogwild as hogwild;
@@ -106,6 +108,7 @@ pub use asgd_theory as theory;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use asgd_chaos::{run_net_chaos, Explorer, NetChaosSpec, Schedulable};
     pub use asgd_core::full_sgd::{run_simulated as run_full_sgd_simulated, FullSgdConfig};
     pub use asgd_core::runner::{LockFreeRun, LockFreeSgd, RunnerError};
     pub use asgd_core::sequential::SequentialSgd;
@@ -122,8 +125,8 @@ pub mod prelude {
     pub use asgd_hogwild::locked::LockedSgd;
     pub use asgd_hogwild::{ExecTuning, ModelLayout, SparsePolicy, UpdateOrder};
     pub use asgd_net::{
-        run_net_workload, NetClient, NetConfig, NetOp, NetReport, NetServer, NetWorkloadSpec,
-        Priority, SloPolicy,
+        run_net_workload, FaultPlan, NetClient, NetConfig, NetOp, NetReport, NetServer,
+        NetWorkloadSpec, Priority, RetryPolicy, RetryingClient, SloPolicy,
     };
     pub use asgd_oracle::{
         Constants, GradientOracle, LinearRegression, Minibatch, ModelView, NoisyQuadratic,
