@@ -45,7 +45,9 @@
 //! Bench-check mode (the committed-artifact regression gate: re-measures
 //! the serving, serving-net, sparse-path, and theory-validation grids and
 //! fails on >30% regressions against `BENCH_serving.json` /
-//! `BENCH_net.json` / `BENCH_sparse_path.json` / `BENCH_validation.json`):
+//! `BENCH_net.json` / `BENCH_sparse_path.json` / `BENCH_validation.json`,
+//! and requires every drifted cell of `BENCH_ingest.json` — plus one
+//! fresh live drift cell — to have recovered in finite time):
 //!
 //! ```text
 //! cargo run -p asgd-bench --release --bin experiments -- bench-check
@@ -825,7 +827,10 @@ fn usage_bench_check() -> ! {
          Re-runs the quick `serving` and `serving-net` sweeps and compares\n\
          every cell both grids measured against the committed artifacts\n\
          (BENCH_serving.json, BENCH_net.json). Exits non-zero when answered\n\
-         throughput drops, or p99 latency rises, past the tolerance.\n\
+         throughput drops, or p99 latency rises, past the tolerance. Also\n\
+         gates the sparse-path and validation artifacts, and the ingest\n\
+         artifact (every committed drifted cell, and one fresh live drift\n\
+         cell, must have recovered in finite time).\n\
          \n\
          options (defaults in parentheses):\n\
          \x20 --dir PATH        directory holding the committed artifacts (.)\n\
@@ -868,7 +873,8 @@ fn usage_chaos() -> ! {
          \n\
          Adversarial-robustness gate. The `explore` suite model-checks the\n\
          workspace's concurrent protocols (snapshot seqlock, AtomicF64 CAS\n\
-         loop, registry lifecycle) over every schedule within a preemption\n\
+         loop, registry lifecycle, ingress queue under every backpressure\n\
+         policy) over every schedule within a preemption\n\
          bound: the shipped protocols must verify, and deliberately seeded\n\
          bugs must be caught with minimized traces that replay to the\n\
          identical violation. The `net` suite runs the fault-injection\n\
@@ -962,8 +968,10 @@ fn chaos_explore_cell<P: asgd_chaos::Schedulable>(
 
 fn chaos_mode(args: &[String]) {
     use asgd_chaos::{
-        AddMode, AtomicAddModel, FenceMode, RegistryMode, RegistryModel, SnapshotModel,
+        AddMode, AtomicAddModel, FenceMode, IngestQueueModel, LenMode, RegistryMode, RegistryModel,
+        SnapshotModel,
     };
+    use asgd_oracle::BackpressurePolicy;
 
     let mut suite = "all".to_string();
     let mut bound = 2usize;
@@ -1020,6 +1028,19 @@ fn chaos_mode(args: &[String]) {
             false,
             &artifacts,
         );
+        for (name, policy) in [
+            ("ingest-queue-block", BackpressurePolicy::Block),
+            ("ingest-queue-drop-oldest", BackpressurePolicy::DropOldest),
+            ("ingest-queue-reject", BackpressurePolicy::Reject),
+        ] {
+            failed |= !chaos_explore_cell(
+                name,
+                &IngestQueueModel::churning(policy, LenMode::Atomic),
+                bound,
+                false,
+                &artifacts,
+            );
+        }
         // Seeded bugs: the explorer must catch each one, and the minimized
         // trace must replay to the identical violation.
         failed |= !chaos_explore_cell(
@@ -1039,6 +1060,13 @@ fn chaos_mode(args: &[String]) {
         failed |= !chaos_explore_cell(
             "registry-split-check",
             &RegistryModel::name_race(RegistryMode::SplitCheck),
+            bound,
+            true,
+            &artifacts,
+        );
+        failed |= !chaos_explore_cell(
+            "ingest-queue-split-check",
+            &IngestQueueModel::contended(BackpressurePolicy::Block, LenMode::SplitCheck),
             bound,
             true,
             &artifacts,

@@ -21,15 +21,23 @@
 //!   (α, horizon, total iterations, bound) must agree with the committed
 //!   artifact within the tolerance. Fewer fresh trials only coarsen the
 //!   measured rate, which the gate does not compare.
+//! - **ingest**: the committed `BENCH_ingest.json` must parse row-by-row
+//!   as [`IngestReport`]s, and every drifted cell must carry a finite
+//!   time-to-recover — a committed cell that never got back inside the
+//!   success region is not a baseline, it is a regression already. One
+//!   fresh quick drift cell then re-runs the live loop end to end and must
+//!   itself recover; TTR magnitudes are not compared (wall-clock recovery
+//!   on a shared core is far noisier than the tolerance).
 //!
 //! Cells only one side measured (the full grids are wider than the fresh
 //! ones) are skipped. An empty intersection is itself a failure: a gate
 //! that compares nothing gates nothing.
 
-use crate::experiments::{serving, serving_net, sparse_scaling};
+use crate::experiments::{ingest, serving, serving_net, sparse_scaling};
 use asgd_driver::json::{self, Value};
 use asgd_driver::report::{field_f64, field_str, field_u64};
 use asgd_driver::{validate, ValidationCell, ValidationPlan, ValidationReport};
+use asgd_ingest::IngestReport;
 use asgd_oracle::OracleSpec;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -347,6 +355,74 @@ fn validation_gate(dir: &Path, tol: f64, report: &mut CheckReport) {
     }
 }
 
+/// Validates the committed ingest artifact (every drifted cell recovered)
+/// and re-runs one fresh quick drift cell over the live socket, which must
+/// also recover. Absolute TTRs are too noisy to compare across machines;
+/// what the gate pins is the *property* every committed and fresh cell
+/// must have — finite recovery.
+fn ingest_gate(dir: &Path, report: &mut CheckReport) {
+    let path = dir.join("BENCH_ingest.json");
+    let rows = match load_rows(&path) {
+        Ok(rows) => rows,
+        Err(e) => {
+            report.failures.push(format!("ingest baseline: {e}"));
+            return;
+        }
+    };
+    if rows.is_empty() {
+        report
+            .failures
+            .push("ingest: committed artifact has no rows — the gate is vacuous".to_string());
+        return;
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let cell = match IngestReport::from_value(row) {
+            Ok(cell) => cell,
+            Err(e) => {
+                report.failures.push(format!(
+                    "ingest row {i}: does not parse as IngestReport: {e}"
+                ));
+                continue;
+            }
+        };
+        let key = format!("producers={},policy={}", cell.producers, cell.policy);
+        let mut verdict = "ok";
+        if cell.consumed == 0 {
+            verdict = "REGRESSED";
+            report
+                .failures
+                .push(format!("ingest {key}: committed cell consumed nothing"));
+        }
+        if cell.drift.is_some() && cell.time_to_recover_secs.is_none() {
+            verdict = "REGRESSED";
+            report.failures.push(format!(
+                "ingest {key}: committed drifted cell never recovered"
+            ));
+        }
+        report.lines.push(format!(
+            "ingest {key}: recover {} [{verdict}]",
+            cell.time_to_recover_secs
+                .map_or_else(|| "never".to_string(), |t| format!("{:.1}ms", t * 1e3)),
+        ));
+    }
+    // One live cell: the loop itself must still close after drift.
+    match ingest::cell_spec(2, asgd_oracle::BackpressurePolicy::DropOldest, 0.8, 0.3).run(None) {
+        Ok(fresh) => match fresh.time_to_recover_secs {
+            Some(ttr) => report.lines.push(format!(
+                "ingest fresh drift cell: recovered in {:.1}ms",
+                ttr * 1e3
+            )),
+            None => report.failures.push(format!(
+                "ingest: fresh drift cell never recovered (consumed {}, jump {:.3e})",
+                fresh.consumed, fresh.drift_dist_sq
+            )),
+        },
+        Err(e) => report
+            .failures
+            .push(format!("ingest: fresh drift cell failed to run: {e}")),
+    }
+}
+
 fn serving_net_fresh() -> BTreeMap<String, Baseline> {
     serving_net::sweep(true)
         .into_iter()
@@ -365,9 +441,10 @@ fn serving_net_fresh() -> BTreeMap<String, Baseline> {
 
 /// Runs the full gate: fresh quick sweeps of `serving` and `serving-net`
 /// compared against `BENCH_serving.json` and `BENCH_net.json`, a fresh
-/// budget-matched sparse-path corner against `BENCH_sparse_path.json`, and
-/// a fresh quick validation corner against `BENCH_validation.json`, all
-/// read from `dir`.
+/// budget-matched sparse-path corner against `BENCH_sparse_path.json`, a
+/// fresh quick validation corner against `BENCH_validation.json`, and the
+/// committed-plus-fresh ingest recovery gate against `BENCH_ingest.json`,
+/// all read from `dir`.
 ///
 /// Missing or malformed artifacts are failures — they are committed files
 /// in this repository, so their absence means the gate's baseline is gone.
@@ -445,6 +522,8 @@ pub fn run_bench_check(dir: &Path, tol: f64) -> CheckReport {
 
     validation_gate(dir, tol, &mut report);
 
+    ingest_gate(dir, &mut report);
+
     report
 }
 
@@ -514,6 +593,7 @@ mod tests {
             "BENCH_net.json",
             "BENCH_sparse_path.json",
             "BENCH_validation.json",
+            "BENCH_ingest.json",
         ] {
             assert!(
                 report.failures.iter().any(|f| f.contains(artifact)),

@@ -5,6 +5,7 @@ pub mod c67;
 pub mod c71;
 pub mod contention;
 pub mod fig1;
+pub mod ingest;
 pub mod regimes;
 pub mod serving;
 pub mod serving_net;

@@ -75,6 +75,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "sparse-scaling",
         "serving",
         "serving-net",
+        "ingest",
     ]
 }
 
@@ -102,6 +103,7 @@ pub fn run_experiment(id: &str, quick: bool) -> ExperimentOutput {
         "sparse-scaling" => experiments::sparse_scaling::run(quick),
         "serving" => experiments::serving::run(quick),
         "serving-net" => experiments::serving_net::run(quick),
+        "ingest" => experiments::ingest::run(quick),
         other => panic!(
             "unknown experiment id: {other} (known: {:?})",
             experiment_ids()
@@ -122,7 +124,8 @@ mod tests {
         assert!(experiment_ids().contains(&"sparse-scaling"));
         assert!(experiment_ids().contains(&"serving"));
         assert!(experiment_ids().contains(&"serving-net"));
-        assert_eq!(experiment_ids().len(), 16);
+        assert!(experiment_ids().contains(&"ingest"));
+        assert_eq!(experiment_ids().len(), 17);
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! The bounded ingress queue ([`IngressQueue`](asgd_oracle::IngressQueue))
+//! as an explorable step function.
+//!
+//! The real queue guards a `VecDeque` with one mutex, so its
+//! check-capacity-then-insert decision is a single critical section. This
+//! model checks exactly that atomicity matters: [`LenMode::Atomic`]
+//! mirrors the shipped queue (the whole push decision is one step), while
+//! [`LenMode::SplitCheck`] is the deliberately seeded bug — the capacity
+//! check and the insert are separate steps, as if the implementation
+//! dropped the lock between reading `len` and pushing (the classic
+//! check-then-act race). Under a full queue and one adversarial
+//! preemption, two producers both observe a free slot and both insert:
+//! the queue exceeds its declared capacity, which the explorer catches
+//! and minimizes to a replayable trace.
+//!
+//! Invariants, checked after every atomic step:
+//!
+//! * **Bounded**: queue depth never exceeds capacity (the invariant the
+//!   seeded bug breaks);
+//! * **No loss, no duplication**: every produced observation is in
+//!   exactly one of {queue, consumed, dropped}; a consumer never pops
+//!   the same observation twice. Under [`BackpressurePolicy::Block`]
+//!   nothing is ever dropped or rejected (lossless);
+//! * **FIFO**: consumed observations arrive in push order (ids are
+//!   assigned in insert order, so the consumed sequence must be strictly
+//!   increasing) — eviction removes the *oldest*, never reorders;
+//! * **Drop accounting**: the drop counter is exactly the evicted
+//!   multiset's size, evictions happen only under
+//!   [`BackpressurePolicy::DropOldest`], rejections only under
+//!   [`BackpressurePolicy::Reject`] — the monotone-counter contract
+//!   `asgd-metrics::QueueCounters` promises observers.
+
+use crate::explore::{Schedulable, StepStatus};
+use asgd_oracle::BackpressurePolicy;
+use std::collections::VecDeque;
+
+/// Atomicity of the modeled push decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LenMode {
+    /// The shipped queue: capacity check and insert in one critical
+    /// section (one model step).
+    Atomic,
+    /// Seeded bug: the capacity check and the insert are separate steps,
+    /// as if the lock were released between them.
+    SplitCheck,
+}
+
+/// What a producer decided during its (possibly stale) capacity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Push,
+    EvictPush,
+    Reject,
+}
+
+/// Model parameters: `producers × pushes_each` against `consumers`
+/// non-blocking poppers over a capacity-bounded queue.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestQueueModel {
+    /// Concurrent producer threads.
+    pub producers: usize,
+    /// Observations each producer pushes.
+    pub pushes_each: usize,
+    /// Concurrent consumer threads (non-blocking, like
+    /// `StreamingOracle`'s try-pop).
+    pub consumers: usize,
+    /// Pop *attempts* each consumer makes (an empty pop counts — it is
+    /// the starved fallback).
+    pub pops_each: usize,
+    /// Queue capacity.
+    pub capacity: usize,
+    /// Backpressure policy under test.
+    pub policy: BackpressurePolicy,
+    /// Push-decision atomicity.
+    pub len_mode: LenMode,
+}
+
+impl IngestQueueModel {
+    /// The headline race: two producers contending for the last slot of a
+    /// capacity-1 queue, one consumer draining. One adversarial preemption
+    /// between check and insert overflows the [`LenMode::SplitCheck`]
+    /// twin.
+    #[must_use]
+    pub fn contended(policy: BackpressurePolicy, len_mode: LenMode) -> Self {
+        Self {
+            producers: 2,
+            pushes_each: 1,
+            consumers: 1,
+            pops_each: 2,
+            capacity: 1,
+            policy,
+            len_mode,
+        }
+    }
+
+    /// A deeper configuration: repeated pushes keep the queue at capacity
+    /// so eviction/rejection paths are actually exercised.
+    #[must_use]
+    pub fn churning(policy: BackpressurePolicy, len_mode: LenMode) -> Self {
+        Self {
+            producers: 2,
+            pushes_each: 2,
+            consumers: 1,
+            pops_each: 3,
+            capacity: 1,
+            policy,
+            len_mode,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProdPc {
+    Check,
+    Insert(Action),
+}
+
+#[derive(Debug, Clone)]
+struct Producer {
+    pc: ProdPc,
+    remaining: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Consumer {
+    remaining: usize,
+}
+
+/// The modeled queue plus every thread's control state.
+#[derive(Debug, Clone)]
+pub struct IngestQueueState {
+    queue: VecDeque<u64>,
+    next_id: u64,
+    consumed: Vec<u64>,
+    dropped: Vec<u64>,
+    drop_counter: u64,
+    rejected: u64,
+    starved: u64,
+    producers: Vec<Producer>,
+    consumers: Vec<Consumer>,
+}
+
+impl Schedulable for IngestQueueModel {
+    type State = IngestQueueState;
+
+    fn init(&self) -> IngestQueueState {
+        IngestQueueState {
+            queue: VecDeque::new(),
+            next_id: 0,
+            consumed: Vec::new(),
+            dropped: Vec::new(),
+            drop_counter: 0,
+            rejected: 0,
+            starved: 0,
+            producers: (0..self.producers)
+                .map(|_| Producer {
+                    pc: ProdPc::Check,
+                    remaining: self.pushes_each,
+                })
+                .collect(),
+            consumers: (0..self.consumers)
+                .map(|_| Consumer {
+                    remaining: self.pops_each,
+                })
+                .collect(),
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.producers + self.consumers
+    }
+
+    fn enabled(&self, state: &IngestQueueState, tid: usize) -> bool {
+        if tid < self.producers {
+            // A Block-policy producer facing a full queue parks on the
+            // condvar: no progress until a consumer makes room.
+            !(state.producers[tid].pc == ProdPc::Check
+                && self.policy == BackpressurePolicy::Block
+                && state.queue.len() >= self.capacity)
+        } else {
+            true
+        }
+    }
+
+    fn step(&self, state: &mut IngestQueueState, tid: usize) -> StepStatus {
+        if tid < self.producers {
+            self.producer_step(state, tid)
+        } else {
+            self.consumer_step(state, tid - self.producers)
+        }
+    }
+
+    fn check(&self, state: &IngestQueueState, done: bool) -> Result<(), String> {
+        if state.queue.len() > self.capacity {
+            return Err(format!(
+                "capacity overflow: depth {} > capacity {} (queue {:?})",
+                state.queue.len(),
+                self.capacity,
+                state.queue
+            ));
+        }
+        if state.drop_counter != state.dropped.len() as u64 {
+            return Err(format!(
+                "drop counter {} disagrees with {} evicted observations",
+                state.drop_counter,
+                state.dropped.len()
+            ));
+        }
+        if self.policy != BackpressurePolicy::DropOldest && state.drop_counter > 0 {
+            return Err(format!(
+                "policy {} evicted {} observations",
+                self.policy, state.drop_counter
+            ));
+        }
+        if self.policy != BackpressurePolicy::Reject && state.rejected > 0 {
+            return Err(format!(
+                "policy {} rejected {} observations",
+                self.policy, state.rejected
+            ));
+        }
+        // FIFO: ids are assigned in insert order and eviction takes the
+        // front, so the consumed sequence must be strictly increasing.
+        if let Some(w) = state.consumed.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(format!(
+                "consumption reordered or duplicated: {} then {}",
+                w[0], w[1]
+            ));
+        }
+        // Conservation: every produced id is in exactly one place. Ids are
+        // unique by construction, so counting suffices alongside the
+        // strict-increase check above.
+        let accounted = state.queue.len() + state.consumed.len() + state.dropped.len();
+        if accounted as u64 != state.next_id {
+            return Err(format!(
+                "lost or duplicated observations: {} produced, {} accounted",
+                state.next_id, accounted
+            ));
+        }
+        if done && self.policy == BackpressurePolicy::Block {
+            // Lossless at quiescence: nothing dropped, nothing rejected
+            // (already checked every step), so produced = consumed + left.
+            let left = state.queue.len() + state.consumed.len();
+            if left as u64 != state.next_id {
+                return Err(format!(
+                    "Block lost observations: {} produced, {} remain",
+                    state.next_id, left
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl IngestQueueModel {
+    fn decide(&self, len: usize) -> Action {
+        if len < self.capacity {
+            Action::Push
+        } else {
+            match self.policy {
+                // A full-queue Block producer is gated by `enabled`; by
+                // the time it runs, the check sees room (Atomic) or
+                // *believes* it does (SplitCheck — the bug).
+                BackpressurePolicy::Block => Action::Push,
+                BackpressurePolicy::DropOldest => Action::EvictPush,
+                BackpressurePolicy::Reject => Action::Reject,
+            }
+        }
+    }
+
+    fn perform(&self, state: &mut IngestQueueState, action: Action) {
+        match action {
+            Action::Push => {
+                let id = state.next_id;
+                state.next_id += 1;
+                state.queue.push_back(id);
+            }
+            Action::EvictPush => {
+                if let Some(oldest) = state.queue.pop_front() {
+                    state.dropped.push(oldest);
+                    state.drop_counter += 1;
+                }
+                let id = state.next_id;
+                state.next_id += 1;
+                state.queue.push_back(id);
+            }
+            Action::Reject => {
+                state.rejected += 1;
+            }
+        }
+    }
+
+    fn producer_step(&self, state: &mut IngestQueueState, tid: usize) -> StepStatus {
+        match state.producers[tid].pc {
+            ProdPc::Check => {
+                let action = self.decide(state.queue.len());
+                match self.len_mode {
+                    LenMode::Atomic => {
+                        // One critical section: decision and effect together.
+                        self.perform(state, action);
+                        self.finish_push(state, tid)
+                    }
+                    LenMode::SplitCheck => {
+                        state.producers[tid].pc = ProdPc::Insert(action);
+                        StepStatus::Runnable
+                    }
+                }
+            }
+            ProdPc::Insert(action) => {
+                // The seeded bug: act on a decision whose premise (the
+                // observed length) may be stale.
+                self.perform(state, action);
+                state.producers[tid].pc = ProdPc::Check;
+                self.finish_push(state, tid)
+            }
+        }
+    }
+
+    fn finish_push(&self, state: &mut IngestQueueState, tid: usize) -> StepStatus {
+        state.producers[tid].remaining -= 1;
+        if state.producers[tid].remaining == 0 {
+            StepStatus::Done
+        } else {
+            StepStatus::Runnable
+        }
+    }
+
+    fn consumer_step(&self, state: &mut IngestQueueState, cid: usize) -> StepStatus {
+        match state.queue.pop_front() {
+            Some(id) => state.consumed.push(id),
+            None => state.starved += 1,
+        }
+        state.consumers[cid].remaining -= 1;
+        if state.consumers[cid].remaining == 0 {
+            StepStatus::Done
+        } else {
+            StepStatus::Runnable
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{replay, Explorer, ReplayOutcome};
+
+    #[test]
+    fn the_shipped_queue_verifies_under_every_policy() {
+        for policy in [
+            BackpressurePolicy::Block,
+            BackpressurePolicy::DropOldest,
+            BackpressurePolicy::Reject,
+        ] {
+            let model = IngestQueueModel::churning(policy, LenMode::Atomic);
+            let report = Explorer::with_bound(2).explore(&model);
+            assert!(report.verified(), "{policy}: {:?}", report.counterexample);
+            assert!(
+                report.schedules > 50,
+                "exhaustiveness ({policy}): {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_check_overflows_and_the_trace_replays_identically() {
+        let model = IngestQueueModel::contended(BackpressurePolicy::Block, LenMode::SplitCheck);
+        let report = Explorer::with_bound(2).explore(&model);
+        let cex = report.counterexample.expect("check-then-act must overflow");
+        assert!(
+            cex.violation.message.contains("capacity overflow"),
+            "{:?}",
+            cex.violation
+        );
+        // The classic race needs exactly one adversarial preemption:
+        // between one producer's check and its insert.
+        assert_eq!(cex.preemptions, 1, "{cex:?}");
+        match replay(&model, &cex.trace) {
+            Err(ReplayOutcome::Violation(v)) => assert_eq!(v, cex.violation),
+            other => panic!("minimized trace must reproduce the overflow, got {other:?}"),
+        }
+        // And the artifact text round-trips to the same trace.
+        let decoded = asgd_shmem::sched::decode_schedule(&cex.artifact()).expect("artifact parses");
+        assert_eq!(decoded, cex.trace);
+    }
+
+    #[test]
+    fn split_check_is_safe_without_contention() {
+        // One producer cannot race its own check: the bug needs a second
+        // producer to fill the observed slot — sanity that the model only
+        // reports real interleaving bugs.
+        let model = IngestQueueModel {
+            producers: 1,
+            pushes_each: 2,
+            consumers: 1,
+            pops_each: 2,
+            capacity: 1,
+            policy: BackpressurePolicy::DropOldest,
+            len_mode: LenMode::SplitCheck,
+        };
+        let report = Explorer::with_bound(3).explore(&model);
+        assert!(report.verified(), "{:?}", report.counterexample);
+    }
+
+    #[test]
+    fn dropped_observations_are_the_oldest_and_counted() {
+        // Deterministic serial schedule through the DropOldest path:
+        // two pushes into capacity 1 evict id 0, then the consumer pops
+        // id 1 — FIFO, accounting, and the monotone counter all hold.
+        let model = IngestQueueModel {
+            producers: 1,
+            pushes_each: 2,
+            consumers: 1,
+            pops_each: 1,
+            capacity: 1,
+            policy: BackpressurePolicy::DropOldest,
+            len_mode: LenMode::Atomic,
+        };
+        let mut state = model.init();
+        assert_eq!(model.step(&mut state, 0), StepStatus::Runnable);
+        assert_eq!(model.step(&mut state, 0), StepStatus::Done);
+        assert_eq!(state.dropped, vec![0]);
+        assert_eq!(state.drop_counter, 1);
+        assert_eq!(model.step(&mut state, 1), StepStatus::Done);
+        assert_eq!(state.consumed, vec![1]);
+        assert!(model.check(&state, true).is_ok());
+    }
+}

@@ -23,6 +23,12 @@
 //!   [`ModelRegistry`](asgd_serve::ModelRegistry) create/query/drop
 //!   lifecycle (map coherence, monotone ids, no leaked services), with a
 //!   split check-then-insert bug mode ([`RegistryMode::SplitCheck`]).
+//! * [`ingest_model`] — the bounded
+//!   [`IngressQueue`](asgd_oracle::IngressQueue) push/pop protocol under
+//!   every backpressure policy (bounded depth, no loss or duplication,
+//!   FIFO, drop accounting), with a non-atomic check-then-push bug mode
+//!   ([`LenMode::SplitCheck`]) that overflows the capacity under one
+//!   adversarial preemption.
 //! * [`netchaos`] — [`run_net_chaos`]: a fleet of retrying clients versus
 //!   a server under seeded [`FaultPlan`](asgd_net::FaultPlan) injection
 //!   (partial writes, short reads, delays, mid-frame disconnects),
@@ -39,6 +45,7 @@
 
 pub mod atomic_model;
 pub mod explore;
+pub mod ingest_model;
 pub mod netchaos;
 pub mod registry_model;
 pub mod snapshot_model;
@@ -48,6 +55,7 @@ pub use explore::{
     minimize, replay, Counterexample, ExploreReport, Explorer, ReplayOutcome, Schedulable,
     StepStatus, Violation,
 };
+pub use ingest_model::{IngestQueueModel, LenMode};
 pub use netchaos::{run_net_chaos, NetChaosError, NetChaosReport, NetChaosSpec};
 pub use registry_model::{RegistryMode, RegistryModel};
 pub use snapshot_model::{FenceMode, SnapshotModel};

@@ -242,9 +242,25 @@ fn validate(spec: &RunSpec) -> Result<(), DriverError> {
     Ok(())
 }
 
-/// Builds the oracle and resolves the initial point, checking dimensions.
-fn oracle_and_x0(spec: &RunSpec) -> Result<(Arc<dyn GradientOracle>, Vec<f64>), DriverError> {
-    let oracle = spec.oracle.build()?;
+/// Builds the oracle — honouring a [`SessionCtx::oracle`] override — and
+/// resolves the initial point, checking dimensions.
+fn oracle_and_x0(
+    spec: &RunSpec,
+    ctx: &SessionCtx,
+) -> Result<(Arc<dyn GradientOracle>, Vec<f64>), DriverError> {
+    let oracle = match &ctx.oracle {
+        Some(oracle) => {
+            if oracle.dimension() != spec.oracle.dim {
+                return Err(DriverError::InvalidSpec(format!(
+                    "session oracle override has dimension {}, spec declares {}",
+                    oracle.dimension(),
+                    spec.oracle.dim
+                )));
+            }
+            Arc::clone(oracle)
+        }
+        None => spec.oracle.build()?,
+    };
     let d = oracle.dimension();
     let x0 = match &spec.x0 {
         Some(x0) if x0.len() != d => {
@@ -304,7 +320,7 @@ impl Backend for SequentialBackend {
 
     fn run_session(&self, spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError> {
         let alpha = spec.step.constant_alpha(self.kind())?;
-        let (oracle, x0) = oracle_and_x0(spec)?;
+        let (oracle, x0) = oracle_and_x0(spec, ctx)?;
         // Thread 0's coin stream of the concurrent backends, so one spec
         // yields bit-identical trajectories here, on the simulated serial
         // schedule, and on single-threaded Hogwild.
@@ -363,7 +379,7 @@ impl SimulatedLockFreeBackend {
         ctx: &SessionCtx,
     ) -> Result<(RunReport, asgd_core::runner::LockFreeRun), DriverError> {
         let alpha = spec.step.constant_alpha(BackendKind::SimulatedLockFree)?;
-        let (oracle, x0) = oracle_and_x0(spec)?;
+        let (oracle, x0) = oracle_and_x0(spec, ctx)?;
         let hub = hub_for(spec, ctx).map(Arc::new);
         let mut builder = LockFreeSgd::builder(oracle)
             .threads(spec.threads)
@@ -438,7 +454,7 @@ impl Backend for SimulatedFullSgdBackend {
 
     fn run_session(&self, spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError> {
         let (per_epoch, epochs) = epoch_split(spec)?;
-        let (oracle, x0) = oracle_and_x0(spec)?;
+        let (oracle, x0) = oracle_and_x0(spec, ctx)?;
         let cfg = FullSgdConfig {
             alpha0: spec.step.initial_alpha(),
             epoch_iterations: per_epoch,
@@ -507,7 +523,7 @@ impl Backend for HogwildBackend {
 
     fn run_session(&self, spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError> {
         let alpha = spec.step.constant_alpha(self.kind())?;
-        let (oracle, x0) = oracle_and_x0(spec)?;
+        let (oracle, x0) = oracle_and_x0(spec, ctx)?;
         let (report, trajectory) = with_native_control(spec, ctx, |ctrl| {
             Hogwild::new(
                 oracle,
@@ -553,7 +569,7 @@ impl Backend for LockedBackend {
 
     fn run_session(&self, spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError> {
         let alpha = spec.step.constant_alpha(self.kind())?;
-        let (oracle, x0) = oracle_and_x0(spec)?;
+        let (oracle, x0) = oracle_and_x0(spec, ctx)?;
         let (report, trajectory) = with_native_control(spec, ctx, |ctrl| {
             LockedSgd::new(oracle, spec.threads, spec.iterations, alpha, spec.seed)
                 .tuning(native_tuning(spec))
@@ -594,7 +610,7 @@ impl Backend for GuardedEpochBackend {
         // itself can distribute remainders, but the driver keeps backends
         // aligned).
         let (per_epoch, epochs) = epoch_split(spec)?;
-        let (oracle, x0) = oracle_and_x0(spec)?;
+        let (oracle, x0) = oracle_and_x0(spec, ctx)?;
         let (report, trajectory) = with_native_control(spec, ctx, |ctrl| {
             GuardedEpochSgd::new(
                 oracle,
@@ -641,7 +657,7 @@ impl Backend for NativeFullSgdBackend {
 
     fn run_session(&self, spec: &RunSpec, ctx: &SessionCtx) -> Result<RunReport, DriverError> {
         let (per_epoch, epochs) = epoch_split(spec)?;
-        let (oracle, x0) = oracle_and_x0(spec)?;
+        let (oracle, x0) = oracle_and_x0(spec, ctx)?;
         let (report, trajectory) = with_native_control(spec, ctx, |ctrl| {
             NativeFullSgd::new(
                 oracle,

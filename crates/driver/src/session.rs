@@ -98,6 +98,17 @@ pub enum RunEvent {
         /// Training claim index the snapshot was taken at.
         iteration: u64,
     },
+    /// A drift scenario shifted the data stream's ground-truth minimizer
+    /// mid-run. Emitted by the ingest tier (`asgd-ingest`), which owns the
+    /// drift schedule, through the session's observer — backends never
+    /// originate it.
+    DriftInjected {
+        /// Training iterations reflected at the injection point (0 when
+        /// the injector could not observe a count).
+        iteration: u64,
+        /// Seconds since the run started.
+        elapsed_secs: f64,
+    },
     /// The run finished; the same report the blocking call returns.
     Finished(Box<RunReport>),
 }
@@ -139,6 +150,13 @@ pub struct SessionCtx {
     /// `hogwild` backend; other backends accept and ignore the hook (it
     /// then never attaches). One hook serves one run.
     pub serve: Option<Arc<asgd_hogwild::ServeHook>>,
+    /// Training-oracle override: when set, every backend trains on *this*
+    /// oracle instead of building one from `spec.oracle` (whose kind then
+    /// only labels the report; its `dim` must match the override's
+    /// dimension). The ingest tier threads a
+    /// [`StreamingOracle`](asgd_oracle::StreamingOracle) — whose ingress
+    /// queue outlives the run — into sessions this way.
+    pub oracle: Option<Arc<dyn asgd_oracle::GradientOracle>>,
 }
 
 impl std::fmt::Debug for SessionCtx {
@@ -147,6 +165,7 @@ impl std::fmt::Debug for SessionCtx {
             .field("observer", &self.observer.is_some())
             .field("cancel", &self.cancel.is_some())
             .field("serve", &self.serve.is_some())
+            .field("oracle", &self.oracle.is_some())
             .finish()
     }
 }
@@ -172,6 +191,13 @@ impl SessionCtx {
     #[must_use]
     pub fn with_serve(mut self, hook: Arc<asgd_hogwild::ServeHook>) -> Self {
         self.serve = Some(hook);
+        self
+    }
+
+    /// Overrides the training oracle (see [`SessionCtx::oracle`]).
+    #[must_use]
+    pub fn with_oracle(mut self, oracle: Arc<dyn asgd_oracle::GradientOracle>) -> Self {
+        self.oracle = Some(oracle);
         self
     }
 }
@@ -598,6 +624,7 @@ mod tests {
                 RunEvent::Progress(_) => "progress",
                 RunEvent::TrajectorySample(_) => "sample",
                 RunEvent::SnapshotPublished { .. } => "snapshot",
+                RunEvent::DriftInjected { .. } => "drift",
                 RunEvent::Finished(_) => "finished",
             };
             sink.lock().unwrap().push(label.to_string());

@@ -1,0 +1,194 @@
+//! Drift injection: shifting the ground truth the live stream is drawn
+//! from, at a scheduled point.
+//!
+//! Continual learning is only interesting when the world moves. A
+//! [`DriftSpec`] schedules one move — at the n-th acknowledged
+//! observation, or after a wall-clock delay — and describes how the
+//! generator's minimizer θ* changes ([`DriftKind`]). The shared
+//! [`GroundTruth`] is what producers label against *and* what the
+//! recovery monitor measures distance to, so the instant drift fires,
+//! every new observation teaches the new world and the measured distance
+//! jumps — the gap the trainer then has to close again.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// When the drift fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftTrigger {
+    /// After this many observations have been acknowledged by the server
+    /// (counted across the whole producer fleet).
+    AtObservation(u64),
+    /// After this many wall-clock seconds of fleet runtime.
+    AfterElapsed(f64),
+}
+
+/// How the ground-truth minimizer moves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftKind {
+    /// θ* → −θ*: the adversarial flip — every learned coordinate is now
+    /// maximally wrong, so the pre-drift model starts at the far side of
+    /// the new optimum.
+    Negate,
+    /// θ*ⱼ → θ*ⱼ + δ for every coordinate.
+    Shift(f64),
+    /// θ* → the given vector (must match the model dimension).
+    Replace(Vec<f64>),
+}
+
+impl DriftKind {
+    /// Canonical label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Negate => "negate",
+            Self::Shift(_) => "shift",
+            Self::Replace(_) => "replace",
+        }
+    }
+}
+
+/// One scheduled drift: when it fires and what it does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftSpec {
+    /// When the drift fires.
+    pub trigger: DriftTrigger,
+    /// What happens to θ*.
+    pub kind: DriftKind,
+}
+
+impl DriftSpec {
+    /// A negation drift at the given acknowledged-observation count.
+    #[must_use]
+    pub fn negate_at(observations: u64) -> Self {
+        Self {
+            trigger: DriftTrigger::AtObservation(observations),
+            kind: DriftKind::Negate,
+        }
+    }
+
+    /// A negation drift after the given number of seconds.
+    #[must_use]
+    pub fn negate_after(secs: f64) -> Self {
+        Self {
+            trigger: DriftTrigger::AfterElapsed(secs),
+            kind: DriftKind::Negate,
+        }
+    }
+}
+
+/// The minimizer θ* the stream is generated from, shared between the
+/// producer fleet (labels) and the recovery monitor (distance target).
+/// Every mutation bumps a version counter so samples can record which
+/// world they measured against.
+#[derive(Debug)]
+pub struct GroundTruth {
+    theta: Mutex<Vec<f64>>,
+    version: AtomicU64,
+}
+
+impl GroundTruth {
+    /// A ground truth starting at `theta`.
+    #[must_use]
+    pub fn new(theta: Vec<f64>) -> Self {
+        Self {
+            theta: Mutex::new(theta),
+            version: AtomicU64::new(0),
+        }
+    }
+
+    /// Model dimension `d`.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// A copy of the current θ*.
+    #[must_use]
+    pub fn current(&self) -> Vec<f64> {
+        self.lock().clone()
+    }
+
+    /// How many drifts have been applied so far.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// `‖x − θ*‖²` against the current ground truth.
+    #[must_use]
+    pub fn dist_sq(&self, x: &[f64]) -> f64 {
+        let theta = self.lock();
+        x.iter()
+            .zip(theta.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Applies one drift and bumps the version. A `Replace` with the
+    /// wrong dimension is ignored (the old θ* stands) — drift injection
+    /// races live producers and must never corrupt the generator.
+    pub fn apply(&self, kind: &DriftKind) {
+        let mut theta = self.lock();
+        match kind {
+            DriftKind::Negate => theta.iter_mut().for_each(|v| *v = -*v),
+            DriftKind::Shift(delta) => theta.iter_mut().for_each(|v| *v += delta),
+            DriftKind::Replace(new) => {
+                if new.len() != theta.len() {
+                    return;
+                }
+                theta.clone_from(new);
+            }
+        }
+        drop(theta);
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<f64>> {
+        self.theta.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drifts_move_theta_and_bump_the_version() {
+        let gt = GroundTruth::new(vec![1.0, -2.0]);
+        assert_eq!(gt.version(), 0);
+        assert_eq!(gt.dimension(), 2);
+        gt.apply(&DriftKind::Negate);
+        assert_eq!(gt.current(), vec![-1.0, 2.0]);
+        gt.apply(&DriftKind::Shift(0.5));
+        assert_eq!(gt.current(), vec![-0.5, 2.5]);
+        gt.apply(&DriftKind::Replace(vec![3.0, 4.0]));
+        assert_eq!(gt.current(), vec![3.0, 4.0]);
+        assert_eq!(gt.version(), 3);
+        // Wrong-dimension replace is ignored, version included.
+        gt.apply(&DriftKind::Replace(vec![1.0]));
+        assert_eq!(gt.current(), vec![3.0, 4.0]);
+        assert_eq!(gt.version(), 3);
+    }
+
+    #[test]
+    fn dist_sq_measures_against_the_current_world() {
+        let gt = GroundTruth::new(vec![1.0, 1.0]);
+        assert!((gt.dist_sq(&[1.0, 1.0])).abs() < 1e-12);
+        assert!((gt.dist_sq(&[0.0, 0.0]) - 2.0).abs() < 1e-12);
+        gt.apply(&DriftKind::Negate);
+        // The same point is now far from the (moved) optimum.
+        assert!((gt.dist_sq(&[1.0, 1.0]) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_constructors_and_labels() {
+        let at = DriftSpec::negate_at(100);
+        assert_eq!(at.trigger, DriftTrigger::AtObservation(100));
+        assert_eq!(at.kind.label(), "negate");
+        let after = DriftSpec::negate_after(0.25);
+        assert_eq!(after.trigger, DriftTrigger::AfterElapsed(0.25));
+        assert_eq!(DriftKind::Shift(1.0).label(), "shift");
+        assert_eq!(DriftKind::Replace(vec![]).label(), "replace");
+    }
+}

@@ -1,0 +1,401 @@
+//! The end-to-end ingest harness: a streaming model served over a real
+//! socket, a heterogeneous producer fleet feeding it labeled observations
+//! through the wire protocol's submit-observe opcode, scheduled drift,
+//! and a recovery monitor measuring how fast the trainer follows.
+//!
+//! Everything runs in-process but nothing is short-circuited: producers
+//! speak length-prefixed frames over TCP to a real [`NetServer`], the
+//! server routes into the model's bounded
+//! [`IngressQueue`](asgd_oracle::IngressQueue), and the
+//! hogwild trainer consumes from the queue through its
+//! [`StreamingOracle`](asgd_oracle::StreamingOracle) while serving live
+//! reads — the full loop the paper's delay model is stretched across.
+
+use crate::drift::{DriftSpec, DriftTrigger, GroundTruth};
+use crate::producers::{ObservationGen, ProducerSpec};
+use crate::recovery::RecoveryMonitor;
+use crate::report::{DriftOutcome, IngestReport};
+use asgd_driver::{RunEvent, RunObserver, RunSpec};
+use asgd_math::rng::SeedSequence;
+use asgd_net::{NetConfig, NetServer, Priority, RetryPolicy, RetryingClient};
+use asgd_oracle::BackpressurePolicy;
+use asgd_serve::{ModelRegistry, ReadMode, ServeError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Name the harness registers its streaming model under.
+pub const MODEL_NAME: &str = "stream";
+
+/// One ingest experiment: the trainer, the queue, the fleet, the drift.
+#[derive(Debug, Clone)]
+pub struct IngestSpec {
+    /// The training run hosting the streaming oracle. Its oracle spec is
+    /// the *prior* (fallback under starvation); give it enough iterations
+    /// to outlast `duration_secs` — the harness cancels it at teardown.
+    pub train: RunSpec,
+    /// Ingress queue capacity.
+    pub capacity: usize,
+    /// Backpressure policy for the ingress queue.
+    pub policy: BackpressurePolicy,
+    /// The producer fleet (one thread per spec).
+    pub producers: Vec<ProducerSpec>,
+    /// Uniform label noise amplitude for generated observations.
+    pub label_noise: f64,
+    /// The initial ground-truth minimizer θ* (its length is the model
+    /// dimension and must match the train spec's oracle dimension).
+    pub theta0: Vec<f64>,
+    /// The scheduled drift, if any.
+    pub drift: Option<DriftSpec>,
+    /// How long the fleet runs.
+    pub duration_secs: f64,
+    /// Fraction of the drift-induced distance gap that must close for the
+    /// run to count as recovered (see
+    /// [`RecoveryLog::time_to_recover`](crate::RecoveryLog::time_to_recover)).
+    pub recover_frac: f64,
+    /// Recovery-monitor sampling interval.
+    pub sample_interval: Duration,
+    /// Master seed; each producer derives a child seed.
+    pub seed: u64,
+}
+
+/// What an ingest run can fail with before producing a report.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Creating or tearing down the hosted model failed.
+    Serve(ServeError),
+    /// Binding or running the TCP front-end failed.
+    Io(std::io::Error),
+    /// The spec is internally inconsistent (e.g. θ* dimension mismatch).
+    InvalidSpec(String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Serve(e) => write!(f, "serve error: {e}"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::InvalidSpec(msg) => write!(f, "invalid ingest spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<ServeError> for IngestError {
+    fn from(e: ServeError) -> Self {
+        Self::Serve(e)
+    }
+}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// The record of the drift having actually fired.
+#[derive(Debug, Clone, Copy)]
+struct DriftFired {
+    at_secs: f64,
+    at_iteration: u64,
+}
+
+impl IngestSpec {
+    /// Runs the experiment end to end and reports.
+    ///
+    /// `observer` (when given) receives [`RunEvent::DriftInjected`] at the
+    /// moment the ground truth moves — the ingest tier originates this
+    /// event; training backends never do.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError`] when the spec is inconsistent, the model cannot be
+    /// hosted, or the TCP front-end cannot bind.
+    pub fn run(&self, observer: Option<Arc<dyn RunObserver>>) -> Result<IngestReport, IngestError> {
+        let dim = self.train.oracle.dim;
+        if self.theta0.len() != dim {
+            return Err(IngestError::InvalidSpec(format!(
+                "theta0 has dimension {}, train oracle wants {dim}",
+                self.theta0.len()
+            )));
+        }
+        if self.producers.is_empty() {
+            return Err(IngestError::InvalidSpec("no producers".to_string()));
+        }
+
+        let ground = Arc::new(GroundTruth::new(self.theta0.clone()));
+        let registry = Arc::new(ModelRegistry::new());
+        let id = registry.create_streaming(
+            MODEL_NAME,
+            &self.train,
+            ReadMode::Live,
+            128,
+            self.capacity,
+            self.policy,
+        )?;
+        let entry = registry.lookup(id)?;
+        let reader = entry.service().reader();
+        let counters = Arc::clone(
+            entry
+                .ingress()
+                .expect("streaming model has an ingress queue")
+                .counters(),
+        );
+
+        let server = NetServer::serve(Arc::clone(&registry), NetConfig::default())?;
+        let addr = server.local_addr();
+
+        // One clock for everything: drift timestamps and recovery samples
+        // must be comparable to sub-interval precision.
+        let epoch = Instant::now();
+        let monitor =
+            RecoveryMonitor::spawn(reader.clone(), Arc::clone(&ground), self.sample_interval);
+
+        let acked = Arc::new(AtomicU64::new(0));
+        let failures = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let drift_armed = Arc::new(AtomicBool::new(self.drift.is_some()));
+        let drift_fired: Arc<Mutex<Option<DriftFired>>> = Arc::new(Mutex::new(None));
+        let seeds = SeedSequence::new(self.seed);
+        let deadline = Duration::from_secs_f64(self.duration_secs.max(0.0));
+
+        let mut fleet = Vec::with_capacity(self.producers.len());
+        for (i, producer) in self.producers.iter().enumerate() {
+            let producer = *producer;
+            let generator =
+                ObservationGen::new(Arc::clone(&ground), producer.sparsity, self.label_noise);
+            let mut rng = StdRng::seed_from_u64(seeds.child_seed(i as u64 + 1));
+            let model = id.0;
+            let acked = Arc::clone(&acked);
+            let failures = Arc::clone(&failures);
+            let stop = Arc::clone(&stop);
+            let drift_armed = Arc::clone(&drift_armed);
+            let drift_fired = Arc::clone(&drift_fired);
+            let drift = self.drift.clone();
+            let observer = observer.clone();
+            let ground = Arc::clone(&ground);
+            let reader = reader.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("asgd-ingest-producer-{i}"))
+                .spawn(move || {
+                    let mut client = match RetryingClient::new(addr, RetryPolicy::default()) {
+                        Ok(c) => c.timeout(Duration::from_secs(2)),
+                        Err(_) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    };
+                    while !stop.load(Ordering::Relaxed) && epoch.elapsed() < deadline {
+                        // Any producer may win the race to fire the drift;
+                        // the CAS guarantees exactly one does.
+                        if let Some(spec) = &drift {
+                            let due = match spec.trigger {
+                                DriftTrigger::AtObservation(n) => {
+                                    acked.load(Ordering::Relaxed) >= n
+                                }
+                                DriftTrigger::AfterElapsed(secs) => {
+                                    epoch.elapsed().as_secs_f64() >= secs
+                                }
+                            };
+                            if due
+                                && drift_armed
+                                    .compare_exchange(
+                                        true,
+                                        false,
+                                        Ordering::AcqRel,
+                                        Ordering::Relaxed,
+                                    )
+                                    .is_ok()
+                            {
+                                ground.apply(&spec.kind);
+                                let fired = DriftFired {
+                                    at_secs: epoch.elapsed().as_secs_f64(),
+                                    at_iteration: reader.iterations(),
+                                };
+                                *drift_fired.lock().unwrap_or_else(|e| e.into_inner()) =
+                                    Some(fired);
+                                if let Some(obs) = &observer {
+                                    obs.on_event(&RunEvent::DriftInjected {
+                                        iteration: fired.at_iteration,
+                                        elapsed_secs: fired.at_secs,
+                                    });
+                                }
+                            }
+                        }
+                        let obs = generator.next(&mut rng);
+                        match client.submit_observe(
+                            model,
+                            &obs.features,
+                            obs.label,
+                            Priority::Normal,
+                        ) {
+                            Ok(_depth) => {
+                                acked.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                                // Refusals (Overloaded under Reject, shed)
+                                // are expected under pressure; back off a
+                                // touch so the loop is not pure spin.
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                        }
+                        let pause = producer.delay.sample(&mut rng);
+                        if !pause.is_zero() {
+                            std::thread::sleep(pause);
+                        }
+                    }
+                })
+                .expect("spawn producer");
+            fleet.push(handle);
+        }
+
+        // Let the fleet run its course, then tear down outermost-first:
+        // producers, the socket front-end, the monitor, and finally the
+        // hosted model (which cancels the trainer and closes the queue).
+        for handle in fleet {
+            let _ = handle.join();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let wall_time_secs = epoch.elapsed().as_secs_f64();
+        server.stop();
+        let log = monitor.stop();
+        let train_iterations = reader.iterations();
+        let stats = counters.snapshot();
+        let _ = registry.drop_model(MODEL_NAME);
+
+        let fired = *drift_fired.lock().unwrap_or_else(|e| e.into_inner());
+        let (baseline, jump, ttr, drift_out) = match (&self.drift, fired) {
+            (Some(spec), Some(fired)) => {
+                let baseline = log
+                    .samples
+                    .iter()
+                    .take_while(|s| s.elapsed_secs < fired.at_secs)
+                    .last()
+                    .map_or(0.0, |s| s.dist_sq);
+                let jump = log
+                    .samples
+                    .iter()
+                    .find(|s| s.elapsed_secs >= fired.at_secs)
+                    .map_or(0.0, |s| s.dist_sq);
+                (
+                    baseline,
+                    jump,
+                    log.time_to_recover(fired.at_secs, self.recover_frac),
+                    Some(DriftOutcome {
+                        kind: spec.kind.label().to_string(),
+                        at_secs: fired.at_secs,
+                        at_iteration: fired.at_iteration,
+                    }),
+                )
+            }
+            _ => (0.0, 0.0, None, None),
+        };
+        let final_dist_sq = log.samples.last().map_or(f64::NAN, |s| s.dist_sq);
+
+        Ok(IngestReport {
+            producers: self.producers.len(),
+            policy: self.policy.label().to_string(),
+            capacity: self.capacity,
+            observations_sent: acked.load(Ordering::Relaxed),
+            send_failures: failures.load(Ordering::Relaxed),
+            pushed: stats.pushed,
+            consumed: stats.popped,
+            dropped: stats.dropped,
+            rejected: stats.rejected,
+            starved: stats.starved,
+            lag_mean: stats.lag_mean(),
+            lag_max: stats.lag_max,
+            drift: drift_out,
+            baseline_dist_sq: baseline,
+            drift_dist_sq: jump,
+            time_to_recover_secs: ttr,
+            final_dist_sq,
+            train_iterations,
+            wall_time_secs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::producers::heterogeneous_fleet;
+    use asgd_driver::BackendKind;
+    use asgd_oracle::OracleSpec;
+
+    fn spec(policy: BackpressurePolicy, drift: Option<DriftSpec>) -> IngestSpec {
+        let dim = 8;
+        IngestSpec {
+            // Flat prior: starved steps hold position, so the model is
+            // shaped by the live stream alone (see `asgd_oracle::Flat`).
+            train: RunSpec::new(OracleSpec::new("flat", dim), BackendKind::Hogwild)
+                .threads(2)
+                .iterations(u64::MAX / 4)
+                .learning_rate(0.05)
+                .x0(vec![0.0; dim])
+                .seed(11),
+            capacity: 64,
+            policy,
+            producers: heterogeneous_fleet(2, Duration::from_micros(200), 4),
+            label_noise: 0.0,
+            theta0: vec![0.8; dim],
+            drift: Some(drift.unwrap_or_else(|| DriftSpec::negate_after(0.3))),
+            duration_secs: 0.9,
+            recover_frac: 0.5,
+            sample_interval: Duration::from_millis(2),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn a_drifted_run_recovers_over_the_live_socket() {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let observer: Arc<dyn RunObserver> = Arc::new(move |e: &RunEvent| {
+            if let RunEvent::DriftInjected { elapsed_secs, .. } = e {
+                sink.lock().unwrap().push(*elapsed_secs);
+            }
+        });
+        let report = spec(BackpressurePolicy::DropOldest, None)
+            .run(Some(observer))
+            .expect("runs");
+        assert_eq!(report.producers, 2);
+        assert_eq!(report.policy, "drop-oldest");
+        assert!(report.observations_sent > 0, "fleet delivered nothing");
+        assert!(report.pushed > 0);
+        assert!(report.consumed > 0, "trainer never consumed the stream");
+        let drift = report.drift.as_ref().expect("drift fired");
+        assert_eq!(drift.kind, "negate");
+        assert!(drift.at_secs >= 0.3);
+        // The flip must be visible (distance jumps past baseline) and the
+        // trainer must close at least half the gap within the run.
+        assert!(
+            report.drift_dist_sq > report.baseline_dist_sq,
+            "drift produced no visible jump: {} -> {}",
+            report.baseline_dist_sq,
+            report.drift_dist_sq
+        );
+        let ttr = report
+            .time_to_recover_secs
+            .expect("recovered within the run");
+        assert!(ttr >= 0.0 && ttr < report.wall_time_secs);
+        assert_eq!(events.lock().unwrap().len(), 1, "drift fires exactly once");
+        // Round-trips like every other committed report.
+        let back = IngestReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn mismatched_theta_dimension_is_refused() {
+        let mut bad = spec(BackpressurePolicy::Block, None);
+        bad.theta0 = vec![1.0; 3];
+        match bad.run(None) {
+            Err(IngestError::InvalidSpec(msg)) => assert!(msg.contains("dimension")),
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Continual learning from the live query stream for `asyncsgd`.
+//!
+//! This crate closes the serving loop: instead of training on a frozen
+//! synthetic workload while clients only *read* the model, producers push
+//! labeled observations over the wire protocol's submit-observe opcode,
+//! the server routes them into the model's bounded
+//! [`IngressQueue`](asgd_oracle::IngressQueue), and the hogwild trainer
+//! consumes them through a
+//! [`StreamingOracle`](asgd_oracle::StreamingOracle) — training and
+//! serving run concurrently on the same shared memory, and the data
+//! itself now arrives asynchronously. The queue's consumer lag is the
+//! stream-side analogue of the paper's delay parameter τ.
+//!
+//! What lives here:
+//!
+//! * [`drift`] — scheduled ground-truth shifts ([`DriftSpec`]): the world
+//!   the stream is drawn from moves mid-run, by observation count or
+//!   wall-clock trigger.
+//! * [`producers`] — heterogeneous producer fleets ([`ProducerSpec`],
+//!   [`heterogeneous_fleet`]): per-producer inter-observation delay
+//!   distributions, the ingest mirror of the worker-speed distributions
+//!   in asynchronous-SGD simulations.
+//! * [`recovery`] — the [`RecoveryMonitor`] and the time-to-recover
+//!   metric: how long after drift until the live model is back inside
+//!   the (self-normalizing) success region.
+//! * [`harness`] — [`IngestSpec::run`]: the end-to-end experiment over a
+//!   real TCP socket, drift injection surfaced as
+//!   [`RunEvent::DriftInjected`](asgd_driver::RunEvent), teardown-safe.
+//! * [`report`] — [`IngestReport`], JSON round-trippable like every other
+//!   committed bench artifact.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use asgd_driver::{BackendKind, RunSpec};
+//! use asgd_ingest::{DriftSpec, IngestSpec, heterogeneous_fleet};
+//! use asgd_oracle::{BackpressurePolicy, OracleSpec};
+//! use std::time::Duration;
+//!
+//! let dim = 16;
+//! let spec = IngestSpec {
+//!     train: RunSpec::new(OracleSpec::new("flat", dim), BackendKind::Hogwild)
+//!         .threads(2)
+//!         .iterations(u64::MAX / 4)
+//!         .learning_rate(0.05)
+//!         .x0(vec![0.0; dim])
+//!         .seed(7),
+//!     capacity: 256,
+//!     policy: BackpressurePolicy::DropOldest,
+//!     producers: heterogeneous_fleet(4, Duration::from_micros(200), 4),
+//!     label_noise: 0.01,
+//!     theta0: vec![0.8; dim],
+//!     drift: Some(DriftSpec::negate_after(0.5)),
+//!     duration_secs: 1.5,
+//!     recover_frac: 0.5,
+//!     sample_interval: Duration::from_millis(2),
+//!     seed: 42,
+//! };
+//! let report = spec.run(None).expect("ingest run");
+//! println!("{}", report.to_json());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod harness;
+pub mod producers;
+pub mod recovery;
+pub mod report;
+
+pub use drift::{DriftKind, DriftSpec, DriftTrigger, GroundTruth};
+pub use harness::{IngestError, IngestSpec, MODEL_NAME};
+pub use producers::{heterogeneous_fleet, DelayDist, ObservationGen, ProducerSpec};
+pub use recovery::{RecoveryLog, RecoveryMonitor, RecoverySample};
+pub use report::{DriftOutcome, IngestReport};

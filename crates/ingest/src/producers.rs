@@ -1,0 +1,208 @@
+//! Heterogeneous producer fleets: who feeds the stream, and how fast.
+//!
+//! Modeled on the discrete-event worker simulations of the asynchronous-
+//! SGD literature (each worker draws its compute time from its own
+//! distribution), but inverted for ingest: here the per-worker
+//! distribution is the *inter-observation delay* — a fast ingester pushes
+//! back-to-back, a slow one trickles. A fleet mixing both is what makes
+//! backpressure policies interesting: the fast producers fill the queue,
+//! the slow ones arrive to find it full.
+
+use crate::drift::GroundTruth;
+use asgd_oracle::Observation;
+use rand::{Rng, RngCore};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-producer inter-observation delay distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayDist {
+    /// No delay: push as fast as the transport allows.
+    None,
+    /// A fixed pause between observations.
+    Fixed(Duration),
+    /// Uniform in `[lo, hi]` — jittered producers desynchronize.
+    Uniform(Duration, Duration),
+}
+
+impl DelayDist {
+    /// Draws one delay.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Duration {
+        match self {
+            Self::None => Duration::ZERO,
+            Self::Fixed(d) => *d,
+            Self::Uniform(lo, hi) => {
+                let (lo, hi) = (lo.as_nanos() as u64, hi.as_nanos() as u64);
+                if hi <= lo {
+                    return Duration::from_nanos(lo);
+                }
+                Duration::from_nanos(rng.gen_range(lo..hi))
+            }
+        }
+    }
+}
+
+/// One producer's behaviour: its pace and how sparse its observations are.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProducerSpec {
+    /// Inter-observation delay distribution.
+    pub delay: DelayDist,
+    /// Nonzero feature coordinates per observation (clamped to `[1, d]`).
+    pub sparsity: usize,
+}
+
+impl ProducerSpec {
+    /// A full-throttle producer.
+    #[must_use]
+    pub fn fast(sparsity: usize) -> Self {
+        Self {
+            delay: DelayDist::None,
+            sparsity,
+        }
+    }
+
+    /// A trickling producer with jittered delays around `mean`.
+    #[must_use]
+    pub fn slow(mean: Duration, sparsity: usize) -> Self {
+        Self {
+            delay: DelayDist::Uniform(mean / 2, mean * 2),
+            sparsity,
+        }
+    }
+}
+
+/// A heterogeneous fleet: `n` producers alternating fast and slow, the
+/// slow ones pausing around `slow_mean` between observations.
+#[must_use]
+pub fn heterogeneous_fleet(n: usize, slow_mean: Duration, sparsity: usize) -> Vec<ProducerSpec> {
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                ProducerSpec::fast(sparsity)
+            } else {
+                ProducerSpec::slow(slow_mean, sparsity)
+            }
+        })
+        .collect()
+}
+
+/// Deterministic observation generator: draws a sparse probe, labels it
+/// against the shared (drifting) [`GroundTruth`], adds optional label
+/// noise. Each producer owns one, seeded from its own child seed, so a
+/// fleet is reproducible per (seed, producer index).
+#[derive(Debug)]
+pub struct ObservationGen {
+    ground: Arc<GroundTruth>,
+    dim: usize,
+    sparsity: usize,
+    label_noise: f64,
+}
+
+impl ObservationGen {
+    /// A generator over `ground` with `sparsity` nonzeros per observation
+    /// and uniform label noise in `[-label_noise, label_noise]`.
+    #[must_use]
+    pub fn new(ground: Arc<GroundTruth>, sparsity: usize, label_noise: f64) -> Self {
+        let dim = ground.dimension().max(1);
+        Self {
+            ground,
+            dim,
+            sparsity: sparsity.clamp(1, dim),
+            label_noise,
+        }
+    }
+
+    /// Draws one labeled observation from the current world.
+    pub fn next(&self, rng: &mut dyn RngCore) -> Observation {
+        let theta = self.ground.current();
+        let mut features = Vec::with_capacity(self.sparsity);
+        for _ in 0..self.sparsity {
+            let idx = rng.gen_range(0..self.dim as u32);
+            // Repeated indices are fine: the residual treats the pair as
+            // one accumulated coordinate, exactly like a dense probe.
+            let value = rng.gen_range(-1.0..1.0);
+            features.push((idx, value));
+        }
+        let mut label: f64 = features
+            .iter()
+            .map(|&(idx, v)| theta[idx as usize] * v)
+            .sum();
+        if self.label_noise > 0.0 {
+            label += rng.gen_range(-self.label_noise..self.label_noise);
+        }
+        Observation::new(features, label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delays_sample_within_their_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(DelayDist::None.sample(&mut rng), Duration::ZERO);
+        assert_eq!(
+            DelayDist::Fixed(Duration::from_micros(5)).sample(&mut rng),
+            Duration::from_micros(5)
+        );
+        let dist = DelayDist::Uniform(Duration::from_micros(10), Duration::from_micros(20));
+        for _ in 0..100 {
+            let d = dist.sample(&mut rng);
+            assert!(d >= Duration::from_micros(10) && d < Duration::from_micros(20));
+        }
+        // Degenerate bounds collapse to the lower edge.
+        let flat = DelayDist::Uniform(Duration::from_micros(9), Duration::from_micros(9));
+        assert_eq!(flat.sample(&mut rng), Duration::from_micros(9));
+    }
+
+    #[test]
+    fn heterogeneous_fleets_alternate_fast_and_slow() {
+        let fleet = heterogeneous_fleet(4, Duration::from_micros(100), 3);
+        assert_eq!(fleet.len(), 4);
+        assert_eq!(fleet[0].delay, DelayDist::None);
+        assert!(matches!(fleet[1].delay, DelayDist::Uniform(..)));
+        assert_eq!(fleet[2].delay, DelayDist::None);
+        assert!(fleet.iter().all(|p| p.sparsity == 3));
+    }
+
+    #[test]
+    fn observations_are_labeled_against_the_current_world() {
+        let ground = Arc::new(GroundTruth::new(vec![2.0; 8]));
+        let gen = ObservationGen::new(Arc::clone(&ground), 4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let obs = gen.next(&mut rng);
+            assert_eq!(obs.features.len(), 4);
+            assert!(obs.fits(8));
+            // Noise-free labels are exactly θ*·w.
+            let expect: f64 = obs.features.iter().map(|&(_, v)| 2.0 * v).sum();
+            assert!((obs.label - expect).abs() < 1e-12);
+        }
+        // After drift, fresh observations teach the new world.
+        ground.apply(&crate::drift::DriftKind::Negate);
+        let obs = gen.next(&mut rng);
+        let expect: f64 = obs.features.iter().map(|&(_, v)| -2.0 * v).sum();
+        assert!((obs.label - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let ground = Arc::new(GroundTruth::new(vec![1.0; 4]));
+        let gen = ObservationGen::new(ground, 2, 0.1);
+        let a: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| gen.next(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| gen.next(&mut rng)).collect()
+        };
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.features, y.features);
+            assert!((x.label - y.label).abs() == 0.0);
+        }
+    }
+}

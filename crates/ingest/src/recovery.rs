@@ -1,0 +1,223 @@
+//! Time-to-recover-after-drift: how long the live trainer takes to get
+//! back inside the success region once the world moves.
+//!
+//! A [`RecoveryMonitor`] polls the served model through its
+//! [`asgd_driver::ModelReader`] at a fixed interval and
+//! records `‖x − θ*‖²` against the *current* [`GroundTruth`] — so the
+//! trace jumps the instant drift fires (the target moved, the model did
+//! not) and then decays as streamed observations re-teach the trainer.
+//!
+//! The success region is self-normalizing: rather than a fixed ε (which
+//! depends on how much prior-fallback traffic dilutes the stream), the
+//! monitor takes the last pre-drift distance as the *baseline*, the first
+//! post-drift distance as the *jump*, and declares recovery at the first
+//! sample that closes a configured fraction of that gap. This is the
+//! stream-side analogue of the paper's success-region hitting time: the
+//! first trajectory sample back inside the region after the adversary
+//! (here: the world) perturbs the process.
+
+use crate::drift::GroundTruth;
+use asgd_driver::ModelReader;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One recovery-monitor sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoverySample {
+    /// Seconds since the monitor started.
+    pub elapsed_secs: f64,
+    /// `‖x − θ*‖²` against the ground truth current at sample time.
+    pub dist_sq: f64,
+    /// Ground-truth version the sample measured against (drift count).
+    pub target_version: u64,
+}
+
+/// The full sampled trace, with the recovery computation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryLog {
+    /// Samples in time order.
+    pub samples: Vec<RecoverySample>,
+}
+
+impl RecoveryLog {
+    /// Time from `drift_at_secs` to the first sample that closed at least
+    /// `frac` of the drift-induced distance gap:
+    /// `dist ≤ baseline + (1 − frac)·(jump − baseline)`, where `baseline`
+    /// is the last pre-drift distance and `jump` the first post-drift one.
+    ///
+    /// Returns `None` when there is no post-drift sample or none recovered
+    /// (the trainer never made it back). A drift that produced no visible
+    /// jump recovers at its first post-drift sample.
+    #[must_use]
+    pub fn time_to_recover(&self, drift_at_secs: f64, frac: f64) -> Option<f64> {
+        let frac = frac.clamp(0.0, 1.0);
+        let baseline = self
+            .samples
+            .iter()
+            .take_while(|s| s.elapsed_secs < drift_at_secs)
+            .last()
+            .map(|s| s.dist_sq);
+        let mut post = self
+            .samples
+            .iter()
+            .skip_while(|s| s.elapsed_secs < drift_at_secs);
+        let jump = post.clone().next()?.dist_sq;
+        let baseline = baseline.unwrap_or(0.0).min(jump);
+        let threshold = baseline + (1.0 - frac) * (jump - baseline);
+        post.find(|s| s.dist_sq <= threshold)
+            .map(|s| s.elapsed_secs - drift_at_secs)
+    }
+
+    /// Time from `drift_at_secs` to the first post-drift sample with
+    /// `dist_sq ≤ eps` — the absolute-ε variant, for workloads where the
+    /// stream fully determines the optimum.
+    #[must_use]
+    pub fn time_to_recover_within(&self, drift_at_secs: f64, eps: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .skip_while(|s| s.elapsed_secs < drift_at_secs)
+            .find(|s| s.dist_sq <= eps)
+            .map(|s| s.elapsed_secs - drift_at_secs)
+    }
+
+    /// The minimum distance observed at or after `at_secs`.
+    #[must_use]
+    pub fn min_dist_sq_after(&self, at_secs: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .skip_while(|s| s.elapsed_secs < at_secs)
+            .map(|s| s.dist_sq)
+            .min_by(f64::total_cmp)
+    }
+}
+
+/// A background thread polling the live model against the drifting ground
+/// truth. Stop it to collect the [`RecoveryLog`].
+#[derive(Debug)]
+pub struct RecoveryMonitor {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<RecoveryLog>,
+    started: Instant,
+}
+
+impl RecoveryMonitor {
+    /// Starts polling `reader` every `interval` against `ground`.
+    #[must_use]
+    pub fn spawn(reader: ModelReader, ground: Arc<GroundTruth>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let started = Instant::now();
+        let handle = std::thread::Builder::new()
+            .name("asgd-ingest-recovery".to_string())
+            .spawn(move || {
+                let mut log = RecoveryLog::default();
+                let mut x = vec![0.0; reader.dimension()];
+                while !stop_flag.load(Ordering::SeqCst) {
+                    reader.read_live(&mut x);
+                    log.samples.push(RecoverySample {
+                        elapsed_secs: started.elapsed().as_secs_f64(),
+                        dist_sq: ground.dist_sq(&x),
+                        target_version: ground.version(),
+                    });
+                    std::thread::sleep(interval);
+                }
+                // One final sample so the post-stop state is recorded.
+                reader.read_live(&mut x);
+                log.samples.push(RecoverySample {
+                    elapsed_secs: started.elapsed().as_secs_f64(),
+                    dist_sq: ground.dist_sq(&x),
+                    target_version: ground.version(),
+                });
+                log
+            })
+            .expect("spawn recovery monitor");
+        Self {
+            stop,
+            handle,
+            started,
+        }
+    }
+
+    /// Seconds since the monitor started (the clock recovery samples and
+    /// drift timestamps share).
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Stops polling and returns the collected trace.
+    #[must_use]
+    pub fn stop(self) -> RecoveryLog {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle.join().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_from(pairs: &[(f64, f64)]) -> RecoveryLog {
+        RecoveryLog {
+            samples: pairs
+                .iter()
+                .map(|&(t, d)| RecoverySample {
+                    elapsed_secs: t,
+                    dist_sq: d,
+                    target_version: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn recovery_closes_the_configured_gap_fraction() {
+        // Baseline 1.0, jump to 9.0 at t=1.0, decay back down.
+        let log = log_from(&[
+            (0.5, 1.0),
+            (1.0, 9.0),
+            (1.5, 6.0),
+            (2.0, 4.9), // closes 50% of the 8.0 gap (threshold 5.0)
+            (2.5, 1.7), // closes 90% (threshold 1.8)
+            (3.0, 1.1),
+        ]);
+        let half = log.time_to_recover(1.0, 0.5).expect("recovers");
+        assert!((half - 1.0).abs() < 1e-12, "50% closed at t=2.0: {half}");
+        let ninety = log.time_to_recover(1.0, 0.9).expect("recovers");
+        assert!(
+            (ninety - 1.5).abs() < 1e-12,
+            "90% closed at t=2.5: {ninety}"
+        );
+        // Absolute variant.
+        let abs = log.time_to_recover_within(1.0, 1.2).expect("recovers");
+        assert!((abs - 2.0).abs() < 1e-12);
+        assert_eq!(log.min_dist_sq_after(1.0), Some(1.1));
+    }
+
+    #[test]
+    fn unrecovered_and_empty_traces_are_none() {
+        let log = log_from(&[(0.5, 1.0), (1.0, 9.0), (2.0, 8.5)]);
+        assert_eq!(log.time_to_recover(1.0, 0.9), None, "never closed 90%");
+        assert_eq!(RecoveryLog::default().time_to_recover(0.0, 0.5), None);
+        assert_eq!(log.time_to_recover_within(1.0, 0.1), None);
+    }
+
+    #[test]
+    fn invisible_drift_recovers_immediately() {
+        // No jump: the first post-drift sample already qualifies.
+        let log = log_from(&[(0.5, 1.0), (1.0, 1.0), (1.5, 1.0)]);
+        let t = log.time_to_recover(0.75, 0.9).expect("recovers");
+        assert!((t - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_pre_drift_baseline_above_the_jump_is_clamped() {
+        // Transient spike before drift must not poison the threshold:
+        // baseline clamps to the jump, so the gap is zero and the first
+        // post-drift sample (the jump itself) counts as recovered.
+        let log = log_from(&[(0.5, 12.0), (1.0, 9.0), (1.5, 0.5)]);
+        let t = log.time_to_recover(1.0, 0.9).expect("recovers");
+        assert!(t.abs() < 1e-12, "gapless drift recovers at the jump: {t}");
+    }
+}

@@ -21,11 +21,13 @@
 #![warn(missing_docs)]
 
 pub mod histogram;
+pub mod queue;
 pub mod table;
 pub mod trials;
 pub mod window;
 
 pub use histogram::{Histogram, Percentiles};
+pub use queue::{QueueCounters, QueueStats};
 pub use table::Table;
 pub use trials::{estimate_probability, trial_stats, ProbabilityEstimate};
 pub use window::SlidingHistogram;

@@ -1,0 +1,222 @@
+//! Lock-free counters for bounded ingress queues.
+//!
+//! The ingest tier (`asgd-ingest`) moves labeled observations from socket
+//! producers into training runs through bounded queues; every queue owns a
+//! [`QueueCounters`] so backpressure behaviour is *observable*, not
+//! inferred. All counters are monotone `u64`s updated with relaxed atomics
+//! — they are telemetry, never synchronization — and the current depth is
+//! derived (`pushed − popped − dropped`), so a torn multi-counter read can
+//! momentarily disagree by a few events but each individual counter never
+//! runs backwards. The chaos model for the queue
+//! (`asgd-chaos::IngestQueueModel`) checks exactly these monotonicity
+//! invariants under adversarial schedules.
+//!
+//! Consumer **lag** is recorded per pop: the number of observations that
+//! were pushed after the one being consumed — the queue-side analogue of
+//! the paper's delay parameter τ (how stale the consumed sample is
+//! relative to the newest arrival).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone per-queue counters: pushes, pops, drops, rejects, starvation,
+/// and consumer lag. Shared by producers, the consumer, and observers.
+#[derive(Debug, Default)]
+pub struct QueueCounters {
+    pushed: AtomicU64,
+    popped: AtomicU64,
+    dropped: AtomicU64,
+    rejected: AtomicU64,
+    starved: AtomicU64,
+    lag_sum: AtomicU64,
+    lag_max: AtomicU64,
+}
+
+/// A point-in-time snapshot of a queue's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Observations successfully enqueued.
+    pub pushed: u64,
+    /// Observations consumed.
+    pub popped: u64,
+    /// Observations evicted to make room (DropOldest policy).
+    pub dropped: u64,
+    /// Push attempts refused outright (Reject policy).
+    pub rejected: u64,
+    /// Pop attempts that found the queue empty (consumer fell back to its
+    /// prior oracle).
+    pub starved: u64,
+    /// Current depth, derived: `pushed − popped − dropped`.
+    pub depth: u64,
+    /// Sum of per-pop consumer lags (observations pushed after the
+    /// consumed one).
+    pub lag_sum: u64,
+    /// Largest single-pop consumer lag observed.
+    pub lag_max: u64,
+}
+
+impl QueueStats {
+    /// Mean consumer lag per pop (0 when nothing was popped).
+    #[must_use]
+    pub fn lag_mean(&self) -> f64 {
+        if self.popped == 0 {
+            0.0
+        } else {
+            self.lag_sum as f64 / self.popped as f64
+        }
+    }
+}
+
+impl QueueCounters {
+    /// Fresh counters, all zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one successful enqueue.
+    pub fn record_push(&self) {
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one dequeue whose consumed observation lagged the newest
+    /// arrival by `lag` pushes.
+    pub fn record_pop(&self, lag: u64) {
+        self.popped.fetch_add(1, Ordering::Relaxed);
+        self.lag_sum.fetch_add(lag, Ordering::Relaxed);
+        self.lag_max.fetch_max(lag, Ordering::Relaxed);
+    }
+
+    /// Records one observation evicted by the DropOldest policy.
+    pub fn record_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one push refused by the Reject policy.
+    pub fn record_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one empty-queue pop (the consumer starved).
+    pub fn record_starved(&self) {
+        self.starved.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total successful enqueues so far.
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Total dequeues so far.
+    #[must_use]
+    pub fn popped(&self) -> u64 {
+        self.popped.load(Ordering::Relaxed)
+    }
+
+    /// Total DropOldest evictions so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total Reject refusals so far.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Total starved pops so far.
+    #[must_use]
+    pub fn starved(&self) -> u64 {
+        self.starved.load(Ordering::Relaxed)
+    }
+
+    /// Current depth, derived from the monotone counters.
+    #[must_use]
+    pub fn depth(&self) -> u64 {
+        let pushed = self.pushed.load(Ordering::Relaxed);
+        let gone = self
+            .popped
+            .load(Ordering::Relaxed)
+            .saturating_add(self.dropped.load(Ordering::Relaxed));
+        pushed.saturating_sub(gone)
+    }
+
+    /// A point-in-time snapshot (relaxed reads; individual counters are
+    /// exact and monotone, cross-counter consistency is best-effort).
+    #[must_use]
+    pub fn snapshot(&self) -> QueueStats {
+        let pushed = self.pushed.load(Ordering::Relaxed);
+        let popped = self.popped.load(Ordering::Relaxed);
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        QueueStats {
+            pushed,
+            popped,
+            dropped,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            starved: self.starved.load(Ordering::Relaxed),
+            depth: pushed.saturating_sub(popped.saturating_add(dropped)),
+            lag_sum: self.lag_sum.load(Ordering::Relaxed),
+            lag_max: self.lag_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_is_pushes_minus_pops_minus_drops() {
+        let c = QueueCounters::new();
+        for _ in 0..5 {
+            c.record_push();
+        }
+        c.record_pop(0);
+        c.record_drop();
+        assert_eq!(c.depth(), 3);
+        let s = c.snapshot();
+        assert_eq!((s.pushed, s.popped, s.dropped, s.depth), (5, 1, 1, 3));
+    }
+
+    #[test]
+    fn lag_statistics_track_sum_and_max() {
+        let c = QueueCounters::new();
+        for lag in [0, 4, 2] {
+            c.record_push();
+            c.record_pop(lag);
+        }
+        let s = c.snapshot();
+        assert_eq!(s.lag_sum, 6);
+        assert_eq!(s.lag_max, 4);
+        assert!((s.lag_mean() - 2.0).abs() < 1e-12);
+        assert_eq!(QueueStats::default().lag_mean(), 0.0);
+    }
+
+    #[test]
+    fn reject_and_starve_do_not_move_depth() {
+        let c = QueueCounters::new();
+        c.record_push();
+        c.record_reject();
+        c.record_starved();
+        assert_eq!(c.depth(), 1);
+        assert_eq!(c.rejected(), 1);
+        assert_eq!(c.starved(), 1);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let c = std::sync::Arc::new(QueueCounters::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_push();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.pushed(), 4000);
+    }
+}

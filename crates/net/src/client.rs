@@ -15,11 +15,17 @@
 //! (`NoSuchModel`, `BadRequest`, undecodable frames) are
 //! [`RetryClass::Terminal`] — retrying cannot change the answer.
 //! [`RetryingClient`] acts on that split: capped exponential backoff with
-//! seeded jitter, reconnect-on-broken-pipe, and request replay. Replay is
-//! sound because every request in the protocol is a read (`dot-score`,
-//! `predict`, `fetch-range`, `model-stats`) — idempotent by construction,
-//! so a request whose response was lost mid-frame can be re-sent on a
-//! fresh connection without changing any state.
+//! seeded jitter, reconnect-on-broken-pipe, and request replay — but
+//! replay is gated on [`Request::idempotent`]. The read ops (`dot-score`,
+//! `predict`, `fetch-range`, `model-stats`) are replayed freely; a lost
+//! response cannot have mutated state. `submit-observe` is a *write*: if
+//! the transport dies after the request may have reached the server but
+//! before the `Ingested` ack arrived, the outcome is indeterminate, and a
+//! blind replay could enqueue the same observation twice. The retrying
+//! client therefore never replays a submit-observe across a mid-call
+//! transport failure (at-most-once); only failures where the server
+//! provably did not enqueue — connect errors, `Busy`, `AdmissionDenied`,
+//! `Overloaded`, shed frames — are retried.
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -122,10 +128,15 @@ impl ClientError {
     ///
     /// * [`ClientError::Io`] — retryable: timeouts, broken pipes, resets
     ///   and truncated frames all look like IO here, and a reconnect plus
-    ///   replay (all requests are idempotent reads) can succeed.
-    /// * [`ClientError::Remote`] with `Busy`/`AdmissionDenied` — retryable
-    ///   backpressure; every other code (`NoSuchModel`, `BadRequest`,
-    ///   `VersionMismatch`, `Internal`) is terminal.
+    ///   replay can succeed. **Caveat:** for non-idempotent requests
+    ///   (`submit-observe`) a mid-call IO failure is indeterminate — the
+    ///   class says a retry *may* succeed, not that it is safe to replay;
+    ///   [`RetryingClient`] refuses to (see [`Request::idempotent`]).
+    /// * [`ClientError::Remote`] with `Busy`/`AdmissionDenied`/
+    ///   `Overloaded` — retryable backpressure (an `Overloaded` refusal
+    ///   guarantees the observation was *not* enqueued); every other code
+    ///   (`NoSuchModel`, `BadRequest`, `VersionMismatch`, `Internal`) is
+    ///   terminal.
     /// * [`ClientError::Shed`] — retryable: shedding is load-dependent.
     /// * [`ClientError::Frame`] / [`ClientError::UnexpectedResponse`] —
     ///   terminal protocol violations.
@@ -134,7 +145,9 @@ impl ClientError {
         match self {
             Self::Io(_) | Self::Shed { .. } => RetryClass::Retryable,
             Self::Remote { code, .. } => match code {
-                ErrorCode::Busy | ErrorCode::AdmissionDenied => RetryClass::Retryable,
+                ErrorCode::Busy | ErrorCode::AdmissionDenied | ErrorCode::Overloaded => {
+                    RetryClass::Retryable
+                }
                 ErrorCode::NoSuchModel
                 | ErrorCode::BadRequest
                 | ErrorCode::VersionMismatch
@@ -315,6 +328,38 @@ impl NetClient {
             other => Err(ClientError::UnexpectedResponse(kind_of(&other))),
         }
     }
+
+    /// Pushes one labeled observation into a streaming model's ingress
+    /// queue; returns the post-push queue depth from the `Ingested` ack.
+    ///
+    /// This is the protocol's only non-idempotent operation: an `Err` of
+    /// kind [`ClientError::Io`] after the request was written means the
+    /// observation *may or may not* be queued. Do not blindly re-send
+    /// (use [`RetryingClient::submit_observe`], which honours this).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetClient::dot_score`], plus
+    /// [`ErrorCode::Overloaded`] when the queue refused the observation.
+    pub fn submit_observe(
+        &mut self,
+        model: u32,
+        features: &[(u32, f64)],
+        label: f64,
+        priority: Priority,
+    ) -> Result<u64, ClientError> {
+        match self.call_ok(
+            Request::SubmitObserve {
+                model,
+                features: features.to_vec(),
+                label,
+            },
+            priority,
+        )? {
+            Response::Ingested { depth } => Ok(depth),
+            other => Err(ClientError::UnexpectedResponse(kind_of(&other))),
+        }
+    }
 }
 
 fn kind_of(r: &Response) -> &'static str {
@@ -324,6 +369,7 @@ fn kind_of(r: &Response) -> &'static str {
         Response::Stats(_) => "stats",
         Response::Error { .. } => "error",
         Response::Shed { .. } => "shed",
+        Response::Ingested { .. } => "ingested",
     }
 }
 
@@ -370,10 +416,16 @@ impl RetryPolicy {
 /// with capped exponential backoff plus seeded jitter, and reconnects
 /// transparently when the transport dies mid-call.
 ///
-/// Replaying is safe because the protocol's requests are all idempotent
-/// reads; a request whose response was lost cannot have mutated server
-/// state, so re-sending it on a fresh connection returns the same answer
-/// the lost response carried (bit-exact once the model is quiescent).
+/// Replay is gated per operation on [`Request::idempotent`]. The read ops
+/// are replayed freely — a request whose response was lost cannot have
+/// mutated server state, so re-sending it returns the same answer the
+/// lost response carried (bit-exact once the model is quiescent).
+/// [`RetryingClient::submit_observe`] is different: once the request may
+/// have reached the wire, a transport failure leaves the enqueue
+/// indeterminate, and this client returns the error rather than risk a
+/// duplicate observation (at-most-once delivery). Failures that provably
+/// precede any server-side effect — connect errors, `Busy`,
+/// `AdmissionDenied`, `Overloaded`, shed frames — still retry.
 ///
 /// Connections are lazy: the first call connects, and a dead connection is
 /// dropped and re-established on the next attempt. With a non-passthrough
@@ -466,16 +518,32 @@ impl RetryingClient {
     }
 
     /// Runs `call` with retry, backoff, and reconnect-on-transport-failure.
+    /// Idempotent calls replay freely; see [`Self::call_retry_gated`].
     fn call_retry<T>(
         &mut self,
+        call: impl FnMut(&mut NetClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        self.call_retry_gated(true, call)
+    }
+
+    /// The retry loop, with the idempotency gate. For a non-idempotent
+    /// call (`idempotent == false`), a transport failure *after* the
+    /// request may have hit the wire is returned immediately — the server
+    /// may have executed it without us seeing the ack, and a replay could
+    /// execute it twice. Connect-phase failures (the request was never
+    /// sent) and typed refusals (`Busy`, `Overloaded`, shed — the server
+    /// answered, so it did *not* execute) retry for every call.
+    fn call_retry_gated<T>(
+        &mut self,
+        idempotent: bool,
         mut call: impl FnMut(&mut NetClient) -> Result<T, ClientError>,
     ) -> Result<T, ClientError> {
         let max_attempts = self.policy.max_attempts.max(1);
         let mut attempt = 0;
         loop {
-            let result = match self.ensure_connected() {
-                Ok(client) => call(client),
-                Err(e) => Err(e),
+            let (result, sent) = match self.ensure_connected() {
+                Ok(client) => (call(client), true),
+                Err(e) => (Err(e), false),
             };
             let error = match result {
                 Ok(value) => return Ok(value),
@@ -488,6 +556,12 @@ impl RetryingClient {
                 // The transport is suspect: drop it and reconnect on the
                 // next attempt (backpressure keeps its connection).
                 self.conn = None;
+                if sent && !idempotent {
+                    // Indeterminate outcome on a state-mutating request:
+                    // at-most-once wins over availability. The caller
+                    // decides whether to re-submit.
+                    return Err(error);
+                }
             }
             attempt += 1;
             if attempt >= max_attempts {
@@ -562,6 +636,28 @@ impl RetryingClient {
     pub fn stats_by_name(&mut self, name: &str) -> Result<ModelStats, ClientError> {
         self.call_retry(|c| c.stats_by_name(name))
     }
+
+    /// [`NetClient::submit_observe`], with the idempotency-gated retry:
+    /// typed refusals (`Busy`, `Overloaded`, shed) and connect failures
+    /// are retried, but a transport failure after the request may have
+    /// been sent returns immediately — the enqueue is indeterminate and
+    /// this client never risks a duplicate (at-most-once).
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's [`ClientError`]; [`ClientError::Io`] may mean
+    /// the observation was enqueued without its ack being seen.
+    pub fn submit_observe(
+        &mut self,
+        model: u32,
+        features: &[(u32, f64)],
+        label: f64,
+        priority: Priority,
+    ) -> Result<u64, ClientError> {
+        self.call_retry_gated(false, |c| {
+            c.submit_observe(model, features, label, priority)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -602,6 +698,10 @@ mod tests {
             ClientError::Remote {
                 code: ErrorCode::AdmissionDenied,
                 message: "budget".to_string(),
+            },
+            ClientError::Remote {
+                code: ErrorCode::Overloaded,
+                message: "queue full".to_string(),
             },
             ClientError::Shed {
                 priority: Priority::Low,
@@ -670,6 +770,61 @@ mod tests {
             Ok(_) => {} // something grabbed the port; nothing to assert
             Err(other) => panic!("expected Io, got {other}"),
         }
+    }
+
+    #[test]
+    fn submit_observe_is_never_replayed_after_an_indeterminate_failure() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        // A hostile server: reads each request frame, then drops the
+        // connection without answering — from the client's side the
+        // request was sent and the ack was lost (indeterminate outcome).
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().unwrap();
+        let frames_seen = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&frames_seen);
+        let server = std::thread::spawn(move || {
+            // 1 connection for the submit, 3 for the replayed predict.
+            for _ in 0..4 {
+                let Ok((mut s, _)) = listener.accept() else {
+                    return;
+                };
+                let mut buf = Vec::new();
+                if read_frame(&mut s, &mut buf, MAX_FRAME_LEN).is_ok() {
+                    seen.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter: 0.0,
+        };
+        let mut client = RetryingClient::new(addr, policy).expect("resolves");
+        // The write op: one attempt, zero replays, error surfaced.
+        match client.submit_observe(0, &[(0, 1.0)], 0.5, Priority::Normal) {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+        assert_eq!(
+            client.retries(),
+            0,
+            "a submit whose outcome is indeterminate must not be replayed"
+        );
+        // The same failure on a read op IS replayed, up to the budget.
+        match client.predict(0, Priority::Normal) {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+        assert_eq!(client.retries(), 2, "reads replay to the attempt budget");
+        server.join().expect("server thread");
+        assert_eq!(
+            frames_seen.load(Ordering::SeqCst),
+            4,
+            "server saw exactly one submit frame and three predict frames"
+        );
     }
 
     #[test]

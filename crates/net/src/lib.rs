@@ -5,13 +5,13 @@
 //! puts a socket boundary in front of it, dependency-free on std:
 //!
 //! * [`protocol`] — the length-prefixed, versioned binary protocol:
-//!   `dot-score`, `predict`, `fetch-range`, `model-stats` requests (each
-//!   carrying a [`Priority`]) and value/error/shed responses. `f64`s
-//!   travel as IEEE-754 bit patterns, so a served model reads **bit-
-//!   identically** through the socket path (the workspace's sequential-
-//!   equivalence oracle extends across the wire; see `tests/net.rs`).
-//!   Malformed, truncated, or oversized frames are typed errors, never
-//!   panics.
+//!   `dot-score`, `predict`, `fetch-range`, `model-stats`, and (v2)
+//!   `submit-observe` requests (each carrying a [`Priority`]) and
+//!   value/error/shed/ingested responses. `f64`s travel as IEEE-754 bit
+//!   patterns, so a served model reads **bit-identically** through the
+//!   socket path (the workspace's sequential-equivalence oracle extends
+//!   across the wire; see `tests/net.rs`). Malformed, truncated, or
+//!   oversized frames are typed errors, never panics.
 //! * [`NetServer`] — a thread-per-connection front-end over a shared
 //!   [`ModelRegistry`](asgd_serve::ModelRegistry) (multi-model tenancy:
 //!   many named concurrent training runs, addressed by id). Robustness is
@@ -34,10 +34,20 @@
 //!   the server ([`NetConfig::fault`]) and the client side.
 //!   [`RetryingClient`] is the survival strategy: every [`ClientError`]
 //!   carries a [`RetryClass`], and retryable failures are replayed with
-//!   capped exponential backoff, jitter, and reconnect-on-broken-pipe —
-//!   sound because the protocol's requests are all idempotent reads. The
-//!   `asgd-chaos` crate drives this pair as a campaign and asserts zero
-//!   wrong answers under churn.
+//!   capped exponential backoff, jitter, and reconnect-on-broken-pipe.
+//!   Replay is gated per operation on [`Request::idempotent`]: the read
+//!   ops replay freely, but `submit-observe` — the protocol's one write —
+//!   is never re-sent after an indeterminate mid-call transport failure
+//!   (at-most-once; a duplicate observation would silently skew the live
+//!   gradient stream). The `asgd-chaos` crate drives this pair as a
+//!   campaign and asserts zero wrong answers under churn.
+//! * `submit-observe` routes through the
+//!   [`ModelRegistry`](asgd_serve::ModelRegistry) into a streaming
+//!   model's bounded ingress queue (`ModelRegistry::create_streaming`) —
+//!   the continual-learning write path `asgd-ingest` builds on. Queue
+//!   refusals come back as typed [`ErrorCode::Overloaded`] frames, which
+//!   guarantee the observation was not enqueued and are therefore always
+//!   safe to retry.
 //!
 //! # Example
 //!
@@ -86,7 +96,7 @@ pub use client::{ClientError, NetClient, RetryClass, RetryPolicy, RetryingClient
 pub use fault::{FaultPlan, FaultyStream};
 pub use protocol::{
     read_frame, write_frame, ErrorCode, FrameError, Priority, Request, RequestFrame, Response,
-    StatsSelector, MAX_FRAME_LEN, MAX_PROBE_LEN, PROTOCOL_VERSION,
+    StatsSelector, MAX_FRAME_LEN, MAX_OBSERVE_LEN, MAX_PROBE_LEN, PROTOCOL_VERSION,
 };
 pub use server::{NetConfig, NetServer, ServerStats};
 pub use shed::{LoadShedder, SloPolicy, Verdict};

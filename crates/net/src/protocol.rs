@@ -22,15 +22,23 @@
 //!
 //! Operations ([`Request`]): `dot-score` (client-supplied sparse probe),
 //! `predict` (held-out objective at the served point), `fetch-range` (raw
-//! parameters), `model-stats` (by id or by name). Every request addresses
-//! a model by its registry id and carries a [`Priority`] the SLO load
+//! parameters), `model-stats` (by id or by name), and `submit-observe`
+//! (v2: push one labeled observation into a streaming model's ingress
+//! queue — the continual-learning write path). Every request addresses a
+//! model by its registry id and carries a [`Priority`] the SLO load
 //! shedder uses to decide who gets shed first.
 //!
-//! Replies ([`Response`]): `Score`, `Values`, `Stats`, plus two explicit
+//! Replies ([`Response`]): `Score`, `Values`, `Stats`, `Ingested` (the
+//! submit-observe ack: the observation is in the queue), plus two explicit
 //! failure frames — `Error` (typed [`ErrorCode`] + message) and `Shed`
 //! (the load shedder refused the request; carries the rolling p99 and the
 //! SLO that was breached). **Shed and rejected requests always get a
 //! frame** — the protocol never drops a request silently.
+//!
+//! Unlike every v1 operation, `submit-observe` is **not idempotent**: it
+//! mutates server state (enqueues an observation), so a retry layer must
+//! not blindly replay it after a mid-frame disconnect — see
+//! [`Request::idempotent`] and the `RetryingClient` docs.
 
 use asgd_serve::{ModelStats, ReadMode};
 
@@ -44,7 +52,10 @@ macro_rules! fmt_label {
 }
 
 /// Protocol version this build speaks (the first byte of every body).
-pub const PROTOCOL_VERSION: u8 = 1;
+/// v2 added the `submit-observe` opcode, the `Ingested` response tag, and
+/// the `Overloaded` error code; v1 peers are refused with a typed
+/// [`FrameError::BadVersion`] / [`ErrorCode::VersionMismatch`].
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard cap on a frame body, enforced on both encode and decode.
 pub const MAX_FRAME_LEN: usize = 1 << 20;
@@ -55,6 +66,11 @@ pub const MAX_PROBE_LEN: usize = 4_096;
 /// Most parameters one fetch-range request may ask for (the values
 /// response must itself fit a frame: 65 536 × 8 B = 512 KiB).
 pub const MAX_FETCH_LEN: u32 = 65_536;
+
+/// Most feature coordinates one submit-observe request may carry — the
+/// same budget as a dot-score probe: an observation is a sparse probe
+/// plus a label.
+pub const MAX_OBSERVE_LEN: usize = 4_096;
 
 /// Request priority, lowest first. Under SLO pressure the load shedder
 /// sheds [`Priority::Low`] traffic first, then [`Priority::Normal`];
@@ -157,6 +173,18 @@ pub enum Request {
         /// By-id or by-name selection.
         selector: StatsSelector,
     },
+    /// Push one labeled observation into a streaming model's ingress
+    /// queue (at most [`MAX_OBSERVE_LEN`] feature coordinates). The only
+    /// state-mutating operation in the protocol — acked with
+    /// [`Response::Ingested`] once the observation is actually queued.
+    SubmitObserve {
+        /// Registry id of the streaming model to feed.
+        model: u32,
+        /// `(index, value)` sparse feature coordinates.
+        features: Vec<(u32, f64)>,
+        /// The observed label.
+        label: f64,
+    },
 }
 
 impl Request {
@@ -168,6 +196,7 @@ impl Request {
             Self::Predict { .. } => 2,
             Self::FetchRange { .. } => 3,
             Self::ModelStats { .. } => 4,
+            Self::SubmitObserve { .. } => 5,
         }
     }
 
@@ -179,7 +208,18 @@ impl Request {
             Self::Predict { .. } => "predict",
             Self::FetchRange { .. } => "fetch-range",
             Self::ModelStats { .. } => "model-stats",
+            Self::SubmitObserve { .. } => "submit-observe",
         }
+    }
+
+    /// Whether retrying this request after an *indeterminate* failure (the
+    /// connection died after the request may have been sent, before any
+    /// response) is safe. Pure reads are; `submit-observe` is not — a
+    /// blind replay could enqueue the observation twice. Retry layers must
+    /// consult this before replaying (see `RetryingClient`).
+    #[must_use]
+    pub fn idempotent(&self) -> bool {
+        !matches!(self, Self::SubmitObserve { .. })
     }
 }
 
@@ -257,6 +297,25 @@ impl RequestFrame {
                     put_str(&mut buf, name)?;
                 }
             },
+            Request::SubmitObserve {
+                model,
+                features,
+                label,
+            } => {
+                if features.len() > MAX_OBSERVE_LEN {
+                    return Err(FrameError::Oversized {
+                        len: features.len(),
+                        max: MAX_OBSERVE_LEN,
+                    });
+                }
+                put_u32(&mut buf, *model);
+                put_u32(&mut buf, features.len() as u32);
+                for &(idx, v) in features {
+                    put_u32(&mut buf, idx);
+                    put_f64(&mut buf, v);
+                }
+                put_f64(&mut buf, *label);
+            }
         }
         Ok(buf)
     }
@@ -315,6 +374,28 @@ impl RequestFrame {
                 };
                 Request::ModelStats { selector }
             }
+            5 => {
+                let model = cur.u32()?;
+                let k = cur.u32()? as usize;
+                if k > MAX_OBSERVE_LEN {
+                    return Err(FrameError::Oversized {
+                        len: k,
+                        max: MAX_OBSERVE_LEN,
+                    });
+                }
+                let mut features = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let idx = cur.u32()?;
+                    let v = cur.f64()?;
+                    features.push((idx, v));
+                }
+                let label = cur.f64()?;
+                Request::SubmitObserve {
+                    model,
+                    features,
+                    label,
+                }
+            }
             other => return Err(FrameError::BadOpcode(other)),
         };
         cur.finish()?;
@@ -339,6 +420,10 @@ pub enum ErrorCode {
     Busy = 5,
     /// The server failed internally while executing the request.
     Internal = 6,
+    /// A streaming model's ingress queue is full under the `Reject`
+    /// backpressure policy. The observation was **not** enqueued, so a
+    /// retry (after backoff) is always safe.
+    Overloaded = 7,
 }
 
 impl ErrorCode {
@@ -352,6 +437,7 @@ impl ErrorCode {
             Self::AdmissionDenied => "admission-denied",
             Self::Busy => "busy",
             Self::Internal => "internal",
+            Self::Overloaded => "overloaded",
         }
     }
 
@@ -363,6 +449,7 @@ impl ErrorCode {
             4 => Ok(Self::AdmissionDenied),
             5 => Ok(Self::Busy),
             6 => Ok(Self::Internal),
+            7 => Ok(Self::Overloaded),
             other => Err(FrameError::BadErrorCode(other)),
         }
     }
@@ -394,6 +481,15 @@ pub enum Response {
     },
     /// Answer to model-stats.
     Stats(ModelStats),
+    /// Answer to submit-observe: the observation **is** in the model's
+    /// ingress queue. Until a producer sees this ack the submit is
+    /// indeterminate — that asymmetry is why submit-observe is the one
+    /// non-idempotent operation.
+    Ingested {
+        /// Queue depth right after the push (how far behind the trainer
+        /// is — the ingest-side analogue of snapshot staleness).
+        depth: u64,
+    },
     /// Typed failure — the request was refused or failed.
     Error {
         /// What went wrong.
@@ -424,6 +520,7 @@ impl Response {
             Self::Stats(_) => 3,
             Self::Error { .. } => 4,
             Self::Shed { .. } => 5,
+            Self::Ingested { .. } => 6,
         }
     }
 
@@ -485,6 +582,7 @@ impl Response {
                 put_u64(&mut buf, *p99_ns);
                 put_u64(&mut buf, *slo_ns);
             }
+            Self::Ingested { depth } => put_u64(&mut buf, *depth),
         }
         Ok(buf)
     }
@@ -560,6 +658,7 @@ impl Response {
                 p99_ns: cur.u64()?,
                 slo_ns: cur.u64()?,
             },
+            6 => Response::Ingested { depth: cur.u64()? },
             other => return Err(FrameError::BadTag(other)),
         };
         cur.finish()?;
@@ -831,6 +930,17 @@ mod tests {
                 selector: StatsSelector::ByName("café-ranker".to_string()),
             })
             .priority(Priority::High),
+            RequestFrame::new(Request::SubmitObserve {
+                model: 11,
+                features: vec![(0, 0.5), (3, -2.25), (u32::MAX, 1e-12)],
+                label: -0.75,
+            })
+            .priority(Priority::High),
+            RequestFrame::new(Request::SubmitObserve {
+                model: 0,
+                features: vec![],
+                label: 0.0,
+            }),
         ]
     }
 
@@ -871,6 +981,11 @@ mod tests {
                 priority: Priority::Low,
                 p99_ns: 2_000_000,
                 slo_ns: 1_000_000,
+            },
+            Response::Ingested { depth: u64::MAX },
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "ingress queue full".to_string(),
             },
         ]
     }
@@ -975,9 +1090,26 @@ mod tests {
             big_fetch.encode(),
             Err(FrameError::Oversized { .. })
         ));
+        let big_observe = RequestFrame::new(Request::SubmitObserve {
+            model: 0,
+            features: vec![(0, 0.0); MAX_OBSERVE_LEN + 1],
+            label: 0.0,
+        });
+        assert!(matches!(
+            big_observe.encode(),
+            Err(FrameError::Oversized { .. })
+        ));
         // A hand-forged decode with a huge declared probe count is rejected
         // before any allocation.
         let mut forged = vec![PROTOCOL_VERSION, 1, 1];
+        forged.extend_from_slice(&0_u32.to_le_bytes());
+        forged.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            RequestFrame::decode(&forged),
+            Err(FrameError::Oversized { .. })
+        ));
+        // Same for a forged observation count (opcode 5).
+        let mut forged = vec![PROTOCOL_VERSION, 5, 1];
         forged.extend_from_slice(&0_u32.to_le_bytes());
         forged.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
@@ -1026,5 +1158,37 @@ mod tests {
         assert!(FrameError::Truncated { need: 4, have: 1 }
             .to_string()
             .contains("truncated"));
+        assert_eq!(ErrorCode::Overloaded.to_string(), "overloaded");
+    }
+
+    #[test]
+    fn only_submit_observe_is_non_idempotent() {
+        // The retry layer keys off this: every read op must stay replayable
+        // and the one write op must not be.
+        for frame in sample_requests() {
+            let expected = !matches!(frame.request, Request::SubmitObserve { .. });
+            assert_eq!(
+                frame.request.idempotent(),
+                expected,
+                "{}",
+                frame.request.op_label()
+            );
+        }
+    }
+
+    #[test]
+    fn v1_peers_are_refused_with_a_typed_error() {
+        // The v2 bump (submit-observe) is a hard break: a frame stamped
+        // with the old version byte must decode to BadVersion, never be
+        // half-interpreted.
+        let mut old = RequestFrame::new(Request::Predict { model: 1 })
+            .encode()
+            .unwrap();
+        old[0] = 1;
+        assert_eq!(RequestFrame::decode(&old), Err(FrameError::BadVersion(1)));
+        let mut old_resp = Response::Ingested { depth: 3 }.encode().unwrap();
+        old_resp[0] = 1;
+        assert_eq!(Response::decode(&old_resp), Err(FrameError::BadVersion(1)));
+        assert_eq!(PROTOCOL_VERSION, 2);
     }
 }

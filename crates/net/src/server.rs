@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use asgd_oracle::{IngressError, Observation};
 use asgd_serve::{ModelEntry, ModelId, ModelRegistry, ReadMode, ServeError};
 
 use crate::fault::{FaultPlan, FaultyStream};
@@ -39,6 +40,11 @@ use crate::shed::{LoadShedder, SloPolicy, Verdict};
 /// How often blocked reads wake to poll the stop flag, and the floor for
 /// user-supplied timeouts.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// How long a submit-observe may wait on a full `Block`-policy ingress
+/// queue before the server answers `Overloaded` instead — a slow trainer
+/// must never wedge a connection thread indefinitely.
+const OBSERVE_ENQUEUE_TIMEOUT: Duration = Duration::from_millis(250);
 
 /// Server configuration: bind address, robustness budgets, SLO policy.
 #[derive(Debug, Clone)]
@@ -578,6 +584,48 @@ fn execute(
                 Err(e) => serve_error_response(&e),
             }
         }
+        Request::SubmitObserve {
+            model,
+            features,
+            label,
+        } => with_model(registry, *model, cache, |entry, _c| {
+            let Some(queue) = entry.ingress() else {
+                return Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!("model {model} is not a streaming model (no ingress queue)"),
+                };
+            };
+            let d = entry.service().dimension();
+            if let Some(&(idx, _)) = features.iter().find(|(idx, _)| *idx as usize >= d) {
+                return Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!("feature index {idx} out of range (dimension {d})"),
+                };
+            }
+            let obs = Observation::new(features.clone(), *label);
+            // `Ingested` is the at-most-once anchor: it is sent only after
+            // the push succeeded, so a client that never saw it knows the
+            // observation *may* be queued (mid-frame disconnect) but a
+            // typed refusal below means it definitely is not.
+            match queue.push_timeout(obs, OBSERVE_ENQUEUE_TIMEOUT) {
+                Ok(()) => Response::Ingested {
+                    depth: queue.len() as u64,
+                },
+                Err(IngressError::Full { capacity }) => Response::Error {
+                    code: ErrorCode::Overloaded,
+                    message: format!("ingress queue full ({capacity} capacity), not enqueued"),
+                },
+                Err(IngressError::Timeout) => Response::Error {
+                    code: ErrorCode::Overloaded,
+                    message: "ingress queue stayed full past the enqueue deadline, not enqueued"
+                        .to_string(),
+                },
+                Err(IngressError::Closed) => Response::Error {
+                    code: ErrorCode::NoSuchModel,
+                    message: format!("model {model} ingress is closed (model dropping)"),
+                },
+            }
+        }),
     }
 }
 

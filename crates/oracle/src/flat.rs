@@ -1,0 +1,110 @@
+//! The inert oracle: `f ≡ 0`, every gradient zero.
+//!
+//! This exists for one purpose — as the *prior* behind a
+//! [`StreamingOracle`](crate::StreamingOracle) when starvation should mean
+//! **hold position** rather than optimize a synthetic objective. A trainer
+//! whose fallback oracle actively pulls toward the prior's minimizer will,
+//! at native iteration rates (millions of starved steps per second against
+//! thousands of streamed observations), erase everything the stream
+//! teaches between arrivals; a flat prior makes starved steps true no-ops,
+//! so the model state is shaped by live data alone.
+//!
+//! `f ≡ 0` is **not** strongly convex, so this oracle sits outside the
+//! paper's §3 assumptions: [`Flat::constants`] reports the unit record
+//! `(c, L, M²) = (1, 1, 1)` purely to satisfy the interface (`L` and `M²`
+//! are valid upper bounds for the zero gradient; `c` is not a valid
+//! strong-convexity modulus). Do not feed it to theory predictions —
+//! they are meaningless here. It is registered as kind `"flat"`.
+
+use crate::constants::Constants;
+use crate::oracle::GradientOracle;
+use rand::RngCore;
+
+/// The zero-gradient oracle (`f ≡ 0`, minimizer pinned at the origin).
+#[derive(Debug, Clone)]
+pub struct Flat {
+    minimizer: Vec<f64>,
+}
+
+impl Flat {
+    /// A flat oracle of dimension `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when `d` is zero.
+    pub fn new(d: usize) -> Result<Self, String> {
+        if d == 0 {
+            return Err("dimension must be at least 1".to_string());
+        }
+        Ok(Self {
+            minimizer: vec![0.0; d],
+        })
+    }
+}
+
+impl GradientOracle for Flat {
+    fn dimension(&self) -> usize {
+        self.minimizer.len()
+    }
+
+    fn sample_gradient(&self, x: &[f64], _rng: &mut dyn RngCore, out: &mut [f64]) {
+        assert_eq!(x.len(), self.minimizer.len(), "x dimension mismatch");
+        assert_eq!(out.len(), self.minimizer.len(), "out dimension mismatch");
+        out.fill(0.0);
+    }
+
+    fn full_gradient(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.minimizer.len(), "x dimension mismatch");
+        out.fill(0.0);
+    }
+
+    fn objective(&self, _x: &[f64]) -> f64 {
+        0.0
+    }
+
+    fn minimizer(&self) -> &[f64] {
+        &self.minimizer
+    }
+
+    fn constants(&self, radius: f64) -> Constants {
+        // Interface placeholder; see the module docs. `L` and `M²` are
+        // honest (if loose) upper bounds, `c` is not a real modulus.
+        Constants::new(1.0, 1.0, 1.0, radius.max(f64::MIN_POSITIVE))
+    }
+
+    fn name(&self) -> &str {
+        "flat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gradients_are_zero_and_consume_no_rng() {
+        let o = Flat::new(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let before = rng.next_u64();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = vec![9.0; 3];
+        o.sample_gradient(&[1.0, -2.0, 3.0], &mut rng, &mut g);
+        assert_eq!(g, vec![0.0; 3]);
+        o.full_gradient(&[1.0, -2.0, 3.0], &mut g);
+        assert_eq!(g, vec![0.0; 3]);
+        // The RNG stream is untouched: starved fallback steps through a
+        // flat prior cannot perturb a run's determinism.
+        assert_eq!(rng.next_u64(), before);
+        assert_eq!(o.objective(&[7.0, 7.0, 7.0]), 0.0);
+        assert_eq!(o.minimizer(), &[0.0; 3]);
+        assert!(o.max_support().is_none(), "flat stays on the dense path");
+        assert_eq!(o.name(), "flat");
+    }
+
+    #[test]
+    fn zero_dimension_is_rejected() {
+        assert!(Flat::new(0).is_err());
+    }
+}

@@ -19,7 +19,14 @@
 //!   *removed* by this paper's analysis;
 //! * [`LinearRegression`] — least squares over a synthetic dataset;
 //! * [`RidgeLogistic`] — ℓ2-regularised logistic regression (strongly convex
-//!   thanks to the ridge term).
+//!   thanks to the ridge term);
+//! * [`StreamingOracle`] — live labeled observations consumed from a bounded
+//!   [`IngressQueue`] (explicit backpressure: block, drop-oldest, or
+//!   reject), falling back to a prior oracle when starved — the
+//!   continual-learning ingest path;
+//! * [`Flat`] — the inert `f ≡ 0` oracle (kind `"flat"`), the
+//!   hold-position prior for streaming models (outside the §3
+//!   assumptions; see its docs).
 //!
 //! # Example
 //!
@@ -41,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod constants;
+pub mod flat;
 pub mod linalg;
 pub mod linreg;
 pub mod logreg;
@@ -50,9 +58,11 @@ pub mod quadratic;
 pub mod registry;
 pub mod sparse;
 pub mod sparse_grad;
+pub mod streaming;
 pub mod synth;
 
 pub use constants::Constants;
+pub use flat::Flat;
 pub use linreg::LinearRegression;
 pub use logreg::RidgeLogistic;
 pub use minibatch::{Minibatch, MinibatchRegression};
@@ -61,3 +71,4 @@ pub use quadratic::NoisyQuadratic;
 pub use registry::{OracleSpec, OracleSpecError};
 pub use sparse::SparseQuadratic;
 pub use sparse_grad::{ModelView, SparseGrad};
+pub use streaming::{BackpressurePolicy, IngressError, IngressQueue, Observation, StreamingOracle};

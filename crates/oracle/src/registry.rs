@@ -18,7 +18,7 @@
 //! ```
 
 use crate::{
-    GradientOracle, LinearRegression, Minibatch, MinibatchRegression, NoisyQuadratic,
+    Flat, GradientOracle, LinearRegression, Minibatch, MinibatchRegression, NoisyQuadratic,
     RidgeLogistic, SparseQuadratic,
 };
 use std::sync::Arc;
@@ -33,6 +33,8 @@ pub fn known_kinds() -> &'static [&'static str] {
         "ridge-logistic",
         "minibatch-regression",
         "minibatch-sparse",
+        "streaming",
+        "flat",
     ]
 }
 
@@ -186,6 +188,30 @@ impl OracleSpec {
                     .map(|o| Arc::new(Minibatch::new(o, self.batch)) as Arc<dyn GradientOracle>)
                     .map_err(|e| invalid(&e))
             }
+            // Continual learning: a noisy-quadratic prior behind a bounded
+            // drop-oldest ingress queue (`dataset` is reused as the queue
+            // capacity). Until observations are pushed through
+            // `StreamingOracle::queue`, it behaves exactly like its prior;
+            // serving-path callers construct their queue explicitly and
+            // wire producers to it (see `asgd-ingest`).
+            "streaming" => NoisyQuadratic::new(self.dim, self.sigma)
+                .map(|prior| {
+                    let queue = crate::streaming::IngressQueue::new(
+                        self.dataset,
+                        crate::streaming::BackpressurePolicy::DropOldest,
+                    );
+                    Arc::new(crate::streaming::StreamingOracle::new(
+                        Arc::new(prior),
+                        queue,
+                    )) as Arc<dyn GradientOracle>
+                })
+                .map_err(|e| invalid(&e)),
+            // The inert oracle (`f ≡ 0`): the hold-position prior for
+            // streaming models — starved fallback steps become no-ops so
+            // live observations alone shape the model (see `crate::Flat`).
+            "flat" => Flat::new(self.dim)
+                .map(|o| Arc::new(o) as Arc<dyn GradientOracle>)
+                .map_err(|e| invalid(&e)),
             other => Err(OracleSpecError::UnknownKind(other.to_string())),
         }
     }

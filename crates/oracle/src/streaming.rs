@@ -1,0 +1,654 @@
+//! Streaming ingress: a bounded observation queue and the
+//! [`StreamingOracle`] that turns live labeled data into stochastic
+//! gradients.
+//!
+//! Everything else in this crate samples from a distribution fixed at
+//! construction; this module closes the loop instead — served clients (or
+//! any producer) push labeled [`Observation`]s into a bounded MPMC
+//! [`IngressQueue`], and a [`StreamingOracle`] consumes them as the
+//! training run's gradient source. This is exactly the regime analyzed by
+//! the asynchronous-SGD literature the paper builds on: gradients computed
+//! on asynchronously-arriving, possibly stale samples.
+//!
+//! Design decisions, each explicit:
+//!
+//! * **Bounded, with a declared backpressure policy.** A full queue either
+//!   blocks the producer ([`BackpressurePolicy::Block`]), evicts the
+//!   oldest observation ([`BackpressurePolicy::DropOldest`]), or refuses
+//!   the push with a typed error ([`BackpressurePolicy::Reject`]). Nothing
+//!   is ever dropped or refused silently: every outcome lands in the
+//!   queue's [`QueueCounters`].
+//! * **The consumer never blocks.** [`StreamingOracle::sample_gradient`]
+//!   uses a non-blocking pop and falls back to a configurable *prior*
+//!   oracle when starved, so trainer threads never stall on an empty
+//!   queue — the run keeps optimizing the prior objective until data
+//!   arrives.
+//! * **Determinism is preserved.** Popping an observation consumes **no**
+//!   RNG draws; only the starved fallback path does. Two runs consuming
+//!   the same observation sequence from the same start point therefore
+//!   produce bit-identical trajectories (the workspace's sequential-
+//!   equivalence oracle extends to the ingest path; see
+//!   `tests/determinism.rs`).
+//!
+//! An observation `(a, y)` yields the least-squares stochastic gradient
+//! `g = (⟨a, x⟩ − y)·a`, supported on `a`'s support — the online
+//! counterpart of [`LinearRegression`](crate::LinearRegression)'s
+//! per-example gradient.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use asgd_metrics::queue::QueueCounters;
+use rand::RngCore;
+
+use crate::constants::Constants;
+use crate::oracle::GradientOracle;
+
+/// One labeled example from the stream: a sparse feature vector and its
+/// target value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Sparse features as `(index, weight)` pairs.
+    pub features: Vec<(u32, f64)>,
+    /// The labeled target `y`.
+    pub label: f64,
+}
+
+impl Observation {
+    /// A new observation.
+    #[must_use]
+    pub fn new(features: Vec<(u32, f64)>, label: f64) -> Self {
+        Self { features, label }
+    }
+
+    /// True when every feature index is below `dim` (the bounds check the
+    /// wire path performs before enqueueing).
+    #[must_use]
+    pub fn fits(&self, dim: usize) -> bool {
+        self.features.iter().all(|&(j, _)| (j as usize) < dim)
+    }
+}
+
+/// What a producer experiences when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// The push blocks until the consumer makes room (lossless; producers
+    /// slow to the training rate).
+    Block,
+    /// The oldest queued observation is evicted to admit the new one
+    /// (freshest-data-wins; drops are counted).
+    DropOldest,
+    /// The push fails with [`IngressError::Full`] (the producer decides;
+    /// refusals are counted).
+    Reject,
+}
+
+impl BackpressurePolicy {
+    /// Canonical lowercase label (CLI flags, JSON rows).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Block => "block",
+            Self::DropOldest => "drop-oldest",
+            Self::Reject => "reject",
+        }
+    }
+}
+
+impl std::fmt::Display for BackpressurePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for BackpressurePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "block" => Ok(Self::Block),
+            "drop-oldest" | "dropoldest" | "drop" => Ok(Self::DropOldest),
+            "reject" => Ok(Self::Reject),
+            other => Err(format!(
+                "unknown backpressure policy `{other}` (known: block, drop-oldest, reject)"
+            )),
+        }
+    }
+}
+
+/// Typed ingress failures. Every variant is a *policy outcome*, not a bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngressError {
+    /// The queue is full and the policy is [`BackpressurePolicy::Reject`].
+    Full {
+        /// The queue's capacity at the time of the refusal.
+        capacity: usize,
+    },
+    /// A blocking push outlived its deadline without space appearing.
+    Timeout,
+    /// The queue was closed (its model is shutting down).
+    Closed,
+}
+
+impl std::fmt::Display for IngressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Full { capacity } => {
+                write!(f, "ingress queue full (capacity {capacity}), push rejected")
+            }
+            Self::Timeout => write!(f, "ingress push timed out waiting for queue space"),
+            Self::Closed => write!(f, "ingress queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for IngressError {}
+
+/// Queue interior: the buffer plus the monotone push sequence used to
+/// compute per-pop consumer lag.
+#[derive(Debug)]
+struct QueueState {
+    items: VecDeque<(u64, Observation)>,
+    next_seq: u64,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<QueueState>,
+    not_full: Condvar,
+    capacity: usize,
+    policy: BackpressurePolicy,
+    counters: Arc<QueueCounters>,
+}
+
+/// A bounded MPMC observation queue with an explicit backpressure policy.
+///
+/// Cloning the handle shares the queue: producers (socket connections,
+/// simulated fleets) and consumers ([`StreamingOracle`] inside trainer
+/// threads) each hold a clone. All counters live in an
+/// [`asgd_metrics::QueueCounters`] shared through
+/// [`IngressQueue::counters`].
+#[derive(Debug, Clone)]
+pub struct IngressQueue {
+    shared: Arc<Shared>,
+}
+
+impl IngressQueue {
+    /// A new queue with `capacity` slots (clamped to ≥ 1) under `policy`.
+    #[must_use]
+    pub fn new(capacity: usize, policy: BackpressurePolicy) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(QueueState {
+                    items: VecDeque::new(),
+                    next_seq: 0,
+                    closed: false,
+                }),
+                not_full: Condvar::new(),
+                capacity: capacity.max(1),
+                policy,
+                counters: Arc::new(QueueCounters::new()),
+            }),
+        }
+    }
+
+    /// The queue's capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// The queue's backpressure policy.
+    #[must_use]
+    pub fn policy(&self) -> BackpressurePolicy {
+        self.shared.policy
+    }
+
+    /// The shared counters (depth, drops, rejects, starvation, lag).
+    #[must_use]
+    pub fn counters(&self) -> &Arc<QueueCounters> {
+        &self.shared.counters
+    }
+
+    /// Current queue depth.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when the queue holds no observations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`IngressQueue::close`] ran.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        // Queue state is plain data; a panicking holder leaves it
+        // consistent, so recover rather than poison-cascade.
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Pushes one observation under the queue's policy. A `Block` push
+    /// waits indefinitely; use [`IngressQueue::push_timeout`] from threads
+    /// that must not wedge (e.g. socket connections).
+    ///
+    /// # Errors
+    ///
+    /// [`IngressError::Full`] under `Reject` with a full queue;
+    /// [`IngressError::Closed`] after [`IngressQueue::close`].
+    pub fn push(&self, obs: Observation) -> Result<(), IngressError> {
+        self.push_deadline(obs, None)
+    }
+
+    /// [`IngressQueue::push`] with an upper bound on how long a `Block`
+    /// push may wait.
+    ///
+    /// # Errors
+    ///
+    /// As [`IngressQueue::push`], plus [`IngressError::Timeout`] when the
+    /// deadline passes with the queue still full.
+    pub fn push_timeout(&self, obs: Observation, timeout: Duration) -> Result<(), IngressError> {
+        self.push_deadline(obs, Some(timeout))
+    }
+
+    fn push_deadline(
+        &self,
+        obs: Observation,
+        timeout: Option<Duration>,
+    ) -> Result<(), IngressError> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(IngressError::Closed);
+        }
+        if state.items.len() >= self.shared.capacity {
+            match self.shared.policy {
+                BackpressurePolicy::Block => {
+                    let deadline = timeout.map(|t| std::time::Instant::now() + t);
+                    while state.items.len() >= self.shared.capacity && !state.closed {
+                        state = match deadline {
+                            None => self
+                                .shared
+                                .not_full
+                                .wait(state)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner),
+                            Some(deadline) => {
+                                let now = std::time::Instant::now();
+                                if now >= deadline {
+                                    return Err(IngressError::Timeout);
+                                }
+                                self.shared
+                                    .not_full
+                                    .wait_timeout(state, deadline - now)
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                    .0
+                            }
+                        };
+                    }
+                    if state.closed {
+                        return Err(IngressError::Closed);
+                    }
+                }
+                BackpressurePolicy::DropOldest => {
+                    state.items.pop_front();
+                    self.shared.counters.record_drop();
+                }
+                BackpressurePolicy::Reject => {
+                    self.shared.counters.record_reject();
+                    return Err(IngressError::Full {
+                        capacity: self.shared.capacity,
+                    });
+                }
+            }
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.items.push_back((seq, obs));
+        self.shared.counters.record_push();
+        Ok(())
+    }
+
+    /// Non-blocking pop. `None` (a *starved* pop, counted) when the queue
+    /// is empty — the consumer falls back to its prior oracle.
+    #[must_use]
+    pub fn try_pop(&self) -> Option<Observation> {
+        let mut state = self.lock();
+        match state.items.pop_front() {
+            Some((seq, obs)) => {
+                // Consumer lag: observations pushed after the consumed one
+                // — the queue-side analogue of the paper's delay τ.
+                let lag = (state.next_seq - 1).saturating_sub(seq);
+                self.shared.counters.record_pop(lag);
+                self.shared.not_full.notify_one();
+                Some(obs)
+            }
+            None => {
+                self.shared.counters.record_starved();
+                None
+            }
+        }
+    }
+
+    /// Closes the queue: queued observations stay poppable, further pushes
+    /// fail with [`IngressError::Closed`], and blocked pushers wake.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.shared.not_full.notify_all();
+    }
+}
+
+/// A [`GradientOracle`] fed by an [`IngressQueue`] of live observations,
+/// with a prior oracle as the starvation fallback.
+///
+/// Each [`StreamingOracle::sample_gradient`] call pops one observation
+/// `(a, y)` and returns the least-squares gradient `(⟨a, x⟩ − y)·a`
+/// (consuming no RNG draws); when the queue is starved it delegates to the
+/// prior instead, so trainer threads never stall. The analytic surface —
+/// [`objective`](GradientOracle::objective),
+/// [`minimizer`](GradientOracle::minimizer),
+/// [`constants`](GradientOracle::constants) — is the *prior's*: under
+/// drift the stream's true minimizer is known only to the generator, and
+/// recovery is measured against that ground truth (see
+/// `asgd-ingest::recovery`), never against this oracle's own report.
+///
+/// Feature indices at or above the model dimension are ignored (the wire
+/// path bounds-checks before enqueueing; direct producers should use
+/// [`Observation::fits`]).
+pub struct StreamingOracle {
+    prior: Arc<dyn GradientOracle>,
+    queue: IngressQueue,
+    consumed: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl std::fmt::Debug for StreamingOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingOracle")
+            .field("dimension", &self.prior.dimension())
+            .field("prior", &self.prior.name())
+            .field("policy", &self.queue.policy())
+            .field("consumed", &self.consumed())
+            .field("fallbacks", &self.fallbacks())
+            .finish()
+    }
+}
+
+impl StreamingOracle {
+    /// A streaming oracle consuming `queue`, starving back to `prior`.
+    #[must_use]
+    pub fn new(prior: Arc<dyn GradientOracle>, queue: IngressQueue) -> Self {
+        Self {
+            prior,
+            queue,
+            consumed: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// The ingress queue this oracle consumes (clone it to produce).
+    #[must_use]
+    pub fn queue(&self) -> &IngressQueue {
+        &self.queue
+    }
+
+    /// The prior (starvation-fallback) oracle.
+    #[must_use]
+    pub fn prior(&self) -> &Arc<dyn GradientOracle> {
+        &self.prior
+    }
+
+    /// Gradients computed from consumed observations so far.
+    #[must_use]
+    pub fn consumed(&self) -> u64 {
+        self.consumed.load(Ordering::Relaxed)
+    }
+
+    /// Gradients answered by the prior because the queue was starved.
+    #[must_use]
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+}
+
+impl GradientOracle for StreamingOracle {
+    fn dimension(&self) -> usize {
+        self.prior.dimension()
+    }
+
+    fn sample_gradient(&self, x: &[f64], rng: &mut dyn RngCore, out: &mut [f64]) {
+        let d = self.prior.dimension();
+        assert_eq!(x.len(), d, "model dimension mismatch");
+        assert_eq!(out.len(), d, "gradient dimension mismatch");
+        match self.queue.try_pop() {
+            Some(obs) => {
+                let mut residual = -obs.label;
+                for &(j, w) in &obs.features {
+                    if let Some(&xj) = x.get(j as usize) {
+                        residual += w * xj;
+                    }
+                }
+                out.fill(0.0);
+                for &(j, w) in &obs.features {
+                    if let Some(slot) = out.get_mut(j as usize) {
+                        *slot += residual * w;
+                    }
+                }
+                self.consumed.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.prior.sample_gradient(x, rng, out);
+            }
+        }
+    }
+
+    fn full_gradient(&self, x: &[f64], out: &mut [f64]) {
+        self.prior.full_gradient(x, out);
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        self.prior.objective(x)
+    }
+
+    fn minimizer(&self) -> &[f64] {
+        self.prior.minimizer()
+    }
+
+    fn constants(&self, radius: f64) -> Constants {
+        self.prior.constants(radius)
+    }
+
+    fn name(&self) -> &str {
+        "streaming"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadratic::NoisyQuadratic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn obs(features: Vec<(u32, f64)>, label: f64) -> Observation {
+        Observation::new(features, label)
+    }
+
+    #[test]
+    fn block_policy_is_lossless_under_a_slow_consumer() {
+        let q = IngressQueue::new(2, BackpressurePolicy::Block);
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for i in 0..10 {
+                    q.push(obs(vec![(0, f64::from(i))], 0.0)).expect("pushes");
+                }
+            })
+        };
+        let mut seen = Vec::new();
+        while seen.len() < 10 {
+            if let Some(o) = q.try_pop() {
+                seen.push(o.features[0].1 as i32);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().expect("producer clean");
+        assert_eq!(seen, (0..10).collect::<Vec<_>>(), "in order, none lost");
+        let s = q.counters().snapshot();
+        assert_eq!((s.pushed, s.popped, s.dropped, s.rejected), (10, 10, 0, 0));
+    }
+
+    #[test]
+    fn drop_oldest_evicts_from_the_front_and_counts() {
+        let q = IngressQueue::new(2, BackpressurePolicy::DropOldest);
+        for i in 0..5 {
+            q.push(obs(vec![], f64::from(i))).expect("never refuses");
+        }
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.counters().dropped(), 3);
+        assert_eq!(q.try_pop().expect("has items").label, 3.0);
+        assert_eq!(q.try_pop().expect("has items").label, 4.0);
+    }
+
+    #[test]
+    fn reject_refuses_with_a_typed_error() {
+        let q = IngressQueue::new(1, BackpressurePolicy::Reject);
+        q.push(obs(vec![], 0.0)).expect("first fits");
+        let err = q.push(obs(vec![], 1.0)).expect_err("second refused");
+        assert_eq!(err, IngressError::Full { capacity: 1 });
+        assert_eq!(q.counters().rejected(), 1);
+        assert_eq!(q.len(), 1, "refused push left the queue untouched");
+    }
+
+    #[test]
+    fn close_wakes_blocked_pushers_and_fails_new_pushes() {
+        let q = IngressQueue::new(1, BackpressurePolicy::Block);
+        q.push(obs(vec![], 0.0)).expect("fits");
+        let blocked = {
+            let q = q.clone();
+            std::thread::spawn(move || q.push(obs(vec![], 1.0)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(blocked.join().expect("joins"), Err(IngressError::Closed));
+        assert_eq!(q.push(obs(vec![], 2.0)), Err(IngressError::Closed));
+        assert!(q.is_closed());
+        // Queued observations survive the close.
+        assert!(q.try_pop().is_some());
+    }
+
+    #[test]
+    fn push_timeout_bounds_a_blocking_push() {
+        let q = IngressQueue::new(1, BackpressurePolicy::Block);
+        q.push(obs(vec![], 0.0)).expect("fits");
+        let err = q
+            .push_timeout(obs(vec![], 1.0), Duration::from_millis(30))
+            .expect_err("no space ever appears");
+        assert_eq!(err, IngressError::Timeout);
+    }
+
+    #[test]
+    fn consumer_lag_counts_pushes_after_the_consumed_observation() {
+        let q = IngressQueue::new(8, BackpressurePolicy::Block);
+        for i in 0..4 {
+            q.push(obs(vec![], f64::from(i))).expect("fits");
+        }
+        let _ = q.try_pop(); // obs 0, 3 pushed after it
+        let _ = q.try_pop(); // obs 1, 2 pushed after it
+        let s = q.counters().snapshot();
+        assert_eq!(s.lag_max, 3);
+        assert_eq!(s.lag_sum, 5);
+    }
+
+    #[test]
+    fn streaming_gradient_is_the_least_squares_residual_times_features() {
+        let prior: Arc<dyn GradientOracle> = Arc::new(NoisyQuadratic::new(4, 0.0).unwrap());
+        let oracle = StreamingOracle::new(prior, IngressQueue::new(8, BackpressurePolicy::Block));
+        oracle
+            .queue()
+            .push(obs(vec![(0, 2.0), (3, -1.0)], 1.0))
+            .expect("fits");
+        let x = [1.0, 5.0, 5.0, 2.0];
+        let mut g = vec![0.0; 4];
+        oracle.sample_gradient(&x, &mut StdRng::seed_from_u64(0), &mut g);
+        // residual = 2·1 + (−1)·2 − 1 = −1; g = residual · a.
+        assert_eq!(g, vec![-2.0, 0.0, 0.0, 1.0]);
+        assert_eq!(oracle.consumed(), 1);
+        assert_eq!(oracle.fallbacks(), 0);
+    }
+
+    #[test]
+    fn starved_oracle_falls_back_to_the_prior_bit_for_bit() {
+        let prior = Arc::new(NoisyQuadratic::new(3, 0.5).unwrap());
+        let oracle = StreamingOracle::new(
+            Arc::clone(&prior) as Arc<dyn GradientOracle>,
+            IngressQueue::new(4, BackpressurePolicy::Block),
+        );
+        let x = [1.0, -2.0, 0.5];
+        let mut from_prior = vec![0.0; 3];
+        prior.sample_gradient(&x, &mut StdRng::seed_from_u64(7), &mut from_prior);
+        let mut from_stream = vec![0.0; 3];
+        oracle.sample_gradient(&x, &mut StdRng::seed_from_u64(7), &mut from_stream);
+        for (a, b) in from_prior.iter().zip(&from_stream) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(oracle.fallbacks(), 1);
+        assert_eq!(oracle.queue().counters().starved(), 1);
+    }
+
+    #[test]
+    fn popping_consumes_no_rng_draws() {
+        // Determinism contract: an observation-backed gradient must leave
+        // the RNG stream untouched, so streamed trajectories replay.
+        let prior: Arc<dyn GradientOracle> = Arc::new(NoisyQuadratic::new(2, 1.0).unwrap());
+        let oracle = StreamingOracle::new(prior, IngressQueue::new(4, BackpressurePolicy::Block));
+        oracle.queue().push(obs(vec![(0, 1.0)], 0.0)).expect("fits");
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut probe = StdRng::seed_from_u64(42);
+        let mut g = vec![0.0; 2];
+        oracle.sample_gradient(&[1.0, 1.0], &mut rng, &mut g);
+        assert_eq!(rng.next_u64(), probe.next_u64(), "stream untouched");
+    }
+
+    #[test]
+    fn analytic_surface_delegates_to_the_prior() {
+        let prior: Arc<dyn GradientOracle> = Arc::new(NoisyQuadratic::new(2, 0.0).unwrap());
+        let oracle = StreamingOracle::new(
+            Arc::clone(&prior),
+            IngressQueue::new(4, BackpressurePolicy::DropOldest),
+        );
+        assert_eq!(oracle.dimension(), 2);
+        assert_eq!(oracle.minimizer(), prior.minimizer());
+        assert_eq!(oracle.objective(&[1.0, 1.0]), prior.objective(&[1.0, 1.0]));
+        assert_eq!(oracle.constants(1.0).c, prior.constants(1.0).c);
+        assert_eq!(oracle.name(), "streaming");
+        assert!(oracle.max_support().is_none(), "dense path stays correct");
+        let dbg = format!("{oracle:?}");
+        assert!(dbg.contains("streaming") || dbg.contains("StreamingOracle"));
+    }
+
+    #[test]
+    fn out_of_range_feature_indices_are_ignored() {
+        let prior: Arc<dyn GradientOracle> = Arc::new(NoisyQuadratic::new(2, 0.0).unwrap());
+        let oracle = StreamingOracle::new(prior, IngressQueue::new(4, BackpressurePolicy::Block));
+        let bad = obs(vec![(0, 1.0), (9, 100.0)], 0.0);
+        assert!(!bad.fits(2));
+        assert!(bad.fits(10));
+        oracle.queue().push(bad).expect("queue takes anything");
+        let mut g = vec![0.0; 2];
+        oracle.sample_gradient(&[1.0, 0.0], &mut StdRng::seed_from_u64(0), &mut g);
+        assert_eq!(g, vec![1.0, 0.0], "out-of-range entries contribute nothing");
+    }
+}

@@ -16,7 +16,10 @@
 //!   concurrent training runs sharing one `Driver`, created/attached/
 //!   dropped by name, addressed by compact [`ModelId`]s (what the
 //!   `asgd-net` wire protocol puts in request frames), each with its own
-//!   per-model [`ReadMode`];
+//!   per-model [`ReadMode`] — including **streaming** models
+//!   ([`ModelRegistry::create_streaming`]) whose trainer consumes live
+//!   labeled observations from a bounded ingress queue (the
+//!   continual-learning path; see `asgd-ingest`);
 //! * [`ReadMode`] — `Live` (per-entry atomic reads; the inconsistent-view
 //!   semantics the paper's adversary allows) vs `Snapshot` (epoch-versioned
 //!   double-buffered copies published every

@@ -26,6 +26,7 @@ use crate::service::ModelService;
 use crate::spec::ReadMode;
 use asgd_driver::{Driver, DriverError, RunReport, RunSpec};
 use asgd_hogwild::snapshot::lock_recovered;
+use asgd_oracle::{BackpressurePolicy, IngressQueue, StreamingOracle};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -74,6 +75,10 @@ pub struct ModelEntry {
     name: String,
     mode: ReadMode,
     service: ModelService,
+    /// The live ingress queue for streaming models (`None` for models
+    /// trained purely on their spec-built workload). Submit-observe
+    /// traffic lands here.
+    ingress: Option<IngressQueue>,
 }
 
 impl std::fmt::Debug for ModelEntry {
@@ -83,6 +88,7 @@ impl std::fmt::Debug for ModelEntry {
             .field("name", &self.name)
             .field("mode", &self.mode)
             .field("service", &self.service)
+            .field("ingress", &self.ingress.is_some())
             .finish()
     }
 }
@@ -110,6 +116,15 @@ impl ModelEntry {
     #[must_use]
     pub fn service(&self) -> &ModelService {
         &self.service
+    }
+
+    /// The model's live ingress queue (`None` unless created through
+    /// [`ModelRegistry::create_streaming`]). Pushing an
+    /// [`Observation`](asgd_oracle::Observation) here feeds the trainer's
+    /// [`StreamingOracle`] directly.
+    #[must_use]
+    pub fn ingress(&self) -> Option<&IngressQueue> {
+        self.ingress.as_ref()
     }
 
     /// A point-in-time statistics snapshot.
@@ -199,6 +214,47 @@ impl ModelRegistry {
         mode: ReadMode,
         publish_stride: u64,
     ) -> Result<ModelId, ServeError> {
+        self.create_inner(name, train, mode, publish_stride, None)
+    }
+
+    /// Creates a **streaming** model: training consumes live labeled
+    /// observations from a fresh bounded [`IngressQueue`] (capacity and
+    /// backpressure policy given here) through a [`StreamingOracle`], and
+    /// falls back to the spec-built workload (the *prior*) whenever the
+    /// queue is starved — so the trainer never stalls waiting for traffic.
+    ///
+    /// The queue is reachable from the returned entry via
+    /// [`ModelEntry::ingress`]; the wire protocol's submit-observe opcode
+    /// routes into it. Predict queries keep evaluating against a held-out
+    /// prior instance, never the live stream.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModelRegistry::create`].
+    pub fn create_streaming(
+        &self,
+        name: &str,
+        train: &RunSpec,
+        mode: ReadMode,
+        publish_stride: u64,
+        capacity: usize,
+        policy: BackpressurePolicy,
+    ) -> Result<ModelId, ServeError> {
+        let prior = train.oracle.build().map_err(DriverError::from)?;
+        let queue = IngressQueue::new(capacity, policy);
+        let oracle: Arc<dyn asgd_oracle::GradientOracle> =
+            Arc::new(StreamingOracle::new(prior, queue.clone()));
+        self.create_inner(name, train, mode, publish_stride, Some((oracle, queue)))
+    }
+
+    fn create_inner(
+        &self,
+        name: &str,
+        train: &RunSpec,
+        mode: ReadMode,
+        publish_stride: u64,
+        streaming: Option<(Arc<dyn asgd_oracle::GradientOracle>, IngressQueue)>,
+    ) -> Result<ModelId, ServeError> {
         if name.is_empty() {
             return Err(ServeError::InvalidSpec(
                 "model name must not be empty".to_string(),
@@ -219,12 +275,23 @@ impl ModelRegistry {
             ReadMode::Snapshot => publish_stride,
             ReadMode::Live => u64::MAX,
         };
-        let service = ModelService::start_on(&self.driver, train, stride, None)?;
+        let (train_oracle, ingress) = match streaming {
+            Some((oracle, queue)) => (Some(oracle), Some(queue)),
+            None => (None, None),
+        };
+        let service =
+            ModelService::start_with_oracle(&self.driver, train, stride, None, train_oracle)?;
         let mut inner = lock_recovered(&self.inner);
         if inner.by_name.contains_key(name) {
             // Lost a create race: tear the fresh run down outside the maps.
             drop(inner);
             let _ = service.stop();
+            // A raced streaming queue dies with its run: close it so any
+            // producer already holding a clone gets a typed error instead
+            // of feeding a cancelled trainer.
+            if let Some(queue) = &ingress {
+                queue.close();
+            }
             return Err(ServeError::DuplicateModel(name.to_string()));
         }
         let id = ModelId(inner.next_id);
@@ -234,6 +301,7 @@ impl ModelRegistry {
             name: name.to_string(),
             mode,
             service,
+            ingress,
         });
         inner.by_name.insert(name.to_string(), id);
         inner.by_id.insert(id.0, entry);
@@ -322,6 +390,11 @@ impl ModelRegistry {
                 .remove(&id.0)
                 .expect("name and id maps mutate together")
         };
+        // Close the ingress first so producers holding queue clones fail
+        // with a typed error instead of feeding a cancelled trainer.
+        if let Some(queue) = &entry.ingress {
+            queue.close();
+        }
         entry.service.stop().map_err(ServeError::Driver)
     }
 
@@ -337,7 +410,12 @@ impl ModelRegistry {
         };
         entries
             .into_iter()
-            .map(|e| (e.name.clone(), e.service.stop()))
+            .map(|e| {
+                if let Some(queue) = &e.ingress {
+                    queue.close();
+                }
+                (e.name.clone(), e.service.stop())
+            })
             .collect()
     }
 }
@@ -434,6 +512,54 @@ mod tests {
             .expect("creates");
         let entry = registry.lookup(id).unwrap();
         assert_eq!(entry.service().hook().publish_stride(), u64::MAX);
+        registry.shutdown();
+    }
+
+    #[test]
+    fn streaming_models_expose_a_live_ingress_queue() {
+        use asgd_oracle::Observation;
+        let registry = ModelRegistry::new();
+        let spec = train(4).iterations(200_000);
+        let id = registry
+            .create_streaming(
+                "stream",
+                &spec,
+                ReadMode::Live,
+                64,
+                32,
+                BackpressurePolicy::Block,
+            )
+            .expect("creates");
+        let entry = registry.lookup(id).unwrap();
+        let queue = entry.ingress().expect("streaming entries carry a queue");
+        assert_eq!(queue.capacity(), 32);
+        // Observations pushed here are consumed by the live trainer.
+        for _ in 0..16 {
+            queue
+                .push(Observation::new(vec![(0, 1.0), (2, -0.5)], 0.25))
+                .expect("queue open");
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while queue.counters().popped() < 16 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "trainer never drained"
+            );
+            std::thread::yield_now();
+        }
+        // Non-streaming entries have no ingress.
+        let plain = registry
+            .create("plain", &train(4), ReadMode::Snapshot, 64)
+            .expect("creates");
+        assert!(registry.lookup(plain).unwrap().ingress().is_none());
+        // Dropping the streaming model closes its queue: producer clones
+        // fail typed instead of feeding a cancelled trainer.
+        let producer = queue.clone();
+        registry.drop_model("stream").expect("drops");
+        assert!(matches!(
+            producer.push(Observation::new(vec![(0, 1.0)], 0.0)),
+            Err(asgd_oracle::IngressError::Closed)
+        ));
         registry.shutdown();
     }
 

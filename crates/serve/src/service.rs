@@ -93,6 +93,30 @@ impl ModelService {
         publish_stride: u64,
         observer: Option<Arc<dyn RunObserver>>,
     ) -> Result<Self, ServeError> {
+        Self::start_with_oracle(driver, train, publish_stride, observer, None)
+    }
+
+    /// Like [`ModelService::start_on`], training against `train_oracle`
+    /// instead of building one from `train.oracle` — the continual-learning
+    /// entry point: a [`StreamingOracle`](asgd_oracle::StreamingOracle) fed
+    /// by a live ingress queue replaces the spec-built workload, while
+    /// predict queries still evaluate against a held-out instance built
+    /// from the spec (the streaming prior), so query evaluation never
+    /// contends on — or consumes from — the trainer's oracle.
+    ///
+    /// The override's dimension must match `train.oracle.dim`; the driver
+    /// rejects the session otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModelService::start`].
+    pub fn start_with_oracle(
+        driver: &Driver,
+        train: &RunSpec,
+        publish_stride: u64,
+        observer: Option<Arc<dyn RunObserver>>,
+        train_oracle: Option<Arc<dyn GradientOracle>>,
+    ) -> Result<Self, ServeError> {
         if train.backend != BackendKind::Hogwild {
             return Err(ServeError::UnsupportedBackend(train.backend));
         }
@@ -105,6 +129,7 @@ impl ModelService {
             observer,
             cancel: None,
             serve: Some(Arc::clone(&hook)),
+            oracle: train_oracle,
         };
         let handle = driver.submit_with(train.clone(), ctx);
         let deadline = Instant::now() + ATTACH_TIMEOUT;

@@ -21,8 +21,9 @@
 //! | [`theory`] | `asgd-theory` | Theorems 3.1/6.3/6.5, Corollaries 6.7/7.1, §5 lower bound |
 //! | [`hogwild`] | `asgd-hogwild` | native lock-free runtime + locked baseline + epoch guard + snapshot publication |
 //! | [`serve`] | `asgd-serve` | online model serving: live/snapshot reads racing a training run, multi-model `ModelRegistry`, closed-loop traffic harness, latency/staleness telemetry |
-//! | [`net`] | `asgd-net` | the network tier: length-prefixed wire protocol over TCP, thread-per-connection server with admission control and SLO load shedding, blocking + retrying clients, seeded fault injection, open-loop socket workloads |
-//! | [`chaos`] | `asgd-chaos` | adversarial robustness: bounded-preemption model checking of the workspace's own concurrent protocols (snapshot seqlock, atomic CAS loop, registry lifecycle) with replayable counterexample traces, plus the zero-wrong-answers net fault campaign |
+//! | [`net`] | `asgd-net` | the network tier: length-prefixed wire protocol over TCP (v2: submit-observe streaming opcode), thread-per-connection server with admission control and SLO load shedding, blocking + retrying clients, seeded fault injection, open-loop socket workloads |
+//! | [`ingest`] | `asgd-ingest` | continual learning from the live stream: producer fleets pushing labeled observations through the wire into bounded ingress queues, scheduled ground-truth drift, and time-to-recover measurement |
+//! | [`chaos`] | `asgd-chaos` | adversarial robustness: bounded-preemption model checking of the workspace's own concurrent protocols (snapshot seqlock, atomic CAS loop, registry lifecycle, ingress queue) with replayable counterexample traces, plus the zero-wrong-answers net fault campaign |
 //! | [`metrics`] | `asgd-metrics` | trial harness, tables, histograms |
 //!
 //! # Quickstart: the unified driver
@@ -98,6 +99,7 @@ pub use asgd_chaos as chaos;
 pub use asgd_core as core;
 pub use asgd_driver as driver;
 pub use asgd_hogwild as hogwild;
+pub use asgd_ingest as ingest;
 pub use asgd_math as math;
 pub use asgd_metrics as metrics;
 pub use asgd_net as net;
@@ -124,13 +126,18 @@ pub mod prelude {
     pub use asgd_hogwild::hogwild::{Hogwild, HogwildConfig};
     pub use asgd_hogwild::locked::LockedSgd;
     pub use asgd_hogwild::{ExecTuning, ModelLayout, SparsePolicy, UpdateOrder};
+    pub use asgd_ingest::{
+        heterogeneous_fleet, DriftKind, DriftSpec, GroundTruth, IngestReport, IngestSpec,
+        ProducerSpec, RecoveryLog, RecoveryMonitor,
+    };
     pub use asgd_net::{
         run_net_workload, FaultPlan, NetClient, NetConfig, NetOp, NetReport, NetServer,
         NetWorkloadSpec, Priority, RetryPolicy, RetryingClient, SloPolicy,
     };
     pub use asgd_oracle::{
-        Constants, GradientOracle, LinearRegression, Minibatch, ModelView, NoisyQuadratic,
-        OracleSpec, RidgeLogistic, SparseGrad, SparseQuadratic,
+        BackpressurePolicy, Constants, Flat, GradientOracle, IngressQueue, LinearRegression,
+        Minibatch, ModelView, NoisyQuadratic, Observation, OracleSpec, RidgeLogistic, SparseGrad,
+        SparseQuadratic, StreamingOracle,
     };
     pub use asgd_serve::{
         run_workload, Arrival, LatencySummary, ModelEntry, ModelId, ModelRegistry, ModelService,

@@ -1,6 +1,8 @@
 //! Determinism and replay: the simulator is a scientific instrument — equal
-//! seeds must reproduce executions exactly, and recorded schedules must
-//! replay to identical machines.
+//! seeds must reproduce executions exactly, recorded schedules must
+//! replay to identical machines, and a 1-thread streaming hogwild run
+//! consuming a fixed observation sequence must be bit-identical to a
+//! sequential run consuming the same sequence.
 
 use asyncsgd::core::lockfree::{EpochSgdConfig, EpochSgdProcess};
 use asyncsgd::prelude::*;
@@ -114,4 +116,83 @@ fn full_sgd_simulated_is_deterministic() {
     let b = go();
     assert_eq!(a.execution.fingerprint, b.execution.fingerprint);
     assert_eq!(a.r, b.r);
+}
+
+#[test]
+fn streaming_one_thread_hogwild_is_bit_identical_to_sequential() {
+    // The workspace's sequential-equivalence oracle extended to the stream
+    // tier: two identical ingress queues preloaded with the same fixed
+    // observation sequence, one consumed by the sequential backend, one by
+    // 1-thread hogwild. The prior is flat (a starved step holds position
+    // exactly: x - α·0 is bit-identity), so however the fallback steps
+    // interleave with the stream, the trajectory is determined by the
+    // observation sequence alone — and the two backends must land on
+    // bit-identical models.
+    let dim = 6;
+    let observations: Vec<Observation> = (0..48_u32)
+        .map(|k| {
+            let j = k % dim as u32;
+            let value = 1.0 + f64::from(k % 7) * 0.125;
+            let label = 0.75 - f64::from(k % 5) * 0.25;
+            Observation::new(vec![(j, value), ((j + 2) % dim as u32, -0.5)], label)
+        })
+        .collect();
+    let preloaded = || {
+        let queue = IngressQueue::new(observations.len(), BackpressurePolicy::Block);
+        for obs in &observations {
+            queue.push(obs.clone()).expect("preloads within capacity");
+        }
+        // Closed: queued observations stay poppable, so the trainer drains
+        // exactly this sequence and then starves into the flat prior.
+        queue.close();
+        Arc::new(StreamingOracle::new(
+            Arc::new(Flat::new(dim).expect("valid prior")),
+            queue,
+        ))
+    };
+    // More iterations than observations: the surplus steps are starved
+    // no-ops and must not perturb the equivalence.
+    let spec = RunSpec::new(OracleSpec::new("flat", dim), BackendKind::Sequential)
+        .threads(1)
+        .iterations(observations.len() as u64 + 64)
+        .learning_rate(0.05)
+        .x0(vec![0.2; dim])
+        .seed(9);
+
+    let seq_oracle = preloaded();
+    let sequential = run_spec_session(
+        &spec,
+        &SessionCtx::default().with_oracle(seq_oracle.clone()),
+    )
+    .expect("sequential streaming run");
+    let hog_oracle = preloaded();
+    let hogwild = run_spec_session(
+        &spec.clone().backend(BackendKind::Hogwild),
+        &SessionCtx::default().with_oracle(hog_oracle.clone()),
+    )
+    .expect("hogwild streaming run");
+
+    // Both drained the whole sequence (and starved for the surplus).
+    for oracle in [&seq_oracle, &hog_oracle] {
+        assert_eq!(oracle.consumed(), observations.len() as u64);
+        assert_eq!(oracle.fallbacks(), 64);
+    }
+    assert_eq!(sequential.final_model.len(), dim);
+    for (j, (s, h)) in sequential
+        .final_model
+        .iter()
+        .zip(&hogwild.final_model)
+        .enumerate()
+    {
+        assert_eq!(
+            s.to_bits(),
+            h.to_bits(),
+            "x[{j}] diverges between sequential and 1-thread streaming hogwild: {s} vs {h}"
+        );
+    }
+    // The stream moved the model: this is not vacuous zero-vs-zero.
+    assert!(
+        sequential.final_model.iter().any(|v| *v != 0.2),
+        "observations never reached the trainer"
+    );
 }

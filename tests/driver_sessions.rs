@@ -42,7 +42,7 @@ impl RunObserver for Recorder {
             RunEvent::TrajectorySample(sample) => {
                 self.samples.lock().unwrap().push(sample.clone());
             }
-            RunEvent::SnapshotPublished { .. } => {}
+            RunEvent::SnapshotPublished { .. } | RunEvent::DriftInjected { .. } => {}
             RunEvent::Finished(_) => {
                 self.finished.fetch_add(1, Ordering::SeqCst);
             }

@@ -1,5 +1,8 @@
-//! The network tier's contract: the wire codec round-trips every frame and
-//! rejects malformed bytes without panicking (property-tested), the
+//! The network tier's contract: the wire codec round-trips every frame —
+//! including the v2 submit-observe opcode and its `Ingested` reply, NaN
+//! payloads and all — and rejects malformed bytes, truncations, oversized
+//! observations, and foreign protocol versions without panicking
+//! (property-tested), the
 //! multi-model registry survives concurrent create/query/drop races under
 //! live socket load, dropped models answer with typed errors, cancellation
 //! through `drop_model` stays inside the session latency bound even while
@@ -9,7 +12,7 @@
 
 use asyncsgd::net::{
     ErrorCode, FrameError, NetClient, NetConfig, NetServer, Priority, Request, RequestFrame,
-    Response, StatsSelector, MAX_PROBE_LEN,
+    Response, StatsSelector, MAX_OBSERVE_LEN, MAX_PROBE_LEN, PROTOCOL_VERSION,
 };
 use asyncsgd::prelude::*;
 use asyncsgd::serve::ModelRegistry;
@@ -56,6 +59,16 @@ fn arb_request() -> impl Strategy<Value = Request> {
         arb_string(64).prop_map(|name| Request::ModelStats {
             selector: StatsSelector::ByName(name),
         }),
+        (
+            any::<u32>(),
+            proptest::collection::vec((any::<u32>(), arb_f64_bits()), 0..16),
+            arb_f64_bits(),
+        )
+            .prop_map(|(model, features, label)| Request::SubmitObserve {
+                model,
+                features,
+                label,
+            }),
     ]
 }
 
@@ -67,6 +80,7 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::AdmissionDenied),
         Just(ErrorCode::Busy),
         Just(ErrorCode::Internal),
+        Just(ErrorCode::Overloaded),
     ]
 }
 
@@ -122,6 +136,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 slo_ns,
             }
         }),
+        any::<u64>().prop_map(|depth| Response::Ingested { depth }),
     ]
 }
 
@@ -184,6 +199,83 @@ proptest! {
         let probe = vec![(0_u32, 1.0_f64); MAX_PROBE_LEN + 1];
         prop_assert!(RequestFrame::new(Request::DotScore { model, probe }).encode().is_err());
     }
+
+    /// Oversized observations are refused the same way: a submit-observe
+    /// past [`MAX_OBSERVE_LEN`] coordinates never reaches the wire.
+    #[test]
+    fn oversized_observations_are_rejected_on_encode(
+        model in any::<u32>(),
+        label in arb_f64_bits(),
+        excess in 1..4_usize,
+    ) {
+        let features = vec![(0_u32, 1.0_f64); MAX_OBSERVE_LEN + excess];
+        prop_assert!(
+            RequestFrame::new(Request::SubmitObserve { model, features, label })
+                .encode()
+                .is_err()
+        );
+    }
+
+    /// NaN payloads survive the v2 stream opcode bit-for-bit: labels and
+    /// feature values travel as IEEE-754 bit patterns, never as text.
+    #[test]
+    fn submit_observe_round_trips_nan_payloads(
+        model in any::<u32>(),
+        nan_bits in (0..0x000F_FFFF_FFFF_FFFF_u64).prop_map(|m| 0x7FF0_0000_0000_0001 | m),
+        priority in arb_priority(),
+    ) {
+        let label = f64::from_bits(nan_bits);
+        prop_assert!(label.is_nan());
+        let frame = RequestFrame::new(Request::SubmitObserve {
+            model,
+            features: vec![(3, label), (7, f64::NEG_INFINITY)],
+            label,
+        })
+        .priority(priority);
+        let bytes = frame.encode().expect("encodes");
+        let back = RequestFrame::decode(&bytes).expect("decodes");
+        match back.request {
+            Request::SubmitObserve { features, label: got, .. } => {
+                prop_assert_eq!(got.to_bits(), nan_bits);
+                prop_assert_eq!(features[0].1.to_bits(), nan_bits);
+                prop_assert_eq!(features[1].1.to_bits(), f64::NEG_INFINITY.to_bits());
+            }
+            other => prop_assert!(false, "decoded the wrong opcode: {other:?}"),
+        }
+    }
+
+    /// A frame stamped with any version other than this build's is a typed
+    /// mismatch, both directions — the v1→v2 bump is load-bearing because
+    /// v1 peers cannot know opcode 5 or response tag 6.
+    #[test]
+    fn foreign_protocol_versions_are_typed_mismatches(
+        request in arb_request(),
+        response in arb_response(),
+        version in any::<u8>()
+            .prop_map(|v| if v == PROTOCOL_VERSION { v.wrapping_add(1) } else { v }),
+    ) {
+        let mut req = RequestFrame::new(request).encode().expect("encodes");
+        req[0] = version;
+        prop_assert_eq!(RequestFrame::decode(&req), Err(FrameError::BadVersion(version)));
+        let mut resp = response.encode().expect("encodes");
+        resp[0] = version;
+        prop_assert_eq!(Response::decode(&resp), Err(FrameError::BadVersion(version)));
+    }
+}
+
+/// The version byte this suite's frames carry is the v2 bump that
+/// introduced the stream opcode: if someone reverts the constant, the
+/// submit-observe strategy above would be encoding frames v1 peers
+/// mis-parse silently.
+#[test]
+fn the_wire_speaks_version_two() {
+    assert_eq!(PROTOCOL_VERSION, 2, "submit-observe shipped with v2");
+    let frame = RequestFrame::new(Request::SubmitObserve {
+        model: 0,
+        features: vec![(0, 1.0)],
+        label: -1.0,
+    });
+    assert_eq!(frame.encode().expect("encodes")[0], PROTOCOL_VERSION);
 }
 
 // ------------------------------------------------- registry under load
