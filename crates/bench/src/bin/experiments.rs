@@ -67,8 +67,8 @@
 use asgd_bench::{experiment_ids, run_experiment};
 use asgd_driver::validation::default_backends;
 use asgd_driver::{
-    run_spec, validate, BackendKind, Driver, DriverError, ModelLayoutSpec, RunReport, RunSpec,
-    SchedulerSpec, SparsePathSpec, UpdateOrderSpec, ValidationPlan,
+    run_spec, validate, BackendKind, Driver, DriverError, ModelLayoutSpec, PinSpec, RunReport,
+    RunSpec, SchedulerSpec, ShardsSpec, SparsePathSpec, UpdateOrderSpec, ValidationPlan,
 };
 use asgd_metrics::table::fmt_f;
 use asgd_metrics::Table;
@@ -145,6 +145,8 @@ struct RunArgs {
     layout: ModelLayoutSpec,
     order: UpdateOrderSpec,
     sparse: SparsePathSpec,
+    shards: ShardsSpec,
+    pin: PinSpec,
     trajectory_every: Option<u64>,
     json: Option<PathBuf>,
     pretty: bool,
@@ -177,6 +179,8 @@ fn usage_run() -> ! {
          \x20 --layout L             native model layout: compact | padded (compact)\n\
          \x20 --order O              native memory order: seqcst | relaxed (seqcst)\n\
          \x20 --sparse P             gradient path: auto | dense | sparse (auto)\n\
+         \x20 --shards S             native parameter-store sharding: flat | auto | N (flat)\n\
+         \x20 --pin P                pin native workers to cores: on | off (off)\n\
          \x20 --trajectory-every K   record a trajectory sample every K iterations\n\
          \x20 --parallel             run multiple backends concurrently (Driver::run_many)\n\
          \x20 --json PATH            write JSON report(s); directory ⇒ BENCH_<backend>.json\n\
@@ -200,7 +204,9 @@ fn run_mode(args: &[String]) {
         .scheduler(parsed.scheduler)
         .layout(parsed.layout)
         .order(parsed.order)
-        .sparse(parsed.sparse);
+        .sparse(parsed.sparse)
+        .shards(parsed.shards)
+        .pin(parsed.pin);
     spec = match parsed.halving_epochs {
         Some(epochs) => spec.halving(parsed.alpha, epochs),
         None => spec.learning_rate(parsed.alpha),
@@ -337,6 +343,8 @@ fn parse_run_args(args: &[String]) -> RunArgs {
         layout: ModelLayoutSpec::Compact,
         order: UpdateOrderSpec::SeqCst,
         sparse: SparsePathSpec::Auto,
+        shards: ShardsSpec::Flat,
+        pin: PinSpec::Off,
         trajectory_every: None,
         json: None,
         pretty: false,
@@ -388,6 +396,8 @@ fn parse_run_args(args: &[String]) -> RunArgs {
             "--layout" => parsed.layout = parse_flag!(&mut it, "--layout", usage_run),
             "--order" => parsed.order = parse_flag!(&mut it, "--order", usage_run),
             "--sparse" => parsed.sparse = parse_flag!(&mut it, "--sparse", usage_run),
+            "--shards" => parsed.shards = parse_flag!(&mut it, "--shards", usage_run),
+            "--pin" => parsed.pin = parse_flag!(&mut it, "--pin", usage_run),
             "--trajectory-every" => {
                 parsed.trajectory_every =
                     Some(parse_flag!(&mut it, "--trajectory-every", usage_run));
@@ -969,7 +979,7 @@ fn chaos_explore_cell<P: asgd_chaos::Schedulable>(
 fn chaos_mode(args: &[String]) {
     use asgd_chaos::{
         AddMode, AtomicAddModel, FenceMode, IngestQueueModel, LenMode, RegistryMode, RegistryModel,
-        SnapshotModel,
+        ScanMode, ShardedCounterModel, SnapshotModel,
     };
     use asgd_oracle::BackpressurePolicy;
 
@@ -1041,6 +1051,13 @@ fn chaos_mode(args: &[String]) {
                 &artifacts,
             );
         }
+        failed |= !chaos_explore_cell(
+            "sharded-counters",
+            &ShardedCounterModel::churning(ScanMode::Coherent),
+            bound,
+            false,
+            &artifacts,
+        );
         // Seeded bugs: the explorer must catch each one, and the minimized
         // trace must replay to the identical violation.
         failed |= !chaos_explore_cell(
@@ -1067,6 +1084,13 @@ fn chaos_mode(args: &[String]) {
         failed |= !chaos_explore_cell(
             "ingest-queue-split-check",
             &IngestQueueModel::contended(BackpressurePolicy::Block, LenMode::SplitCheck),
+            bound,
+            true,
+            &artifacts,
+        );
+        failed |= !chaos_explore_cell(
+            "sharded-counters-split-read",
+            &ShardedCounterModel::contended(ScanMode::SplitRead),
             bound,
             true,
             &artifacts,

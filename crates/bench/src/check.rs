@@ -219,8 +219,8 @@ const SPARSE_GATE_DIMS: &[usize] = &[16, 1024];
 const SPARSE_GATE_THREADS: &[usize] = &[1, 2];
 const SPARSE_GATE_ITERATIONS: u64 = 20_000;
 
-fn sparse_key(d: u64, path: &str, threads: u64) -> String {
-    format!("d={d},path={path},threads={threads}")
+fn sparse_key(d: u64, path: &str, store: &str, threads: u64) -> String {
+    format!("d={d},path={path},store={store},threads={threads}")
 }
 
 fn sparse_fresh() -> BTreeMap<String, Baseline> {
@@ -232,7 +232,7 @@ fn sparse_fresh() -> BTreeMap<String, Baseline> {
     .into_iter()
     .map(|r| {
         (
-            sparse_key(r.d as u64, r.path, r.threads as u64),
+            sparse_key(r.d as u64, r.path, r.store, r.threads as u64),
             Baseline {
                 qps: r.iters_per_sec,
                 p99_ns: 0, // throughput-only: the artifact has no latency column
@@ -240,6 +240,77 @@ fn sparse_fresh() -> BTreeMap<String, Baseline> {
         )
     })
     .collect()
+}
+
+/// The dimension floor above which the committed artifact must show the
+/// sharded store holding its own against the flat one.
+const SHARDED_GATE_MIN_D: u64 = 1 << 20;
+/// The thread floor for the same gate: below real concurrency the stores
+/// are equivalent by construction, so the comparison would gate nothing.
+const SHARDED_GATE_MIN_THREADS: u64 = 4;
+
+/// Gates the committed artifact's own store comparison: at every
+/// `(d ≥ 1M, threads ≥ 4)` sparse-path cell measured on both stores, the
+/// sharded store's throughput must be at least `1 − tol` of the flat
+/// store's. This reads the committed rows only — re-measuring d = 10M
+/// cells on every check would dominate the gate's runtime — so it pins the
+/// claim the artifact was committed to support: sharding does not lose
+/// throughput where it is supposed to win.
+fn sharded_store_gate(rows: &[Value], tol: f64, report: &mut CheckReport) {
+    let mut by_cell: BTreeMap<(u64, u64), (Option<f64>, Option<f64>)> = BTreeMap::new();
+    for row in rows {
+        let parsed = (|| -> Result<_, asgd_driver::DecodeError> {
+            Ok((
+                field_u64(row, "d")?,
+                field_u64(row, "threads")?,
+                field_str(row, "path")?,
+                field_str(row, "store")?,
+                field_f64(row, "iters_per_sec")?,
+            ))
+        })();
+        let Ok((d, threads, path, store, ips)) = parsed else {
+            continue; // rows without a store column predate the grid
+        };
+        if d < SHARDED_GATE_MIN_D || threads < SHARDED_GATE_MIN_THREADS || path != "sparse" {
+            continue;
+        }
+        let slot = by_cell.entry((d, threads)).or_default();
+        match store.as_str() {
+            "flat" => slot.0 = Some(ips),
+            "sharded" => slot.1 = Some(ips),
+            _ => {}
+        }
+    }
+    let mut matched = 0usize;
+    for ((d, threads), (flat, sharded)) in &by_cell {
+        let (Some(flat), Some(sharded)) = (flat, sharded) else {
+            continue;
+        };
+        matched += 1;
+        let ratio = if *flat > 0.0 { sharded / flat } else { 1.0 };
+        let mut verdict = "ok";
+        if ratio < 1.0 - tol {
+            verdict = "REGRESSED";
+            report.failures.push(format!(
+                "sharded-store d={d},threads={threads}: sharded {sharded:.0}/s vs flat \
+                 {flat:.0}/s (x{ratio:.2}, floor x{:.2})",
+                1.0 - tol
+            ));
+        }
+        report.lines.push(format!(
+            "sharded-store d={d},threads={threads}: sharded/flat x{ratio:.2} [{verdict}]"
+        ));
+    }
+    report.lines.push(format!(
+        "sharded-store: compared {matched} committed cell(s) at d ≥ {SHARDED_GATE_MIN_D}, \
+         threads ≥ {SHARDED_GATE_MIN_THREADS}"
+    ));
+    if matched == 0 {
+        report.failures.push(
+            "sharded-store: no committed flat/sharded pair at gate scale — the gate is vacuous"
+                .to_string(),
+        );
+    }
 }
 
 fn validation_cell_key(cell: &ValidationCell) -> String {
@@ -498,25 +569,32 @@ pub fn run_bench_check(dir: &Path, tol: f64) -> CheckReport {
         Err(e) => report.failures.push(format!("serving-net baseline: {e}")),
     }
 
-    match load_rows(&dir.join("BENCH_sparse_path.json")).and_then(|rows| {
-        committed_map(
-            &rows,
-            |row| {
-                Ok(Some(sparse_key(
-                    field_u64(row, "d")?,
-                    &field_str(row, "path")?,
-                    field_u64(row, "threads")?,
-                )))
-            },
-            |row| {
-                Ok(Baseline {
-                    qps: field_f64(row, "iters_per_sec")?,
-                    p99_ns: 0,
-                })
-            },
-        )
-    }) {
-        Ok(committed) => compare("sparse-path", &committed, &sparse_fresh(), tol, &mut report),
+    match load_rows(&dir.join("BENCH_sparse_path.json")) {
+        Ok(rows) => {
+            match committed_map(
+                &rows,
+                |row| {
+                    Ok(Some(sparse_key(
+                        field_u64(row, "d")?,
+                        &field_str(row, "path")?,
+                        &field_str(row, "store")?,
+                        field_u64(row, "threads")?,
+                    )))
+                },
+                |row| {
+                    Ok(Baseline {
+                        qps: field_f64(row, "iters_per_sec")?,
+                        p99_ns: 0,
+                    })
+                },
+            ) {
+                Ok(committed) => {
+                    compare("sparse-path", &committed, &sparse_fresh(), tol, &mut report);
+                }
+                Err(e) => report.failures.push(format!("sparse-path baseline: {e}")),
+            }
+            sharded_store_gate(&rows, tol, &mut report);
+        }
         Err(e) => report.failures.push(format!("sparse-path baseline: {e}")),
     }
 
@@ -600,6 +678,62 @@ mod tests {
                 "no failure names {artifact}: {report:?}"
             );
         }
+    }
+
+    fn store_row(d: u64, threads: u64, path: &str, store: &str, ips: f64) -> Value {
+        Value::obj([
+            ("d", Value::U64(d)),
+            ("threads", Value::U64(threads)),
+            ("path", Value::Str(path.to_string())),
+            ("store", Value::Str(store.to_string())),
+            ("iterations", Value::U64(20_000)),
+            ("wall_time_secs", Value::f64(0.1)),
+            ("iters_per_sec", Value::f64(ips)),
+        ])
+    }
+
+    #[test]
+    fn sharded_gate_passes_when_the_sharded_store_holds_throughput() {
+        let rows = vec![
+            store_row(1 << 20, 4, "sparse", "flat", 1000.0),
+            store_row(1 << 20, 4, "sparse", "sharded", 950.0),
+            // Sub-scale cells and dense cells are outside the gate.
+            store_row(1024, 4, "sparse", "flat", 1000.0),
+            store_row(1024, 4, "sparse", "sharded", 1.0),
+            store_row(1 << 20, 2, "sparse", "sharded", 1.0),
+        ];
+        let mut report = CheckReport::default();
+        sharded_store_gate(&rows, DEFAULT_TOLERANCE, &mut report);
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn sharded_gate_fails_on_a_sharded_regression_past_tolerance() {
+        let rows = vec![
+            store_row(10_000_000, 4, "sparse", "flat", 1000.0),
+            store_row(10_000_000, 4, "sparse", "sharded", 600.0),
+        ];
+        let mut report = CheckReport::default();
+        sharded_store_gate(&rows, DEFAULT_TOLERANCE, &mut report);
+        assert!(!report.passed());
+        assert!(
+            report.failures[0].contains("sharded-store d=10000000"),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_gate_without_gate_scale_pairs_is_vacuous() {
+        let rows = vec![
+            store_row(1024, 4, "sparse", "flat", 1000.0),
+            store_row(1024, 4, "sparse", "sharded", 1000.0),
+            // A gate-scale flat cell with no sharded twin gates nothing.
+            store_row(1 << 20, 8, "sparse", "flat", 1000.0),
+        ];
+        let mut report = CheckReport::default();
+        sharded_store_gate(&rows, DEFAULT_TOLERANCE, &mut report);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("vacuous"), "{report:?}");
     }
 
     fn vcell(backend: &str, threads: usize, alpha: f64, consistent: bool) -> ValidationCell {

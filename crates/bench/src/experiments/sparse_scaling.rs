@@ -8,12 +8,19 @@
 //! iteration budget. At d = 64k the dense path reads and scans 64k entries
 //! per iteration to apply one update; the sparse path reads one.
 //!
+//! A second grid takes the sparse path to serving-scale dimensions —
+//! d ∈ {1M, 10M} — and compares the flat single-arena store against the
+//! topology-sharded `ShardedModel` ([`sweep_store_cells`]): same claims,
+//! same coin streams, different arena routing. At these dimensions one flat
+//! arena spans hundreds of cache-line-sized pages; sharding keeps each
+//! worker's hot range compact.
+//!
 //! Full (non-quick) runs write `BENCH_sparse_path.json` into the current
 //! directory — the workspace's perf trajectory artifact.
 
 use crate::ExperimentOutput;
 use asgd_driver::json::Value;
-use asgd_driver::{BackendKind, Driver, RunSpec, SparsePathSpec};
+use asgd_driver::{BackendKind, Driver, PinSpec, RunSpec, ShardsSpec, SparsePathSpec};
 use asgd_metrics::table::fmt_f;
 use asgd_metrics::Table;
 use asgd_oracle::OracleSpec;
@@ -27,6 +34,8 @@ pub struct Row {
     pub threads: usize,
     /// `"dense"` or `"sparse"`.
     pub path: &'static str,
+    /// `"flat"` or `"sharded"` — which parameter store held the model.
+    pub store: &'static str,
     /// Iteration budget (identical across paths).
     pub iterations: u64,
     /// Wall-clock seconds of the parallel section.
@@ -35,7 +44,13 @@ pub struct Row {
     pub iters_per_sec: f64,
 }
 
-fn cell_spec(d: usize, threads: usize, sparse: SparsePathSpec, iterations: u64) -> RunSpec {
+fn cell_spec(
+    d: usize,
+    threads: usize,
+    sparse: SparsePathSpec,
+    shards: ShardsSpec,
+    iterations: u64,
+) -> RunSpec {
     // Δ = 1 single-coordinate gradients have magnitude d·x_j, so stability
     // needs α ~ 1/d; noiseless keeps every run finite at any d.
     RunSpec::new(
@@ -48,12 +63,42 @@ fn cell_spec(d: usize, threads: usize, sparse: SparsePathSpec, iterations: u64) 
     .x0(vec![1.0; d])
     .seed(0xD0_0D)
     .sparse(sparse)
+    .shards(shards)
 }
 
-/// Runs the sweep through [`Driver::run_many`] with a single-worker pool:
+fn row_from(spec: &RunSpec, report: &asgd_driver::RunReport) -> Row {
+    Row {
+        d: spec.oracle.dim,
+        threads: spec.threads,
+        path: if report.sparse_path == Some(true) {
+            "sparse"
+        } else {
+            "dense"
+        },
+        store: if report.shards.is_some() {
+            "sharded"
+        } else {
+            "flat"
+        },
+        iterations: spec.iterations,
+        wall_secs: report.wall_time_secs,
+        iters_per_sec: report.iterations_per_sec(),
+    }
+}
+
+/// Runs a spec list through [`Driver::run_many`] with a single-worker pool:
 /// like the `speedup` experiment, the throughput columns are the output, so
-/// a dense cell must not share cores with the sparse twin it is being
-/// compared against.
+/// a cell must not share cores with the twin it is being compared against.
+fn measure(specs: &[RunSpec]) -> Vec<Row> {
+    let reports = Driver::new().workers(1).run_many(specs);
+    specs
+        .iter()
+        .zip(reports)
+        .map(|(spec, report)| row_from(spec, &report.expect("sparse-scaling spec runs")))
+        .collect()
+}
+
+/// The dense-vs-sparse grid (flat store).
 #[must_use]
 pub fn sweep(quick: bool) -> Vec<Row> {
     if quick {
@@ -64,42 +109,44 @@ pub fn sweep(quick: bool) -> Vec<Row> {
 }
 
 /// Measures an explicit `dims × thread_counts` grid at a caller-chosen
-/// iteration budget (both paths per cell, dense first). `bench-check` uses
-/// this to re-measure a corner of the committed grid at the committed
-/// budget, so its throughput comparison is apples-to-apples.
+/// iteration budget (both paths per cell, dense first; flat store).
+/// `bench-check` uses this to re-measure a corner of the committed grid at
+/// the committed budget, so its throughput comparison is apples-to-apples.
 #[must_use]
 pub fn sweep_cells(dims: &[usize], thread_counts: &[usize], iterations: u64) -> Vec<Row> {
     let mut specs = Vec::new();
     for &d in dims {
         for &threads in thread_counts {
             for path in [SparsePathSpec::Dense, SparsePathSpec::Sparse] {
-                specs.push(cell_spec(d, threads, path, iterations));
+                specs.push(cell_spec(d, threads, path, ShardsSpec::Flat, iterations));
             }
         }
     }
-    let reports = Driver::new().workers(1).run_many(&specs);
-    specs
-        .iter()
-        .zip(reports)
-        .map(|(spec, report)| {
-            let report = report.expect("sparse-scaling spec runs");
-            Row {
-                d: spec.oracle.dim,
-                threads: spec.threads,
-                path: if report.sparse_path == Some(true) {
-                    "sparse"
-                } else {
-                    "dense"
-                },
-                iterations: spec.iterations,
-                wall_secs: report.wall_time_secs,
-                iters_per_sec: report.iterations_per_sec(),
-            }
-        })
-        .collect()
+    measure(&specs)
 }
 
-/// The sparse/dense throughput ratio for each `(d, threads)` cell.
+/// The flat-vs-sharded store grid: every cell runs the sparse O(Δ) path
+/// (the dense O(d) scan at d = 10M would measure memory bandwidth, not the
+/// store), flat store first, then the topology-sharded store. Workers are
+/// pinned in both cells so the comparison shares one placement.
+#[must_use]
+pub fn sweep_store_cells(dims: &[usize], thread_counts: &[usize], iterations: u64) -> Vec<Row> {
+    let mut specs = Vec::new();
+    for &d in dims {
+        for &threads in thread_counts {
+            for shards in [ShardsSpec::Flat, ShardsSpec::Auto] {
+                specs.push(
+                    cell_spec(d, threads, SparsePathSpec::Sparse, shards, iterations)
+                        .pin(PinSpec::On),
+                );
+            }
+        }
+    }
+    measure(&specs)
+}
+
+/// The sparse/dense throughput ratio for each `(d, threads)` cell of the
+/// dense-vs-sparse grid.
 #[must_use]
 pub fn speedups(rows: &[Row]) -> Vec<(usize, usize, f64)> {
     let mut out = Vec::new();
@@ -111,6 +158,24 @@ pub fn speedups(rows: &[Row]) -> Vec<(usize, usize, f64)> {
             dense.d,
             dense.threads,
             sparse.iters_per_sec / dense.iters_per_sec,
+        ));
+    }
+    out
+}
+
+/// The sharded/flat throughput ratio for each `(d, threads)` cell of the
+/// store grid.
+#[must_use]
+pub fn store_speedups(rows: &[Row]) -> Vec<(usize, usize, f64)> {
+    let mut out = Vec::new();
+    for pair in rows.chunks(2) {
+        let [flat, sharded] = pair else { continue };
+        debug_assert_eq!(flat.store, "flat");
+        debug_assert_eq!(sharded.store, "sharded");
+        out.push((
+            flat.d,
+            flat.threads,
+            sharded.iters_per_sec / flat.iters_per_sec,
         ));
     }
     out
@@ -132,6 +197,7 @@ pub fn to_json(rows: &[Row]) -> Value {
                             ("d", Value::U64(r.d as u64)),
                             ("threads", Value::U64(r.threads as u64)),
                             ("path", Value::Str(r.path.to_string())),
+                            ("store", Value::Str(r.store.to_string())),
                             ("iterations", Value::U64(r.iterations)),
                             ("wall_time_secs", Value::f64(r.wall_secs)),
                             ("iters_per_sec", Value::f64(r.iters_per_sec)),
@@ -148,27 +214,44 @@ pub fn to_json(rows: &[Row]) -> Value {
 #[must_use]
 pub fn run(quick: bool) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("sparse_scaling");
-    let rows = sweep(quick);
+    let path_rows = sweep(quick);
+    // The store grid gets a deeper budget than the path grid: its cells
+    // differ by a few percent (not the sparse path's orders of magnitude),
+    // so thread spawn and pinning overhead must be amortised away for the
+    // flat/sharded ratio to measure the stores.
+    let store_rows = if quick {
+        sweep_store_cells(&[1024], &[2], 2_000)
+    } else {
+        sweep_store_cells(&[1 << 20, 10_000_000], &[1, 4], 1_000_000)
+    };
     let mut table = Table::new(
         "O(Δ) sparse path vs O(d) dense path: hogwild on sparse-quadratic (Δ=1), equal budgets",
-        &["d", "threads", "path", "wall s", "iters/s"],
+        &["d", "threads", "path", "store", "wall s", "iters/s"],
     );
-    for r in &rows {
+    for r in path_rows.iter().chain(&store_rows) {
         table.row(&[
             r.d.to_string(),
             r.threads.to_string(),
             r.path.to_string(),
+            r.store.to_string(),
             format!("{:.4}", r.wall_secs),
             fmt_f(r.iters_per_sec),
         ]);
     }
     out.tables.push(table);
-    for (d, threads, speedup) in speedups(&rows) {
+    for (d, threads, speedup) in speedups(&path_rows) {
         out.notes.push(format!(
             "d={d} n={threads}: sparse path {speedup:.1}x dense throughput"
         ));
     }
+    for (d, threads, ratio) in store_speedups(&store_rows) {
+        out.notes.push(format!(
+            "d={d} n={threads}: sharded store {ratio:.2}x flat throughput (sparse path)"
+        ));
+    }
     if !quick {
+        let mut rows = path_rows;
+        rows.extend(store_rows);
         let path = std::path::Path::new("BENCH_sparse_path.json");
         match std::fs::write(path, to_json(&rows).to_json_pretty() + "\n") {
             Ok(()) => out.notes.push(format!("[json] {}", path.display())),
@@ -191,6 +274,7 @@ mod tests {
         assert!(rows.iter().any(|r| r.path == "sparse"));
         assert!(rows.iter().any(|r| r.path == "dense"));
         for r in &rows {
+            assert_eq!(r.store, "flat");
             assert!(r.wall_secs >= 0.0);
             assert!(r.iters_per_sec > 0.0, "{r:?}");
         }
@@ -203,5 +287,20 @@ mod tests {
         // No perf assertion here (CI boxes are noisy); the committed
         // BENCH_sparse_path.json carries the full-run numbers.
         assert_eq!(speedups(&rows).len(), rows.len() / 2);
+    }
+
+    #[test]
+    fn store_sweep_pairs_flat_with_sharded_on_the_sparse_path() {
+        let rows = sweep_store_cells(&[512], &[2], 1_000);
+        assert_eq!(rows.len(), 2, "flat + sharded");
+        assert_eq!(rows[0].store, "flat");
+        assert_eq!(rows[1].store, "sharded");
+        for r in &rows {
+            assert_eq!(r.path, "sparse", "{r:?}");
+            assert!(r.iters_per_sec > 0.0, "{r:?}");
+        }
+        let ratios = store_speedups(&rows);
+        assert_eq!(ratios.len(), 1);
+        assert!(ratios[0].2.is_finite() && ratios[0].2 > 0.0);
     }
 }

@@ -29,6 +29,12 @@
 //!   FIFO, drop accounting), with a non-atomic check-then-push bug mode
 //!   ([`LenMode::SplitCheck`]) that overflows the capacity under one
 //!   adversarial preemption.
+//! * [`sharded_model`] — the
+//!   [`ShardedModel`](asgd_hogwild::ShardedModel) per-shard progress
+//!   counters and their `coherent_update_counts` double-collect read
+//!   protocol (coherence of the published cross-shard vector), with a
+//!   validation-free split-read bug mode ([`ScanMode::SplitRead`]) that
+//!   publishes a torn snapshot under one adversarial preemption.
 //! * [`netchaos`] — [`run_net_chaos`]: a fleet of retrying clients versus
 //!   a server under seeded [`FaultPlan`](asgd_net::FaultPlan) injection
 //!   (partial writes, short reads, delays, mid-frame disconnects),
@@ -48,6 +54,7 @@ pub mod explore;
 pub mod ingest_model;
 pub mod netchaos;
 pub mod registry_model;
+pub mod sharded_model;
 pub mod snapshot_model;
 
 pub use atomic_model::{AddMode, AtomicAddModel};
@@ -58,4 +65,5 @@ pub use explore::{
 pub use ingest_model::{IngestQueueModel, LenMode};
 pub use netchaos::{run_net_chaos, NetChaosError, NetChaosReport, NetChaosSpec};
 pub use registry_model::{RegistryMode, RegistryModel};
+pub use sharded_model::{ScanMode, ShardedCounterModel};
 pub use snapshot_model::{FenceMode, SnapshotModel};

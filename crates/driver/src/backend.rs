@@ -7,14 +7,16 @@
 use crate::error::DriverError;
 use crate::report::{ContentionSummary, RunReport};
 use crate::session::{RunEvent, SampleHub, SessionCtx, DEFAULT_PROGRESS_STRIDE};
-use crate::spec::{BackendKind, ModelLayoutSpec, RunSpec, SparsePathSpec, UpdateOrderSpec};
+use crate::spec::{
+    BackendKind, ModelLayoutSpec, PinSpec, RunSpec, ShardsSpec, SparsePathSpec, UpdateOrderSpec,
+};
 use asgd_core::full_sgd::{run_simulated_session, FullSgdConfig, SimSession};
 use asgd_core::runner::LockFreeSgd;
 use asgd_core::sequential::SequentialSgd;
 use asgd_hogwild::{
     ExecTuning, GuardedEpochSgd, GuardedEpochSgdConfig, Hogwild, HogwildConfig, LockedSgd,
-    MetricsSink, ModelLayout, NativeFullSgd, NativeFullSgdConfig, RunControl, SparsePolicy,
-    UpdateOrder,
+    MetricsSink, ModelLayout, NativeFullSgd, NativeFullSgdConfig, RunControl, ShardPolicy,
+    SparsePolicy, UpdateOrder,
 };
 use asgd_math::rng::SeedSequence;
 use asgd_oracle::GradientOracle;
@@ -38,8 +40,26 @@ fn native_tuning(spec: &RunSpec) -> ExecTuning {
             SparsePathSpec::Dense => SparsePolicy::ForceDense,
             SparsePathSpec::Sparse => SparsePolicy::ForceSparse,
         },
+        shards: match spec.shards {
+            ShardsSpec::Flat => ShardPolicy::Flat,
+            ShardsSpec::Auto => ShardPolicy::Auto,
+            ShardsSpec::Fixed(n) => ShardPolicy::Fixed(n),
+        },
+        pin: spec.pin == PinSpec::On,
         ..ExecTuning::default()
     }
+}
+
+/// The realised shard count a sharding native backend reports: the count
+/// the store's power-of-two router actually built (chunk rounding can
+/// realise fewer shards than [`ShardPolicy::resolve`] requests), `None` for
+/// flat ones. The executor builds its store through the same resolve →
+/// `pow2` path, so this is the count that actually ran, not a request.
+fn realized_shards(spec: &RunSpec, d: usize) -> Option<u64> {
+    native_tuning(spec)
+        .shards
+        .resolve(d)
+        .map(|n| asgd_hogwild::ShardRouter::pow2(d, n).shard_count() as u64)
 }
 
 /// The sampling stride a session uses: the spec's trajectory stride, or a
@@ -366,6 +386,7 @@ impl Backend for SequentialBackend {
             contention: None,
             stale_rejected: None,
             sparse_path: None,
+            shards: None,
             trajectory: hub.as_ref().and_then(|h| h.take_trajectory()),
         })
     }
@@ -429,6 +450,7 @@ impl SimulatedLockFreeBackend {
             contention: Some(ContentionSummary::from_report(&run.execution.contention)),
             stale_rejected: None,
             sparse_path: Some(run.used_sparse),
+            shards: None,
             trajectory: hub.as_ref().and_then(|h| h.take_trajectory()),
         };
         Ok((report, run))
@@ -509,6 +531,7 @@ impl Backend for SimulatedFullSgdBackend {
             contention: Some(ContentionSummary::from_report(&report.execution.contention)),
             stale_rejected: None,
             sparse_path: None,
+            shards: None,
             trajectory: hub.as_ref().and_then(|h| h.take_trajectory()),
         })
     }
@@ -555,6 +578,7 @@ impl Backend for HogwildBackend {
             contention: None,
             stale_rejected: None,
             sparse_path: Some(report.used_sparse),
+            shards: realized_shards(spec, x0.len()),
             trajectory,
         })
     }
@@ -592,6 +616,9 @@ impl Backend for LockedBackend {
             contention: None,
             stale_rejected: None,
             sparse_path: Some(report.used_sparse),
+            // The locked baseline's global mutex serialises every update;
+            // arenas would shard nothing, so the knob is ignored here.
+            shards: None,
             trajectory,
         })
     }
@@ -643,6 +670,7 @@ impl Backend for GuardedEpochBackend {
             contention: None,
             stale_rejected: Some(report.stale_rejected),
             sparse_path: Some(report.used_sparse),
+            shards: realized_shards(spec, x0.len()),
             trajectory,
         })
     }
@@ -689,6 +717,7 @@ impl Backend for NativeFullSgdBackend {
             contention: None,
             stale_rejected: None,
             sparse_path: Some(report.used_sparse),
+            shards: realized_shards(spec, x0.len()),
             trajectory,
         })
     }
@@ -847,6 +876,56 @@ mod tests {
         // Sequential has no dense/sparse distinction.
         let seq = run_spec(&base.clone().backend(BackendKind::Sequential)).unwrap();
         assert_eq!(seq.sparse_path, None);
+    }
+
+    #[test]
+    fn shards_knob_reaches_sharding_backends_and_reports_the_realized_count() {
+        use crate::spec::{PinSpec, ShardsSpec};
+        let base = RunSpec::new(
+            OracleSpec::new("noisy-quadratic", 8).sigma(0.0),
+            BackendKind::Hogwild,
+        )
+        .threads(2)
+        .iterations(200)
+        .learning_rate(0.05)
+        .x0(vec![1.0; 8])
+        .seed(5);
+        for kind in [BackendKind::Hogwild, BackendKind::NativeFullSgd] {
+            let spec = match kind {
+                BackendKind::NativeFullSgd => base.clone().backend(kind).halving(0.05, 1),
+                _ => base.clone().backend(kind),
+            };
+            let flat = run_spec(&spec).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(flat.shards, None, "{kind}: flat stores report no shards");
+            let sharded = run_spec(&spec.shards(ShardsSpec::Fixed(4)).pin(PinSpec::On))
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(sharded.shards, Some(4), "{kind}");
+        }
+        // The guarded backend shards its packed-word store the same way —
+        // and the report carries the *realised* count: Fixed(3) at d = 8
+        // rounds the chunk ceil(8/3) = 3 up to 4, so 2 shards actually run.
+        let guarded = run_spec(
+            &base
+                .clone()
+                .backend(BackendKind::GuardedEpoch)
+                .halving(0.05, 1)
+                .shards(ShardsSpec::Fixed(3)),
+        )
+        .unwrap();
+        assert_eq!(guarded.shards, Some(2));
+        // The locked baseline serialises on a global mutex: knob ignored.
+        let locked = run_spec(
+            &base
+                .clone()
+                .backend(BackendKind::Locked)
+                .shards(ShardsSpec::Fixed(4)),
+        )
+        .unwrap();
+        assert_eq!(locked.shards, None);
+        // Fixed counts clamp to the dimension, and the report shows the
+        // clamped (realised) count, not the request.
+        let clamped = run_spec(&base.clone().shards(ShardsSpec::Fixed(1000))).unwrap();
+        assert_eq!(clamped.shards, Some(8));
     }
 
     #[test]

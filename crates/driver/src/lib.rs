@@ -81,7 +81,8 @@ pub use session::{Driver, Progress, RunEvent, RunHandle, RunObserver, SessionCtx
 // training model live through the attached `ModelReader`.
 pub use asgd_hogwild::{ModelReader, ModelSnapshot, ServeHook, SnapshotCell};
 pub use spec::{
-    BackendKind, ModelLayoutSpec, RunSpec, SchedulerSpec, SparsePathSpec, StepSize, UpdateOrderSpec,
+    BackendKind, ModelLayoutSpec, PinSpec, RunSpec, SchedulerSpec, ShardsSpec, SparsePathSpec,
+    StepSize, UpdateOrderSpec,
 };
 pub use validation::{
     validate, ValidationCell, ValidationCriterion, ValidationPlan, ValidationReport,

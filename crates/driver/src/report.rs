@@ -145,6 +145,9 @@ pub struct RunReport {
     /// Whether the run took the O(Δ) sparse gradient path (`None` for
     /// backends without the dense/sparse distinction, e.g. sequential).
     pub sparse_path: Option<bool>,
+    /// Realised parameter-store shard count (`None` for flat stores and for
+    /// backends without arenas — simulated, sequential, locked).
+    pub shards: Option<u64>,
     /// Strided trajectory samples, ordered by index — present when the spec
     /// enabled collection (`RunSpec::trajectory_every`).
     pub trajectory: Option<Vec<TrajectorySample>>,
@@ -193,6 +196,7 @@ impl RunReport {
                 Value::opt(self.stale_rejected.map(Value::U64)),
             ),
             ("sparse_path", Value::opt(self.sparse_path.map(Value::Bool))),
+            ("shards", Value::opt(self.shards.map(Value::U64))),
             (
                 "trajectory",
                 Value::opt(self.trajectory.as_ref().map(|samples| {
@@ -261,6 +265,7 @@ impl RunReport {
                 f.as_u64().ok_or("expected integer")
             })?,
             sparse_path: opt_field(v, "sparse_path", |f| f.as_bool().ok_or("expected bool"))?,
+            shards: opt_field(v, "shards", |f| f.as_u64().ok_or("expected integer"))?,
             trajectory: match v.get("trajectory") {
                 None => None,
                 Some(item) if item.is_null() => None,
@@ -422,6 +427,7 @@ mod tests {
             }),
             stale_rejected: None,
             sparse_path: Some(false),
+            shards: Some(8),
             trajectory: Some(vec![
                 TrajectorySample {
                     index: 0,
@@ -457,6 +463,7 @@ mod tests {
             contention: None,
             stale_rejected: None,
             sparse_path: None,
+            shards: None,
             trajectory: None,
             ..sample()
         };

@@ -213,6 +213,90 @@ impl std::str::FromStr for SparsePathSpec {
     }
 }
 
+/// Parameter-store sharding for the native backends (simulated registers
+/// have no arenas; ignored there, as is the serializing locked baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ShardsSpec {
+    /// One flat arena — the default.
+    #[default]
+    Flat,
+    /// Derive the shard count from the detected topology.
+    Auto,
+    /// Exactly this many balanced contiguous shards (clamped to `1..=d`).
+    Fixed(usize),
+}
+
+impl ShardsSpec {
+    /// Canonical CLI/JSON rendering (`flat`, `auto`, or the count).
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Self::Flat => "flat".to_string(),
+            Self::Auto => "auto".to_string(),
+            Self::Fixed(n) => n.to_string(),
+        }
+    }
+}
+
+impl std::str::FromStr for ShardsSpec {
+    type Err = DriverError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "flat" => Ok(Self::Flat),
+            "auto" => Ok(Self::Auto),
+            other => other
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(Self::Fixed)
+                .ok_or_else(|| {
+                    DriverError::InvalidSpec(format!(
+                        "unknown shards `{other}` (known: flat, auto, or a count >= 1)"
+                    ))
+                }),
+        }
+    }
+}
+
+/// Worker-to-core pinning for the native backends (best effort; the
+/// simulator has no OS threads to pin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PinSpec {
+    /// Do not pin — the default.
+    #[default]
+    Off,
+    /// Pin workers round-robin to cores at spawn.
+    On,
+}
+
+impl PinSpec {
+    /// Canonical CLI/JSON name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Off => "off",
+            Self::On => "on",
+        }
+    }
+}
+
+impl std::str::FromStr for PinSpec {
+    type Err = DriverError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(Self::Off),
+            "on" => Ok(Self::On),
+            other => Err(DriverError::InvalidSpec(format!(
+                "unknown pin `{other}` (known: on, off)"
+            ))),
+        }
+    }
+}
+
 /// Step-size schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -402,6 +486,11 @@ pub struct RunSpec {
     pub order: UpdateOrderSpec,
     /// Dense-vs-sparse gradient path.
     pub sparse: SparsePathSpec,
+    /// Parameter-store sharding for native backends (ignored by the
+    /// simulator and by the serializing locked baseline).
+    pub shards: ShardsSpec,
+    /// Worker-to-core pinning for native backends (best effort).
+    pub pin: PinSpec,
     /// Trajectory collection stride: `Some(k)` records a
     /// [`TrajectorySample`](crate::TrajectorySample) roughly every `k`
     /// iterations into [`RunReport::trajectory`](crate::RunReport) (and
@@ -430,6 +519,8 @@ impl RunSpec {
             layout: ModelLayoutSpec::Compact,
             order: UpdateOrderSpec::SeqCst,
             sparse: SparsePathSpec::Auto,
+            shards: ShardsSpec::Flat,
+            pin: PinSpec::Off,
             trajectory_stride: None,
         }
     }
@@ -529,6 +620,20 @@ impl RunSpec {
         self
     }
 
+    /// Selects the native parameter-store sharding.
+    #[must_use]
+    pub fn shards(mut self, shards: ShardsSpec) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Selects native worker-to-core pinning.
+    #[must_use]
+    pub fn pin(mut self, pin: PinSpec) -> Self {
+        self.pin = pin;
+        self
+    }
+
     /// Enables trajectory collection: one sample roughly every `stride`
     /// iterations lands in `RunReport::trajectory`. A zero stride is
     /// rejected at validation time.
@@ -596,9 +701,18 @@ mod tests {
         ] {
             assert_eq!(sparse.label().parse::<SparsePathSpec>().unwrap(), sparse);
         }
+        for shards in [ShardsSpec::Flat, ShardsSpec::Auto, ShardsSpec::Fixed(12)] {
+            assert_eq!(shards.label().parse::<ShardsSpec>().unwrap(), shards);
+        }
+        for pin in [PinSpec::Off, PinSpec::On] {
+            assert_eq!(pin.label().parse::<PinSpec>().unwrap(), pin);
+        }
         assert!("banana".parse::<ModelLayoutSpec>().is_err());
         assert!("banana".parse::<UpdateOrderSpec>().is_err());
         assert!("banana".parse::<SparsePathSpec>().is_err());
+        assert!("banana".parse::<ShardsSpec>().is_err());
+        assert!("0".parse::<ShardsSpec>().is_err(), "zero shards rejected");
+        assert!("banana".parse::<PinSpec>().is_err());
     }
 
     #[test]
@@ -607,13 +721,19 @@ mod tests {
         assert_eq!(spec.layout, ModelLayoutSpec::Compact);
         assert_eq!(spec.order, UpdateOrderSpec::SeqCst);
         assert_eq!(spec.sparse, SparsePathSpec::Auto);
+        assert_eq!(spec.shards, ShardsSpec::Flat);
+        assert_eq!(spec.pin, PinSpec::Off);
         let spec = spec
             .layout(ModelLayoutSpec::Padded)
             .order(UpdateOrderSpec::Relaxed)
-            .sparse(SparsePathSpec::Sparse);
+            .sparse(SparsePathSpec::Sparse)
+            .shards(ShardsSpec::Fixed(4))
+            .pin(PinSpec::On);
         assert_eq!(spec.layout, ModelLayoutSpec::Padded);
         assert_eq!(spec.order, UpdateOrderSpec::Relaxed);
         assert_eq!(spec.sparse, SparsePathSpec::Sparse);
+        assert_eq!(spec.shards, ShardsSpec::Fixed(4));
+        assert_eq!(spec.pin, PinSpec::On);
     }
 
     #[test]

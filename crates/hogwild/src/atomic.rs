@@ -136,6 +136,18 @@ impl AtomicF64 {
     }
 }
 
+/// A value alone on its own 64-byte cache line.
+///
+/// Shared by the padded model layout (one entry per line) and the sharded
+/// store's per-shard update counters (one counter per line): in both cases
+/// the point is that threads hammering *different* cells must not ping-pong
+/// one line between cores. The alignment matches the coherency line size of
+/// every x86-64 and most AArch64 parts; on CPUs with larger lines the type
+/// still removes the worst of the false sharing.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CacheAligned<T>(pub T);
+
 impl From<f64> for AtomicF64 {
     fn from(v: f64) -> Self {
         Self::new(v)
@@ -268,5 +280,13 @@ mod tests {
     fn send_sync_bounds() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<AtomicF64>();
+    }
+
+    #[test]
+    fn cache_aligned_occupies_a_full_line() {
+        assert_eq!(std::mem::align_of::<CacheAligned<AtomicF64>>(), 64);
+        assert_eq!(std::mem::size_of::<CacheAligned<AtomicF64>>(), 64);
+        let c = CacheAligned(AtomicF64::new(1.5));
+        assert_eq!(c.0.load(), 1.5);
     }
 }

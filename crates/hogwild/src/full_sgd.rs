@@ -8,10 +8,11 @@
 //! The result is `r = snapshot + Σᵢ Acc[i]` (Algorithm 2, line 9).
 
 use crate::control::RunControl;
-use crate::model::SharedModel;
-use crate::tuning::ExecTuning;
+use crate::shard::{ParamStore, StoreWriter};
+use crate::tuning::{dense_scratch, ExecTuning};
 use asgd_math::rng::SeedSequence;
-use asgd_oracle::{GradientOracle, SparseGrad};
+use asgd_oracle::{apply_dense_chunk, GradientOracle, SparseGrad};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -116,20 +117,20 @@ impl<O: GradientOracle> NativeFullSgd<O> {
         assert_eq!(x0.len(), d, "x0 dimension mismatch");
         let total_epochs = self.cfg.halving_epochs + 1;
 
-        let (layout, order) = (self.tuning.layout, self.tuning.order);
-        // Per-epoch models; epoch 0 seeded with x₀, later epochs zeroed
-        // until their init winner copies the predecessor in.
-        let models: Vec<SharedModel> = (0..total_epochs)
+        // Per-epoch stores (flat or sharded per the tuning); epoch 0 seeded
+        // with x₀, later epochs zeroed until their init winner copies the
+        // predecessor in.
+        let models: Vec<ParamStore> = (0..total_epochs)
             .map(|e| {
                 if e == 0 {
-                    SharedModel::with_options(x0, layout, order)
+                    ParamStore::with_tuning(x0, &self.tuning)
                 } else {
-                    SharedModel::zeros_with(d, layout, order)
+                    ParamStore::zeros_with_tuning(d, &self.tuning)
                 }
             })
             .collect();
-        let snapshot = SharedModel::zeros_with(d, layout, order);
-        let acc = SharedModel::zeros_with(d, layout, order);
+        let snapshot = ParamStore::zeros_with_tuning(d, &self.tuning);
+        let acc = ParamStore::zeros_with_tuning(d, &self.tuning);
         let counters: Vec<AtomicU64> = (0..total_epochs).map(|_| AtomicU64::new(0)).collect();
         let guards: Vec<AtomicU64> = (0..total_epochs)
             .map(|e| AtomicU64::new(if e == 0 { GUARD_READY } else { GUARD_UNINIT }))
@@ -162,12 +163,19 @@ impl<O: GradientOracle> NativeFullSgd<O> {
                 let oracle = &self.oracle;
                 let cfg = self.cfg;
                 let mut rng = seeds.child_rng(tid as u64);
+                let pin = self.tuning.pin;
                 scope.spawn(move || {
-                    let need_view = !use_sparse || ctrl.metrics.is_some();
-                    let mut view = if need_view { vec![0.0; d] } else { Vec::new() };
-                    let mut grad = if use_sparse { Vec::new() } else { vec![0.0; d] };
+                    if pin {
+                        let _ = crate::pin::pin_current_thread(tid);
+                    }
+                    // O(d) scratch exists only on the dense path; the sparse
+                    // path streams its metrics samples and keeps its final-
+                    // epoch accumulator sparse (asserted by `dense_scratch`).
+                    let mut view = dense_scratch(d, use_sparse, !use_sparse);
+                    let mut grad = dense_scratch(d, use_sparse, !use_sparse);
+                    let mut local_acc = dense_scratch(d, use_sparse, !use_sparse);
                     let mut sgrad = SparseGrad::with_capacity(grad_cap);
-                    let mut local_acc = vec![0.0; d];
+                    let mut sparse_acc: BTreeMap<usize, f64> = BTreeMap::new();
                     let mut done = 0u64;
                     let mut stopped = false;
                     for epoch in 0..total_epochs {
@@ -203,8 +211,12 @@ impl<O: GradientOracle> NativeFullSgd<O> {
                         // EpochSGD on this epoch's model.
                         let alpha = cfg.alpha0 / (1u64 << epoch.min(63)) as f64;
                         let model = &models[epoch];
+                        // Batched shard-counter accounting for this epoch's
+                        // store; flushes on drop at epoch end.
+                        let mut writer = StoreWriter::new(model);
                         if is_final {
                             local_acc.fill(0.0);
+                            sparse_acc.clear();
                         }
                         loop {
                             let claim = counters[epoch].fetch_add(1, Ordering::SeqCst);
@@ -219,22 +231,18 @@ impl<O: GradientOracle> NativeFullSgd<O> {
                             }
                             if use_sparse {
                                 // O(Δ): per-entry reads of the gradient's
-                                // support, no full view materialisation
-                                // (except for a strided metrics sample).
+                                // support, no full view materialisation —
+                                // the strided metrics sample streams too.
                                 if ctrl.metrics_at(global_claim) {
-                                    model.read_view(&mut view);
-                                    ctrl.emit_metrics(
-                                        global_claim,
-                                        asgd_math::vec::l2_dist_sq(&view, minimizer),
-                                    );
+                                    ctrl.emit_metrics(global_claim, model.dist_sq_to(minimizer));
                                 }
                                 oracle.sample_gradient_sparse(model, &mut rng, &mut sgrad);
                                 for &(j, gj) in sgrad.entries() {
                                     if gj != 0.0 {
                                         let delta = -alpha * gj;
-                                        model.fetch_add(j, delta);
+                                        writer.fetch_add(j, delta);
                                         if is_final {
-                                            local_acc[j] += delta;
+                                            *sparse_acc.entry(j).or_insert(0.0) += delta;
                                         }
                                     }
                                 }
@@ -247,20 +255,26 @@ impl<O: GradientOracle> NativeFullSgd<O> {
                                     );
                                 }
                                 oracle.sample_gradient(&view, &mut rng, &mut grad);
-                                for (j, &gj) in grad.iter().enumerate() {
-                                    if gj != 0.0 {
-                                        let delta = -alpha * gj;
-                                        model.fetch_add(j, delta);
-                                        if is_final {
-                                            local_acc[j] += delta;
-                                        }
+                                apply_dense_chunk(&grad, -alpha, |j, delta| {
+                                    writer.fetch_add(j, delta);
+                                    if is_final {
+                                        local_acc[j] += delta;
                                     }
-                                }
+                                });
                             }
                             done += 1;
                         }
                         if is_final {
+                            // Both accumulators publish in ascending index
+                            // order, skipping entries that net to zero —
+                            // identical `Acc` arithmetic on either path
+                            // (`BTreeMap` iterates keys ascending).
                             for (j, &a) in local_acc.iter().enumerate() {
+                                if a != 0.0 {
+                                    acc.fetch_add(j, a);
+                                }
+                            }
+                            for (&j, &a) in &sparse_acc {
                                 if a != 0.0 {
                                     acc.fetch_add(j, a);
                                 }

@@ -11,7 +11,8 @@
 //! type exists to demonstrate and test the guard semantics at the op level.
 
 use crate::control::RunControl;
-use crate::tuning::ExecTuning;
+use crate::shard::{ShardRouter, ShardedVec};
+use crate::tuning::{dense_scratch, ExecTuning};
 use asgd_oracle::{ModelView, SparseGrad};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -47,28 +48,49 @@ fn unpack(word: u64) -> (u32, f32) {
 
 /// A model whose every entry carries an epoch tag enforced on each update —
 /// the single-word-CAS rendition of the paper's DCAS epoch guard.
+///
+/// The packed words live in a [`ShardedVec`]: the same router-backed
+/// per-range arenas as the sharded `f64` store, so the guarded executor's
+/// claim loop routes through the shard layer like the plain lock-free one
+/// ([`GuardedModel::new`] builds the degenerate single-shard layout).
 #[derive(Debug)]
 pub struct GuardedModel {
-    entries: Vec<AtomicU64>,
+    entries: ShardedVec<AtomicU64>,
 }
 
 impl GuardedModel {
     /// Creates a model at epoch 0 initialised to `x0` (values narrowed to
-    /// `f32`).
+    /// `f32`), in a single arena.
     #[must_use]
     pub fn new(x0: &[f64]) -> Self {
+        Self::with_shards(x0, 1)
+    }
+
+    /// Like [`GuardedModel::new`] with at most `shards` power-of-two chunked
+    /// arenas (clamped to `1..=d`; shift-and-mask routing, same chunk
+    /// rounding as [`crate::ShardedModel::with_options`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    #[must_use]
+    pub fn with_shards(x0: &[f64], shards: usize) -> Self {
+        let router = ShardRouter::pow2(x0.len(), shards);
         Self {
-            entries: x0
-                .iter()
-                .map(|&v| AtomicU64::new(pack(0, v as f32)))
-                .collect(),
+            entries: ShardedVec::from_fn(router, |j| AtomicU64::new(pack(0, x0[j] as f32))),
         }
     }
 
     /// Model dimension.
     #[must_use]
     pub fn dimension(&self) -> usize {
-        self.entries.len()
+        self.entries.dimension()
+    }
+
+    /// Number of shards the packed words are split into.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.entries.router().shard_count()
     }
 
     /// Reads `(epoch, value)` of entry `j`.
@@ -78,7 +100,26 @@ impl GuardedModel {
     /// Panics if `j` is out of bounds.
     #[must_use]
     pub fn read(&self, j: usize) -> (u32, f32) {
-        unpack(self.entries[j].load(Ordering::SeqCst))
+        unpack(self.entries.get(j).load(Ordering::SeqCst))
+    }
+
+    /// Streaming `‖X − y‖²` over the widened `f32` values, accumulated in
+    /// index order — identical arithmetic to `l2_dist_sq` over a widened
+    /// view scan, with no O(d) scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != d`.
+    #[must_use]
+    pub fn dist_sq_to(&self, y: &[f64]) -> f64 {
+        assert_eq!(y.len(), self.dimension(), "dist_sq_to dimension mismatch");
+        y.iter()
+            .enumerate()
+            .map(|(j, &b)| {
+                let a = f64::from(self.read(j).1);
+                (a - b) * (a - b)
+            })
+            .sum()
     }
 
     /// Epoch-guarded `fetch&add`: adds `delta` to entry `j` **only if** the
@@ -94,7 +135,7 @@ impl GuardedModel {
     ///
     /// Panics if `j` is out of bounds.
     pub fn guarded_add(&self, j: usize, epoch: u32, delta: f32) -> Result<f32, StaleEpochError> {
-        let entry = &self.entries[j];
+        let entry = self.entries.get(j);
         let mut current = entry.load(Ordering::SeqCst);
         loop {
             let (cur_epoch, cur_value) = unpack(current);
@@ -130,7 +171,7 @@ impl GuardedModel {
         from_epoch: u32,
         new_epoch: u32,
     ) -> Result<(), StaleEpochError> {
-        let entry = &self.entries[j];
+        let entry = self.entries.get(j);
         let mut current = entry.load(Ordering::SeqCst);
         loop {
             let (cur_epoch, cur_value) = unpack(current);
@@ -294,7 +335,7 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
             })
             .collect();
 
-        let model = GuardedModel::new(x0);
+        let model = GuardedModel::with_shards(x0, self.tuning.shards.resolve(d).unwrap_or(1));
         let counters: Vec<AtomicU64> = (0..epochs).map(|_| AtomicU64::new(0)).collect();
         // advance[e] guards the transition into epoch e (0 = pending,
         // 1 = advancing, 2 = done); epoch 0 needs no transition.
@@ -327,9 +368,13 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
                 let oracle = &self.oracle;
                 let cfg = self.cfg;
                 let mut rng = seeds.child_rng(tid as u64);
+                let pin = self.tuning.pin;
                 scope.spawn(move || {
-                    let mut view = vec![0.0; d];
-                    let mut grad = if use_sparse { Vec::new() } else { vec![0.0; d] };
+                    if pin {
+                        let _ = crate::pin::pin_current_thread(tid);
+                    }
+                    let mut view = dense_scratch(d, use_sparse, !use_sparse);
+                    let mut grad = dense_scratch(d, use_sparse, !use_sparse);
                     let mut sgrad = SparseGrad::with_capacity(grad_cap);
                     let mut done = 0u64;
                     'epochs: for epoch in 0..epochs {
@@ -375,10 +420,9 @@ impl<O: asgd_oracle::GradientOracle> GuardedEpochSgd<O> {
                                     && global_claim.is_multiple_of(stride);
                                 let at_metrics = ctrl.metrics_at(global_claim);
                                 if at_success || at_metrics {
-                                    for (j, v) in view.iter_mut().enumerate() {
-                                        *v = f64::from(model.read(j).1);
-                                    }
-                                    let dist_sq = asgd_math::vec::l2_dist_sq(&view, minimizer);
+                                    // Streaming per-entry distance — no O(d)
+                                    // scratch on the sparse path.
+                                    let dist_sq = model.dist_sq_to(minimizer);
                                     if at_success
                                         && cfg.success_radius_sq.is_some_and(|eps| dist_sq <= eps)
                                     {
@@ -651,6 +695,37 @@ mod tests {
         assert!(report.cancelled);
         let stride = ExecTuning::default().stride();
         assert!(report.iterations <= 4 * stride, "{}", report.iterations);
+    }
+
+    #[test]
+    fn sharded_guarded_model_matches_single_arena_semantics() {
+        let x0 = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let flat = GuardedModel::new(&x0);
+        let sharded = GuardedModel::with_shards(&x0, 3);
+        assert_eq!(flat.shard_count(), 1);
+        assert_eq!(sharded.shard_count(), 3);
+        for j in 0..5 {
+            assert_eq!(flat.read(j), sharded.read(j), "entry {j}");
+            assert_eq!(
+                flat.guarded_add(j, 0, 0.5),
+                sharded.guarded_add(j, 0, 0.5),
+                "entry {j}"
+            );
+        }
+        sharded.advance_epoch(2, 0, 1).unwrap();
+        assert!(sharded.guarded_add(2, 0, 1.0).is_err());
+        assert_eq!(flat.snapshot_values()[3], sharded.snapshot_values()[3]);
+        let y = vec![0.0; 5];
+        let widened: Vec<f64> = sharded
+            .snapshot_values()
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect();
+        assert_eq!(
+            sharded.dist_sq_to(&y).to_bits(),
+            asgd_math::vec::l2_dist_sq(&widened, &y).to_bits(),
+            "streaming dist² matches the widened scan bitwise"
+        );
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! The native lock-free executor — Algorithm 1 on OS threads.
 
 use crate::control::RunControl;
-use crate::model::SharedModel;
+use crate::shard::{ParamStore, StoreWriter};
 use crate::snapshot::{ModelReader, SnapshotCell};
-use crate::tuning::ExecTuning;
+use crate::tuning::{dense_scratch, ExecTuning};
 use asgd_math::rng::SeedSequence;
-use asgd_oracle::{GradientOracle, SparseGrad};
+use asgd_oracle::{apply_dense_chunk, GradientOracle, SparseGrad};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -66,7 +66,7 @@ impl HogwildReport {
 
 /// The lock-free executor.
 ///
-/// Shares one [`GradientOracle`] and one [`SharedModel`] across `n` threads;
+/// Shares one [`GradientOracle`] and one [`ParamStore`] across `n` threads;
 /// each thread loops: claim a slot via `fetch&add` on the iteration counter,
 /// read an (inconsistent) view, sample a gradient, apply nonzero entries via
 /// per-entry `fetch&add`. No locks, no barriers.
@@ -133,14 +133,11 @@ impl<O: GradientOracle> Hogwild<O> {
     pub fn run_controlled(&self, x0: &[f64], ctrl: RunControl<'_>) -> HogwildReport {
         let d = self.oracle.dimension();
         assert_eq!(x0.len(), d, "x0 dimension mismatch");
-        // The model and claim counter live in `Arc`s so a serving attachment
+        // The store and claim counter live in `Arc`s so a serving attachment
         // can keep reading them after this call returns (one allocation per
-        // run — irrelevant next to the model itself).
-        let model = Arc::new(SharedModel::with_options(
-            x0,
-            self.tuning.layout,
-            self.tuning.order,
-        ));
+        // run — irrelevant next to the model itself). The store is flat or
+        // sharded per `ExecTuning::shards`; the claim loop is oblivious.
+        let model = Arc::new(ParamStore::with_tuning(x0, &self.tuning));
         let counter = Arc::new(AtomicU64::new(0));
         // Snapshot storage, only when a serving hook is attached.
         let cell = ctrl.serve.map(|_| Arc::new(SnapshotCell::new(d)));
@@ -175,18 +172,17 @@ impl<O: GradientOracle> Hogwild<O> {
                     let oracle = &self.oracle;
                     let cfg = self.cfg;
                     let mut rng = seeds.child_rng(tid as u64);
+                    let pin = self.tuning.pin;
                     scope.spawn(move || {
+                        if pin {
+                            let _ = crate::pin::pin_current_thread(tid);
+                        }
                         let mut done = 0u64;
+                        // Batched shard-counter accounting: one RMW per
+                        // COUNTER_FLUSH updates instead of one per entry.
+                        let mut writer = StoreWriter::new(model);
                         if use_sparse {
                             let mut grad = SparseGrad::with_capacity(grad_cap);
-                            // Full-view scratch only needed for the sampled
-                            // success check / metrics sample.
-                            let mut view =
-                                if cfg.success_radius_sq.is_some() || ctrl.metrics.is_some() {
-                                    vec![0.0; d]
-                                } else {
-                                    Vec::new()
-                                };
                             loop {
                                 let claim = counter.fetch_add(1, Ordering::SeqCst);
                                 if claim >= cfg.iterations {
@@ -219,8 +215,10 @@ impl<O: GradientOracle> Hogwild<O> {
                                     cfg.success_radius_sq.is_some() && claim.is_multiple_of(stride);
                                 let at_metrics = ctrl.metrics_at(claim);
                                 if at_success || at_metrics {
-                                    model.read_view(&mut view);
-                                    let dist_sq = asgd_math::vec::l2_dist_sq(&view, minimizer);
+                                    // Streaming per-entry distance: identical
+                                    // read order and arithmetic to a view scan
+                                    // + `l2_dist_sq`, with no O(d) scratch.
+                                    let dist_sq = model.dist_sq_to(minimizer);
                                     if at_success
                                         && cfg.success_radius_sq.is_some_and(|eps| dist_sq <= eps)
                                     {
@@ -233,14 +231,14 @@ impl<O: GradientOracle> Hogwild<O> {
                                 oracle.sample_gradient_sparse(model, &mut rng, &mut grad);
                                 for &(j, gj) in grad.entries() {
                                     if gj != 0.0 {
-                                        model.fetch_add(j, -cfg.alpha * gj);
+                                        writer.fetch_add(j, -cfg.alpha * gj);
                                     }
                                 }
                                 done += 1;
                             }
                         } else {
-                            let mut view = vec![0.0; d];
-                            let mut grad = vec![0.0; d];
+                            let mut view = dense_scratch(d, use_sparse, true);
+                            let mut grad = dense_scratch(d, use_sparse, true);
                             loop {
                                 let claim = counter.fetch_add(1, Ordering::SeqCst);
                                 if claim >= cfg.iterations {
@@ -279,11 +277,12 @@ impl<O: GradientOracle> Hogwild<O> {
                                     }
                                 }
                                 oracle.sample_gradient(&view, &mut rng, &mut grad);
-                                for (j, &gj) in grad.iter().enumerate() {
-                                    if gj != 0.0 {
-                                        model.fetch_add(j, -cfg.alpha * gj);
-                                    }
-                                }
+                                // Chunked delta computation; same products,
+                                // same order, same skip-zero contract as the
+                                // scalar loop (bit-identical).
+                                apply_dense_chunk(&grad, -cfg.alpha, |j, delta| {
+                                    writer.fetch_add(j, delta);
+                                });
                                 done += 1;
                             }
                         }

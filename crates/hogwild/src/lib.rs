@@ -10,6 +10,13 @@
 //!   relaxed variants);
 //! * [`model`] — the shared parameter vector, with compact or cache-line-
 //!   padded layouts and a paper-faithful-vs-relaxed ordering knob;
+//! * [`shard`] — the topology-aware sharded parameter store: contiguous
+//!   index ranges routed (shift-and-mask, or exact ranges for ragged
+//!   dimensions) to per-shard arenas with per-shard update counters, and
+//!   [`ParamStore`], the flat-or-sharded enum every native claim loop
+//!   actually holds;
+//! * [`pin`] — best-effort worker-to-core pinning (enabled by
+//!   `ExecTuning::pin`);
 //! * [`tuning`] — [`ExecTuning`]: the layout/ordering/sparse-path knobs
 //!   every native executor accepts; Δ-sparse oracles get an O(Δ) hot loop
 //!   instead of the O(d) dense scan;
@@ -73,15 +80,18 @@ pub mod guarded;
 pub mod hogwild;
 pub mod locked;
 pub mod model;
+pub mod pin;
+pub mod shard;
 pub mod snapshot;
 pub mod tuning;
 
-pub use atomic::AtomicF64;
+pub use atomic::{AtomicF64, CacheAligned};
 pub use control::{MetricsFn, MetricsSink, RunControl};
 pub use full_sgd::{NativeFullSgd, NativeFullSgdConfig, NativeFullSgdReport};
 pub use guarded::{GuardedEpochSgd, GuardedEpochSgdConfig, GuardedEpochSgdReport, GuardedModel};
 pub use hogwild::{Hogwild, HogwildConfig, HogwildReport};
 pub use locked::{LockedSgd, LockedSgdReport};
 pub use model::{ModelLayout, SharedModel, UpdateOrder};
+pub use shard::{ParamStore, ShardRouter, ShardTopology, ShardedModel, ShardedVec, StoreWriter};
 pub use snapshot::{ModelReader, ModelSnapshot, PublishListener, ServeHook, SnapshotCell};
-pub use tuning::{ExecTuning, SparsePolicy};
+pub use tuning::{ExecTuning, ShardPolicy, SparsePolicy};

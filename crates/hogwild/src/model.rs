@@ -1,6 +1,6 @@
 //! The shared parameter vector `X[d]` for native threads.
 
-use crate::atomic::AtomicF64;
+use crate::atomic::{AtomicF64, CacheAligned};
 use asgd_oracle::ModelView;
 
 /// Memory layout of the shared entries.
@@ -33,9 +33,7 @@ pub enum UpdateOrder {
 }
 
 /// One entry on its own 64-byte cache line.
-#[derive(Debug, Default)]
-#[repr(align(64))]
-struct CachePadded(AtomicF64);
+type CachePadded = CacheAligned<AtomicF64>;
 
 #[derive(Debug)]
 enum Entries {
@@ -72,9 +70,11 @@ impl SharedModel {
             ModelLayout::Compact => {
                 Entries::Compact(x0.iter().map(|&v| AtomicF64::new(v)).collect())
             }
-            ModelLayout::Padded => {
-                Entries::Padded(x0.iter().map(|&v| CachePadded(AtomicF64::new(v))).collect())
-            }
+            ModelLayout::Padded => Entries::Padded(
+                x0.iter()
+                    .map(|&v| CacheAligned(AtomicF64::new(v)))
+                    .collect(),
+            ),
         };
         Self { entries, order }
     }
@@ -92,7 +92,7 @@ impl SharedModel {
         let entries = match layout {
             ModelLayout::Compact => Entries::Compact((0..d).map(|_| AtomicF64::new(0.0)).collect()),
             ModelLayout::Padded => {
-                Entries::Padded((0..d).map(|_| CachePadded(AtomicF64::new(0.0))).collect())
+                Entries::Padded((0..d).map(|_| CacheAligned(AtomicF64::new(0.0))).collect())
             }
         };
         Self { entries, order }

@@ -1,0 +1,85 @@
+//! Best-effort worker-thread CPU pinning.
+//!
+//! Sharded stores only pay off when a worker keeps hitting the same arenas
+//! from the same core; the OS migrating workers mid-run defeats the
+//! locality. This crate forbids `unsafe`, so there is no direct
+//! `sched_setaffinity` path — instead the current thread's kernel TID is
+//! read from `/proc/thread-self` and handed to the `taskset(1)` binary
+//! (util-linux, present on every mainstream distribution) exactly once per
+//! worker at spawn. Pinning is strictly best effort: any failure (no
+//! procfs, no `taskset`, containerised affinity masks) returns `false` and
+//! the run proceeds unpinned — affinity is a performance hint, never a
+//! correctness requirement.
+
+/// Number of cores available to this process (≥ 1).
+#[must_use]
+pub fn core_count() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Pins the *calling* thread to `core` (modulo [`core_count`]). Returns
+/// `true` when the affinity call reported success, `false` on any failure.
+///
+/// Call once at thread start, before the hot loop — the cost is one small
+/// subprocess, amortised over the whole run.
+#[must_use]
+pub fn pin_current_thread(core: usize) -> bool {
+    pin_impl(core % core_count())
+}
+
+#[cfg(target_os = "linux")]
+fn pin_impl(core: usize) -> bool {
+    // /proc/thread-self is a symlink to <pid>/task/<tid>; the final path
+    // component is this thread's kernel TID, which taskset -p accepts.
+    let Ok(target) = std::fs::read_link("/proc/thread-self") else {
+        return false;
+    };
+    let Some(tid) = target
+        .file_name()
+        .and_then(|s| s.to_str())
+        .filter(|s| s.bytes().all(|b| b.is_ascii_digit()))
+    else {
+        return false;
+    };
+    std::process::Command::new("taskset")
+        .args(["-p", "-c", &core.to_string(), tid])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .is_ok_and(|s| s.success())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_impl(_core: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_count_is_positive() {
+        assert!(core_count() >= 1);
+    }
+
+    #[test]
+    fn pinning_is_best_effort_and_never_panics() {
+        // Success depends on the environment (procfs + taskset); both
+        // outcomes are valid — the contract is "bool, no panic".
+        let _ = pin_current_thread(0);
+        let _ = pin_current_thread(core_count() + 7); // wraps via modulo
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn thread_self_resolves_to_a_tid() {
+        if let Ok(target) = std::fs::read_link("/proc/thread-self") {
+            let tid = target.file_name().and_then(|s| s.to_str()).unwrap_or("");
+            assert!(
+                tid.bytes().all(|b| b.is_ascii_digit()) && !tid.is_empty(),
+                "unexpected thread-self target: {target:?}"
+            );
+        }
+    }
+}

@@ -7,8 +7,9 @@
 //! into a running executor:
 //!
 //! * **live reads** through [`ModelReader`] — per-entry atomic loads of the
-//!   executing [`SharedModel`], racing the trainers entry by entry
-//!   (inconsistent across entries, exactly like a worker's own view scan);
+//!   executing [`ParamStore`] (flat or sharded), racing the trainers entry
+//!   by entry (inconsistent across entries, exactly like a worker's own
+//!   view scan);
 //! * **coherent snapshots** through [`SnapshotCell`] — an epoch-versioned
 //!   double buffer the executor publishes into every
 //!   [`ServeHook::publish_stride`] claims; a reader always obtains one
@@ -30,7 +31,7 @@
 //! and a deliberately weakened publish fence is shown to tear — evidence
 //! the announce-before-fill ordering below is load-bearing.
 
-use crate::model::SharedModel;
+use crate::shard::ParamStore;
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -117,7 +118,7 @@ impl SnapshotCell {
     /// # Panics
     ///
     /// Panics if the model's dimension differs from the cell's.
-    pub fn try_publish(&self, model: &SharedModel, iteration: u64) -> Option<(u64, u64)> {
+    pub fn try_publish(&self, model: &ParamStore, iteration: u64) -> Option<(u64, u64)> {
         self.try_publish_notify(model, iteration, |_, _| {})
     }
 
@@ -134,7 +135,7 @@ impl SnapshotCell {
     /// Panics if the model's dimension differs from the cell's.
     pub fn try_publish_notify(
         &self,
-        model: &SharedModel,
+        model: &ParamStore,
         iteration: u64,
         notify: impl FnOnce(u64, u64),
     ) -> Option<(u64, u64)> {
@@ -245,7 +246,7 @@ impl SnapshotCell {
 /// final model exactly).
 #[derive(Debug, Clone)]
 pub struct ModelReader {
-    model: Arc<SharedModel>,
+    model: Arc<ParamStore>,
     cell: Arc<SnapshotCell>,
     claims: Arc<AtomicU64>,
     budget: u64,
@@ -256,7 +257,7 @@ impl ModelReader {
     /// [`ServeHook`]; services receive the result.
     #[must_use]
     pub fn new(
-        model: Arc<SharedModel>,
+        model: Arc<ParamStore>,
         cell: Arc<SnapshotCell>,
         claims: Arc<AtomicU64>,
         budget: u64,
@@ -296,11 +297,27 @@ impl ModelReader {
         self.model.read_view(out);
     }
 
-    /// The live shared model, for [`asgd_oracle::ModelView`]-based
+    /// The live shared store, for [`asgd_oracle::ModelView`]-based
     /// per-entry access (e.g. sparse scoring against the training state).
     #[must_use]
-    pub fn model(&self) -> &SharedModel {
+    pub fn model(&self) -> &ParamStore {
         &self.model
+    }
+
+    /// Shard count of the underlying store (1 for the flat store).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.model.shard_count()
+    }
+
+    /// Reads the per-shard applied-update counters as an instantaneous
+    /// cross-shard vector (double-collect validated — see
+    /// `ShardedModel::coherent_update_counts`): `None` for a flat store,
+    /// otherwise `Some(coherent)` with `out` holding one count per shard.
+    /// These are the measured per-range update rates τ a delay-adaptive
+    /// consumer can difference between calls.
+    pub fn shard_updates(&self, out: &mut Vec<u64>) -> Option<bool> {
+        self.model.sharded().map(|m| m.coherent_update_counts(out))
     }
 
     /// Copies the latest coherent snapshot into `out`, returning its
@@ -461,8 +478,8 @@ impl ServeHook {
 mod tests {
     use super::*;
 
-    fn model(values: &[f64]) -> Arc<SharedModel> {
-        Arc::new(SharedModel::new(values))
+    fn model(values: &[f64]) -> Arc<ParamStore> {
+        Arc::new(ParamStore::Flat(crate::model::SharedModel::new(values)))
     }
 
     #[test]
@@ -590,6 +607,39 @@ mod tests {
         assert_eq!(reader.budget(), 100);
         // The model is reachable for ModelView-style access.
         assert_eq!(asgd_oracle::ModelView::entry(reader.model(), 1), 4.0);
+    }
+
+    #[test]
+    fn reader_exposes_shard_progress_on_sharded_stores() {
+        use crate::model::UpdateOrder;
+        use crate::shard::ShardedModel;
+        let flat = model(&[1.0, 2.0]);
+        let flat_reader = ModelReader::new(
+            Arc::clone(&flat),
+            Arc::new(SnapshotCell::new(2)),
+            Arc::new(AtomicU64::new(0)),
+            10,
+        );
+        assert_eq!(flat_reader.shard_count(), 1);
+        assert_eq!(flat_reader.shard_updates(&mut Vec::new()), None);
+
+        let sharded = Arc::new(ParamStore::Sharded(ShardedModel::with_options(
+            &[0.0; 8],
+            4,
+            UpdateOrder::SeqCst,
+        )));
+        sharded.fetch_add(0, 1.0);
+        sharded.fetch_add(7, 1.0);
+        let reader = ModelReader::new(
+            Arc::clone(&sharded),
+            Arc::new(SnapshotCell::new(8)),
+            Arc::new(AtomicU64::new(0)),
+            10,
+        );
+        assert_eq!(reader.shard_count(), 4);
+        let mut counts = Vec::new();
+        assert_eq!(reader.shard_updates(&mut counts), Some(true), "quiescent");
+        assert_eq!(counts, vec![1, 0, 0, 1]);
     }
 
     #[test]

@@ -30,6 +30,24 @@ impl SparsePolicy {
     }
 }
 
+/// How to shard the parameter store across per-range arenas.
+///
+/// Resolution to an actual shard count (and router) lives in
+/// `crate::shard::ShardPolicy::resolve`; the flat store remains the default
+/// because at small `d` the padded flat layout already solves false sharing
+/// and the router would be pure overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShardPolicy {
+    /// One flat arena (`SharedModel`) — the default.
+    #[default]
+    Flat,
+    /// Derive the shard count from the detected topology (cores and
+    /// coherency-line size).
+    Auto,
+    /// Exactly this many balanced contiguous shards (clamped to `1..=d`).
+    Fixed(usize),
+}
+
 /// Tuning of a native executor's hot loop, orthogonal to the algorithmic
 /// configuration (`threads`, `iterations`, `alpha`, …).
 ///
@@ -38,15 +56,22 @@ impl SparsePolicy {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecTuning {
     /// Shared-model memory layout (false-sharing avoidance at small d).
+    /// Applies to the flat store; sharded stores are always compact within
+    /// each arena (the arenas themselves provide the separation).
     pub layout: ModelLayout,
     /// Memory ordering of model reads and `fetch&add`s.
     pub order: UpdateOrder,
     /// Dense-vs-sparse path selection.
     pub sparse: SparsePolicy,
-    /// On the sparse path, the success-region check needs a full O(d) view
-    /// read; it is sampled every this many claims instead of every claim
-    /// (the dense path, which has the view anyway, keeps checking every
-    /// claim). Clamped to ≥ 1.
+    /// Parameter-store sharding (flat, topology-derived, or fixed count).
+    pub shards: ShardPolicy,
+    /// Pin worker threads round-robin to cores at spawn (best effort; a
+    /// failed pin is ignored). Off by default.
+    pub pin: bool,
+    /// On the sparse path, the success-region check needs a full O(d)
+    /// distance accumulation; it is sampled every this many claims instead
+    /// of every claim (the dense path, which has the view anyway, keeps
+    /// checking every claim). Clamped to ≥ 1.
     pub success_check_stride: u64,
 }
 
@@ -56,6 +81,8 @@ impl Default for ExecTuning {
             layout: ModelLayout::Compact,
             order: UpdateOrder::SeqCst,
             sparse: SparsePolicy::Auto,
+            shards: ShardPolicy::Flat,
+            pin: false,
             success_check_stride: 16,
         }
     }
@@ -66,6 +93,27 @@ impl ExecTuning {
     #[must_use]
     pub fn stride(&self) -> u64 {
         self.success_check_stride.max(1)
+    }
+}
+
+/// Allocates the dense O(d) scratch vector a claim loop needs — and asserts
+/// (in debug builds) that the sparse path never asks for one.
+///
+/// Every executor routes its view/accumulator allocations through here with
+/// `use_sparse` from its path decision and `needed` from its own logic, so
+/// the "sparse path materialises no dense scratch" invariant is *checked* at
+/// every allocation site rather than promised in a comment. Returns an empty
+/// vector when `needed` is false.
+#[must_use]
+pub fn dense_scratch(d: usize, use_sparse: bool, needed: bool) -> Vec<f64> {
+    debug_assert!(
+        !(use_sparse && needed),
+        "sparse path must not materialise a dense O(d) scratch vector"
+    );
+    if needed {
+        vec![0.0; d]
+    } else {
+        Vec::new()
     }
 }
 
@@ -98,11 +146,27 @@ mod tests {
         assert_eq!(t.layout, ModelLayout::Compact);
         assert_eq!(t.order, UpdateOrder::SeqCst);
         assert_eq!(t.sparse, SparsePolicy::Auto);
+        assert_eq!(t.shards, ShardPolicy::Flat, "flat store is the default");
+        assert!(!t.pin, "pinning defaults off");
         assert!(t.stride() >= 1);
         let zero = ExecTuning {
             success_check_stride: 0,
             ..ExecTuning::default()
         };
         assert_eq!(zero.stride(), 1, "stride clamps to 1");
+    }
+
+    #[test]
+    fn dense_scratch_allocates_only_when_needed() {
+        assert_eq!(dense_scratch(8, false, true), vec![0.0; 8]);
+        assert!(dense_scratch(8, false, false).is_empty());
+        assert!(dense_scratch(8, true, false).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse path must not materialise")]
+    #[cfg(debug_assertions)]
+    fn dense_scratch_rejects_sparse_path_allocations() {
+        let _ = dense_scratch(8, true, true);
     }
 }

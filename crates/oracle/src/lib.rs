@@ -70,5 +70,5 @@ pub use oracle::GradientOracle;
 pub use quadratic::NoisyQuadratic;
 pub use registry::{OracleSpec, OracleSpecError};
 pub use sparse::SparseQuadratic;
-pub use sparse_grad::{ModelView, SparseGrad};
+pub use sparse_grad::{apply_dense_chunk, ModelView, SparseGrad, DENSE_CHUNK_WIDTH};
 pub use streaming::{BackpressurePolicy, IngressError, IngressQueue, Observation, StreamingOracle};

@@ -89,6 +89,43 @@ impl SparseGrad {
     }
 }
 
+/// Entry width of [`apply_dense_chunk`]'s batched delta computation: eight
+/// `f64`s, one 512-bit SIMD register (or two 256-bit ones) and exactly one
+/// 64-byte cache line of a compact store.
+pub const DENSE_CHUNK_WIDTH: usize = 8;
+
+/// Streams the scaled dense update `delta[j] = scale * grad[j]` through
+/// `apply`, computing deltas in [`DENSE_CHUNK_WIDTH`]-wide batches.
+///
+/// The multiply pass over each chunk is branch-free (auto-vectorizable); the
+/// apply pass then skips exact zeros, preserving the executors' "only nonzero
+/// entries touch the store" contract bit for bit: entries are visited in
+/// index order and each nonzero receives exactly `scale * grad[j]`, the same
+/// product the scalar loop computes. Both the flat and the sharded parameter
+/// stores drive their dense claim loops through this helper, so a chunk never
+/// straddles a power-of-two shard boundary of at least this width.
+pub fn apply_dense_chunk(grad: &[f64], scale: f64, mut apply: impl FnMut(usize, f64)) {
+    let mut chunks = grad.chunks_exact(DENSE_CHUNK_WIDTH);
+    let mut base = 0;
+    for chunk in &mut chunks {
+        let mut deltas = [0.0_f64; DENSE_CHUNK_WIDTH];
+        for (slot, &g) in deltas.iter_mut().zip(chunk) {
+            *slot = scale * g;
+        }
+        for (k, &g) in chunk.iter().enumerate() {
+            if g != 0.0 {
+                apply(base + k, deltas[k]);
+            }
+        }
+        base += DENSE_CHUNK_WIDTH;
+    }
+    for (k, &g) in chunks.remainder().iter().enumerate() {
+        if g != 0.0 {
+            apply(base + k, scale * g);
+        }
+    }
+}
+
 /// Per-entry reads of a model vector.
 ///
 /// Implemented by plain slices (a local iterate) and by shared-memory models
@@ -164,6 +201,37 @@ mod tests {
         g.push(2, -2.0);
         g.scale(0.5);
         assert_eq!(g.entries(), &[(0, 2.0), (2, -1.0)]);
+    }
+
+    #[test]
+    fn apply_dense_chunk_matches_the_scalar_loop_bitwise() {
+        // Cover a full chunk, a ragged remainder, zeros inside and outside
+        // chunk boundaries, and negative scales.
+        for d in [0, 1, 7, 8, 9, 16, 27] {
+            let grad: Vec<f64> = (0..d)
+                .map(|j| {
+                    if j % 3 == 0 {
+                        0.0
+                    } else {
+                        (j as f64).mul_add(0.37, -1.5)
+                    }
+                })
+                .collect();
+            let scale = -0.013;
+            let mut scalar = Vec::new();
+            for (j, &g) in grad.iter().enumerate() {
+                if g != 0.0 {
+                    scalar.push((j, scale * g));
+                }
+            }
+            let mut chunked = Vec::new();
+            apply_dense_chunk(&grad, scale, |j, delta| chunked.push((j, delta)));
+            assert_eq!(scalar.len(), chunked.len(), "d={d}");
+            for ((ja, a), (jb, b)) in scalar.iter().zip(&chunked) {
+                assert_eq!(ja, jb, "d={d}");
+                assert_eq!(a.to_bits(), b.to_bits(), "d={d} entry {ja}");
+            }
+        }
     }
 
     #[test]

@@ -256,6 +256,7 @@ mod tests {
             contention: None,
             stale_rejected: None,
             sparse_path: Some(true),
+            shards: None,
             trajectory: None,
         }
     }

@@ -288,6 +288,7 @@ proptest! {
                 contention: None,
                 stale_rejected: None,
                 sparse_path: Some(i % 2 == 1),
+                shards: None,
                 trajectory: None,
             };
             let report = ServeReport {
