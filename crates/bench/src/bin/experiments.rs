@@ -63,6 +63,17 @@
 //! cargo run -p asgd-bench --release --bin experiments -- chaos \
 //!     --suite net --seed 7 --clients 4 --requests 64
 //! ```
+//!
+//! Stats mode (the observability scraper: issue the wire protocol's
+//! stats-scrape opcode against a live server and print the Prometheus
+//! text, or run the self-contained telemetry smoke gate):
+//!
+//! ```text
+//! cargo run -p asgd-bench --release --bin experiments -- stats \
+//!     --addr 127.0.0.1:7878
+//! cargo run -p asgd-bench --release --bin experiments -- stats \
+//!     --smoke --dim 8192 --artifacts bench-artifacts
+//! ```
 
 use asgd_bench::{experiment_ids, run_experiment};
 use asgd_driver::validation::default_backends;
@@ -73,7 +84,7 @@ use asgd_driver::{
 use asgd_metrics::table::fmt_f;
 use asgd_metrics::Table;
 use asgd_net::{
-    run_net_workload, NetConfig, NetOp, NetServer, NetWorkloadSpec, Priority, SloPolicy,
+    run_net_workload, NetClient, NetConfig, NetOp, NetServer, NetWorkloadSpec, Priority, SloPolicy,
 };
 use asgd_oracle::{registry, OracleSpec};
 use asgd_serve::ModelRegistry;
@@ -91,6 +102,7 @@ fn main() {
         Some("serve-net") => serve_net_mode(&args[1..]),
         Some("bench-check") => bench_check_mode(&args[1..]),
         Some("chaos") => chaos_mode(&args[1..]),
+        Some("stats") => stats_mode(&args[1..]),
         _ => table_mode(args),
     }
 }
@@ -884,7 +896,8 @@ fn usage_chaos() -> ! {
          Adversarial-robustness gate. The `explore` suite model-checks the\n\
          workspace's concurrent protocols (snapshot seqlock, AtomicF64 CAS\n\
          loop, registry lifecycle, ingress queue under every backpressure\n\
-         policy) over every schedule within a preemption\n\
+         policy, the telemetry registry's striped-cell validated collect)\n\
+         over every schedule within a preemption\n\
          bound: the shipped protocols must verify, and deliberately seeded\n\
          bugs must be caught with minimized traces that replay to the\n\
          identical violation. The `net` suite runs the fault-injection\n\
@@ -978,8 +991,8 @@ fn chaos_explore_cell<P: asgd_chaos::Schedulable>(
 
 fn chaos_mode(args: &[String]) {
     use asgd_chaos::{
-        AddMode, AtomicAddModel, FenceMode, IngestQueueModel, LenMode, RegistryMode, RegistryModel,
-        ScanMode, ShardedCounterModel, SnapshotModel,
+        AddMode, AtomicAddModel, CollectMode, FenceMode, IngestQueueModel, LenMode, RegistryMode,
+        RegistryModel, ScanMode, ShardedCounterModel, SnapshotModel, TelemetryCellModel,
     };
     use asgd_oracle::BackpressurePolicy;
 
@@ -1058,6 +1071,13 @@ fn chaos_mode(args: &[String]) {
             false,
             &artifacts,
         );
+        failed |= !chaos_explore_cell(
+            "telemetry-collect-validated",
+            &TelemetryCellModel::churning(CollectMode::Validated),
+            bound,
+            false,
+            &artifacts,
+        );
         // Seeded bugs: the explorer must catch each one, and the minimized
         // trace must replay to the identical violation.
         failed |= !chaos_explore_cell(
@@ -1091,6 +1111,13 @@ fn chaos_mode(args: &[String]) {
         failed |= !chaos_explore_cell(
             "sharded-counters-split-read",
             &ShardedCounterModel::contended(ScanMode::SplitRead),
+            bound,
+            true,
+            &artifacts,
+        );
+        failed |= !chaos_explore_cell(
+            "telemetry-collect-single-pass",
+            &TelemetryCellModel::contended(CollectMode::SinglePass),
             bound,
             true,
             &artifacts,
@@ -1144,6 +1171,366 @@ fn chaos_mode(args: &[String]) {
         exit(1);
     }
     println!("chaos: PASS");
+}
+
+// -------------------------------------------------------------- stats mode
+
+fn usage_stats() -> ! {
+    eprintln!(
+        "usage: experiments stats --addr HOST:PORT\n\
+         \x20      experiments stats --smoke [options]\n\
+         \n\
+         The observability scraper. With --addr it connects to a running\n\
+         asgd-net server, issues the wire protocol's stats-scrape opcode,\n\
+         and prints the Prometheus exposition text. With --smoke it runs\n\
+         the self-contained end-to-end gate: a streaming hogwild model\n\
+         behind a real loopback socket under live query/ingest load, a\n\
+         mid-run scrape that must be non-vacuous (iteration and per-shard\n\
+         counters moving, serve-latency histogram filling, ingest gauges\n\
+         present), a trace sink whose JSONL must replay into a monotone\n\
+         per-run timeline, and a final scrape whose iteration counter must\n\
+         equal the training run's RunReport exactly.\n\
+         \n\
+         options (defaults in parentheses):\n\
+         \x20 --addr HOST:PORT    scrape a live server and print the text\n\
+         \x20 --smoke             run the self-contained smoke gate\n\
+         \x20 --dim D             smoke model dimension (8192)\n\
+         \x20 --artifacts DIR     write telemetry_scrape.prom and\n\
+         \x20                     telemetry_trace.jsonl under DIR",
+    );
+    exit(2);
+}
+
+fn stats_mode(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut smoke = false;
+    let mut dim = 8_192_usize;
+    let mut artifacts: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = Some(flag_value(&mut it, "--addr", usage_stats).to_string()),
+            "--smoke" => smoke = true,
+            "--dim" => dim = parse_flag!(&mut it, "--dim", usage_stats),
+            "--artifacts" => {
+                artifacts = Some(PathBuf::from(flag_value(
+                    &mut it,
+                    "--artifacts",
+                    usage_stats,
+                )));
+            }
+            "--help" | "-h" => usage_stats(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage_stats();
+            }
+        }
+    }
+    match (addr, smoke) {
+        (Some(addr), false) => {
+            let mut client = match NetClient::connect(addr.as_str()) {
+                Ok(client) => client,
+                Err(e) => {
+                    eprintln!("error: connecting to {addr}: {e}");
+                    exit(1);
+                }
+            };
+            match client.stats_scrape() {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("error: scraping {addr}: {e}");
+                    exit(1);
+                }
+            }
+        }
+        (None, true) => stats_smoke(dim, artifacts.as_deref()),
+        _ => {
+            eprintln!("error: pass exactly one of --addr or --smoke");
+            usage_stats();
+        }
+    }
+}
+
+/// Looks a counter up in a parsed scrape (0 when absent).
+fn scraped_counter(snap: &asgd_telemetry::MetricsSnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|(k, _)| k == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+/// The self-contained telemetry smoke gate: every assertion it makes is a
+/// non-vacuity check — a scrape that parses but shows nothing moving means
+/// the instrumentation rotted even though the wire path still works.
+#[allow(clippy::too_many_lines)]
+fn stats_smoke(dim: usize, artifacts: Option<&Path>) {
+    use asgd_driver::{run_spec_session, SessionCtx, TraceObserver};
+    use asgd_oracle::BackpressurePolicy;
+    use asgd_serve::ReadMode;
+    use asgd_telemetry::TraceSink;
+
+    fn fail(msg: &str) -> ! {
+        eprintln!("stats smoke: FAIL: {msg}");
+        exit(1);
+    }
+
+    // Trace sink: a JSONL file when artifacts are requested, else memory.
+    let (sink, trace_buffer, trace_path) = match artifacts {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                fail(&format!("cannot create {}: {e}", dir.display()));
+            }
+            let path = dir.join("telemetry_trace.jsonl");
+            match TraceSink::to_file(&path) {
+                Ok(sink) => (Arc::new(sink), None, Some(path)),
+                Err(e) => fail(&format!("cannot open trace sink: {e}")),
+            }
+        }
+        None => {
+            let (sink, buffer) = TraceSink::in_memory();
+            (Arc::new(sink), Some(buffer), None)
+        }
+    };
+
+    // A streaming hogwild model behind a real socket. The budget is finite
+    // and large enough that the mid-run scrape lands while training is
+    // still in flight; sharding is fixed so the per-shard counter families
+    // are guaranteed to exist.
+    let model = "stats-smoke";
+    let iterations = 1_500_000_u64;
+    let spec = RunSpec::new(
+        OracleSpec::new("sparse-quadratic", dim).sigma(0.0),
+        BackendKind::Hogwild,
+    )
+    .threads(2)
+    .iterations(iterations)
+    .learning_rate(0.4 / dim as f64)
+    .x0(vec![1.0; dim])
+    .shards(ShardsSpec::Fixed(4))
+    .seed(0x57A75);
+    let model_registry = Arc::new(ModelRegistry::new());
+    let id = match model_registry.create_streaming(
+        model,
+        &spec,
+        ReadMode::Snapshot,
+        1_024,
+        256,
+        BackpressurePolicy::DropOldest,
+    ) {
+        Ok(id) => id.0,
+        Err(e) => fail(&format!("creating {model}: {e}")),
+    };
+    let observer = Arc::new(TraceObserver::new(Arc::clone(&sink), model));
+    let server = match NetServer::serve(
+        Arc::clone(&model_registry),
+        NetConfig::default().observer(observer),
+    ) {
+        Ok(server) => server,
+        Err(e) => fail(&format!("binding server: {e}")),
+    };
+    let mut client = match NetClient::connect(server.local_addr()) {
+        Ok(client) => client,
+        Err(e) => fail(&format!("connecting: {e}")),
+    };
+
+    // Live load while training runs: predictions, probes, and submitted
+    // observations, so every metric family the scrape asserts on is fed.
+    let load = 64_u32;
+    for i in 0..load {
+        let key = i % dim as u32;
+        if let Err(e) = client.predict(id, Priority::Normal) {
+            fail(&format!("predict under load: {e}"));
+        }
+        if let Err(e) = client.dot_score(id, &[(key, 1.0)], Priority::Normal) {
+            fail(&format!("dot-score under load: {e}"));
+        }
+        if let Err(e) = client.submit_observe(id, &[(key, 1.0)], 0.0, Priority::Normal) {
+            fail(&format!("submit-observe under load: {e}"));
+        }
+    }
+
+    // Mid-run scrape: live Prometheus text over the wire, non-vacuous.
+    let mid = match client.stats_scrape() {
+        Ok(text) => text,
+        Err(e) => fail(&format!("mid-run scrape: {e}")),
+    };
+    let mid_snap = match asgd_telemetry::parse(&mid) {
+        Ok(snap) => snap,
+        Err(e) => fail(&format!("mid-run scrape does not parse: {e}")),
+    };
+    let iter_key = format!("asgd_model_iterations_total{{model=\"{model}\"}}");
+    if scraped_counter(&mid_snap, &iter_key) == 0 {
+        fail("mid-run scrape shows zero training iterations");
+    }
+    let shard_prefix = format!("asgd_shard_updates_total{{model=\"{model}\"");
+    if !mid_snap
+        .counters
+        .iter()
+        .any(|(k, v)| k.starts_with(&shard_prefix) && *v > 0)
+    {
+        fail("mid-run scrape shows no per-shard update counter moving");
+    }
+    if scraped_counter(&mid_snap, "asgd_net_executed_total") < u64::from(load) {
+        fail("mid-run scrape undercounts executed requests");
+    }
+    if scraped_counter(
+        &mid_snap,
+        &format!("asgd_ingest_pushed_total{{model=\"{model}\"}}"),
+    ) == 0
+    {
+        fail("mid-run scrape shows no ingested observations");
+    }
+    let latency_ok = mid_snap
+        .histograms
+        .iter()
+        .any(|(k, h)| k == "asgd_net_serve_latency_ns" && h.count > 0 && h.sum > 0);
+    if !latency_ok {
+        fail("mid-run scrape's serve-latency histogram is empty");
+    }
+    if !mid_snap
+        .gauges
+        .iter()
+        .any(|(k, _)| k == &format!("asgd_ingest_queue_depth{{model=\"{model}\"}}"))
+    {
+        fail("mid-run scrape is missing the ingest queue depth gauge");
+    }
+    println!(
+        "[stats] mid-run scrape: {} counters, {} gauges, {} histograms (coherent: {})",
+        mid_snap.counters.len(),
+        mid_snap.gauges.len(),
+        mid_snap.histograms.len(),
+        mid_snap.coherent,
+    );
+
+    // One observed driver session shares the trace sink, so the artifact
+    // carries a full run lifecycle (started → progress → finished) next to
+    // whatever serving events the load produced.
+    let train_run = "stats-smoke-train";
+    let tiny = RunSpec::new(
+        OracleSpec::new("noisy-quadratic", 8).sigma(0.1),
+        BackendKind::Hogwild,
+    )
+    .threads(2)
+    .iterations(20_000)
+    .learning_rate(0.02)
+    .trajectory_every(5_000)
+    .seed(7);
+    let train_observer = Arc::new(TraceObserver::new(Arc::clone(&sink), train_run));
+    if let Err(e) = run_spec_session(&tiny, &SessionCtx::observed(train_observer)) {
+        fail(&format!("observed driver session: {e}"));
+    }
+
+    // Wait for the hosted run to finish so the final scrape has a
+    // quiescent truth to be bit-consistent with.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let final_stats = loop {
+        match client.stats_by_id(id) {
+            Ok(stats) if stats.finished => break stats,
+            Ok(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Ok(_) => fail("training never finished within the smoke deadline"),
+            Err(e) => fail(&format!("polling stats: {e}")),
+        }
+    };
+
+    // Final scrape: exact render∘parse inversion, and bit-consistency with
+    // the model's own stats and (below) the RunReport the registry hands
+    // back at drop.
+    let text = match client.stats_scrape() {
+        Ok(text) => text,
+        Err(e) => fail(&format!("final scrape: {e}")),
+    };
+    let snap = match asgd_telemetry::parse(&text) {
+        Ok(snap) => snap,
+        Err(e) => fail(&format!("final scrape does not parse: {e}")),
+    };
+    if asgd_telemetry::render(&snap) != text {
+        fail("render(parse(scrape)) is not the identical text");
+    }
+    let scraped_iterations = scraped_counter(&snap, &iter_key);
+    if scraped_iterations != final_stats.iterations {
+        fail(&format!(
+            "scraped iteration counter {scraped_iterations} != model stats {}",
+            final_stats.iterations
+        ));
+    }
+    server.stop();
+    let report = match model_registry.drop_model(model) {
+        Ok(report) => report,
+        Err(e) => fail(&format!("dropping {model}: {e}")),
+    };
+    model_registry.shutdown();
+    if scraped_iterations != report.iterations {
+        fail(&format!(
+            "scraped iteration counter {scraped_iterations} != RunReport {}",
+            report.iterations
+        ));
+    }
+    println!(
+        "[stats] final scrape: {} bytes, iterations counter {} == RunReport ({} shards live)",
+        text.len(),
+        scraped_iterations,
+        final_stats.shard_updates.len(),
+    );
+    if let Some(dir) = artifacts {
+        let path = dir.join("telemetry_scrape.prom");
+        if let Err(e) = std::fs::write(&path, &text) {
+            fail(&format!("writing {}: {e}", path.display()));
+        }
+        println!("[stats] scrape -> {}", path.display());
+    }
+
+    // The trace must replay into a monotone per-run timeline and carry the
+    // observed session's lifecycle.
+    sink.flush();
+    let trace_text = match (&trace_buffer, &trace_path) {
+        (Some(buffer), _) => {
+            let bytes = buffer
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+        (None, Some(path)) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => fail(&format!("reading {}: {e}", path.display())),
+        },
+        (None, None) => unreachable!("the sink is either buffered or file-backed"),
+    };
+    let spans = match asgd_telemetry::replay(&trace_text) {
+        Ok(spans) => spans,
+        Err(line) => fail(&format!("trace line {line} is malformed")),
+    };
+    let lifecycle: Vec<&str> = spans
+        .iter()
+        .filter(|s| s.run == train_run)
+        .map(|s| s.event.as_str())
+        .collect();
+    if lifecycle.first() != Some(&"started") || lifecycle.last() != Some(&"finished") {
+        fail(&format!(
+            "observed session lifecycle is not started→finished: {lifecycle:?}"
+        ));
+    }
+    let mut last_ts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for span in &spans {
+        let prev = last_ts.entry(span.run.as_str()).or_insert(0);
+        if span.ts_ns < *prev {
+            fail(&format!(
+                "trace timeline for run `{}` runs backwards at {}ns",
+                span.run, span.ts_ns
+            ));
+        }
+        *prev = span.ts_ns;
+    }
+    println!(
+        "[stats] trace: {} span(s), {} run(s), monotone per-run timeline",
+        spans.len(),
+        last_ts.len(),
+    );
+    if let Some(path) = &trace_path {
+        println!("[stats] trace -> {}", path.display());
+    }
+    println!("stats smoke: PASS");
 }
 
 // --------------------------------------------------------- validate mode
@@ -1360,7 +1747,7 @@ fn table_mode(mut args: Vec<String>) {
     if args.is_empty() {
         eprintln!("usage: experiments [--quick] <id…|all>");
         eprintln!(
-            "       experiments run|validate|serve|serve-net|bench-check|chaos [--help for options]"
+            "       experiments run|validate|serve|serve-net|bench-check|chaos|stats [--help for options]"
         );
         eprintln!("known experiments: {}", experiment_ids().join(", "));
         exit(2);

@@ -29,6 +29,14 @@
 //!   itself recover; TTR magnitudes are not compared (wall-clock recovery
 //!   on a shared core is far noisier than the tolerance).
 //!
+//! - **telemetry overhead**: the instrumentation contract — a hogwild run
+//!   with the strided step-timing sink installed (the same sink the driver
+//!   wires into every session, feeding `asgd_hogwild_step_ns`) must keep
+//!   at least [`TELEMETRY_OVERHEAD_FLOOR`] of the uninstrumented run's
+//!   throughput at serving scale (d = 1M, 4 pinned threads, best-of-N
+//!   both arms). Skipped in unoptimised builds, where the ratio would
+//!   gate compiler settings rather than the sink.
+//!
 //! Cells only one side measured (the full grids are wider than the fresh
 //! ones) are skipped. An empty intersection is itself a failure: a gate
 //! that compares nothing gates nothing.
@@ -313,6 +321,122 @@ fn sharded_store_gate(rows: &[Value], tol: f64, report: &mut CheckReport) {
     }
 }
 
+/// The telemetry overhead gate's fixed cell: the serving-scale sparse
+/// configuration the instrumentation contract is written against.
+const TELEMETRY_GATE_DIM: usize = 1 << 20;
+const TELEMETRY_GATE_THREADS: usize = 4;
+const TELEMETRY_GATE_ITERATIONS: u64 = 200_000;
+const TELEMETRY_GATE_TRIALS: usize = 3;
+
+/// Instrumented throughput must stay at or above this fraction of the
+/// uninstrumented run's: the strided timing sink (one `Instant` read per
+/// success-check window plus one striped histogram record) is allowed at
+/// most 3%.
+pub const TELEMETRY_OVERHEAD_FLOOR: f64 = 0.97;
+
+/// Judges the measured overhead ratio; split out of the measurement so the
+/// verdict logic is unit-testable without paying for d = 1M runs.
+fn judge_telemetry_overhead(
+    instrumented: f64,
+    baseline: f64,
+    samples: u64,
+    report: &mut CheckReport,
+) {
+    if samples == 0 {
+        report.failures.push(
+            "telemetry-overhead: instrumented runs recorded no step samples — the gate is vacuous"
+                .to_string(),
+        );
+        return;
+    }
+    let ratio = if baseline > 0.0 {
+        instrumented / baseline
+    } else {
+        1.0
+    };
+    let mut verdict = "ok";
+    if ratio < TELEMETRY_OVERHEAD_FLOOR {
+        verdict = "REGRESSED";
+        report.failures.push(format!(
+            "telemetry-overhead: instrumented {instrumented:.0}/s vs uninstrumented \
+             {baseline:.0}/s (x{ratio:.3}, floor x{TELEMETRY_OVERHEAD_FLOOR:.2})"
+        ));
+    }
+    report.lines.push(format!(
+        "telemetry-overhead: instrumented/uninstrumented x{ratio:.3} over {samples} step \
+         sample(s) [{verdict}]"
+    ));
+}
+
+/// Measures the instrumentation contract live: best-of-N hogwild
+/// throughput with the step-timing sink installed versus without, at
+/// d = 1M on 4 pinned threads. The sink is the exact shape the driver
+/// installs in every session (strided interval timing recorded into the
+/// process-wide `asgd_hogwild_step_ns` histogram), so the ratio gates
+/// what users actually pay, not a synthetic stand-in.
+fn telemetry_overhead_gate(report: &mut CheckReport) {
+    use asgd_hogwild::{ExecTuning, Hogwild, HogwildConfig, RunControl, TimingSink};
+    if cfg!(debug_assertions) {
+        report.lines.push(
+            "telemetry-overhead: skipped (unoptimised build — the ratio would gate compiler \
+             settings, not the sink)"
+                .to_string(),
+        );
+        return;
+    }
+    let oracle = match OracleSpec::new("sparse-quadratic", TELEMETRY_GATE_DIM)
+        .sigma(0.0)
+        .build()
+    {
+        Ok(oracle) => oracle,
+        Err(e) => {
+            report
+                .failures
+                .push(format!("telemetry-overhead: building the oracle: {e}"));
+            return;
+        }
+    };
+    let exec = Hogwild::new(
+        oracle,
+        HogwildConfig {
+            threads: TELEMETRY_GATE_THREADS,
+            iterations: TELEMETRY_GATE_ITERATIONS,
+            alpha: 0.5 / TELEMETRY_GATE_DIM as f64,
+            seed: 0x0B5E,
+            success_radius_sq: None,
+        },
+    )
+    .tuning(ExecTuning {
+        pin: true,
+        ..ExecTuning::default()
+    });
+    let x0 = vec![1.0; TELEMETRY_GATE_DIM];
+    let hist = asgd_telemetry::global().histogram("asgd_hogwild_step_ns");
+    let recorded_before = hist.snapshot().count;
+    let timing = |_claim: u64, elapsed_ns: u64, steps: u64| {
+        hist.record(elapsed_ns / steps.max(1));
+    };
+    let best_of = |instrumented: bool| -> f64 {
+        let mut best = 0.0_f64;
+        for _ in 0..TELEMETRY_GATE_TRIALS {
+            let ctrl = if instrumented {
+                RunControl {
+                    timing: Some(TimingSink { f: &timing }),
+                    ..RunControl::default()
+                }
+            } else {
+                RunControl::default()
+            };
+            best = best.max(exec.run_controlled(&x0, ctrl).iterations_per_sec());
+        }
+        best
+    };
+    let baseline = best_of(false);
+    let instrumented = best_of(true);
+    let samples = hist.snapshot().count.saturating_sub(recorded_before);
+    judge_telemetry_overhead(instrumented, baseline, samples, report);
+}
+
 fn validation_cell_key(cell: &ValidationCell) -> String {
     format!(
         "backend={},criterion={},threads={},eps={}",
@@ -513,9 +637,11 @@ fn serving_net_fresh() -> BTreeMap<String, Baseline> {
 /// Runs the full gate: fresh quick sweeps of `serving` and `serving-net`
 /// compared against `BENCH_serving.json` and `BENCH_net.json`, a fresh
 /// budget-matched sparse-path corner against `BENCH_sparse_path.json`, a
-/// fresh quick validation corner against `BENCH_validation.json`, and the
+/// fresh quick validation corner against `BENCH_validation.json`, the
 /// committed-plus-fresh ingest recovery gate against `BENCH_ingest.json`,
-/// all read from `dir`.
+/// all read from `dir`, plus the artifact-free telemetry overhead gate
+/// (instrumented vs uninstrumented hogwild throughput, optimised builds
+/// only).
 ///
 /// Missing or malformed artifacts are failures — they are committed files
 /// in this repository, so their absence means the gate's baseline is gone.
@@ -601,6 +727,8 @@ pub fn run_bench_check(dir: &Path, tol: f64) -> CheckReport {
     validation_gate(dir, tol, &mut report);
 
     ingest_gate(dir, &mut report);
+
+    telemetry_overhead_gate(&mut report);
 
     report
 }
@@ -732,6 +860,36 @@ mod tests {
         ];
         let mut report = CheckReport::default();
         sharded_store_gate(&rows, DEFAULT_TOLERANCE, &mut report);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("vacuous"), "{report:?}");
+    }
+
+    #[test]
+    fn telemetry_overhead_within_floor_passes() {
+        let mut report = CheckReport::default();
+        judge_telemetry_overhead(980.0, 1000.0, 1_000, &mut report);
+        assert!(report.passed(), "{report:?}");
+        assert!(report.lines[0].contains("x0.980"), "{report:?}");
+    }
+
+    #[test]
+    fn telemetry_overhead_past_floor_fails_with_both_rates() {
+        let mut report = CheckReport::default();
+        judge_telemetry_overhead(900.0, 1000.0, 1_000, &mut report);
+        assert!(!report.passed());
+        assert!(
+            report.failures[0].contains("instrumented 900/s"),
+            "{report:?}"
+        );
+        assert!(report.failures[0].contains("floor x0.97"), "{report:?}");
+    }
+
+    #[test]
+    fn telemetry_overhead_without_samples_is_vacuous() {
+        // A sink that never fired measured nothing: the instrumented arm
+        // silently ran uninstrumented, which must fail, not pass at x1.0.
+        let mut report = CheckReport::default();
+        judge_telemetry_overhead(1000.0, 1000.0, 0, &mut report);
         assert!(!report.passed());
         assert!(report.failures[0].contains("vacuous"), "{report:?}");
     }

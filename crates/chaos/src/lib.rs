@@ -56,6 +56,7 @@ pub mod netchaos;
 pub mod registry_model;
 pub mod sharded_model;
 pub mod snapshot_model;
+pub mod telemetry_model;
 
 pub use atomic_model::{AddMode, AtomicAddModel};
 pub use explore::{
@@ -67,3 +68,4 @@ pub use netchaos::{run_net_chaos, NetChaosError, NetChaosReport, NetChaosSpec};
 pub use registry_model::{RegistryMode, RegistryModel};
 pub use sharded_model::{ScanMode, ShardedCounterModel};
 pub use snapshot_model::{FenceMode, SnapshotModel};
+pub use telemetry_model::{CollectMode, TelemetryCellModel};

@@ -70,12 +70,14 @@ pub mod json;
 pub mod report;
 pub mod session;
 pub mod spec;
+pub mod trace;
 pub mod validation;
 
 pub use backend::{backend, run_simulated_lockfree_detailed, run_spec, run_spec_session, Backend};
 pub use error::DriverError;
 pub use report::{ContentionSummary, DecodeError, RunReport, TrajectorySample};
 pub use session::{Driver, Progress, RunEvent, RunHandle, RunObserver, SessionCtx};
+pub use trace::TraceObserver;
 // Serving attachment types, re-exported so session consumers need only this
 // crate: build a `ServeHook`, pass it via `SessionCtx::with_serve`, read the
 // training model live through the attached `ModelReader`.

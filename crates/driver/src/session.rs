@@ -109,6 +109,27 @@ pub enum RunEvent {
         /// Seconds since the run started.
         elapsed_secs: f64,
     },
+    /// The serving front-end's load shedder moved to a new tier. Emitted by
+    /// the net tier (`asgd-net`), which owns the shedder, through the
+    /// observer it was configured with — backends never originate it.
+    ShedTierChanged {
+        /// The tier now in force: 0 healthy, 1 degraded (Low shed), 2
+        /// overloaded (Low and Normal shed).
+        tier: u8,
+        /// The rolling p99 that drove the transition, in nanoseconds.
+        p99_ns: u64,
+        /// The latency objective, in nanoseconds.
+        slo_ns: u64,
+    },
+    /// An ingest queue refused an observation because it was full (or the
+    /// producer timed out waiting for room). Emitted by the net tier on
+    /// behalf of the ingest tier.
+    QueueSaturated {
+        /// Queue depth at the refusal.
+        depth: u64,
+        /// The queue's configured capacity.
+        capacity: u64,
+    },
     /// The run finished; the same report the blocking call returns.
     Finished(Box<RunReport>),
 }
@@ -625,6 +646,8 @@ mod tests {
                 RunEvent::TrajectorySample(_) => "sample",
                 RunEvent::SnapshotPublished { .. } => "snapshot",
                 RunEvent::DriftInjected { .. } => "drift",
+                RunEvent::ShedTierChanged { .. } => "shed-tier",
+                RunEvent::QueueSaturated { .. } => "queue-saturated",
                 RunEvent::Finished(_) => "finished",
             };
             sink.lock().unwrap().push(label.to_string());

@@ -1,0 +1,203 @@
+//! [`TraceObserver`] — a [`RunObserver`] that writes
+//! every [`RunEvent`] as a structured JSONL span into an
+//! [`asgd_telemetry::TraceSink`].
+//!
+//! One sink can be shared by many observers (one per run), so a multi-model
+//! serving process produces a single trace file whose lines interleave by
+//! wall time but replay into a monotone per-run timeline
+//! ([`asgd_telemetry::replay`] + filter by `run`). Field names follow the
+//! event's own field names; the span's `event` string is the kebab-case
+//! variant name (`started`, `progress`, `sample`, `snapshot`, `drift`,
+//! `shed-tier`, `queue-saturated`, `finished`).
+
+use crate::session::{RunEvent, RunObserver};
+use asgd_telemetry::{FieldValue, TraceSink};
+use std::sync::Arc;
+
+/// Streams one run's lifecycle events into a shared [`TraceSink`].
+#[derive(Debug, Clone)]
+pub struct TraceObserver {
+    sink: Arc<TraceSink>,
+    run: String,
+}
+
+impl TraceObserver {
+    /// An observer labelling its spans with run/model id `run`.
+    #[must_use]
+    pub fn new(sink: Arc<TraceSink>, run: impl Into<String>) -> Self {
+        Self {
+            sink,
+            run: run.into(),
+        }
+    }
+
+    /// The sink this observer writes to (for flushing at shutdown).
+    #[must_use]
+    pub fn sink(&self) -> &Arc<TraceSink> {
+        &self.sink
+    }
+}
+
+impl RunObserver for TraceObserver {
+    fn on_event(&self, event: &RunEvent) {
+        let u = FieldValue::U64;
+        let f = FieldValue::F64;
+        match event {
+            RunEvent::Started {
+                backend,
+                oracle,
+                threads,
+                iterations,
+                seed,
+            } => self.sink.emit(
+                &self.run,
+                "started",
+                &[
+                    ("backend", FieldValue::Str(backend.to_string())),
+                    ("oracle", FieldValue::Str(oracle.clone())),
+                    ("threads", u(*threads as u64)),
+                    ("iterations", u(*iterations)),
+                    ("seed", u(*seed)),
+                ],
+            ),
+            RunEvent::Progress(p) => self.sink.emit(
+                &self.run,
+                "progress",
+                &[
+                    ("iterations", u(p.iterations)),
+                    ("evaluations", u(p.evaluations)),
+                    ("dist_sq", f(p.dist_sq)),
+                    ("elapsed_secs", f(p.elapsed_secs)),
+                ],
+            ),
+            RunEvent::TrajectorySample(s) => self.sink.emit(
+                &self.run,
+                "sample",
+                &[
+                    ("index", u(s.index)),
+                    ("dist_sq", f(s.dist_sq)),
+                    ("elapsed_secs", f(s.elapsed_secs)),
+                ],
+            ),
+            RunEvent::SnapshotPublished { version, iteration } => self.sink.emit(
+                &self.run,
+                "snapshot",
+                &[("version", u(*version)), ("iteration", u(*iteration))],
+            ),
+            RunEvent::DriftInjected {
+                iteration,
+                elapsed_secs,
+            } => self.sink.emit(
+                &self.run,
+                "drift",
+                &[
+                    ("iteration", u(*iteration)),
+                    ("elapsed_secs", f(*elapsed_secs)),
+                ],
+            ),
+            RunEvent::ShedTierChanged {
+                tier,
+                p99_ns,
+                slo_ns,
+            } => self.sink.emit(
+                &self.run,
+                "shed-tier",
+                &[
+                    ("tier", u(u64::from(*tier))),
+                    ("p99_ns", u(*p99_ns)),
+                    ("slo_ns", u(*slo_ns)),
+                ],
+            ),
+            RunEvent::QueueSaturated { depth, capacity } => self.sink.emit(
+                &self.run,
+                "queue-saturated",
+                &[("depth", u(*depth)), ("capacity", u(*capacity))],
+            ),
+            RunEvent::Finished(report) => self.sink.emit(
+                &self.run,
+                "finished",
+                &[
+                    ("iterations", u(report.iterations)),
+                    ("final_dist_sq", f(report.final_dist_sq)),
+                    ("wall_time_secs", f(report.wall_time_secs)),
+                    (
+                        "stop",
+                        FieldValue::Str(report.stop.clone().unwrap_or_default()),
+                    ),
+                ],
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{Driver, SessionCtx};
+    use crate::spec::{BackendKind, RunSpec, SchedulerSpec};
+    use asgd_oracle::OracleSpec;
+    use asgd_telemetry::replay;
+
+    fn quick_spec(seed: u64) -> RunSpec {
+        RunSpec::new(
+            OracleSpec::new("noisy-quadratic", 2).sigma(0.1),
+            BackendKind::Sequential,
+        )
+        .threads(1)
+        .iterations(300)
+        .learning_rate(0.05)
+        .x0(vec![1.0, -1.0])
+        .scheduler(SchedulerSpec::Serial)
+        .seed(seed)
+    }
+
+    #[test]
+    fn traced_run_replays_into_a_monotone_timeline() {
+        let (sink, buf) = TraceSink::in_memory();
+        let sink = Arc::new(sink);
+        let observer = Arc::new(TraceObserver::new(Arc::clone(&sink), "m-trace"));
+        let report = Driver::new()
+            .submit_with(
+                quick_spec(11).trajectory_every(100),
+                SessionCtx::observed(observer),
+            )
+            .wait()
+            .expect("valid spec");
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let spans = replay(&text).expect("every span parses");
+        assert!(spans.iter().all(|s| s.run == "m-trace"));
+        assert_eq!(spans.first().map(|s| s.event.as_str()), Some("started"));
+        assert_eq!(spans.last().map(|s| s.event.as_str()), Some("finished"));
+        assert!(spans.iter().any(|s| s.event == "progress"));
+        assert!(spans.iter().any(|s| s.event == "sample"));
+        assert!(
+            spans.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+            "one sink origin → monotone timeline"
+        );
+        assert!(text.contains(&format!("\"iterations\":{}", report.iterations)));
+    }
+
+    #[test]
+    fn net_tier_events_become_spans() {
+        let (sink, buf) = TraceSink::in_memory();
+        let observer = TraceObserver::new(Arc::new(sink), "srv");
+        observer.on_event(&RunEvent::ShedTierChanged {
+            tier: 2,
+            p99_ns: 9_000_000,
+            slo_ns: 4_000_000,
+        });
+        observer.on_event(&RunEvent::QueueSaturated {
+            depth: 512,
+            capacity: 512,
+        });
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"event\":\"shed-tier\""));
+        assert!(text.contains("\"tier\":2"));
+        assert!(text.contains("\"slo_ns\":4000000"));
+        assert!(text.contains("\"event\":\"queue-saturated\""));
+        assert!(text.contains("\"depth\":512"));
+        let spans = replay(&text).expect("parses");
+        assert_eq!(spans.len(), 2);
+    }
+}

@@ -46,6 +46,29 @@ impl std::fmt::Debug for MetricsSink<'_> {
     }
 }
 
+/// Strided step-timing sink function: called from worker threads with
+/// `(claim index, elapsed_ns, steps)` — the wall time and the number of
+/// updates this worker applied since its previous firing. `elapsed_ns /
+/// steps` is the worker's amortised per-step latency over the interval.
+pub type TimingFn<'a> = &'a (dyn Fn(u64, u64, u64) + Sync);
+
+/// A step-timing callback riding the executors' success-check stride: each
+/// worker reads one `Instant` per stride window (never per claim), so the
+/// hot path stays O(Δ) and the cost is bounded by the stride exactly like
+/// cancellation. Used by the driver to feed the
+/// `asgd_hogwild_step_ns` telemetry histogram.
+#[derive(Clone, Copy)]
+pub struct TimingSink<'a> {
+    /// The sink.
+    pub f: TimingFn<'a>,
+}
+
+impl std::fmt::Debug for TimingSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimingSink").finish_non_exhaustive()
+    }
+}
+
 /// Per-run control handles threaded into a native executor's claim loops.
 ///
 /// The default is inert: no stop flag, no metrics — executors behave exactly
@@ -60,6 +83,8 @@ pub struct RunControl<'a> {
     pub stop: Option<&'a AtomicBool>,
     /// Strided metrics callback.
     pub metrics: Option<MetricsSink<'a>>,
+    /// Strided step-timing callback (fires at the success-check stride).
+    pub timing: Option<TimingSink<'a>>,
     /// Serving attachment: the executor exposes a
     /// [`ModelReader`](crate::snapshot::ModelReader) through the hook before
     /// its workers start and publishes coherent snapshots every
@@ -89,8 +114,16 @@ impl RunControl<'_> {
         }
     }
 
+    /// Invokes the timing sink (no-op when none is installed).
+    pub fn emit_timing(&self, claim: u64, elapsed_ns: u64, steps: u64) {
+        if let Some(t) = self.timing {
+            (t.f)(claim, elapsed_ns, steps);
+        }
+    }
+
     /// True if either hook is installed (workers then need view scratch for
-    /// strided sampling even on the sparse path).
+    /// strided sampling even on the sparse path). The timing sink is not
+    /// included: it never reads the model, so it needs no scratch.
     #[must_use]
     pub fn is_active(&self) -> bool {
         self.stop.is_some() || self.metrics.is_some()
@@ -116,8 +149,7 @@ mod tests {
         let flag = AtomicBool::new(false);
         let ctrl = RunControl {
             stop: Some(&flag),
-            metrics: None,
-            serve: None,
+            ..RunControl::default()
         };
         assert!(!ctrl.is_stopped());
         assert!(ctrl.is_active());
@@ -138,5 +170,29 @@ mod tests {
         let zero = MetricsSink { stride: 0, f: noop };
         assert!(zero.fires_at(7), "zero stride clamps to every claim");
         assert!(format!("{sink:?}").contains("stride: 50"));
+    }
+
+    #[test]
+    fn timing_sink_receives_interval_observations() {
+        use std::sync::atomic::AtomicU64;
+        let total_ns = AtomicU64::new(0);
+        let total_steps = AtomicU64::new(0);
+        let record: &(dyn Fn(u64, u64, u64) + Sync) = &|_claim, ns, steps| {
+            total_ns.fetch_add(ns, Ordering::Relaxed);
+            total_steps.fetch_add(steps, Ordering::Relaxed);
+        };
+        let ctrl = RunControl {
+            timing: Some(TimingSink { f: record }),
+            ..RunControl::default()
+        };
+        // Timing alone must not force view scratch on the sparse path.
+        assert!(!ctrl.is_active());
+        ctrl.emit_timing(128, 64_000, 128);
+        ctrl.emit_timing(256, 60_000, 128);
+        assert_eq!(total_ns.load(Ordering::Relaxed), 124_000);
+        assert_eq!(total_steps.load(Ordering::Relaxed), 256);
+        // And the default is inert.
+        RunControl::default().emit_timing(0, 1, 1);
+        assert!(format!("{:?}", ctrl.timing).contains("TimingSink"));
     }
 }

@@ -502,7 +502,7 @@ mod tests {
                     stride: 16,
                     f: &sink,
                 }),
-                serve: None,
+                ..RunControl::default()
             },
         );
         assert!(report.cancelled);

@@ -688,8 +688,7 @@ mod tests {
             &[1.0, 1.0],
             RunControl {
                 stop: Some(&flag),
-                metrics: None,
-                serve: None,
+                ..RunControl::default()
             },
         );
         assert!(report.cancelled);

@@ -178,6 +178,12 @@ impl<O: GradientOracle> Hogwild<O> {
                             let _ = crate::pin::pin_current_thread(tid);
                         }
                         let mut done = 0u64;
+                        // Step-timing state: one Instant read per stride
+                        // window (never per claim), so the sink costs the
+                        // same O(1)-per-stride as the stop check.
+                        let timing_on = ctrl.timing.is_some();
+                        let mut last_tick = Instant::now();
+                        let mut last_done = 0u64;
                         // Batched shard-counter accounting: one RMW per
                         // COUNTER_FLUSH updates instead of one per entry.
                         let mut writer = StoreWriter::new(model);
@@ -188,9 +194,22 @@ impl<O: GradientOracle> Hogwild<O> {
                                 if claim >= cfg.iterations {
                                     return done;
                                 }
-                                if claim.is_multiple_of(stride) && ctrl.is_stopped() {
-                                    interrupted.store(true, Ordering::SeqCst);
-                                    return done;
+                                if claim.is_multiple_of(stride) {
+                                    if ctrl.is_stopped() {
+                                        interrupted.store(true, Ordering::SeqCst);
+                                        return done;
+                                    }
+                                    if timing_on && done > last_done {
+                                        let now = Instant::now();
+                                        let ns = now.duration_since(last_tick).as_nanos();
+                                        ctrl.emit_timing(
+                                            claim,
+                                            ns.min(u128::from(u64::MAX)) as u64,
+                                            done - last_done,
+                                        );
+                                        last_tick = now;
+                                        last_done = done;
+                                    }
                                 }
                                 if let (Some(hook), Some(cell)) = (ctrl.serve, cell) {
                                     if hook.publishes_at(claim) {
@@ -244,9 +263,22 @@ impl<O: GradientOracle> Hogwild<O> {
                                 if claim >= cfg.iterations {
                                     return done;
                                 }
-                                if claim.is_multiple_of(stride) && ctrl.is_stopped() {
-                                    interrupted.store(true, Ordering::SeqCst);
-                                    return done;
+                                if claim.is_multiple_of(stride) {
+                                    if ctrl.is_stopped() {
+                                        interrupted.store(true, Ordering::SeqCst);
+                                        return done;
+                                    }
+                                    if timing_on && done > last_done {
+                                        let now = Instant::now();
+                                        let ns = now.duration_since(last_tick).as_nanos();
+                                        ctrl.emit_timing(
+                                            claim,
+                                            ns.min(u128::from(u64::MAX)) as u64,
+                                            done - last_done,
+                                        );
+                                        last_tick = now;
+                                        last_done = done;
+                                    }
                                 }
                                 if let (Some(hook), Some(cell)) = (ctrl.serve, cell) {
                                     if hook.publishes_at(claim) {
@@ -521,8 +553,7 @@ mod tests {
             &[1.0, 1.0],
             RunControl {
                 stop: Some(&flag),
-                metrics: None,
-                serve: None,
+                ..RunControl::default()
             },
         );
         assert!(report.cancelled);
@@ -561,12 +592,11 @@ mod tests {
             .run_controlled(
                 &[1.0; 16],
                 RunControl {
-                    stop: None,
                     metrics: Some(crate::control::MetricsSink {
                         stride: 50,
                         f: &sink,
                     }),
-                    serve: None,
+                    ..RunControl::default()
                 },
             );
             assert!(!report.cancelled);
@@ -575,6 +605,54 @@ mod tests {
             claims.sort_unstable();
             assert_eq!(claims, vec![0, 50, 100, 150], "{sparse:?}");
             assert!(got.iter().all(|&(_, d)| d.is_finite() && d >= 0.0));
+        }
+    }
+
+    #[test]
+    fn timing_sink_accounts_for_every_step_on_both_paths() {
+        use crate::tuning::SparsePolicy;
+        use std::sync::atomic::AtomicU64;
+        let oracle = Arc::new(SparseQuadratic::uniform(16, 1.0, 0.0).unwrap());
+        for sparse in [SparsePolicy::ForceDense, SparsePolicy::ForceSparse] {
+            let observed_steps = AtomicU64::new(0);
+            let observed_ns = AtomicU64::new(0);
+            let sink = |_claim: u64, ns: u64, steps: u64| {
+                observed_ns.fetch_add(ns, Ordering::Relaxed);
+                observed_steps.fetch_add(steps, Ordering::Relaxed);
+            };
+            let iterations = 10_000;
+            let report = Hogwild::new(
+                Arc::clone(&oracle),
+                HogwildConfig {
+                    threads: 2,
+                    iterations,
+                    alpha: 0.01,
+                    seed: 5,
+                    success_radius_sq: None,
+                },
+            )
+            .tuning(ExecTuning {
+                sparse,
+                ..ExecTuning::default()
+            })
+            .run_controlled(
+                &[1.0; 16],
+                RunControl {
+                    timing: Some(crate::control::TimingSink { f: &sink }),
+                    ..RunControl::default()
+                },
+            );
+            assert_eq!(report.iterations, iterations);
+            let steps = observed_steps.load(Ordering::Relaxed);
+            // Each worker's last partial stride window is never flushed, so
+            // the sink sees all but at most (threads × stride) steps.
+            let stride = ExecTuning::default().stride();
+            assert!(
+                steps >= iterations.saturating_sub(2 * stride),
+                "{sparse:?}: observed only {steps} of {iterations} steps"
+            );
+            assert!(steps <= iterations);
+            assert!(observed_ns.load(Ordering::Relaxed) > 0, "{sparse:?}");
         }
     }
 

@@ -274,7 +274,7 @@ mod tests {
                     stride: 16,
                     f: &sink,
                 }),
-                serve: None,
+                ..RunControl::default()
             },
         );
         assert!(report.cancelled);

@@ -21,7 +21,12 @@
 //!   bumps its shard's counter, so the counters are a *measured* per-range
 //!   update rate — the per-shard τ a delay-adaptive backend can consume —
 //!   and [`ShardedModel::coherent_update_counts`] reads them as an
-//!   instantaneous cross-shard vector via double-collect validation;
+//!   instantaneous cross-shard vector via double-collect validation. The
+//!   serving tier's stats-scrape mirrors these counters into the
+//!   process-wide telemetry registry (`asgd-telemetry`) as
+//!   `asgd_shard_updates_total{model=…,shard=…}` counters plus derived
+//!   `asgd_shard_update_rate` and `asgd_shard_claim_gap` gauges, and the
+//!   registry's snapshot uses this same double-collect protocol;
 //! * [`ParamStore`] — the executor-facing enum over the flat
 //!   [`SharedModel`] and the sharded store. Enum dispatch costs one
 //!   predictable branch next to the atomic op it guards, and spares every

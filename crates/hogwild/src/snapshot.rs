@@ -15,6 +15,11 @@
 //!   [`ServeHook::publish_stride`] claims; a reader always obtains one
 //!   internally consistent vector (for a single trainer thread, an *exact*
 //!   trajectory point `x_c`), tagged with the claim index it was taken at.
+//!   The tag's age at read time is the *staleness* the serving tiers report
+//!   — per-query in `ServeReport`, and as the
+//!   `asgd_model_snapshot_staleness` gauge and `asgd_net_serve_staleness`
+//!   histogram in the process-wide telemetry registry (`asgd-telemetry`)
+//!   served over the wire by the stats-scrape opcode.
 //!
 //! The cell is a wait-free-for-writers, lock-free-for-readers seqlock over
 //! two buffers, built from safe atomics only: publishers bit-store `f64`s

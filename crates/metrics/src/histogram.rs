@@ -1,8 +1,10 @@
 //! Integer histograms for contention statistics and serving telemetry.
 
-/// The tail percentiles serving benchmarks report, extracted exactly from a
-/// [`Histogram`] by cumulative count (no interpolation — every value returned
-/// was actually observed).
+/// The tail percentiles serving benchmarks report, extracted from a
+/// [`Histogram`] by rank with linear interpolation between adjacent order
+/// statistics (rounded to the nearest integer), so tiny sample counts yield
+/// sensible quantiles instead of collapsing every tail percentile onto the
+/// maximum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Percentiles {
     /// Median (p50).
@@ -82,7 +84,15 @@ impl Histogram {
         self.counts.keys().next_back().copied()
     }
 
-    /// The `q`-quantile (`0 ≤ q ≤ 1`) by cumulative count.
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) by rank, linearly interpolated.
+    ///
+    /// Uses the standard `h = q · (n − 1)` rank: the result interpolates
+    /// between the `⌊h⌋`-th and `⌈h⌉`-th order statistics and rounds to the
+    /// nearest integer (half away from zero). At tiny sample counts this
+    /// keeps tail percentiles anchored between order statistics instead of
+    /// collapsing them all onto the maximum — the p90 of `{10, 20}` is 19,
+    /// not 20 — while exact ranks (including `q = 0` and `q = 1`) still
+    /// return exact observed values.
     ///
     /// # Panics
     ///
@@ -93,15 +103,29 @@ impl Histogram {
         if self.total == 0 {
             return None;
         }
-        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let h = q * (self.total - 1) as f64;
+        let lo_rank = h.floor() as u64;
+        let frac = h - h.floor();
+        let lo = self.order_stat(lo_rank)?;
+        if frac == 0.0 {
+            return Some(lo);
+        }
+        let hi = self.order_stat(lo_rank + 1)?;
+        // Interpolate in f64 and round half away from zero; lo ≤ hi keeps
+        // the result within the observed range.
+        Some((lo as f64 + (hi - lo) as f64 * frac).round() as u64)
+    }
+
+    /// The 0-based `rank`-th smallest observation (with multiplicity).
+    fn order_stat(&self, rank: u64) -> Option<u64> {
         let mut acc = 0;
         for (&v, &c) in &self.counts {
             acc += c;
-            if acc >= target {
+            if acc > rank {
                 return Some(v);
             }
         }
-        self.max()
+        None
     }
 
     /// Smallest observed value.
@@ -119,8 +143,9 @@ impl Histogram {
         })
     }
 
-    /// The serving-telemetry percentile set (p50/p90/p99/p999/max), each an
-    /// exact observed value.
+    /// The serving-telemetry percentile set (p50/p90/p99/p999/max), each
+    /// rank-interpolated via [`Histogram::quantile`]; `max` is always the
+    /// exact largest observation.
     ///
     /// On an empty histogram the outcome is defined: `None`, always — there
     /// is no observation to return, and inventing a `0` would let an idle
@@ -210,7 +235,9 @@ mod tests {
     fn quantiles() {
         let h: Histogram = (1..=100).collect();
         assert_eq!(h.quantile(0.0), Some(1));
-        assert_eq!(h.quantile(0.5), Some(50));
+        // h = 0.5·99 = 49.5: midway between the 50th and 51st observations
+        // (50.5), rounded half away from zero.
+        assert_eq!(h.quantile(0.5), Some(51));
         assert_eq!(h.quantile(1.0), Some(100));
         assert_eq!(Histogram::new().quantile(0.5), None);
     }
@@ -240,15 +267,16 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_exact_observed_values() {
-        // 1000 observations 1..=1000: the q-quantile by cumulative count is
-        // exactly ⌈q·1000⌉.
+    fn percentiles_interpolate_by_rank() {
+        // 1000 observations 1..=1000: h = q·999, interpolated then rounded.
+        // p50 lands midway between 500 and 501 (→ 501); the tail ranks all
+        // round back onto their lower order statistic.
         let h: Histogram = (1..=1000).collect();
         let p = h.percentiles().expect("non-empty");
         assert_eq!(
             p,
             Percentiles {
-                p50: 500,
+                p50: 501,
                 p90: 900,
                 p99: 990,
                 p999: 999,
@@ -260,6 +288,30 @@ mod tests {
         let one = Histogram::from_values(&[7]);
         let p = one.percentiles().unwrap();
         assert_eq!((p.p50, p.p999, p.max), (7, 7, 7));
+    }
+
+    #[test]
+    fn tiny_sample_counts_do_not_collapse_to_max() {
+        // n = 2: h = q·1, so every percentile interpolates between the two
+        // observations instead of jumping to the max.
+        let two = Histogram::from_values(&[10, 20]);
+        let p = two.percentiles().unwrap();
+        assert_eq!(p.p50, 15);
+        assert_eq!(p.p90, 19);
+        assert_eq!(p.max, 20);
+        assert!(p.p90 < p.max, "p90 must not collapse onto the max at n=2");
+        // n = 3: the median is the exact middle observation; p90 sits
+        // between the 2nd and 3rd.
+        let three = Histogram::from_values(&[10, 20, 30]);
+        let p = three.percentiles().unwrap();
+        assert_eq!(p.p50, 20);
+        assert_eq!(p.p90, 28);
+        assert!(p.p90 < p.max);
+        // Duplicated values interpolate between equal order statistics
+        // (a flat segment), so ties stay exact.
+        let ties = Histogram::from_values(&[5, 5, 5, 40]);
+        assert_eq!(ties.quantile(0.5), Some(5));
+        assert_eq!(ties.quantile(0.25), Some(5));
     }
 
     #[test]

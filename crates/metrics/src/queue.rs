@@ -15,6 +15,13 @@
 //! were pushed after the one being consumed — the queue-side analogue of
 //! the paper's delay parameter τ (how stale the consumed sample is
 //! relative to the newest arrival).
+//!
+//! The serving tier's stats-scrape mirrors every hosted queue's counters
+//! into the process-wide telemetry registry (`asgd-telemetry`) as
+//! `asgd_ingest_{pushed,popped,dropped,rejected,starved}_total` counters
+//! plus `asgd_ingest_queue_depth` and `asgd_ingest_lag_mean` gauges, so a
+//! Prometheus scraper sees backpressure with the same per-counter
+//! monotonicity this module guarantees locally.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -329,6 +329,22 @@ impl NetClient {
         }
     }
 
+    /// Scrapes the server's live telemetry (opcode `stats-scrape`): the
+    /// returned string is the Prometheus text exposition of the server
+    /// process's metrics registry, freshly populated from every tier at
+    /// scrape time. High priority — a scrape is exactly the request an
+    /// operator needs answered *during* overload.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetClient::dot_score`].
+    pub fn stats_scrape(&mut self) -> Result<String, ClientError> {
+        match self.call_ok(Request::StatsScrape, Priority::High)? {
+            Response::ScrapeText { text } => Ok(text),
+            other => Err(ClientError::UnexpectedResponse(kind_of(&other))),
+        }
+    }
+
     /// Pushes one labeled observation into a streaming model's ingress
     /// queue; returns the post-push queue depth from the `Ingested` ack.
     ///
@@ -370,6 +386,7 @@ fn kind_of(r: &Response) -> &'static str {
         Response::Error { .. } => "error",
         Response::Shed { .. } => "shed",
         Response::Ingested { .. } => "ingested",
+        Response::ScrapeText { .. } => "scrape-text",
     }
 }
 
@@ -568,6 +585,9 @@ impl RetryingClient {
                 return Err(error);
             }
             self.retries += 1;
+            asgd_telemetry::global()
+                .counter("asgd_net_client_retries_total")
+                .inc();
             let backoff = self.policy.backoff(attempt - 1);
             if !backoff.is_zero() {
                 let jitter = self.policy.jitter.clamp(0.0, 1.0);
@@ -635,6 +655,15 @@ impl RetryingClient {
     /// The final attempt's [`ClientError`] (terminal errors immediately).
     pub fn stats_by_name(&mut self, name: &str) -> Result<ModelStats, ClientError> {
         self.call_retry(|c| c.stats_by_name(name))
+    }
+
+    /// [`NetClient::stats_scrape`], with retry.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's [`ClientError`] (terminal errors immediately).
+    pub fn stats_scrape(&mut self) -> Result<String, ClientError> {
+        self.call_retry(NetClient::stats_scrape)
     }
 
     /// [`NetClient::submit_observe`], with the idempotency-gated retry:

@@ -22,18 +22,23 @@
 //!
 //! Operations ([`Request`]): `dot-score` (client-supplied sparse probe),
 //! `predict` (held-out objective at the served point), `fetch-range` (raw
-//! parameters), `model-stats` (by id or by name), and `submit-observe`
+//! parameters), `model-stats` (by id or by name), `submit-observe`
 //! (v2: push one labeled observation into a streaming model's ingress
-//! queue — the continual-learning write path). Every request addresses a
-//! model by its registry id and carries a [`Priority`] the SLO load
-//! shedder uses to decide who gets shed first.
+//! queue — the continual-learning write path), and `stats-scrape` (the
+//! observability read: one payload-free request returning the server's
+//! whole telemetry registry as Prometheus exposition text). Every request
+//! addresses a model by its registry id (`stats-scrape` addresses the
+//! process) and carries a [`Priority`] the SLO load shedder uses to decide
+//! who gets shed first.
 //!
-//! Replies ([`Response`]): `Score`, `Values`, `Stats`, `Ingested` (the
-//! submit-observe ack: the observation is in the queue), plus two explicit
-//! failure frames — `Error` (typed [`ErrorCode`] + message) and `Shed`
-//! (the load shedder refused the request; carries the rolling p99 and the
-//! SLO that was breached). **Shed and rejected requests always get a
-//! frame** — the protocol never drops a request silently.
+//! Replies ([`Response`]): `Score`, `Values`, `Stats` (now carrying
+//! snapshot staleness and the per-shard τ update counters), `Ingested`
+//! (the submit-observe ack: the observation is in the queue),
+//! `ScrapeText` (the exposition body answering `stats-scrape`), plus two
+//! explicit failure frames — `Error` (typed [`ErrorCode`] + message) and
+//! `Shed` (the load shedder refused the request; carries the rolling p99
+//! and the SLO that was breached). **Shed and rejected requests always
+//! get a frame** — the protocol never drops a request silently.
 //!
 //! Unlike every v1 operation, `submit-observe` is **not idempotent**: it
 //! mutates server state (enqueues an observation), so a retry layer must
@@ -71,6 +76,16 @@ pub const MAX_FETCH_LEN: u32 = 65_536;
 /// same budget as a dot-score probe: an observation is a sparse probe
 /// plus a label.
 pub const MAX_OBSERVE_LEN: usize = 4_096;
+
+/// Most bytes one stats-scrape response may carry (the exposition text
+/// must itself fit a frame with room for the header).
+pub const MAX_SCRAPE_LEN: usize = MAX_FRAME_LEN - 16;
+
+/// Most per-shard counters one stats response may carry. Far above any
+/// real store (the shard router tops out at one shard per cache line of
+/// parameters) but small enough that a forged count cannot balloon the
+/// decode allocation.
+pub const MAX_STATS_SHARDS: usize = 4_096;
 
 /// Request priority, lowest first. Under SLO pressure the load shedder
 /// sheds [`Priority::Low`] traffic first, then [`Priority::Normal`];
@@ -185,6 +200,11 @@ pub enum Request {
         /// The observed label.
         label: f64,
     },
+    /// Scrape the server's telemetry registry: per-shard τ gauges, serve
+    /// latency/staleness histograms, queue and shedder counters — rendered
+    /// as Prometheus exposition text in a [`Response::ScrapeText`]. No
+    /// payload; addresses the whole process, not one model.
+    StatsScrape,
 }
 
 impl Request {
@@ -197,6 +217,7 @@ impl Request {
             Self::FetchRange { .. } => 3,
             Self::ModelStats { .. } => 4,
             Self::SubmitObserve { .. } => 5,
+            Self::StatsScrape => 6,
         }
     }
 
@@ -209,6 +230,7 @@ impl Request {
             Self::FetchRange { .. } => "fetch-range",
             Self::ModelStats { .. } => "model-stats",
             Self::SubmitObserve { .. } => "submit-observe",
+            Self::StatsScrape => "stats-scrape",
         }
     }
 
@@ -316,6 +338,7 @@ impl RequestFrame {
                 }
                 put_f64(&mut buf, *label);
             }
+            Request::StatsScrape => {}
         }
         Ok(buf)
     }
@@ -396,6 +419,7 @@ impl RequestFrame {
                     label,
                 }
             }
+            6 => Request::StatsScrape,
             other => return Err(FrameError::BadOpcode(other)),
         };
         cur.finish()?;
@@ -497,6 +521,13 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// Answer to stats-scrape: the server's telemetry registry rendered as
+    /// Prometheus exposition text (parse it back with
+    /// `asgd_telemetry::parse` — the format round-trips losslessly).
+    ScrapeText {
+        /// The exposition body (at most [`MAX_SCRAPE_LEN`] bytes).
+        text: String,
+    },
     /// The SLO load shedder refused the request: the rolling p99 breached
     /// the objective and this request's priority was below the admission
     /// floor. An explicit frame — shed traffic is never silently dropped.
@@ -521,6 +552,7 @@ impl Response {
             Self::Error { .. } => 4,
             Self::Shed { .. } => 5,
             Self::Ingested { .. } => 6,
+            Self::ScrapeText { .. } => 7,
         }
     }
 
@@ -558,6 +590,12 @@ impl Response {
                 put_opt_u64(&mut buf, *staleness);
             }
             Self::Stats(stats) => {
+                if stats.shard_updates.len() > MAX_STATS_SHARDS {
+                    return Err(FrameError::Oversized {
+                        len: stats.shard_updates.len(),
+                        max: MAX_STATS_SHARDS,
+                    });
+                }
                 put_u32(&mut buf, stats.id);
                 put_str(&mut buf, &stats.name)?;
                 put_u64(&mut buf, stats.dim);
@@ -568,6 +606,11 @@ impl Response {
                 put_u64(&mut buf, stats.iterations);
                 put_u64(&mut buf, stats.snapshots);
                 buf.push(u8::from(stats.finished));
+                put_opt_u64(&mut buf, stats.staleness);
+                put_u16(&mut buf, stats.shard_updates.len() as u16);
+                for &u in &stats.shard_updates {
+                    put_u64(&mut buf, u);
+                }
             }
             Self::Error { code, message } => {
                 put_u16(&mut buf, *code as u16);
@@ -583,6 +626,16 @@ impl Response {
                 put_u64(&mut buf, *slo_ns);
             }
             Self::Ingested { depth } => put_u64(&mut buf, *depth),
+            Self::ScrapeText { text } => {
+                if text.len() > MAX_SCRAPE_LEN {
+                    return Err(FrameError::Oversized {
+                        len: text.len(),
+                        max: MAX_SCRAPE_LEN,
+                    });
+                }
+                put_u32(&mut buf, text.len() as u32);
+                buf.extend_from_slice(text.as_bytes());
+            }
         }
         Ok(buf)
     }
@@ -639,6 +692,18 @@ impl Response {
                     1 => true,
                     other => return Err(FrameError::BadBool(other)),
                 };
+                let staleness = cur.opt_u64()?;
+                let shards = cur.u16()? as usize;
+                if shards > MAX_STATS_SHARDS {
+                    return Err(FrameError::Oversized {
+                        len: shards,
+                        max: MAX_STATS_SHARDS,
+                    });
+                }
+                let mut shard_updates = Vec::with_capacity(shards);
+                for _ in 0..shards {
+                    shard_updates.push(cur.u64()?);
+                }
                 Response::Stats(ModelStats {
                     id,
                     name,
@@ -647,6 +712,8 @@ impl Response {
                     iterations,
                     snapshots,
                     finished,
+                    staleness,
+                    shard_updates,
                 })
             }
             4 => Response::Error {
@@ -659,6 +726,19 @@ impl Response {
                 slo_ns: cur.u64()?,
             },
             6 => Response::Ingested { depth: cur.u64()? },
+            7 => {
+                let n = cur.u32()? as usize;
+                if n > MAX_SCRAPE_LEN {
+                    return Err(FrameError::Oversized {
+                        len: n,
+                        max: MAX_SCRAPE_LEN,
+                    });
+                }
+                let bytes = cur.take(n)?;
+                Response::ScrapeText {
+                    text: String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadUtf8)?,
+                }
+            }
             other => return Err(FrameError::BadTag(other)),
         };
         cur.finish()?;
@@ -941,6 +1021,8 @@ mod tests {
                 features: vec![],
                 label: 0.0,
             }),
+            RequestFrame::new(Request::StatsScrape),
+            RequestFrame::new(Request::StatsScrape).priority(Priority::Low),
         ]
     }
 
@@ -972,6 +1054,19 @@ mod tests {
                 iterations: u64::MAX - 1,
                 snapshots: 3,
                 finished: true,
+                staleness: Some(4_096),
+                shard_updates: vec![17, 0, u64::MAX, 9],
+            }),
+            Response::Stats(ModelStats {
+                id: 0,
+                name: "flat".to_string(),
+                dim: 2,
+                mode: ReadMode::Live,
+                iterations: 0,
+                snapshots: 0,
+                finished: false,
+                staleness: None,
+                shard_updates: vec![],
             }),
             Response::Error {
                 code: ErrorCode::NoSuchModel,
@@ -986,6 +1081,14 @@ mod tests {
             Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "ingress queue full".to_string(),
+            },
+            Response::ScrapeText {
+                text: String::new(),
+            },
+            Response::ScrapeText {
+                text: "# asgd-telemetry coherent=true\n# TYPE asgd_tau counter\n\
+                       asgd_tau{model=\"m\",shard=\"0\"} 41\n"
+                    .to_string(),
             },
         ]
     }
@@ -1114,6 +1217,36 @@ mod tests {
         forged.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             RequestFrame::decode(&forged),
+            Err(FrameError::Oversized { .. })
+        ));
+        // A scrape body larger than a frame can carry is an encode error.
+        let big_scrape = Response::ScrapeText {
+            text: "x".repeat(MAX_SCRAPE_LEN + 1),
+        };
+        assert!(matches!(
+            big_scrape.encode(),
+            Err(FrameError::Oversized { .. })
+        ));
+        // A forged shard count in a stats response is rejected before any
+        // allocation: forge the fixed prefix of a valid flat stats body,
+        // then overwrite the trailing u16 shard count.
+        let mut stats = Response::Stats(ModelStats {
+            id: 0,
+            name: String::new(),
+            dim: 0,
+            mode: ReadMode::Live,
+            iterations: 0,
+            snapshots: 0,
+            finished: false,
+            staleness: None,
+            shard_updates: vec![],
+        })
+        .encode()
+        .unwrap();
+        let n = stats.len();
+        stats[n - 2..].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&stats),
             Err(FrameError::Oversized { .. })
         ));
     }

@@ -23,17 +23,18 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use asgd_driver::{RunEvent, RunObserver};
 use asgd_oracle::{IngressError, Observation};
 use asgd_serve::{ModelEntry, ModelId, ModelRegistry, ReadMode, ServeError};
 
 use crate::fault::{FaultPlan, FaultyStream};
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameError, Request, RequestFrame, Response, StatsSelector,
-    MAX_FRAME_LEN,
+    MAX_FRAME_LEN, MAX_SCRAPE_LEN,
 };
 use crate::shed::{LoadShedder, SloPolicy, Verdict};
 
@@ -47,7 +48,7 @@ const POLL_INTERVAL: Duration = Duration::from_millis(50);
 const OBSERVE_ENQUEUE_TIMEOUT: Duration = Duration::from_millis(250);
 
 /// Server configuration: bind address, robustness budgets, SLO policy.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct NetConfig {
     /// Bind address (`127.0.0.1:0` by default — loopback, ephemeral port).
     pub addr: String,
@@ -70,6 +71,28 @@ pub struct NetConfig {
     /// default). Each connection's faults are re-seeded from the accept
     /// counter, so a campaign seed reproduces the same churn.
     pub fault: FaultPlan,
+    /// Structured-event observer for net-tier transitions: receives
+    /// [`RunEvent::ShedTierChanged`] whenever the load shedder moves tier
+    /// and [`RunEvent::QueueSaturated`] whenever a submit-observe is
+    /// refused by a full ingress queue. `None` (the default) disables
+    /// emission; wire a `TraceObserver` here to land these in the run's
+    /// JSONL trace.
+    pub observer: Option<Arc<dyn RunObserver>>,
+}
+
+impl std::fmt::Debug for NetConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetConfig")
+            .field("addr", &self.addr)
+            .field("max_connections", &self.max_connections)
+            .field("max_inflight", &self.max_inflight)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("slo", &self.slo)
+            .field("fault", &self.fault)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl Default for NetConfig {
@@ -82,6 +105,7 @@ impl Default for NetConfig {
             write_timeout: Duration::from_secs(5),
             slo: SloPolicy::default(),
             fault: FaultPlan::passthrough(),
+            observer: None,
         }
     }
 }
@@ -135,6 +159,13 @@ impl NetConfig {
         self.fault = fault;
         self
     }
+
+    /// Sets the structured-event observer for tier and queue transitions.
+    #[must_use]
+    pub fn observer(mut self, observer: Arc<dyn RunObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
 }
 
 /// Monotonic counters shared by the accept loop and every connection.
@@ -146,6 +177,14 @@ struct Counters {
     bad_frames: AtomicU64,
     active: AtomicUsize,
     inflight: AtomicUsize,
+    /// The shedder tier as of the last executed request, so any connection
+    /// thread can detect a transition edge and emit exactly one
+    /// [`RunEvent::ShedTierChanged`] per change.
+    last_tier: AtomicU8,
+    /// Per-model scrape state: the shard-update counters and instant of the
+    /// previous `stats-scrape`, differenced into per-shard update *rates*.
+    /// Shared across connections so rates survive client reconnects.
+    scrape: Mutex<HashMap<String, (Vec<u64>, Instant)>>,
 }
 
 /// A point-in-time statistics snapshot of a running server.
@@ -470,10 +509,48 @@ impl Connection {
                     };
                 }
                 let started = Instant::now();
-                let response = execute(&self.registry, frame, cache);
+                let response = execute(self, frame, cache);
                 self.counters.inflight.fetch_sub(1, Ordering::SeqCst);
-                self.shedder.record(started.elapsed());
+                let elapsed = started.elapsed();
+                self.shedder.record(elapsed);
+                self.observe_execution(&response, elapsed);
                 response
+            }
+        }
+    }
+
+    /// Records one executed request into the process-wide telemetry
+    /// registry and emits a [`RunEvent::ShedTierChanged`] span on a tier
+    /// transition edge. Both paths are a handful of relaxed atomic adds —
+    /// cheap enough to run unconditionally.
+    fn observe_execution(&self, response: &Response, elapsed: Duration) {
+        let telemetry = asgd_telemetry::global();
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        telemetry.histogram("asgd_net_serve_latency_ns").record(ns);
+        if let Response::Score {
+            staleness: Some(s), ..
+        }
+        | Response::Values {
+            staleness: Some(s), ..
+        } = response
+        {
+            telemetry.histogram("asgd_net_serve_staleness").record(*s);
+        }
+        // `retier` runs inside `record`, so the freshest tier is visible
+        // here; the swap makes exactly one thread own each edge.
+        let tier = self.shedder.tier();
+        if self.counters.last_tier.swap(tier, Ordering::Relaxed) != tier {
+            if let Some(observer) = &self.config.observer {
+                let slo_ns = self
+                    .shedder
+                    .policy()
+                    .slo
+                    .map_or(0, |slo| slo.as_nanos().min(u128::from(u64::MAX)) as u64);
+                observer.on_event(&RunEvent::ShedTierChanged {
+                    tier,
+                    p99_ns: self.shedder.rolling_p99_ns().unwrap_or(0),
+                    slo_ns,
+                });
             }
         }
     }
@@ -502,12 +579,16 @@ impl Connection {
     }
 }
 
-/// Executes one admitted request against the registry.
+/// Executes one admitted request against the connection's registry.
+/// Takes the whole [`Connection`] because stats-scrape reads the server
+/// counters and shedder, and submit-observe refusals emit through the
+/// configured observer.
 fn execute(
-    registry: &ModelRegistry,
+    conn: &Connection,
     frame: &RequestFrame,
     cache: &mut HashMap<u32, ModelCache>,
 ) -> Response {
+    let registry = &*conn.registry;
     match &frame.request {
         Request::DotScore { model, probe } => with_model(registry, *model, cache, |entry, c| {
             let reader = entry.service().reader();
@@ -611,22 +692,184 @@ fn execute(
                 Ok(()) => Response::Ingested {
                     depth: queue.len() as u64,
                 },
-                Err(IngressError::Full { capacity }) => Response::Error {
-                    code: ErrorCode::Overloaded,
-                    message: format!("ingress queue full ({capacity} capacity), not enqueued"),
-                },
-                Err(IngressError::Timeout) => Response::Error {
-                    code: ErrorCode::Overloaded,
-                    message: "ingress queue stayed full past the enqueue deadline, not enqueued"
-                        .to_string(),
-                },
+                Err(IngressError::Full { capacity }) => {
+                    queue_saturated(conn, queue.len() as u64, capacity as u64);
+                    Response::Error {
+                        code: ErrorCode::Overloaded,
+                        message: format!("ingress queue full ({capacity} capacity), not enqueued"),
+                    }
+                }
+                Err(IngressError::Timeout) => {
+                    queue_saturated(conn, queue.len() as u64, queue.capacity() as u64);
+                    Response::Error {
+                        code: ErrorCode::Overloaded,
+                        message:
+                            "ingress queue stayed full past the enqueue deadline, not enqueued"
+                                .to_string(),
+                    }
+                }
                 Err(IngressError::Closed) => Response::Error {
                     code: ErrorCode::NoSuchModel,
                     message: format!("model {model} ingress is closed (model dropping)"),
                 },
             }
         }),
+        Request::StatsScrape => scrape(conn),
     }
+}
+
+/// Emits a [`RunEvent::QueueSaturated`] span (when an observer is wired)
+/// and bumps the saturation counter — a typed ingress refusal is exactly
+/// the overload signal an operator wants on the trace timeline.
+fn queue_saturated(conn: &Connection, depth: u64, capacity: u64) {
+    asgd_telemetry::global()
+        .counter("asgd_ingest_saturated_total")
+        .inc();
+    if let Some(observer) = &conn.config.observer {
+        observer.on_event(&RunEvent::QueueSaturated { depth, capacity });
+    }
+}
+
+/// Answers a `stats-scrape`: mirrors every tier's live state into the
+/// process-wide [`asgd_telemetry::MetricsRegistry`], takes one validated
+/// snapshot, and returns it rendered in the Prometheus text exposition
+/// format.
+///
+/// Monotone sources (server counters, shedder totals, per-shard applied-
+/// update counters, ingress queue counters) land in registry *counters*
+/// via `record_total`, so series stay monotone across scrapes no matter
+/// which connection thread answers. Point-in-time values (tier, p99,
+/// depths, staleness) land in gauges. Per-shard update *rates* are
+/// differenced against the previous scrape's counters, shared across
+/// connections.
+fn scrape(conn: &Connection) -> Response {
+    let telemetry = asgd_telemetry::global();
+    // Server-wide counters and gauges.
+    let c = &conn.counters;
+    telemetry
+        .counter("asgd_net_accepted_total")
+        .record_total(c.accepted.load(Ordering::Relaxed));
+    telemetry
+        .counter("asgd_net_denied_total")
+        .record_total(c.denied.load(Ordering::Relaxed));
+    telemetry
+        .counter("asgd_net_busy_total")
+        .record_total(c.busy.load(Ordering::Relaxed));
+    telemetry
+        .counter("asgd_net_bad_frames_total")
+        .record_total(c.bad_frames.load(Ordering::Relaxed));
+    telemetry
+        .counter("asgd_net_executed_total")
+        .record_total(conn.shedder.executed_total());
+    telemetry
+        .counter("asgd_net_shed_total")
+        .record_total(conn.shedder.shed_total());
+    telemetry
+        .counter("asgd_net_shed_transitions_total")
+        .record_total(conn.shedder.transitions());
+    telemetry
+        .gauge("asgd_net_active_connections")
+        .set(c.active.load(Ordering::Relaxed) as f64);
+    telemetry
+        .gauge("asgd_net_inflight")
+        .set(c.inflight.load(Ordering::Relaxed) as f64);
+    telemetry
+        .gauge("asgd_net_shed_tier")
+        .set(f64::from(conn.shedder.tier()));
+    telemetry
+        .gauge("asgd_net_rolling_p99_ns")
+        .set(conn.shedder.rolling_p99_ns().unwrap_or(0) as f64);
+    // Per-model training and ingest state.
+    let now = Instant::now();
+    let mut prev = conn
+        .counters
+        .scrape
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for entry in conn.registry.list() {
+        let stats = entry.stats();
+        let model = &stats.name;
+        telemetry
+            .counter(&format!("asgd_model_iterations_total{{model=\"{model}\"}}"))
+            .record_total(stats.iterations);
+        telemetry
+            .gauge(&format!("asgd_model_snapshots{{model=\"{model}\"}}"))
+            .set(stats.snapshots as f64);
+        if let Some(staleness) = stats.staleness {
+            telemetry
+                .gauge(&format!(
+                    "asgd_model_snapshot_staleness{{model=\"{model}\"}}"
+                ))
+                .set(staleness as f64);
+        }
+        if !stats.shard_updates.is_empty() {
+            // Claim gap: iterations claimed by workers minus updates already
+            // applied to the shards — the store-level view of the paper's
+            // in-flight delay τ.
+            let applied: u64 = stats.shard_updates.iter().sum();
+            telemetry
+                .gauge(&format!("asgd_shard_claim_gap{{model=\"{model}\"}}"))
+                .set(stats.iterations.saturating_sub(applied) as f64);
+            let rates = prev.get(model.as_str()).map(|(prev_updates, at)| {
+                let dt = now.duration_since(*at).as_secs_f64().max(1e-9);
+                (prev_updates.clone(), dt)
+            });
+            for (shard, &updates) in stats.shard_updates.iter().enumerate() {
+                telemetry
+                    .counter(&format!(
+                        "asgd_shard_updates_total{{model=\"{model}\",shard=\"{shard}\"}}"
+                    ))
+                    .record_total(updates);
+                let rate = rates.as_ref().map_or(0.0, |(prev_updates, dt)| {
+                    prev_updates
+                        .get(shard)
+                        .map_or(0.0, |&p| updates.saturating_sub(p) as f64 / dt)
+                });
+                telemetry
+                    .gauge(&format!(
+                        "asgd_shard_update_rate{{model=\"{model}\",shard=\"{shard}\"}}"
+                    ))
+                    .set(rate);
+            }
+            prev.insert(model.clone(), (stats.shard_updates.clone(), now));
+        }
+        if let Some(queue) = entry.ingress() {
+            let q = queue.counters();
+            telemetry
+                .counter(&format!("asgd_ingest_pushed_total{{model=\"{model}\"}}"))
+                .record_total(q.pushed());
+            telemetry
+                .counter(&format!("asgd_ingest_popped_total{{model=\"{model}\"}}"))
+                .record_total(q.popped());
+            telemetry
+                .counter(&format!("asgd_ingest_dropped_total{{model=\"{model}\"}}"))
+                .record_total(q.dropped());
+            telemetry
+                .counter(&format!("asgd_ingest_rejected_total{{model=\"{model}\"}}"))
+                .record_total(q.rejected());
+            telemetry
+                .counter(&format!("asgd_ingest_starved_total{{model=\"{model}\"}}"))
+                .record_total(q.starved());
+            telemetry
+                .gauge(&format!("asgd_ingest_queue_depth{{model=\"{model}\"}}"))
+                .set(queue.len() as f64);
+            telemetry
+                .gauge(&format!("asgd_ingest_lag_mean{{model=\"{model}\"}}"))
+                .set(q.snapshot().lag_mean());
+        }
+    }
+    drop(prev);
+    let text = asgd_telemetry::render(&telemetry.snapshot());
+    if text.len() > MAX_SCRAPE_LEN {
+        return Response::Error {
+            code: ErrorCode::Internal,
+            message: format!(
+                "scrape text {} bytes exceeds the {MAX_SCRAPE_LEN}-byte frame budget",
+                text.len()
+            ),
+        };
+    }
+    Response::ScrapeText { text }
 }
 
 /// Looks up `model`, pruning the connection cache when the model is gone

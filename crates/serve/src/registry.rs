@@ -66,6 +66,13 @@ pub struct ModelStats {
     pub snapshots: u64,
     /// True once the training run finished (normally or cancelled).
     pub finished: bool,
+    /// Staleness of the latest published snapshot, in training iterations
+    /// (`iterations − published_at`; `None` before the first publication).
+    pub staleness: Option<u64>,
+    /// Per-shard applied-update counters (the measured per-range τ rates a
+    /// delay-adaptive consumer differences between calls). Empty for flat
+    /// stores.
+    pub shard_updates: Vec<u64>,
 }
 
 /// One hosted model: its identity plus the [`ModelService`] that owns the
@@ -131,14 +138,25 @@ impl ModelEntry {
     #[must_use]
     pub fn stats(&self) -> ModelStats {
         let reader = self.service.reader();
+        let iterations = reader.iterations();
+        // (version, iteration) of the latest snapshot; staleness is how far
+        // training has advanced past the published point.
+        let staleness = reader
+            .snapshot_tag()
+            .map(|(_, at)| iterations.saturating_sub(at));
+        // Flat stores have no per-shard counters: shard_updates stays empty.
+        let mut shard_updates = Vec::new();
+        let _ = reader.shard_updates(&mut shard_updates);
         ModelStats {
             id: self.id.0,
             name: self.name.clone(),
             dim: reader.dimension() as u64,
             mode: self.mode,
-            iterations: reader.iterations(),
+            iterations,
             snapshots: reader.snapshot_version(),
             finished: self.service.is_finished(),
+            staleness,
+            shard_updates,
         }
     }
 }

@@ -1,0 +1,267 @@
+//! Prometheus text exposition: rendering a [`MetricsSnapshot`] and parsing
+//! one back.
+//!
+//! The renderer emits the subset of the text format scrapers understand —
+//! `# TYPE` comments, one sample per line, histogram `_bucket{le=…}` /
+//! `_sum` / `_count` series — plus one leading comment carrying the
+//! snapshot's coherence flag. The parser inverts it exactly: for every
+//! snapshot, `parse(render(s)) == s` (a registry-wide property test), so a
+//! scrape is a lossless transport of the registry state, not a lossy
+//! pretty-print. `f64` gauges round-trip through Rust's shortest-exact
+//! `Display` / `parse` pair.
+
+use crate::registry::{HistogramSnapshot, MetricsSnapshot};
+
+/// Renders a snapshot in Prometheus text exposition format.
+#[must_use]
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# asgd-telemetry coherent={}\n", snap.coherent));
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("# TYPE {} counter\n{name} {v}\n", base_name(name)));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("# TYPE {} gauge\n{name} {v}\n", base_name(name)));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!("# TYPE {} histogram\n", base_name(name)));
+        for &(le, cum) in &h.buckets {
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n", h.sum));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    out
+}
+
+/// The metric name with any label block stripped (what `# TYPE` lines name).
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// A typed exposition-parse failure, pointing at the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exposition parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses exposition text produced by [`render`] back into a snapshot.
+///
+/// # Errors
+///
+/// [`ParseError`] on any line that is neither a comment nor a well-formed
+/// sample, on out-of-order histogram series, and on unparseable numbers.
+pub fn parse(text: &str) -> Result<MetricsSnapshot, ParseError> {
+    let mut snap = MetricsSnapshot::default();
+    // name → declared type, from # TYPE lines.
+    let mut types = std::collections::BTreeMap::new();
+    // Histogram under assembly: (full name, state).
+    let mut open_hist: Option<(String, HistogramSnapshot)> = None;
+    let err = |line: usize, message: &str| ParseError {
+        line,
+        message: message.to_string(),
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# asgd-telemetry coherent=") {
+            snap.coherent = rest.parse().map_err(|_| err(lineno, "bad coherent flag"))?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = (it.next(), it.next());
+            let (Some(name), Some(kind)) = (name, kind) else {
+                return Err(err(lineno, "malformed TYPE comment"));
+            };
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal and ignored
+        }
+        // A sample: everything before the last space is the name (labels may
+        // embed spaces only inside quotes, which our names never do).
+        let Some(split_at) = line.rfind(' ') else {
+            return Err(err(lineno, "sample line without a value"));
+        };
+        let (name, value) = (line[..split_at].trim_end(), line[split_at + 1..].trim());
+        let series_kind = |name: &str| types.get(base_name(name)).map(String::as_str);
+        // Histogram series are recognised by suffix against a declared
+        // histogram base name.
+        if let Some((base, le)) = bucket_series(name) {
+            if series_kind(base) != Some("histogram") {
+                return Err(err(lineno, "bucket series without a histogram TYPE"));
+            }
+            let cum: u64 = value.parse().map_err(|_| err(lineno, "bad bucket count"))?;
+            if !matches!(&open_hist, Some((open, _)) if open == base) {
+                finish_hist(&mut snap, &mut open_hist);
+                open_hist = Some((base.to_string(), HistogramSnapshot::default()));
+            }
+            let (_, hist) = open_hist.as_mut().expect("just ensured open");
+            match le {
+                None => hist.count = cum, // the +Inf bucket is the count
+                Some(le) => hist.buckets.push((le, cum)),
+            }
+            continue;
+        }
+        if let Some(base) = name
+            .strip_suffix("_sum")
+            .filter(|b| series_kind(b) == Some("histogram"))
+        {
+            let Some((open, h)) = &mut open_hist else {
+                return Err(err(lineno, "_sum before its buckets"));
+            };
+            if open != base {
+                return Err(err(lineno, "_sum for a different histogram"));
+            }
+            h.sum = value
+                .parse()
+                .map_err(|_| err(lineno, "bad histogram sum"))?;
+            continue;
+        }
+        if let Some(base) = name
+            .strip_suffix("_count")
+            .filter(|b| series_kind(b) == Some("histogram"))
+        {
+            let Some((open, h)) = &mut open_hist else {
+                return Err(err(lineno, "_count before its buckets"));
+            };
+            if open != base {
+                return Err(err(lineno, "_count for a different histogram"));
+            }
+            h.count = value
+                .parse()
+                .map_err(|_| err(lineno, "bad histogram count"))?;
+            finish_hist(&mut snap, &mut open_hist);
+            continue;
+        }
+        match series_kind(name) {
+            Some("counter") => {
+                let v = value
+                    .parse()
+                    .map_err(|_| err(lineno, "bad counter value"))?;
+                snap.counters.push((name.to_string(), v));
+            }
+            Some("gauge") => {
+                let v = value.parse().map_err(|_| err(lineno, "bad gauge value"))?;
+                snap.gauges.push((name.to_string(), v));
+            }
+            Some(_) | None => return Err(err(lineno, "sample without a known TYPE")),
+        }
+    }
+    finish_hist(&mut snap, &mut open_hist);
+    Ok(snap)
+}
+
+/// Splits a `_bucket{le="…"}` series into its base name and bound
+/// (`None` = the `+Inf` bucket). Returns `None` for non-bucket series.
+fn bucket_series(name: &str) -> Option<(&str, Option<u64>)> {
+    let (base, rest) = name.split_once("_bucket{le=\"")?;
+    let le = rest.strip_suffix("\"}")?;
+    if le == "+Inf" {
+        return Some((base, None));
+    }
+    le.parse::<u64>().ok().map(|b| (base, Some(b)))
+}
+
+fn finish_hist(snap: &mut MetricsSnapshot, open: &mut Option<(String, HistogramSnapshot)>) {
+    if let Some((name, h)) = open.take() {
+        snap.histograms.push((name, h));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            coherent: true,
+            counters: vec![
+                ("asgd_net_accepted_total".to_string(), 12),
+                (
+                    "asgd_shard_updates{model=\"m\",shard=\"0\"}".to_string(),
+                    900,
+                ),
+            ],
+            gauges: vec![
+                ("asgd_ingest_queue_depth{model=\"m\"}".to_string(), 3.0),
+                ("asgd_net_shed_tier".to_string(), 1.5),
+            ],
+            histograms: vec![(
+                "asgd_serve_latency_ns".to_string(),
+                HistogramSnapshot {
+                    buckets: vec![(1024, 2), (4096, 5)],
+                    count: 7,
+                    sum: 12345,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn render_is_prometheus_shaped() {
+        let text = render(&sample_snapshot());
+        assert!(text.starts_with("# asgd-telemetry coherent=true\n"));
+        assert!(text.contains("# TYPE asgd_net_accepted_total counter"));
+        assert!(text.contains("asgd_net_accepted_total 12"));
+        assert!(text.contains("# TYPE asgd_shard_updates counter"));
+        assert!(text.contains("asgd_shard_updates{model=\"m\",shard=\"0\"} 900"));
+        assert!(text.contains("asgd_serve_latency_ns_bucket{le=\"1024\"} 2"));
+        assert!(text.contains("asgd_serve_latency_ns_bucket{le=\"+Inf\"} 7"));
+        assert!(text.contains("asgd_serve_latency_ns_sum 12345"));
+        assert!(text.contains("asgd_serve_latency_ns_count 7"));
+        assert!(text.contains("asgd_net_shed_tier 1.5"));
+    }
+
+    #[test]
+    fn parse_inverts_render() {
+        let snap = sample_snapshot();
+        assert_eq!(parse(&render(&snap)).expect("parses"), snap);
+        let incoherent = MetricsSnapshot {
+            coherent: false,
+            ..sample_snapshot()
+        };
+        assert_eq!(parse(&render(&incoherent)).unwrap(), incoherent);
+        assert_eq!(
+            parse(&render(&MetricsSnapshot::default())).unwrap(),
+            MetricsSnapshot::default()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("no_type_declared 4\n").is_err());
+        assert!(parse("# TYPE x counter\nx not_a_number\n").is_err());
+        assert!(
+            parse("# TYPE h histogram\nh_sum 3\n").is_err(),
+            "_sum before buckets"
+        );
+        assert!(parse("# TYPE x counter\nx\n").is_err(), "no value");
+        // Unknown comments are fine.
+        assert_eq!(
+            parse("# HELP x whatever\n").unwrap(),
+            MetricsSnapshot::default()
+        );
+    }
+}

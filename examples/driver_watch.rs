@@ -44,6 +44,7 @@ impl RunObserver for PrintObserver {
             RunEvent::TrajectorySample(_) => {} // Progress already covers the demo
             RunEvent::SnapshotPublished { .. } => {} // serving demo lives in serve_live
             RunEvent::DriftInjected { .. } => {} // streaming demo lives in ingest_drift
+            RunEvent::ShedTierChanged { .. } | RunEvent::QueueSaturated { .. } => {} // net-tier events
             RunEvent::Finished(report) => {
                 println!(
                     "[{}] finished: T={} dist²={:.3e} stop={}",

@@ -106,6 +106,7 @@ pub use asgd_net as net;
 pub use asgd_oracle as oracle;
 pub use asgd_serve as serve;
 pub use asgd_shmem as shmem;
+pub use asgd_telemetry as telemetry;
 pub use asgd_theory as theory;
 
 /// The most common imports in one place.
@@ -152,5 +153,6 @@ pub mod prelude {
         StaleGradientAdversary, StepRoundRobin,
     };
     pub use asgd_shmem::{Engine, Memory, TraceLevel};
+    pub use asgd_telemetry::{MetricsRegistry, MetricsSnapshot, TraceSink};
     pub use asgd_theory::bounds;
 }

@@ -42,7 +42,10 @@ impl RunObserver for Recorder {
             RunEvent::TrajectorySample(sample) => {
                 self.samples.lock().unwrap().push(sample.clone());
             }
-            RunEvent::SnapshotPublished { .. } | RunEvent::DriftInjected { .. } => {}
+            RunEvent::SnapshotPublished { .. }
+            | RunEvent::DriftInjected { .. }
+            | RunEvent::ShedTierChanged { .. }
+            | RunEvent::QueueSaturated { .. } => {}
             RunEvent::Finished(_) => {
                 self.finished.fetch_add(1, Ordering::SeqCst);
             }

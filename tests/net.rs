@@ -69,6 +69,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 features,
                 label,
             }),
+        Just(Request::StatsScrape),
     ]
 }
 
@@ -92,9 +93,17 @@ fn arb_stats() -> impl Strategy<Value = asyncsgd::serve::ModelStats> {
     (
         (any::<u32>(), arb_string(64), any::<u64>()),
         (any::<bool>(), any::<u64>(), any::<u64>(), any::<bool>()),
+        (
+            arb_opt_u64(),
+            proptest::collection::vec(any::<u64>(), 0..16),
+        ),
     )
         .prop_map(
-            |((id, name, dim), (live, iterations, snapshots, finished))| {
+            |(
+                (id, name, dim),
+                (live, iterations, snapshots, finished),
+                (staleness, shard_updates),
+            )| {
                 asyncsgd::serve::ModelStats {
                     id,
                     name,
@@ -107,6 +116,8 @@ fn arb_stats() -> impl Strategy<Value = asyncsgd::serve::ModelStats> {
                     iterations,
                     snapshots,
                     finished,
+                    staleness,
+                    shard_updates,
                 }
             },
         )
@@ -137,6 +148,14 @@ fn arb_response() -> impl Strategy<Value = Response> {
             }
         }),
         any::<u64>().prop_map(|depth| Response::Ingested { depth }),
+        // Realistic exposition-text shapes: newlines, braces, quotes.
+        proptest::collection::vec(
+            prop_oneof![arb_string(40), Just("a_total{x=\"y\"} 1\n".to_string())],
+            0..8,
+        )
+        .prop_map(|lines| Response::ScrapeText {
+            text: lines.concat(),
+        }),
     ]
 }
 
@@ -416,6 +435,94 @@ fn dropped_models_answer_with_typed_errors_on_every_op() {
     assert_eq!(remote_code(err), ErrorCode::NoSuchModel);
     // The connection itself survives all four misses.
     client.stats_by_name("nope").expect_err("still answering");
+    server.stop();
+    registry.shutdown();
+}
+
+#[test]
+fn stats_scrape_serves_live_prometheus_text_consistent_with_model_stats() {
+    // The observability front door: a `stats-scrape` over the socket must
+    // return exposition text that (a) parses back into the exact snapshot
+    // it rendered, (b) carries non-vacuous series from every tier that saw
+    // traffic, and (c) agrees bit-for-bit with what `model-stats` reports
+    // once training is quiescent.
+    let iterations = 20_000;
+    let spec = servable_spec(64, 2, iterations, 17).shards(ShardsSpec::Fixed(4));
+    let registry = Arc::new(ModelRegistry::new());
+    let id = registry
+        .create("scraped", &spec, ReadMode::Snapshot, 1_024)
+        .expect("creates")
+        .0;
+    let server =
+        NetServer::serve(Arc::clone(&registry), NetConfig::default()).expect("server binds");
+    let mut client = NetClient::connect(server.local_addr()).expect("connects");
+
+    // Wait for the run to finish so counters are quiescent, then drive a
+    // few reads so the serve-latency histogram is non-vacuous.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let stats = loop {
+        let stats = client.stats_by_id(id).expect("stats answer");
+        if stats.finished {
+            break stats;
+        }
+        assert!(Instant::now() < deadline, "training never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(stats.iterations, iterations);
+    assert_eq!(stats.shard_updates.len(), 4, "fixed(4) topology reported");
+    for _ in 0..4 {
+        client.predict(id, Priority::Normal).expect("predicts");
+    }
+
+    let text = client.stats_scrape().expect("scrape answers");
+    let snap = asyncsgd::telemetry::parse(&text).expect("scrape text parses");
+    assert_eq!(
+        asyncsgd::telemetry::render(&snap),
+        text,
+        "exposition text and snapshot are exact inverses"
+    );
+
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("series {name} missing from scrape"))
+            .1
+    };
+    // Training-tier series agree with the model-stats view bit for bit.
+    assert_eq!(
+        counter("asgd_model_iterations_total{model=\"scraped\"}"),
+        iterations
+    );
+    for (shard, &updates) in stats.shard_updates.iter().enumerate() {
+        assert_eq!(
+            counter(&format!(
+                "asgd_shard_updates_total{{model=\"scraped\",shard=\"{shard}\"}}"
+            )),
+            updates,
+            "shard {shard} τ counter disagrees with model-stats"
+        );
+    }
+    // Quiescent run: every claimed iteration has been applied somewhere.
+    assert_eq!(stats.shard_updates.iter().sum::<u64>(), iterations);
+    // Net-tier series saw this connection's own traffic.
+    assert!(counter("asgd_net_executed_total") >= 5);
+    let (_, latency) = snap
+        .histograms
+        .iter()
+        .find(|(k, _)| k == "asgd_net_serve_latency_ns")
+        .expect("serve latency histogram present");
+    assert!(latency.count >= 5, "latency histogram is vacuous");
+    assert!(latency.sum > 0);
+    // Scrapes are idempotent reads: a second one still answers and its
+    // monotone series never run backwards.
+    let again =
+        asyncsgd::telemetry::parse(&client.stats_scrape().expect("second scrape")).expect("parses");
+    for (name, v) in &snap.counters {
+        if let Some((_, v2)) = again.counters.iter().find(|(k, _)| k == name) {
+            assert!(v2 >= v, "counter {name} ran backwards: {v2} < {v}");
+        }
+    }
     server.stop();
     registry.shutdown();
 }
